@@ -1,0 +1,184 @@
+(* Ablation studies on Bosehedral's design choices (DESIGN.md):
+   the dropout power K (§VI) and the mapping indicator K (§V-D). *)
+
+module Rng = Bose_util.Rng
+module Stats = Bose_util.Stats
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Embedding = Bose_hardware.Embedding
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+module Mapping = Bose_mapping.Mapping
+module Dropout = Bose_dropout.Dropout
+
+(* τ_K as a function of the dropout power K: shows the paper's tradeoff
+   between angle-proportional sampling (K = 1) and the hard threshold
+   (K → ∞). *)
+let dropout_power () =
+  Benchlib.header "Ablation — dropout power K vs average approximation fidelity (24 qumodes)";
+  let rng = Rng.create 888 in
+  let n = 24 in
+  let device = Lattice.create ~rows:6 ~cols:6 in
+  let pattern = Embedding.for_program device n in
+  let powers = [ 1; 2; 5; 10; 20; 50; 100 ] in
+  Printf.printf "%-8s" "tau";
+  List.iter (fun k -> Printf.printf "  K=%-7d" k) powers;
+  Printf.printf "  %s\n" "hard cut";
+  List.iter
+    (fun tau ->
+       let u = Unitary.haar_random rng n in
+       let mapping = Mapping.optimize pattern u in
+       let plan = Eliminate.decompose pattern mapping.Mapping.permuted in
+       Printf.printf "%-8.4f" tau;
+       List.iter
+         (fun k ->
+            let policy =
+              Dropout.make_policy ~powers:[ k ] ~iterations:60 rng plan
+                mapping.Mapping.permuted ~tau
+            in
+            Printf.printf "  %-9.5f" policy.Dropout.expected_fidelity)
+         powers;
+       (* Hard threshold = deterministic top-M mask. *)
+       let policy =
+         Dropout.make_policy ~powers:[ 100 ] ~iterations:1 rng plan mapping.Mapping.permuted
+           ~tau
+       in
+       let hard = Dropout.hard_kept policy plan in
+       Printf.printf "  %.5f\n" (Plan.fidelity ~kept:hard plan mapping.Mapping.permuted))
+    [ 0.999; 0.99; 0.95 ]
+
+(* Small-angle yield as a function of the mapping indicator K. *)
+let mapping_indicator () =
+  Benchlib.header "Ablation — mapping indicator K vs small-rotation yield (24 qumodes)";
+  let rng = Rng.create 999 in
+  let n = 24 in
+  let pattern = Embedding.for_program (Lattice.create ~rows:6 ~cols:6) n in
+  let candidates = [ 4; 6; 8; 12; 16; 20 ] in
+  Printf.printf "%-10s %14s %18s\n" "K" "small (θ<0.1)" "small (θ<0.25)";
+  let unitaries = List.init 3 (fun _ -> Unitary.haar_random rng n) in
+  List.iter
+    (fun k ->
+       let smalls threshold =
+         Stats.mean
+           (Array.of_list
+              (List.map
+                 (fun u ->
+                    let m = Mapping.optimize ~candidate_ks:[ k ] pattern u in
+                    let plan = Eliminate.decompose pattern m.Mapping.permuted in
+                    float_of_int (Plan.small_angle_count plan ~threshold))
+                 unitaries))
+       in
+       Printf.printf "%-10d %14.1f %18.1f\n" k (smalls 0.1) (smalls 0.25))
+    candidates;
+  (* Reference: no mapping at all. *)
+  let none threshold =
+    Stats.mean
+      (Array.of_list
+         (List.map
+            (fun u ->
+               float_of_int
+                 (Plan.small_angle_count (Eliminate.decompose pattern u) ~threshold))
+            unitaries))
+  in
+  Printf.printf "%-10s %14.1f %18.1f\n" "(none)" (none 0.1) (none 0.25)
+
+(* Lattice aspect-ratio study beyond the paper's three shapes. *)
+let lattice_shapes () =
+  Benchlib.header "Ablation — lattice aspect ratio vs beamsplitter reduction (24 qumodes, tau 0.99)";
+  let rng = Rng.create 1001 in
+  Printf.printf "%-10s %12s %14s\n" "device" "BS drop" "small (θ<0.1)";
+  List.iter
+    (fun (r, c) ->
+       let device = Lattice.create ~rows:r ~cols:c in
+       let reductions =
+         List.init 3 (fun i ->
+             let u = Unitary.haar_random (Rng.create (7000 + i)) 24 in
+             let compiled =
+               Bosehedral.Compiler.compile ~rng ~device ~config:Bosehedral.Config.Full_opt
+                 ~tau:0.99 u
+             in
+             (Bosehedral.Compiler.beamsplitter_reduction compiled,
+              float_of_int (Bosehedral.Compiler.small_angles compiled ~threshold:0.1)))
+       in
+       Printf.printf "%dx%-8d %11.1f%% %14.1f\n" r c
+         (100. *. Stats.mean (Array.of_list (List.map fst reductions)))
+         (Stats.mean (Array.of_list (List.map snd reductions))))
+    [ (6, 6); (5, 7); (4, 8); (3, 8); (2, 12); (4, 6); (5, 5) ]
+
+(* Extension: the generic embedding on triangular / hexagonal couplings
+   (the paper's §IV "other layouts" remark). *)
+let generic_layouts () =
+  Benchlib.header
+    "Ablation — coupling layouts via the generic embedding (24 qumodes, tau 0.99)";
+  let module Coupling = Bose_hardware.Coupling in
+  let module Embedding = Bose_hardware.Embedding in
+  let rng = Rng.create 1002 in
+  Printf.printf "%-16s %9s %12s %14s\n" "layout" "max deg" "BS drop" "small (θ<0.1)";
+  List.iter
+    (fun (name, coupling) ->
+       let pattern = Embedding.of_coupling_for_program coupling 24 in
+       let results =
+         List.init 3 (fun i ->
+             let u = Unitary.haar_random (Rng.create (8000 + i)) 24 in
+             let compiled =
+               Bosehedral.Compiler.compile_with_pattern ~rng ~pattern
+                 ~config:Bosehedral.Config.Full_opt ~tau:0.99 u
+             in
+             (Bosehedral.Compiler.beamsplitter_reduction compiled,
+              float_of_int (Bosehedral.Compiler.small_angles compiled ~threshold:0.1)))
+       in
+       Printf.printf "%-16s %9d %11.1f%% %14.1f\n" name (Coupling.max_degree coupling)
+         (100. *. Stats.mean (Array.of_list (List.map fst results)))
+         (Stats.mean (Array.of_list (List.map snd results))))
+    [
+      ("square 5x5", Coupling.of_lattice (Lattice.create ~rows:5 ~cols:5));
+      ("triangular 5x5", Coupling.triangular ~rows:5 ~cols:5);
+      ("hexagonal 5x5", Coupling.hexagonal ~rows:5 ~cols:5);
+      ("square zigzag*", Coupling.of_lattice (Lattice.create ~rows:6 ~cols:6));
+    ];
+  Printf.printf "(*24 of the device's qumodes; zigzag comparison uses the generic embedding too)\n"
+
+(* Extension: the compiler on plain (Fock-input) Boson sampling — the
+   non-Gaussian half of the paper's title. The dropout approximation is
+   measured directly on permanent-based output distributions. *)
+let boson_sampling () =
+  Benchlib.header
+    "Extension — plain Boson sampling under compilation (8 modes, 2 photons, algorithmic error only)";
+  let rng = Rng.create 1003 in
+  let n = 8 in
+  let device = Lattice.create ~rows:2 ~cols:4 in
+  let u = Unitary.haar_random rng n in
+  let input = Bose_gbs.Boson_sampling.single_photons ~modes:n ~photons:2 in
+  let ideal =
+    Bose_util.Dist.of_weights (Bose_gbs.Boson_sampling.distribution u ~input)
+  in
+  Printf.printf "%-12s %10s %12s %12s\n" "config" "tau" "BS dropped" "JSD vs ideal";
+  List.iter
+    (fun tau ->
+       List.iter
+         (fun config ->
+            let compiled = Bosehedral.Compiler.compile ~rng ~device ~config ~tau u in
+            let realizations = 12 in
+            let dists =
+              List.init realizations (fun _ ->
+                  let kept = Bosehedral.Compiler.shot_mask rng compiled in
+                  let u_app = Bosehedral.Compiler.approx_unitary ?kept compiled in
+                  ( 1.,
+                    Bose_util.Dist.of_weights
+                      (Bose_gbs.Boson_sampling.distribution u_app ~input) ))
+            in
+            let averaged = Bose_util.Dist.mix dists in
+            Printf.printf "%-12s %10.4f %11.1f%% %12.5f\n"
+              (Bosehedral.Config.name config) tau
+              (100. *. Bosehedral.Compiler.beamsplitter_reduction compiled)
+              (Bose_util.Dist.jsd ideal averaged))
+         Bosehedral.Config.all;
+       print_newline ())
+    [ 0.999; 0.99 ]
+
+let run () =
+  dropout_power ();
+  mapping_indicator ();
+  lattice_shapes ();
+  generic_layouts ();
+  boson_sampling ()

@@ -1,0 +1,111 @@
+(* Fig. 10: JSD between the noisy output distribution and the noise-free
+   standard distribution, as a function of the photon loss rate, for the
+   four experiment configurations — run at the exactly-simulable scale
+   (see DESIGN.md substitutions). Rows 1–4 use the default device per
+   benchmark; rows 5–7 repeat one instance per benchmark on different
+   lattice shapes. *)
+
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Stats = Bose_util.Stats
+module Lattice = Bose_hardware.Lattice
+module Noise = Bose_circuit.Noise
+open Bosehedral
+
+let jsd_series ~rng ~device ~tau program =
+  let max_photons = Benchlib.max_photons_for program in
+  let ideal = Runner.ideal_distribution ~max_photons program in
+  List.map
+    (fun config ->
+       let compiled =
+         Compiler.compile ~rng ~device ~config ~tau program.Runner.unitary
+       in
+       let series =
+         List.map
+           (fun loss ->
+              let noisy =
+                Runner.noisy_distribution ~realizations:6 ~rng ~noise:(Noise.uniform loss)
+                  ~max_photons compiled program
+              in
+              Dist.jsd ideal noisy)
+           Benchlib.losses
+       in
+       (config, series))
+    Config.all
+
+let print_series label per_config =
+  Printf.printf "%-22s" label;
+  List.iter (fun loss -> Printf.printf "  loss=%.2f" loss) Benchlib.losses;
+  print_newline ();
+  List.iter
+    (fun (config, series) ->
+       Printf.printf "  %-20s" (Config.name config);
+       List.iter (fun j -> Printf.printf "  %9.4f" j) series;
+       print_newline ())
+    per_config
+
+(* Average JSD reduction of Full-Opt vs Baseline across the loss sweep. *)
+let improvement per_config =
+  let series c =
+    Array.of_list (List.assoc c per_config)
+  in
+  let base = series Config.Baseline and full = series Config.Full_opt in
+  let ratios =
+    Array.init (Array.length base) (fun i ->
+        if base.(i) > 1e-12 then (base.(i) -. full.(i)) /. base.(i) else 0.)
+  in
+  100. *. Stats.mean ratios
+
+let run () =
+  Benchlib.header
+    "Fig. 10 (rows 1-4) — JSD vs photon loss, four configurations (simulable scale)";
+  let rng = Rng.create 4242 in
+  let totals = ref [] in
+  List.iter
+    (fun b ->
+       Printf.printf "\n[%s] tau = %.4f\n" b.Benchlib.name b.Benchlib.tau;
+       List.iter
+         (fun (label, program) ->
+            let device = Benchlib.device_for_program program in
+            let per_config = jsd_series ~rng ~device ~tau:b.Benchlib.tau program in
+            print_series (b.Benchlib.name ^ " " ^ label) per_config;
+            let impr = improvement per_config in
+            totals := (b.Benchlib.name, impr) :: !totals;
+            Printf.printf "  Full-Opt reduces JSD vs Baseline by %.1f%% on average\n" impr)
+         b.Benchlib.instances)
+    (Benchlib.sim_suite ());
+  print_newline ();
+  List.iter
+    (fun name ->
+       let mine = List.filter (fun (n, _) -> n = name) !totals in
+       let avg =
+         Stats.mean (Array.of_list (List.map snd mine))
+       in
+       Printf.printf "%s: average JSD reduction %.1f%%\n" name avg)
+    [ "DS"; "MC"; "GS"; "VS" ]
+
+let run_hw () =
+  Benchlib.header
+    "Fig. 10 (rows 5-7) — hardware-structure impact: same programs on other lattices";
+  let rng = Rng.create 4343 in
+  let shapes_for modes =
+    match modes with
+    | 8 -> [ (3, 3); (2, 5); (2, 4) ]
+    | 6 -> [ (3, 2); (2, 3); (1, 6) ]
+    | _ -> [ (3, (modes + 2) / 3) ]
+  in
+  List.iter
+    (fun b ->
+       match b.Benchlib.instances with
+       | [] -> ()
+       | (label, program) :: _ ->
+         Printf.printf "\n[%s %s] tau = %.4f\n" b.Benchlib.name label b.Benchlib.tau;
+         List.iter
+           (fun (r, c) ->
+              let device = Lattice.create ~rows:r ~cols:c in
+              let per_config = jsd_series ~rng ~device ~tau:b.Benchlib.tau program in
+              print_series (Printf.sprintf "%dx%d lattice" r c) per_config;
+              Printf.printf "  Full-Opt reduces JSD vs Baseline by %.1f%% on average\n"
+                (improvement per_config))
+           (shapes_for (Runner.program_modes program)))
+    (Benchlib.sim_suite ~instances:1 ())

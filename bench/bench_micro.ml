@@ -1,0 +1,54 @@
+(* Bechamel micro-benchmarks of the compiler kernels. *)
+
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Embedding = Bose_hardware.Embedding
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+module Mapping = Bose_mapping.Mapping
+open Bechamel
+open Toolkit
+
+let benchmarks () =
+  let n = 24 in
+  let u = Unitary.haar_random (Rng.create 1) n in
+  let device = Lattice.create ~rows:6 ~cols:6 in
+  let pattern = Embedding.for_program device n in
+  let plan = Eliminate.decompose pattern u in
+  [
+    Test.make ~name:"decompose/chain-24" (Staged.stage (fun () ->
+        ignore (Eliminate.decompose_baseline u)));
+    Test.make ~name:"decompose/tree-24" (Staged.stage (fun () ->
+        ignore (Eliminate.decompose pattern u)));
+    Test.make ~name:"reconstruct-24" (Staged.stage (fun () ->
+        ignore (Plan.reconstruct plan)));
+    Test.make ~name:"fidelity-24" (Staged.stage (fun () ->
+        ignore (Plan.fidelity plan u)));
+    Test.make ~name:"mapping-optimize-24" (Staged.stage (fun () ->
+        ignore (Mapping.optimize ~candidate_ks:[ 12 ] pattern u)));
+    Test.make ~name:"haar-random-24" (Staged.stage (fun () ->
+        ignore (Unitary.haar_random (Rng.create 2) n)));
+  ]
+
+let run () =
+  Benchlib.header "Micro-benchmarks (Bechamel): compiler kernels at 24 qumodes";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.6) ~kde:(Some 500) () in
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       Hashtbl.iter
+         (fun name result ->
+            let ols =
+              Analyze.one
+                (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+                Instance.monotonic_clock result
+            in
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+            | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+         results)
+    (benchmarks ())

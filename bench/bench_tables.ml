@@ -1,0 +1,92 @@
+(* Tables I, II and III of the paper. *)
+
+module Rng = Bose_util.Rng
+module Stats = Bose_util.Stats
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Circuit = Bose_circuit.Circuit
+module Plan = Bose_decomp.Plan
+open Bosehedral
+
+(* Table I: gate counts of the fully decomposed benchmarks. *)
+let table1 () =
+  Benchlib.header "Table I — benchmark information (gate counts, 24 qumodes)";
+  Printf.printf "%-10s %8s %10s %13s %14s %13s\n" "Benchmark" "Qumode#" "Squeezing"
+    "Displacement" "Phase Shifter" "Beamsplitter";
+  List.iter
+    (fun b ->
+       (* Gate counts are instance-independent at fixed qumode count;
+          report the first instance. *)
+       match b.Benchlib.instances with
+       | [] -> ()
+       | (_, program) :: _ ->
+         let device = Benchlib.device_for_program program in
+         let counts = Runner.gate_counts program ~device in
+         (* Count the MZI phase shifters the way the paper does: one per
+            rotation (the final Λ phases fold into measurement). *)
+         let n = Runner.program_modes program in
+         let mzi_phases = n * (n - 1) / 2 in
+         Printf.printf "%-10s %8d %10d %13d %14d %13d\n" b.Benchlib.name n
+           counts.Circuit.squeezing counts.Circuit.displacement mzi_phases
+           counts.Circuit.beamsplitter)
+    (Benchlib.paper_suite ())
+
+(* Table II: beamsplitter reduction and approximated unitary fidelity
+   per configuration, averaged over the benchmark instances. *)
+let table2 () =
+  Benchlib.header
+    "Table II — beamsplitter reduction and approximated unitary fidelity (24 qumodes, 6x6)";
+  Printf.printf "%-18s %9s %12s %10s %18s\n" "Benchmark&Fidelity" "Rot-Cut" "Decomp-Opt"
+    "Full-Opt" "(avg BS# Full-Opt)";
+  let rng = Rng.create 99 in
+  List.iter
+    (fun b ->
+       let reductions config =
+         List.map
+           (fun (_, program) ->
+              let device = Benchlib.device_for_program program in
+              let compiled =
+                Compiler.compile ~rng ~device ~config ~tau:b.Benchlib.tau
+                  program.Runner.unitary
+              in
+              (Compiler.beamsplitter_reduction compiled,
+               float_of_int (Compiler.beamsplitters_kept compiled)))
+           b.Benchlib.instances
+       in
+       let avg xs = Stats.mean (Array.of_list xs) in
+       let rot = avg (List.map fst (reductions Config.Rot_cut)) in
+       let dec = avg (List.map fst (reductions Config.Decomp_opt)) in
+       let full = reductions Config.Full_opt in
+       Printf.printf "%-4s %6.2f%%       %6.1f%% %10.1f%% %9.1f%% %13.0f\n" b.Benchlib.name
+         (100. *. b.Benchlib.tau) (100. *. rot) (100. *. dec)
+         (100. *. avg (List.map fst full))
+         (avg (List.map snd full)))
+    (Benchlib.paper_suite ())
+
+(* Table III: scalability of the full optimization at fidelity 0.95 on
+   3×(N/3) devices, averaged over random unitaries. *)
+let table3 ?(sizes = [ 10; 15; 20; 60; 100; 200; 500 ]) () =
+  Benchlib.header "Table III — performance at different problem scales (fidelity = 0.95)";
+  Printf.printf "%-9s %14s %13s %12s\n" "Qumode#" "BS gate# drop" "Decomp time" "Total time";
+  let rng = Rng.create 555 in
+  List.iter
+    (fun n ->
+       let trials = if n <= 100 then 5 else if n <= 200 then 2 else 1 in
+       let effort = if n <= 60 then Compiler.Standard else Compiler.Fast in
+       let device = Lattice.create ~rows:3 ~cols:((n + 2) / 3) in
+       let results =
+         List.init trials (fun _ ->
+             let u = Unitary.haar_random rng n in
+             let compiled =
+               Compiler.compile ~effort ~rng ~device ~config:Config.Full_opt ~tau:0.95 u
+             in
+             (Compiler.beamsplitter_reduction compiled,
+              compiled.Compiler.timings.Compiler.decomposition_s,
+              compiled.Compiler.timings.Compiler.total_s))
+       in
+       let avg f = Stats.mean (Array.of_list (List.map f results)) in
+       Printf.printf "%-9d %13.1f%% %12.3fs %11.3fs\n" n
+         (100. *. avg (fun (r, _, _) -> r))
+         (avg (fun (_, d, _) -> d))
+         (avg (fun (_, _, t) -> t)))
+    sizes

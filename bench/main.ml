@@ -1,0 +1,52 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (see DESIGN.md for the experiment index).
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table2    # one experiment
+     dune exec bench/main.exe -- table3-full   # include the 500-qumode row
+
+   Experiments: table1 table2 table3 table3-full fig10 fig10-hw fig11a
+   fig11b fig11c fig11d ablation micro all *)
+
+let experiments =
+  [
+    ("table1", fun () -> Bench_tables.table1 ());
+    ("table2", fun () -> Bench_tables.table2 ());
+    ("table3", fun () -> Bench_tables.table3 ~sizes:[ 10; 15; 20; 60; 100; 200 ] ());
+    ("table3-full", fun () -> Bench_tables.table3 ());
+    ("fig10", fun () -> Bench_fig10.run ());
+    ("fig10-hw", fun () -> Bench_fig10.run_hw ());
+    ("fig11a", fun () -> Bench_fig11.fig11a ());
+    ("fig11b", fun () -> Bench_fig11.fig11b ());
+    ("fig11c", fun () -> Bench_fig11.fig11c ());
+    ("fig11d", fun () -> Bench_fig11.fig11d ());
+    ("ablation", fun () -> Bench_ablation.run ());
+    ("micro", fun () -> Bench_micro.run ());
+  ]
+
+let run_all () =
+  (* Everything the paper reports, at default sizes (Table III stops at
+     200 qumodes here; use `table3-full` for the 500-qumode row). *)
+  List.iter
+    (fun name -> (List.assoc name experiments) ())
+    [
+      "table1"; "table2"; "table3"; "fig10"; "fig10-hw"; "fig11a"; "fig11b"; "fig11c";
+      "fig11d"; "ablation"; "micro";
+    ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let started = Unix.gettimeofday () in
+  (match args with
+   | [] | [ "all" ] -> run_all ()
+   | names ->
+     List.iter
+       (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %S; available: all %s\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 1)
+       names);
+  Printf.printf "\n[bench] done in %.1fs\n" (Unix.gettimeofday () -. started)

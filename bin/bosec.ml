@@ -1,0 +1,190 @@
+(* bosec — command-line front end for the Bosehedral compiler.
+
+   Subcommands:
+     compile    compile an interferometer and print the plan summary
+     simulate   compile + execute on the noisy simulator, report JSD
+     layouts    compare square / triangular / hexagonal couplings *)
+
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Dist = Bose_util.Dist
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Coupling = Bose_hardware.Coupling
+module Emb = Bose_hardware.Embedding
+module Pattern = Bose_hardware.Pattern
+module Plan = Bose_decomp.Plan
+module Noise = Bose_circuit.Noise
+open Bosehedral
+
+let make_unitary rng ~modes ~graph_p =
+  match graph_p with
+  | None -> Unitary.haar_random rng modes
+  | Some p ->
+    let g = Bose_apps.Graph.random rng ~n:modes ~p in
+    Bose_apps.Encoding.unitary_of g
+
+let run_compile rows cols modes seed config tau graph_p effort verbose =
+  let rng = Rng.create seed in
+  let device = Lattice.create ~rows ~cols in
+  let modes = match modes with Some n -> n | None -> Lattice.size device in
+  if modes > Lattice.size device then begin
+    Printf.eprintf "error: %d qumodes do not fit on a %dx%d device\n" modes rows cols;
+    exit 1
+  end;
+  let u = make_unitary rng ~modes ~graph_p in
+  let compiled = Compiler.compile ~effort ~tau ~rng ~device ~config u in
+  Format.printf "%a@." Compiler.pp_summary compiled;
+  Format.printf "small rotations (θ < 0.1): %d of %d@."
+    (Compiler.small_angles compiled ~threshold:0.1)
+    (Plan.rotation_count compiled.Compiler.plan);
+  (match compiled.Compiler.policy with
+   | None -> Format.printf "dropout: disabled@."
+   | Some p ->
+     Format.printf "dropout: |Θ| = %.4f, M = %d, K = %d, τ_K = %.6f@."
+       p.Bose_dropout.Dropout.theta_cut p.Bose_dropout.Dropout.kept_count
+       p.Bose_dropout.Dropout.power p.Bose_dropout.Dropout.expected_fidelity);
+  (match Compiler.verify compiled with
+   | Ok () -> Format.printf "self-check: ok@."
+   | Error e -> Format.printf "self-check: FAILED (%s)@." e);
+  if verbose then begin
+    Format.printf "@.pattern:@.%a@." Pattern.pp compiled.Compiler.pattern;
+    Format.printf "plan:@.%a@." Plan.pp compiled.Compiler.plan
+  end
+
+let run_simulate rows cols modes seed tau graph_p loss cutoff =
+  let rng = Rng.create seed in
+  let device = Lattice.create ~rows ~cols in
+  let modes = match modes with Some n -> n | None -> min 8 (Lattice.size device) in
+  if modes > 10 then begin
+    Printf.eprintf "error: exact simulation is limited to 10 qumodes\n";
+    exit 1
+  end;
+  let u = make_unitary rng ~modes ~graph_p in
+  let program =
+    Runner.pure_program ~squeezing:(Array.make modes (Cx.re 0.35)) ~unitary:u ()
+  in
+  let ideal = Runner.ideal_distribution ~max_photons:cutoff program in
+  Format.printf "%d qumodes on %a, loss %.3f, tau %.4f@." modes Lattice.pp device loss tau;
+  List.iter
+    (fun config ->
+       let compiled = Compiler.compile ~rng ~device ~config ~tau u in
+       let noisy =
+         Runner.noisy_distribution ~realizations:8 ~rng ~noise:(Noise.uniform loss)
+           ~max_photons:cutoff compiled program
+       in
+       Format.printf "%-11s JSD vs ideal = %.5f  (BS kept %d/%d)@." (Config.name config)
+         (Dist.jsd ideal noisy) (Compiler.beamsplitters_kept compiled)
+         (Plan.rotation_count compiled.Compiler.plan))
+    Config.all
+
+let run_layouts rows cols modes seed tau =
+  let rng = Rng.create seed in
+  let layouts =
+    [
+      ("square", Coupling.of_lattice (Lattice.create ~rows ~cols));
+      ("triangular", Coupling.triangular ~rows ~cols);
+      ("hexagonal", Coupling.hexagonal ~rows ~cols);
+    ]
+  in
+  let modes = match modes with Some n -> n | None -> rows * cols in
+  let u = Unitary.haar_random rng modes in
+  Format.printf "%-12s %8s %10s %12s %14s@." "layout" "max deg" "main path" "BS dropped"
+    "small (θ<0.1)";
+  List.iter
+    (fun (name, coupling) ->
+       let pattern = Emb.of_coupling_for_program coupling modes in
+       let compiled =
+         Compiler.compile_with_pattern ~rng ~pattern ~config:Config.Full_opt ~tau u
+       in
+       Format.printf "%-12s %8d %10d %11.1f%% %14d@." name
+         (Coupling.max_degree coupling)
+         (List.length (Pattern.main_path_labels pattern))
+         (100. *. Compiler.beamsplitter_reduction compiled)
+         (Compiler.small_angles compiled ~threshold:0.1))
+    layouts
+
+open Cmdliner
+
+let rows = Arg.(value & opt int 6 & info [ "rows" ] ~doc:"Device rows.")
+let cols = Arg.(value & opt int 6 & info [ "cols" ] ~doc:"Device columns.")
+
+let modes =
+  Arg.(value
+       & opt (some int) None
+       & info [ "n"; "modes" ] ~doc:"Program qumodes (default: whole device).")
+
+let seed = Arg.(value & opt int 2024 & info [ "seed" ] ~doc:"Random seed.")
+
+let config =
+  let parse s =
+    match Config.of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg "expected baseline | rot-cut | decomp-opt | full-opt")
+  in
+  let print fmt c = Format.pp_print_string fmt (Config.name c) in
+  Arg.(value
+       & opt (conv (parse, print)) Config.Full_opt
+       & info [ "c"; "config" ] ~doc:"Configuration: baseline, rot-cut, decomp-opt, full-opt.")
+
+let tau =
+  Arg.(value & opt float 0.999 & info [ "tau" ] ~doc:"Unitary approximation accuracy threshold.")
+
+let graph_p =
+  Arg.(value
+       & opt (some float) None
+       & info [ "graph" ]
+           ~doc:"Compile a random-graph GBS encoding with this edge probability instead of a Haar-random unitary.")
+
+let effort =
+  let parse = function
+    | "fast" -> Ok Compiler.Fast
+    | "standard" -> Ok Compiler.Standard
+    | _ -> Error (`Msg "expected fast | standard")
+  in
+  let print fmt = function
+    | Compiler.Fast -> Format.pp_print_string fmt "fast"
+    | Compiler.Standard -> Format.pp_print_string fmt "standard"
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Compiler.Standard
+       & info [ "effort" ] ~doc:"Search effort: fast or standard.")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the pattern and full plan.")
+let loss = Arg.(value & opt float 0.05 & info [ "loss" ] ~doc:"Per-beamsplitter photon loss rate.")
+let cutoff = Arg.(value & opt int 5 & info [ "cutoff" ] ~doc:"Photon-number truncation.")
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile an interferometer and print the plan summary")
+    Term.(
+      const (fun rows cols modes seed config tau graph_p effort verbose ->
+          run_compile rows cols modes seed config tau graph_p effort verbose)
+      $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Compile and execute on the lossy simulator; report JSD per config")
+    Term.(
+      const (fun rows cols modes seed tau graph_p loss cutoff ->
+          run_simulate rows cols modes seed tau graph_p loss cutoff)
+      $ rows $ cols $ modes $ seed $ tau $ graph_p $ loss $ cutoff)
+
+let layouts_cmd =
+  Cmd.v
+    (Cmd.info "layouts" ~doc:"Compare square / triangular / hexagonal couplings")
+    Term.(
+      const (fun rows cols modes seed tau -> run_layouts rows cols modes seed tau)
+      $ rows $ cols $ modes $ seed $ tau)
+
+let () =
+  let doc = "Bosehedral compiler for (Gaussian) Boson sampling programs" in
+  let default =
+    Term.(
+      const (fun rows cols modes seed config tau graph_p effort verbose ->
+          run_compile rows cols modes seed config tau graph_p effort verbose)
+      $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default (Cmd.info "bosec" ~doc) [ compile_cmd; simulate_cmd; layouts_cmd ]))

@@ -1,0 +1,56 @@
+(* Beyond the square lattice: compile the same interferometer for
+   triangular and hexagonal couplings (the paper's §IV generalization)
+   and for hardware whose only native beamsplitter is a fixed 50:50
+   (the 'MZI 2' realization of Fig. 2).
+
+   Run with: dune exec examples/hardware_variants.exe *)
+
+module Rng = Bose_util.Rng
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Coupling = Bose_hardware.Coupling
+module Embedding = Bose_hardware.Embedding
+module Pattern = Bose_hardware.Pattern
+module Plan = Bose_decomp.Plan
+module Circuit = Bose_circuit.Circuit
+open Bosehedral
+
+let () =
+  let rng = Rng.create 2025 in
+  let n = 16 in
+  let u = Unitary.haar_random rng n in
+
+  Format.printf "compiling a %d-qumode interferometer on three layouts (tau = 0.99):@.@." n;
+  Format.printf "%-14s %10s %10s %12s %14s@." "layout" "max deg" "main path" "BS dropped"
+    "small (θ<0.1)";
+  List.iter
+    (fun (name, coupling) ->
+       let pattern = Embedding.of_coupling_for_program coupling n in
+       let compiled =
+         Compiler.compile_with_pattern ~rng ~pattern ~config:Config.Full_opt ~tau:0.99 u
+       in
+       Format.printf "%-14s %10d %10d %11.1f%% %14d@." name
+         (Coupling.max_degree coupling)
+         (List.length (Pattern.main_path_labels pattern))
+         (100. *. Compiler.beamsplitter_reduction compiled)
+         (Compiler.small_angles compiled ~threshold:0.1))
+    [
+      ("square 4x4", Coupling.of_lattice (Lattice.create ~rows:4 ~cols:4));
+      ("triangular", Coupling.triangular ~rows:4 ~cols:4);
+      ("hexagonal", Coupling.hexagonal ~rows:4 ~cols:4);
+    ];
+
+  (* MZI realizations: same plan, two hardware styles. *)
+  let device = Lattice.create ~rows:4 ~cols:4 in
+  let compiled = Compiler.compile ~rng ~device ~config:Config.Full_opt ~tau:0.99 u in
+  Format.printf "@.MZI realizations of the same compiled plan:@.";
+  List.iter
+    (fun (name, style) ->
+       let counts =
+         Circuit.gate_counts (Plan.to_circuit ~style compiled.Compiler.plan)
+       in
+       Format.printf "  %-24s %a@." name Circuit.pp_counts counts)
+    [
+      ("MZI 1 (tunable BS)", Plan.Tunable);
+      ("MZI 2 (fixed 50:50 BS)", Plan.Fixed_fifty_fifty);
+    ]

@@ -1,0 +1,62 @@
+(* A look inside the qumode-mapping optimization (paper §V): shows the
+   elimination pattern, the main-path row masses before and after the
+   column/row permutations, and the resulting small-angle statistics.
+
+   Run with: dune exec examples/mapping_study.exe *)
+
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Perm = Bose_linalg.Perm
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Pattern = Bose_hardware.Pattern
+module Embedding = Bose_hardware.Embedding
+module Mapping = Bose_mapping.Mapping
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+
+let print_mass label alpha =
+  Format.printf "%s:@." label;
+  Format.printf "  ";
+  Array.iteri
+    (fun i a ->
+       if i > 0 && i mod 8 = 0 then Format.printf "@.  ";
+       Format.printf "%5.2f " a)
+    alpha;
+  Format.printf "@."
+
+let () =
+  let rng = Rng.create 31 in
+  let n = 24 in
+  let device = Lattice.create ~rows:6 ~cols:6 in
+  let pattern = Embedding.for_program device n in
+
+  Format.printf "device %a, program %d qumodes@." Lattice.pp device n;
+  Format.printf "main path labels: %a@.@."
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") Format.pp_print_int)
+    (Pattern.main_path_labels pattern);
+
+  let u = Unitary.haar_random rng n in
+  print_mass "main-region row mass α_i (trivial mapping)"
+    (Mapping.main_region_row_mass pattern u);
+
+  let m = Mapping.optimize pattern u in
+  print_mass "after column exchanges + row sort"
+    (Mapping.main_region_row_mass pattern m.Mapping.permuted);
+
+  Format.printf "@.chosen indicator K = %d@." m.Mapping.indicator_k;
+  Format.printf "column permutation: %a@." Perm.pp m.Mapping.col_perm;
+  Format.printf "row permutation:    %a@.@." Perm.pp m.Mapping.row_perm;
+
+  let count plan = Plan.small_angle_count plan ~threshold:0.1 in
+  let baseline = Eliminate.decompose_baseline u in
+  let tree_only = Eliminate.decompose pattern u in
+  let mapped = Eliminate.decompose pattern m.Mapping.permuted in
+  Format.printf "small rotations (θ < 0.1) out of %d:@." (Plan.rotation_count baseline);
+  Format.printf "  chain baseline        : %d@." (count baseline);
+  Format.printf "  tree pattern          : %d@." (count tree_only);
+  Format.printf "  tree pattern + mapping: %d@." (count mapped);
+
+  (* The relabeling identity: undoing the permutations recovers U. *)
+  Format.printf "@.P_rᵀ·U_per·P_cᵀ = U exactly: %b@."
+    (Mat.equal ~tol:1e-9 (Mapping.recovered_unitary m) u)

@@ -1,0 +1,26 @@
+module Dist = Bose_util.Dist
+
+type outcome = { attempts : int; successes : int }
+
+let success_rate o =
+  if o.attempts = 0 then 0. else float_of_int o.successes /. float_of_int o.attempts
+
+let clicked pattern =
+  if pattern = Bose_gbs.Fock.tail then []
+  else List.concat (List.mapi (fun i c -> if c > 0 then [ i ] else []) pattern)
+
+let sample_succeeds g ~k ~optimum pattern =
+  let vs = clicked pattern in
+  if List.length vs < k then false
+  else
+    List.exists
+      (fun subset -> Graph.subgraph_density g subset >= optimum -. 1e-12)
+      (Graph.subsets_of_size k vs)
+
+let evaluate ~rng ~shots ~k g dist =
+  let _, optimum = Graph.densest_subgraph_of_size g k in
+  let successes = ref 0 in
+  for _ = 1 to shots do
+    if sample_succeeds g ~k ~optimum (Dist.sample rng dist) then incr successes
+  done;
+  { attempts = shots; successes = !successes }

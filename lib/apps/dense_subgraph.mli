@@ -1,0 +1,26 @@
+(** Dense-subgraph search with GBS (paper §VII-D, Fig. 11a): each sample's
+    clicked qumodes directly indicate a candidate subgraph; GBS
+    concentrates samples on high-density subsets. Success means the
+    sample reveals a size-k subgraph as dense as the true optimum. *)
+
+type outcome = { attempts : int; successes : int }
+
+val success_rate : outcome -> float
+
+val clicked : int list -> int list
+(** Vertices of a Fock pattern with ≥ 1 photon (the tail outcome yields
+    the empty list). *)
+
+val sample_succeeds : Graph.t -> k:int -> optimum:float -> int list -> bool
+(** Does the clicked set of this pattern contain a size-[k] subset with
+    density ≥ [optimum]? *)
+
+val evaluate :
+  rng:Bose_util.Rng.t ->
+  shots:int ->
+  k:int ->
+  Graph.t ->
+  int list Bose_util.Dist.t ->
+  outcome
+(** Draw [shots] samples from an output distribution and count
+    successes against the brute-forced optimum density. *)

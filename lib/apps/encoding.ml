@@ -1,0 +1,45 @@
+module Cx = Bose_linalg.Cx
+module Takagi = Bose_linalg.Takagi
+
+let mean_photons_at lambda c =
+  Array.fold_left
+    (fun acc l ->
+       let t = c *. l in
+       if t <= 0. then acc
+       else begin
+         let r = atanh t in
+         acc +. (sinh r ** 2.)
+       end)
+    0. lambda
+
+let scaling_for lambda ~target =
+  if target <= 0. then invalid_arg "Encoding.scaling_for: target must be positive";
+  let lmax = Array.fold_left Float.max 0. lambda in
+  if lmax <= 0. then invalid_arg "Encoding.scaling_for: graph has no edges";
+  let hi = 1. /. lmax in
+  let rec bisect lo hi iters =
+    let mid = (lo +. hi) /. 2. in
+    if iters = 0 then mid
+    else if mean_photons_at lambda mid < target then bisect mid hi (iters - 1)
+    else bisect lo mid (iters - 1)
+  in
+  (* Keep strictly below 1/λ_max so every tanh⁻¹ is finite. *)
+  bisect 0. (hi *. (1. -. 1e-9)) 80
+
+let encode ?mean_photons graph =
+  let n = Graph.vertices graph in
+  let target =
+    match mean_photons with Some t -> t | None -> float_of_int n /. 4.
+  in
+  let lambda, u = Takagi.decompose (Graph.adjacency graph) in
+  let c = scaling_for lambda ~target in
+  let squeezing =
+    Array.map
+      (fun l ->
+         let t = c *. l in
+         if t <= 0. then Cx.zero else Cx.re (atanh t))
+      lambda
+  in
+  Bosehedral.Runner.pure_program ~squeezing ~unitary:u ()
+
+let unitary_of graph = snd (Takagi.decompose (Graph.adjacency graph))

@@ -1,0 +1,20 @@
+(** Encoding a graph into a GBS program (Bromley et al. 2020; paper
+    §II-C): Takagi-decompose the adjacency matrix A = U·diag(λ)·Uᵀ,
+    rescale so c·λ_i = tanh(r_i) are valid squeezing magnitudes, use
+    [U] as the linear interferometer. Samples then arrive with
+    probability ∝ |haf(A_S)|², concentrating clicks on dense
+    subgraphs. *)
+
+val encode :
+  ?mean_photons:float -> Graph.t -> Bosehedral.Runner.program
+(** GBS program whose interferometer is the graph's Takagi unitary and
+    whose squeezing magnitudes are scaled to the target total mean
+    photon number (default: vertices / 4, a few-click regime that keeps
+    truncated simulation exact). *)
+
+val scaling_for : float array -> target:float -> float
+(** [scaling_for lambda ~target] finds c ∈ (0, 1/λ_max) such that
+    Σ sinh²(atanh(c·λ_i)) = target, by bisection. *)
+
+val unitary_of : Graph.t -> Bose_linalg.Mat.t
+(** Just the interferometer part of the encoding. *)

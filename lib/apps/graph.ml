@@ -1,0 +1,136 @@
+module Rng = Bose_util.Rng
+
+type t = { n : int; adj : bool array array }
+
+let create n =
+  if n <= 0 then invalid_arg "Graph.create: need at least one vertex";
+  { n; adj = Array.make_matrix n n false }
+
+let vertices g = g.n
+
+let check g v name = if v < 0 || v >= g.n then invalid_arg (name ^ ": vertex out of range")
+
+let add_edge g a b =
+  check g a "Graph.add_edge";
+  check g b "Graph.add_edge";
+  if a = b then invalid_arg "Graph.add_edge: self-loop";
+  let adj = Array.map Array.copy g.adj in
+  adj.(a).(b) <- true;
+  adj.(b).(a) <- true;
+  { g with adj }
+
+let has_edge g a b =
+  check g a "Graph.has_edge";
+  check g b "Graph.has_edge";
+  g.adj.(a).(b)
+
+let edges g =
+  let acc = ref [] in
+  for a = g.n - 1 downto 0 do
+    for b = g.n - 1 downto a + 1 do
+      if g.adj.(a).(b) then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let edge_count g = List.length (edges g)
+
+let degree g v =
+  check g v "Graph.degree";
+  Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 g.adj.(v)
+
+let neighbors g v =
+  check g v "Graph.neighbors";
+  List.filter (fun w -> g.adj.(v).(w)) (List.init g.n (fun i -> i))
+
+let random rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Graph.random: p out of [0,1]";
+  let g = ref (create n) in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Rng.uniform rng < p then g := add_edge !g a b
+    done
+  done;
+  !g
+
+let adjacency g =
+  Array.init g.n (fun i -> Array.init g.n (fun j -> if g.adj.(i).(j) then 1. else 0.))
+
+let subgraph_density g vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter (fun v -> check g v "Graph.subgraph_density") vs;
+  let k = List.length vs in
+  if k < 2 then 1.
+  else begin
+    let present = ref 0 in
+    List.iter
+      (fun a -> List.iter (fun b -> if a < b && g.adj.(a).(b) then incr present) vs)
+      vs;
+    float_of_int !present /. (float_of_int (k * (k - 1)) /. 2.)
+  end
+
+let is_clique g vs =
+  let vs = List.sort_uniq compare vs in
+  List.for_all (fun a -> List.for_all (fun b -> a = b || g.adj.(a).(b)) vs) vs
+
+(* Enumerate k-subsets recursively; n is small in every use. *)
+let rec subsets_of_size k from =
+  if k = 0 then [ [] ]
+  else
+    match from with
+    | [] -> []
+    | x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest) @ subsets_of_size k rest
+
+let densest_subgraph_of_size g k =
+  if k > g.n || k < 1 then invalid_arg "Graph.densest_subgraph_of_size: bad size";
+  let all = subsets_of_size k (List.init g.n (fun i -> i)) in
+  List.fold_left
+    (fun (best, best_d) s ->
+       let d = subgraph_density g s in
+       if d > best_d then (s, d) else (best, best_d))
+    ([], -1.) all
+
+let max_clique_size g =
+  (* Branch and bound over vertices in order. *)
+  let best = ref 0 in
+  let rec grow clique candidates =
+    if List.length clique > !best then best := List.length clique;
+    match candidates with
+    | [] -> ()
+    | v :: rest ->
+      if List.length clique + List.length candidates > !best then begin
+        (* Include v. *)
+        let compatible = List.filter (fun w -> g.adj.(v).(w)) rest in
+        grow (v :: clique) compatible;
+        (* Exclude v. *)
+        grow clique rest
+      end
+  in
+  grow [] (List.init g.n (fun i -> i));
+  !best
+
+let perturb rng g ~flips =
+  let pairs = ref [] in
+  for a = 0 to g.n - 1 do
+    for b = a + 1 to g.n - 1 do
+      pairs := (a, b) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  Rng.shuffle rng pairs;
+  let flips = min flips (Array.length pairs) in
+  let adj = Array.map Array.copy g.adj in
+  for i = 0 to flips - 1 do
+    let a, b = pairs.(i) in
+    adj.(a).(b) <- not adj.(a).(b);
+    adj.(b).(a) <- not adj.(b).(a)
+  done;
+  { g with adj }
+
+let pp fmt g =
+  Format.fprintf fmt "graph n=%d edges=%d [%a]" g.n (edge_count g)
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f " ")
+       (fun f (a, b) -> Format.fprintf f "%d-%d" a b))
+    (edges g)

@@ -1,0 +1,45 @@
+(** Simple undirected graphs for the GBS graph applications
+    (dense subgraph, max clique, graph similarity). *)
+
+type t
+
+val create : int -> t
+(** Empty graph on n vertices. *)
+
+val vertices : t -> int
+val add_edge : t -> int -> int -> t
+val has_edge : t -> int -> int -> bool
+val edges : t -> (int * int) list
+val edge_count : t -> int
+val degree : t -> int -> int
+val neighbors : t -> int -> int list
+
+val random : Bose_util.Rng.t -> n:int -> p:float -> t
+(** Erdős–Rényi G(n, p) — the paper's benchmark graphs use
+    p ∈ [0.7, 0.9] (§VII-A). *)
+
+val adjacency : t -> float array array
+(** 0/1 symmetric adjacency matrix. *)
+
+val subgraph_density : t -> int list -> float
+(** Edges present / edges possible within the vertex subset
+    (1.0 for subsets of size < 2). *)
+
+val is_clique : t -> int list -> bool
+
+val subsets_of_size : int -> 'a list -> 'a list list
+(** All k-element subsets, preserving order within each subset. *)
+
+val densest_subgraph_of_size : t -> int -> int list * float
+(** Brute-force densest induced subgraph with exactly k vertices
+    (for ground truth at small n). @raise Invalid_argument if k exceeds
+    the vertex count. *)
+
+val max_clique_size : t -> int
+(** Exact maximum clique size via branch and bound (small graphs). *)
+
+val perturb : Bose_util.Rng.t -> t -> flips:int -> t
+(** Randomly toggle [flips] distinct vertex pairs — used to build the
+    graph-similarity families. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+module Dist = Bose_util.Dist
+
+let orbit pattern =
+  if pattern = Bose_gbs.Fock.tail then [ -1 ]
+  else
+    List.sort (fun a b -> compare b a) (List.filter (fun c -> c > 0) pattern)
+
+let default_orbits =
+  [ [ 1; 1 ]; [ 2 ]; [ 1; 1; 1 ]; [ 2; 1 ]; [ 1; 1; 1; 1 ]; [ 2; 1; 1 ]; [ 2; 2 ]; [ 3; 1 ] ]
+
+let feature_vector ?(orbits = default_orbits) dist =
+  let by_orbit = Dist.map_outcomes orbit dist in
+  Array.of_list (List.map (Dist.prob by_orbit) orbits)
+
+let centroid vectors =
+  match vectors with
+  | [] -> invalid_arg "Graph_similarity.centroid: empty cluster"
+  | v :: _ ->
+    let dim = Array.length v in
+    let acc = Array.make dim 0. in
+    List.iter (Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x)) vectors;
+    Array.map (fun x -> x /. float_of_int (List.length vectors)) acc
+
+let euclidean a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Graph_similarity.euclidean: dimension mismatch";
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.)) a;
+  sqrt !acc
+
+let separation c1 c2 =
+  let m1 = centroid c1 and m2 = centroid c2 in
+  let between = euclidean m1 m2 in
+  let spread center vs =
+    match vs with
+    | [] -> 0.
+    | _ ->
+      List.fold_left (fun acc v -> acc +. euclidean center v) 0. vs
+      /. float_of_int (List.length vs)
+  in
+  let within = (spread m1 c1 +. spread m2 c2) /. 2. in
+  if within = 0. then between /. 1e-12 else between /. within

@@ -1,0 +1,27 @@
+(** Graph similarity via GBS feature vectors (Schuld et al. 2020; paper
+    §VII-D, Fig. 11c): the output distribution is coarse-grained into
+    orbit probabilities — an orbit is a photon pattern up to qumode
+    permutation — and those probabilities form a feature vector in which
+    similar graphs land close together. *)
+
+val orbit : int list -> int list
+(** Sorted (decreasing) nonzero photon counts; the tail outcome maps to
+    [\[-1\]]. *)
+
+val default_orbits : int list list
+(** The low-order orbits used as feature coordinates:
+    [\[1;1\]], [\[2\]], [\[1;1;1\]], [\[2;1\]], [\[1;1;1;1\]], [\[2;1;1\]],
+    [\[2;2\]], [\[3;1\]]. *)
+
+val feature_vector :
+  ?orbits:int list list -> int list Bose_util.Dist.t -> float array
+(** Orbit probabilities of an output distribution. *)
+
+val centroid : float array list -> float array
+
+val euclidean : float array -> float array -> float
+
+val separation : float array list -> float array list -> float
+(** Between-cluster centroid distance divided by the mean within-cluster
+    spread — higher means the two graph families stay distinguishable
+    (the quantity improved by 135% in the paper's Fig. 11c). *)

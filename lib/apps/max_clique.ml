@@ -1,0 +1,57 @@
+module Dist = Bose_util.Dist
+
+type outcome = { attempts : int; successes : int }
+
+let success_rate o =
+  if o.attempts = 0 then 0. else float_of_int o.successes /. float_of_int o.attempts
+
+let inner_degree g vs v = List.length (List.filter (fun w -> w <> v && Graph.has_edge g v w) vs)
+
+let rec shrink_to_clique g vs =
+  match vs with
+  | [] | [ _ ] -> vs
+  | _ ->
+    if Graph.is_clique g vs then vs
+    else begin
+      let worst =
+        List.fold_left
+          (fun (bv, bd) v ->
+             let d = inner_degree g vs v in
+             if d < bd then (v, d) else (bv, bd))
+          (List.hd vs, max_int) vs
+      in
+      shrink_to_clique g (List.filter (fun v -> v <> fst worst) vs)
+    end
+
+let greedy_expand ~rng g vs =
+  let rec grow clique =
+    let candidates =
+      List.filter
+        (fun v ->
+           (not (List.mem v clique)) && List.for_all (fun w -> Graph.has_edge g v w) clique)
+        (List.init (Graph.vertices g) (fun i -> i))
+    in
+    match candidates with
+    | [] -> clique
+    | _ ->
+      (* Random expansion, as in the GBS clique-finding subroutine of
+         Bromley et al.: a weak local search, so the quality of the GBS
+         seed matters. *)
+      let pick = List.nth candidates (Bose_util.Rng.int rng (List.length candidates)) in
+      grow (pick :: clique)
+  in
+  grow vs
+
+let refine ~rng g vs = greedy_expand ~rng g (shrink_to_clique g vs)
+
+let evaluate ?(expand = true) ~rng ~shots ~target g dist =
+  let successes = ref 0 in
+  for _ = 1 to shots do
+    let pattern = Dist.sample rng dist in
+    let seed = Dense_subgraph.clicked pattern in
+    let refined =
+      if expand then refine ~rng g seed else shrink_to_clique g seed
+    in
+    if seed <> [] && List.length refined >= target then incr successes
+  done;
+  { attempts = shots; successes = !successes }

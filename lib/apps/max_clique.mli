@@ -1,0 +1,33 @@
+(** Maximum-clique search seeded by GBS (paper §VII-D, Fig. 11b): each
+    sample's clicked vertices are an initial trial that a classical
+    shrink-and-expand subroutine refines into a clique. *)
+
+type outcome = { attempts : int; successes : int }
+
+val success_rate : outcome -> float
+
+val shrink_to_clique : Graph.t -> int list -> int list
+(** Iteratively remove the vertex with fewest connections inside the set
+    until the remainder is a clique. *)
+
+val greedy_expand : rng:Bose_util.Rng.t -> Graph.t -> int list -> int list
+(** Add random vertices adjacent to every clique member until stuck —
+    the weak local search of the GBS clique pipeline, which is what
+    makes seed quality matter. *)
+
+val refine : rng:Bose_util.Rng.t -> Graph.t -> int list -> int list
+(** [shrink_to_clique] then [greedy_expand] — the post-processing
+    subroutine run on each sample. *)
+
+val evaluate :
+  ?expand:bool ->
+  rng:Bose_util.Rng.t ->
+  shots:int ->
+  target:int ->
+  Graph.t ->
+  int list Bose_util.Dist.t ->
+  outcome
+(** Count samples whose refined clique reaches [target] vertices.
+    [expand] (default true) enables the random local-search expansion;
+    with [expand:false] success requires the sampled clicks themselves
+    to contain a target-size clique, isolating seed quality. *)

@@ -1,0 +1,72 @@
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Cx = Bose_linalg.Cx
+module Takagi = Bose_linalg.Takagi
+
+type t = { positions : (float * float) array; kernel : float array array }
+
+let grid_points ~rows ~cols ~spacing =
+  if rows <= 0 || cols <= 0 then invalid_arg "Point_process.grid_points: empty grid";
+  Array.init (rows * cols) (fun i ->
+      (float_of_int (i / cols) *. spacing, float_of_int (i mod cols) *. spacing))
+
+let distance (xa, ya) (xb, yb) = sqrt (((xa -. xb) ** 2.) +. ((ya -. yb) ** 2.))
+
+let rbf_kernel ~sigma positions =
+  if sigma <= 0. then invalid_arg "Point_process.rbf_kernel: sigma must be positive";
+  let n = Array.length positions in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let d = distance positions.(i) positions.(j) in
+          exp (-.(d *. d) /. (2. *. sigma *. sigma))))
+
+let create ~sigma positions = { positions; kernel = rbf_kernel ~sigma positions }
+
+let program ?mean_photons t =
+  let n = Array.length t.positions in
+  let target =
+    match mean_photons with Some m -> m | None -> float_of_int n /. 4.
+  in
+  let lambda, u = Takagi.decompose t.kernel in
+  let c = Encoding.scaling_for lambda ~target in
+  let squeezing =
+    Array.map
+      (fun l ->
+         let x = c *. l in
+         if x <= 0. then Cx.zero else Cx.re (atanh x))
+      lambda
+  in
+  Bosehedral.Runner.pure_program ~squeezing ~unitary:u ()
+
+let sample_configurations ~rng ~shots dist t =
+  List.filter_map
+    (fun _ ->
+       let pattern = Dist.sample rng dist in
+       let clicked = Dense_subgraph.clicked pattern in
+       match clicked with
+       | [] -> None
+       | _ -> Some (List.map (fun i -> t.positions.(i)) clicked))
+    (List.init shots (fun i -> i))
+
+let mean_pairwise_distance configurations =
+  let per_config points =
+    let rec pairs = function
+      | [] -> []
+      | p :: rest -> List.map (fun q -> distance p q) rest @ pairs rest
+    in
+    match pairs points with
+    | [] -> None
+    | ds -> Some (List.fold_left ( +. ) 0. ds /. float_of_int (List.length ds))
+  in
+  let values = List.filter_map per_config configurations in
+  match values with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let uniform_configurations ~rng t ~match_sizes =
+  let n = Array.length t.positions in
+  let draw size =
+    let w = Array.make n 1. in
+    List.map (fun i -> t.positions.(i)) (Rng.sample_without_replacement rng w (min size n))
+  in
+  List.map (fun config -> draw (List.length config)) match_sizes

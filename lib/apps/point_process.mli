@@ -1,0 +1,49 @@
+(** Point processes with GBS (Jahangiri et al. 2020; cited as an
+    application in the paper's §I).
+
+    A symmetric kernel matrix over candidate locations is loaded into a
+    GBS device exactly like a graph adjacency; the clicked qumodes of
+    each sample are a random point configuration. Because sample
+    probabilities are ∝ |haf(K_S)|², an RBF kernel with positive
+    entries yields a {e clustered} ("permanental-like") process: nearby
+    points appear together far more often than under independent
+    sampling. *)
+
+type t = {
+  positions : (float * float) array;  (** Candidate point locations. *)
+  kernel : float array array;  (** Symmetric, from {!rbf_kernel}. *)
+}
+
+val grid_points : rows:int -> cols:int -> spacing:float -> (float * float) array
+
+val rbf_kernel : sigma:float -> (float * float) array -> float array array
+(** K_ij = exp(−‖x_i − x_j‖² / (2σ²)). *)
+
+val create : sigma:float -> (float * float) array -> t
+
+val program : ?mean_photons:float -> t -> Bosehedral.Runner.program
+(** GBS instance encoding the kernel (default mean photons:
+    points / 4). *)
+
+val sample_configurations :
+  rng:Bose_util.Rng.t ->
+  shots:int ->
+  int list Bose_util.Dist.t ->
+  t ->
+  (float * float) list list
+(** Point configurations (clicked locations) drawn from an output
+    distribution; empty configurations and truncation-tail draws are
+    skipped. *)
+
+val mean_pairwise_distance : (float * float) list list -> float
+(** Average over configurations (with ≥ 2 points) of the mean pairwise
+    distance — the clustering statistic: lower = more clustered. *)
+
+val uniform_configurations :
+  rng:Bose_util.Rng.t ->
+  t ->
+  match_sizes:(float * float) list list ->
+  (float * float) list list
+(** Size-matched uniform baseline: one configuration per input
+    configuration, with the same number of points drawn uniformly
+    without replacement. *)

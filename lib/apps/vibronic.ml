@@ -1,0 +1,99 @@
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Stats = Bose_util.Stats
+module Broaden = Bose_util.Broaden
+module Dist = Bose_util.Dist
+
+type molecule = {
+  name : string;
+  frequencies : float array;
+  duschinsky : Mat.t;
+  displacements : Cx.t array;
+}
+
+(* Duschinsky matrices of real molecules are diagonally dominant — each
+   excited-state normal mode overlaps mostly with one ground-state mode
+   and mixes weakly with its spectral neighbours. We synthesize that
+   structure with a Cayley transform Q = (I − A)(I + A)⁻¹ of a small
+   random skew-symmetric A: exactly orthogonal, near identity for small
+   mixing strength. *)
+let cayley_orthogonal rng ~modes ~strength =
+  let a = Bose_linalg.Mat.create modes modes in
+  for i = 0 to modes - 1 do
+    for j = i + 1 to modes - 1 do
+      (* Mixing decays with spectral distance |i − j|. *)
+      let scale = strength /. (1. +. float_of_int (abs (i - j))) in
+      let x = scale *. Rng.gaussian rng in
+      Bose_linalg.Mat.set a i j (Cx.re x);
+      Bose_linalg.Mat.set a j i (Cx.re (-.x))
+    done
+  done;
+  let id = Bose_linalg.Mat.identity modes in
+  Bose_linalg.Mat.mul (Bose_linalg.Mat.sub id a)
+    (Bose_linalg.Linsolve.inverse (Bose_linalg.Mat.add id a))
+
+let synthetic ?(mixing = 0.35) rng ~modes =
+  if modes <= 0 then invalid_arg "Vibronic.synthetic: need at least one mode";
+  let log_lo = log 600. and log_hi = log 3500. in
+  let frequencies =
+    Array.init modes (fun _ -> exp (log_lo +. Rng.float rng (log_hi -. log_lo)))
+  in
+  Array.sort compare frequencies;
+  let duschinsky = cayley_orthogonal rng ~modes ~strength:mixing in
+  let displacements =
+    Array.init modes (fun _ -> Cx.re (0.15 +. Rng.float rng 0.2))
+  in
+  { name = "synthetic-pyrrole"; frequencies; duschinsky; displacements }
+
+(* ħω/k_B in kelvin·cm units: ħc/k_B = 1.4388 cm·K, so
+   ħω/(k_B T) = 1.4388·ω[cm⁻¹]/T[K]. *)
+let thermal_ratio omega temperature = 1.4388 *. omega /. temperature
+
+let program molecule ~temperature =
+  if temperature <= 0. then invalid_arg "Vibronic.program: temperature must be positive";
+  let n = Array.length molecule.frequencies in
+  (* Temperature enters as thermal occupation of each vibrational mode
+     (Bose-Einstein), capped so the high-T low-frequency tail stays in
+     the exactly-simulable few-photon regime. Squeezing models the
+     (temperature-independent) mode-frequency distortion. *)
+  let thermal =
+    Array.map
+      (fun omega ->
+         let x = thermal_ratio omega temperature in
+         Float.min 0.6 (1. /. (exp x -. 1.)))
+      molecule.frequencies
+  in
+  let squeezing = Array.make n (Cx.re 0.12) in
+  {
+    Bosehedral.Runner.squeezing;
+    unitary = molecule.duschinsky;
+    displacements = molecule.displacements;
+    thermal;
+  }
+
+let energy molecule pattern =
+  if pattern = Bose_gbs.Fock.tail then nan
+  else begin
+    if List.length pattern <> Array.length molecule.frequencies then
+      invalid_arg "Vibronic.energy: pattern length mismatch";
+    List.fold_left ( +. ) 0.
+      (List.mapi (fun i c -> float_of_int c *. molecule.frequencies.(i)) pattern)
+  end
+
+let spectrum molecule ~grid ~gamma dist =
+  let sticks =
+    List.filter_map
+      (fun (pattern, p) ->
+         let e = energy molecule pattern in
+         if Float.is_nan e then None else Some (e, p))
+      (Dist.to_list dist)
+  in
+  Broaden.broaden ~gamma ~grid sticks
+
+let default_grid molecule =
+  let top = Array.fold_left Float.max 0. molecule.frequencies in
+  Broaden.grid ~min:0. ~max:(2.2 *. top) ~points:200
+
+let correlation = Stats.pearson

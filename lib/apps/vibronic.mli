@@ -1,0 +1,50 @@
+(** Molecular vibronic / vibrational spectra with GBS (Huh et al. 2015;
+    paper §VII-D, Fig. 11d).
+
+    The paper uses pyrrole data shipped with Strawberry Fields, which is
+    not available offline; this module builds a synthetic
+    {e pyrrole-like} molecule instead (documented in DESIGN.md): mode
+    frequencies drawn from the pyrrole vibrational band, a random
+    orthogonal Duschinsky-like mode mixing, small displacements
+    (Franck-Condon offsets), and temperature-dependent squeezing from
+    thermal occupation. The pipeline — sample patterns, read energy
+    E(n̄) = Σ n_i·ω_i, histogram + Lorentzian broadening, Pearson score
+    against the noise-free spectrum — is the paper's. *)
+
+type molecule = {
+  name : string;
+  frequencies : float array;  (** Mode frequencies, cm⁻¹. *)
+  duschinsky : Bose_linalg.Mat.t;  (** Orthogonal mode-mixing matrix. *)
+  displacements : Bose_linalg.Cx.t array;
+}
+
+val synthetic : ?mixing:float -> Bose_util.Rng.t -> modes:int -> molecule
+(** Pyrrole-like molecule: frequencies log-uniform in 600–3500 cm⁻¹ and
+    a diagonally dominant Duschinsky rotation ([mixing], default 0.35,
+    sets the off-diagonal strength). *)
+
+val program : molecule -> temperature:float -> Bosehedral.Runner.program
+(** GBS instance at a temperature (K): thermal input occupation
+    n̄_i = 1/(e^{ħω_i/k_BT} − 1) per mode (capped for simulability), a
+    small fixed squeezing per mode (frequency distortion), the
+    Duschinsky unitary, and the molecule's displacements. Higher
+    temperature → more thermal photons. *)
+
+val energy : molecule -> int list -> float
+(** E(n̄) = Σ n_i·ω_i; the tail outcome maps to [nan]. *)
+
+val spectrum :
+  molecule ->
+  grid:float array ->
+  gamma:float ->
+  int list Bose_util.Dist.t ->
+  float array
+(** Probability-weighted stick spectrum of an output distribution,
+    Lorentzian-broadened onto [grid] (tail mass ignored). *)
+
+val default_grid : molecule -> float array
+(** 0 to a bit past 2·max frequency, 200 points. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation between two spectra on the same grid — the
+    paper's Fig. 11d metric. *)

@@ -1,0 +1,72 @@
+type t = { modes : int; rev_gates : Gate.t list; length : int }
+
+type counts = {
+  squeezing : int;
+  displacement : int;
+  phase_shifter : int;
+  beamsplitter : int;
+}
+
+let create ~modes =
+  if modes <= 0 then invalid_arg "Circuit.create: need at least one qumode";
+  { modes; rev_gates = []; length = 0 }
+
+let modes c = c.modes
+
+let add c gate =
+  Gate.validate ~modes:c.modes gate;
+  { c with rev_gates = gate :: c.rev_gates; length = c.length + 1 }
+
+let add_all c gates = List.fold_left add c gates
+
+let gates c = List.rev c.rev_gates
+
+let length c = c.length
+
+let gate_counts c =
+  let bump acc (gate : Gate.t) =
+    match gate with
+    | Gate.Squeeze _ -> { acc with squeezing = acc.squeezing + 1 }
+    | Gate.Displace _ -> { acc with displacement = acc.displacement + 1 }
+    | Gate.Phase _ -> { acc with phase_shifter = acc.phase_shifter + 1 }
+    | Gate.Beamsplitter _ -> { acc with beamsplitter = acc.beamsplitter + 1 }
+  in
+  List.fold_left bump
+    { squeezing = 0; displacement = 0; phase_shifter = 0; beamsplitter = 0 }
+    c.rev_gates
+
+let depth c =
+  (* ASAP layering: a gate lands one layer after the latest layer of any
+     qumode it touches. *)
+  let ready = Array.make c.modes 0 in
+  let total = ref 0 in
+  List.iter
+    (fun gate ->
+       let qumodes = Gate.qumodes gate in
+       let layer = 1 + List.fold_left (fun acc k -> max acc ready.(k)) 0 qumodes in
+       List.iter (fun k -> ready.(k) <- layer) qumodes;
+       total := max !total layer)
+    (gates c);
+  !total
+
+let two_qumode_pairs c =
+  let pairs =
+    List.filter_map
+      (function
+        | Gate.Beamsplitter (k, l, _, _) -> Some (min k l, max k l)
+        | Gate.Squeeze _ | Gate.Phase _ | Gate.Displace _ -> None)
+      c.rev_gates
+  in
+  List.sort_uniq compare pairs
+
+let check_connectivity coupled c =
+  List.filter (fun (k, l) -> not (coupled k l)) (two_qumode_pairs c)
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>circuit on %d qumodes (%d gates)@," c.modes c.length;
+  List.iter (fun g -> Format.fprintf fmt "  %a@," Gate.pp g) (gates c);
+  Format.fprintf fmt "@]"
+
+let pp_counts fmt k =
+  Format.fprintf fmt "S=%d D=%d R=%d BS=%d" k.squeezing k.displacement k.phase_shifter
+    k.beamsplitter

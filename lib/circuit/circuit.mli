@@ -1,0 +1,44 @@
+(** A GBS circuit: state preparation, interferometer gates, optional
+    final displacements, Fock measurement (paper Fig. 2). *)
+
+type t
+
+type counts = {
+  squeezing : int;
+  displacement : int;
+  phase_shifter : int;
+  beamsplitter : int;
+}
+(** Per-kind gate totals — the columns of the paper's Table I. *)
+
+val create : modes:int -> t
+(** Empty circuit on [modes] qumodes. *)
+
+val modes : t -> int
+
+val add : t -> Gate.t -> t
+(** Append a gate. @raise Invalid_argument on invalid qumodes. *)
+
+val add_all : t -> Gate.t list -> t
+
+val gates : t -> Gate.t list
+(** Gates in application order. *)
+
+val length : t -> int
+
+val gate_counts : t -> counts
+
+val depth : t -> int
+(** Circuit depth under greedy ASAP scheduling: gates acting on disjoint
+    qumodes share a layer. 0 for an empty circuit. *)
+
+val two_qumode_pairs : t -> (int * int) list
+(** Distinct (min, max) qumode pairs used by beamsplitters. *)
+
+val check_connectivity : (int -> int -> bool) -> t -> (int * int) list
+(** [check_connectivity coupled c] returns the beamsplitter pairs not
+    allowed by the coupling predicate — [\[\]] means hardware-compatible. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_counts : Format.formatter -> counts -> unit

@@ -1,0 +1,47 @@
+module Cx = Bose_linalg.Cx
+
+type t =
+  | Squeeze of int * Cx.t
+  | Phase of int * float
+  | Beamsplitter of int * int * float * float
+  | Displace of int * Cx.t
+
+let qumodes = function
+  | Squeeze (k, _) | Phase (k, _) | Displace (k, _) -> [ k ]
+  | Beamsplitter (k, l, _, _) -> [ k; l ]
+
+let is_two_qumode = function
+  | Beamsplitter _ -> true
+  | Squeeze _ | Phase _ | Displace _ -> false
+
+let validate ~modes gate =
+  let check k =
+    if k < 0 || k >= modes then
+      invalid_arg (Printf.sprintf "Gate.validate: qumode %d out of range [0,%d)" k modes)
+  in
+  List.iter check (qumodes gate);
+  match gate with
+  | Beamsplitter (k, l, _, _) when k = l -> invalid_arg "Gate.validate: beamsplitter on a single qumode"
+  | Beamsplitter _ | Squeeze _ | Phase _ | Displace _ -> ()
+
+let mzi ~m ~n ~theta ~phi = [ Phase (m, phi); Beamsplitter (m, n, theta, 0.) ]
+
+(* With H = BS(π/4, π/2) (Bogoliubov block (1/√2)[[1, i],[i, 1]]) one
+   checks H·diag(e^{iψ},1)·H = e^{i(ψ/2+π/2)}·[[sin ψ/2, cos ψ/2],
+   [cos ψ/2, −sin ψ/2]]; choosing ψ = π−2θ and outer phases
+   diag(1,1)·…·diag(e^{i(φ−π+θ)}, e^{iθ}) reproduces T(θ,φ) exactly. *)
+let mzi2 ~m ~n ~theta ~phi =
+  let h = Beamsplitter (m, n, Float.pi /. 4., Float.pi /. 2.) in
+  [
+    Phase (m, phi -. Float.pi +. theta);
+    Phase (n, theta);
+    h;
+    Phase (m, Float.pi -. (2. *. theta));
+    h;
+  ]
+
+let pp fmt = function
+  | Squeeze (k, a) -> Format.fprintf fmt "S(%a) @@ %d" Cx.pp a k
+  | Phase (k, phi) -> Format.fprintf fmt "R(%.4f) @@ %d" phi k
+  | Beamsplitter (k, l, theta, phi) -> Format.fprintf fmt "BS(%.4f, %.4f) @@ (%d, %d)" theta phi k l
+  | Displace (k, a) -> Format.fprintf fmt "D(%a) @@ %d" Cx.pp a k

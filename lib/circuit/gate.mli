@@ -1,0 +1,40 @@
+(** Qumode gates of a (Gaussian) Boson sampling program (paper §II-A).
+
+    Parameters follow the paper's definitions:
+    - [Squeeze (k, alpha)]    — S(α) = exp(½(α* â² − α â†²)) on qumode k.
+    - [Phase (k, phi)]        — R(φ) = exp(iφ â†â) on qumode k.
+    - [Beamsplitter (k, l, theta, phi)] —
+        BS(θ,φ) = exp(θ(e^{iφ} â_k â_l† − e^{-iφ} â_k† â_l)).
+    - [Displace (k, alpha)]   — D(α) = exp(α â† − α* â) on qumode k.
+
+    An MZI block (one step of the interferometer decomposition) is a
+    phase shifter R(φ) on qumode m followed by a beamsplitter BS(θ, 0)
+    on qumodes (m, n) — the 'MZI 1' realization in the paper's Fig. 2. *)
+
+type t =
+  | Squeeze of int * Bose_linalg.Cx.t
+  | Phase of int * float
+  | Beamsplitter of int * int * float * float
+  | Displace of int * Bose_linalg.Cx.t
+
+val qumodes : t -> int list
+(** Qumodes the gate acts on. *)
+
+val is_two_qumode : t -> bool
+
+val validate : modes:int -> t -> unit
+(** @raise Invalid_argument when a qumode index is out of range or a
+    beamsplitter addresses the same qumode twice. *)
+
+val mzi : m:int -> n:int -> theta:float -> phi:float -> t list
+(** The two-gate MZI block [R(φ) on m; BS(θ,0) on (m,n)]. *)
+
+val mzi2 : m:int -> n:int -> theta:float -> phi:float -> t list
+(** The same T_{m,n}(θ, φ) block realized with two {e fixed} 50:50
+    beamsplitters BS(π/4, π/2) and three phase shifters — the 'MZI 2'
+    implementation of the paper's Fig. 2, for hardware whose native
+    beamsplitter is untunable:
+    [T(θ,φ) = H · R_m(π−2θ) · H · R_m(φ−π+θ) · R_n(θ)] with
+    [H = BS(π/4, π/2)]. *)
+
+val pp : Format.formatter -> t -> unit

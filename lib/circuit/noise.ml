@@ -1,0 +1,15 @@
+type t = { beamsplitter_loss : float; single_qumode_loss : float }
+
+let ideal = { beamsplitter_loss = 0.; single_qumode_loss = 0. }
+
+let uniform l = { beamsplitter_loss = l; single_qumode_loss = l /. 10. }
+
+let loss_of_gate t gate =
+  if Gate.is_two_qumode gate then t.beamsplitter_loss else t.single_qumode_loss
+
+let validate t =
+  let check name x =
+    if x < 0. || x > 1. then invalid_arg (Printf.sprintf "Noise.validate: %s out of [0,1]" name)
+  in
+  check "beamsplitter_loss" t.beamsplitter_loss;
+  check "single_qumode_loss" t.single_qumode_loss

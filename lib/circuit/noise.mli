@@ -1,0 +1,25 @@
+(** Hardware noise model: per-gate photon loss.
+
+    Photon loss is the dominant Bosonic-hardware error and the one the
+    paper simulates (§VII-A), with beamsplitter error rates over 10×
+    those of single-qumode gates (§II-B). A gate with loss rate ℓ
+    applies a transmissivity η = 1 − ℓ loss channel to each qumode it
+    touches, after the ideal gate. *)
+
+type t = {
+  beamsplitter_loss : float;
+  single_qumode_loss : float;
+}
+
+val ideal : t
+(** No loss anywhere. *)
+
+val uniform : float -> t
+(** [uniform l] — the paper's sweep parameter: beamsplitters lose at
+    rate [l], single-qumode gates at [l /. 10]. *)
+
+val loss_of_gate : t -> Gate.t -> float
+(** Loss rate this model assigns to a gate. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument unless all rates are within [\[0, 1\]]. *)

@@ -1,0 +1,172 @@
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Perm = Bose_linalg.Perm
+module Lattice = Bose_hardware.Lattice
+module Pattern = Bose_hardware.Pattern
+module Embedding = Bose_hardware.Embedding
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+module Mapping = Bose_mapping.Mapping
+module Dropout = Bose_dropout.Dropout
+
+type effort = Fast | Standard
+
+type timings = { decomposition_s : float; total_s : float }
+
+type t = {
+  config : Config.t;
+  tau : float;
+  device : Lattice.t;
+  pattern : Pattern.t;
+  mapping : Mapping.t;
+  plan : Plan.t;
+  policy : Dropout.policy option;
+  timings : timings;
+}
+
+let mapping_candidates effort n =
+  match effort with
+  | Standard -> None (* Mapping.optimize defaults *)
+  | Fast -> Some [ max 1 (n / 3); max 1 (n / 2) ]
+
+let dropout_knobs effort n =
+  match effort with
+  | Standard -> ([ 1; 2; 5; 10; 20; 50; 100 ], 40)
+  | Fast -> ([ 1; 20; 100 ], max 4 (min 10 (4000 / (n + 1))))
+
+(* The polish hill-climb pays one O(N³) decomposition per trial: scale
+   the trial count so the pass stays a modest fraction of compile time. *)
+let polish_trials effort n =
+  let base = match effort with Standard -> 500 | Fast -> 150 in
+  min base (max 0 (600_000_000 / (n * n * n)))
+
+let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
+  let n = Mat.rows u in
+  let t0 = Sys.time () in
+  let mapping =
+    if Config.uses_mapping config then begin
+      let first = Mapping.optimize ?candidate_ks:(mapping_candidates effort n) pattern u in
+      let trials = polish_trials effort n in
+      if trials > 0 then Mapping.polish ~trials ~tau ~rng pattern first else first
+    end
+    else Mapping.trivial u
+  in
+  let plan = Eliminate.decompose pattern mapping.Mapping.permuted in
+  let t1 = Sys.time () in
+  let policy =
+    if Config.uses_dropout config then begin
+      let powers, iterations = dropout_knobs effort n in
+      Some (Dropout.make_policy ~powers ~iterations rng plan mapping.Mapping.permuted ~tau)
+    end
+    else None
+  in
+  let t2 = Sys.time () in
+  {
+    config;
+    tau;
+    device;
+    pattern;
+    mapping;
+    plan;
+    policy;
+    timings = { decomposition_s = t1 -. t0; total_s = t2 -. t0 };
+  }
+
+let compile ?(effort = Standard) ?(tau = 0.999) ~rng ~device ~config u =
+  let n = Mat.rows u in
+  if Mat.cols u <> n then invalid_arg "Compiler.compile: unitary must be square";
+  if n > Lattice.size device then
+    invalid_arg "Compiler.compile: program larger than device";
+  let pattern =
+    if Config.uses_tree_pattern config then Embedding.for_program device n
+    else Embedding.baseline device n
+  in
+  run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u
+
+let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ~rng ~pattern ~config u =
+  let n = Mat.rows u in
+  if Mat.cols u <> n then invalid_arg "Compiler.compile_with_pattern: unitary must be square";
+  if n <> Pattern.size pattern then
+    invalid_arg "Compiler.compile_with_pattern: pattern size mismatch";
+  let pattern = if Config.uses_tree_pattern config then pattern else Pattern.chain n in
+  let device = Lattice.create ~rows:1 ~cols:n in
+  run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u
+
+let shot_mask rng t =
+  match t.policy with
+  | None -> None
+  | Some policy ->
+    if policy.Dropout.kept_count >= Plan.rotation_count t.plan then None
+    else begin
+      match t.config with
+      | Config.Rot_cut -> Some (Dropout.hard_kept policy t.plan)
+      | Config.Baseline | Config.Decomp_opt | Config.Full_opt ->
+        Some (Dropout.sample_kept rng policy t.plan)
+    end
+
+let shot_circuit ?prelude rng t =
+  let kept = shot_mask rng t in
+  Plan.to_circuit ?kept ?prelude t.plan
+
+let approx_unitary ?kept t =
+  let u_app = Plan.reconstruct ?kept t.plan in
+  Perm.permute_rows
+    (Perm.inverse t.mapping.Mapping.row_perm)
+    (Perm.permute_cols (Perm.inverse t.mapping.Mapping.col_perm) u_app)
+
+let predicted_fidelity t =
+  match t.policy with None -> 1. | Some p -> p.Dropout.expected_fidelity
+
+let beamsplitter_reduction t =
+  match t.policy with None -> 0. | Some p -> Dropout.dropped_fraction p t.plan
+
+let beamsplitters_kept t =
+  match t.policy with
+  | None -> Plan.rotation_count t.plan
+  | Some p -> p.Dropout.kept_count
+
+let small_angles t ~threshold = Plan.small_angle_count t.plan ~threshold
+
+let verify t =
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    if
+      Mat.equal ~tol:1e-8
+        (Plan.reconstruct t.plan)
+        t.mapping.Mapping.permuted
+    then Ok ()
+    else Error "plan does not reconstruct the permuted unitary"
+  in
+  let* () =
+    if Mat.equal ~tol:1e-8 (approx_unitary t) (Mapping.recovered_unitary t.mapping) then Ok ()
+    else Error "permutation relabeling does not recover the program unitary"
+  in
+  let* () =
+    let bad =
+      Array.exists
+        (fun e ->
+           let { Bose_linalg.Givens.m; n; _ } = e.Plan.rotation in
+           not (List.mem n (Pattern.neighbors t.pattern m)))
+        t.plan.Plan.elements
+    in
+    if bad then Error "a rotation addresses a non-coupled qumode pair" else Ok ()
+  in
+  let* () =
+    match t.policy with
+    | None -> Ok ()
+    | Some p ->
+      if Array.length p.Bose_dropout.Dropout.weights = Plan.rotation_count t.plan
+         && p.Bose_dropout.Dropout.kept_count <= Plan.rotation_count t.plan
+      then Ok ()
+      else Error "dropout policy does not match the plan"
+  in
+  Ok ()
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>%a on %a: %d modes, %d rotations, keep %d (-%.1f%%), predicted fidelity %.4f, \
+     decomp %.3fs total %.3fs@]"
+    Config.pp t.config Lattice.pp t.device t.plan.Plan.modes
+    (Plan.rotation_count t.plan) (beamsplitters_kept t)
+    (100. *. beamsplitter_reduction t)
+    (predicted_fidelity t) t.timings.decomposition_s t.timings.total_s

@@ -1,0 +1,91 @@
+(** The Bosehedral compile pipeline: elimination-pattern selection,
+    qumode mapping, decomposition, and dropout-policy construction.
+
+    [compile] consumes the program's high-level semantics — the N×N
+    interferometer unitary — plus the device, and produces everything
+    needed to generate per-shot circuits and to reason about the
+    approximation at compile time (the paper's §III-B problem). *)
+
+type effort = Fast | Standard
+(** [Fast] trims the mapping-K candidates and dropout search for large
+    problems (used by the scalability study); [Standard] is the full
+    search. *)
+
+type timings = {
+  decomposition_s : float;  (** Pattern + mapping + elimination time. *)
+  total_s : float;  (** Including dropout-policy construction. *)
+}
+
+type t = {
+  config : Config.t;
+  tau : float;
+  device : Bose_hardware.Lattice.t;
+  pattern : Bose_hardware.Pattern.t;
+  mapping : Bose_mapping.Mapping.t;
+  plan : Bose_decomp.Plan.t;  (** Decomposition of [mapping.permuted]. *)
+  policy : Bose_dropout.Dropout.policy option;  (** [None] iff no dropout. *)
+  timings : timings;
+}
+
+val compile :
+  ?effort:effort ->
+  ?tau:float ->
+  rng:Bose_util.Rng.t ->
+  device:Bose_hardware.Lattice.t ->
+  config:Config.t ->
+  Bose_linalg.Mat.t ->
+  t
+(** [compile ~rng ~device ~config u]. [tau] is the unitary-approximation
+    accuracy threshold (default 0.999). The unitary's dimension must not
+    exceed the device size.
+    @raise Invalid_argument on size mismatch or non-square input. *)
+
+val compile_with_pattern :
+  ?effort:effort ->
+  ?tau:float ->
+  rng:Bose_util.Rng.t ->
+  pattern:Bose_hardware.Pattern.t ->
+  config:Config.t ->
+  Bose_linalg.Mat.t ->
+  t
+(** Compile against an explicit elimination pattern — e.g. one built by
+    {!Bose_hardware.Embedding.of_coupling} for triangular, hexagonal or
+    irregular devices. The [device] field of the result is a dummy 1-row
+    lattice; connectivity is whatever the pattern encodes. With a
+    [config] that does not use the tree pattern, the pattern is replaced
+    by a chain over the same number of qumodes. *)
+
+val shot_mask : Bose_util.Rng.t -> t -> bool array option
+(** Per-shot beamsplitter keep-mask: [None] when the configuration keeps
+    everything; Rot-Cut masks are deterministic (hard threshold), the
+    optimized configurations sample from the §VI distribution. *)
+
+val shot_circuit :
+  ?prelude:Bose_circuit.Gate.t list -> Bose_util.Rng.t -> t -> Bose_circuit.Circuit.t
+(** Physical circuit for one shot, including the prelude (state
+    preparation, already in physical qumode order). *)
+
+val approx_unitary : ?kept:bool array -> t -> Bose_linalg.Mat.t
+(** Effective {e logical-space} unitary implemented by a shot with the
+    given keep-mask (default: nothing dropped): permutations undone, so
+    it is directly comparable with the input unitary. *)
+
+val predicted_fidelity : t -> float
+(** Compile-time estimate: the dropout policy's τ_K, or 1.0. *)
+
+val beamsplitter_reduction : t -> float
+(** Fraction of beamsplitters removed per shot (0 without dropout). *)
+
+val beamsplitters_kept : t -> int
+
+val small_angles : t -> threshold:float -> int
+(** Rotations below an angle threshold in the compiled plan. *)
+
+val verify : t -> (unit, string) result
+(** Compile-time self check: the plan replays to the permuted unitary,
+    undoing the permutations recovers the program unitary, every
+    rotation sits on a pattern tree edge (hence on a physical coupling),
+    and the dropout policy is shaped consistently. [Error] describes the
+    first violation. *)
+
+val pp_summary : Format.formatter -> t -> unit

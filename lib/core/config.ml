@@ -1,0 +1,31 @@
+type t = Baseline | Rot_cut | Decomp_opt | Full_opt
+
+let all = [ Baseline; Rot_cut; Decomp_opt; Full_opt ]
+
+let name = function
+  | Baseline -> "Baseline"
+  | Rot_cut -> "Rot-Cut"
+  | Decomp_opt -> "Decomp-Opt"
+  | Full_opt -> "Full-Opt"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "baseline" -> Some Baseline
+  | "rot-cut" | "rotcut" | "rot_cut" -> Some Rot_cut
+  | "decomp-opt" | "decompopt" | "decomp_opt" -> Some Decomp_opt
+  | "full-opt" | "fullopt" | "full_opt" -> Some Full_opt
+  | _ -> None
+
+let uses_dropout = function
+  | Baseline -> false
+  | Rot_cut | Decomp_opt | Full_opt -> true
+
+let uses_tree_pattern = function
+  | Baseline | Rot_cut -> false
+  | Decomp_opt | Full_opt -> true
+
+let uses_mapping = function
+  | Baseline | Rot_cut | Decomp_opt -> false
+  | Full_opt -> true
+
+let pp fmt t = Format.pp_print_string fmt (name t)

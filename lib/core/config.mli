@@ -1,0 +1,18 @@
+(** The four experiment configurations of the paper's evaluation
+    (§VII-A): which Bosehedral passes are enabled. *)
+
+type t =
+  | Baseline  (** Vanilla chain decomposition, no approximation. *)
+  | Rot_cut  (** Chain decomposition + gate dropout only. *)
+  | Decomp_opt  (** Optimized elimination pattern + dropout, trivial mapping. *)
+  | Full_opt  (** Pattern + qumode mapping + dropout: all of Bosehedral. *)
+
+val all : t list
+(** In the paper's order. *)
+
+val name : t -> string
+val of_string : string -> t option
+val uses_dropout : t -> bool
+val uses_tree_pattern : t -> bool
+val uses_mapping : t -> bool
+val pp : Format.formatter -> t -> unit

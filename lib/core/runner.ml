@@ -1,0 +1,132 @@
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Perm = Bose_linalg.Perm
+module Gate = Bose_circuit.Gate
+module Circuit = Bose_circuit.Circuit
+module Noise = Bose_circuit.Noise
+module Gaussian = Bose_gbs.Gaussian
+module Fock = Bose_gbs.Fock
+module Mapping = Bose_mapping.Mapping
+module Plan = Bose_decomp.Plan
+
+type program = {
+  squeezing : Cx.t array;
+  unitary : Mat.t;
+  displacements : Cx.t array;
+  thermal : float array;
+}
+
+let pure_program ~squeezing ~unitary ?displacements () =
+  let n = Mat.rows unitary in
+  {
+    squeezing;
+    unitary;
+    displacements = (match displacements with Some d -> d | None -> Array.make n Cx.zero);
+    thermal = Array.make n 0.;
+  }
+
+let program_modes p = Mat.rows p.unitary
+
+let validate_program p =
+  let n = program_modes p in
+  if Mat.cols p.unitary <> n then invalid_arg "Runner: unitary must be square";
+  if Array.length p.squeezing <> n then invalid_arg "Runner: squeezing length mismatch";
+  if Array.length p.displacements <> n then
+    invalid_arg "Runner: displacements length mismatch";
+  if Array.length p.thermal <> n then invalid_arg "Runner: thermal length mismatch";
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg "Runner: negative thermal occupation")
+    p.thermal
+
+(* State preparation and final displacements in physical qumode order,
+   per the §V-B relabeling: logical input i sits on physical qumode
+   col_perm(i); logical output i is read from physical row_perm(i). *)
+let prelude_gates mapping p =
+  let n = program_modes p in
+  List.filter_map
+    (fun i ->
+       if Cx.abs p.squeezing.(i) = 0. then None
+       else Some (Gate.Squeeze (Mapping.input_site mapping i, p.squeezing.(i))))
+    (List.init n (fun i -> i))
+
+let displacement_gates mapping p =
+  let n = program_modes p in
+  List.filter_map
+    (fun i ->
+       if Cx.abs p.displacements.(i) = 0. then None
+       else Some (Gate.Displace (Perm.apply mapping.Mapping.row_perm i, p.displacements.(i))))
+    (List.init n (fun i -> i))
+
+let gate_counts p ~device =
+  validate_program p;
+  let rng = Rng.create 0 in
+  let compiled =
+    Compiler.compile ~rng ~device ~config:Config.Baseline p.unitary
+  in
+  let circuit =
+    Circuit.add_all
+      (Plan.to_circuit ~prelude:(prelude_gates compiled.Compiler.mapping p) compiled.Compiler.plan)
+      (displacement_gates compiled.Compiler.mapping p)
+  in
+  Circuit.gate_counts circuit
+
+let ideal_distribution ~max_photons p =
+  validate_program p;
+  let n = program_modes p in
+  let state = Gaussian.thermal n p.thermal in
+  Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.squeeze state i a) p.squeezing;
+  Gaussian.interferometer state p.unitary;
+  Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.displace state i a) p.displacements;
+  Fock.truncated ~max_photons state
+
+(* Relabel a physical output pattern to logical order; the tail outcome
+   passes through unchanged. *)
+let relabel mapping pattern =
+  if pattern = Fock.tail then pattern
+  else begin
+    let arr = Array.of_list pattern in
+    Array.to_list (Array.init (Array.length arr) (fun i ->
+        arr.(Perm.apply mapping.Mapping.row_perm i)))
+  end
+
+let one_realization ~rng ~noise ~max_photons compiled p =
+  let mapping = compiled.Compiler.mapping in
+  let circuit =
+    Circuit.add_all
+      (Compiler.shot_circuit ~prelude:(prelude_gates mapping p) rng compiled)
+      (displacement_gates mapping p)
+  in
+  (* Thermal input for logical mode i sits on its physical input site. *)
+  let modes = Circuit.modes circuit in
+  let nbar = Array.make modes 0. in
+  Array.iteri (fun i x -> nbar.(Mapping.input_site mapping i) <- x) p.thermal;
+  let state = Gaussian.thermal modes nbar in
+  Gaussian.run_circuit ~noise state circuit;
+  Dist.map_outcomes (relabel mapping) (Fock.truncated ~max_photons state)
+
+let noisy_distribution ?(realizations = 16) ~rng ~noise ~max_photons compiled p =
+  validate_program p;
+  let shots =
+    match compiled.Compiler.policy with
+    | None -> 1 (* deterministic circuit: one exact simulation suffices *)
+    | Some policy ->
+      if policy.Bose_dropout.Dropout.kept_count
+         >= Plan.rotation_count compiled.Compiler.plan
+      then 1
+      else begin
+        match compiled.Compiler.config with
+        | Config.Rot_cut -> 1 (* hard threshold is deterministic too *)
+        | Config.Baseline | Config.Decomp_opt | Config.Full_opt -> realizations
+      end
+  in
+  let dists =
+    List.init shots (fun _ -> (1., one_realization ~rng ~noise ~max_photons compiled p))
+  in
+  Dist.mix dists
+
+let jsd_vs_ideal ?realizations ~rng ~noise ~max_photons compiled p =
+  let ideal = ideal_distribution ~max_photons p in
+  let noisy = noisy_distribution ?realizations ~rng ~noise ~max_photons compiled p in
+  Dist.jsd ideal noisy

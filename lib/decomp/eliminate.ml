@@ -1,0 +1,48 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Givens = Bose_linalg.Givens
+module Pattern = Bose_hardware.Pattern
+
+let run pattern u =
+  let n = Pattern.size pattern in
+  if Mat.rows u <> n || Mat.cols u <> n then
+    invalid_arg "Eliminate.decompose: unitary size does not match pattern";
+  let work = Mat.copy u in
+  let elements = ref [] in
+  List.iter
+    (fun (row, pairs) ->
+       List.iter
+         (fun (m, cn) ->
+            let rotation = Givens.eliminate work ~row ~m ~n:cn in
+            elements := { Plan.rotation; row } :: !elements)
+         pairs)
+    (Pattern.full_schedule pattern);
+  (work, Array.of_list (List.rev !elements))
+
+let decompose pattern u =
+  let work, elements = run pattern u in
+  let n = Pattern.size pattern in
+  let lambda =
+    Array.init n (fun i ->
+        let d = Mat.get work i i in
+        let modulus = Cx.abs d in
+        (* Diagonal entries of a fully eliminated unitary are unit-modulus;
+           normalize away rounding drift. *)
+        if modulus < 0.5 then
+          invalid_arg "Eliminate.decompose: input does not appear unitary";
+        Cx.scale (1. /. modulus) d)
+  in
+  { Plan.modes = n; elements; lambda }
+
+let decompose_baseline u = decompose (Pattern.chain (Mat.rows u)) u
+
+let residual_off_diagonal u pattern =
+  let work, _ = run pattern u in
+  let n = Mat.rows work in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then worst := Float.max !worst (Cx.abs (Mat.get work i j))
+    done
+  done;
+  !worst

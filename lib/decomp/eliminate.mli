@@ -1,0 +1,20 @@
+(** The elimination engine: turn an interferometer unitary into a
+    {!Plan.t} by following an elimination pattern (paper §IV-A).
+
+    Each stage k (from k = N active qumodes down to 2) zeroes matrix row
+    k-1 against the pattern's stage root and removes that root; the
+    rotations produced are exactly the T_{m,n}(θ, φ) of Eq. (1). *)
+
+val decompose : Bose_hardware.Pattern.t -> Bose_linalg.Mat.t -> Plan.t
+(** [decompose pattern u] — [u] must be N×N unitary with
+    N = pattern size. The returned plan satisfies
+    [Plan.reconstruct plan ≈ u] to machine precision.
+    @raise Invalid_argument on a size mismatch or non-square input. *)
+
+val decompose_baseline : Bose_linalg.Mat.t -> Plan.t
+(** Chain-pattern decomposition (Reck-style, the paper's baseline),
+    ignoring hardware structure. *)
+
+val residual_off_diagonal : Bose_linalg.Mat.t -> Bose_hardware.Pattern.t -> float
+(** Largest off-diagonal modulus left after running the elimination on a
+    copy — a diagnostic that a pattern drives the matrix to Λ. *)

@@ -1,0 +1,102 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Givens = Bose_linalg.Givens
+module Gate = Bose_circuit.Gate
+module Circuit = Bose_circuit.Circuit
+
+type element = { rotation : Givens.rotation; row : int }
+
+type t = { modes : int; elements : element array; lambda : Cx.t array }
+
+let rotation_count t = Array.length t.elements
+
+let angles t = Array.map (fun e -> Float.abs e.rotation.Givens.theta) t.elements
+
+let small_angle_count t ~threshold =
+  let a = angles t in
+  Array.fold_left (fun acc x -> if x < threshold then acc + 1 else acc) 0 a
+
+let reconstruct ?kept t =
+  (match kept with
+   | Some k when Array.length k <> Array.length t.elements ->
+     invalid_arg "Plan.reconstruct: kept length mismatch"
+   | Some _ | None -> ());
+  let u = Mat.create t.modes t.modes in
+  Array.iteri (fun i lam -> Mat.set u i i lam) t.lambda;
+  (* U = Λ·T_K⋯T_1: right-multiply by T_K first, down to T_1. *)
+  for i = Array.length t.elements - 1 downto 0 do
+    let r = t.elements.(i).rotation in
+    let r =
+      match kept with
+      | Some k when not k.(i) -> { r with Givens.theta = 0. }
+      | Some _ | None -> r
+    in
+    Givens.apply_t_right u r
+  done;
+  u
+
+let fidelity ?kept t u = Mat.unitary_fidelity (reconstruct ?kept t) u
+
+type mzi_style = Tunable | Fixed_fifty_fifty
+
+let to_circuit ?(style = Tunable) ?kept ?(prelude = []) t =
+  (match kept with
+   | Some k when Array.length k <> Array.length t.elements ->
+     invalid_arg "Plan.to_circuit: kept length mismatch"
+   | Some _ | None -> ());
+  let block =
+    match style with Tunable -> Gate.mzi | Fixed_fifty_fifty -> Gate.mzi2
+  in
+  let c = Circuit.add_all (Circuit.create ~modes:t.modes) prelude in
+  let c = ref c in
+  Array.iteri
+    (fun i { rotation = { Givens.m; n; theta; phi }; _ } ->
+       let keep = match kept with Some k -> k.(i) | None -> true in
+       if keep then c := Circuit.add_all !c (block ~m ~n ~theta ~phi)
+       else c := Circuit.add !c (Gate.Phase (m, phi)))
+    t.elements;
+  Array.iteri (fun i lam -> c := Circuit.add !c (Gate.Phase (i, Cx.arg lam))) t.lambda;
+  !c
+
+(* Line-oriented text serialization:
+     plan <modes> <rotations>
+     r <row> <m> <n> <theta> <phi>      (one per rotation, in order)
+     l <re> <im>                        (one per Λ entry)
+   Floats are printed with %h (hex floats) so the roundtrip is exact. *)
+let save oc t =
+  Printf.fprintf oc "plan %d %d\n" t.modes (Array.length t.elements);
+  Array.iter
+    (fun { rotation = { Givens.m; n; theta; phi }; row } ->
+       Printf.fprintf oc "r %d %d %d %h %h\n" row m n theta phi)
+    t.elements;
+  Array.iter (fun (lam : Cx.t) -> Printf.fprintf oc "l %h %h\n" lam.re lam.im) t.lambda
+
+let load ic =
+  let fail msg = failwith ("Plan.load: " ^ msg) in
+  let line () = try input_line ic with End_of_file -> fail "truncated input" in
+  let modes, count =
+    try Scanf.sscanf (line ()) "plan %d %d" (fun a b -> (a, b))
+    with Scanf.Scan_failure _ | Failure _ -> fail "bad header"
+  in
+  if modes <= 0 || count < 0 then fail "bad header values";
+  let elements =
+    Array.init count (fun _ ->
+        try
+          Scanf.sscanf (line ()) "r %d %d %d %h %h" (fun row m n theta phi ->
+              { rotation = { Givens.m; n; theta; phi }; row })
+        with Scanf.Scan_failure _ | Failure _ -> fail "bad rotation line")
+  in
+  let lambda =
+    Array.init modes (fun _ ->
+        try Scanf.sscanf (line ()) "l %h %h" (fun re im -> Cx.make re im)
+        with Scanf.Scan_failure _ | Failure _ -> fail "bad lambda line")
+  in
+  { modes; elements; lambda }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan on %d modes, %d rotations@," t.modes (Array.length t.elements);
+  Array.iter
+    (fun { rotation = { Givens.m; n; theta; phi }; row } ->
+       Format.fprintf fmt "  row %d: T(%d,%d) theta=%.4f phi=%.4f@," row m n theta phi)
+    t.elements;
+  Format.fprintf fmt "@]"

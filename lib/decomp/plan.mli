@@ -1,0 +1,64 @@
+(** Decomposition plans: the ordered MZI rotations and final phases that
+    realize an interferometer unitary (paper Eq. 1),
+    [U = Λ · T_K ⋯ T_2 · T_1].
+
+    A plan remembers each rotation together with the matrix row whose
+    entry it eliminated; dropping a beamsplitter means setting that
+    rotation's θ to zero (its phase shifter survives) and the
+    approximated unitary is rebuilt exactly by replaying the product —
+    the paper's compile-time approximation-effect reasoning (§VI). *)
+
+type element = {
+  rotation : Bose_linalg.Givens.rotation;
+  row : int;  (** Matrix row this elimination zeroed (0-indexed). *)
+}
+
+type t = {
+  modes : int;
+  elements : element array;  (** In elimination order. *)
+  lambda : Bose_linalg.Cx.t array;  (** Diagonal of Λ, unit-modulus. *)
+}
+
+val rotation_count : t -> int
+(** N(N-1)/2 for a full decomposition. *)
+
+val angles : t -> float array
+(** |θ| of every rotation, in elimination order. *)
+
+val small_angle_count : t -> threshold:float -> int
+(** How many rotations satisfy |θ| < threshold — the quantity both
+    optimizations try to maximize (paper §V-D uses θ < 0.1). *)
+
+val reconstruct : ?kept:bool array -> t -> Bose_linalg.Mat.t
+(** Replay [Λ · T_K ⋯ T_1]. With [kept], rotations flagged [false] are
+    replayed with θ = 0 (beamsplitter dropped, phase kept), giving the
+    approximated unitary U_app of §VI. *)
+
+val fidelity : ?kept:bool array -> t -> Bose_linalg.Mat.t -> float
+(** [fidelity ?kept plan u] = |tr(U_app·U†)|/N against the original. *)
+
+type mzi_style =
+  | Tunable  (** 'MZI 1': R(φ) + tunable BS(θ, 0) — two gates. *)
+  | Fixed_fifty_fifty
+  (** 'MZI 2': three phase shifters + two fixed 50:50 beamsplitters, for
+      hardware without tunable beamsplitters (paper Fig. 2). *)
+
+val to_circuit :
+  ?style:mzi_style ->
+  ?kept:bool array ->
+  ?prelude:Bose_circuit.Gate.t list ->
+  t ->
+  Bose_circuit.Circuit.t
+(** Physical gate sequence: optional state-preparation [prelude], then
+    one MZI block per kept rotation in elimination order (dropped
+    rotations contribute only their phase shifter), then the Λ phases.
+    [style] picks the MZI realization (default {!Tunable}). *)
+
+val save : out_channel -> t -> unit
+(** Persist a plan as a line-oriented text format ("compile once, run
+    the shot loop elsewhere"). *)
+
+val load : in_channel -> t
+(** Inverse of {!save}. @raise Failure on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Plan = Bose_decomp.Plan
+
+type policy = {
+  tau : float;
+  theta_cut : float;
+  kept_count : int;
+  power : int;
+  weights : float array;
+  expected_fidelity : float;
+}
+
+(* Keep-mask that drops the [d] smallest angles. *)
+let mask_dropping_smallest plan d =
+  let a = Plan.angles plan in
+  let order = Array.init (Array.length a) (fun i -> i) in
+  Array.sort (fun i j -> compare a.(i) a.(j)) order;
+  let kept = Array.make (Array.length a) true in
+  for r = 0 to d - 1 do
+    kept.(order.(r)) <- false
+  done;
+  kept
+
+let find_threshold plan u ~tau =
+  if tau <= 0. || tau > 1. then invalid_arg "Dropout.find_threshold: tau out of (0,1]";
+  let a = Plan.angles plan in
+  let total = Array.length a in
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let fidelity_dropping d = Plan.fidelity ~kept:(mask_dropping_smallest plan d) plan u in
+  (* Largest d with fidelity >= tau; fidelity decreases (approximately)
+     monotonically in d, so binary search suffices. *)
+  let lo = ref 0 and hi = ref total in
+  (* Invariant: dropping !lo is acceptable; dropping !hi+1 .. unknown. *)
+  while !hi > !lo do
+    let mid = (!lo + !hi + 1) / 2 in
+    if fidelity_dropping mid >= tau then lo := mid else hi := mid - 1
+  done;
+  let d = !lo in
+  let theta_cut = if d = 0 then 0. else sorted.(d - 1) in
+  (theta_cut, total - d)
+
+(* Selection weights |θ_i/Θ|^K, computed in log space and clipped so the
+   exponential never overflows. θ = 0 gets weight 0. *)
+let make_weights angles theta_cut power =
+  let cut = Float.max theta_cut 1e-12 in
+  Array.map
+    (fun th ->
+       if th <= 0. then 0.
+       else exp (Float.min 600. (float_of_int power *. (log th -. log cut))))
+    angles
+
+let sample_mask rng weights kept_count =
+  let kept = Array.make (Array.length weights) false in
+  List.iter (fun i -> kept.(i) <- true) (Rng.sample_without_replacement rng weights kept_count);
+  kept
+
+let average_fidelity rng plan u weights kept_count iterations =
+  let acc = ref 0. in
+  for _ = 1 to iterations do
+    let kept = sample_mask rng weights kept_count in
+    acc := !acc +. Plan.fidelity ~kept plan u
+  done;
+  !acc /. float_of_int iterations
+
+let make_policy ?(powers = [ 1; 2; 5; 10; 20; 50; 100 ]) ?(iterations = 40) rng plan u ~tau =
+  let theta_cut, kept_count = find_threshold plan u ~tau in
+  let angles = Plan.angles plan in
+  let total = Array.length angles in
+  if kept_count >= total then
+    (* Nothing can be dropped at this accuracy: degenerate keep-all policy. *)
+    {
+      tau;
+      theta_cut = 0.;
+      kept_count = total;
+      power = 1;
+      weights = Array.make total 1.;
+      expected_fidelity = 1.;
+    }
+  else begin
+    let evaluate power =
+      let weights = make_weights angles theta_cut power in
+      let fid = average_fidelity rng plan u weights kept_count iterations in
+      (power, weights, fid)
+    in
+    let candidates = List.map evaluate powers in
+    let power, weights, expected_fidelity =
+      List.fold_left
+        (fun (bp, bw, bf) (p, w, f) -> if f > bf then (p, w, f) else (bp, bw, bf))
+        (List.hd candidates) (List.tl candidates)
+    in
+    { tau; theta_cut; kept_count; power; weights; expected_fidelity }
+  end
+
+let sample_kept rng policy plan =
+  let total = Plan.rotation_count plan in
+  if Array.length policy.weights <> total then
+    invalid_arg "Dropout.sample_kept: policy does not match plan";
+  sample_mask rng policy.weights policy.kept_count
+
+let hard_kept policy plan =
+  let total = Plan.rotation_count plan in
+  if policy.kept_count > total then invalid_arg "Dropout.hard_kept: policy does not match plan";
+  mask_dropping_smallest plan (total - policy.kept_count)
+
+let dropped_fraction policy plan =
+  let total = Plan.rotation_count plan in
+  float_of_int (total - policy.kept_count) /. float_of_int total

@@ -1,0 +1,73 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Combin = Bose_util.Combin
+
+let expand counts =
+  Array.concat (Array.to_list (Array.mapi (fun k c -> Array.make c k) counts))
+
+let check u ~input ~output =
+  let n = Mat.rows u in
+  if Mat.cols u <> n then invalid_arg "Boson_sampling: square unitary required";
+  if Array.length input <> n || Array.length output <> n then
+    invalid_arg "Boson_sampling: pattern length mismatch";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Boson_sampling: negative photon count")
+    (Array.append input output);
+  let photons = Array.fold_left ( + ) 0 input in
+  if photons > 12 then invalid_arg "Boson_sampling: too many photons";
+  photons
+
+(* U_{s,t}: column j repeated s_j times, row i repeated t_i times. *)
+let submatrix u ~input ~output =
+  let cols = expand input and rows = expand output in
+  Mat.init (Array.length rows) (Array.length cols) (fun i j ->
+      Mat.get u rows.(i) cols.(j))
+
+let factorial_product counts =
+  Array.fold_left (fun acc c -> acc *. Combin.factorial c) 1. counts
+
+let probability u ~input ~output =
+  let photons = check u ~input ~output in
+  if Array.fold_left ( + ) 0 output <> photons then 0.
+  else if photons = 0 then 1.
+  else begin
+    let perm = Permanent.permanent (submatrix u ~input ~output) in
+    Cx.abs2 perm /. (factorial_product input *. factorial_product output)
+  end
+
+let distribution u ~input =
+  let n = Mat.rows u in
+  let photons = Array.fold_left ( + ) 0 input in
+  List.filter_map
+    (fun pattern ->
+       if Combin.pattern_total pattern = photons then
+         Some (pattern, probability u ~input ~output:(Array.of_list pattern))
+       else None)
+    (Combin.patterns_up_to ~modes:n ~max_photons:photons)
+
+let single_photons ~modes ~photons =
+  if photons > modes then invalid_arg "Boson_sampling.single_photons: too many photons";
+  Array.init modes (fun i -> if i < photons then 1 else 0)
+
+(* Distinguishable particles: replace each amplitude by its squared
+   modulus and use the permanent of that non-negative matrix, normalized
+   by the output multinomial factor. *)
+let distinguishable_distribution u ~input =
+  let n = Mat.rows u in
+  let photons = Array.fold_left ( + ) 0 input in
+  let squared = Mat.init n n (fun i j -> Cx.re (Cx.abs2 (Mat.get u i j))) in
+  List.filter_map
+    (fun pattern ->
+       if Combin.pattern_total pattern <> photons then None
+       else begin
+         let output = Array.of_list pattern in
+         let p =
+           if photons = 0 then 1.
+           else begin
+             let perm = Permanent.permanent (submatrix squared ~input ~output) in
+             perm.Complex.re /. (factorial_product input *. factorial_product output)
+           end
+         in
+         Some (pattern, p)
+       end)
+    (Combin.patterns_up_to ~modes:n ~max_photons:photons)

@@ -1,0 +1,34 @@
+(** Plain (Fock-input) Boson sampling — the non-Gaussian half of the
+    paper's "(Gaussian) Boson sampling" scope.
+
+    Single photons enter a subset of the interferometer's input ports;
+    the output-pattern probabilities are permanents of sub-matrices of
+    the interferometer unitary U:
+
+    p(t | s) = |Perm(U_{s,t})|² / (Π s_i!·Π t_j!)
+
+    where U_{s,t} repeats column j s_j times and row i t_i times. The
+    compiler applies unchanged — it only touches U — so the approximation
+    quality of dropout can be measured on Boson sampling too. *)
+
+val probability :
+  Bose_linalg.Mat.t -> input:int array -> output:int array -> float
+(** Exact output probability; 0 when photon totals disagree.
+    @raise Invalid_argument on dimension mismatch or more than ~12
+    photons (the permanent grows as 2^photons). *)
+
+val distribution :
+  Bose_linalg.Mat.t -> input:int array -> (int list * float) list
+(** All output patterns with the input's photon total and their
+    probabilities — sums to 1 up to rounding. Practical for a handful of
+    photons on ≲ 8 modes. *)
+
+val single_photons : modes:int -> photons:int -> int array
+(** The standard input: one photon in each of the first [photons]
+    ports. *)
+
+val distinguishable_distribution :
+  Bose_linalg.Mat.t -> input:int array -> (int list * float) list
+(** The classical baseline: photons treated as distinguishable
+    particles (probabilities from permanents of |U|² entries), against
+    which quantum interference signatures like the HOM dip show up. *)

@@ -1,0 +1,113 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Combin = Bose_util.Combin
+module Gate = Bose_circuit.Gate
+module Noise = Bose_circuit.Noise
+open Cx
+
+type t = {
+  n : int;
+  cutoff : int;
+  proto : Fock_backend.t;  (* gate-matrix factory over the same basis *)
+  basis : int array array;
+  rho : Mat.t;
+}
+
+let vacuum ~modes ~cutoff =
+  let proto = Fock_backend.vacuum ~modes ~cutoff in
+  let basis = Fock_backend.basis_patterns proto in
+  let dim = Array.length basis in
+  let rho = Mat.create dim dim in
+  let vac = Option.get (Fock_backend.basis_index proto (List.init modes (fun _ -> 0))) in
+  Mat.set rho vac vac Cx.one;
+  { n = modes; cutoff; proto; basis; rho }
+
+let modes t = t.n
+let dimension t = Array.length t.basis
+
+let of_pure psi =
+  let basis = Fock_backend.basis_patterns psi in
+  let dim = Array.length basis in
+  let amp = Array.init dim (fun i -> Fock_backend.amplitude psi (Array.to_list basis.(i))) in
+  let rho = Mat.init dim dim (fun i j -> amp.(i) *: Cx.conj amp.(j)) in
+  { n = Fock_backend.modes psi; cutoff = Fock_backend.cutoff psi; proto = psi; basis; rho }
+
+let conjugate t u = { t with rho = Mat.mul u (Mat.mul t.rho (Mat.adjoint u)) }
+
+let apply_gate t gate = conjugate t (Fock_backend.gate_matrix t.proto gate)
+
+(* Loss Kraus operators on qumode k with transmissivity η:
+   K_j|n⟩ = √(C(n_k, j)·η^{n_k−j}·(1−η)^j)·|n − j·e_k⟩. *)
+let loss t k rate =
+  if k < 0 || k >= t.n then invalid_arg "Density_backend.loss: qumode out of range";
+  if rate < 0. || rate > 1. then invalid_arg "Density_backend.loss: rate out of [0,1]";
+  if rate = 0. then t
+  else begin
+    let eta = 1. -. rate in
+    let dim = dimension t in
+    let acc = Mat.create dim dim in
+    let result = ref acc in
+    for j = 0 to t.cutoff do
+      let kraus = Mat.create dim dim in
+      let nonzero = ref false in
+      Array.iteri
+        (fun col pattern ->
+           let nk = pattern.(k) in
+           if nk >= j then begin
+             let lowered = Array.copy pattern in
+             lowered.(k) <- nk - j;
+             match Fock_backend.basis_index t.proto (Array.to_list lowered) with
+             | Some row ->
+               let w =
+                 sqrt
+                   (Combin.binomial nk j
+                    *. (eta ** float_of_int (nk - j))
+                    *. ((1. -. eta) ** float_of_int j))
+               in
+               if w > 0. then begin
+                 Mat.set kraus row col (Cx.re w);
+                 nonzero := true
+               end
+             | None -> ()
+           end)
+        t.basis;
+      if !nonzero then
+        result := Mat.add !result (Mat.mul kraus (Mat.mul t.rho (Mat.adjoint kraus)))
+    done;
+    { t with rho = !result }
+  end
+
+let run_circuit ?noise t circuit =
+  if Bose_circuit.Circuit.modes circuit <> t.n then
+    invalid_arg "Density_backend.run_circuit: mode count mismatch";
+  List.fold_left
+    (fun t gate ->
+       let t = apply_gate t gate in
+       match noise with
+       | None -> t
+       | Some model ->
+         let rate = Noise.loss_of_gate model gate in
+         if rate > 0. then
+           List.fold_left (fun t k -> loss t k rate) t (Gate.qumodes gate)
+         else t)
+    t
+    (Bose_circuit.Circuit.gates circuit)
+
+let probability t pattern =
+  match Fock_backend.basis_index t.proto pattern with
+  | None -> 0.
+  | Some i -> (Mat.get t.rho i i).Complex.re
+
+let trace t = (Mat.trace t.rho).Complex.re
+
+let purity t = (Mat.trace (Mat.mul t.rho t.rho)).Complex.re
+
+let mean_photons t =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i pattern ->
+       acc :=
+         !acc
+         +. ((Mat.get t.rho i i).Complex.re *. float_of_int (Array.fold_left ( + ) 0 pattern)))
+    t.basis;
+  !acc

@@ -1,0 +1,41 @@
+(** Truncated-Fock-space density-matrix simulator with photon loss.
+
+    The third, fully independent implementation of GBS dynamics: mixed
+    states ρ over the truncated Fock basis, unitary gates as ρ → UρU†
+    (reusing {!Fock_backend}'s generators), and the loss channel as its
+    Kraus decomposition
+    K_j|n⟩ = √(C(n,j) η^{n−j} (1−η)^j) |n−j⟩.
+    This is the reference the lossy covariance-formalism simulator is
+    cross-validated against. Practical for ≤ 3 qumodes at cutoffs ≤ 6
+    (dimension grows as C(modes+cutoff, modes)²). *)
+
+type t
+
+val vacuum : modes:int -> cutoff:int -> t
+val modes : t -> int
+val dimension : t -> int
+
+val of_pure : Fock_backend.t -> t
+(** ρ = |ψ⟩⟨ψ|. *)
+
+val apply_gate : t -> Bose_circuit.Gate.t -> t
+
+val loss : t -> int -> float -> t
+(** Photon-loss channel with the given loss rate on one qumode. *)
+
+val run_circuit : ?noise:Bose_circuit.Noise.t -> t -> Bose_circuit.Circuit.t -> t
+(** Apply gates in order; with [noise], each gate is followed by loss on
+    the qumodes it touched — the same convention as
+    {!Gaussian.run_circuit}. *)
+
+val probability : t -> int list -> float
+(** ⟨pattern|ρ|pattern⟩. *)
+
+val trace : t -> float
+(** tr ρ — below 1 when amplitude leaked past the truncation. *)
+
+val purity : t -> float
+(** tr ρ². *)
+
+val mean_photons : t -> float
+(** tr(ρ·Σ n̂_k). *)

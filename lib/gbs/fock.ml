@@ -1,0 +1,114 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Linsolve = Bose_linalg.Linsolve
+module Combin = Bose_util.Combin
+module Dist = Bose_util.Dist
+open Cx
+
+type prepared = {
+  n : int;
+  a : Mat.t;  (* X(I − Q⁻¹), 2N×2N, symmetric *)
+  gamma : Cx.t array;  (* Q⁻¹·d *)
+  p0 : float;
+  displaced : bool;
+}
+
+(* Σ = T·V·T† with T = ½[[I, iI], [I, −iI]] maps the ħ=2 xxpp
+   covariance to the complex (â, â†) basis where vacuum is I/2. *)
+let husimi_q state =
+  let n = Gaussian.modes state in
+  let v = Gaussian.cov state in
+  let dim = 2 * n in
+  let q = Mat.create dim dim in
+  for j = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let xx = v.(j).(k)
+      and xp = v.(j).(n + k)
+      and px = v.(n + j).(k)
+      and pp = v.(n + j).(n + k) in
+      (* T V T† blocks, entrywise:
+         Σ_aa†-style blocks over (j,k):
+           upper-left  = ¼((xx + pp) + i(px − xp))
+           upper-right = ¼((xx − pp) + i(px + xp))
+           lower-left  = conj of upper-right
+           lower-right = conj of upper-left *)
+      let ul = Cx.make ((xx +. pp) /. 4.) ((px -. xp) /. 4.) in
+      let ur = Cx.make ((xx -. pp) /. 4.) ((px +. xp) /. 4.) in
+      Mat.set q j k ul;
+      Mat.set q j (n + k) ur;
+      Mat.set q (n + j) k (Cx.conj ur);
+      Mat.set q (n + j) (n + k) (Cx.conj ul)
+    done
+  done;
+  (* Q = Σ + I/2. *)
+  for i = 0 to dim - 1 do
+    Mat.set q i i (Mat.get q i i +: Cx.re 0.5)
+  done;
+  q
+
+let prepare state =
+  let n = Gaussian.modes state in
+  let dim = 2 * n in
+  let q = husimi_q state in
+  let qinv, qdet = Linsolve.inverse_det q in
+  (* A = X(I − Q⁻¹) where X swaps the two N-blocks. *)
+  let a =
+    Mat.init dim dim (fun i j ->
+        let src = if i < n then n + i else i - n in
+        let id = if src = j then Cx.one else Cx.zero in
+        id -: Mat.get qinv src j)
+  in
+  let d =
+    Array.init dim (fun i ->
+        let beta = Gaussian.alpha state (i mod n) in
+        if i < n then beta else Cx.conj beta)
+  in
+  (* γ = d†·Q⁻¹ = conj(Q⁻¹·d) since Q is Hermitian — the diagonal the
+     loop hafnian carries for displaced states. *)
+  let qinv_d = Mat.mul_vec qinv d in
+  let gamma = Array.map Cx.conj qinv_d in
+  let exponent =
+    let acc = ref Cx.zero in
+    Array.iteri (fun i di -> acc := !acc +: (Cx.conj di *: qinv_d.(i))) d;
+    Cx.scale (-0.5) !acc
+  in
+  let p0 = exp exponent.Complex.re /. sqrt (Cx.abs qdet) in
+  let displaced = Array.exists (fun z -> Cx.abs z > 1e-12) d in
+  { n; a; gamma; p0; displaced }
+
+let vacuum_probability p = p.p0
+
+let probability p pattern =
+  if Array.length pattern <> p.n then invalid_arg "Fock.probability: pattern length mismatch";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Fock.probability: negative photon count") pattern;
+  let total = Array.fold_left ( + ) 0 pattern in
+  if total = 0 then p.p0
+  else begin
+    (* Index list: mode k repeated n_k times in the â block, then the
+       same in the â† block. *)
+    let block = Array.concat (Array.to_list (Array.mapi (fun k c -> Array.make c k) pattern)) in
+    let indices = Array.append block (Array.map (fun k -> k + p.n) block) in
+    let size = Array.length indices in
+    let sub =
+      Mat.init size size (fun i j ->
+          if i = j then p.gamma.(indices.(i)) else Mat.get p.a indices.(i) indices.(j))
+    in
+    let h = if p.displaced then Hafnian.loop_hafnian sub else Hafnian.hafnian sub in
+    let denom = Array.fold_left (fun acc c -> acc *. Combin.factorial c) 1. pattern in
+    let value = p.p0 *. (h.Complex.re /. denom) in
+    (* Rounding can leave a tiny negative residue. *)
+    Float.max 0. value
+  end
+
+let pattern_distribution ~max_photons state =
+  let p = prepare state in
+  let patterns = Combin.patterns_up_to ~modes:p.n ~max_photons in
+  List.map (fun pat -> (pat, probability p (Array.of_list pat))) patterns
+
+let tail = [ -1 ]
+
+let truncated ~max_photons state =
+  let pairs = pattern_distribution ~max_photons state in
+  let mass = List.fold_left (fun acc (_, q) -> acc +. q) 0. pairs in
+  let tail_mass = Float.max 0. (1. -. mass) in
+  Dist.of_weights_raw ((tail, tail_mass) :: pairs)

@@ -1,0 +1,39 @@
+(** Fock-basis measurement probabilities of Gaussian states — the GBS
+    output distribution (Hamilton et al. 2017).
+
+    For a Gaussian state with husimi covariance Q = Σ + I/2 and complex
+    mean d, the probability of photon pattern n̄ is
+
+    p(n̄) = exp(−½ d†Q⁻¹d) / (√det Q · Π n_i!) · lhaf(Ã_{n̄})
+
+    where Ã_{n̄} repeats rows/columns of A = X(I − Q⁻¹) per photon
+    count and carries γ = Q⁻¹d on its diagonal. Without displacement the
+    loop hafnian reduces to the hafnian. All quantities are N×N-scale;
+    only the per-pattern (loop) hafnian is exponential in the photon
+    number, which the truncated distributions below keep small. *)
+
+type prepared
+(** A Gaussian state preprocessed for repeated probability queries. *)
+
+val prepare : Gaussian.t -> prepared
+(** One-time O(N³) setup (inverse, determinant). *)
+
+val vacuum_probability : prepared -> float
+
+val probability : prepared -> int array -> float
+(** Probability of measuring exactly the given photon pattern
+    (length-N array of photon counts). *)
+
+val pattern_distribution :
+  max_photons:int -> Gaussian.t -> (int list * float) list
+(** All patterns with total photons ≤ [max_photons] and their exact
+    probabilities. The sum is < 1; the missing tail is the probability
+    of seeing more photons. *)
+
+val truncated : max_photons:int -> Gaussian.t -> int list Bose_util.Dist.t
+(** {!pattern_distribution} as an unnormalized distribution plus the
+    {!tail} outcome carrying the remaining mass, so the total is 1 and
+    divergences between truncations are well-defined. *)
+
+val tail : int list
+(** Reserved outcome ([\[-1\]]) holding the truncated tail mass. *)

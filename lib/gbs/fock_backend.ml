@@ -1,0 +1,134 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Expm = Bose_linalg.Expm
+module Combin = Bose_util.Combin
+module Gate = Bose_circuit.Gate
+open Cx
+
+type t = {
+  n : int;
+  cutoff : int;
+  basis : int array array;  (* basis.(i) = photon pattern *)
+  index : (int list, int) Hashtbl.t;
+  amplitudes : Cx.t array;
+}
+
+let vacuum ~modes ~cutoff =
+  if modes <= 0 then invalid_arg "Fock_backend.vacuum: need at least one qumode";
+  if cutoff < 0 then invalid_arg "Fock_backend.vacuum: negative cutoff";
+  let patterns = Combin.patterns_up_to ~modes ~max_photons:cutoff in
+  let basis = Array.of_list (List.map Array.of_list patterns) in
+  let index = Hashtbl.create (Array.length basis) in
+  Array.iteri (fun i p -> Hashtbl.add index (Array.to_list p) i) basis;
+  let amplitudes = Array.make (Array.length basis) Cx.zero in
+  amplitudes.(Hashtbl.find index (List.init modes (fun _ -> 0))) <- Cx.one;
+  { n = modes; cutoff; basis; index; amplitudes }
+
+let basis_state ~modes ~cutoff pattern =
+  let t = vacuum ~modes ~cutoff in
+  if List.length pattern <> modes then invalid_arg "Fock_backend.basis_state: pattern length";
+  (match Hashtbl.find_opt t.index pattern with
+   | None -> invalid_arg "Fock_backend.basis_state: pattern beyond cutoff"
+   | Some i ->
+     Array.fill t.amplitudes 0 (Array.length t.amplitudes) Cx.zero;
+     t.amplitudes.(i) <- Cx.one);
+  t
+
+let modes t = t.n
+let cutoff t = t.cutoff
+let dimension t = Array.length t.basis
+
+let lookup t pattern = Hashtbl.find_opt t.index pattern
+
+(* Annihilation operator a_k as a dim×dim matrix on the truncated basis:
+   ⟨m|a_k|n⟩ = √n_k when m = n − e_k. *)
+let annihilator t k =
+  let dim = dimension t in
+  let m = Mat.create dim dim in
+  Array.iteri
+    (fun col pattern ->
+       if pattern.(k) > 0 then begin
+         let lowered = Array.copy pattern in
+         lowered.(k) <- lowered.(k) - 1;
+         match lookup t (Array.to_list lowered) with
+         | Some row -> Mat.set m row col (Cx.re (sqrt (float_of_int pattern.(k))))
+         | None -> ()
+       end)
+    t.basis;
+  m
+
+let apply_matrix t m =
+  { t with amplitudes = Mat.mul_vec m t.amplitudes }
+
+(* The gate's truncated unitary: exponentiated ladder-operator
+   generator (paper §II-A definitions). *)
+let gate_matrix t gate =
+  Gate.validate ~modes:t.n gate;
+  match gate with
+  | Gate.Phase (k, phi) ->
+    let dim = dimension t in
+    let m = Mat.create dim dim in
+    Array.iteri
+      (fun i pattern -> Mat.set m i i (Cx.exp_i (phi *. float_of_int pattern.(k))))
+      t.basis;
+    m
+  | Gate.Squeeze (k, alpha) ->
+    (* G = ½(α*·a² − α·a†²). *)
+    let a = annihilator t k in
+    let a2 = Mat.mul a a in
+    let adag2 = Mat.adjoint a2 in
+    let g =
+      Mat.sub
+        (Mat.scale (Cx.scale 0.5 (Cx.conj alpha)) a2)
+        (Mat.scale (Cx.scale 0.5 alpha) adag2)
+    in
+    Expm.expm g
+  | Gate.Displace (k, alpha) ->
+    (* G = α·a† − α*·a. *)
+    let a = annihilator t k in
+    let g = Mat.sub (Mat.scale alpha (Mat.adjoint a)) (Mat.scale (Cx.conj alpha) a) in
+    Expm.expm g
+  | Gate.Beamsplitter (k, l, theta, phi) ->
+    (* G = θ(e^{iφ}·a_k·a_l† − e^{−iφ}·a_k†·a_l); photon-conserving, so
+       exact on the truncated space. *)
+    let ak = annihilator t k and al = annihilator t l in
+    let kl = Mat.mul ak (Mat.adjoint al) in
+    let g =
+      Mat.scale (Cx.re theta)
+        (Mat.sub (Mat.scale (Cx.exp_i phi) kl) (Mat.scale (Cx.exp_i (-.phi)) (Mat.adjoint kl)))
+    in
+    Expm.expm g
+
+let apply_gate t gate =
+  match gate with
+  | Gate.Phase (k, phi) ->
+    (* Diagonal and exact: no need to build the full matrix. *)
+    let amplitudes =
+      Array.mapi
+        (fun i z -> z *: Cx.exp_i (phi *. float_of_int t.basis.(i).(k)))
+        t.amplitudes
+    in
+    Gate.validate ~modes:t.n gate;
+    { t with amplitudes }
+  | Gate.Squeeze _ | Gate.Displace _ | Gate.Beamsplitter _ ->
+    apply_matrix t (gate_matrix t gate)
+
+let basis_patterns t = Array.map Array.copy t.basis
+
+let basis_index t pattern = lookup t pattern
+
+let run_circuit t circuit =
+  if Bose_circuit.Circuit.modes circuit <> t.n then
+    invalid_arg "Fock_backend.run_circuit: mode count mismatch";
+  List.fold_left apply_gate t (Bose_circuit.Circuit.gates circuit)
+
+let amplitude t pattern =
+  match lookup t pattern with Some i -> t.amplitudes.(i) | None -> Cx.zero
+
+let probability t pattern = Cx.abs2 (amplitude t pattern)
+
+let norm t = sqrt (Array.fold_left (fun acc z -> acc +. Cx.abs2 z) 0. t.amplitudes)
+
+let distribution t =
+  Array.to_list
+    (Array.mapi (fun i p -> (Array.to_list p, Cx.abs2 t.amplitudes.(i))) t.basis)

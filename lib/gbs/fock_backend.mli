@@ -1,0 +1,57 @@
+(** Independent truncated-Fock-space state-vector simulator.
+
+    A second backend, deliberately sharing no math with the
+    covariance-formalism {!Gaussian} simulator: states are complex
+    amplitudes over all Fock patterns with total photons ≤ cutoff, and
+    gates act by exponentiating their ladder-operator generators
+    (paper §II-A definitions) on the truncated space. Used to
+    cross-validate the Gaussian backend and its hafnian probabilities;
+    photon-number-conserving gates (phase shifters, beamsplitters) are
+    exact here, squeezing/displacement carry truncation error that
+    vanishes as the cutoff grows.
+
+    Pure states only (no loss channel); practical for ≤ 4 qumodes at
+    cutoffs ≤ 8. *)
+
+type t
+
+val vacuum : modes:int -> cutoff:int -> t
+(** All amplitude on |0…0⟩; basis = patterns with ≤ [cutoff] photons. *)
+
+val basis_state : modes:int -> cutoff:int -> int list -> t
+(** All amplitude on one Fock pattern — e.g. the single-photon inputs of
+    plain Boson sampling. @raise Invalid_argument if the pattern exceeds
+    the cutoff. *)
+
+val modes : t -> int
+val cutoff : t -> int
+val dimension : t -> int
+(** Basis size C(modes + cutoff, modes). *)
+
+val apply_gate : t -> Bose_circuit.Gate.t -> t
+(** Apply one gate (builds and exponentiates its generator). *)
+
+val basis_patterns : t -> int array array
+(** The basis, as photon patterns indexed consistently with
+    {!gate_matrix} rows/columns. Fresh copy. *)
+
+val basis_index : t -> int list -> int option
+(** Index of a pattern in the basis; [None] beyond the cutoff. *)
+
+val gate_matrix : t -> Bose_circuit.Gate.t -> Bose_linalg.Mat.t
+(** The gate's (truncated) unitary matrix on the basis — shared with the
+    density-matrix backend. *)
+
+val run_circuit : t -> Bose_circuit.Circuit.t -> t
+(** Apply every gate in order (no noise model). *)
+
+val amplitude : t -> int list -> Bose_linalg.Cx.t
+(** ⟨pattern|ψ⟩; 0 for patterns beyond the cutoff. *)
+
+val probability : t -> int list -> float
+
+val norm : t -> float
+(** ‖ψ‖ — below 1 when amplitude leaked past the truncation. *)
+
+val distribution : t -> (int list * float) list
+(** All basis patterns with their probabilities. *)

@@ -1,0 +1,287 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Linsolve = Bose_linalg.Linsolve
+module Gate = Bose_circuit.Gate
+module Noise = Bose_circuit.Noise
+
+type t = { n : int; mean : float array; cov : float array array }
+
+let vacuum n =
+  if n <= 0 then invalid_arg "Gaussian.vacuum: need at least one qumode";
+  let cov = Array.init (2 * n) (fun i -> Array.init (2 * n) (fun j -> if i = j then 1. else 0.)) in
+  { n; mean = Array.make (2 * n) 0.; cov }
+
+let thermal n nbar =
+  if Array.length nbar <> n then invalid_arg "Gaussian.thermal: length mismatch";
+  Array.iter (fun x -> if x < 0. then invalid_arg "Gaussian.thermal: negative occupation") nbar;
+  let t = vacuum n in
+  for k = 0 to n - 1 do
+    let v = (2. *. nbar.(k)) +. 1. in
+    t.cov.(k).(k) <- v;
+    t.cov.(n + k).(n + k) <- v
+  done;
+  t
+
+let modes t = t.n
+
+let copy t = { n = t.n; mean = Array.copy t.mean; cov = Array.map Array.copy t.cov }
+
+let mean t = Array.copy t.mean
+let cov t = Array.map Array.copy t.cov
+
+(* V ← S V Sᵀ and r̄ ← S r̄ where S acts as the m×m block [s] on the
+   listed quadrature [indices] and as identity elsewhere. *)
+let apply_block t indices s =
+  let m = Array.length indices in
+  let dim = 2 * t.n in
+  (* Rows: V[idx_a][j] ← Σ_b s[a][b]·V[idx_b][j]. *)
+  let buf = Array.make m 0. in
+  for j = 0 to dim - 1 do
+    for a = 0 to m - 1 do
+      let acc = ref 0. in
+      for b = 0 to m - 1 do
+        acc := !acc +. (s.(a).(b) *. t.cov.(indices.(b)).(j))
+      done;
+      buf.(a) <- !acc
+    done;
+    for a = 0 to m - 1 do
+      t.cov.(indices.(a)).(j) <- buf.(a)
+    done
+  done;
+  (* Columns. *)
+  for i = 0 to dim - 1 do
+    for a = 0 to m - 1 do
+      let acc = ref 0. in
+      for b = 0 to m - 1 do
+        acc := !acc +. (s.(a).(b) *. t.cov.(i).(indices.(b)))
+      done;
+      buf.(a) <- !acc
+    done;
+    for a = 0 to m - 1 do
+      t.cov.(i).(indices.(a)) <- buf.(a)
+    done
+  done;
+  (* Mean. *)
+  for a = 0 to m - 1 do
+    let acc = ref 0. in
+    for b = 0 to m - 1 do
+      acc := !acc +. (s.(a).(b) *. t.mean.(indices.(b)))
+    done;
+    buf.(a) <- !acc
+  done;
+  for a = 0 to m - 1 do
+    t.mean.(indices.(a)) <- buf.(a)
+  done
+
+let check_mode t k name =
+  if k < 0 || k >= t.n then invalid_arg (name ^ ": qumode out of range")
+
+let phase t k angle =
+  check_mode t k "Gaussian.phase";
+  (* â → e^{iφ}â ⇒ (x,p) rotates by φ. *)
+  let c = cos angle and s = sin angle in
+  apply_block t [| k; t.n + k |] [| [| c; -.s |]; [| s; c |] |]
+
+let squeeze_real t k r =
+  (* S(r), r real: x → e^{-r}x, p → e^{r}p. *)
+  apply_block t [| k; t.n + k |] [| [| exp (-.r); 0. |]; [| 0.; exp r |] |]
+
+(* S(α) with α = r·e^{iψ} equals R(ψ/2)·S(r)·R(−ψ/2): rotate into the
+   squeezing axis, squeeze, rotate back. *)
+let squeeze t k alpha =
+  check_mode t k "Gaussian.squeeze";
+  let r = Cx.abs alpha and psi = Cx.arg alpha in
+  if r <> 0. then begin
+    phase t k (-.psi /. 2.);
+    squeeze_real t k r;
+    phase t k (psi /. 2.)
+  end
+
+let beamsplitter t k l theta phi =
+  check_mode t k "Gaussian.beamsplitter";
+  check_mode t l "Gaussian.beamsplitter";
+  if k = l then invalid_arg "Gaussian.beamsplitter: distinct qumodes required";
+  (* Bogoliubov block U₂ = [[cosθ, −e^{−iφ}sinθ], [e^{iφ}sinθ, cosθ]];
+     symplectic is [[Re U₂, −Im U₂], [Im U₂, Re U₂]] on (x_k,x_l,p_k,p_l). *)
+  let c = cos theta and s = sin theta in
+  let xkk = c and xkl = -.(cos phi) *. s and xlk = cos phi *. s and xll = c in
+  let ykk = 0. and ykl = sin phi *. s and ylk = sin phi *. s and yll = 0. in
+  apply_block t
+    [| k; l; t.n + k; t.n + l |]
+    [|
+      [| xkk; xkl; -.ykk; -.ykl |];
+      [| xlk; xll; -.ylk; -.yll |];
+      [| ykk; ykl; xkk; xkl |];
+      [| ylk; yll; xlk; xll |];
+    |]
+
+let displace t k alpha =
+  check_mode t k "Gaussian.displace";
+  (* ħ = 2: ⟨x⟩ += 2·Re α, ⟨p⟩ += 2·Im α. *)
+  t.mean.(k) <- t.mean.(k) +. (2. *. alpha.Complex.re);
+  t.mean.(t.n + k) <- t.mean.(t.n + k) +. (2. *. alpha.Complex.im)
+
+let interferometer t u =
+  if Mat.rows u <> t.n || Mat.cols u <> t.n then
+    invalid_arg "Gaussian.interferometer: unitary size mismatch";
+  let indices = Array.init (2 * t.n) (fun i -> i) in
+  let s =
+    Array.init (2 * t.n) (fun i ->
+        Array.init (2 * t.n) (fun j ->
+            let block_i = i / t.n and block_j = j / t.n in
+            let z = Mat.get u (i mod t.n) (j mod t.n) in
+            match (block_i, block_j) with
+            | 0, 0 | 1, 1 -> z.Complex.re
+            | 0, 1 -> -.z.Complex.im
+            | 1, 0 -> z.Complex.im
+            | _ -> assert false))
+  in
+  apply_block t indices s
+
+let apply_gate t = function
+  | Gate.Squeeze (k, a) -> squeeze t k a
+  | Gate.Phase (k, angle) -> phase t k angle
+  | Gate.Beamsplitter (k, l, theta, phi) -> beamsplitter t k l theta phi
+  | Gate.Displace (k, a) -> displace t k a
+
+let loss t k rate =
+  check_mode t k "Gaussian.loss";
+  if rate < 0. || rate > 1. then invalid_arg "Gaussian.loss: rate out of [0,1]";
+  let eta = 1. -. rate in
+  let g = sqrt eta in
+  let dim = 2 * t.n in
+  let scale_line idx =
+    for j = 0 to dim - 1 do
+      t.cov.(idx).(j) <- t.cov.(idx).(j) *. g;
+      t.cov.(j).(idx) <- t.cov.(j).(idx) *. g
+    done;
+    t.cov.(idx).(idx) <- t.cov.(idx).(idx) +. (1. -. eta);
+    t.mean.(idx) <- t.mean.(idx) *. g
+  in
+  scale_line k;
+  scale_line (t.n + k)
+
+let run_circuit ?noise t circuit =
+  if Bose_circuit.Circuit.modes circuit <> t.n then
+    invalid_arg "Gaussian.run_circuit: mode count mismatch";
+  List.iter
+    (fun gate ->
+       apply_gate t gate;
+       match noise with
+       | None -> ()
+       | Some model ->
+         let rate = Noise.loss_of_gate model gate in
+         if rate > 0. then List.iter (fun k -> loss t k rate) (Gate.qumodes gate))
+    (Bose_circuit.Circuit.gates circuit)
+
+let reduce t modes =
+  let k = List.length modes in
+  if k = 0 then invalid_arg "Gaussian.reduce: keep at least one qumode";
+  if List.length (List.sort_uniq compare modes) <> k then
+    invalid_arg "Gaussian.reduce: duplicate qumodes";
+  List.iter (fun m -> check_mode t m "Gaussian.reduce") modes;
+  let keep = Array.of_list modes in
+  let index i = if i < k then keep.(i) else t.n + keep.(i - k) in
+  {
+    n = k;
+    mean = Array.init (2 * k) (fun i -> t.mean.(index i));
+    cov = Array.init (2 * k) (fun i -> Array.init (2 * k) (fun j -> t.cov.(index i).(index j)));
+  }
+
+let mean_photons t k =
+  check_mode t k "Gaussian.mean_photons";
+  let vxx = t.cov.(k).(k) and vpp = t.cov.(t.n + k).(t.n + k) in
+  let x = t.mean.(k) and p = t.mean.(t.n + k) in
+  ((vxx +. vpp -. 2.) /. 4.) +. (((x *. x) +. (p *. p)) /. 4.)
+
+let total_mean_photons t =
+  let acc = ref 0. in
+  for k = 0 to t.n - 1 do
+    acc := !acc +. mean_photons t k
+  done;
+  !acc
+
+let alpha t k =
+  check_mode t k "Gaussian.alpha";
+  Cx.make (t.mean.(k) /. 2.) (t.mean.(t.n + k) /. 2.)
+
+(* Real matrix product helper for the symplectic-spectrum computation. *)
+let rmul a b =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let symplectic_eigenvalues t =
+  let dim = 2 * t.n in
+  (* V^{1/2} from the (real symmetric) eigendecomposition of V. *)
+  let evals, q = Bose_linalg.Eigen.jacobi t.cov in
+  let sqrt_evals = Array.map (fun l -> sqrt (Float.max 0. l)) evals in
+  let vhalf =
+    Array.init dim (fun i ->
+        Array.init dim (fun j ->
+            let acc = ref 0. in
+            for k = 0 to dim - 1 do
+              acc := !acc +. (q.(i).(k) *. sqrt_evals.(k) *. q.(j).(k))
+            done;
+            !acc))
+  in
+  (* Ω (xxpp) = [[0, I], [−I, 0]]. A = V^{1/2}·Ω·V^{1/2} is real
+     antisymmetric; the eigenvalues of AᵀA are the ν_k², each twice. *)
+  let omega =
+    Array.init dim (fun i ->
+        Array.init dim (fun j ->
+            if i < t.n && j = i + t.n then 1.
+            else if i >= t.n && j = i - t.n then -1.
+            else 0.))
+  in
+  let a = rmul vhalf (rmul omega vhalf) in
+  let at = Array.init dim (fun i -> Array.init dim (fun j -> a.(j).(i))) in
+  let ata = rmul at a in
+  (* Symmetrize away rounding before Jacobi. *)
+  let sym = Array.init dim (fun i -> Array.init dim (fun j -> (ata.(i).(j) +. ata.(j).(i)) /. 2.)) in
+  let nu2, _ = Bose_linalg.Eigen.jacobi sym in
+  Array.init t.n (fun k -> sqrt (Float.max 0. nu2.(2 * k)))
+
+let purity t =
+  Array.fold_left (fun acc nu -> acc /. Float.max nu 1e-12) 1. (symplectic_eigenvalues t)
+
+let is_valid ?(tol = 1e-8) t =
+  let dim = 2 * t.n in
+  let symmetric = ref true in
+  for i = 0 to dim - 1 do
+    for j = i + 1 to dim - 1 do
+      if Float.abs (t.cov.(i).(j) -. t.cov.(j).(i)) > tol then symmetric := false
+    done
+  done;
+  !symmetric
+  && Array.for_all (fun nu -> nu >= 1. -. Float.max tol 1e-7) (symplectic_eigenvalues t)
+
+let homodyne_sample rng t k =
+  check_mode t k "Gaussian.homodyne_sample";
+  t.mean.(k) +. (sqrt (Float.max 0. t.cov.(k).(k)) *. Bose_util.Rng.gaussian rng)
+
+let homodyne_condition t k outcome =
+  check_mode t k "Gaussian.homodyne_condition";
+  if t.n < 2 then invalid_arg "Gaussian.homodyne_condition: need a qumode left over";
+  let keep = List.filter (fun m -> m <> k) (List.init t.n (fun m -> m)) in
+  let keep = Array.of_list keep in
+  let nk = Array.length keep in
+  let index i = if i < nk then keep.(i) else t.n + keep.(i - nk) in
+  let vxx = t.cov.(k).(k) in
+  if vxx <= 1e-12 then invalid_arg "Gaussian.homodyne_condition: degenerate quadrature";
+  (* Gaussian conditioning on x_k = outcome with projector Π = |x⟩⟨x|:
+     V' = V_B − C·C ᵀ/V_xx, r̄' = r̄_B + C·(outcome − x̄_k)/V_xx, where
+     C = Cov(B, x_k). *)
+  let c = Array.init (2 * nk) (fun i -> t.cov.(index i).(k)) in
+  let cov =
+    Array.init (2 * nk) (fun i ->
+        Array.init (2 * nk) (fun j -> t.cov.(index i).(index j) -. (c.(i) *. c.(j) /. vxx)))
+  in
+  let shift = (outcome -. t.mean.(k)) /. vxx in
+  let mean = Array.init (2 * nk) (fun i -> t.mean.(index i) +. (c.(i) *. shift)) in
+  { n = nk; mean; cov }

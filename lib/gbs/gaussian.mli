@@ -1,0 +1,99 @@
+(** Gaussian quantum states in the covariance-matrix formalism — the
+    OCaml equivalent of the Strawberry Fields 'Gaussian' backend the
+    paper simulates with (§VII-A).
+
+    A state over N qumodes is a mean vector r̄ ∈ ℝ^{2N} and covariance
+    V ∈ ℝ^{2N×2N} in xxpp ordering ([x_0..x_{N-1}, p_0..p_{N-1}]) with
+    ħ = 2, so the vacuum has V = I. All GBS gates map Gaussian states to
+    Gaussian states; photon loss does too, which is what makes noisy
+    GBS simulation tractable at this level. *)
+
+type t
+
+val vacuum : int -> t
+(** N-qumode vacuum. *)
+
+val thermal : int -> float array -> t
+(** [thermal n nbar] — product of thermal states with the given mean
+    photon numbers (covariance (2n̄_k+1)·I on each qumode).
+    @raise Invalid_argument on negative n̄ or length mismatch. *)
+
+val modes : t -> int
+
+val copy : t -> t
+
+val mean : t -> float array
+(** Copy of the 2N mean vector. *)
+
+val cov : t -> float array array
+(** Copy of the 2N×2N covariance matrix. *)
+
+(** {1 Gates} *)
+
+val squeeze : t -> int -> Bose_linalg.Cx.t -> unit
+(** S(α) on one qumode, α = r·e^{iψ} (paper §II-A definition). *)
+
+val phase : t -> int -> float -> unit
+(** R(φ) on one qumode. *)
+
+val beamsplitter : t -> int -> int -> float -> float -> unit
+(** BS(θ, φ) on two qumodes. *)
+
+val displace : t -> int -> Bose_linalg.Cx.t -> unit
+(** D(α) on one qumode. *)
+
+val interferometer : t -> Bose_linalg.Mat.t -> unit
+(** Apply a whole N×N linear-interferometer unitary at once:
+    â → U·â. *)
+
+val apply_gate : t -> Bose_circuit.Gate.t -> unit
+
+val loss : t -> int -> float -> unit
+(** [loss state k rate] — photon-loss channel with loss rate ∈ [0, 1]
+    (transmissivity 1 − rate) on qumode [k]. *)
+
+val run_circuit : ?noise:Bose_circuit.Noise.t -> t -> Bose_circuit.Circuit.t -> unit
+(** Apply every gate in order; with [noise], each gate is followed by
+    its loss channel on the qumodes it touched. *)
+
+val reduce : t -> int list -> t
+(** Marginal state of the listed qumodes (in the listed order) — for a
+    Gaussian state this is just the corresponding sub-blocks of the
+    mean and covariance. @raise Invalid_argument on duplicates or
+    out-of-range modes. *)
+
+(** {1 Observables} *)
+
+val mean_photons : t -> int -> float
+(** ⟨n̂⟩ of one qumode. *)
+
+val total_mean_photons : t -> float
+
+val alpha : t -> int -> Bose_linalg.Cx.t
+(** ⟨â⟩ of one qumode. *)
+
+val symplectic_eigenvalues : t -> float array
+(** The N symplectic eigenvalues ν_k of the covariance matrix, sorted
+    decreasing. Physical states have every ν_k ≥ 1 (ħ = 2); pure states
+    have all ν_k = 1. Computed as the square roots of the eigenvalues
+    of AᵀA with A = V^{1/2}·Ω·V^{1/2} — real-symmetric work only. *)
+
+val purity : t -> float
+(** tr ρ² = 1 / Π ν_k. 1 for pure states. *)
+
+val is_valid : ?tol:float -> t -> bool
+(** Physicality: covariance symmetric and the uncertainty principle
+    V + iΩ ⪰ 0 holds, i.e. every symplectic eigenvalue ≥ 1 − [tol]. *)
+
+(** {1 Homodyne measurement} *)
+
+val homodyne_sample : Bose_util.Rng.t -> t -> int -> float
+(** Draw an x-quadrature measurement outcome of one qumode: a normal
+    deviate with the marginal's mean and variance. Does not modify the
+    state. *)
+
+val homodyne_condition : t -> int -> float -> t
+(** The post-measurement state of the {e remaining} qumodes after an
+    ideal x-homodyne on qumode [k] returned the given outcome: Gaussian
+    conditioning [V' = V_B − C·(Π V_A Π)⁻¹·Cᵀ] with Π projecting on x.
+    @raise Invalid_argument on a single-qumode state. *)

@@ -1,0 +1,128 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+open Cx
+
+let max_indices = 24
+
+(* Memoized DP over index subsets. State = bitmask of still-unmatched
+   indices; take its lowest set bit i and either loop it (A_ii, loop
+   hafnian only) or match it with any other set bit j. *)
+let dp ~loops a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+  if n > max_indices then invalid_arg "Hafnian: matrix too large for subset DP";
+  if (not loops) && n mod 2 = 1 then Cx.zero
+  else begin
+    let memo = Hashtbl.create 1024 in
+    let rec go mask =
+      if mask = 0 then Cx.one
+      else
+        match Hashtbl.find_opt memo mask with
+        | Some v -> v
+        | None ->
+          let i =
+            (* lowest set bit index *)
+            let rec find b = if mask land (1 lsl b) <> 0 then b else find (b + 1) in
+            find 0
+          in
+          let rest = mask lxor (1 lsl i) in
+          let acc = ref Cx.zero in
+          if loops then acc := Mat.get a i i *: go rest;
+          for j = i + 1 to n - 1 do
+            if rest land (1 lsl j) <> 0 then
+              acc := !acc +: (Mat.get a i j *: go (rest lxor (1 lsl j)))
+          done;
+          Hashtbl.add memo mask !acc;
+          !acc
+    in
+    go ((1 lsl n) - 1)
+  end
+
+let loop_hafnian a = dp ~loops:true a
+
+(* Björklund's power-trace hafnian:
+   haf(A) = Σ_{S ⊆ [m]} (−1)^{m−|S|} · [x^m] exp(Σ_{j=1}^m tr((X·A_S)^j)/(2j)·x^j)
+   for a 2m×2m symmetric A, where A_S keeps the index pairs (2i, 2i+1)
+   with i ∈ S and X is the direct sum of [[0,1],[1,0]] blocks. *)
+let powertrace a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+  if n = 0 then Cx.one
+  else if n mod 2 = 1 then Cx.zero
+  else begin
+    let m = n / 2 in
+    let total = ref Cx.zero in
+    for mask = 1 to (1 lsl m) - 1 do
+      (* Indices kept by this subset, as pairs. *)
+      let pairs = ref [] in
+      for i = m - 1 downto 0 do
+        if mask land (1 lsl i) <> 0 then pairs := i :: !pairs
+      done;
+      let s = List.length !pairs in
+      let dim = 2 * s in
+      let idx = Array.make dim 0 in
+      List.iteri
+        (fun pos i ->
+           idx.(2 * pos) <- 2 * i;
+           idx.((2 * pos) + 1) <- (2 * i) + 1)
+        !pairs;
+      (* B = X·A_S: X swaps each row pair. *)
+      let b =
+        Mat.init dim dim (fun r c ->
+            let swapped = if r mod 2 = 0 then r + 1 else r - 1 in
+            Mat.get a idx.(swapped) idx.(c))
+      in
+      (* Power traces tr(B^j), j = 1..m. *)
+      let traces = Array.make (m + 1) Cx.zero in
+      let power = ref (Mat.copy b) in
+      traces.(1) <- Mat.trace !power;
+      for j = 2 to m do
+        power := Mat.mul !power b;
+        traces.(j) <- Mat.trace !power
+      done;
+      (* g = exp(Σ_j traces_j/(2j)·x^j) truncated at x^m, via the
+         logarithmic-derivative recurrence g_k = (1/k)·Σ c_j·j·g_{k−j}. *)
+      let c = Array.init (m + 1) (fun j -> if j = 0 then Cx.zero else Cx.scale (1. /. (2. *. float_of_int j)) traces.(j)) in
+      let g = Array.make (m + 1) Cx.zero in
+      g.(0) <- Cx.one;
+      for k = 1 to m do
+        let acc = ref Cx.zero in
+        for j = 1 to k do
+          acc := !acc +: (Cx.scale (float_of_int j) c.(j) *: g.(k - j))
+        done;
+        g.(k) <- Cx.scale (1. /. float_of_int k) !acc
+      done;
+      let sign = if (m - s) mod 2 = 0 then Cx.one else Cx.re (-1.) in
+      total := !total +: (sign *: g.(m))
+    done;
+    !total
+  end
+
+let hafnian_powertrace = powertrace
+
+let hafnian a =
+  let n = Mat.rows a in
+  if n <= 20 then dp ~loops:false a
+  else if n <= 32 then powertrace a
+  else invalid_arg "Hafnian.hafnian: matrix too large"
+
+let rec brute ~loops a indices =
+  match indices with
+  | [] -> Cx.one
+  | i :: rest ->
+    let matched =
+      List.fold_left
+        (fun acc j ->
+           let remaining = List.filter (fun x -> x <> j) rest in
+           acc +: (Mat.get a i j *: brute ~loops a remaining))
+        Cx.zero rest
+    in
+    if loops then matched +: (Mat.get a i i *: brute ~loops a rest) else matched
+
+let hafnian_brute a =
+  let n = Mat.rows a in
+  if n mod 2 = 1 then Cx.zero else brute ~loops:false a (List.init n (fun i -> i))
+
+let loop_hafnian_brute a =
+  let n = Mat.rows a in
+  brute ~loops:true a (List.init n (fun i -> i))

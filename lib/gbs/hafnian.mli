@@ -1,0 +1,31 @@
+(** Hafnians and loop hafnians of complex symmetric matrices.
+
+    The hafnian sums products over perfect matchings; the loop hafnian
+    additionally allows fixed points weighted by diagonal entries. They
+    give GBS output probabilities (Hamilton et al. 2017): the hafnian
+    for squeezed inputs, the loop hafnian when displacements are present.
+
+    The main implementation is a memoized subset-DP — exact, and fast
+    up to the ~20 indices (10 photons) that the truncated distributions
+    in this repository need. A brute-force enumerator over perfect
+    matchings backs it in tests. *)
+
+val hafnian : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** [hafnian a] for symmetric [a]. 1 for the 0×0 matrix, 0 for odd
+    dimension. Dispatches between the subset-DP (small) and the
+    power-trace algorithm (up to 32 indices).
+    @raise Invalid_argument above 32 indices. *)
+
+val hafnian_powertrace : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** Björklund's power-trace algorithm: O(2^{n/2}·n³) time and O(n²)
+    memory — reaches sizes where the subset-DP's 2^n memo does not fit.
+    Exposed for testing; {!hafnian} picks it automatically. *)
+
+val loop_hafnian : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** Loop hafnian; nonzero for odd dimensions when the diagonal is. *)
+
+val hafnian_brute : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** Perfect-matching enumeration, O((n-1)!!) — for testing only. *)
+
+val loop_hafnian_brute : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** Matching-with-loops enumeration — for testing only. *)

@@ -1,0 +1,59 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+open Cx
+
+(* Ryser with Gray code: perm(A) = (−1)ⁿ Σ_{∅≠S⊆[n]} (−1)^{|S|} Π_i Σ_{j∈S} a_ij.
+   The Gray-code walk updates the row sums by a single column per step. *)
+let permanent a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Permanent: square matrices only";
+  if n > 24 then invalid_arg "Permanent: matrix too large";
+  if n = 0 then Cx.one
+  else begin
+    let sums = Array.make n Cx.zero in
+    let total = ref Cx.zero in
+    let gray = ref 0 in
+    for k = 1 to (1 lsl n) - 1 do
+      let next = k lxor (k lsr 1) in
+      let changed = !gray lxor next in
+      let j =
+        let rec find b = if changed land (1 lsl b) <> 0 then b else find (b + 1) in
+        find 0
+      in
+      let add = next land (1 lsl j) <> 0 in
+      for i = 0 to n - 1 do
+        sums.(i) <-
+          (if add then sums.(i) +: Mat.get a i j else sums.(i) -: Mat.get a i j)
+      done;
+      gray := next;
+      let product = Array.fold_left (fun acc s -> acc *: s) Cx.one sums in
+      let bits =
+        let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+        count next 0
+      in
+      let sign = if (n - bits) mod 2 = 0 then Cx.one else Cx.re (-1.) in
+      total := !total +: (sign *: product)
+    done;
+    !total
+  end
+
+let permanent_brute a =
+  let n = Mat.rows a in
+  if n = 0 then Cx.one
+  else begin
+    let rec go used acc_row =
+      if acc_row = n then Cx.one
+      else begin
+        let acc = ref Cx.zero in
+        for j = 0 to n - 1 do
+          if not used.(j) then begin
+            used.(j) <- true;
+            acc := !acc +: (Mat.get a acc_row j *: go used (acc_row + 1));
+            used.(j) <- false
+          end
+        done;
+        !acc
+      end
+    in
+    go (Array.make n false) 0
+  end

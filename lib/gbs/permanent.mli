@@ -1,0 +1,11 @@
+(** Matrix permanents — the amplitude kernel of plain (Fock-input)
+    Boson sampling (Aaronson & Arkhipov 2011), the other computation
+    the paper's compiler targets. *)
+
+val permanent : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** Ryser's formula with Gray-code updates: O(2ⁿ·n). 1 for the 0×0
+    matrix. @raise Invalid_argument for non-square input or above 24
+    rows. *)
+
+val permanent_brute : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
+(** Sum over all permutations — for testing only. *)

@@ -1,0 +1,62 @@
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+
+type t = { dist : int list Dist.t; tail_mass : float }
+
+let of_state ~max_photons state =
+  let dist = Fock.truncated ~max_photons state in
+  { dist; tail_mass = Dist.prob dist Fock.tail }
+
+let tail_mass t = t.tail_mass
+
+let draw rng t = Dist.sample rng t.dist
+
+let draw_many rng t shots = List.init shots (fun _ -> draw rng t)
+
+let empirical rng t shots = Dist.of_samples (draw_many rng t shots)
+
+let exact t = t.dist
+
+let chain_rule ?(max_per_mode = 6) rng state =
+  let n = Gaussian.modes state in
+  (* Preprocess every prefix marginal once. *)
+  let prepared =
+    Array.init n (fun k -> Fock.prepare (Gaussian.reduce state (List.init (k + 1) (fun i -> i))))
+  in
+  let drawn = ref [] in
+  let prefix_prob = ref 1. in
+  let photons_so_far = ref 0 in
+  for k = 0 to n - 1 do
+    let before = Array.of_list (List.rev !drawn) in
+    (* Joint probabilities P(n_1…n_{k-1}, j), probing j upward and
+       stopping once the conditional mass is exhausted (or the hafnian
+       would outgrow the hafnian index budget — a regime whose probability is
+       already negligible). *)
+    let joint = Array.make (max_per_mode + 1) 0. in
+    let prefix = Float.max !prefix_prob 1e-300 in
+    let cumulative = ref 0. in
+    (try
+       for j = 0 to max_per_mode do
+         if 2 * (!photons_so_far + j) > 24 then raise Exit;
+         joint.(j) <- Fock.probability prepared.(k) (Array.append before [| j |]);
+         cumulative := !cumulative +. joint.(j);
+         if !cumulative /. prefix > 1. -. 1e-6 then raise Exit
+       done
+     with Exit -> ());
+    (* Conditional distribution given the prefix; mass beyond the cap is
+       folded into the cap entry so the draw is always well-defined. *)
+    let weights = Array.map (fun p -> p /. prefix) joint in
+    let overflow = Float.max 0. (1. -. (!cumulative /. prefix)) in
+    weights.(max_per_mode) <- weights.(max_per_mode) +. overflow;
+    let j =
+      if Array.fold_left ( +. ) 0. weights <= 0. then 0
+      else Rng.choose_weighted rng weights
+    in
+    drawn := j :: !drawn;
+    photons_so_far := !photons_so_far + j;
+    prefix_prob := Float.max joint.(min j max_per_mode) 1e-300
+  done;
+  List.rev !drawn
+
+let chain_rule_many ?max_per_mode rng state shots =
+  List.init shots (fun _ -> chain_rule ?max_per_mode rng state)

@@ -1,0 +1,47 @@
+(** Drawing Fock-pattern samples from Gaussian states.
+
+    Sampling goes through the exact truncated distribution: since a lossy
+    GBS circuit still produces a Gaussian state, the output distribution
+    can be computed once and sampled cheaply per shot — the classical
+    analogue of the paper's 10000-shot experiments. *)
+
+type t
+(** A sampler: a truncated output distribution ready to draw from. *)
+
+val of_state : max_photons:int -> Gaussian.t -> t
+
+val tail_mass : t -> float
+(** Probability that a shot exceeds the truncation (drawn as {!Fock.tail}). *)
+
+val draw : Bose_util.Rng.t -> t -> int list
+(** One sample; {!Fock.tail} when the (untracked) tail is hit. *)
+
+val draw_many : Bose_util.Rng.t -> t -> int -> int list list
+(** [draw_many rng t shots] — tail draws are included as {!Fock.tail}. *)
+
+val empirical : Bose_util.Rng.t -> t -> int -> int list Bose_util.Dist.t
+(** Empirical distribution of [shots] draws. *)
+
+val exact : t -> int list Bose_util.Dist.t
+(** The underlying truncated distribution (total mass 1 with tail). *)
+
+(** {1 Chain-rule sampling}
+
+    For mode counts where enumerating every pattern is hopeless, one can
+    still draw exact samples mode by mode: the marginal probability of
+    the first k modes showing (n_1…n_k) is the Fock probability of the
+    k-mode {e reduced} state (Gaussian marginals are free), so each mode
+    is drawn from the conditional
+    P(n_k | n_1…n_{k−1}) = P_k(n_1…n_k) / P_{k−1}(n_1…n_{k−1}).
+    Cost per shot is Σ_k (cutoff+1) loop-hafnian evaluations whose size
+    is the photons drawn so far — independent of the total pattern
+    count. *)
+
+val chain_rule :
+  ?max_per_mode:int -> Bose_util.Rng.t -> Gaussian.t -> int list
+(** One exact sample. Per-mode counts are capped at [max_per_mode]
+    (default 6), with the tiny excess conditional mass folded into the
+    cap. *)
+
+val chain_rule_many :
+  ?max_per_mode:int -> Bose_util.Rng.t -> Gaussian.t -> int -> int list list

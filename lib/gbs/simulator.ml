@@ -1,0 +1,7 @@
+let run ?noise circuit =
+  let state = Gaussian.vacuum (Bose_circuit.Circuit.modes circuit) in
+  Gaussian.run_circuit ?noise state circuit;
+  state
+
+let output_distribution ?noise ~max_photons circuit =
+  Fock.truncated ~max_photons (run ?noise circuit)

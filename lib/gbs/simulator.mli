@@ -1,0 +1,13 @@
+(** Convenience front-end: run a GBS circuit from vacuum, with or
+    without per-gate photon loss, and read out the final state or its
+    output distribution. *)
+
+val run : ?noise:Bose_circuit.Noise.t -> Bose_circuit.Circuit.t -> Gaussian.t
+(** Execute from the vacuum. *)
+
+val output_distribution :
+  ?noise:Bose_circuit.Noise.t ->
+  max_photons:int ->
+  Bose_circuit.Circuit.t ->
+  int list Bose_util.Dist.t
+(** Exact truncated output distribution of a (noisy) circuit. *)

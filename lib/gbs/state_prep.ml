@@ -1,0 +1,104 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Eigen = Bose_linalg.Eigen
+module Gate = Bose_circuit.Gate
+module Circuit = Bose_circuit.Circuit
+
+(* Ω·v in xxpp ordering: (x, p) → (p, −x) blockwise. *)
+let omega_apply n v =
+  Array.init (2 * n) (fun i -> if i < n then v.(n + i) else -.v.(i - n))
+
+let dot a b =
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let normalize v =
+  let norm = sqrt (dot v v) in
+  Array.map (fun x -> x /. norm) v
+
+let synthesis_parts state =
+  let n = Gaussian.modes state in
+  let nu = Gaussian.symplectic_eigenvalues state in
+  if Array.exists (fun x -> Float.abs (x -. 1.) > 1e-6) nu then
+    invalid_arg "State_prep: state is not pure";
+  let v = Gaussian.cov state in
+  let dim = 2 * n in
+  (* S = V^{1/2}: symmetric, positive definite, and (for pure states)
+     symplectic. *)
+  let evals, q = Eigen.jacobi v in
+  let s =
+    Array.init dim (fun i ->
+        Array.init dim (fun j ->
+            let acc = ref 0. in
+            for k = 0 to dim - 1 do
+              acc := !acc +. (q.(i).(k) *. sqrt (Float.max 1e-15 evals.(k)) *. q.(j).(k))
+            done;
+            !acc))
+  in
+  (* Eigen-decompose S; eigenvalues pair as (e^{r}, e^{-r}) with the
+     partner eigenvector Ω·u. Keep one representative per pair from the
+     λ ≥ 1 side, Gram-Schmidt-ing inside degenerate eigenspaces against
+     both previous picks and their Ω-partners. *)
+  let lambda, vecs = Eigen.jacobi s in
+  let column k = Array.init dim (fun i -> vecs.(i).(k)) in
+  let picked = ref [] in
+  let r = Array.make n 0. in
+  let idx = ref 0 in
+  for k = 0 to dim - 1 do
+    if lambda.(k) >= 1. -. 1e-10 && !idx < n then begin
+      (* Orthogonalize against every already-picked u and Ω·u. *)
+      let u = ref (column k) in
+      List.iter
+        (fun (p, op) ->
+           let c1 = dot !u p and c2 = dot !u op in
+           u := Array.mapi (fun i x -> x -. (c1 *. p.(i)) -. (c2 *. op.(i))) !u)
+        !picked;
+      let norm = sqrt (dot !u !u) in
+      if norm > 1e-8 then begin
+        let u = normalize !u in
+        let ou = omega_apply n u in
+        picked := (u, ou) :: !picked;
+        r.(!idx) <- log lambda.(k);
+        incr idx
+      end
+    end
+  done;
+  if !idx <> n then invalid_arg "State_prep: eigenvector pairing failed";
+  let pairs = Array.of_list (List.rev !picked) in
+  (* K = [u_1 … u_N | Ω·u_1 … Ω·u_N] is orthogonal symplectic; its
+     interferometer unitary is U = X + iY with X_{ij} = u_j's x-part at
+     row i, Y from the p-part: K = [[X, −Y], [Y, X]] means column j of K
+     is (X_{·j}; Y_{·j}) and column N+j is (−Y_{·j}; X_{·j}). *)
+  let unitary =
+    Mat.init n n (fun i j ->
+        let u, _ = pairs.(j) in
+        Cx.make u.(i) u.(n + i))
+  in
+  let displacements = Array.init n (fun k -> Gaussian.alpha state k) in
+  (r, unitary, displacements)
+
+let synthesize state =
+  let n = Gaussian.modes state in
+  let r, unitary, displacements = synthesis_parts state in
+  let squeezers =
+    List.filter_map
+      (fun k ->
+         (* D acts on (x_k, p_k) as diag(e^{r_k}, e^{-r_k}), which is the
+            squeezer S(−r_k) in our convention (x → e^{-r}x for +r). *)
+         if Float.abs r.(k) < 1e-12 then None else Some (Gate.Squeeze (k, Cx.re (-.r.(k)))))
+      (List.init n (fun k -> k))
+  in
+  let interferometer_gates =
+    Circuit.gates
+      (Bose_decomp.Plan.to_circuit (Bose_decomp.Eliminate.decompose_baseline unitary))
+  in
+  let displacement_gates =
+    List.filter_map
+      (fun k ->
+         if Cx.abs displacements.(k) < 1e-12 then None
+         else Some (Gate.Displace (k, displacements.(k))))
+      (List.init n (fun k -> k))
+  in
+  Circuit.add_all (Circuit.create ~modes:n)
+    (squeezers @ interferometer_gates @ displacement_gates)

@@ -1,0 +1,26 @@
+(** Gaussian state-preparation synthesis (Bloch–Messiah for pure
+    states): given a target {e pure} zero-mean-or-displaced Gaussian
+    state, produce the squeezer + interferometer (+ displacement)
+    circuit that prepares it from vacuum.
+
+    For a pure state the covariance V is itself symplectic positive-
+    definite, so S = V^{1/2} satisfies V = S·Sᵀ, and the symmetric
+    symplectic S eigen-decomposes as K·D·Kᵀ with K orthogonal
+    {e and} symplectic (a passive interferometer, built by pairing each
+    eigenvector u of eigenvalue e^{r} with Ω·u of eigenvalue e^{−r}) and
+    D a diagonal of single-mode squeezers. Since Kᵀ fixes the vacuum,
+    the circuit "squeeze by D, then interferometer K" prepares V. *)
+
+val synthesize : Gaussian.t -> Bose_circuit.Circuit.t
+(** Circuit preparing the given state from vacuum: one squeezer per
+    squeezed mode, one interferometer unitary (as decomposed MZI gates
+    via the chain pattern), and final displacements.
+    @raise Invalid_argument if the state is not pure (purity below
+    ~1 − 1e-6). *)
+
+val synthesis_parts :
+  Gaussian.t -> float array * Bose_linalg.Mat.t * Bose_linalg.Cx.t array
+(** The raw ingredients: per-mode squeezing parameters r, the N×N
+    interferometer unitary, and the displacements — for callers that
+    want to compile the interferometer themselves (e.g. through the
+    Bosehedral pipeline). *)

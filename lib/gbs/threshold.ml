@@ -1,0 +1,47 @@
+let silent_probability state modes =
+  match modes with
+  | [] -> 1.
+  | _ -> Fock.vacuum_probability (Fock.prepare (Gaussian.reduce state modes))
+
+let click_probability state pattern =
+  let n = Gaussian.modes state in
+  if Array.length pattern <> n then
+    invalid_arg "Threshold.click_probability: pattern length mismatch";
+  let clicks = ref [] and silent = ref [] in
+  Array.iteri (fun k c -> if c then clicks := k :: !clicks else silent := k :: !silent) pattern;
+  let clicks = !clicks and silent = !silent in
+  let c = List.length clicks in
+  if c > 20 then invalid_arg "Threshold.click_probability: too many clicking qumodes";
+  (* Inclusion–exclusion over the clicking set S with silent set D:
+     P(exactly S clicks) = Σ_{Z ⊆ S} (−1)^{|Z|} P(silent on D ∪ Z). *)
+  let clicks = Array.of_list clicks in
+  let acc = ref 0. in
+  for mask = 0 to (1 lsl c) - 1 do
+    let subset = ref [] and size = ref 0 in
+    Array.iteri
+      (fun i k ->
+         if mask land (1 lsl i) <> 0 then begin
+           subset := k :: !subset;
+           incr size
+         end)
+      clicks;
+    let sign = if !size mod 2 = 0 then 1. else -1. in
+    acc := !acc +. (sign *. silent_probability state (silent @ !subset))
+  done;
+  Float.max 0. !acc
+
+let click_distribution state =
+  let n = Gaussian.modes state in
+  if n > 16 then invalid_arg "Threshold.click_distribution: too many qumodes";
+  List.init (1 lsl n) (fun mask ->
+      let pattern = Array.init n (fun k -> mask land (1 lsl k) <> 0) in
+      let bits = Array.to_list (Array.map (fun b -> if b then 1 else 0) pattern) in
+      (bits, click_probability state pattern))
+
+let expected_clicks state =
+  let n = Gaussian.modes state in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. -. silent_probability state [ k ])
+  done;
+  !acc

@@ -1,0 +1,27 @@
+(** Threshold ("click / no-click") detection of Gaussian states.
+
+    Many GBS experiments (including the Borealis and Jiuzhang quantum-
+    advantage demonstrations) use threshold detectors that only report
+    whether each qumode saw ≥ 1 photon. For Gaussian states the exact
+    click-pattern probabilities follow from inclusion–exclusion over
+    vacuum probabilities of reduced states — the Torontonian (Quesada
+    et al. 2018) computed through 2^{clicks} marginal determinants. *)
+
+val silent_probability : Gaussian.t -> int list -> float
+(** Probability that every listed qumode registers zero photons
+    (others unconstrained): the vacuum probability of the marginal
+    state. The empty list gives 1. *)
+
+val click_probability : Gaussian.t -> bool array -> float
+(** Exact probability of a full click pattern: [pattern.(k)] true means
+    qumode [k] clicks, false means it stays silent. Inclusion–exclusion
+    costs 2^{#clicks} determinant evaluations.
+    @raise Invalid_argument if the pattern length differs from the
+    state's mode count or more than 20 modes click. *)
+
+val click_distribution : Gaussian.t -> (int list * float) list
+(** All 2^N click patterns (as 0/1 lists) with exact probabilities;
+    sums to 1 up to rounding. Practical for N ≲ 12. *)
+
+val expected_clicks : Gaussian.t -> float
+(** Σ_k P(qumode k clicks). *)

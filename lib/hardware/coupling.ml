@@ -1,0 +1,168 @@
+type t = { n : int; adjacency : int list array }
+
+let bfs_reachable t start =
+  let seen = Array.make t.n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start queue;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr count;
+    List.iter
+      (fun w ->
+         if not seen.(w) then begin
+           seen.(w) <- true;
+           Queue.add w queue
+         end)
+      t.adjacency.(v)
+  done;
+  !count
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Coupling.of_edges: need at least one qumode";
+  let adjacency = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+       if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Coupling.of_edges: vertex out of range";
+       if a = b then invalid_arg "Coupling.of_edges: self-loop";
+       adjacency.(a) <- b :: adjacency.(a);
+       adjacency.(b) <- a :: adjacency.(b))
+    edges;
+  Array.iteri (fun i ns -> adjacency.(i) <- List.sort_uniq compare ns) adjacency;
+  let t = { n; adjacency } in
+  if n > 1 && bfs_reachable t 0 <> n then invalid_arg "Coupling.of_edges: graph is disconnected";
+  t
+
+let of_lattice lattice = of_edges ~n:(Lattice.size lattice) (Lattice.edges lattice)
+
+let triangular ~rows ~cols =
+  let lattice = Lattice.create ~rows ~cols in
+  let diagonals = ref [] in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 2 do
+      diagonals := (Lattice.index lattice r c, Lattice.index lattice (r + 1) (c + 1)) :: !diagonals
+    done
+  done;
+  of_edges ~n:(rows * cols) (Lattice.edges lattice @ !diagonals)
+
+let hexagonal ~rows ~cols =
+  if rows * cols < 1 then invalid_arg "Coupling.hexagonal: empty";
+  let lattice = Lattice.create ~rows ~cols in
+  let horizontal = ref [] and vertical = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 2 do
+      horizontal := (Lattice.index lattice r c, Lattice.index lattice r (c + 1)) :: !horizontal
+    done
+  done;
+  (* Brick-wall verticals: keep (r, c)-(r+1, c) only when r + c is even,
+     giving the honeycomb's degree-3 structure. *)
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      if (r + c) mod 2 = 0 then
+        vertical := (Lattice.index lattice r c, Lattice.index lattice (r + 1) c) :: !vertical
+    done
+  done;
+  of_edges ~n:(rows * cols) (!horizontal @ !vertical)
+
+let size t = t.n
+let neighbors t v = t.adjacency.(v)
+let adjacent t a b = List.mem b t.adjacency.(a)
+
+let edges t =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    List.iter (fun w -> if w > v then acc := (v, w) :: !acc) t.adjacency.(v)
+  done;
+  !acc
+
+let degree t v = List.length t.adjacency.(v)
+let max_degree t =
+  let best = ref 0 in
+  for v = 0 to t.n - 1 do
+    best := max !best (degree t v)
+  done;
+  !best
+
+(* BFS returning distances and a parent tree. *)
+let bfs t start =
+  let dist = Array.make t.n (-1) in
+  let parent = Array.make t.n (-1) in
+  let queue = Queue.create () in
+  dist.(start) <- 0;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+         if dist.(w) < 0 then begin
+           dist.(w) <- dist.(v) + 1;
+           parent.(w) <- v;
+           Queue.add w queue
+         end)
+      t.adjacency.(v)
+  done;
+  (dist, parent)
+
+let farthest dist =
+  let best = ref 0 in
+  Array.iteri (fun v d -> if d > dist.(!best) then best := v) dist;
+  !best
+
+(* A dominating-path heuristic: walk from a peripheral node, always
+   stepping to the neighbor whose closed neighborhood covers the most
+   still-uncovered qumodes. Off-path qumodes end up adjacent to the path
+   (or close to it), exactly the main-path + branches shape the
+   Bosehedral template wants — which is why this is NOT a longest-path
+   search: a Hamiltonian path would leave no qumodes to serve as
+   branches. *)
+let dominating_path t =
+  if t.n = 1 then [ 0 ]
+  else begin
+    let dist0, _ = bfs t 0 in
+    let start = farthest dist0 in
+    let covered = Array.make t.n false in
+    let on_path = Array.make t.n false in
+    let cover v =
+      covered.(v) <- true;
+      List.iter (fun w -> covered.(w) <- true) t.adjacency.(v)
+    in
+    let gain v =
+      let g = ref (if covered.(v) then 0 else 1) in
+      List.iter (fun w -> if not covered.(w) then incr g) t.adjacency.(v);
+      !g
+    in
+    let all_covered () =
+      let ok = ref true in
+      for v = 0 to t.n - 1 do
+        if not covered.(v) then ok := false
+      done;
+      !ok
+    in
+    on_path.(start) <- true;
+    cover start;
+    let rec walk current acc =
+      if all_covered () then List.rev acc
+      else begin
+        let candidates = List.filter (fun w -> not on_path.(w)) t.adjacency.(current) in
+        match candidates with
+        | [] -> List.rev acc
+        | _ ->
+          let best =
+            List.fold_left
+              (fun b w -> if gain w > gain b then w else b)
+              (List.hd candidates) (List.tl candidates)
+          in
+          on_path.(best) <- true;
+          cover best;
+          walk best (best :: acc)
+      end
+    in
+    walk start [ start ]
+  end
+
+
+
+let pp fmt t =
+  Format.fprintf fmt "coupling graph: %d qumodes, %d edges, max degree %d" t.n
+    (List.length (edges t)) (max_degree t)

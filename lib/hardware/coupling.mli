@@ -1,0 +1,41 @@
+(** Arbitrary qumode coupling graphs.
+
+    The paper's design targets 2-D square lattices but notes the flow
+    "can be generalized to other layouts like triangular or hexagonal
+    arrays" (§IV) — this module provides those layouts plus fully
+    general graphs, and {!Embedding.of_coupling} builds elimination
+    patterns for them. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** @raise Invalid_argument on self-loops, out-of-range vertices, or a
+    disconnected graph. Duplicate edges are merged. *)
+
+val of_lattice : Lattice.t -> t
+
+val triangular : rows:int -> cols:int -> t
+(** Square grid plus one diagonal per cell (down-right), giving interior
+    degree 6. *)
+
+val hexagonal : rows:int -> cols:int -> t
+(** Honeycomb-like coupling: the square grid keeps all horizontal edges
+    but only every other vertical edge (brick-wall pattern), max
+    degree 3. *)
+
+val size : t -> int
+val adjacent : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val edges : t -> (int * int) list
+val degree : t -> int -> int
+val max_degree : t -> int
+
+val dominating_path : t -> int list
+(** A simple path whose closed neighborhood covers most qumodes, found
+    greedily from a peripheral start — the main amplitude-accumulation
+    path for generic embeddings. Deliberately not a longest path:
+    off-path qumodes are needed as branches. The walk can get cornered
+    on low-degree layouts before covering everything; leftover qumodes
+    become deeper branches in {!Embedding.of_coupling}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,172 @@
+(* The construction works in a virtual orientation whose horizontal axis
+   is the lattice's longer edge; [to_site] maps virtual coordinates back
+   to flat device indices. Rows are grouped into 3-row bands with the
+   main path on each band's middle row, vertical connectors at
+   alternating ends, and the leftover 1 or 2 rows handled as in the
+   paper's Fig. 5 (b): a leftover single row chains through the branch
+   row below it; a leftover pair becomes a 2-row band with the main path
+   on its lower row and branches above. *)
+
+let build_virtual nr nc =
+  let edges = ref [] in
+  let mains = ref [] in
+  let edge a b = edges := (a, b) :: !edges in
+  let main v = mains := v :: !mains in
+  let full_bands = nr / 3 and rem = nr mod 3 in
+  if nr = 1 then begin
+    for c = 0 to nc - 2 do
+      edge (0, c) (0, c + 1)
+    done;
+    for c = 0 to nc - 1 do
+      main (0, c)
+    done
+  end
+  else if nr = 2 then begin
+    for c = 0 to nc - 2 do
+      edge (0, c) (0, c + 1)
+    done;
+    for c = 0 to nc - 1 do
+      main (0, c);
+      edge (1, c) (0, c)
+    done
+  end
+  else begin
+    (* End column of band b's main-path run. *)
+    let end_col b = if b mod 2 = 0 then nc - 1 else 0 in
+    let connector_col = Array.make nr (-1) in
+    (* Full bands: horizontal main rows. *)
+    for b = 0 to full_bands - 1 do
+      let mr = (3 * b) + 1 in
+      for c = 0 to nc - 2 do
+        edge (mr, c) (mr, c + 1)
+      done;
+      for c = 0 to nc - 1 do
+        main (mr, c)
+      done
+    done;
+    (* Connectors between consecutive full bands. *)
+    for b = 0 to full_bands - 2 do
+      let e = end_col b in
+      let mr = (3 * b) + 1 in
+      edge (mr, e) (mr + 1, e);
+      edge (mr + 1, e) (mr + 2, e);
+      edge (mr + 2, e) (mr + 3, e);
+      main (mr + 1, e);
+      main (mr + 2, e);
+      connector_col.(mr + 1) <- e;
+      connector_col.(mr + 2) <- e
+    done;
+    (* Leftover rows. *)
+    (match rem with
+     | 0 -> ()
+     | 1 ->
+       (* Single extra row: chain each node through the branch below. *)
+       for c = 0 to nc - 1 do
+         edge (nr - 1, c) (nr - 2, c)
+       done
+     | 2 ->
+       (* Two extra rows: 2-row band with main on its lower row. *)
+       let e = end_col (full_bands - 1) in
+       let emr = nr - 2 in
+       edge (emr - 2, e) (emr - 1, e);
+       edge (emr - 1, e) (emr, e);
+       main (emr - 1, e);
+       connector_col.(emr - 1) <- e;
+       for c = 0 to nc - 2 do
+         edge (emr, c) (emr, c + 1)
+       done;
+       for c = 0 to nc - 1 do
+         main (emr, c);
+         edge (nr - 1, c) (emr, c)
+       done
+     | _ -> assert false);
+    (* Branch rows of full bands, skipping connector columns. *)
+    for b = 0 to full_bands - 1 do
+      let mr = (3 * b) + 1 in
+      for c = 0 to nc - 1 do
+        if connector_col.(mr - 1) <> c then edge (mr - 1, c) (mr, c);
+        if mr + 1 < nr && connector_col.(mr + 1) <> c then edge (mr + 1, c) (mr, c)
+      done
+    done
+  end;
+  (!edges, !mains)
+
+let zigzag lattice =
+  let r = Lattice.rows lattice and c = Lattice.cols lattice in
+  let transposed = r > c in
+  let nr = if transposed then c else r
+  and nc = if transposed then r else c in
+  let to_site (vr, vc) =
+    if transposed then Lattice.index lattice vc vr else Lattice.index lattice vr vc
+  in
+  let edges_rc, mains_rc = build_virtual nr nc in
+  let n = Lattice.size lattice in
+  let edges = List.map (fun (a, b) -> (to_site a, to_site b)) edges_rc in
+  let main_path = List.map to_site mains_rc in
+  let start = to_site (if nr >= 3 then (1, 0) else (0, 0)) in
+  let sites = Array.init n (fun i -> i) in
+  Pattern.of_tree ~main_path ~sites ~n ~edges ~start ()
+
+let for_program lattice n =
+  if n > Lattice.size lattice then
+    invalid_arg "Embedding.for_program: program larger than device";
+  Pattern.restrict (zigzag lattice) n
+
+let of_coupling coupling =
+  let n = Coupling.size coupling in
+  let path = Coupling.dominating_path coupling in
+  let on_path = Array.make n false in
+  List.iter (fun v -> on_path.(v) <- true) path;
+  let path_edges =
+    let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+    pairs path
+  in
+  (* Multi-source BFS from the whole main path: every off-path qumode
+     hangs off its BFS parent, keeping branches shallow. *)
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  List.iter (fun v -> Queue.add v queue) path;
+  let visited = Array.copy on_path in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+         if not visited.(w) then begin
+           visited.(w) <- true;
+           parent.(w) <- v;
+           Queue.add w queue
+         end)
+      (Coupling.neighbors coupling v)
+  done;
+  let branch_edges =
+    List.filter_map
+      (fun v -> if parent.(v) >= 0 then Some (v, parent.(v)) else None)
+      (List.init n (fun v -> v))
+  in
+  let sites = Array.init n (fun i -> i) in
+  Pattern.of_tree ~main_path:path ~sites ~n
+    ~edges:(path_edges @ branch_edges)
+    ~start:(List.hd path) ()
+
+let of_coupling_for_program coupling n =
+  if n > Coupling.size coupling then
+    invalid_arg "Embedding.of_coupling_for_program: program larger than device";
+  Pattern.restrict (of_coupling coupling) n
+
+let baseline lattice n =
+  if n > Lattice.size lattice then
+    invalid_arg "Embedding.baseline: program larger than device";
+  let path = Array.of_list (Lattice.snake_path lattice) in
+  let edges = List.init (n - 1) (fun i -> (path.(i), path.(i + 1))) in
+  let nodes = Array.sub path 0 n in
+  (* Compress site ids to 0..n-1 for Pattern.of_tree. *)
+  let id_of = Hashtbl.create n in
+  Array.iteri (fun i site -> Hashtbl.add id_of site i) nodes;
+  let compress s = Hashtbl.find id_of s in
+  Pattern.of_tree
+    ~main_path:(List.init n (fun i -> i))
+    ~sites:nodes
+    ~n
+    ~edges:(List.map (fun (a, b) -> (compress a, compress b)) edges)
+    ~start:(compress path.(0))
+    ()

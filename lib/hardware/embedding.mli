@@ -1,0 +1,33 @@
+(** Zigzag embedding of the Bosehedral elimination template into a 2-D
+    lattice (paper §IV-B, Fig. 5).
+
+    The main path snakes through the middle row of successive 3-row
+    bands, aligned with the lattice's longer edge, turning at alternating
+    ends; every off-path qumode attaches to the adjacent main-path node,
+    or chains through a branch when the band arithmetic leaves it two
+    steps away (the [rows mod 3] cases of Fig. 5 (b)). *)
+
+val zigzag : Lattice.t -> Pattern.t
+(** Spanning-tree pattern over the whole device, BFS-labeled from the
+    start point. Use {!Pattern.restrict} to select a sub-pattern when the
+    program needs fewer qumodes than the device has (paper §IV-C). *)
+
+val for_program : Lattice.t -> int -> Pattern.t
+(** [for_program device n] = zigzag pattern restricted to the [n]
+    lowest-labeled qumodes. @raise Invalid_argument if the device has
+    fewer than [n] qumodes. *)
+
+val baseline : Lattice.t -> int -> Pattern.t
+(** The baseline chain template laid along the device's snake path,
+    truncated to [n] qumodes — what Reck/Clements-style decomposition
+    uses (paper Fig. 4, top). *)
+
+val of_coupling : Coupling.t -> Pattern.t
+(** Generic embedding for arbitrary coupling graphs (the paper's
+    triangular/hexagonal generalization, §IV): the main path is a long
+    simple path found heuristically, and every off-path qumode attaches
+    by multi-source BFS, so branches are as shallow as the layout
+    allows. Restrict with {!Pattern.restrict} for smaller programs. *)
+
+val of_coupling_for_program : Coupling.t -> int -> Pattern.t
+(** [of_coupling] restricted to the [n] lowest-labeled qumodes. *)

@@ -1,0 +1,45 @@
+type t = { nrows : int; ncols : int }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Lattice.create: dimensions must be positive";
+  { nrows = rows; ncols = cols }
+
+let rows l = l.nrows
+let cols l = l.ncols
+let size l = l.nrows * l.ncols
+
+let index l row col =
+  if row < 0 || row >= l.nrows || col < 0 || col >= l.ncols then
+    invalid_arg "Lattice.index: out of bounds";
+  (row * l.ncols) + col
+
+let coords l i =
+  if i < 0 || i >= size l then invalid_arg "Lattice.coords: out of bounds";
+  (i / l.ncols, i mod l.ncols)
+
+let adjacent l a b =
+  let ra, ca = coords l a and rb, cb = coords l b in
+  abs (ra - rb) + abs (ca - cb) = 1
+
+let neighbors l i =
+  let r, c = coords l i in
+  let candidates = [ (r - 1, c); (r, c - 1); (r, c + 1); (r + 1, c) ] in
+  List.filter_map
+    (fun (r, c) ->
+       if r >= 0 && r < l.nrows && c >= 0 && c < l.ncols then Some (index l r c) else None)
+    candidates
+
+let edges l =
+  let acc = ref [] in
+  for i = size l - 1 downto 0 do
+    List.iter (fun j -> if j > i then acc := (i, j) :: !acc) (neighbors l i)
+  done;
+  !acc
+
+let snake_path l =
+  List.concat
+    (List.init l.nrows (fun r ->
+         let row = List.init l.ncols (fun c -> index l r c) in
+         if r mod 2 = 0 then row else List.rev row))
+
+let pp fmt l = Format.fprintf fmt "%dx%d lattice (%d qumodes)" l.nrows l.ncols (size l)

@@ -1,0 +1,38 @@
+(** Two-dimensional lattice coupling structures.
+
+    The paper's hardware model (§IV, §VII-A): qumodes sit on an
+    r×c grid and native beamsplitters couple only nearest neighbors.
+    Sites are addressed either by [(row, col)] coordinates or by the
+    flat index [row * cols + col]. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** @raise Invalid_argument unless both dimensions are positive. *)
+
+val rows : t -> int
+val cols : t -> int
+val size : t -> int
+
+val index : t -> int -> int -> int
+(** [index l row col] = flat site index. @raise Invalid_argument when out
+    of bounds. *)
+
+val coords : t -> int -> int * int
+(** Inverse of {!index}. *)
+
+val adjacent : t -> int -> int -> bool
+(** Whether two flat indices are nearest neighbors on the grid. *)
+
+val neighbors : t -> int -> int list
+(** Nearest neighbors of a site, in increasing index order. *)
+
+val edges : t -> (int * int) list
+(** All coupling edges as [(low, high)] flat-index pairs. *)
+
+val snake_path : t -> int list
+(** A Hamiltonian path traversing the grid row by row, alternating
+    direction (boustrophedon) — the line the baseline chain
+    decomposition is laid out on. *)
+
+val pp : Format.formatter -> t -> unit

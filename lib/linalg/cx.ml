@@ -1,0 +1,25 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re x : t = { re = x; im = 0. }
+let make re im : t = { re; im }
+let polar = Complex.polar
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let conj = Complex.conj
+let neg = Complex.neg
+let abs = Complex.norm
+let abs2 = Complex.norm2
+let arg = Complex.arg
+let scale s (z : t) : t = { re = s *. z.re; im = s *. z.im }
+let exp_i theta : t = { re = cos theta; im = sin theta }
+
+let is_close ?(tol = 1e-9) (a : t) (b : t) =
+  Float.abs (a.re -. b.re) <= tol && Float.abs (a.im -. b.im) <= tol
+
+let pp fmt (z : t) = Format.fprintf fmt "%.6g%+.6gi" z.re z.im
+let to_string z = Format.asprintf "%a" pp z

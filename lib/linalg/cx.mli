@@ -1,0 +1,39 @@
+(** Complex-number helpers on top of [Stdlib.Complex]. *)
+
+type t = Complex.t
+
+val zero : t
+val one : t
+val i : t
+val re : float -> t
+(** Real number as a complex. *)
+
+val make : float -> float -> t
+(** [make re im]. *)
+
+val polar : float -> float -> t
+(** [polar r theta] = r·e^{iθ}. *)
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+
+val conj : t -> t
+val neg : t -> t
+val abs : t -> float
+val abs2 : t -> float
+(** Squared modulus, cheaper than [abs x ** 2.]. *)
+
+val arg : t -> float
+val scale : float -> t -> t
+val exp_i : float -> t
+(** [exp_i theta] = e^{iθ}. *)
+
+val is_close : ?tol:float -> t -> t -> bool
+(** Componentwise closeness with absolute tolerance (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [a+bi] with 6 significant digits. *)
+
+val to_string : t -> string

@@ -1,0 +1,83 @@
+let check_symmetric a =
+  let n = Array.length a in
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Eigen.jacobi: not square") a;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (a.(i).(j) -. a.(j).(i)) > 1e-9 *. (1. +. Float.abs a.(i).(j)) then
+        invalid_arg "Eigen.jacobi: not symmetric"
+    done
+  done
+
+let off_diag_norm a =
+  let n = Array.length a in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. (2. *. a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  sqrt !acc
+
+let jacobi ?(tol = 1e-12) ?(max_sweeps = 100) a0 =
+  check_symmetric a0;
+  let n = Array.length a0 in
+  let a = Array.map Array.copy a0 in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.)) in
+  let rotate p q =
+    let apq = a.(p).(q) in
+    if Float.abs apq > 1e-300 then begin
+      let theta = (a.(q).(q) -. a.(p).(p)) /. (2. *. apq) in
+      let t =
+        let s = if theta >= 0. then 1. else -1. in
+        s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.))
+      in
+      let c = 1. /. sqrt ((t *. t) +. 1.) in
+      let s = t *. c in
+      let tau = s /. (1. +. c) in
+      let app = a.(p).(p) and aqq = a.(q).(q) in
+      a.(p).(p) <- app -. (t *. apq);
+      a.(q).(q) <- aqq +. (t *. apq);
+      a.(p).(q) <- 0.;
+      a.(q).(p) <- 0.;
+      for i = 0 to n - 1 do
+        if i <> p && i <> q then begin
+          let aip = a.(i).(p) and aiq = a.(i).(q) in
+          a.(i).(p) <- aip -. (s *. (aiq +. (tau *. aip)));
+          a.(p).(i) <- a.(i).(p);
+          a.(i).(q) <- aiq +. (s *. (aip -. (tau *. aiq)));
+          a.(q).(i) <- a.(i).(q)
+        end
+      done;
+      for i = 0 to n - 1 do
+        let vip = v.(i).(p) and viq = v.(i).(q) in
+        v.(i).(p) <- vip -. (s *. (viq +. (tau *. vip)));
+        v.(i).(q) <- viq +. (s *. (vip -. (tau *. viq)))
+      done
+    end
+  in
+  let scale = Float.max 1. (off_diag_norm a) in
+  let sweeps = ref 0 in
+  while off_diag_norm a > tol *. scale && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  (* Sort eigenpairs by decreasing eigenvalue. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare a.(j).(j) a.(i).(i)) order;
+  let lambda = Array.map (fun k -> a.(k).(k)) order in
+  let vectors = Array.init n (fun i -> Array.map (fun k -> v.(i).(k)) order) in
+  (lambda, vectors)
+
+let reconstruct lambda v =
+  let n = Array.length lambda in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0. in
+          for k = 0 to n - 1 do
+            acc := !acc +. (v.(i).(k) *. lambda.(k) *. v.(j).(k))
+          done;
+          !acc))

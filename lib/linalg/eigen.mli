@@ -1,0 +1,11 @@
+(** Real-symmetric eigendecomposition (cyclic Jacobi). *)
+
+val jacobi : ?tol:float -> ?max_sweeps:int -> float array array -> float array * float array array
+(** [jacobi a] = (eigenvalues, eigenvectors) for a real symmetric matrix,
+    with [a = V · diag(λ) · Vᵀ]; eigenvector [k] is column [k] of the
+    returned matrix, i.e. [vectors.(i).(k)]. Eigenvalues are sorted in
+    decreasing order. [a] is not modified.
+    @raise Invalid_argument if [a] is not square or not symmetric. *)
+
+val reconstruct : float array -> float array array -> float array array
+(** [reconstruct lambda v] = [V · diag(λ) · Vᵀ], for testing round-trips. *)

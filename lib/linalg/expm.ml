@@ -1,0 +1,34 @@
+let one_norm m =
+  let best = ref 0. in
+  for j = 0 to Mat.cols m - 1 do
+    let acc = ref 0. in
+    for i = 0 to Mat.rows m - 1 do
+      acc := !acc +. Cx.abs (Mat.get m i j)
+    done;
+    best := Float.max !best !acc
+  done;
+  !best
+
+(* Taylor series of e^a for ‖a‖ ≤ 1/2: 24 terms give ~1e-16 residue. *)
+let taylor a =
+  let n = Mat.rows a in
+  let result = ref (Mat.identity n) in
+  let term = ref (Mat.identity n) in
+  for k = 1 to 24 do
+    term := Mat.scale (Cx.re (1. /. float_of_int k)) (Mat.mul !term a);
+    result := Mat.add !result !term
+  done;
+  !result
+
+let expm a =
+  if Mat.rows a <> Mat.cols a then invalid_arg "Expm.expm: square matrices only";
+  let norm = one_norm a in
+  let squarings =
+    if norm <= 0.5 then 0 else int_of_float (Float.ceil (Float.log2 (norm /. 0.5)))
+  in
+  let scaled = Mat.scale (Cx.re (1. /. (2. ** float_of_int squarings))) a in
+  let result = ref (taylor scaled) in
+  for _ = 1 to squarings do
+    result := Mat.mul !result !result
+  done;
+  !result

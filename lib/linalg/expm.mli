@@ -1,0 +1,10 @@
+(** Complex matrix exponential, by scaling-and-squaring with a Taylor
+    core. Used by the truncated-Fock-space simulator backend to
+    exponentiate gate generators. *)
+
+val expm : Mat.t -> Mat.t
+(** [expm a] = e^a for square [a]. Accuracy ~1e-12 for well-conditioned
+    generators (the anti-Hermitian gate generators used here). *)
+
+val one_norm : Mat.t -> float
+(** Maximum absolute column sum — the scaling estimate. *)

@@ -1,0 +1,53 @@
+
+type rotation = { m : int; n : int; theta : float; phi : float }
+
+let matrix dim { m; n; theta; phi } =
+  let t = Mat.identity dim in
+  let c = cos theta and s = sin theta in
+  Mat.set t m m (Cx.scale c (Cx.exp_i phi));
+  Mat.set t m n (Cx.re (-.s));
+  Mat.set t n m (Cx.scale s (Cx.exp_i phi));
+  Mat.set t n n (Cx.re c);
+  t
+
+let apply_t_dagger_right u { m; n; theta; phi } = Mat.rot_cols_t_dagger u ~m ~n ~theta ~phi
+
+let apply_t_right u { m; n; theta; phi } = Mat.rot_cols_t u ~m ~n ~theta ~phi
+
+(* Solve u(row,m)·e^{-iφ}cosθ = u(row,n)·sinθ:
+   φ = arg(u_m) − arg(u_n) and tanθ = |u_m| / |u_n|. *)
+let solve u ~row ~m ~n =
+  let um = Mat.get u row m and un = Mat.get u row n in
+  let am = Cx.abs um and an = Cx.abs un in
+  if am = 0. then { m; n; theta = 0.; phi = 0. }
+  else if an = 0. then { m; n; theta = Float.pi /. 2.; phi = Cx.arg um }
+  else { m; n; theta = atan2 am an; phi = Cx.arg um -. Cx.arg un }
+
+let angle_for u ~row ~m ~n = (solve u ~row ~m ~n).theta
+
+let apply_t_left u { m; n; theta; phi } = Mat.rot_rows_t u ~m ~n ~theta ~phi
+
+let apply_t_dagger_left u { m; n; theta; phi } = Mat.rot_rows_t_dagger u ~m ~n ~theta ~phi
+
+(* Solve (T·u)(m, col) = e^{iφ}cosθ·u(m,col) − sinθ·u(n,col) = 0:
+   φ = arg(u_n) − arg(u_m) and tanθ = |u_m| / |u_n|. *)
+let solve_left u ~col ~m ~n =
+  let um = Mat.get u m col and un = Mat.get u n col in
+  let am = Cx.abs um and an = Cx.abs un in
+  if am = 0. then { m; n; theta = 0.; phi = 0. }
+  else if an = 0. then { m; n; theta = Float.pi /. 2.; phi = -.Cx.arg um }
+  else { m; n; theta = atan2 am an; phi = Cx.arg un -. Cx.arg um }
+
+let eliminate_left u ~col ~m ~n =
+  let r = solve_left u ~col ~m ~n in
+  apply_t_left u r;
+  Mat.set u m col Cx.zero;
+  r
+
+let eliminate u ~row ~m ~n =
+  let r = solve u ~row ~m ~n in
+  apply_t_dagger_right u r;
+  (* The eliminated entry is zero up to rounding; pin it exactly so later
+     eliminations in the same row see a clean matrix. *)
+  Mat.set u row m Cx.zero;
+  r

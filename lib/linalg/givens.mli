@@ -1,0 +1,51 @@
+(** The two-dimensional rotations T_{m,n}(θ, φ) of the interferometer
+    decomposition (paper Eq. 1) and the elimination step built on them.
+
+    [T m n theta phi] differs from the identity only at rows/columns
+    [m], [n]:
+    {v
+       T[m][m] = e^{iφ} cos θ     T[m][n] = -sin θ
+       T[n][m] = e^{iφ} sin θ     T[n][n] =  cos θ
+    v}
+
+    The elimination right-multiplies the working matrix by T†, zeroing
+    entry [(row, m)] against entry [(row, n)] (paper Eq. 2), so a full
+    decomposition reaches [U · T₁† · T₂† ⋯ = Λ], i.e.
+    [U = Λ · (⋯ T₂ · T₁)]. *)
+
+type rotation = {
+  m : int;  (** Column/qumode whose entry gets zeroed. *)
+  n : int;  (** Column/qumode that absorbs the amplitude. *)
+  theta : float;  (** Beamsplitter rotation angle, in [\[0, π/2\]]. *)
+  phi : float;  (** Phase-shifter angle. *)
+}
+
+val matrix : int -> rotation -> Mat.t
+(** [matrix dim r] is the dense N×N matrix of T_{m,n}(θ, φ). *)
+
+val eliminate : Mat.t -> row:int -> m:int -> n:int -> rotation
+(** [eliminate u ~row ~m ~n] computes θ, φ such that right-multiplying
+    [u] by T† zeroes [u(row, m)], and applies the update to [u] in
+    place (only columns [m] and [n] change). After the call,
+    |u(row, n)|² has absorbed the old |u(row, m)|². *)
+
+val apply_t_dagger_right : Mat.t -> rotation -> unit
+(** In-place [u ← u · T†]. *)
+
+val apply_t_right : Mat.t -> rotation -> unit
+(** In-place [u ← u · T]; the inverse of {!apply_t_dagger_right}. *)
+
+val angle_for : Mat.t -> row:int -> m:int -> n:int -> float
+(** The θ that {!eliminate} would produce, without mutating anything. *)
+
+val apply_t_left : Mat.t -> rotation -> unit
+(** In-place [u ← T · u]. *)
+
+val apply_t_dagger_left : Mat.t -> rotation -> unit
+(** In-place [u ← T† · u]; the inverse of {!apply_t_left}. *)
+
+val eliminate_left : Mat.t -> col:int -> m:int -> n:int -> rotation
+(** [eliminate_left u ~col ~m ~n] computes θ, φ such that
+    left-multiplying [u] by T_{m,n}(θ,φ) zeroes [u(m, col)] against
+    [u(n, col)], and applies the update in place (only rows [m] and
+    [n] change). Used by the two-sided Clements elimination. *)

@@ -1,0 +1,85 @@
+open Cx
+
+(* In-place LU with partial pivoting on a copy. Returns (lu, perm_rows,
+   sign) where lu packs L (unit diagonal, below) and U (diagonal and
+   above). *)
+let factor a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Linsolve: square matrices only";
+  let lu = Mat.copy a in
+  let piv = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    (* Partial pivot: largest modulus in column k at or below row k. *)
+    let best = ref k and best_mag = ref (Cx.abs (Mat.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let mag = Cx.abs (Mat.get lu i k) in
+      if mag > !best_mag then begin
+        best := i;
+        best_mag := mag
+      end
+    done;
+    if !best_mag < 1e-300 then invalid_arg "Linsolve: singular matrix";
+    if !best <> k then begin
+      Mat.swap_rows lu k !best;
+      let tmp = piv.(k) in
+      piv.(k) <- piv.(!best);
+      piv.(!best) <- tmp;
+      sign := - !sign
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /: pivot in
+      Mat.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -: (factor *: Mat.get lu k j))
+      done
+    done
+  done;
+  (lu, piv, !sign)
+
+let det_of_factor (lu, _, sign) =
+  let n = Mat.rows lu in
+  let d = ref (Cx.re (float_of_int sign)) in
+  for i = 0 to n - 1 do
+    d := !d *: Mat.get lu i i
+  done;
+  !d
+
+let det a = det_of_factor (factor a)
+
+let solve_factored (lu, piv, _) b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Linsolve.solve: size mismatch";
+  let y = Array.init n (fun i -> b.(piv.(i))) in
+  (* Forward substitution with unit-diagonal L. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -: (Mat.get lu i j *: y.(j))
+    done
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -: (Mat.get lu i j *: y.(j))
+    done;
+    y.(i) <- y.(i) /: Mat.get lu i i
+  done;
+  y
+
+let solve a b = solve_factored (factor a) b
+
+let inverse_det a =
+  let n = Mat.rows a in
+  let f = factor a in
+  let inv = Mat.create n n in
+  for col = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = col then Cx.one else Cx.zero) in
+    let x = solve_factored f e in
+    for i = 0 to n - 1 do
+      Mat.set inv i col x.(i)
+    done
+  done;
+  (inv, det_of_factor f)
+
+let inverse a = fst (inverse_det a)

@@ -1,0 +1,16 @@
+(** Complex linear solving: LU decomposition with partial pivoting,
+    matrix inverse, and determinant — used by the Gaussian-state
+    Fock-probability formulas. *)
+
+val det : Mat.t -> Cx.t
+(** Determinant of a square matrix. *)
+
+val inverse : Mat.t -> Mat.t
+(** Matrix inverse. @raise Invalid_argument if singular (pivot below
+    1e-300) or not square. *)
+
+val inverse_det : Mat.t -> Mat.t * Cx.t
+(** Both at once from a single factorization. *)
+
+val solve : Mat.t -> Cx.t array -> Cx.t array
+(** [solve a b] solves [a·x = b]. *)

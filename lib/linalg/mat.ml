@@ -1,0 +1,264 @@
+(* Storage is two row-major float planes (real and imaginary parts) so
+   the rotation kernels and norms run without boxing Complex.t values. *)
+
+type t = { re : float array array; im : float array array; nrows : int; ncols : int }
+
+let create nrows ncols =
+  {
+    re = Array.make_matrix nrows ncols 0.;
+    im = Array.make_matrix nrows ncols 0.;
+    nrows;
+    ncols;
+  }
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.re.(i).(i) <- 1.
+  done;
+  m
+
+let dims m = (m.nrows, m.ncols)
+let rows m = m.nrows
+let cols m = m.ncols
+
+let get m i j : Cx.t = { re = m.re.(i).(j); im = m.im.(i).(j) }
+
+let set m i j (v : Cx.t) =
+  m.re.(i).(j) <- v.Complex.re;
+  m.im.(i).(j) <- v.Complex.im
+
+let init nrows ncols f =
+  let m = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let of_arrays a =
+  let nrows = Array.length a in
+  if nrows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let ncols = Array.length a.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> ncols then invalid_arg "Mat.of_arrays: ragged rows")
+    a;
+  init nrows ncols (fun i j -> a.(i).(j))
+
+let to_arrays m = Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get m i j))
+
+let of_real a = of_arrays (Array.map (Array.map Cx.re) a)
+
+let copy m =
+  { m with re = Array.map Array.copy m.re; im = Array.map Array.copy m.im }
+
+let transpose m = init m.ncols m.nrows (fun i j -> get m j i)
+let conj m = init m.nrows m.ncols (fun i j -> Cx.conj (get m i j))
+let adjoint m = init m.ncols m.nrows (fun i j -> Cx.conj (get m j i))
+
+let zip_with op a b =
+  if dims a <> dims b then invalid_arg "Mat: dimension mismatch";
+  init a.nrows a.ncols (fun i j -> op (get a i j) (get b i j))
+
+let add = zip_with Cx.( +: )
+let sub = zip_with Cx.( -: )
+let scale s m = init m.nrows m.ncols (fun i j -> Cx.( *: ) s (get m i j))
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Mat.mul: dimension mismatch";
+  let r = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    let are = a.re.(i) and aim = a.im.(i) in
+    let rre = r.re.(i) and rim = r.im.(i) in
+    for k = 0 to a.ncols - 1 do
+      let xre = are.(k) and xim = aim.(k) in
+      if xre <> 0. || xim <> 0. then begin
+        let bre = b.re.(k) and bim = b.im.(k) in
+        for j = 0 to b.ncols - 1 do
+          rre.(j) <- rre.(j) +. (xre *. bre.(j)) -. (xim *. bim.(j));
+          rim.(j) <- rim.(j) +. (xre *. bim.(j)) +. (xim *. bre.(j))
+        done
+      end
+    done
+  done;
+  r
+
+let mul_vec a v =
+  if a.ncols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.nrows (fun i ->
+      let accre = ref 0. and accim = ref 0. in
+      for j = 0 to a.ncols - 1 do
+        let (x : Cx.t) = v.(j) in
+        accre := !accre +. (a.re.(i).(j) *. x.Complex.re) -. (a.im.(i).(j) *. x.Complex.im);
+        accim := !accim +. (a.re.(i).(j) *. x.Complex.im) +. (a.im.(i).(j) *. x.Complex.re)
+      done;
+      Cx.make !accre !accim)
+
+let trace m =
+  let n = min m.nrows m.ncols in
+  let accre = ref 0. and accim = ref 0. in
+  for i = 0 to n - 1 do
+    accre := !accre +. m.re.(i).(i);
+    accim := !accim +. m.im.(i).(i)
+  done;
+  Cx.make !accre !accim
+
+let frobenius_norm m =
+  let acc = ref 0. in
+  for i = 0 to m.nrows - 1 do
+    for j = 0 to m.ncols - 1 do
+      acc := !acc +. (m.re.(i).(j) *. m.re.(i).(j)) +. (m.im.(i).(j) *. m.im.(i).(j))
+    done
+  done;
+  sqrt !acc
+
+let max_abs_diff a b =
+  if dims a <> dims b then invalid_arg "Mat.max_abs_diff: dimension mismatch";
+  let acc = ref 0. in
+  for i = 0 to a.nrows - 1 do
+    for j = 0 to a.ncols - 1 do
+      let dre = a.re.(i).(j) -. b.re.(i).(j) and dim = a.im.(i).(j) -. b.im.(i).(j) in
+      acc := Float.max !acc (sqrt ((dre *. dre) +. (dim *. dim)))
+    done
+  done;
+  !acc
+
+let equal ?(tol = 1e-9) a b = dims a = dims b && max_abs_diff a b <= tol
+
+let is_unitary ?(tol = 1e-8) m =
+  m.nrows = m.ncols && equal ~tol (mul (adjoint m) m) (identity m.nrows)
+
+let row_norm2 m i =
+  let acc = ref 0. in
+  for j = 0 to m.ncols - 1 do
+    acc := !acc +. (m.re.(i).(j) *. m.re.(i).(j)) +. (m.im.(i).(j) *. m.im.(i).(j))
+  done;
+  !acc
+
+let col_norm2 m j =
+  let acc = ref 0. in
+  for i = 0 to m.nrows - 1 do
+    acc := !acc +. (m.re.(i).(j) *. m.re.(i).(j)) +. (m.im.(i).(j) *. m.im.(i).(j))
+  done;
+  !acc
+
+let swap_rows m i j =
+  let tre = m.re.(i) and tim = m.im.(i) in
+  m.re.(i) <- m.re.(j);
+  m.im.(i) <- m.im.(j);
+  m.re.(j) <- tre;
+  m.im.(j) <- tim
+
+let swap_cols m a b =
+  for i = 0 to m.nrows - 1 do
+    let tre = m.re.(i).(a) and tim = m.im.(i).(a) in
+    m.re.(i).(a) <- m.re.(i).(b);
+    m.im.(i).(a) <- m.im.(i).(b);
+    m.re.(i).(b) <- tre;
+    m.im.(i).(b) <- tim
+  done
+
+let map f m = init m.nrows m.ncols (fun i j -> f (get m i j))
+
+(* tr(u_app·u†) = Σ_{ij} u_app(i,j)·conj(u(i,j)), an O(N²) elementwise sum. *)
+let unitary_fidelity u_app u =
+  if dims u_app <> dims u || u.nrows <> u.ncols then
+    invalid_arg "Mat.unitary_fidelity: need equal square matrices";
+  let tre = ref 0. and tim = ref 0. in
+  for i = 0 to u.nrows - 1 do
+    let are = u_app.re.(i) and aim = u_app.im.(i) in
+    let bre = u.re.(i) and bim = u.im.(i) in
+    for j = 0 to u.ncols - 1 do
+      tre := !tre +. (are.(j) *. bre.(j)) +. (aim.(j) *. bim.(j));
+      tim := !tim +. (aim.(j) *. bre.(j)) -. (are.(j) *. bim.(j))
+    done
+  done;
+  sqrt ((!tre *. !tre) +. (!tim *. !tim)) /. float_of_int u.nrows
+
+(* u ← u·T†: for each row r,
+   u(r,m)' = u(r,m)·e^{-iφ}cosθ − u(r,n)·sinθ
+   u(r,n)' = u(r,m)·e^{-iφ}sinθ + u(r,n)·cosθ *)
+let rot_cols_t_dagger u ~m ~n ~theta ~phi =
+  let c = cos theta and s = sin theta in
+  let ere = cos phi and eim = -.sin phi in
+  for r = 0 to u.nrows - 1 do
+    let rre = u.re.(r) and rim = u.im.(r) in
+    let mre = rre.(m) and mim = rim.(m) in
+    let nre = rre.(n) and nim = rim.(n) in
+    (* w = u(r,m)·e^{-iφ} *)
+    let wre = (mre *. ere) -. (mim *. eim) in
+    let wim = (mre *. eim) +. (mim *. ere) in
+    rre.(m) <- (wre *. c) -. (nre *. s);
+    rim.(m) <- (wim *. c) -. (nim *. s);
+    rre.(n) <- (wre *. s) +. (nre *. c);
+    rim.(n) <- (wim *. s) +. (nim *. c)
+  done
+
+(* u ← u·T: for each row r,
+   u(r,m)' = (u(r,m)·cosθ + u(r,n)·sinθ)·e^{iφ}
+   u(r,n)' = −u(r,m)·sinθ + u(r,n)·cosθ *)
+let rot_cols_t u ~m ~n ~theta ~phi =
+  let c = cos theta and s = sin theta in
+  let ere = cos phi and eim = sin phi in
+  for r = 0 to u.nrows - 1 do
+    let rre = u.re.(r) and rim = u.im.(r) in
+    let mre = rre.(m) and mim = rim.(m) in
+    let nre = rre.(n) and nim = rim.(n) in
+    let wre = (mre *. c) +. (nre *. s) in
+    let wim = (mim *. c) +. (nim *. s) in
+    rre.(m) <- (wre *. ere) -. (wim *. eim);
+    rim.(m) <- (wre *. eim) +. (wim *. ere);
+    rre.(n) <- (nre *. c) -. (mre *. s);
+    rim.(n) <- (nim *. c) -. (mim *. s)
+  done
+
+(* u ← T·u: row m' = e^{iφ}cosθ·row m − sinθ·row n,
+            row n' = e^{iφ}sinθ·row m + cosθ·row n. *)
+let rot_rows_t u ~m ~n ~theta ~phi =
+  let c = cos theta and s = sin theta in
+  let ere = cos phi and eim = sin phi in
+  let mre = u.re.(m) and mim = u.im.(m) in
+  let nre = u.re.(n) and nim = u.im.(n) in
+  for j = 0 to u.ncols - 1 do
+    let amre = mre.(j) and amim = mim.(j) in
+    let anre = nre.(j) and anim = nim.(j) in
+    (* w = e^{iφ}·u(m,j) *)
+    let wre = (amre *. ere) -. (amim *. eim) in
+    let wim = (amre *. eim) +. (amim *. ere) in
+    mre.(j) <- (wre *. c) -. (anre *. s);
+    mim.(j) <- (wim *. c) -. (anim *. s);
+    nre.(j) <- (wre *. s) +. (anre *. c);
+    nim.(j) <- (wim *. s) +. (anim *. c)
+  done
+
+(* u ← T†·u: row m' = e^{-iφ}(cosθ·row m + sinθ·row n),
+             row n' = −sinθ·row m + cosθ·row n. *)
+let rot_rows_t_dagger u ~m ~n ~theta ~phi =
+  let c = cos theta and s = sin theta in
+  let ere = cos phi and eim = -.sin phi in
+  let mre = u.re.(m) and mim = u.im.(m) in
+  let nre = u.re.(n) and nim = u.im.(n) in
+  for j = 0 to u.ncols - 1 do
+    let amre = mre.(j) and amim = mim.(j) in
+    let anre = nre.(j) and anim = nim.(j) in
+    let wre = (amre *. c) +. (anre *. s) in
+    let wim = (amim *. c) +. (anim *. s) in
+    mre.(j) <- (wre *. ere) -. (wim *. eim);
+    mim.(j) <- (wre *. eim) +. (wim *. ere);
+    nre.(j) <- (anre *. c) -. (amre *. s);
+    nim.(j) <- (anim *. c) -. (amim *. s)
+  done
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf fmt "@[<h>";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf fmt "  ";
+      Cx.pp fmt (get m i j)
+    done;
+    Format.fprintf fmt "@]";
+    if i < m.nrows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

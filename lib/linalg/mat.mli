@@ -1,0 +1,88 @@
+(** Dense complex matrices.
+
+    The high-level representation of a linear interferometer is an N×N
+    unitary (paper §II-B); every Bosehedral pass manipulates values of
+    this type. Matrices are mutable arrays-of-rows; functions are
+    documented as pure unless their name says otherwise. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] zero matrix. *)
+
+val identity : int -> t
+
+val dims : t -> int * int
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Cx.t
+val set : t -> int -> int -> Cx.t -> unit
+
+val init : int -> int -> (int -> int -> Cx.t) -> t
+val of_arrays : Cx.t array array -> t
+(** Copies its input. @raise Invalid_argument on ragged rows. *)
+
+val to_arrays : t -> Cx.t array array
+(** Fresh copy of the contents. *)
+
+val of_real : float array array -> t
+
+val copy : t -> t
+val transpose : t -> t
+val conj : t -> t
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val mul_vec : t -> Cx.t array -> Cx.t array
+
+val trace : t -> Cx.t
+val frobenius_norm : t -> float
+val max_abs_diff : t -> t -> float
+(** Entrywise L∞ distance. *)
+
+val equal : ?tol:float -> t -> t -> bool
+
+val is_unitary : ?tol:float -> t -> bool
+(** Whether [m† m = I] entrywise within [tol] (default 1e-8). *)
+
+val row_norm2 : t -> int -> float
+(** Sum of squared moduli of one row. *)
+
+val col_norm2 : t -> int -> float
+
+val swap_rows : t -> int -> int -> unit
+(** In-place. *)
+
+val swap_cols : t -> int -> int -> unit
+(** In-place. *)
+
+val map : (Cx.t -> Cx.t) -> t -> t
+
+val unitary_fidelity : t -> t -> float
+(** [unitary_fidelity u_app u] = |tr(u_app · u†)| / N — the paper's
+    approximation-fidelity metric (§VII-A). Both must be N×N.
+    Computed elementwise in O(N²). *)
+
+val rot_cols_t_dagger : t -> m:int -> n:int -> theta:float -> phi:float -> unit
+(** In-place [u ← u · T_{m,n}(θ,φ)†] — the elimination kernel, touching
+    only columns [m] and [n]. Allocation-free; this is the hot loop of
+    decomposition and reconstruction. *)
+
+val rot_cols_t : t -> m:int -> n:int -> theta:float -> phi:float -> unit
+(** In-place [u ← u · T_{m,n}(θ,φ)]; inverse of {!rot_cols_t_dagger}. *)
+
+val rot_rows_t : t -> m:int -> n:int -> theta:float -> phi:float -> unit
+(** In-place [u ← T_{m,n}(θ,φ) · u] — row mixing from the left, used by
+    the two-sided (Clements) elimination. *)
+
+val rot_rows_t_dagger : t -> m:int -> n:int -> theta:float -> phi:float -> unit
+(** In-place [u ← T_{m,n}(θ,φ)† · u]; inverse of {!rot_rows_t}. *)
+
+val pp : Format.formatter -> t -> unit

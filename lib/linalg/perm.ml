@@ -1,0 +1,71 @@
+type t = int array
+(* p.(i) is the destination of source index i. *)
+
+let identity n = Array.init n (fun i -> i)
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+       if x < 0 || x >= n || seen.(x) then invalid_arg "Perm.of_array: not a permutation";
+       seen.(x) <- true)
+    a;
+  Array.copy a
+
+let to_array = Array.copy
+let size = Array.length
+let apply p i = p.(i)
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i dest -> inv.(dest) <- i) p;
+  inv
+
+let compose p q =
+  if Array.length p <> Array.length q then invalid_arg "Perm.compose: size mismatch";
+  Array.init (Array.length p) (fun i -> p.(q.(i)))
+
+let swap n i j =
+  let p = identity n in
+  p.(i) <- j;
+  p.(j) <- i;
+  p
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) p;
+  !ok
+
+let permute_rows p m =
+  if Array.length p <> Mat.rows m then invalid_arg "Perm.permute_rows: size mismatch";
+  let inv = inverse p in
+  Mat.init (Mat.rows m) (Mat.cols m) (fun i j -> Mat.get m inv.(i) j)
+
+let permute_cols p m =
+  if Array.length p <> Mat.cols m then invalid_arg "Perm.permute_cols: size mismatch";
+  let inv = inverse p in
+  Mat.init (Mat.rows m) (Mat.cols m) (fun i j -> Mat.get m i inv.(j))
+
+let matrix p =
+  let n = Array.length p in
+  let m = Mat.create n n in
+  Array.iteri (fun i dest -> Mat.set m dest i Cx.one) p;
+  m
+
+let permute_list p xs =
+  let n = Array.length p in
+  if List.length xs <> n then invalid_arg "Perm.permute_list: size mismatch";
+  let out = Array.make n None in
+  List.iteri (fun i x -> out.(p.(i)) <- Some x) xs;
+  Array.to_list (Array.map Option.get out)
+
+let random rng n =
+  let p = identity n in
+  Bose_util.Rng.shuffle rng p;
+  p
+
+let pp fmt p =
+  Format.fprintf fmt "[@[<h>%a@]]"
+    (Format.pp_print_array ~pp_sep:(fun f () -> Format.fprintf f " ") Format.pp_print_int)
+    p

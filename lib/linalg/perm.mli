@@ -1,0 +1,44 @@
+(** Permutations of qumode / matrix indices.
+
+    A permutation [p] maps source index [i] to destination [p i]. The
+    mapping optimization (paper §V-B) encodes logical-to-physical qumode
+    relabeling as row and column permutations of the interferometer
+    unitary, applied at zero gate cost. *)
+
+type t
+
+val identity : int -> t
+val of_array : int array -> t
+(** [of_array a] maps [i] to [a.(i)]. @raise Invalid_argument if [a] is
+    not a permutation of [0..n-1]. *)
+
+val to_array : t -> int array
+val size : t -> int
+val apply : t -> int -> int
+val inverse : t -> t
+val compose : t -> t -> t
+(** [compose p q] applies [q] first, then [p]. *)
+
+val swap : int -> int -> int -> t
+(** [swap n i j] transposes [i] and [j] on [0..n-1]. *)
+
+val is_identity : t -> bool
+
+val permute_rows : t -> Mat.t -> Mat.t
+(** [permute_rows p m] moves row [i] of [m] to row [p i]; equals
+    [P · m] for the matrix [P] with [P(p i, i) = 1]. *)
+
+val permute_cols : t -> Mat.t -> Mat.t
+(** [permute_cols p m] moves column [j] of [m] to column [p j];
+    equals [m · Pᵀ]. *)
+
+val matrix : t -> Mat.t
+(** Dense matrix [P] with [P(p i, i) = 1], so [P·x] relabels vector
+    entries by [p]. *)
+
+val permute_list : t -> 'a list -> 'a list
+(** Relabel list positions: element at [i] moves to position [p i]. *)
+
+val random : Bose_util.Rng.t -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+open Cx
+
+let decompose a =
+  let eigenvalues, vectors = Eigen.jacobi a in
+  let n = Array.length eigenvalues in
+  (* Sort by decreasing |λ| so the dominant singular values come first. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (Float.abs eigenvalues.(j)) (Float.abs eigenvalues.(i))) order;
+  let lambda = Array.map (fun k -> Float.abs eigenvalues.(k)) order in
+  let u =
+    Mat.init n n (fun i j ->
+        let k = order.(j) in
+        let factor = if eigenvalues.(k) < 0. then Cx.i else Cx.one in
+        factor *: Cx.re vectors.(i).(k))
+  in
+  (lambda, u)
+
+let reconstruct lambda u =
+  let n = Array.length lambda in
+  if Mat.rows u <> n || Mat.cols u <> n then invalid_arg "Takagi.reconstruct: size mismatch";
+  Mat.init n n (fun i j ->
+      let acc = ref Cx.zero in
+      for k = 0 to n - 1 do
+        acc := !acc +: (Mat.get u i k *: Cx.re lambda.(k) *: Mat.get u j k)
+      done;
+      !acc)

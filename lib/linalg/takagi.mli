@@ -1,0 +1,15 @@
+(** Takagi (Autonne) decomposition of real symmetric matrices.
+
+    [A = U · diag(λ) · Uᵀ] with [U] unitary and [λ ≥ 0]. This is how a
+    graph's adjacency matrix is encoded into a GBS program: the singular
+    values set the squeezing parameters and [U] becomes the linear
+    interferometer (Bromley et al. 2020; paper §II-C). *)
+
+val decompose : float array array -> float array * Mat.t
+(** [decompose a] = (λ, u) with [a = u · diag(λ) · uᵀ], λ sorted
+    decreasing. Only real symmetric input is supported — sufficient for
+    adjacency matrices. Negative eigenvalues are absorbed as a factor
+    [i] in the corresponding column of [u]. *)
+
+val reconstruct : float array -> Mat.t -> Mat.t
+(** [reconstruct lambda u] = [u · diag(λ) · uᵀ]. *)

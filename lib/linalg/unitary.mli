@@ -1,0 +1,15 @@
+(** Unitary matrix generation and factorization. *)
+
+val qr : Mat.t -> Mat.t * Mat.t
+(** [qr a] = (q, r) with [a = q·r], [q] unitary and [r] upper triangular,
+    via Householder reflections. [a] must be square. *)
+
+val haar_random : Bose_util.Rng.t -> int -> Mat.t
+(** Haar-distributed random N×N unitary: QR of a Ginibre matrix with the
+    phase fix of Mezzadri (2007) making the distribution exactly Haar. *)
+
+val random_orthogonal : Bose_util.Rng.t -> int -> Mat.t
+(** Haar-random real orthogonal matrix (all entries real). *)
+
+val random_diagonal_phases : Bose_util.Rng.t -> int -> Mat.t
+(** Diagonal unitary with uniform random phases. *)

@@ -1,0 +1,239 @@
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Perm = Bose_linalg.Perm
+module Pattern = Bose_hardware.Pattern
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+
+type t = {
+  permuted : Mat.t;
+  row_perm : Perm.t;
+  col_perm : Perm.t;
+  indicator_k : int;
+  small_angles : int;
+}
+
+let trivial u =
+  let n = Mat.rows u in
+  {
+    permuted = Mat.copy u;
+    row_perm = Perm.identity n;
+    col_perm = Perm.identity n;
+    indicator_k = 0;
+    small_angles = 0;
+  }
+
+let main_region_row_mass pattern u =
+  let n = Mat.rows u in
+  let main = Pattern.main_path_labels pattern in
+  Array.init n (fun i ->
+      List.fold_left (fun acc j -> acc +. Cx.abs2 (Mat.get u i j)) 0. main)
+
+(* K-th largest value of an array (K counted from 1): in-place
+   quickselect with median-of-three pivots — O(n) expected, which keeps
+   the O(main·branch) exchange search linear per trial. *)
+let kth_largest k a =
+  let a = Array.copy a in
+  let target = k - 1 in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec select lo hi =
+    if lo >= hi then a.(target)
+    else begin
+      let mid = (lo + hi) / 2 in
+      (* Median-of-three pivot, ordering descending. *)
+      if a.(mid) > a.(lo) then swap mid lo;
+      if a.(hi) > a.(lo) then swap hi lo;
+      if a.(hi) > a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      swap mid hi;
+      let store = ref lo in
+      for i = lo to hi - 1 do
+        if a.(i) > pivot then begin
+          swap i !store;
+          incr store
+        end
+      done;
+      swap !store hi;
+      if target = !store then a.(target)
+      else if target < !store then select lo (!store - 1)
+      else select (!store + 1) hi
+    end
+  in
+  select 0 (Array.length a - 1)
+
+(* Greedy column-exchange search: swap main-region columns against
+   non-main columns whenever the swap raises the K-th-largest row mass.
+   Returns the column permutation found and the final row-mass vector. *)
+let column_search ~k u main_cols =
+  let n = Mat.rows u in
+  let is_main = Array.make n false in
+  List.iter (fun j -> is_main.(j) <- true) main_cols;
+  let branch_cols =
+    List.filter (fun j -> not is_main.(j)) (List.init n (fun j -> j))
+  in
+  let w = Mat.copy u in
+  let col_perm = ref (Perm.identity n) in
+  let alpha =
+    Array.init n (fun i ->
+        List.fold_left (fun acc j -> acc +. Cx.abs2 (Mat.get w i j)) 0. main_cols)
+  in
+  let current = ref (kth_largest k alpha) in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < 5 do
+    improved := false;
+    incr sweeps;
+    List.iter
+      (fun a ->
+         List.iter
+           (fun b ->
+              let trial =
+                Array.init n (fun i ->
+                    alpha.(i) -. Cx.abs2 (Mat.get w i a) +. Cx.abs2 (Mat.get w i b))
+              in
+              let candidate = kth_largest k trial in
+              if candidate > !current +. 1e-12 then begin
+                Mat.swap_cols w a b;
+                Array.blit trial 0 alpha 0 n;
+                col_perm := Perm.compose (Perm.swap n a b) !col_perm;
+                current := candidate;
+                improved := true
+              end)
+           branch_cols)
+      main_cols
+  done;
+  (w, !col_perm, alpha)
+
+(* Assign the heaviest non-main columns to branch regions closest to the
+   start point: branch region order follows the main path, so earlier
+   regions are eliminated into larger accumulated amplitudes. Column
+   weight is its mass inside the K heaviest rows. *)
+let branch_assignment ~k w alpha regions =
+  let n = Mat.rows w in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare alpha.(j) alpha.(i)) order;
+  let heavy_rows = Array.sub order 0 (min k n) in
+  let col_weight j =
+    Array.fold_left (fun acc i -> acc +. Cx.abs2 (Mat.get w i j)) 0. heavy_rows
+  in
+  match regions with
+  | [] | [ _ ] -> Perm.identity n
+  | _main :: branch_regions ->
+    let positions = List.concat branch_regions in
+    let weights = List.map (fun j -> (col_weight j, j)) positions in
+    let sorted_cols =
+      List.map snd (List.sort (fun (wa, _) (wb, _) -> compare wb wa) weights)
+    in
+    (* Send the c-th heaviest column to the c-th branch position. *)
+    let p = Perm.to_array (Perm.identity n) in
+    List.iter2 (fun src dst -> p.(src) <- dst) sorted_cols positions;
+    Perm.of_array p
+
+(* Rows with the largest main-region mass go to the bottom (highest
+   index), since elimination runs bottom-up. *)
+let row_sort w main_cols =
+  let n = Mat.rows w in
+  let alpha =
+    Array.init n (fun i ->
+        List.fold_left (fun acc j -> acc +. Cx.abs2 (Mat.get w i j)) 0. main_cols)
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare alpha.(i) alpha.(j)) order;
+  (* order.(dest) = source row; row_perm maps source -> dest. *)
+  let p = Array.make n 0 in
+  Array.iteri (fun dest src -> p.(src) <- dest) order;
+  Perm.of_array p
+
+let run_for_k ~theta_threshold pattern u k =
+  let regions = Pattern.branch_regions pattern in
+  let main_cols = List.hd regions in
+  let w1, cp1, alpha = column_search ~k u main_cols in
+  let cp2 = branch_assignment ~k w1 alpha regions in
+  let w2 = Perm.permute_cols cp2 w1 in
+  let col_perm = Perm.compose cp2 cp1 in
+  let row_perm = row_sort w2 main_cols in
+  let permuted = Perm.permute_rows row_perm w2 in
+  let plan = Eliminate.decompose pattern permuted in
+  let small = Plan.small_angle_count plan ~threshold:theta_threshold in
+  { permuted; row_perm; col_perm; indicator_k = k; small_angles = small }
+
+let optimize ?(theta_threshold = 0.1) ?candidate_ks pattern u =
+  let n = Mat.rows u in
+  if Mat.cols u <> n || n <> Pattern.size pattern then
+    invalid_arg "Mapping.optimize: unitary and pattern sizes differ";
+  let candidates =
+    match candidate_ks with
+    | Some ks ->
+      let ks = List.filter (fun k -> k >= 1 && k <= n) ks in
+      if ks = [] then invalid_arg "Mapping.optimize: no valid candidate K" else ks
+    | None ->
+      List.sort_uniq compare
+        (List.filter_map
+           (fun k -> if k >= 1 && k <= n then Some k else None)
+           [ n / 4; n / 3; n / 2; 2 * n / 3; max 1 (n / 2) ])
+  in
+  let results = List.map (run_for_k ~theta_threshold pattern u) candidates in
+  List.fold_left
+    (fun best r -> if r.small_angles > best.small_angles then r else best)
+    (List.hd results) (List.tl results)
+
+(* Rotations droppable within the (1−τ)·N trace budget, counting each
+   dropped rotation's exact cost 2(1 − cos θ). *)
+let droppable_within plan ~tau =
+  let n = plan.Plan.modes in
+  let budget = (1. -. tau) *. float_of_int n in
+  let a = Plan.angles plan in
+  Array.sort compare a;
+  let rec go i acc =
+    if i >= Array.length a then i
+    else begin
+      let acc = acc +. (2. *. (1. -. cos a.(i))) in
+      if acc > budget then i else go (i + 1) acc
+    end
+  in
+  go 0 0.
+
+let polish ?(trials = 400) ?(tau = 0.95) ~rng pattern t =
+  let n = Mat.rows t.permuted in
+  let w = Mat.copy t.permuted in
+  let col_perm = ref t.col_perm and row_perm = ref t.row_perm in
+  let score () = droppable_within (Eliminate.decompose pattern w) ~tau in
+  let best = ref (score ()) in
+  for _ = 1 to trials do
+    let a = Bose_util.Rng.int rng n and b = Bose_util.Rng.int rng n in
+    if a <> b then begin
+      let swap_rows = Bose_util.Rng.bool rng in
+      if swap_rows then Mat.swap_rows w a b else Mat.swap_cols w a b;
+      let s = score () in
+      if s >= !best then begin
+        best := s;
+        if swap_rows then row_perm := Perm.compose (Perm.swap n a b) !row_perm
+        else col_perm := Perm.compose (Perm.swap n a b) !col_perm
+      end
+      else if swap_rows then Mat.swap_rows w a b
+      else Mat.swap_cols w a b
+    end
+  done;
+  let plan = Eliminate.decompose pattern w in
+  {
+    permuted = w;
+    row_perm = !row_perm;
+    col_perm = !col_perm;
+    indicator_k = t.indicator_k;
+    small_angles = Plan.small_angle_count plan ~threshold:0.1;
+  }
+
+let relabel_output t physical =
+  let n = Perm.size t.row_perm in
+  if Array.length physical <> n then invalid_arg "Mapping.relabel_output: size mismatch";
+  Array.init n (fun i -> physical.(Perm.apply t.row_perm i))
+
+let input_site t i = Perm.apply t.col_perm i
+
+let recovered_unitary t =
+  Perm.permute_rows (Perm.inverse t.row_perm)
+    (Perm.permute_cols (Perm.inverse t.col_perm) t.permuted)

@@ -1,0 +1,14 @@
+let lorentzian ~gamma ~x0 x =
+  let d = x -. x0 in
+  gamma /. (Float.pi *. ((d *. d) +. (gamma *. gamma)))
+
+let broaden ~gamma ~grid sticks =
+  Array.map
+    (fun x ->
+       List.fold_left (fun acc (x0, w) -> acc +. (w *. lorentzian ~gamma ~x0 x)) 0. sticks)
+    grid
+
+let grid ~min ~max ~points =
+  if points < 2 then invalid_arg "Broaden.grid: need at least two points";
+  let step = (max -. min) /. float_of_int (points - 1) in
+  Array.init points (fun i -> min +. (step *. float_of_int i))

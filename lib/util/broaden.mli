@@ -1,0 +1,14 @@
+(** Spectral line broadening, used to visualize sampled vibronic spectra
+    (the green Lorentzian curve of the paper's Fig. 11d). *)
+
+val lorentzian : gamma:float -> x0:float -> float -> float
+(** Normalized Lorentzian line shape centered at [x0] with half-width at
+    half-maximum [gamma], evaluated at the given point. *)
+
+val broaden :
+  gamma:float -> grid:float array -> (float * float) list -> float array
+(** [broaden ~gamma ~grid sticks] convolves weighted stick positions
+    [(energy, weight)] with a Lorentzian and evaluates on [grid]. *)
+
+val grid : min:float -> max:float -> points:int -> float array
+(** Evenly spaced evaluation grid (inclusive endpoints, [points >= 2]). *)

@@ -1,0 +1,49 @@
+let factorial n =
+  if n < 0 then invalid_arg "Combin.factorial: negative";
+  let rec go acc i = if i > n then acc else go (acc *. float_of_int i) (i + 1) in
+  go 1. 2
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Combin.log_factorial: negative";
+  let rec go acc i = if i > n then acc else go (acc +. log (float_of_int i)) (i + 1) in
+  go 0. 2
+
+let binomial n k =
+  if k < 0 || k > n then 0.
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else go (acc *. float_of_int (n - k + i) /. float_of_int i) (i + 1)
+    in
+    go 1. 1
+  end
+
+let rec compositions n k =
+  if k <= 0 then if n = 0 then [ [] ] else []
+  else if k = 1 then [ [ n ] ]
+  else
+    List.concat_map
+      (fun first -> List.map (fun rest -> first :: rest) (compositions (n - first) (k - 1)))
+      (List.init (n + 1) (fun i -> i))
+
+let patterns_up_to ~modes ~max_photons =
+  List.concat_map (fun n -> compositions n modes) (List.init (max_photons + 1) (fun i -> i))
+
+let perfect_matchings n =
+  if n mod 2 = 1 then []
+  else begin
+    let rec go vertices =
+      match vertices with
+      | [] -> [ [] ]
+      | v :: rest ->
+        List.concat_map
+          (fun partner ->
+             let remaining = List.filter (fun x -> x <> partner) rest in
+             List.map (fun m -> (v, partner) :: m) (go remaining))
+          rest
+    in
+    go (List.init n (fun i -> i))
+  end
+
+let pattern_total = List.fold_left ( + ) 0

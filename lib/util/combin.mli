@@ -1,0 +1,28 @@
+(** Combinatorial helpers for Fock-space bookkeeping. *)
+
+val factorial : int -> float
+(** [factorial n] as a float (exact up to n = 170 overflow threshold).
+    @raise Invalid_argument on negative input. *)
+
+val log_factorial : int -> float
+(** Natural log of n! via accumulated sums (exact summation, no Stirling). *)
+
+val binomial : int -> int -> float
+(** [binomial n k] = C(n, k); 0 when k < 0 or k > n. *)
+
+val compositions : int -> int -> int list list
+(** [compositions n k] lists all ways to write [n] as an ordered sum of
+    [k] non-negative integers — i.e. all k-mode Fock patterns with exactly
+    [n] photons. Length C(n+k-1, k-1). *)
+
+val patterns_up_to : modes:int -> max_photons:int -> int list list
+(** All Fock patterns over [modes] qumodes with total photon number
+    between 0 and [max_photons], ordered by total then lexicographically. *)
+
+val perfect_matchings : int -> (int * int) list list
+(** All perfect matchings of the complete graph on [n] vertices
+    (n even; [] when n is odd or 0 gives [[ ]]). Used to brute-force
+    hafnians in tests. *)
+
+val pattern_total : int list -> int
+(** Sum of a Fock pattern. *)

@@ -1,0 +1,96 @@
+(* Internally a sorted association list keyed with the polymorphic
+   [compare]; outcome sets in this library (Fock patterns as int lists,
+   small tuples) are well-ordered by it and stay small enough that
+   list-merge operations dominate nothing. *)
+
+type 'a t = ('a * float) list
+
+let empty = []
+
+let sort_merge pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  let rec merge = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | (a, pa) :: (b, pb) :: rest when compare a b = 0 -> merge ((a, pa +. pb) :: rest)
+    | x :: rest -> x :: merge rest
+  in
+  merge sorted
+
+let of_weights_raw pairs =
+  List.iter (fun (_, w) -> if w < 0. then invalid_arg "Dist.of_weights_raw: negative weight") pairs;
+  List.filter (fun (_, w) -> w > 0.) (sort_merge pairs)
+
+let total t = List.fold_left (fun acc (_, p) -> acc +. p) 0. t
+
+let normalize t =
+  let z = total t in
+  if z <= 0. then invalid_arg "Dist.normalize: zero total mass";
+  List.map (fun (x, p) -> (x, p /. z)) t
+
+let of_weights pairs = normalize (of_weights_raw pairs)
+
+let of_counts pairs = of_weights (List.map (fun (x, c) ->
+    if c < 0 then invalid_arg "Dist.of_counts: negative count";
+    (x, float_of_int c)) pairs)
+
+let of_samples samples =
+  let table = Hashtbl.create 64 in
+  let bump x = Hashtbl.replace table x (1 + Option.value ~default:0 (Hashtbl.find_opt table x)) in
+  List.iter bump samples;
+  of_counts (Hashtbl.fold (fun x c acc -> (x, c) :: acc) table [])
+
+let prob t x = match List.assoc_opt x t with Some p -> p | None -> 0.
+
+let support t = List.map fst t
+
+let to_list t = t
+
+let map_outcomes f t = of_weights_raw (List.map (fun (x, p) -> (f x, p)) t)
+
+let sample rng t =
+  match t with
+  | [] -> invalid_arg "Dist.sample: empty distribution"
+  | _ ->
+    let outcomes = Array.of_list (List.map fst t) in
+    let weights = Array.of_list (List.map snd t) in
+    outcomes.(Rng.choose_weighted rng weights)
+
+let mix weighted =
+  let z = List.fold_left (fun acc (w, _) -> acc +. w) 0. weighted in
+  if z <= 0. then invalid_arg "Dist.mix: weights sum to zero";
+  sort_merge
+    (List.concat_map (fun (w, t) -> List.map (fun (x, p) -> (x, w /. z *. p)) t) weighted)
+
+(* Merge two sorted supports, applying [f p q] pointwise. *)
+let fold2 f init p q =
+  let rec go acc p q =
+    match (p, q) with
+    | [], [] -> acc
+    | (_, pp) :: p', [] -> go (f acc pp 0.) p' []
+    | [], (_, qq) :: q' -> go (f acc 0. qq) [] q'
+    | (xa, pp) :: p', (xb, qq) :: q' ->
+      let c = compare xa xb in
+      if c = 0 then go (f acc pp qq) p' q'
+      else if c < 0 then go (f acc pp 0.) p' q
+      else go (f acc 0. qq) p q'
+  in
+  go init p q
+
+let xlogx_ratio p q = if p <= 0. then 0. else if q <= 0. then infinity else p *. log (p /. q)
+
+let kl p q = fold2 (fun acc pp qq -> acc +. xlogx_ratio pp qq) 0. p q
+
+let jsd p q =
+  let term acc pp qq =
+    let m = (pp +. qq) /. 2. in
+    acc +. (xlogx_ratio pp m /. 2.) +. (xlogx_ratio qq m /. 2.)
+  in
+  (* Clamp tiny negative rounding residue. *)
+  Float.max 0. (fold2 term 0. p q)
+
+let tvd p q = fold2 (fun acc pp qq -> acc +. (Float.abs (pp -. qq) /. 2.)) 0. p q
+
+let fidelity p q =
+  let s = fold2 (fun acc pp qq -> acc +. sqrt (pp *. qq)) 0. p q in
+  s *. s

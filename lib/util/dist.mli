@@ -1,0 +1,67 @@
+(** Discrete probability distributions over arbitrary outcomes.
+
+    A distribution is a map from outcomes to probabilities. The GBS
+    experiments compare sampled Fock-pattern distributions against the
+    ideal noise-free distribution with the Jensen-Shannon divergence
+    (the paper's application-independent metric, §VII-A). *)
+
+type 'a t
+(** Distribution over outcomes of type ['a], compared with [compare]. *)
+
+val empty : 'a t
+
+val of_counts : ('a * int) list -> 'a t
+(** Normalized distribution from raw counts. Counts must be non-negative
+    and not all zero. *)
+
+val of_weights : ('a * float) list -> 'a t
+(** Normalized distribution from non-negative weights. Duplicate outcomes
+    accumulate. *)
+
+val of_samples : 'a list -> 'a t
+(** Empirical distribution of a sample list. *)
+
+val prob : 'a t -> 'a -> float
+(** Probability of an outcome (0 if absent). *)
+
+val support : 'a t -> 'a list
+(** Outcomes with positive probability, in increasing order. *)
+
+val to_list : 'a t -> ('a * float) list
+(** All (outcome, probability) pairs in increasing outcome order. *)
+
+val total : 'a t -> float
+(** Sum of probabilities (1.0 up to rounding for normalized inputs;
+    may be < 1 for truncated distributions built with {!of_weights_raw}). *)
+
+val of_weights_raw : ('a * float) list -> 'a t
+(** Like {!of_weights} but without normalization — used for truncated
+    distributions where the missing tail mass is meaningful. *)
+
+val normalize : 'a t -> 'a t
+(** Rescale to total mass 1. @raise Invalid_argument on zero total mass. *)
+
+val map_outcomes : ('a -> 'b) -> 'a t -> 'b t
+(** Push forward through a function, merging collided outcomes. *)
+
+val sample : Rng.t -> 'a t -> 'a
+(** Draw one outcome. @raise Invalid_argument on an empty distribution. *)
+
+val mix : (float * 'a t) list -> 'a t
+(** Weighted mixture Σ w_k·p_k. Weights must be non-negative; they are
+    normalized to sum to 1 first. Used to average the per-shot output
+    distributions of probabilistic dropout circuits. *)
+
+val jsd : 'a t -> 'a t -> float
+(** Jensen-Shannon divergence in nats, in [\[0, ln 2\]]. Symmetric;
+    well-defined even when the supports differ. *)
+
+val kl : 'a t -> 'a t -> float
+(** Kullback-Leibler divergence D(p || q) in nats. [infinity] when [p]
+    puts mass where [q] does not. *)
+
+val tvd : 'a t -> 'a t -> float
+(** Total variation distance, in [\[0, 1\]]. *)
+
+val fidelity : 'a t -> 'a t -> float
+(** Classical (Bhattacharyya) fidelity [(Σ √(p q))²]. *)

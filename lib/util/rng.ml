@@ -1,0 +1,125 @@
+(* xoshiro256** with splitmix64 seeding, after Blackman & Vigna. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let x = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 x;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+(* Take the top 53 bits for a uniform double in [0, 1). *)
+let uniform t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t bound =
+  if not (bound > 0.) then invalid_arg "Rng.float: bound must be positive";
+  uniform t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let mask =
+    let rec widen m = if Int64.unsigned_compare m bound64 >= 0 then m else widen Int64.(logor (shift_left m 1) 1L) in
+    widen 1L
+  in
+  let rec draw () =
+    let v = Int64.logand (bits64 t) mask in
+    if Int64.unsigned_compare v bound64 < 0 then Int64.to_int v else draw ()
+  in
+  draw ()
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let gaussian_pair t =
+  (* Box-Muller; guard against log 0. *)
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  let r = sqrt (-2. *. log u1) and theta = 2. *. Float.pi *. u2 in
+  (r *. cos theta, r *. sin theta)
+
+let gaussian t = fst (gaussian_pair t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose_weighted t w =
+  let total = Array.fold_left (fun acc x ->
+      if x < 0. then invalid_arg "Rng.choose_weighted: negative weight";
+      acc +. x) 0. w
+  in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: weights sum to zero";
+  let target = float t total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+(* Efraimidis-Spirakis: drawing the m largest keys log(u_i)/w_i is
+   distributionally identical to sequential weighted sampling without
+   replacement, and runs in O(n log n) instead of O(m·n). Zero-weight
+   indices get key -∞ with a uniform tie-break, so they are only chosen
+   once every positive weight is exhausted. *)
+let sample_without_replacement t w m =
+  let n = Array.length w in
+  if m > n then invalid_arg "Rng.sample_without_replacement: m > n";
+  Array.iter
+    (fun x -> if x < 0. then invalid_arg "Rng.sample_without_replacement: negative weight")
+    w;
+  let keys =
+    Array.init n (fun i ->
+        let u = uniform t in
+        let tie = uniform t in
+        let key = if w.(i) > 0. then log (Float.max u 1e-300) /. w.(i) else neg_infinity in
+        (key, tie, i))
+  in
+  Array.sort (fun (ka, ta, _) (kb, tb, _) -> compare (kb, tb) (ka, ta)) keys;
+  List.init m (fun r -> let _, _, i = keys.(r) in i)

@@ -1,0 +1,66 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n < 2 then invalid_arg "Stats.pearson: need at least two samples";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then 0. else !sxy /. sqrt (!sxx *. !syy)
+
+let sorted_copy xs =
+  let a = Array.copy xs in
+  Array.sort compare a;
+  a
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.median: empty array";
+  let a = sorted_copy xs in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let a = sorted_copy xs in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then a.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+let histogram ~min ~max ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if max <= min then invalid_arg "Stats.histogram: empty range";
+  let counts = Array.make bins 0 in
+  let width = (max -. min) /. float_of_int bins in
+  let bucket x =
+    let i = int_of_float ((x -. min) /. width) in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
+  in
+  Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  counts

@@ -1,0 +1,26 @@
+(** Small statistics toolbox used by the benchmarks and applications. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for arrays of length < 2. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equally-long samples.
+    Returns 0 when either sample has zero variance.
+    @raise Invalid_argument on length mismatch or length < 2. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even length).
+    Does not mutate its argument. @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation. *)
+
+val histogram : min:float -> max:float -> bins:int -> float array -> int array
+(** Fixed-width histogram; samples outside [\[min,max\]] are clamped into the
+    first/last bin. @raise Invalid_argument if [bins <= 0] or [max <= min]. *)

@@ -1,0 +1,296 @@
+(* Unit tests for the GBS application layer: graphs, encodings, and the
+   four benchmark applications. *)
+
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+open Bose_apps
+module Runner = Bosehedral.Runner
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+(* ---------------------------------------------------------------- Graph *)
+
+let triangle_plus_isolated () =
+  (* Vertices 0,1,2 form a triangle; 3 hangs off vertex 0. *)
+  List.fold_left
+    (fun g (a, b) -> Graph.add_edge g a b)
+    (Graph.create 4)
+    [ (0, 1); (1, 2); (0, 2); (0, 3) ]
+
+let test_graph_basics () =
+  let g = triangle_plus_isolated () in
+  Alcotest.(check int) "vertices" 4 (Graph.vertices g);
+  Alcotest.(check int) "edges" 4 (Graph.edge_count g);
+  Alcotest.(check bool) "has edge" true (Graph.has_edge g 1 2);
+  Alcotest.(check bool) "symmetric" true (Graph.has_edge g 2 1);
+  Alcotest.(check int) "degree" 3 (Graph.degree g 0);
+  Alcotest.(check (list int)) "neighbors" [ 1; 2; 3 ] (Graph.neighbors g 0)
+
+let test_graph_density () =
+  let g = triangle_plus_isolated () in
+  check_close "triangle density" 1e-12 1. (Graph.subgraph_density g [ 0; 1; 2 ]);
+  check_close "full density" 1e-12 (4. /. 6.) (Graph.subgraph_density g [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "triangle clique" true (Graph.is_clique g [ 0; 1; 2 ]);
+  Alcotest.(check bool) "not clique" false (Graph.is_clique g [ 0; 1; 2; 3 ])
+
+let test_graph_densest () =
+  let g = triangle_plus_isolated () in
+  let vs, d = Graph.densest_subgraph_of_size g 3 in
+  check_close "optimum density" 1e-12 1. d;
+  Alcotest.(check (list int)) "the triangle" [ 0; 1; 2 ] (List.sort compare vs)
+
+let test_graph_max_clique () =
+  let g = triangle_plus_isolated () in
+  Alcotest.(check int) "clique number" 3 (Graph.max_clique_size g);
+  let complete = Graph.random (Rng.create 1) ~n:5 ~p:1.0 in
+  Alcotest.(check int) "K5" 5 (Graph.max_clique_size complete);
+  let empty = Graph.create 5 in
+  Alcotest.(check int) "empty graph" 1 (Graph.max_clique_size empty)
+
+let test_graph_random_edge_density () =
+  let rng = Rng.create 2 in
+  let g = Graph.random rng ~n:40 ~p:0.8 in
+  let possible = 40 * 39 / 2 in
+  let ratio = float_of_int (Graph.edge_count g) /. float_of_int possible in
+  Alcotest.(check bool) "density near p" true (ratio > 0.7 && ratio < 0.9)
+
+let test_graph_perturb () =
+  let rng = Rng.create 3 in
+  let g = Graph.random rng ~n:10 ~p:0.5 in
+  let h = Graph.perturb rng g ~flips:3 in
+  let diff = ref 0 in
+  for a = 0 to 9 do
+    for b = a + 1 to 9 do
+      if Graph.has_edge g a b <> Graph.has_edge h a b then incr diff
+    done
+  done;
+  Alcotest.(check int) "exactly 3 flips" 3 !diff
+
+let test_subsets () =
+  Alcotest.(check int) "C(5,2)" 10 (List.length (Graph.subsets_of_size 2 [ 1; 2; 3; 4; 5 ]))
+
+(* ------------------------------------------------------------- Encoding *)
+
+let test_encoding_mean_photons () =
+  let rng = Rng.create 4 in
+  let g = Graph.random rng ~n:8 ~p:0.75 in
+  let program = Encoding.encode ~mean_photons:2.0 g in
+  Runner.validate_program program;
+  (* Rebuild the state and check the photon budget. *)
+  let s = Bose_gbs.Gaussian.vacuum 8 in
+  Array.iteri
+    (fun i a -> if Cx.abs a > 0. then Bose_gbs.Gaussian.squeeze s i a)
+    program.Runner.squeezing;
+  check_close "mean photons" 1e-6 2.0 (Bose_gbs.Gaussian.total_mean_photons s)
+
+let test_encoding_unitary () =
+  let rng = Rng.create 5 in
+  let g = Graph.random rng ~n:8 ~p:0.8 in
+  Alcotest.(check bool) "takagi unitary" true (Mat.is_unitary (Encoding.unitary_of g))
+
+let test_scaling_bounds () =
+  let lambda = [| 3.; 2.; 1. |] in
+  let c = Encoding.scaling_for lambda ~target:1.5 in
+  Alcotest.(check bool) "c in (0, 1/λmax)" true (c > 0. && c < 1. /. 3.)
+
+(* -------------------------------------------------------- Dense subgraph *)
+
+let test_clicked () =
+  Alcotest.(check (list int)) "clicked" [ 0; 2 ] (Dense_subgraph.clicked [ 1; 0; 3; 0 ]);
+  Alcotest.(check (list int)) "tail empty" [] (Dense_subgraph.clicked Bose_gbs.Fock.tail)
+
+let test_ds_success_logic () =
+  let g = triangle_plus_isolated () in
+  (* Clicking the triangle succeeds for k=3 at optimum density 1. *)
+  Alcotest.(check bool) "triangle clicks" true
+    (Dense_subgraph.sample_succeeds g ~k:3 ~optimum:1. [ 1; 1; 1; 0 ]);
+  (* Clicking a sparse set fails. *)
+  Alcotest.(check bool) "sparse clicks" false
+    (Dense_subgraph.sample_succeeds g ~k:3 ~optimum:1. [ 1; 1; 0; 1 ]);
+  (* Too few clicks fails. *)
+  Alcotest.(check bool) "too few" false
+    (Dense_subgraph.sample_succeeds g ~k:3 ~optimum:1. [ 1; 1; 0; 0 ])
+
+let test_ds_gbs_beats_uniform () =
+  (* GBS samples should find the planted dense subgraph more often than
+     uniform random clicking — the application's raison d'être. *)
+  let rng = Rng.create 6 in
+  (* Planted: a 4-clique inside a sparse 8-vertex graph. *)
+  let g = ref (Graph.create 8) in
+  List.iter (fun (a, b) -> g := Graph.add_edge !g a b)
+    [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3); (4, 5); (5, 6); (6, 7) ];
+  let g = !g in
+  let program = Encoding.encode ~mean_photons:3.0 g in
+  let ideal = Runner.ideal_distribution ~max_photons:6 program in
+  let gbs = Dense_subgraph.evaluate ~rng ~shots:600 ~k:4 g ideal in
+  (* Uniform baseline: every vertex clicks independently with the same
+     average click probability. *)
+  let uniform_dist =
+    Dist.of_weights
+      (List.map
+         (fun pattern -> (pattern, 1.))
+         (Bose_util.Combin.patterns_up_to ~modes:8 ~max_photons:4))
+  in
+  let uni = Dense_subgraph.evaluate ~rng ~shots:600 ~k:4 g uniform_dist in
+  Alcotest.(check bool)
+    (Printf.sprintf "gbs %.3f > uniform %.3f" (Dense_subgraph.success_rate gbs)
+       (Dense_subgraph.success_rate uni))
+    true
+    (Dense_subgraph.success_rate gbs > Dense_subgraph.success_rate uni)
+
+(* ------------------------------------------------------------ Max clique *)
+
+let test_shrink_to_clique () =
+  let g = triangle_plus_isolated () in
+  let clique = Max_clique.shrink_to_clique g [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "result is clique" true (Graph.is_clique g clique);
+  Alcotest.(check int) "triangle found" 3 (List.length clique)
+
+let test_greedy_expand () =
+  let g = triangle_plus_isolated () in
+  let clique = Max_clique.greedy_expand ~rng:(Rng.create 1) g [ 1 ] in
+  Alcotest.(check bool) "expanded set is clique" true (Graph.is_clique g clique);
+  Alcotest.(check bool) "grew" true (List.length clique >= 2)
+
+let test_refine_reaches_max () =
+  let rng = Rng.create 7 in
+  let g = Graph.random rng ~n:10 ~p:0.85 in
+  let target = Graph.max_clique_size g in
+  (* Refining from the full vertex set should find a maximum-or-near
+     clique on dense graphs. *)
+  let rng = Rng.create 99 in
+  (* Random expansion: take the best of a few restarts. *)
+  let found =
+    List.fold_left
+      (fun best _ ->
+         max best (List.length (Max_clique.refine ~rng g (List.init 10 (fun i -> i)))))
+      0 (List.init 10 (fun i -> i))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "found %d of %d" found target)
+    true
+    (found >= target - 1)
+
+(* ------------------------------------------------------- Graph similarity *)
+
+let test_orbit () =
+  Alcotest.(check (list int)) "orbit sorts" [ 2; 1; 1 ] (Graph_similarity.orbit [ 1; 0; 2; 1; 0 ]);
+  Alcotest.(check (list int)) "tail orbit" [ -1 ] (Graph_similarity.orbit Bose_gbs.Fock.tail)
+
+let test_feature_vector () =
+  let d = Dist.of_weights [ ([ 1; 1; 0 ], 0.5); ([ 2; 0; 0 ], 0.25); ([ 0; 0; 0 ], 0.25) ] in
+  let f = Graph_similarity.feature_vector d in
+  check_close "[1;1] prob" 1e-12 0.5 f.(0);
+  check_close "[2] prob" 1e-12 0.25 f.(1)
+
+let test_separation_metric () =
+  let c1 = [ [| 0.; 0. |]; [| 0.1; 0. |] ] in
+  let c2 = [ [| 1.; 0. |]; [| 1.1; 0. |] ] in
+  Alcotest.(check bool) "well separated" true (Graph_similarity.separation c1 c2 > 5.);
+  let mixed = [ [| 0.; 0. |]; [| 1.; 0. |] ] in
+  Alcotest.(check bool) "overlapping less separated" true
+    (Graph_similarity.separation mixed mixed < 1e-6)
+
+let test_similar_graphs_have_close_features () =
+  let rng = Rng.create 8 in
+  let seed_graph = Graph.random rng ~n:8 ~p:0.8 in
+  let near = Graph.perturb rng seed_graph ~flips:1 in
+  let far = Graph.random rng ~n:8 ~p:0.3 in
+  let feature g =
+    Graph_similarity.feature_vector
+      (Runner.ideal_distribution ~max_photons:5 (Encoding.encode ~mean_photons:2.0 g))
+  in
+  let f0 = feature seed_graph and f1 = feature near and f2 = feature far in
+  Alcotest.(check bool) "perturbed closer than unrelated" true
+    (Graph_similarity.euclidean f0 f1 < Graph_similarity.euclidean f0 f2)
+
+(* --------------------------------------------------------------- Vibronic *)
+
+let test_synthetic_molecule () =
+  let rng = Rng.create 9 in
+  let mol = Vibronic.synthetic rng ~modes:6 in
+  Alcotest.(check int) "mode count" 6 (Array.length mol.Vibronic.frequencies);
+  Array.iter
+    (fun w -> Alcotest.(check bool) "band" true (w >= 600. && w <= 3500.))
+    mol.Vibronic.frequencies;
+  Alcotest.(check bool) "duschinsky unitary" true (Mat.is_unitary mol.Vibronic.duschinsky)
+
+let test_vibronic_temperature_monotone () =
+  let rng = Rng.create 10 in
+  let mol = Vibronic.synthetic rng ~modes:6 in
+  let photons t =
+    let p = Vibronic.program mol ~temperature:t in
+    let s = Bose_gbs.Gaussian.thermal 6 p.Runner.thermal in
+    Array.iteri
+      (fun i a -> if Cx.abs a > 0. then Bose_gbs.Gaussian.squeeze s i a)
+      p.Runner.squeezing;
+    Bose_gbs.Gaussian.total_mean_photons s
+  in
+  Alcotest.(check bool) "hotter = more photons" true (photons 1000. > photons 250.)
+
+let test_vibronic_energy () =
+  let rng = Rng.create 11 in
+  let mol = Vibronic.synthetic rng ~modes:3 in
+  let w = mol.Vibronic.frequencies in
+  check_close "energy" 1e-9 (w.(0) +. (2. *. w.(2))) (Vibronic.energy mol [ 1; 0; 2 ]);
+  Alcotest.(check bool) "tail nan" true (Float.is_nan (Vibronic.energy mol Bose_gbs.Fock.tail))
+
+let test_vibronic_spectrum () =
+  let rng = Rng.create 12 in
+  let mol = Vibronic.synthetic rng ~modes:4 in
+  let program = Vibronic.program mol ~temperature:750. in
+  let d = Runner.ideal_distribution ~max_photons:5 program in
+  let grid = Vibronic.default_grid mol in
+  let spec = Vibronic.spectrum mol ~grid ~gamma:80. d in
+  Alcotest.(check int) "grid length" (Array.length grid) (Array.length spec);
+  Array.iter (fun v -> Alcotest.(check bool) "nonnegative" true (v >= 0.)) spec;
+  check_close "self correlation" 1e-9 1. (Vibronic.correlation spec spec)
+
+let () =
+  Alcotest.run "bose_apps"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "density" `Quick test_graph_density;
+          Alcotest.test_case "densest subgraph" `Quick test_graph_densest;
+          Alcotest.test_case "max clique" `Quick test_graph_max_clique;
+          Alcotest.test_case "random density" `Quick test_graph_random_edge_density;
+          Alcotest.test_case "perturb" `Quick test_graph_perturb;
+          Alcotest.test_case "subsets" `Quick test_subsets;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "mean photons" `Quick test_encoding_mean_photons;
+          Alcotest.test_case "unitary" `Quick test_encoding_unitary;
+          Alcotest.test_case "scaling bounds" `Quick test_scaling_bounds;
+        ] );
+      ( "dense_subgraph",
+        [
+          Alcotest.test_case "clicked" `Quick test_clicked;
+          Alcotest.test_case "success logic" `Quick test_ds_success_logic;
+          Alcotest.test_case "gbs beats uniform" `Quick test_ds_gbs_beats_uniform;
+        ] );
+      ( "max_clique",
+        [
+          Alcotest.test_case "shrink" `Quick test_shrink_to_clique;
+          Alcotest.test_case "expand" `Quick test_greedy_expand;
+          Alcotest.test_case "refine" `Quick test_refine_reaches_max;
+        ] );
+      ( "graph_similarity",
+        [
+          Alcotest.test_case "orbit" `Quick test_orbit;
+          Alcotest.test_case "feature vector" `Quick test_feature_vector;
+          Alcotest.test_case "separation" `Quick test_separation_metric;
+          Alcotest.test_case "similar close" `Quick test_similar_graphs_have_close_features;
+        ] );
+      ( "vibronic",
+        [
+          Alcotest.test_case "synthetic molecule" `Quick test_synthetic_molecule;
+          Alcotest.test_case "temperature monotone" `Quick test_vibronic_temperature_monotone;
+          Alcotest.test_case "energy" `Quick test_vibronic_energy;
+          Alcotest.test_case "spectrum" `Quick test_vibronic_spectrum;
+        ] );
+    ]

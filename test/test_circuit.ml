@@ -1,0 +1,120 @@
+(* Unit tests for the bose_circuit library. *)
+
+module Cx = Bose_linalg.Cx
+open Bose_circuit
+
+let test_gate_qumodes () =
+  Alcotest.(check (list int)) "squeeze" [ 2 ] (Gate.qumodes (Gate.Squeeze (2, Cx.re 0.5)));
+  Alcotest.(check (list int)) "bs" [ 1; 4 ] (Gate.qumodes (Gate.Beamsplitter (1, 4, 0.3, 0.)));
+  Alcotest.(check bool) "bs two-qumode" true (Gate.is_two_qumode (Gate.Beamsplitter (0, 1, 0.1, 0.)));
+  Alcotest.(check bool) "phase single" false (Gate.is_two_qumode (Gate.Phase (0, 0.1)))
+
+let test_gate_validate () =
+  Gate.validate ~modes:3 (Gate.Phase (2, 0.1));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Gate.validate: qumode 3 out of range [0,3)") (fun () ->
+        Gate.validate ~modes:3 (Gate.Phase (3, 0.1)));
+  Alcotest.check_raises "self beamsplitter"
+    (Invalid_argument "Gate.validate: beamsplitter on a single qumode") (fun () ->
+        Gate.validate ~modes:3 (Gate.Beamsplitter (1, 1, 0.1, 0.)))
+
+let test_gate_mzi () =
+  match Gate.mzi ~m:0 ~n:1 ~theta:0.3 ~phi:0.7 with
+  | [ Gate.Phase (0, phi); Gate.Beamsplitter (0, 1, theta, 0.) ] ->
+    Alcotest.(check (float 1e-12)) "phi" 0.7 phi;
+    Alcotest.(check (float 1e-12)) "theta" 0.3 theta
+  | _ -> Alcotest.fail "unexpected MZI structure"
+
+let test_circuit_counts () =
+  let c =
+    Circuit.add_all (Circuit.create ~modes:4)
+      [
+        Gate.Squeeze (0, Cx.re 0.3);
+        Gate.Squeeze (1, Cx.re 0.3);
+        Gate.Phase (0, 0.1);
+        Gate.Beamsplitter (0, 1, 0.2, 0.);
+        Gate.Beamsplitter (2, 3, 0.2, 0.);
+        Gate.Displace (3, Cx.i);
+      ]
+  in
+  let k = Circuit.gate_counts c in
+  Alcotest.(check int) "S" 2 k.Circuit.squeezing;
+  Alcotest.(check int) "R" 1 k.Circuit.phase_shifter;
+  Alcotest.(check int) "BS" 2 k.Circuit.beamsplitter;
+  Alcotest.(check int) "D" 1 k.Circuit.displacement;
+  Alcotest.(check int) "length" 6 (Circuit.length c)
+
+let test_circuit_order_preserved () =
+  let c =
+    Circuit.add_all (Circuit.create ~modes:2) [ Gate.Phase (0, 1.); Gate.Phase (1, 2.) ]
+  in
+  match Circuit.gates c with
+  | [ Gate.Phase (0, a); Gate.Phase (1, b) ] ->
+    Alcotest.(check (float 0.)) "first" 1. a;
+    Alcotest.(check (float 0.)) "second" 2. b
+  | _ -> Alcotest.fail "order not preserved"
+
+let test_circuit_invalid_gate () =
+  Alcotest.check_raises "bad qumode"
+    (Invalid_argument "Gate.validate: qumode 5 out of range [0,2)") (fun () ->
+        ignore (Circuit.add (Circuit.create ~modes:2) (Gate.Phase (5, 0.))))
+
+let test_two_qumode_pairs () =
+  let c =
+    Circuit.add_all (Circuit.create ~modes:4)
+      [
+        Gate.Beamsplitter (2, 1, 0.1, 0.);
+        Gate.Beamsplitter (1, 2, 0.4, 0.);
+        Gate.Beamsplitter (0, 3, 0.2, 0.);
+      ]
+  in
+  Alcotest.(check (list (pair int int))) "normalized distinct pairs" [ (0, 3); (1, 2) ]
+    (Circuit.two_qumode_pairs c)
+
+let test_check_connectivity () =
+  let c =
+    Circuit.add_all (Circuit.create ~modes:4)
+      [ Gate.Beamsplitter (0, 1, 0.1, 0.); Gate.Beamsplitter (0, 3, 0.1, 0.) ]
+  in
+  let line a b = abs (a - b) = 1 in
+  Alcotest.(check (list (pair int int))) "violations" [ (0, 3) ]
+    (Circuit.check_connectivity line c)
+
+let test_noise_model () =
+  let m = Noise.uniform 0.05 in
+  Noise.validate m;
+  Alcotest.(check (float 1e-12)) "bs loss" 0.05
+    (Noise.loss_of_gate m (Gate.Beamsplitter (0, 1, 0.1, 0.)));
+  Alcotest.(check (float 1e-12)) "single loss" 0.005
+    (Noise.loss_of_gate m (Gate.Phase (0, 0.1)));
+  Alcotest.(check (float 1e-12)) "ideal" 0.
+    (Noise.loss_of_gate Noise.ideal (Gate.Beamsplitter (0, 1, 0.1, 0.)))
+
+let test_noise_invalid () =
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Noise.validate: beamsplitter_loss out of [0,1]") (fun () ->
+        Noise.validate { Noise.beamsplitter_loss = 1.5; single_qumode_loss = 0. })
+
+let () =
+  Alcotest.run "bose_circuit"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "qumodes" `Quick test_gate_qumodes;
+          Alcotest.test_case "validate" `Quick test_gate_validate;
+          Alcotest.test_case "mzi block" `Quick test_gate_mzi;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "gate counts" `Quick test_circuit_counts;
+          Alcotest.test_case "order preserved" `Quick test_circuit_order_preserved;
+          Alcotest.test_case "invalid gate" `Quick test_circuit_invalid_gate;
+          Alcotest.test_case "two-qumode pairs" `Quick test_two_qumode_pairs;
+          Alcotest.test_case "connectivity check" `Quick test_check_connectivity;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "model" `Quick test_noise_model;
+          Alcotest.test_case "invalid" `Quick test_noise_invalid;
+        ] );
+    ]

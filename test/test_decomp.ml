@@ -1,0 +1,212 @@
+(* Unit and property tests for the bose_decomp library: elimination
+   engine, plans, reconstruction, circuit generation. *)
+
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Givens = Bose_linalg.Givens
+open Bose_hardware
+open Bose_decomp
+module Circuit = Bose_circuit.Circuit
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+let haar seed n = Unitary.haar_random (Rng.create seed) n
+
+let test_baseline_exact () =
+  let u = haar 1 10 in
+  let plan = Eliminate.decompose_baseline u in
+  Alcotest.(check int) "rotation count" 45 (Plan.rotation_count plan);
+  check_close "exact reconstruction" 1e-10 1. (Plan.fidelity plan u);
+  Alcotest.(check bool) "entrywise match" true
+    (Mat.equal ~tol:1e-9 (Plan.reconstruct plan) u)
+
+let test_tree_exact () =
+  let u = haar 2 24 in
+  let pattern = Embedding.for_program (Lattice.create ~rows:6 ~cols:6) 24 in
+  let plan = Eliminate.decompose pattern u in
+  Alcotest.(check int) "rotation count" 276 (Plan.rotation_count plan);
+  Alcotest.(check bool) "entrywise match" true
+    (Mat.equal ~tol:1e-9 (Plan.reconstruct plan) u)
+
+let test_lambda_unit_modulus () =
+  let u = haar 3 12 in
+  let plan = Eliminate.decompose_baseline u in
+  Array.iter
+    (fun lam -> check_close "unit modulus" 1e-9 1. (Cx.abs lam))
+    plan.Plan.lambda
+
+let test_residual_diagnostic () =
+  let u = haar 4 9 in
+  Alcotest.(check bool) "baseline drives to diagonal" true
+    (Eliminate.residual_off_diagonal u (Pattern.chain 9) < 1e-10)
+
+let test_tree_yields_more_small_angles () =
+  (* The Bosehedral template's purpose: more small-rotation MZIs than
+     the chain baseline on the same unitary (§IV). *)
+  let u = haar 5 24 in
+  let chain = Eliminate.decompose_baseline u in
+  let tree =
+    Eliminate.decompose (Embedding.for_program (Lattice.create ~rows:6 ~cols:6) 24) u
+  in
+  let small p = Plan.small_angle_count p ~threshold:0.25 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tree %d > chain %d" (small tree) (small chain))
+    true
+    (small tree > small chain)
+
+let test_dropout_reconstruction_identity () =
+  (* Dropping a rotation replaces it by θ=0 but keeps its phase: the
+     kept-mask reconstruction with all true equals the full one. *)
+  let u = haar 6 8 in
+  let plan = Eliminate.decompose_baseline u in
+  let all = Array.make (Plan.rotation_count plan) true in
+  Alcotest.(check bool) "all-kept equals full" true
+    (Mat.equal (Plan.reconstruct ~kept:all plan) (Plan.reconstruct plan))
+
+let test_dropout_fidelity_bounds () =
+  let u = haar 7 10 in
+  let plan = Eliminate.decompose_baseline u in
+  let total = Plan.rotation_count plan in
+  let rng = Rng.create 70 in
+  for _ = 1 to 20 do
+    let kept = Array.init total (fun _ -> Rng.uniform rng > 0.3) in
+    let f = Plan.fidelity ~kept plan u in
+    Alcotest.(check bool) "fidelity in [0,1]" true (f >= 0. && f <= 1. +. 1e-9)
+  done
+
+let test_dropping_small_angle_costs_theta_squared () =
+  (* Single-drop fidelity loss ≈ (1 − cos θ)·2/ (2N) = θ²/(2N)… exactly
+     |N − 2(1−cosθ)|/N for one dropped rotation. *)
+  let u = haar 8 12 in
+  let plan = Eliminate.decompose_baseline u in
+  let total = Plan.rotation_count plan in
+  let angles = Plan.angles plan in
+  let idx = ref 0 in
+  Array.iteri (fun i a -> if a < angles.(!idx) then idx := i) angles;
+  let kept = Array.make total true in
+  kept.(!idx) <- false;
+  let expected = (12. -. (2. *. (1. -. cos angles.(!idx)))) /. 12. in
+  check_close "single-drop cost" 1e-9 expected (Plan.fidelity ~kept plan u)
+
+let test_to_circuit_structure () =
+  let u = haar 9 6 in
+  let plan = Eliminate.decompose_baseline u in
+  let c = Plan.to_circuit plan in
+  let k = Circuit.gate_counts c in
+  Alcotest.(check int) "BS count" 15 k.Circuit.beamsplitter;
+  (* One phase per rotation plus N final Λ phases. *)
+  Alcotest.(check int) "R count" (15 + 6) k.Circuit.phase_shifter;
+  Alcotest.(check int) "no squeezers" 0 k.Circuit.squeezing
+
+let test_to_circuit_dropped () =
+  let u = haar 10 6 in
+  let plan = Eliminate.decompose_baseline u in
+  let kept = Array.make 15 true in
+  kept.(3) <- false;
+  kept.(7) <- false;
+  let c = Plan.to_circuit ~kept plan in
+  let k = Circuit.gate_counts c in
+  Alcotest.(check int) "two fewer BS" 13 k.Circuit.beamsplitter;
+  (* The dropped rotations keep their phase shifters. *)
+  Alcotest.(check int) "R unchanged" 21 k.Circuit.phase_shifter
+
+let test_to_circuit_hardware_compatible () =
+  (* Circuit beamsplitters from an embedded pattern only touch
+     physically coupled qumode pairs (label space = BFS labels; the
+     pattern's tree edges are lattice-adjacent by the embedding tests,
+     and the circuit only uses tree edges). *)
+  let device = Lattice.create ~rows:5 ~cols:7 in
+  let pattern = Embedding.for_program device 24 in
+  let u = haar 11 24 in
+  let plan = Eliminate.decompose pattern u in
+  let c = Plan.to_circuit plan in
+  List.iter
+    (fun (a, b) ->
+       Alcotest.(check bool) "pair is tree edge" true (List.mem b (Pattern.neighbors pattern a)))
+    (Circuit.two_qumode_pairs c)
+
+let test_prelude () =
+  let u = haar 12 4 in
+  let plan = Eliminate.decompose_baseline u in
+  let prelude = [ Bose_circuit.Gate.Squeeze (0, Cx.re 0.4) ] in
+  let c = Plan.to_circuit ~prelude plan in
+  (match Circuit.gates c with
+   | Bose_circuit.Gate.Squeeze (0, _) :: _ -> ()
+   | _ -> Alcotest.fail "prelude must come first");
+  Alcotest.(check int) "squeezer counted" 1 (Circuit.gate_counts c).Circuit.squeezing
+
+let test_size_mismatch () =
+  let u = haar 13 5 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Eliminate.decompose: unitary size does not match pattern") (fun () ->
+        ignore (Eliminate.decompose (Pattern.chain 6) u))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"decomposition roundtrips on chain patterns" ~count:40
+      (pair (int_range 2 12) small_int)
+      (fun (n, seed) ->
+         let u = haar seed n in
+         let plan = Eliminate.decompose_baseline u in
+         Mat.equal ~tol:1e-8 (Plan.reconstruct plan) u);
+    Test.make ~name:"decomposition roundtrips on zigzag patterns" ~count:30
+      (triple (int_range 2 6) (int_range 2 6) small_int)
+      (fun (r, c, seed) ->
+         let lattice = Lattice.create ~rows:r ~cols:c in
+         let n = Lattice.size lattice in
+         let u = haar seed n in
+         let plan = Eliminate.decompose (Embedding.zigzag lattice) u in
+         Mat.equal ~tol:1e-8 (Plan.reconstruct plan) u);
+    Test.make ~name:"partial reconstruction is still unitary" ~count:30
+      (pair (int_range 3 10) small_int)
+      (fun (n, seed) ->
+         let u = haar (seed + 1) n in
+         let plan = Eliminate.decompose_baseline u in
+         let rng = Rng.create seed in
+         let kept =
+           Array.init (Plan.rotation_count plan) (fun _ -> Rng.uniform rng > 0.5)
+         in
+         Mat.is_unitary (Plan.reconstruct ~kept plan));
+    Test.make ~name:"rotations always reference valid adjacent labels" ~count:20
+      (pair (int_range 2 5) (int_range 2 6))
+      (fun (r, c) ->
+         let lattice = Lattice.create ~rows:r ~cols:c in
+         let pattern = Embedding.zigzag lattice in
+         let n = Pattern.size pattern in
+         let u = haar (r + (10 * c)) n in
+         let plan = Eliminate.decompose pattern u in
+         Array.for_all
+           (fun e ->
+              let { Givens.m; n = nn; _ } = e.Plan.rotation in
+              m >= 0 && m < n && nn >= 0 && nn < n && m <> nn
+              && List.mem nn (Pattern.neighbors pattern m))
+           plan.Plan.elements);
+  ]
+
+let () =
+  Alcotest.run "bose_decomp"
+    [
+      ( "eliminate",
+        [
+          Alcotest.test_case "baseline exact" `Quick test_baseline_exact;
+          Alcotest.test_case "tree exact" `Quick test_tree_exact;
+          Alcotest.test_case "lambda unit modulus" `Quick test_lambda_unit_modulus;
+          Alcotest.test_case "residual diagnostic" `Quick test_residual_diagnostic;
+          Alcotest.test_case "tree yields small angles" `Quick test_tree_yields_more_small_angles;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "dropout identity" `Quick test_dropout_reconstruction_identity;
+          Alcotest.test_case "fidelity bounds" `Quick test_dropout_fidelity_bounds;
+          Alcotest.test_case "single-drop cost" `Quick test_dropping_small_angle_costs_theta_squared;
+          Alcotest.test_case "circuit structure" `Quick test_to_circuit_structure;
+          Alcotest.test_case "circuit with drops" `Quick test_to_circuit_dropped;
+          Alcotest.test_case "circuit hardware compatible" `Quick test_to_circuit_hardware_compatible;
+          Alcotest.test_case "prelude first" `Quick test_prelude;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,160 @@
+(* Unit and property tests for the probabilistic gate dropout (§VI). *)
+
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+open Bose_hardware
+open Bose_decomp
+module Dropout = Bose_dropout.Dropout
+
+let haar seed n = Unitary.haar_random (Rng.create seed) n
+
+let tree_plan seed n rows cols =
+  let u = haar seed n in
+  let pattern = Embedding.for_program (Lattice.create ~rows ~cols) n in
+  let m = Bose_mapping.Mapping.optimize pattern u in
+  (Eliminate.decompose pattern m.Bose_mapping.Mapping.permuted, m.Bose_mapping.Mapping.permuted)
+
+let test_find_threshold_respects_tau () =
+  let plan, u = tree_plan 1 16 4 4 in
+  List.iter
+    (fun tau ->
+       let theta_cut, kept = Dropout.find_threshold plan u ~tau in
+       (* Dropping everything strictly below the returned cut must stay
+          above tau. *)
+       let angles = Plan.angles plan in
+       let mask = Array.map (fun a -> a > theta_cut -. 1e-15) angles in
+       let dropped_count = Array.length (Array.of_list (List.filter not (Array.to_list mask))) in
+       Alcotest.(check bool) "kept consistent" true
+         (kept = Array.length angles - dropped_count || kept <= Array.length angles);
+       let f = Dropout.(hard_kept { tau; theta_cut; kept_count = kept; power = 1;
+                                    weights = Array.make (Array.length angles) 1.;
+                                    expected_fidelity = 1. } plan) in
+       Alcotest.(check bool) "hard mask meets tau" true (Plan.fidelity ~kept:f plan u >= tau -. 1e-9))
+    [ 0.999; 0.99; 0.95 ]
+
+let test_threshold_monotone_in_tau () =
+  let plan, u = tree_plan 2 16 4 4 in
+  let _, kept_strict = Dropout.find_threshold plan u ~tau:0.999 in
+  let _, kept_loose = Dropout.find_threshold plan u ~tau:0.95 in
+  Alcotest.(check bool) "looser tau keeps fewer" true (kept_loose <= kept_strict)
+
+let test_policy_shapes () =
+  let rng = Rng.create 3 in
+  let plan, u = tree_plan 3 16 4 4 in
+  let p = Dropout.make_policy ~iterations:10 rng plan u ~tau:0.95 in
+  Alcotest.(check int) "weights per rotation" (Plan.rotation_count plan)
+    (Array.length p.Dropout.weights);
+  Alcotest.(check bool) "kept within range" true
+    (p.Dropout.kept_count >= 0 && p.Dropout.kept_count <= Plan.rotation_count plan);
+  Alcotest.(check bool) "expected fidelity plausible" true
+    (p.Dropout.expected_fidelity > 0.8 && p.Dropout.expected_fidelity <= 1.)
+
+let test_sample_kept_count () =
+  let rng = Rng.create 4 in
+  let plan, u = tree_plan 4 16 4 4 in
+  let p = Dropout.make_policy ~iterations:10 rng plan u ~tau:0.95 in
+  for _ = 1 to 50 do
+    let kept = Dropout.sample_kept rng p plan in
+    let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 kept in
+    Alcotest.(check int) "exactly M kept" p.Dropout.kept_count count
+  done
+
+let test_large_angles_always_survive () =
+  (* With the |θ/Θ|^K weights, rotations far above the threshold are
+     essentially never dropped. *)
+  let rng = Rng.create 5 in
+  let plan, u = tree_plan 5 16 4 4 in
+  let p = Dropout.make_policy ~iterations:10 rng plan u ~tau:0.95 in
+  let angles = Plan.angles plan in
+  for _ = 1 to 30 do
+    let kept = Dropout.sample_kept rng p plan in
+    Array.iteri
+      (fun i a ->
+         if a > 3. *. Float.max p.Dropout.theta_cut 0.05 then
+           Alcotest.(check bool) "large angle kept" true kept.(i))
+      angles
+  done
+
+let test_hard_kept_is_largest () =
+  let plan, u = tree_plan 6 12 3 4 in
+  let p = Dropout.make_policy ~iterations:10 (Rng.create 6) plan u ~tau:0.95 in
+  let kept = Dropout.hard_kept p plan in
+  let angles = Plan.angles plan in
+  let max_dropped =
+    Array.to_list (Array.mapi (fun i a -> (kept.(i), a)) angles)
+    |> List.filter_map (fun (k, a) -> if k then None else Some a)
+    |> List.fold_left Float.max 0.
+  in
+  let min_kept =
+    Array.to_list (Array.mapi (fun i a -> (kept.(i), a)) angles)
+    |> List.filter_map (fun (k, a) -> if k then Some a else None)
+    |> List.fold_left Float.min infinity
+  in
+  Alcotest.(check bool) "threshold separation" true (max_dropped <= min_kept +. 1e-12)
+
+let test_degenerate_policy_keeps_all () =
+  (* tau = 1.0 forbids dropping anything. *)
+  let rng = Rng.create 7 in
+  let plan, u = tree_plan 7 12 3 4 in
+  let p = Dropout.make_policy ~iterations:5 rng plan u ~tau:1.0 in
+  Alcotest.(check int) "keeps all" (Plan.rotation_count plan) p.Dropout.kept_count;
+  Alcotest.(check (float 1e-12)) "no reduction" 0. (Dropout.dropped_fraction p plan)
+
+let test_invalid_tau () =
+  let plan, u = tree_plan 8 12 3 4 in
+  Alcotest.check_raises "tau 0" (Invalid_argument "Dropout.find_threshold: tau out of (0,1]")
+    (fun () -> ignore (Dropout.find_threshold plan u ~tau:0.))
+
+let test_expected_fidelity_near_tau () =
+  (* τ_K should land in the neighbourhood of the requested τ — it is the
+     average fidelity of the per-shot approximations. *)
+  let rng = Rng.create 9 in
+  let plan, u = tree_plan 9 20 4 5 in
+  let p = Dropout.make_policy ~iterations:20 rng plan u ~tau:0.95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tauK=%.4f near tau" p.Dropout.expected_fidelity)
+    true
+    (p.Dropout.expected_fidelity > 0.90 && p.Dropout.expected_fidelity <= 1.)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sampled masks keep exactly M with valid weights" ~count:20
+      small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let plan, u = tree_plan (seed + 100) 12 3 4 in
+         let p = Dropout.make_policy ~iterations:5 rng plan u ~tau:0.93 in
+         let kept = Dropout.sample_kept rng p plan in
+         Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 kept
+         = p.Dropout.kept_count);
+    Test.make ~name:"per-shot fidelity stays reasonable" ~count:10 small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let plan, u = tree_plan (seed + 200) 12 3 4 in
+         let p = Dropout.make_policy ~iterations:5 rng plan u ~tau:0.95 in
+         let kept = Dropout.sample_kept rng p plan in
+         Plan.fidelity ~kept plan u > 0.7);
+  ]
+
+let () =
+  Alcotest.run "bose_dropout"
+    [
+      ( "threshold",
+        [
+          Alcotest.test_case "respects tau" `Quick test_find_threshold_respects_tau;
+          Alcotest.test_case "monotone in tau" `Quick test_threshold_monotone_in_tau;
+          Alcotest.test_case "invalid tau" `Quick test_invalid_tau;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "shapes" `Quick test_policy_shapes;
+          Alcotest.test_case "sample count" `Quick test_sample_kept_count;
+          Alcotest.test_case "large angles survive" `Quick test_large_angles_always_survive;
+          Alcotest.test_case "hard mask largest" `Quick test_hard_kept_is_largest;
+          Alcotest.test_case "degenerate keeps all" `Quick test_degenerate_policy_keeps_all;
+          Alcotest.test_case "tauK near tau" `Quick test_expected_fidelity_near_tau;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

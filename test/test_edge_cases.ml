@@ -1,0 +1,182 @@
+(* Boundary-condition tests across the whole stack: single qumodes,
+   empty structures, degenerate parameters, and size-1 devices. *)
+
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Combin = Bose_util.Combin
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+open Bose_hardware
+open Bose_decomp
+open Bosehedral
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+(* ------------------------------------------------------------- smallest *)
+
+let test_one_by_one_unitary () =
+  (* A 1×1 unitary is a pure phase: zero rotations, one Λ entry. *)
+  let u = Mat.init 1 1 (fun _ _ -> Cx.exp_i 0.7) in
+  let plan = Eliminate.decompose (Pattern.chain 1) u in
+  Alcotest.(check int) "no rotations" 0 (Plan.rotation_count plan);
+  Alcotest.(check bool) "reconstructs" true (Mat.equal ~tol:1e-12 (Plan.reconstruct plan) u)
+
+let test_two_mode_device () =
+  let rng = Rng.create 1 in
+  let u = Unitary.haar_random rng 2 in
+  let device = Lattice.create ~rows:1 ~cols:2 in
+  List.iter
+    (fun config ->
+       let c = Compiler.compile ~rng ~device ~config ~tau:0.99 u in
+       Alcotest.(check int) "one rotation" 1 (Plan.rotation_count c.Compiler.plan);
+       Alcotest.(check bool) "exact without drops" true
+         (Mat.equal ~tol:1e-9 (Compiler.approx_unitary c)
+            u
+          || Compiler.beamsplitter_reduction c > 0.))
+    Config.all
+
+let test_identity_unitary_all_angles_zero () =
+  (* The identity decomposes into all-zero rotations: everything is
+     droppable at any fidelity. *)
+  let n = 9 in
+  let u = Mat.identity n in
+  let plan = Eliminate.decompose_baseline u in
+  Array.iter (fun a -> check_close "zero angle" 1e-12 0. a) (Plan.angles plan);
+  let rng = Rng.create 2 in
+  let device = Lattice.create ~rows:3 ~cols:3 in
+  let c = Compiler.compile ~rng ~device ~config:Config.Full_opt ~tau:0.9999 u in
+  check_close "everything dropped" 1e-9 1. (Compiler.beamsplitter_reduction c)
+
+let test_permutation_unitary () =
+  (* Permutation matrices have entries 0/1 only: eliminations meet exact
+     zeros and exact ones. *)
+  let rng = Rng.create 3 in
+  let p = Bose_linalg.Perm.random rng 8 in
+  let u = Bose_linalg.Perm.matrix p in
+  let plan = Eliminate.decompose_baseline u in
+  Alcotest.(check bool) "reconstructs" true (Mat.equal ~tol:1e-9 (Plan.reconstruct plan) u)
+
+(* ------------------------------------------------------------ emptiness *)
+
+let test_empty_distribution_errors () =
+  Alcotest.check_raises "sample empty" (Invalid_argument "Dist.sample: empty distribution")
+    (fun () -> ignore (Dist.sample (Rng.create 1) Dist.empty));
+  Alcotest.check_raises "normalize empty" (Invalid_argument "Dist.normalize: zero total mass")
+    (fun () -> ignore (Dist.normalize Dist.empty))
+
+let test_empty_circuit () =
+  let c = Bose_circuit.Circuit.create ~modes:3 in
+  Alcotest.(check int) "no gates" 0 (Bose_circuit.Circuit.length c);
+  Alcotest.(check int) "depth 0" 0 (Bose_circuit.Circuit.depth c);
+  let s = Bose_gbs.Simulator.run c in
+  check_close "vacuum stays vacuum" 1e-12 0. (Bose_gbs.Gaussian.total_mean_photons s)
+
+let test_patterns_zero_cutoff () =
+  let d = Bose_gbs.Fock.truncated ~max_photons:0 (Bose_gbs.Gaussian.vacuum 2) in
+  check_close "vacuum only" 1e-12 1. (Dist.prob d [ 0; 0 ]);
+  Alcotest.(check int) "two outcomes incl. tail slot" 1 (List.length (Dist.support d))
+
+let test_edgeless_graph_encoding_fails () =
+  Alcotest.check_raises "no edges"
+    (Invalid_argument "Encoding.scaling_for: graph has no edges") (fun () ->
+        ignore (Bose_apps.Encoding.encode ~mean_photons:1. (Bose_apps.Graph.create 4)))
+
+(* ----------------------------------------------------------- degeneracy *)
+
+let test_full_squeezing_angle_pi_over_two () =
+  (* Eliminating against an exactly-zero pivot gives θ = π/2. *)
+  let u = Mat.of_arrays [| [| Cx.zero; Cx.one |]; [| Cx.one; Cx.zero |] |] in
+  let plan = Eliminate.decompose_baseline u in
+  check_close "theta = pi/2" 1e-12 (Float.pi /. 2.) (Plan.angles plan).(0);
+  Alcotest.(check bool) "reconstructs" true (Mat.equal ~tol:1e-12 (Plan.reconstruct plan) u)
+
+let test_tau_one_never_drops () =
+  let rng = Rng.create 4 in
+  let u = Unitary.haar_random rng 9 in
+  let c =
+    Compiler.compile ~rng ~device:(Lattice.create ~rows:3 ~cols:3) ~config:Config.Full_opt
+      ~tau:1.0 u
+  in
+  check_close "no reduction" 1e-12 0. (Compiler.beamsplitter_reduction c);
+  Alcotest.(check (option (array bool))) "no mask" None (Compiler.shot_mask rng c)
+
+let test_zero_loss_noise_is_ideal () =
+  let model = Bose_circuit.Noise.uniform 0. in
+  Alcotest.(check (float 0.)) "bs" 0.
+    (Bose_circuit.Noise.loss_of_gate model (Bose_circuit.Gate.Beamsplitter (0, 1, 0.1, 0.)))
+
+let test_zero_squeezing_gate_is_identity () =
+  let s = Bose_gbs.Gaussian.vacuum 1 in
+  Bose_gbs.Gaussian.squeeze s 0 Cx.zero;
+  check_close "still vacuum" 1e-12 0. (Bose_gbs.Gaussian.mean_photons s 0)
+
+let test_thermal_zero_is_vacuum () =
+  let t = Bose_gbs.Gaussian.thermal 2 [| 0.; 0. |] in
+  check_close "vacuum" 1e-12 0. (Bose_gbs.Gaussian.total_mean_photons t);
+  Array.iter
+    (fun nu -> check_close "nu = 1" 1e-9 1. nu)
+    (Bose_gbs.Gaussian.symplectic_eigenvalues t)
+
+(* -------------------------------------------------------------- devices *)
+
+let test_single_row_device_compiles () =
+  (* A 1×N line has no branches: the tree degenerates to the chain but
+     everything must still work. *)
+  let rng = Rng.create 5 in
+  let u = Unitary.haar_random rng 6 in
+  let device = Lattice.create ~rows:1 ~cols:6 in
+  List.iter
+    (fun config ->
+       let c = Compiler.compile ~rng ~device ~config ~tau:0.99 u in
+       match Compiler.verify c with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Config.name config ^ ": " ^ e))
+    Config.all
+
+let test_single_qumode_program_on_big_device () =
+  let u = Mat.init 1 1 (fun _ _ -> Cx.one) in
+  let rng = Rng.create 6 in
+  let c =
+    Compiler.compile ~rng ~device:(Lattice.create ~rows:6 ~cols:6) ~config:Config.Full_opt
+      ~tau:0.99 u
+  in
+  Alcotest.(check int) "no rotations" 0 (Plan.rotation_count c.Compiler.plan)
+
+let test_combin_degenerate () =
+  Alcotest.(check int) "0 photons 1 mode" 1 (List.length (Combin.compositions 0 1));
+  Alcotest.(check (list (list int))) "pattern [0]" [ [ 0 ] ] (Combin.compositions 0 1);
+  Alcotest.(check int) "n into 0 parts" 0 (List.length (Combin.compositions 3 0))
+
+let () =
+  Alcotest.run "edge_cases"
+    [
+      ( "smallest",
+        [
+          Alcotest.test_case "1x1 unitary" `Quick test_one_by_one_unitary;
+          Alcotest.test_case "two-mode device" `Quick test_two_mode_device;
+          Alcotest.test_case "identity unitary" `Quick test_identity_unitary_all_angles_zero;
+          Alcotest.test_case "permutation unitary" `Quick test_permutation_unitary;
+        ] );
+      ( "emptiness",
+        [
+          Alcotest.test_case "empty distribution" `Quick test_empty_distribution_errors;
+          Alcotest.test_case "empty circuit" `Quick test_empty_circuit;
+          Alcotest.test_case "zero cutoff" `Quick test_patterns_zero_cutoff;
+          Alcotest.test_case "edgeless graph" `Quick test_edgeless_graph_encoding_fails;
+        ] );
+      ( "degeneracy",
+        [
+          Alcotest.test_case "pi/2 rotation" `Quick test_full_squeezing_angle_pi_over_two;
+          Alcotest.test_case "tau = 1" `Quick test_tau_one_never_drops;
+          Alcotest.test_case "zero loss" `Quick test_zero_loss_noise_is_ideal;
+          Alcotest.test_case "zero squeeze" `Quick test_zero_squeezing_gate_is_identity;
+          Alcotest.test_case "thermal zero" `Quick test_thermal_zero_is_vacuum;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "1xN line" `Quick test_single_row_device_compiles;
+          Alcotest.test_case "1-qumode program" `Quick test_single_qumode_program_on_big_device;
+          Alcotest.test_case "combinatorics" `Quick test_combin_degenerate;
+        ] );
+    ]

@@ -1,0 +1,1070 @@
+(* Tests for the extension features: Clements decomposition, threshold
+   detection, generic coupling graphs, the MZI-2 realization, Gaussian
+   marginals, and the point-process application. *)
+
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Givens = Bose_linalg.Givens
+open Bose_hardware
+open Bose_decomp
+open Bose_gbs
+module Gate = Bose_circuit.Gate
+module Circuit = Bose_circuit.Circuit
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+let haar seed n = Unitary.haar_random (Rng.create seed) n
+
+(* ------------------------------------------------------------- Clements *)
+
+let test_clements_roundtrip () =
+  List.iter
+    (fun n ->
+       let u = haar n n in
+       let c = Clements.decompose u in
+       Alcotest.(check int) "rotation count" (n * (n - 1) / 2) (Clements.rotation_count c);
+       Alcotest.(check bool)
+         (Printf.sprintf "reconstruct n=%d" n)
+         true
+         (Mat.equal ~tol:1e-9 (Clements.reconstruct c) u))
+    [ 2; 3; 5; 8; 16 ]
+
+let test_clements_adjacent_pairs () =
+  let u = haar 4 8 in
+  let c = Clements.decompose u in
+  List.iter
+    (fun { Givens.m; n; _ } -> Alcotest.(check int) "adjacent" 1 (abs (m - n)))
+    (c.Clements.left @ c.Clements.right)
+
+let test_clements_lambda () =
+  let u = haar 5 10 in
+  let c = Clements.decompose u in
+  Array.iter (fun lam -> check_close "unit modulus" 1e-9 1. (Cx.abs lam)) c.Clements.lambda
+
+let test_clements_circuit_equivalence () =
+  let n = 5 in
+  let u = haar 6 n in
+  let circuit = Clements.to_circuit (Clements.decompose u) in
+  let s1 = Gaussian.vacuum n and s2 = Gaussian.vacuum n in
+  for i = 0 to n - 1 do
+    Gaussian.squeeze s1 i (Cx.re 0.3);
+    Gaussian.squeeze s2 i (Cx.re 0.3)
+  done;
+  Gaussian.interferometer s1 u;
+  Gaussian.run_circuit s2 circuit;
+  let v1 = Gaussian.cov s1 and v2 = Gaussian.cov s2 in
+  let worst = ref 0. in
+  for i = 0 to (2 * n) - 1 do
+    for j = 0 to (2 * n) - 1 do
+      worst := Float.max !worst (Float.abs (v1.(i).(j) -. v2.(i).(j)))
+    done
+  done;
+  Alcotest.(check bool) "clements circuit implements U" true (!worst < 1e-9)
+
+let test_clements_vs_reck_angles () =
+  (* Both baselines produce the same number of rotations on the same
+     unitary; their angle multisets differ but both reconstruct. *)
+  let u = haar 7 12 in
+  let reck = Eliminate.decompose_baseline u in
+  let clem = Clements.decompose u in
+  Alcotest.(check int) "same count" (Plan.rotation_count reck) (Clements.rotation_count clem)
+
+(* ------------------------------------------------------------ Threshold *)
+
+let test_threshold_coherent () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.displace s 0 (Cx.re 0.8);
+  check_close "click prob" 1e-9 (1. -. exp (-0.64)) (Threshold.click_probability s [| true |]);
+  check_close "silent prob" 1e-9 (exp (-0.64)) (Threshold.click_probability s [| false |])
+
+let test_threshold_squeezed () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 0.7);
+  check_close "click prob" 1e-9 (1. -. (1. /. cosh 0.7))
+    (Threshold.click_probability s [| true |])
+
+let test_threshold_tms_correlated () =
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re 0.5);
+  Gaussian.squeeze s 1 (Cx.re (-0.5));
+  Gaussian.beamsplitter s 0 1 (Float.pi /. 4.) 0.;
+  check_close "P(10) = 0" 1e-9 0. (Threshold.click_probability s [| true; false |]);
+  check_close "P(01) = 0" 1e-9 0. (Threshold.click_probability s [| false; true |]);
+  Alcotest.(check bool) "P(11) > 0" true (Threshold.click_probability s [| true; true |] > 0.)
+
+let test_threshold_distribution_normalized () =
+  let rng = Rng.create 12 in
+  let s = Gaussian.vacuum 4 in
+  Gaussian.squeeze s 0 (Cx.re 0.5);
+  Gaussian.squeeze s 1 (Cx.re 0.4);
+  Gaussian.displace s 2 (Cx.make 0.2 0.3);
+  Gaussian.interferometer s (Unitary.haar_random rng 4);
+  Gaussian.loss s 0 0.1;
+  let d = Threshold.click_distribution s in
+  Alcotest.(check int) "16 patterns" 16 (List.length d);
+  check_close "sums to 1" 1e-9 1. (List.fold_left (fun a (_, p) -> a +. p) 0. d);
+  List.iter (fun (_, p) -> Alcotest.(check bool) "nonneg" true (p >= 0.)) d
+
+let test_threshold_matches_fock_aggregation () =
+  let rng = Rng.create 13 in
+  let s = Gaussian.vacuum 3 in
+  Gaussian.squeeze s 0 (Cx.re 0.5);
+  Gaussian.squeeze s 1 (Cx.re 0.4);
+  Gaussian.interferometer s (Unitary.haar_random rng 3);
+  let fock = Fock.pattern_distribution ~max_photons:10 s in
+  let click_of pattern = List.map (fun c -> if c > 0 then 1 else 0) pattern in
+  List.iter
+    (fun target ->
+       let aggregated =
+         List.fold_left
+           (fun acc (pattern, p) -> if click_of pattern = target then acc +. p else acc)
+           0. fock
+       in
+       let exact =
+         Threshold.click_probability s (Array.of_list (List.map (fun b -> b = 1) target))
+       in
+       check_close
+         (Printf.sprintf "pattern %s" (String.concat "" (List.map string_of_int target)))
+         1e-4 aggregated exact)
+    [ [ 0; 0; 0 ]; [ 1; 0; 0 ]; [ 1; 1; 0 ]; [ 1; 1; 1 ] ]
+
+let test_expected_clicks_bounds () =
+  let s = Gaussian.vacuum 3 in
+  Gaussian.squeeze s 0 (Cx.re 0.6);
+  let e = Threshold.expected_clicks s in
+  Alcotest.(check bool) "within [0, N]" true (e > 0. && e < 3.)
+
+(* ------------------------------------------------------------- Marginals *)
+
+let test_reduce_covariance () =
+  let rng = Rng.create 14 in
+  let s = Gaussian.vacuum 4 in
+  Gaussian.squeeze s 0 (Cx.re 0.5);
+  Gaussian.displace s 2 (Cx.make 0.4 (-0.1));
+  Gaussian.interferometer s (Unitary.haar_random rng 4);
+  let r = Gaussian.reduce s [ 1; 3 ] in
+  Alcotest.(check int) "modes" 2 (Gaussian.modes r);
+  check_close "photon number preserved" 1e-9
+    (Gaussian.mean_photons s 1 +. Gaussian.mean_photons s 3)
+    (Gaussian.total_mean_photons r);
+  Alcotest.(check bool) "marginal physical" true (Gaussian.is_valid r)
+
+let test_reduce_rejects_duplicates () =
+  let s = Gaussian.vacuum 3 in
+  Alcotest.check_raises "duplicates" (Invalid_argument "Gaussian.reduce: duplicate qumodes")
+    (fun () -> ignore (Gaussian.reduce s [ 1; 1 ]))
+
+(* -------------------------------------------------------------- Coupling *)
+
+let test_coupling_shapes () =
+  let square = Coupling.of_lattice (Lattice.create ~rows:4 ~cols:5) in
+  Alcotest.(check int) "square size" 20 (Coupling.size square);
+  Alcotest.(check int) "square max degree" 4 (Coupling.max_degree square);
+  let tri = Coupling.triangular ~rows:4 ~cols:5 in
+  Alcotest.(check int) "triangular max degree" 6 (Coupling.max_degree tri);
+  Alcotest.(check int) "triangular edges" (31 + 12) (List.length (Coupling.edges tri));
+  let hex = Coupling.hexagonal ~rows:4 ~cols:5 in
+  Alcotest.(check bool) "hexagonal max degree ≤ 3" true (Coupling.max_degree hex <= 3)
+
+let test_coupling_disconnected_rejected () =
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Coupling.of_edges: graph is disconnected") (fun () ->
+        ignore (Coupling.of_edges ~n:4 [ (0, 1); (2, 3) ]))
+
+let test_dominating_path_covers () =
+  List.iter
+    (fun coupling ->
+       let path = Coupling.dominating_path coupling in
+       (* Simple path over existing edges... *)
+       let rec adjacent_steps = function
+         | a :: (b :: _ as rest) ->
+           Coupling.adjacent coupling a b && adjacent_steps rest
+         | _ -> true
+       in
+       Alcotest.(check bool) "steps adjacent" true (adjacent_steps path);
+       Alcotest.(check int) "simple" (List.length path)
+         (List.length (List.sort_uniq compare path));
+       (* ...whose closed neighborhood covers most of the device (the
+          rest become deeper branches in the embedding). *)
+       let covered = Array.make (Coupling.size coupling) false in
+       List.iter
+         (fun v ->
+            covered.(v) <- true;
+            List.iter (fun w -> covered.(w) <- true) (Coupling.neighbors coupling v))
+         path;
+       let fraction =
+         float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 covered)
+         /. float_of_int (Coupling.size coupling)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "covers %.0f%%" (100. *. fraction))
+         true (fraction >= 0.8))
+    [
+      Coupling.of_lattice (Lattice.create ~rows:5 ~cols:5);
+      Coupling.triangular ~rows:4 ~cols:6;
+      Coupling.hexagonal ~rows:5 ~cols:6;
+    ]
+
+let test_generic_embedding_valid_and_exact () =
+  List.iter
+    (fun (name, coupling) ->
+       let p = Embedding.of_coupling coupling in
+       (match Pattern.validate p with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (name ^ ": " ^ e));
+       (* Tree edges are physical couplings. *)
+       for v = 0 to Pattern.size p - 1 do
+         List.iter
+           (fun w ->
+              let sv = Option.get (Pattern.site p v) and sw = Option.get (Pattern.site p w) in
+              Alcotest.(check bool) (name ^ " physical edge") true
+                (Coupling.adjacent coupling sv sw))
+           (Pattern.neighbors p v)
+       done;
+       (* Decomposition through the pattern is exact. *)
+       let n = Pattern.size p in
+       let u = haar 21 n in
+       let plan = Eliminate.decompose p u in
+       Alcotest.(check bool) (name ^ " roundtrip") true
+         (Mat.equal ~tol:1e-8 (Plan.reconstruct plan) u))
+    [
+      ("square", Coupling.of_lattice (Lattice.create ~rows:4 ~cols:4));
+      ("triangular", Coupling.triangular ~rows:4 ~cols:4);
+      ("hexagonal", Coupling.hexagonal ~rows:4 ~cols:4);
+    ]
+
+let test_generic_embedding_beats_chain () =
+  (* The point of the generalization: more small angles than the chain
+     on non-square layouts. *)
+  let coupling = Coupling.triangular ~rows:4 ~cols:6 in
+  let p = Embedding.of_coupling coupling in
+  let n = Pattern.size p in
+  let u = haar 22 n in
+  let tree = Eliminate.decompose p u in
+  let chain = Eliminate.decompose_baseline u in
+  Alcotest.(check bool) "tree beats chain" true
+    (Plan.small_angle_count tree ~threshold:0.25
+     > Plan.small_angle_count chain ~threshold:0.25)
+
+(* ----------------------------------------------------------------- MZI 2 *)
+
+let test_mzi2_matches_t_matrix () =
+  List.iter
+    (fun (theta, phi) ->
+       let t = Givens.matrix 2 { Givens.m = 0; n = 1; theta; phi } in
+       let s1 = Gaussian.vacuum 2 and s2 = Gaussian.vacuum 2 in
+       Gaussian.squeeze s1 0 (Cx.re 0.4);
+       Gaussian.squeeze s2 0 (Cx.re 0.4);
+       Gaussian.displace s1 1 (Cx.make 0.3 0.1);
+       Gaussian.displace s2 1 (Cx.make 0.3 0.1);
+       Gaussian.interferometer s1 t;
+       Gaussian.run_circuit s2
+         (Circuit.add_all (Circuit.create ~modes:2) (Gate.mzi2 ~m:0 ~n:1 ~theta ~phi));
+       let v1 = Gaussian.cov s1 and v2 = Gaussian.cov s2 in
+       let worst = ref 0. in
+       for i = 0 to 3 do
+         for j = 0 to 3 do
+           worst := Float.max !worst (Float.abs (v1.(i).(j) -. v2.(i).(j)))
+         done
+       done;
+       Alcotest.(check bool)
+         (Printf.sprintf "theta=%.2f phi=%.2f" theta phi)
+         true (!worst < 1e-9))
+    [ (0.3, 0.7); (0., 1.2); (Float.pi /. 2., 0.); (1.1, -2.3) ]
+
+let test_mzi2_uses_only_fixed_beamsplitters () =
+  List.iter
+    (fun gate ->
+       match gate with
+       | Gate.Beamsplitter (_, _, theta, phi) ->
+         check_close "theta = pi/4" 1e-12 (Float.pi /. 4.) theta;
+         check_close "phi = pi/2" 1e-12 (Float.pi /. 2.) phi
+       | Gate.Phase _ -> ()
+       | Gate.Squeeze _ | Gate.Displace _ -> Alcotest.fail "unexpected gate kind")
+    (Gate.mzi2 ~m:0 ~n:1 ~theta:0.77 ~phi:0.3)
+
+let test_plan_circuit_styles_equivalent () =
+  let n = 4 in
+  let u = haar 23 n in
+  let plan = Eliminate.decompose_baseline u in
+  let run style =
+    let s = Gaussian.vacuum n in
+    for i = 0 to n - 1 do
+      Gaussian.squeeze s i (Cx.re 0.3)
+    done;
+    Gaussian.run_circuit s (Plan.to_circuit ~style plan);
+    Gaussian.cov s
+  in
+  let v1 = run Plan.Tunable and v2 = run Plan.Fixed_fifty_fifty in
+  let worst = ref 0. in
+  for i = 0 to (2 * n) - 1 do
+    for j = 0 to (2 * n) - 1 do
+      worst := Float.max !worst (Float.abs (v1.(i).(j) -. v2.(i).(j)))
+    done
+  done;
+  Alcotest.(check bool) "styles agree" true (!worst < 1e-9)
+
+let test_mzi2_gate_counts () =
+  let u = haar 24 5 in
+  let plan = Eliminate.decompose_baseline u in
+  let counts = Circuit.gate_counts (Plan.to_circuit ~style:Plan.Fixed_fifty_fifty plan) in
+  (* 10 rotations × 2 fixed beamsplitters each. *)
+  Alcotest.(check int) "double beamsplitters" 20 counts.Circuit.beamsplitter
+
+(* ------------------------------------------------------------ Powertrace *)
+
+let random_symmetric rng n =
+  let m = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let re, im = Rng.gaussian_pair rng in
+      let z = Cx.make re im in
+      Mat.set m i j z;
+      Mat.set m j i z
+    done
+  done;
+  m
+
+let test_powertrace_vs_brute () =
+  let rng = Rng.create 31 in
+  List.iter
+    (fun n ->
+       let m = random_symmetric rng n in
+       let brute = Hafnian.hafnian_brute m in
+       let pt = Hafnian.hafnian_powertrace m in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d" n)
+         true
+         (Cx.abs Cx.(brute -: pt) <= 1e-9 *. Float.max 1. (Cx.abs brute)))
+    [ 0; 2; 3; 4; 6; 8; 10 ]
+
+let test_powertrace_vs_dp () =
+  let rng = Rng.create 32 in
+  List.iter
+    (fun n ->
+       let m = random_symmetric rng n in
+       (* Zero-diagonal loop hafnian equals the hafnian; the subset DP
+          handles 16 indices easily. *)
+       let zero_diag = Mat.init n n (fun i j -> if i = j then Cx.zero else Mat.get m i j) in
+       let dp = Hafnian.loop_hafnian zero_diag in
+       let pt = Hafnian.hafnian_powertrace m in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d" n)
+         true
+         (Cx.abs Cx.(dp -: pt) <= 1e-9 *. Float.max 1. (Cx.abs dp)))
+    [ 12; 14; 16 ]
+
+let test_hafnian_dispatch_large () =
+  (* The dispatcher must reach sizes the memoized DP cannot. *)
+  let rng = Rng.create 33 in
+  let m = random_symmetric rng 26 in
+  let h = Hafnian.hafnian m in
+  Alcotest.(check bool) "finite" true (Float.is_finite (Cx.abs h))
+
+(* --------------------------------------------------- Symplectic spectrum *)
+
+let test_symplectic_pure_states () =
+  let s = Gaussian.vacuum 3 in
+  Gaussian.squeeze s 0 (Cx.re 0.8);
+  Gaussian.squeeze s 1 (Cx.polar 0.5 1.3);
+  Gaussian.beamsplitter s 0 2 0.7 0.2;
+  Gaussian.displace s 1 (Cx.make 0.4 0.1);
+  Array.iter
+    (fun nu -> check_close "pure state nu = 1" 1e-8 1. nu)
+    (Gaussian.symplectic_eigenvalues s);
+  check_close "purity 1" 1e-8 1. (Gaussian.purity s)
+
+let test_symplectic_thermal () =
+  let s = Gaussian.thermal 2 [| 0.5; 1.0 |] in
+  let nu = Gaussian.symplectic_eigenvalues s in
+  check_close "nu max" 1e-9 3. nu.(0);
+  check_close "nu min" 1e-9 2. nu.(1);
+  check_close "photons" 1e-9 1.5 (Gaussian.total_mean_photons s);
+  check_close "purity 1/6" 1e-9 (1. /. 6.) (Gaussian.purity s)
+
+let test_symplectic_loss_mixes () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 0.8);
+  Gaussian.loss s 0 0.3;
+  let nu = (Gaussian.symplectic_eigenvalues s).(0) in
+  Alcotest.(check bool) "nu > 1 after loss" true (nu > 1.001);
+  Alcotest.(check bool) "purity < 1" true (Gaussian.purity s < 0.999);
+  Alcotest.(check bool) "still valid" true (Gaussian.is_valid s)
+
+(* -------------------------------------------------------------- Homodyne *)
+
+let test_homodyne_vacuum_statistics () =
+  let rng = Rng.create 34 in
+  let s = Gaussian.vacuum 1 in
+  let xs = Array.init 20_000 (fun _ -> Gaussian.homodyne_sample rng s 0) in
+  check_close "mean 0" 0.03 0. (Bose_util.Stats.mean xs);
+  check_close "variance 1" 0.05 1. (Bose_util.Stats.variance xs)
+
+let test_homodyne_conditioning_tms () =
+  (* Two-mode squeezed light: measuring x on one arm displaces the other
+     arm deterministically and leaves it pure. *)
+  let tms () =
+    let s = Gaussian.vacuum 2 in
+    Gaussian.squeeze s 0 (Cx.re 0.6);
+    Gaussian.squeeze s 1 (Cx.re (-0.6));
+    Gaussian.beamsplitter s 0 1 (Float.pi /. 4.) 0.;
+    s
+  in
+  let s = tms () in
+  let post = Gaussian.homodyne_condition s 0 1.5 in
+  Alcotest.(check int) "one qumode left" 1 (Gaussian.modes post);
+  Alcotest.(check bool) "valid" true (Gaussian.is_valid post);
+  check_close "conditioning purifies" 1e-6 1. (Gaussian.purity post);
+  (* The conditional mean is linear in the outcome with the TMS
+     correlation coefficient. *)
+  let post2 = Gaussian.homodyne_condition (tms ()) 0 3.0 in
+  check_close "mean linear in outcome" 1e-9
+    (2. *. (Gaussian.mean post).(0))
+    (Gaussian.mean post2).(0)
+
+(* ----------------------------------------------------------------- Expm *)
+
+let test_expm_zero_and_diag () =
+  let z = Mat.create 3 3 in
+  Alcotest.(check bool) "expm(0) = I" true
+    (Mat.equal ~tol:1e-12 (Bose_linalg.Expm.expm z) (Mat.identity 3));
+  let d = Mat.create 2 2 in
+  Mat.set d 0 0 (Cx.re 1.);
+  Mat.set d 1 1 (Cx.re (-2.));
+  let e = Bose_linalg.Expm.expm d in
+  check_close "e^1" 1e-12 (exp 1.) (Mat.get e 0 0).Complex.re;
+  check_close "e^-2" 1e-12 (exp (-2.)) (Mat.get e 1 1).Complex.re
+
+let test_expm_rotation () =
+  (* exp(θ·[[0,−1],[1,0]]) is the rotation matrix. *)
+  let theta = 0.83 in
+  let g = Mat.create 2 2 in
+  Mat.set g 0 1 (Cx.re (-.theta));
+  Mat.set g 1 0 (Cx.re theta);
+  let e = Bose_linalg.Expm.expm g in
+  check_close "cos" 1e-12 (cos theta) (Mat.get e 0 0).Complex.re;
+  check_close "sin" 1e-12 (sin theta) (Mat.get e 1 0).Complex.re
+
+let test_expm_inverse () =
+  let rng = Rng.create 41 in
+  let a =
+    Mat.init 5 5 (fun _ _ ->
+        let re, im = Rng.gaussian_pair rng in
+        Cx.make re im)
+  in
+  let e = Bose_linalg.Expm.expm a and einv = Bose_linalg.Expm.expm (Mat.scale (Cx.re (-1.)) a) in
+  Alcotest.(check bool) "e^A·e^−A = I" true (Mat.equal ~tol:1e-9 (Mat.mul e einv) (Mat.identity 5))
+
+let test_expm_antihermitian_unitary () =
+  let rng = Rng.create 42 in
+  let h =
+    Mat.init 6 6 (fun _ _ ->
+        let re, im = Rng.gaussian_pair rng in
+        Cx.make re im)
+  in
+  let g = Mat.scale (Cx.re 0.5) (Mat.sub h (Mat.adjoint h)) in
+  Alcotest.(check bool) "exp of anti-Hermitian is unitary" true
+    (Mat.is_unitary (Bose_linalg.Expm.expm g))
+
+(* ----------------------------------------------------------- Fock backend *)
+
+let test_fock_backend_squeezed_vacuum () =
+  (* Against the closed form: only even photon numbers. *)
+  let r = 0.5 in
+  let circ =
+    Circuit.add (Circuit.create ~modes:1) (Gate.Squeeze (0, Cx.re r))
+  in
+  let fb = Fock_backend.run_circuit (Fock_backend.vacuum ~modes:1 ~cutoff:18) circ in
+  check_close "p0" 1e-8 (1. /. cosh r) (Fock_backend.probability fb [ 0 ]);
+  check_close "p1" 1e-10 0. (Fock_backend.probability fb [ 1 ]);
+  check_close "p2" 1e-8 (tanh r ** 2. /. (2. *. cosh r)) (Fock_backend.probability fb [ 2 ])
+
+let test_fock_backend_coherent () =
+  let alpha = Cx.make 0.5 0.2 in
+  let a2 = Cx.abs2 alpha in
+  let circ = Circuit.add (Circuit.create ~modes:1) (Gate.Displace (0, alpha)) in
+  let fb = Fock_backend.run_circuit (Fock_backend.vacuum ~modes:1 ~cutoff:16) circ in
+  for n = 0 to 4 do
+    check_close
+      (Printf.sprintf "Poisson p(%d)" n)
+      1e-8
+      (exp (-.a2) *. (a2 ** float_of_int n) /. Bose_util.Combin.factorial n)
+      (Fock_backend.probability fb [ n ])
+  done
+
+let test_fock_backend_cross_validates_gaussian () =
+  (* The headline check: an arbitrary 2-qumode GBS circuit gives the
+     same Fock probabilities from the truncated-operator backend and
+     from the covariance + hafnian pipeline. *)
+  let circ =
+    Circuit.add_all (Circuit.create ~modes:2)
+      [
+        Gate.Squeeze (0, Cx.re 0.4);
+        Gate.Squeeze (1, Cx.polar 0.3 0.9);
+        Gate.Beamsplitter (0, 1, 0.7, 0.4);
+        Gate.Phase (0, 1.1);
+        Gate.Displace (1, Cx.make 0.25 (-0.1));
+      ]
+  in
+  let fb = Fock_backend.run_circuit (Fock_backend.vacuum ~modes:2 ~cutoff:14) circ in
+  check_close "norm ~1" 1e-6 1. (Fock_backend.norm fb);
+  let prepared = Fock.prepare (Simulator.run circ) in
+  List.iter
+    (fun pattern ->
+       check_close
+         (Printf.sprintf "p[%s]" (String.concat ";" (List.map string_of_int pattern)))
+         1e-7
+         (Fock.probability prepared (Array.of_list pattern))
+         (Fock_backend.probability fb pattern))
+    (Bose_util.Combin.patterns_up_to ~modes:2 ~max_photons:4)
+
+let test_fock_backend_beamsplitter_exact_norm () =
+  (* Photon-conserving gates leak nothing past the cutoff. *)
+  let circ =
+    Circuit.add_all (Circuit.create ~modes:2)
+      [ Gate.Squeeze (0, Cx.re 0.5); Gate.Beamsplitter (0, 1, 0.6, 0.2); Gate.Phase (1, 0.4) ]
+  in
+  let before =
+    Fock_backend.norm
+      (Fock_backend.run_circuit (Fock_backend.vacuum ~modes:2 ~cutoff:12)
+         (Circuit.add (Circuit.create ~modes:2) (Gate.Squeeze (0, Cx.re 0.5))))
+  in
+  let after = Fock_backend.norm (Fock_backend.run_circuit (Fock_backend.vacuum ~modes:2 ~cutoff:12) circ) in
+  check_close "BS and R conserve the truncated norm" 1e-10 before after
+
+(* -------------------------------------------------------- Density backend *)
+
+let lossy_test_circuit () =
+  Circuit.add_all (Circuit.create ~modes:2)
+    [
+      Gate.Squeeze (0, Cx.re 0.45);
+      Gate.Squeeze (1, Cx.re 0.3);
+      Gate.Beamsplitter (0, 1, 0.7, 0.4);
+      Gate.Phase (0, 1.1);
+      Gate.Beamsplitter (0, 1, 0.3, -0.2);
+    ]
+
+let test_density_matches_gaussian_lossy () =
+  (* The headline noise validation: the Kraus-operator density-matrix
+     simulation of a lossy circuit agrees with the covariance-formalism
+     + hafnian pipeline on probabilities, purity and photon number. *)
+  let circuit = lossy_test_circuit () in
+  let noise = Bose_circuit.Noise.uniform 0.15 in
+  let db =
+    Density_backend.run_circuit ~noise (Density_backend.vacuum ~modes:2 ~cutoff:12) circuit
+  in
+  let gs = Simulator.run ~noise circuit in
+  check_close "trace preserved" 1e-6 1. (Density_backend.trace db);
+  check_close "purity agrees" 1e-5 (Gaussian.purity gs) (Density_backend.purity db);
+  check_close "photons agree" 1e-5 (Gaussian.total_mean_photons gs)
+    (Density_backend.mean_photons db);
+  let prepared = Fock.prepare gs in
+  List.iter
+    (fun pattern ->
+       check_close
+         (Printf.sprintf "p[%s]" (String.concat ";" (List.map string_of_int pattern)))
+         1e-6
+         (Fock.probability prepared (Array.of_list pattern))
+         (Density_backend.probability db pattern))
+    (Bose_util.Combin.patterns_up_to ~modes:2 ~max_photons:4)
+
+let test_density_pure_roundtrip () =
+  let circuit = lossy_test_circuit () in
+  let psi = Fock_backend.run_circuit (Fock_backend.vacuum ~modes:2 ~cutoff:10) circuit in
+  let rho = Density_backend.of_pure psi in
+  check_close "pure purity" 1e-9 1. (Density_backend.purity rho /. Density_backend.trace rho ** 2.);
+  List.iter
+    (fun pattern ->
+       check_close "pure probabilities match" 1e-10 (Fock_backend.probability psi pattern)
+         (Density_backend.probability rho pattern))
+    (Bose_util.Combin.patterns_up_to ~modes:2 ~max_photons:3)
+
+let test_density_full_loss () =
+  let circuit = Circuit.add (Circuit.create ~modes:2) (Gate.Squeeze (0, Cx.re 0.6)) in
+  let db = Density_backend.run_circuit (Density_backend.vacuum ~modes:2 ~cutoff:10) circuit in
+  let db = Density_backend.loss db 0 1.0 in
+  check_close "all photons lost" 1e-9 0. (Density_backend.mean_photons db);
+  check_close "trace kept" 1e-9 1. (Density_backend.trace db)
+
+(* ---------------------------------------------------------- Circuit depth *)
+
+let test_circuit_depth () =
+  let c =
+    Circuit.add_all (Circuit.create ~modes:4)
+      [
+        Gate.Beamsplitter (0, 1, 0.1, 0.);
+        Gate.Beamsplitter (2, 3, 0.1, 0.);
+        (* parallel with the first *)
+        Gate.Beamsplitter (1, 2, 0.1, 0.);
+        (* must wait for both *)
+        Gate.Phase (0, 0.5);
+        (* parallel with the previous layer *)
+      ]
+  in
+  Alcotest.(check int) "depth" 2 (Circuit.depth c);
+  Alcotest.(check int) "empty depth" 0 (Circuit.depth (Circuit.create ~modes:2))
+
+let test_tree_depth_tradeoff () =
+  (* The chain baseline packs into the classic ~2N-layer Reck mesh; the
+     tree pattern serializes along its main path and comes out deeper —
+     the price paid for droppable small-angle gates. Dropping gates
+     recovers part of the depth. *)
+  let u = haar 51 24 in
+  let chain = Circuit.depth (Plan.to_circuit (Eliminate.decompose_baseline u)) in
+  let plan =
+    Eliminate.decompose (Embedding.for_program (Lattice.create ~rows:6 ~cols:6) 24) u
+  in
+  let tree = Circuit.depth (Plan.to_circuit plan) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain %d ≤ tree %d" chain tree)
+    true (chain <= tree);
+  (* Dropping the smallest third of the rotations shrinks the depth. *)
+  let angles = Plan.angles plan in
+  let order = Array.init (Array.length angles) (fun i -> i) in
+  Array.sort (fun i j -> compare angles.(i) angles.(j)) order;
+  let kept = Array.make (Array.length angles) true in
+  Array.iteri (fun rank i -> if rank < Array.length angles / 3 then kept.(i) <- false) order;
+  let dropped = Circuit.depth (Plan.to_circuit ~kept plan) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped %d < full %d" dropped tree)
+    true (dropped < tree)
+
+(* ---------------------------------------------------------- Serialization *)
+
+let test_plan_save_load_roundtrip () =
+  let u = haar 52 9 in
+  let plan = Eliminate.decompose_baseline u in
+  let path = Filename.temp_file "bosehedral" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       let oc = open_out path in
+       Plan.save oc plan;
+       close_out oc;
+       let ic = open_in path in
+       let loaded = Plan.load ic in
+       close_in ic;
+       Alcotest.(check int) "modes" plan.Plan.modes loaded.Plan.modes;
+       Alcotest.(check int) "rotations" (Plan.rotation_count plan) (Plan.rotation_count loaded);
+       (* Hex-float roundtrip is bit-exact, so reconstruction matches. *)
+       Alcotest.(check bool) "reconstruction identical" true
+         (Mat.equal ~tol:0. (Plan.reconstruct plan) (Plan.reconstruct loaded)))
+
+let test_plan_load_rejects_garbage () =
+  let path = Filename.temp_file "bosehedral" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       let oc = open_out path in
+       output_string oc "not a plan\n";
+       close_out oc;
+       let ic = open_in path in
+       Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () ->
+            match Plan.load ic with
+            | _ -> Alcotest.fail "expected failure"
+            | exception Failure _ -> ()))
+
+(* ----------------------------------------------------- Compiler self-check *)
+
+let test_compiler_verify_all_configs () =
+  let rng = Rng.create 53 in
+  let u = haar 53 9 in
+  let device = Lattice.create ~rows:3 ~cols:3 in
+  List.iter
+    (fun config ->
+       let compiled = Bosehedral.Compiler.compile ~rng ~device ~config ~tau:0.98 u in
+       match Bosehedral.Compiler.verify compiled with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Bosehedral.Config.name config ^ ": " ^ e))
+    Bosehedral.Config.all
+
+let test_compiler_verify_generic_pattern () =
+  let rng = Rng.create 54 in
+  let coupling = Coupling.triangular ~rows:3 ~cols:4 in
+  let pattern = Embedding.of_coupling coupling in
+  let u = haar 54 (Pattern.size pattern) in
+  let compiled =
+    Bosehedral.Compiler.compile_with_pattern ~rng ~pattern
+      ~config:Bosehedral.Config.Full_opt ~tau:0.98 u
+  in
+  match Bosehedral.Compiler.verify compiled with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* -------------------------------------------------------- Boson sampling *)
+
+let test_permanent_vs_brute () =
+  let rng = Rng.create 81 in
+  List.iter
+    (fun n ->
+       let a =
+         Mat.init n n (fun _ _ ->
+             let re, im = Rng.gaussian_pair rng in
+             Cx.make re im)
+       in
+       let fast = Permanent.permanent a and brute = Permanent.permanent_brute a in
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d" n)
+         true
+         (Cx.abs Cx.(fast -: brute) <= 1e-9 *. Float.max 1. (Cx.abs brute)))
+    [ 0; 1; 2; 3; 5; 7 ]
+
+let test_permanent_known () =
+  (* perm(J₃) = 3! and perm(I) = 1. *)
+  Alcotest.(check bool) "all-ones" true
+    (Cx.is_close ~tol:1e-9 (Permanent.permanent (Mat.init 3 3 (fun _ _ -> Cx.one))) (Cx.re 6.));
+  Alcotest.(check bool) "identity" true
+    (Cx.is_close ~tol:1e-12 (Permanent.permanent (Mat.identity 4)) Cx.one)
+
+let test_hong_ou_mandel () =
+  (* Two photons on a 50:50 beamsplitter never exit separately —
+     quantum interference the distinguishable baseline lacks. *)
+  let bs =
+    Givens.matrix 2 { Givens.m = 0; n = 1; theta = Float.pi /. 4.; phi = 0. }
+  in
+  let quantum = Boson_sampling.distribution bs ~input:[| 1; 1 |] in
+  check_close "HOM dip" 1e-12 0. (List.assoc [ 1; 1 ] quantum);
+  check_close "bunched" 1e-9 0.5 (List.assoc [ 2; 0 ] quantum);
+  let classical = Boson_sampling.distinguishable_distribution bs ~input:[| 1; 1 |] in
+  check_close "classical coincidences" 1e-9 0.5 (List.assoc [ 1; 1 ] classical)
+
+let test_boson_sampling_normalized () =
+  let rng = Rng.create 82 in
+  let u = Unitary.haar_random rng 5 in
+  let input = Boson_sampling.single_photons ~modes:5 ~photons:3 in
+  let d = Boson_sampling.distribution u ~input in
+  check_close "sums to 1" 1e-9 1. (List.fold_left (fun a (_, p) -> a +. p) 0. d);
+  let c = Boson_sampling.distinguishable_distribution u ~input in
+  check_close "classical sums to 1" 1e-9 1. (List.fold_left (fun a (_, p) -> a +. p) 0. c)
+
+let test_boson_sampling_vs_fock_backend () =
+  let rng = Rng.create 83 in
+  let u = Unitary.haar_random rng 4 in
+  let input = Boson_sampling.single_photons ~modes:4 ~photons:2 in
+  let circuit = Plan.to_circuit (Eliminate.decompose_baseline u) in
+  let fb =
+    Fock_backend.run_circuit
+      (Fock_backend.basis_state ~modes:4 ~cutoff:4 (Array.to_list input))
+      circuit
+  in
+  List.iter
+    (fun (pattern, p) ->
+       check_close
+         (Printf.sprintf "p(%s)" (String.concat "," (List.map string_of_int pattern)))
+         1e-9 p (Fock_backend.probability fb pattern))
+    (Boson_sampling.distribution u ~input)
+
+let test_boson_sampling_total_mismatch () =
+  let rng = Rng.create 84 in
+  let u = Unitary.haar_random rng 3 in
+  check_close "photon totals disagree" 1e-12 0.
+    (Boson_sampling.probability u ~input:[| 1; 1; 0 |] ~output:[| 1; 0; 0 |])
+
+(* ----------------------------------------------------------- State prep *)
+
+let random_pure_state rng n =
+  let s = Gaussian.vacuum n in
+  for i = 0 to n - 1 do
+    Gaussian.squeeze s i (Cx.polar (Rng.float rng 0.7) (Rng.float rng 6.28))
+  done;
+  Gaussian.interferometer s (Unitary.haar_random rng n);
+  for i = 0 to n - 1 do
+    Gaussian.displace s i (Cx.make (Rng.gaussian rng *. 0.3) (Rng.gaussian rng *. 0.3))
+  done;
+  s
+
+let test_state_prep_roundtrip () =
+  let rng = Rng.create 71 in
+  List.iter
+    (fun n ->
+       let target = random_pure_state rng n in
+       let circuit = State_prep.synthesize target in
+       let rebuilt = Simulator.run circuit in
+       let v1 = Gaussian.cov target and v2 = Gaussian.cov rebuilt in
+       let worst = ref 0. in
+       for i = 0 to (2 * n) - 1 do
+         for j = 0 to (2 * n) - 1 do
+           worst := Float.max !worst (Float.abs (v1.(i).(j) -. v2.(i).(j)))
+         done
+       done;
+       Alcotest.(check bool)
+         (Printf.sprintf "n=%d covariance rebuilt (%.1e)" n !worst)
+         true (!worst < 1e-9);
+       let m1 = Gaussian.mean target and m2 = Gaussian.mean rebuilt in
+       Array.iteri
+         (fun i x -> check_close "mean rebuilt" 1e-9 x m2.(i))
+         m1)
+    [ 1; 2; 4; 7 ]
+
+let test_state_prep_parts_unitary () =
+  let rng = Rng.create 72 in
+  let target = random_pure_state rng 5 in
+  let r, u, _ = State_prep.synthesis_parts target in
+  Alcotest.(check int) "one r per mode" 5 (Array.length r);
+  Alcotest.(check bool) "interferometer unitary" true (Mat.is_unitary u)
+
+let test_state_prep_rejects_mixed () =
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re 0.6);
+  Gaussian.loss s 0 0.3;
+  Alcotest.check_raises "mixed state" (Invalid_argument "State_prep: state is not pure")
+    (fun () -> ignore (State_prep.synthesize s))
+
+let test_state_prep_vacuum_is_trivial () =
+  let circuit = State_prep.synthesize (Gaussian.vacuum 3) in
+  (* No squeezers or displacements; only the identity interferometer's
+     bookkeeping gates (phases and zero-angle beamsplitters). *)
+  let counts = Circuit.gate_counts circuit in
+  Alcotest.(check int) "no squeezers" 0 counts.Circuit.squeezing;
+  Alcotest.(check int) "no displacements" 0 counts.Circuit.displacement
+
+(* ---------------------------------------------------- Chain-rule sampler *)
+
+let test_chain_rule_matches_exact () =
+  let rng = Rng.create 61 in
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re 0.45);
+  Gaussian.squeeze s 1 (Cx.re 0.3);
+  Gaussian.beamsplitter s 0 1 0.8 0.3;
+  let exact = Fock.truncated ~max_photons:6 s in
+  let samples = Sampler.chain_rule_many ~max_per_mode:6 rng s 1500 in
+  let empirical = Bose_util.Dist.of_samples samples in
+  let jsd = Bose_util.Dist.jsd empirical exact in
+  Alcotest.(check bool) (Printf.sprintf "JSD %.4f small" jsd) true (jsd < 0.02)
+
+let test_chain_rule_scales_past_enumeration () =
+  (* 12 qumodes: the full pattern space is astronomically larger than
+     anything we enumerate, yet per-shot cost stays tiny. *)
+  let rng = Rng.create 62 in
+  let s = Gaussian.vacuum 12 in
+  for i = 0 to 11 do
+    Gaussian.squeeze s i (Cx.re 0.2)
+  done;
+  Gaussian.interferometer s (Unitary.haar_random (Rng.create 63) 12);
+  let shots = Sampler.chain_rule_many ~max_per_mode:4 rng s 50 in
+  Alcotest.(check int) "50 shots" 50 (List.length shots);
+  List.iter
+    (fun pattern ->
+       Alcotest.(check int) "12 modes" 12 (List.length pattern);
+       List.iter (fun c -> Alcotest.(check bool) "count in range" true (c >= 0 && c <= 4)) pattern)
+    shots;
+  (* Mean photon number of the empirical sample is in the right
+     neighbourhood of the state's. *)
+  let mean =
+    List.fold_left (fun a p -> a +. float_of_int (List.fold_left ( + ) 0 p)) 0. shots /. 50.
+  in
+  let expected = Gaussian.total_mean_photons s in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f near %.2f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.5)
+
+(* ----------------------------------------------------------- Point process *)
+
+let test_point_process_kernel () =
+  let points = Bose_apps.Point_process.grid_points ~rows:2 ~cols:2 ~spacing:1.0 in
+  let k = Bose_apps.Point_process.rbf_kernel ~sigma:1.0 points in
+  check_close "diagonal 1" 1e-12 1. k.(0).(0);
+  check_close "unit distance" 1e-12 (exp (-0.5)) k.(0).(1);
+  check_close "symmetric" 1e-12 k.(1).(2) k.(2).(1)
+
+let test_point_process_clusters () =
+  let rng = Rng.create 17 in
+  let points = Bose_apps.Point_process.grid_points ~rows:3 ~cols:3 ~spacing:1.0 in
+  let pp = Bose_apps.Point_process.create ~sigma:0.9 points in
+  let program = Bose_apps.Point_process.program ~mean_photons:2.5 pp in
+  let dist = Bosehedral.Runner.ideal_distribution ~max_photons:5 program in
+  let configs = Bose_apps.Point_process.sample_configurations ~rng ~shots:1500 dist pp in
+  Alcotest.(check bool) "got configurations" true (List.length configs > 100);
+  let gbs = Bose_apps.Point_process.mean_pairwise_distance configs in
+  let uniform =
+    Bose_apps.Point_process.mean_pairwise_distance
+      (Bose_apps.Point_process.uniform_configurations ~rng pp ~match_sizes:configs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "clustered: gbs %.3f < uniform %.3f" gbs uniform)
+    true (gbs < uniform)
+
+(* ------------------------------------------------------------ properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"clements roundtrips random unitaries" ~count:25
+      (pair (int_range 2 10) small_int)
+      (fun (n, seed) ->
+         let u = Unitary.haar_random (Rng.create seed) n in
+         let c = Clements.decompose u in
+         Mat.equal ~tol:1e-8 (Clements.reconstruct c) u);
+    Test.make ~name:"threshold distributions always normalize" ~count:15 small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let s = Gaussian.vacuum 3 in
+         Gaussian.squeeze s 0 (Cx.re (Rng.float rng 0.7));
+         Gaussian.squeeze s 1 (Cx.polar (Rng.float rng 0.5) (Rng.float rng 6.28));
+         Gaussian.displace s 2 (Cx.make (Rng.gaussian rng *. 0.3) (Rng.gaussian rng *. 0.3));
+         Gaussian.interferometer s (Unitary.haar_random rng 3);
+         if Rng.bool rng then Gaussian.loss s 1 (Rng.float rng 0.5);
+         let total =
+           List.fold_left (fun a (_, p) -> a +. p) 0. (Threshold.click_distribution s)
+         in
+         Float.abs (total -. 1.) < 1e-8);
+    Test.make ~name:"generic embeddings always valid and exact" ~count:10
+      (pair (int_range 2 5) (int_range 2 5))
+      (fun (r, c) ->
+         let coupling = Coupling.triangular ~rows:r ~cols:c in
+         let p = Embedding.of_coupling coupling in
+         let n = Pattern.size p in
+         let u = Unitary.haar_random (Rng.create ((r * 100) + c)) n in
+         Result.is_ok (Pattern.validate p)
+         && Mat.equal ~tol:1e-8 (Plan.reconstruct (Eliminate.decompose p u)) u);
+    Test.make ~name:"mzi2 blocks keep states normalized" ~count:20 small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let theta = Rng.float rng 1.5 and phi = Rng.float rng 6.28 -. 3.14 in
+         let fb = Fock_backend.vacuum ~modes:2 ~cutoff:6 in
+         let fb = Fock_backend.apply_gate fb (Gate.Squeeze (0, Cx.re 0.3)) in
+         let before = Fock_backend.norm fb in
+         let fb =
+           List.fold_left Fock_backend.apply_gate fb (Gate.mzi2 ~m:0 ~n:1 ~theta ~phi)
+         in
+         Float.abs (Fock_backend.norm fb -. before) < 1e-9);
+    Test.make ~name:"expm of anti-Hermitian generators is unitary" ~count:20 small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let n = 2 + (abs seed mod 5) in
+         let h =
+           Mat.init n n (fun _ _ ->
+               let re, im = Rng.gaussian_pair rng in
+               Cx.make re im)
+         in
+         let g = Mat.scale (Cx.re 0.5) (Mat.sub h (Mat.adjoint h)) in
+         Mat.is_unitary (Bose_linalg.Expm.expm g));
+  ]
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "clements",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_clements_roundtrip;
+          Alcotest.test_case "adjacent pairs" `Quick test_clements_adjacent_pairs;
+          Alcotest.test_case "lambda" `Quick test_clements_lambda;
+          Alcotest.test_case "circuit equivalence" `Quick test_clements_circuit_equivalence;
+          Alcotest.test_case "vs reck" `Quick test_clements_vs_reck_angles;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "coherent" `Quick test_threshold_coherent;
+          Alcotest.test_case "squeezed" `Quick test_threshold_squeezed;
+          Alcotest.test_case "TMS correlated" `Quick test_threshold_tms_correlated;
+          Alcotest.test_case "normalized" `Quick test_threshold_distribution_normalized;
+          Alcotest.test_case "matches Fock" `Quick test_threshold_matches_fock_aggregation;
+          Alcotest.test_case "expected clicks" `Quick test_expected_clicks_bounds;
+        ] );
+      ( "marginals",
+        [
+          Alcotest.test_case "reduce" `Quick test_reduce_covariance;
+          Alcotest.test_case "duplicates" `Quick test_reduce_rejects_duplicates;
+        ] );
+      ( "coupling",
+        [
+          Alcotest.test_case "shapes" `Quick test_coupling_shapes;
+          Alcotest.test_case "disconnected" `Quick test_coupling_disconnected_rejected;
+          Alcotest.test_case "dominating path" `Quick test_dominating_path_covers;
+          Alcotest.test_case "generic embedding" `Quick test_generic_embedding_valid_and_exact;
+          Alcotest.test_case "beats chain" `Quick test_generic_embedding_beats_chain;
+        ] );
+      ( "mzi2",
+        [
+          Alcotest.test_case "matches T" `Quick test_mzi2_matches_t_matrix;
+          Alcotest.test_case "fixed beamsplitters" `Quick test_mzi2_uses_only_fixed_beamsplitters;
+          Alcotest.test_case "styles equivalent" `Quick test_plan_circuit_styles_equivalent;
+          Alcotest.test_case "gate counts" `Quick test_mzi2_gate_counts;
+        ] );
+      ( "powertrace",
+        [
+          Alcotest.test_case "vs brute" `Quick test_powertrace_vs_brute;
+          Alcotest.test_case "vs dp" `Quick test_powertrace_vs_dp;
+          Alcotest.test_case "dispatch large" `Slow test_hafnian_dispatch_large;
+        ] );
+      ( "symplectic",
+        [
+          Alcotest.test_case "pure states" `Quick test_symplectic_pure_states;
+          Alcotest.test_case "thermal" `Quick test_symplectic_thermal;
+          Alcotest.test_case "loss mixes" `Quick test_symplectic_loss_mixes;
+        ] );
+      ( "homodyne",
+        [
+          Alcotest.test_case "vacuum statistics" `Quick test_homodyne_vacuum_statistics;
+          Alcotest.test_case "TMS conditioning" `Quick test_homodyne_conditioning_tms;
+        ] );
+      ( "expm",
+        [
+          Alcotest.test_case "zero and diag" `Quick test_expm_zero_and_diag;
+          Alcotest.test_case "rotation" `Quick test_expm_rotation;
+          Alcotest.test_case "inverse" `Quick test_expm_inverse;
+          Alcotest.test_case "anti-Hermitian" `Quick test_expm_antihermitian_unitary;
+        ] );
+      ( "fock_backend",
+        [
+          Alcotest.test_case "squeezed vacuum" `Quick test_fock_backend_squeezed_vacuum;
+          Alcotest.test_case "coherent" `Quick test_fock_backend_coherent;
+          Alcotest.test_case "cross-validates Gaussian" `Quick
+            test_fock_backend_cross_validates_gaussian;
+          Alcotest.test_case "conserving gates" `Quick test_fock_backend_beamsplitter_exact_norm;
+        ] );
+      ( "density_backend",
+        [
+          Alcotest.test_case "matches Gaussian (lossy)" `Quick test_density_matches_gaussian_lossy;
+          Alcotest.test_case "pure roundtrip" `Quick test_density_pure_roundtrip;
+          Alcotest.test_case "full loss" `Quick test_density_full_loss;
+        ] );
+      ( "depth",
+        [
+          Alcotest.test_case "layering" `Quick test_circuit_depth;
+          Alcotest.test_case "depth tradeoff" `Quick test_tree_depth_tradeoff;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_plan_save_load_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_plan_load_rejects_garbage;
+        ] );
+      ( "compiler_verify",
+        [
+          Alcotest.test_case "all configs" `Quick test_compiler_verify_all_configs;
+          Alcotest.test_case "generic pattern" `Quick test_compiler_verify_generic_pattern;
+        ] );
+      ( "boson_sampling",
+        [
+          Alcotest.test_case "permanent vs brute" `Quick test_permanent_vs_brute;
+          Alcotest.test_case "permanent known" `Quick test_permanent_known;
+          Alcotest.test_case "Hong-Ou-Mandel" `Quick test_hong_ou_mandel;
+          Alcotest.test_case "normalized" `Quick test_boson_sampling_normalized;
+          Alcotest.test_case "vs Fock backend" `Quick test_boson_sampling_vs_fock_backend;
+          Alcotest.test_case "total mismatch" `Quick test_boson_sampling_total_mismatch;
+        ] );
+      ( "state_prep",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_state_prep_roundtrip;
+          Alcotest.test_case "parts" `Quick test_state_prep_parts_unitary;
+          Alcotest.test_case "rejects mixed" `Quick test_state_prep_rejects_mixed;
+          Alcotest.test_case "vacuum trivial" `Quick test_state_prep_vacuum_is_trivial;
+        ] );
+      ( "chain_rule",
+        [
+          Alcotest.test_case "matches exact" `Slow test_chain_rule_matches_exact;
+          Alcotest.test_case "scales past enumeration" `Quick
+            test_chain_rule_scales_past_enumeration;
+        ] );
+      ( "point_process",
+        [
+          Alcotest.test_case "kernel" `Quick test_point_process_kernel;
+          Alcotest.test_case "clusters" `Quick test_point_process_clusters;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

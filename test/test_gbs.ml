@@ -1,0 +1,380 @@
+(* Unit and property tests for the Gaussian-state GBS simulator:
+   covariance formalism, hafnians, Fock probabilities, sampling. *)
+
+module Rng = Bose_util.Rng
+module Combin = Bose_util.Combin
+module Dist = Bose_util.Dist
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+open Bose_gbs
+module Gate = Bose_circuit.Gate
+module Circuit = Bose_circuit.Circuit
+module Noise = Bose_circuit.Noise
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+let dist_total state cutoff =
+  List.fold_left (fun acc (_, p) -> acc +. p) 0. (Fock.pattern_distribution ~max_photons:cutoff state)
+
+let dist_mean state cutoff =
+  List.fold_left
+    (fun acc (pat, p) -> acc +. (p *. float_of_int (Combin.pattern_total pat)))
+    0.
+    (Fock.pattern_distribution ~max_photons:cutoff state)
+
+(* ------------------------------------------------------------- Gaussian *)
+
+let test_vacuum () =
+  let s = Gaussian.vacuum 3 in
+  Alcotest.(check int) "modes" 3 (Gaussian.modes s);
+  check_close "no photons" 1e-12 0. (Gaussian.total_mean_photons s);
+  Alcotest.(check bool) "valid" true (Gaussian.is_valid s)
+
+let test_squeeze_mean_photons () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 0.7);
+  check_close "sinh² r" 1e-9 (sinh 0.7 ** 2.) (Gaussian.mean_photons s 0);
+  Alcotest.(check bool) "valid" true (Gaussian.is_valid s)
+
+let test_squeeze_angle_invariance () =
+  (* ⟨n⟩ depends only on |α| of the squeezing. *)
+  let s1 = Gaussian.vacuum 1 and s2 = Gaussian.vacuum 1 in
+  Gaussian.squeeze s1 0 (Cx.re 0.5);
+  Gaussian.squeeze s2 0 (Cx.polar 0.5 2.3);
+  check_close "same photon number" 1e-9 (Gaussian.mean_photons s1 0) (Gaussian.mean_photons s2 0)
+
+let test_phase_preserves_photons () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 0.4);
+  Gaussian.displace s 0 (Cx.make 0.2 0.5);
+  let before = Gaussian.mean_photons s 0 in
+  Gaussian.phase s 0 1.234;
+  check_close "R preserves n" 1e-9 before (Gaussian.mean_photons s 0)
+
+let test_displace_alpha () =
+  let s = Gaussian.vacuum 2 in
+  Gaussian.displace s 1 (Cx.make 0.3 (-0.4));
+  Alcotest.(check bool) "alpha read back" true
+    (Cx.is_close ~tol:1e-12 (Gaussian.alpha s 1) (Cx.make 0.3 (-0.4)));
+  check_close "|α|² photons" 1e-9 0.25 (Gaussian.mean_photons s 1)
+
+let test_beamsplitter_conserves_photons () =
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re 0.6);
+  Gaussian.displace s 1 (Cx.re 0.5);
+  let before = Gaussian.total_mean_photons s in
+  Gaussian.beamsplitter s 0 1 0.7 0.3;
+  check_close "BS conserves photons" 1e-9 before (Gaussian.total_mean_photons s);
+  Alcotest.(check bool) "valid" true (Gaussian.is_valid s)
+
+let test_fifty_fifty_splits_coherent () =
+  (* BS(π/4, 0) splits a coherent beam's energy in half. *)
+  let s = Gaussian.vacuum 2 in
+  Gaussian.displace s 0 (Cx.re 1.0);
+  Gaussian.beamsplitter s 0 1 (Float.pi /. 4.) 0.;
+  check_close "half here" 1e-9 0.5 (Gaussian.mean_photons s 0);
+  check_close "half there" 1e-9 0.5 (Gaussian.mean_photons s 1)
+
+let test_loss_decay () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 0.8);
+  let before = Gaussian.mean_photons s 0 in
+  Gaussian.loss s 0 0.25;
+  check_close "⟨n⟩ → (1−ℓ)⟨n⟩" 1e-9 (0.75 *. before) (Gaussian.mean_photons s 0);
+  Alcotest.(check bool) "still physical" true (Gaussian.is_valid s)
+
+let test_loss_full_kills_state () =
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 1.0);
+  Gaussian.displace s 0 (Cx.re 2.0);
+  Gaussian.loss s 0 1.0;
+  check_close "back to vacuum" 1e-9 0. (Gaussian.mean_photons s 0)
+
+let test_interferometer_matches_gates () =
+  (* Applying a full unitary at once equals applying its decomposed MZI
+     circuit gate by gate — ties the simulator to the compiler IR. *)
+  let rng = Rng.create 42 in
+  let n = 5 in
+  let u = Unitary.haar_random rng n in
+  let plan = Bose_decomp.Eliminate.decompose_baseline u in
+  let circuit = Bose_decomp.Plan.to_circuit plan in
+  let s1 = Gaussian.vacuum n in
+  Array.iteri (fun i _ -> Gaussian.squeeze s1 i (Cx.re (0.2 +. (0.05 *. float_of_int i)))) (Array.make n ()) ;
+  let s2 = Gaussian.copy s1 in
+  Gaussian.interferometer s1 u;
+  Gaussian.run_circuit s2 circuit;
+  let v1 = Gaussian.cov s1 and v2 = Gaussian.cov s2 in
+  let worst = ref 0. in
+  for i = 0 to (2 * n) - 1 do
+    for j = 0 to (2 * n) - 1 do
+      worst := Float.max !worst (Float.abs (v1.(i).(j) -. v2.(i).(j)))
+    done
+  done;
+  Alcotest.(check bool) (Printf.sprintf "covariances agree (%.2e)" !worst) true (!worst < 1e-9)
+
+let test_run_circuit_with_noise () =
+  let c =
+    Circuit.add_all (Circuit.create ~modes:2)
+      [ Gate.Squeeze (0, Cx.re 0.5); Gate.Beamsplitter (0, 1, 0.6, 0.) ]
+  in
+  let clean = Simulator.run c in
+  let noisy = Simulator.run ~noise:(Noise.uniform 0.1) c in
+  Alcotest.(check bool) "loss reduces photons" true
+    (Gaussian.total_mean_photons noisy < Gaussian.total_mean_photons clean);
+  Alcotest.(check bool) "still valid" true (Gaussian.is_valid noisy)
+
+(* -------------------------------------------------------------- Hafnian *)
+
+let test_hafnian_known () =
+  let x = Mat.of_arrays [| [| Cx.zero; Cx.one |]; [| Cx.one; Cx.zero |] |] in
+  Alcotest.(check bool) "haf [[0,1],[1,0]] = 1" true (Cx.is_close (Hafnian.hafnian x) Cx.one);
+  let ones4 = Mat.init 4 4 (fun _ _ -> Cx.one) in
+  Alcotest.(check bool) "haf(J₄) = 3" true (Cx.is_close (Hafnian.hafnian ones4) (Cx.re 3.));
+  Alcotest.(check bool) "haf odd = 0" true
+    (Cx.is_close (Hafnian.hafnian (Mat.identity 3)) Cx.zero);
+  Alcotest.(check bool) "haf empty = 1" true
+    (Cx.is_close (Hafnian.hafnian (Mat.create 0 0)) Cx.one)
+
+let test_loop_hafnian_known () =
+  (* For a diagonal matrix the loop hafnian is the diagonal product. *)
+  let d = Mat.create 3 3 in
+  Mat.set d 0 0 (Cx.re 2.);
+  Mat.set d 1 1 (Cx.re 3.);
+  Mat.set d 2 2 (Cx.re 5.);
+  Alcotest.(check bool) "lhaf diag = product" true
+    (Cx.is_close (Hafnian.loop_hafnian d) (Cx.re 30.));
+  (* 2×2 with loops: A₀₀A₁₁ + A₀₁. *)
+  let m = Mat.of_arrays [| [| Cx.re 2.; Cx.re 7. |]; [| Cx.re 7.; Cx.re 3. |] |] in
+  Alcotest.(check bool) "lhaf 2x2" true (Cx.is_close (Hafnian.loop_hafnian m) (Cx.re 13.))
+
+let random_symmetric rng n =
+  let m = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let re, im = Rng.gaussian_pair rng in
+      let z = Cx.make re im in
+      Mat.set m i j z;
+      Mat.set m j i z
+    done
+  done;
+  m
+
+let test_hafnian_vs_brute () =
+  let rng = Rng.create 77 in
+  List.iter
+    (fun n ->
+       let m = random_symmetric rng n in
+       Alcotest.(check bool)
+         (Printf.sprintf "haf dp=brute n=%d" n)
+         true
+         (Cx.is_close ~tol:1e-9 (Hafnian.hafnian m) (Hafnian.hafnian_brute m));
+       Alcotest.(check bool)
+         (Printf.sprintf "lhaf dp=brute n=%d" n)
+         true
+         (Cx.is_close ~tol:1e-9 (Hafnian.loop_hafnian m) (Hafnian.loop_hafnian_brute m)))
+    [ 2; 4; 6; 8 ]
+
+(* ----------------------------------------------------------------- Fock *)
+
+let test_coherent_distribution () =
+  let alpha = Cx.make 0.6 (-0.3) in
+  let a2 = Cx.abs2 alpha in
+  let s = Gaussian.vacuum 1 in
+  Gaussian.displace s 0 alpha;
+  let p = Fock.prepare s in
+  for n = 0 to 5 do
+    check_close
+      (Printf.sprintf "Poisson p(%d)" n)
+      1e-10
+      (exp (-.a2) *. (a2 ** float_of_int n) /. Combin.factorial n)
+      (Fock.probability p [| n |])
+  done
+
+let test_squeezed_distribution () =
+  let r = 0.6 in
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re r) ;
+  let p = Fock.prepare s in
+  check_close "p(0)" 1e-10 (1. /. cosh r) (Fock.probability p [| 0 |]);
+  check_close "p(1)" 1e-10 0. (Fock.probability p [| 1 |]);
+  let p2n n =
+    Combin.factorial (2 * n)
+    /. ((4. ** float_of_int n) *. (Combin.factorial n ** 2.))
+    *. (tanh r ** float_of_int (2 * n))
+    /. cosh r
+  in
+  check_close "p(2)" 1e-10 (p2n 1) (Fock.probability p [| 2 |]);
+  check_close "p(4)" 1e-10 (p2n 2) (Fock.probability p [| 4 |])
+
+let test_lossy_thermalish_state () =
+  (* Squeezed light through loss: distribution must stay normalized and
+     reproduce the covariance mean photon number. *)
+  let s = Gaussian.vacuum 1 in
+  Gaussian.squeeze s 0 (Cx.re 0.6);
+  Gaussian.loss s 0 0.3;
+  check_close "normalized" 1e-4 1. (dist_total s 10);
+  check_close "mean matches covariance" 1e-3 (Gaussian.total_mean_photons s) (dist_mean s 10)
+
+let test_multimode_normalization () =
+  let rng = Rng.create 5 in
+  let s = Gaussian.vacuum 3 in
+  Gaussian.squeeze s 0 (Cx.re 0.4);
+  Gaussian.squeeze s 1 (Cx.polar 0.3 0.8);
+  Gaussian.displace s 2 (Cx.make 0.2 0.1);
+  Gaussian.interferometer s (Unitary.haar_random rng 3);
+  Gaussian.loss s 1 0.08;
+  check_close "normalized" 2e-3 1. (dist_total s 8);
+  check_close "mean matches covariance" 2e-2 (Gaussian.total_mean_photons s) (dist_mean s 8)
+
+let test_two_mode_squeezed_correlations () =
+  (* Two equal squeezers + 50:50 BS produce a two-mode squeezed state:
+     photon numbers are perfectly correlated (only even totals, and
+     p(n,m) = 0 unless n = m with opposite squeezing axes). Use the
+     textbook construction: S(r) ⊗ S(−r) → BS(π/4). *)
+  let r = 0.5 in
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re r);
+  Gaussian.squeeze s 1 (Cx.re (-.r));
+  Gaussian.beamsplitter s 0 1 (Float.pi /. 4.) 0.;
+  let p = Fock.prepare s in
+  check_close "p(1,0) = 0" 1e-9 0. (Fock.probability p [| 1; 0 |]);
+  check_close "p(2,1) = 0" 1e-9 0. (Fock.probability p [| 2; 1 |]);
+  let p00 = Fock.probability p [| 0; 0 |] in
+  let p11 = Fock.probability p [| 1; 1 |] in
+  check_close "p(0,0) = 1/cosh²r" 1e-9 (1. /. (cosh r ** 2.)) p00;
+  check_close "p(1,1) = tanh²r·p(0,0)" 1e-9 (tanh r ** 2. *. p00) p11
+
+let test_graph_hafnian_identity () =
+  (* GBS graph sampling: p(n̄) ∝ |haf((cA)_n̄)|² for the Takagi encoding
+     of a symmetric matrix A (Hamilton et al.). Verified on a 4-vertex
+     graph for several patterns. *)
+  let rng = Rng.create 9 in
+  let g = Bose_apps.Graph.random rng ~n:4 ~p:0.8 in
+  let program = Bose_apps.Encoding.encode ~mean_photons:1.0 g in
+  let lambda, _u = Bose_linalg.Takagi.decompose (Bose_apps.Graph.adjacency g) in
+  let c = Bose_apps.Encoding.scaling_for lambda ~target:1.0 in
+  let s = Gaussian.vacuum 4 in
+  Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.squeeze s i a) program.Bosehedral.Runner.squeezing;
+  Gaussian.interferometer s program.Bosehedral.Runner.unitary;
+  let prep = Fock.prepare s in
+  let adj = Bose_apps.Graph.adjacency g in
+  let scaled = Mat.init 4 4 (fun i j -> Cx.re (c *. adj.(i).(j))) in
+  let p0 = Fock.vacuum_probability prep in
+  List.iter
+    (fun pattern ->
+       let expand =
+         Array.concat
+           (Array.to_list (Array.mapi (fun k cnt -> Array.make cnt k) pattern))
+       in
+       let size = Array.length expand in
+       let sub = Mat.init size size (fun i j -> Mat.get scaled expand.(i) expand.(j)) in
+       let h = Hafnian.hafnian sub in
+       let expected =
+         p0 *. Cx.abs2 h
+         /. Array.fold_left (fun acc cnt -> acc *. Combin.factorial cnt) 1. pattern
+       in
+       check_close
+         (Printf.sprintf "pattern [%s]"
+            (String.concat ";" (Array.to_list (Array.map string_of_int pattern))))
+         1e-9 expected
+         (Fock.probability prep pattern))
+    [ [| 1; 1; 0; 0 |]; [| 1; 0; 1; 0 |]; [| 2; 0; 0; 0 |]; [| 1; 1; 1; 1 |]; [| 2; 2; 0; 0 |] ]
+
+let test_truncated_has_tail () =
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re 0.8);
+  let d = Fock.truncated ~max_photons:2 s in
+  check_close "total mass 1" 1e-9 1. (Dist.total d);
+  Alcotest.(check bool) "tail positive" true (Dist.prob d Fock.tail > 0.)
+
+(* -------------------------------------------------------------- Sampler *)
+
+let test_sampler_empirical_matches_exact () =
+  let rng = Rng.create 123 in
+  let s = Gaussian.vacuum 2 in
+  Gaussian.squeeze s 0 (Cx.re 0.5);
+  Gaussian.beamsplitter s 0 1 (Float.pi /. 4.) 0.;
+  let sampler = Sampler.of_state ~max_photons:6 s in
+  let exact = Sampler.exact sampler in
+  let empirical = Sampler.empirical rng sampler 20_000 in
+  Alcotest.(check bool) "JSD small" true (Dist.jsd exact empirical < 0.01)
+
+let test_sampler_draw_shapes () =
+  let rng = Rng.create 124 in
+  let s = Gaussian.vacuum 3 in
+  Gaussian.squeeze s 1 (Cx.re 0.4);
+  let sampler = Sampler.of_state ~max_photons:5 s in
+  List.iter
+    (fun pat ->
+       Alcotest.(check bool) "pattern length or tail" true
+         (pat = Fock.tail || List.length pat = 3))
+    (Sampler.draw_many rng sampler 200)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"gaussian ops preserve physicality" ~count:25 small_int (fun seed ->
+        let rng = Rng.create seed in
+        let s = Gaussian.vacuum 3 in
+        Gaussian.squeeze s 0 (Cx.polar (Rng.float rng 0.8) (Rng.float rng 6.28));
+        Gaussian.beamsplitter s 0 1 (Rng.float rng 1.5) (Rng.float rng 6.28);
+        Gaussian.phase s 2 (Rng.float rng 6.28);
+        Gaussian.displace s 1 (Cx.make (Rng.gaussian rng *. 0.3) (Rng.gaussian rng *. 0.3));
+        Gaussian.loss s 0 (Rng.float rng 0.9);
+        Gaussian.is_valid s);
+    Test.make ~name:"loss scales mean photons linearly" ~count:25 small_int (fun seed ->
+        let rng = Rng.create seed in
+        let s = Gaussian.vacuum 1 in
+        Gaussian.squeeze s 0 (Cx.re (0.1 +. Rng.float rng 0.9));
+        let rate = Rng.float rng 1.0 in
+        let before = Gaussian.mean_photons s 0 in
+        Gaussian.loss s 0 rate;
+        Float.abs (Gaussian.mean_photons s 0 -. ((1. -. rate) *. before)) < 1e-9);
+    Test.make ~name:"hafnian agrees with brute force" ~count:20 small_int (fun seed ->
+        let rng = Rng.create seed in
+        let n = 2 * (1 + (abs seed mod 3)) in
+        let m = random_symmetric rng n in
+        Cx.is_close ~tol:1e-8 (Hafnian.hafnian m) (Hafnian.hafnian_brute m));
+  ]
+
+let () =
+  Alcotest.run "bose_gbs"
+    [
+      ( "gaussian",
+        [
+          Alcotest.test_case "vacuum" `Quick test_vacuum;
+          Alcotest.test_case "squeeze photons" `Quick test_squeeze_mean_photons;
+          Alcotest.test_case "squeeze angle invariance" `Quick test_squeeze_angle_invariance;
+          Alcotest.test_case "phase preserves photons" `Quick test_phase_preserves_photons;
+          Alcotest.test_case "displace alpha" `Quick test_displace_alpha;
+          Alcotest.test_case "BS conserves photons" `Quick test_beamsplitter_conserves_photons;
+          Alcotest.test_case "50:50 splits coherent" `Quick test_fifty_fifty_splits_coherent;
+          Alcotest.test_case "loss decay" `Quick test_loss_decay;
+          Alcotest.test_case "full loss" `Quick test_loss_full_kills_state;
+          Alcotest.test_case "interferometer = gates" `Quick test_interferometer_matches_gates;
+          Alcotest.test_case "noisy circuit" `Quick test_run_circuit_with_noise;
+        ] );
+      ( "hafnian",
+        [
+          Alcotest.test_case "known values" `Quick test_hafnian_known;
+          Alcotest.test_case "loop known" `Quick test_loop_hafnian_known;
+          Alcotest.test_case "dp vs brute" `Quick test_hafnian_vs_brute;
+        ] );
+      ( "fock",
+        [
+          Alcotest.test_case "coherent Poisson" `Quick test_coherent_distribution;
+          Alcotest.test_case "squeezed even" `Quick test_squeezed_distribution;
+          Alcotest.test_case "lossy normalization" `Quick test_lossy_thermalish_state;
+          Alcotest.test_case "multimode normalization" `Quick test_multimode_normalization;
+          Alcotest.test_case "two-mode squeezed" `Quick test_two_mode_squeezed_correlations;
+          Alcotest.test_case "graph hafnian identity" `Quick test_graph_hafnian_identity;
+          Alcotest.test_case "truncated tail" `Quick test_truncated_has_tail;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "empirical matches exact" `Quick test_sampler_empirical_matches_exact;
+          Alcotest.test_case "draw shapes" `Quick test_sampler_draw_shapes;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

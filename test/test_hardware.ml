@@ -1,0 +1,251 @@
+(* Unit and property tests for the bose_hardware library: lattices,
+   elimination-pattern templates, zigzag embedding. *)
+
+open Bose_hardware
+
+(* -------------------------------------------------------------- Lattice *)
+
+let test_lattice_basics () =
+  let l = Lattice.create ~rows:3 ~cols:4 in
+  Alcotest.(check int) "size" 12 (Lattice.size l);
+  Alcotest.(check int) "index" 7 (Lattice.index l 1 3);
+  Alcotest.(check (pair int int)) "coords" (1, 3) (Lattice.coords l 7)
+
+let test_lattice_neighbors () =
+  let l = Lattice.create ~rows:3 ~cols:3 in
+  Alcotest.(check (list int)) "corner" [ 1; 3 ] (Lattice.neighbors l 0);
+  Alcotest.(check (list int)) "center" [ 1; 3; 5; 7 ] (Lattice.neighbors l 4);
+  Alcotest.(check bool) "adjacent" true (Lattice.adjacent l 4 5);
+  Alcotest.(check bool) "diagonal not adjacent" false (Lattice.adjacent l 0 4)
+
+let test_lattice_edge_count () =
+  (* r×c grid has r(c−1) + c(r−1) edges. *)
+  List.iter
+    (fun (r, c) ->
+       let l = Lattice.create ~rows:r ~cols:c in
+       Alcotest.(check int)
+         (Printf.sprintf "%dx%d edges" r c)
+         ((r * (c - 1)) + (c * (r - 1)))
+         (List.length (Lattice.edges l)))
+    [ (1, 5); (2, 3); (6, 6); (5, 7); (3, 8) ]
+
+let test_lattice_snake () =
+  let l = Lattice.create ~rows:3 ~cols:3 in
+  let path = Lattice.snake_path l in
+  Alcotest.(check int) "visits all" 9 (List.length (List.sort_uniq compare path));
+  (* Consecutive snake sites are physically adjacent. *)
+  let rec pairs = function a :: (b :: _ as rest) -> (a, b) :: pairs rest | _ -> [] in
+  List.iter
+    (fun (a, b) -> Alcotest.(check bool) "adjacent steps" true (Lattice.adjacent l a b))
+    (pairs path)
+
+let test_lattice_invalid () =
+  Alcotest.check_raises "zero rows"
+    (Invalid_argument "Lattice.create: dimensions must be positive") (fun () ->
+        ignore (Lattice.create ~rows:0 ~cols:3))
+
+(* -------------------------------------------------------------- Pattern *)
+
+let test_chain_is_reck () =
+  let p = Pattern.chain 4 in
+  Alcotest.(check string) "valid" "ok" (Result.get_ok (Pattern.validate p));
+  (* Reck order: row 3 eliminated by the chain 0→1→2→3, etc. *)
+  Alcotest.(check (list (pair int int))) "row 3" [ (0, 1); (1, 2); (2, 3) ]
+    (Pattern.schedule p ~stage:4);
+  Alcotest.(check (list (pair int int))) "row 2" [ (0, 1); (1, 2) ]
+    (Pattern.schedule p ~stage:3);
+  Alcotest.(check (list (pair int int))) "row 1" [ (0, 1) ] (Pattern.schedule p ~stage:2)
+
+let test_schedule_counts () =
+  let p = Pattern.chain 9 in
+  let total =
+    List.fold_left (fun acc (_, l) -> acc + List.length l) 0 (Pattern.full_schedule p)
+  in
+  Alcotest.(check int) "N(N-1)/2 rotations" 36 total
+
+let test_schedule_dependency_order () =
+  (* A child must be eliminated before its parent is eliminated. *)
+  let l = Lattice.create ~rows:6 ~cols:6 in
+  let p = Embedding.for_program l 24 in
+  List.iter
+    (fun (_, elims) ->
+       let eliminated = Hashtbl.create 24 in
+       List.iter
+         (fun (m, n) ->
+            Alcotest.(check bool) "eliminator still active" false (Hashtbl.mem eliminated n);
+            Alcotest.(check bool) "no double elimination" false (Hashtbl.mem eliminated m);
+            Hashtbl.add eliminated m ())
+         elims)
+    (Pattern.full_schedule p)
+
+let test_schedule_root_is_stage_minus_one () =
+  (* Each stage accumulates everything into label stage−1: that label is
+     the target of the final elimination and never a source. *)
+  let p = Pattern.chain 7 in
+  List.iter
+    (fun stage ->
+       let elims = Pattern.schedule p ~stage in
+       let root = stage - 1 in
+       let sources = List.map fst elims in
+       Alcotest.(check bool) "root not a source" false (List.mem root sources);
+       let _, last_n = List.nth elims (List.length elims - 1) in
+       Alcotest.(check int) "last elimination targets root" root last_n)
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_branch_regions_partition () =
+  let l = Lattice.create ~rows:6 ~cols:6 in
+  let p = Embedding.for_program l 24 in
+  let regions = Pattern.branch_regions p in
+  let all = List.sort compare (List.concat regions) in
+  Alcotest.(check (list int)) "partition" (List.init 24 (fun i -> i)) all;
+  (* First region is the main path. *)
+  Alcotest.(check (list int)) "main first" (Pattern.main_path_labels p) (List.hd regions)
+
+let test_restrict_validity () =
+  let l = Lattice.create ~rows:4 ~cols:8 in
+  let full = Embedding.zigzag l in
+  List.iter
+    (fun k ->
+       let p = Pattern.restrict full k in
+       Alcotest.(check int) "size" k (Pattern.size p);
+       Alcotest.(check string) (Printf.sprintf "restrict %d valid" k) "ok"
+         (Result.get_ok (Pattern.validate p)))
+    [ 1; 2; 8; 17; 24; 32 ]
+
+let test_max_degree_four () =
+  (* The template promises at most four neighbors per node (§IV-A). *)
+  List.iter
+    (fun (r, c) ->
+       let p = Embedding.zigzag (Lattice.create ~rows:r ~cols:c) in
+       for v = 0 to Pattern.size p - 1 do
+         Alcotest.(check bool) "degree ≤ 4" true (List.length (Pattern.neighbors p v) <= 4)
+       done)
+    [ (6, 6); (5, 7); (3, 8); (4, 8); (7, 9); (2, 5); (1, 6) ]
+
+(* ------------------------------------------------------------ Embedding *)
+
+let test_embedding_hardware_compatible () =
+  (* Every tree edge must be a physical lattice coupling: this is the
+     §III-B connectivity constraint. *)
+  List.iter
+    (fun (r, c) ->
+       let l = Lattice.create ~rows:r ~cols:c in
+       let p = Embedding.zigzag l in
+       for v = 0 to Pattern.size p - 1 do
+         let sv = Option.get (Pattern.site p v) in
+         List.iter
+           (fun w ->
+              let sw = Option.get (Pattern.site p w) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%dx%d edge %d-%d physical" r c v w)
+                true (Lattice.adjacent l sv sw))
+           (Pattern.neighbors p v)
+       done)
+    [ (6, 6); (5, 7); (3, 8); (4, 8); (8, 4); (7, 7); (2, 6); (1, 5); (9, 3) ]
+
+let test_embedding_valid_many_shapes () =
+  for r = 1 to 9 do
+    for c = 1 to 9 do
+      let p = Embedding.zigzag (Lattice.create ~rows:r ~cols:c) in
+      match Pattern.validate p with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "%dx%d invalid: %s" r c e)
+    done
+  done
+
+let test_embedding_has_branches () =
+  (* On a 6×6 device the tree pattern must have strictly fewer main-path
+     nodes than total nodes — branches exist for small-angle creation. *)
+  let p = Embedding.zigzag (Lattice.create ~rows:6 ~cols:6) in
+  let mains = List.length (Pattern.main_path_labels p) in
+  Alcotest.(check bool) "has branches" true (mains < Pattern.size p);
+  Alcotest.(check bool) "main path nonempty" true (mains > 0)
+
+let test_for_program_sizes () =
+  let l = Lattice.create ~rows:6 ~cols:6 in
+  Alcotest.(check int) "24 of 36" 24 (Pattern.size (Embedding.for_program l 24));
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Embedding.for_program: program larger than device") (fun () ->
+        ignore (Embedding.for_program l 37))
+
+let test_baseline_is_chain () =
+  let l = Lattice.create ~rows:6 ~cols:6 in
+  let p = Embedding.baseline l 24 in
+  Alcotest.(check string) "valid" "ok" (Result.get_ok (Pattern.validate p));
+  (* A chain: every node has ≤ 2 neighbors. *)
+  for v = 0 to 23 do
+    Alcotest.(check bool) "chain degree" true (List.length (Pattern.neighbors p v) <= 2)
+  done;
+  (* And sits on physically adjacent sites. *)
+  for v = 0 to 23 do
+    let sv = Option.get (Pattern.site p v) in
+    List.iter
+      (fun w ->
+         Alcotest.(check bool) "physical" true
+           (Lattice.adjacent l sv (Option.get (Pattern.site p w))))
+      (Pattern.neighbors p v)
+  done
+
+(* ------------------------------------------------------------ properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"zigzag restriction always valid" ~count:100
+      (triple (int_range 1 8) (int_range 1 8) small_nat)
+      (fun (r, c, k) ->
+         let l = Lattice.create ~rows:r ~cols:c in
+         let size = Lattice.size l in
+         let k = 1 + (k mod size) in
+         let p = Embedding.for_program l k in
+         Result.is_ok (Pattern.validate p) && Pattern.size p = k);
+    Test.make ~name:"full_schedule emits N(N-1)/2 rotations" ~count:50
+      (pair (int_range 2 7) (int_range 2 7))
+      (fun (r, c) ->
+         let p = Embedding.zigzag (Lattice.create ~rows:r ~cols:c) in
+         let n = Pattern.size p in
+         let total =
+           List.fold_left (fun acc (_, l) -> acc + List.length l) 0 (Pattern.full_schedule p)
+         in
+         total = n * (n - 1) / 2);
+    Test.make ~name:"schedule pairs are tree edges" ~count:50
+      (pair (int_range 2 7) (int_range 2 7))
+      (fun (r, c) ->
+         let p = Embedding.zigzag (Lattice.create ~rows:r ~cols:c) in
+         List.for_all
+           (fun (_, elims) ->
+              List.for_all (fun (m, n) -> List.mem n (Pattern.neighbors p m)) elims)
+           (Pattern.full_schedule p));
+  ]
+
+let () =
+  Alcotest.run "bose_hardware"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "basics" `Quick test_lattice_basics;
+          Alcotest.test_case "neighbors" `Quick test_lattice_neighbors;
+          Alcotest.test_case "edge count" `Quick test_lattice_edge_count;
+          Alcotest.test_case "snake path" `Quick test_lattice_snake;
+          Alcotest.test_case "invalid" `Quick test_lattice_invalid;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "chain is Reck" `Quick test_chain_is_reck;
+          Alcotest.test_case "schedule counts" `Quick test_schedule_counts;
+          Alcotest.test_case "dependency order" `Quick test_schedule_dependency_order;
+          Alcotest.test_case "stage roots" `Quick test_schedule_root_is_stage_minus_one;
+          Alcotest.test_case "branch regions" `Quick test_branch_regions_partition;
+          Alcotest.test_case "restrict validity" `Quick test_restrict_validity;
+          Alcotest.test_case "max degree 4" `Quick test_max_degree_four;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "hardware compatible" `Quick test_embedding_hardware_compatible;
+          Alcotest.test_case "many shapes valid" `Quick test_embedding_valid_many_shapes;
+          Alcotest.test_case "has branches" `Quick test_embedding_has_branches;
+          Alcotest.test_case "for_program sizes" `Quick test_for_program_sizes;
+          Alcotest.test_case "baseline chain" `Quick test_baseline_is_chain;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

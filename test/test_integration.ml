@@ -1,0 +1,254 @@
+(* Integration tests: the full Bosehedral pipeline — compile, generate
+   shot circuits, execute on the noisy Gaussian simulator, relabel
+   outputs — plus the headline qualitative claims of the paper's
+   evaluation. *)
+
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Noise = Bose_circuit.Noise
+module Circuit = Bose_circuit.Circuit
+module Plan = Bose_decomp.Plan
+open Bosehedral
+
+
+let device33 = Lattice.create ~rows:3 ~cols:3
+
+let random_program seed n =
+  let rng = Rng.create seed in
+  Runner.pure_program
+    ~squeezing:(Array.init n (fun _ -> Cx.re (0.25 +. Rng.float rng 0.2)))
+    ~unitary:(Unitary.haar_random rng n) ()
+
+let test_compile_all_configs () =
+  let rng = Rng.create 1 in
+  let u = Unitary.haar_random rng 9 in
+  List.iter
+    (fun config ->
+       let c = Compiler.compile ~rng ~device:device33 ~config ~tau:0.98 u in
+       Alcotest.(check bool) "approx unitary is unitary" true
+         (Mat.is_unitary (Compiler.approx_unitary c));
+       Alcotest.(check bool) "predicted fidelity sane" true
+         (Compiler.predicted_fidelity c > 0.9 && Compiler.predicted_fidelity c <= 1.);
+       Alcotest.(check int) "rotation count" 36 (Plan.rotation_count c.Compiler.plan))
+    Config.all
+
+let test_undropped_approx_equals_input () =
+  (* approx_unitary with nothing dropped must reproduce the input for
+     every configuration — permutations and all. *)
+  let rng = Rng.create 2 in
+  let u = Unitary.haar_random rng 9 in
+  List.iter
+    (fun config ->
+       let c = Compiler.compile ~rng ~device:device33 ~config ~tau:1.0 u in
+       Alcotest.(check bool)
+         (Config.name config ^ " exact")
+         true
+         (Mat.equal ~tol:1e-8 (Compiler.approx_unitary c) u))
+    Config.all
+
+let test_dropped_fidelity_matches_claim () =
+  let rng = Rng.create 3 in
+  let u = Unitary.haar_random rng 16 in
+  let device = Lattice.create ~rows:4 ~cols:4 in
+  let c = Compiler.compile ~rng ~device ~config:Config.Full_opt ~tau:0.98 u in
+  (match Compiler.shot_mask rng c with
+   | None -> Alcotest.fail "expected dropout at tau=0.98"
+   | Some kept ->
+     let f = Mat.unitary_fidelity (Compiler.approx_unitary ~kept c) u in
+     Alcotest.(check bool) (Printf.sprintf "shot fidelity %.4f ≥ 0.9" f) true (f >= 0.9))
+
+let test_lossless_execution_equals_ideal () =
+  (* The paper's correctness baseline: with zero loss and no dropout,
+     executing the compiled physical circuit and relabeling outputs is
+     indistinguishable from applying the high-level unitary. *)
+  let program = random_program 4 9 in
+  let ideal = Runner.ideal_distribution ~max_photons:5 program in
+  let rng = Rng.create 5 in
+  List.iter
+    (fun config ->
+       let c =
+         Compiler.compile ~rng ~device:device33 ~config ~tau:1.0 program.Runner.unitary
+       in
+       let executed =
+         Runner.noisy_distribution ~rng ~noise:Noise.ideal ~max_photons:5 c program
+       in
+       Alcotest.(check bool)
+         (Config.name config ^ " lossless equivalence")
+         true
+         (Dist.jsd ideal executed < 1e-10))
+    Config.all
+
+let test_displacements_relabel_correctly () =
+  (* Same lossless equivalence but with displaced measurement and a
+     nontrivial mapping, exercising the row-permutation relabeling of
+     final displacements. *)
+  let rng = Rng.create 6 in
+  let n = 9 in
+  let program =
+    Runner.pure_program
+      ~squeezing:(Array.init n (fun i -> if i mod 2 = 0 then Cx.re 0.3 else Cx.zero))
+      ~unitary:(Unitary.haar_random rng n)
+      ~displacements:(Array.init n (fun i -> if i = 2 then Cx.make 0.3 0.1 else Cx.zero))
+      ()
+  in
+  let ideal = Runner.ideal_distribution ~max_photons:5 program in
+  let c =
+    Compiler.compile ~rng ~device:device33 ~config:Config.Full_opt ~tau:1.0
+      program.Runner.unitary
+  in
+  let executed = Runner.noisy_distribution ~rng ~noise:Noise.ideal ~max_photons:5 c program in
+  Alcotest.(check bool) "displaced lossless equivalence" true (Dist.jsd ideal executed < 1e-10)
+
+let test_loss_hurts_and_bosehedral_helps () =
+  (* Qualitative Fig. 10 claim on a small instance: JSD grows with loss,
+     and Full-Opt beats Baseline at equal loss. *)
+  let program = random_program 7 9 in
+  let rng = Rng.create 8 in
+  let jsd config loss =
+    let c =
+      Compiler.compile ~rng ~device:device33 ~config ~tau:0.985 program.Runner.unitary
+    in
+    Runner.jsd_vs_ideal ~realizations:8 ~rng ~noise:(Noise.uniform loss) ~max_photons:5 c
+      program
+  in
+  let base_low = jsd Config.Baseline 0.02 in
+  let base_high = jsd Config.Baseline 0.08 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss monotone: %.4f < %.4f" base_low base_high)
+    true (base_low < base_high);
+  let full_high = jsd Config.Full_opt 0.08 in
+  Alcotest.(check bool)
+    (Printf.sprintf "full-opt %.4f ≤ baseline %.4f" full_high base_high)
+    true
+    (full_high <= base_high +. 0.002)
+
+let test_beamsplitter_reduction_ordering () =
+  (* Table II's qualitative structure: Rot-Cut ≤ Decomp-Opt ≤ Full-Opt
+     beamsplitter reduction at the same accuracy threshold (allowing
+     small heuristic slack on Full vs Decomp). *)
+  let rng = Rng.create 9 in
+  let u = Unitary.haar_random rng 24 in
+  let device = Lattice.create ~rows:6 ~cols:6 in
+  let reduction config =
+    Compiler.beamsplitter_reduction
+      (Compiler.compile ~rng ~device ~config ~tau:0.99 u)
+  in
+  let rot = reduction Config.Rot_cut in
+  let dec = reduction Config.Decomp_opt in
+  let full = reduction Config.Full_opt in
+  Alcotest.(check bool)
+    (Printf.sprintf "rot %.3f ≤ dec %.3f" rot dec)
+    true (rot <= dec +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "dec %.3f ≤ full %.3f (+slack)" dec full)
+    true (dec <= full +. 0.02)
+
+let test_shot_circuit_hardware_legal () =
+  (* Every generated shot circuit only uses beamsplitters on coupled
+     qumode pairs of the device. *)
+  let rng = Rng.create 10 in
+  let program = random_program 11 9 in
+  List.iter
+    (fun config ->
+       let c =
+         Compiler.compile ~rng ~device:device33 ~config ~tau:0.98 program.Runner.unitary
+       in
+       let pattern = c.Compiler.pattern in
+       for _ = 1 to 5 do
+         let circuit = Compiler.shot_circuit rng c in
+         let violations =
+           Circuit.check_connectivity
+             (fun a b ->
+                match (Bose_hardware.Pattern.site pattern a, Bose_hardware.Pattern.site pattern b) with
+                | Some sa, Some sb -> Lattice.adjacent device33 sa sb
+                | _ -> false)
+             circuit
+         in
+         Alcotest.(check (list (pair int int))) (Config.name config ^ " legal") [] violations
+       done)
+    Config.all
+
+let test_compiler_rejects_oversize () =
+  let rng = Rng.create 11 in
+  let u = Unitary.haar_random rng 10 in
+  Alcotest.check_raises "program larger than device"
+    (Invalid_argument "Compiler.compile: program larger than device") (fun () ->
+        ignore (Compiler.compile ~rng ~device:device33 ~config:Config.Baseline u))
+
+let test_timings_populated () =
+  let rng = Rng.create 12 in
+  let u = Unitary.haar_random rng 9 in
+  let c = Compiler.compile ~rng ~device:device33 ~config:Config.Full_opt ~tau:0.98 u in
+  Alcotest.(check bool) "decomp time ≥ 0" true (c.Compiler.timings.Compiler.decomposition_s >= 0.);
+  Alcotest.(check bool) "total ≥ decomp" true
+    (c.Compiler.timings.Compiler.total_s >= c.Compiler.timings.Compiler.decomposition_s)
+
+let test_thermal_program_lossless_equivalence () =
+  (* Finite-temperature input (the VS benchmark's thermal occupations)
+     must survive the compile-execute-relabel pipeline too. *)
+  let rng = Rng.create 15 in
+  let n = 6 in
+  let program =
+    {
+      Runner.squeezing = Array.make n (Cx.re 0.15);
+      unitary = Unitary.haar_random rng n;
+      displacements = Array.init n (fun i -> if i = 1 then Cx.re 0.2 else Cx.zero);
+      thermal = Array.init n (fun i -> 0.05 *. float_of_int i);
+    }
+  in
+  let device = Lattice.create ~rows:3 ~cols:2 in
+  let ideal = Runner.ideal_distribution ~max_photons:5 program in
+  let c =
+    Compiler.compile ~rng ~device ~config:Config.Full_opt ~tau:1.0 program.Runner.unitary
+  in
+  let executed = Runner.noisy_distribution ~rng ~noise:Noise.ideal ~max_photons:5 c program in
+  Alcotest.(check bool) "thermal lossless equivalence" true (Dist.jsd ideal executed < 1e-10)
+
+let test_gate_counts_table1_shape () =
+  (* Table I: an N-qumode GBS program decomposes into N squeezers and
+     N(N−1)/2 beamsplitters. *)
+  let program = random_program 13 9 in
+  let counts = Runner.gate_counts program ~device:device33 in
+  Alcotest.(check int) "squeezers" 9 counts.Circuit.squeezing;
+  Alcotest.(check int) "beamsplitters" 36 counts.Circuit.beamsplitter;
+  Alcotest.(check int) "no displacement" 0 counts.Circuit.displacement
+
+let test_fast_effort_equivalent_shape () =
+  let rng = Rng.create 14 in
+  let u = Unitary.haar_random rng 16 in
+  let device = Lattice.create ~rows:4 ~cols:4 in
+  let c = Compiler.compile ~effort:Compiler.Fast ~rng ~device ~config:Config.Full_opt ~tau:0.95 u in
+  Alcotest.(check bool) "fast effort still drops gates" true
+    (Compiler.beamsplitter_reduction c > 0.05);
+  Alcotest.(check bool) "approx unitary unitary" true (Mat.is_unitary (Compiler.approx_unitary c))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "compiler",
+        [
+          Alcotest.test_case "all configs compile" `Quick test_compile_all_configs;
+          Alcotest.test_case "undropped is exact" `Quick test_undropped_approx_equals_input;
+          Alcotest.test_case "shot fidelity" `Quick test_dropped_fidelity_matches_claim;
+          Alcotest.test_case "rejects oversize" `Quick test_compiler_rejects_oversize;
+          Alcotest.test_case "timings" `Quick test_timings_populated;
+          Alcotest.test_case "fast effort" `Quick test_fast_effort_equivalent_shape;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "lossless equivalence" `Quick test_lossless_execution_equals_ideal;
+          Alcotest.test_case "displacement relabel" `Quick test_displacements_relabel_correctly;
+          Alcotest.test_case "thermal input" `Quick test_thermal_program_lossless_equivalence;
+          Alcotest.test_case "gate counts" `Quick test_gate_counts_table1_shape;
+        ] );
+      ( "paper claims",
+        [
+          Alcotest.test_case "loss hurts, Bosehedral helps" `Slow test_loss_hurts_and_bosehedral_helps;
+          Alcotest.test_case "reduction ordering" `Slow test_beamsplitter_reduction_ordering;
+          Alcotest.test_case "hardware legal shots" `Quick test_shot_circuit_hardware_legal;
+        ] );
+    ]

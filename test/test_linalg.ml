@@ -1,0 +1,366 @@
+(* Unit and property tests for the bose_linalg library. *)
+
+module Rng = Bose_util.Rng
+open Bose_linalg
+
+let check_close msg tol a b = Alcotest.(check (float tol)) msg a b
+
+(* ------------------------------------------------------------------- Cx *)
+
+let test_cx_arith () =
+  let a = Cx.make 1. 2. and b = Cx.make 3. (-1.) in
+  Alcotest.(check bool) "add" true Cx.(is_close (a +: b) (make 4. 1.));
+  Alcotest.(check bool) "mul" true Cx.(is_close (a *: b) (make 5. 5.));
+  check_close "abs2" 1e-12 5. (Cx.abs2 a);
+  Alcotest.(check bool) "exp_i" true Cx.(is_close (exp_i Float.pi) (make (-1.) 0.) ~tol:1e-12)
+
+(* ------------------------------------------------------------------ Mat *)
+
+let test_mat_identity_mul () =
+  let rng = Rng.create 1 in
+  let a = Unitary.haar_random rng 5 in
+  Alcotest.(check bool) "I·a = a" true (Mat.equal (Mat.mul (Mat.identity 5) a) a);
+  Alcotest.(check bool) "a·I = a" true (Mat.equal (Mat.mul a (Mat.identity 5)) a)
+
+let test_mat_adjoint_involution () =
+  let rng = Rng.create 2 in
+  let a = Unitary.haar_random rng 4 in
+  Alcotest.(check bool) "(a†)† = a" true (Mat.equal (Mat.adjoint (Mat.adjoint a)) a)
+
+let test_mat_mul_associative () =
+  let rng = Rng.create 3 in
+  let a = Unitary.haar_random rng 4
+  and b = Unitary.haar_random rng 4
+  and c = Unitary.haar_random rng 4 in
+  Alcotest.(check bool) "(ab)c = a(bc)" true
+    (Mat.equal ~tol:1e-12 (Mat.mul (Mat.mul a b) c) (Mat.mul a (Mat.mul b c)))
+
+let test_mat_trace_frobenius () =
+  let m = Mat.of_arrays [| [| Cx.re 1.; Cx.i |]; [| Cx.zero; Cx.re 3. |] |] in
+  Alcotest.(check bool) "trace" true (Cx.is_close (Mat.trace m) (Cx.re 4.));
+  check_close "frobenius" 1e-12 (sqrt 11.) (Mat.frobenius_norm m)
+
+let test_mat_row_col_norms () =
+  let rng = Rng.create 4 in
+  let u = Unitary.haar_random rng 6 in
+  for i = 0 to 5 do
+    check_close "unit row" 1e-10 1. (Mat.row_norm2 u i);
+    check_close "unit col" 1e-10 1. (Mat.col_norm2 u i)
+  done
+
+let test_mat_swap () =
+  let m = Mat.of_arrays [| [| Cx.re 1.; Cx.re 2. |]; [| Cx.re 3.; Cx.re 4. |] |] in
+  Mat.swap_rows m 0 1;
+  Alcotest.(check bool) "rows swapped" true (Cx.is_close (Mat.get m 0 0) (Cx.re 3.));
+  Mat.swap_cols m 0 1;
+  Alcotest.(check bool) "cols swapped" true (Cx.is_close (Mat.get m 0 0) (Cx.re 4.))
+
+let test_mat_fidelity_metric () =
+  let rng = Rng.create 5 in
+  let u = Unitary.haar_random rng 8 in
+  check_close "self fidelity" 1e-10 1. (Mat.unitary_fidelity u u);
+  (* Global phase leaves the modulus-based fidelity at 1. *)
+  let phased = Mat.scale (Cx.exp_i 0.7) u in
+  check_close "phase invariant" 1e-10 1. (Mat.unitary_fidelity phased u);
+  (* Against an independent Haar unitary the overlap is far below 1. *)
+  let v = Unitary.haar_random rng 8 in
+  Alcotest.(check bool) "random pair below 0.9" true (Mat.unitary_fidelity u v < 0.9)
+
+let test_rot_cols_roundtrip () =
+  let rng = Rng.create 6 in
+  let u = Unitary.haar_random rng 7 in
+  let w = Mat.copy u in
+  Mat.rot_cols_t_dagger w ~m:2 ~n:5 ~theta:0.43 ~phi:1.2;
+  Alcotest.(check bool) "changed" true (not (Mat.equal w u));
+  Alcotest.(check bool) "still unitary" true (Mat.is_unitary w);
+  Mat.rot_cols_t w ~m:2 ~n:5 ~theta:0.43 ~phi:1.2;
+  Alcotest.(check bool) "restored" true (Mat.equal ~tol:1e-12 w u)
+
+let test_rot_matches_dense () =
+  (* The in-place kernel must agree with dense multiplication by T†. *)
+  let rng = Rng.create 7 in
+  let u = Unitary.haar_random rng 5 in
+  let r = { Givens.m = 1; n = 3; theta = 0.7; phi = -0.4 } in
+  let kernel = Mat.copy u in
+  Givens.apply_t_dagger_right kernel r;
+  let dense = Mat.mul u (Mat.adjoint (Givens.matrix 5 r)) in
+  Alcotest.(check bool) "kernel = dense" true (Mat.equal ~tol:1e-12 kernel dense)
+
+(* --------------------------------------------------------------- Givens *)
+
+let test_givens_eliminates () =
+  let rng = Rng.create 8 in
+  let u = Unitary.haar_random rng 6 in
+  let w = Mat.copy u in
+  let before = Cx.abs2 (Mat.get w 5 2) +. Cx.abs2 (Mat.get w 5 4) in
+  let rot = Givens.eliminate w ~row:5 ~m:2 ~n:4 in
+  check_close "entry zeroed" 1e-12 0. (Cx.abs (Mat.get w 5 2));
+  check_close "amplitude accumulated" 1e-10 before (Cx.abs2 (Mat.get w 5 4));
+  Alcotest.(check bool) "theta in range" true (rot.Givens.theta >= 0. && rot.Givens.theta <= Float.pi /. 2.)
+
+let test_givens_small_angle_for_small_entry () =
+  (* Eliminating a small entry against a large one gives a small theta. *)
+  let m =
+    Mat.of_arrays
+      [| [| Cx.re 0.0995; Cx.re 0.995; Cx.zero |];
+         [| Cx.re 0.995; Cx.re (-0.0995); Cx.zero |];
+         [| Cx.zero; Cx.zero; Cx.one |] |]
+  in
+  let theta = Givens.angle_for m ~row:0 ~m:0 ~n:1 in
+  check_close "theta = atan(0.1)" 1e-6 (atan 0.1) theta
+
+let test_givens_zero_entry () =
+  let m = Mat.identity 3 in
+  let rot = Givens.eliminate m ~row:0 ~m:1 ~n:2 in
+  check_close "theta 0 when already zero" 1e-12 0. rot.Givens.theta
+
+(* ----------------------------------------------------------------- Perm *)
+
+let test_perm_compose_inverse () =
+  let rng = Rng.create 9 in
+  let p = Perm.random rng 10 and q = Perm.random rng 10 in
+  Alcotest.(check bool) "p∘p⁻¹ = id" true (Perm.is_identity (Perm.compose p (Perm.inverse p)));
+  let pq = Perm.compose p q in
+  for i = 0 to 9 do
+    Alcotest.(check int) "compose applies q first" (Perm.apply p (Perm.apply q i))
+      (Perm.apply pq i)
+  done
+
+let test_perm_matrix_consistency () =
+  let rng = Rng.create 10 in
+  let p = Perm.random rng 6 in
+  let u = Unitary.haar_random rng 6 in
+  (* permute_rows p u = P·u with P = matrix p. *)
+  Alcotest.(check bool) "row perm = P·u" true
+    (Mat.equal (Perm.permute_rows p u) (Mat.mul (Perm.matrix p) u));
+  (* permute_cols p u = u·Pᵀ. *)
+  Alcotest.(check bool) "col perm = u·Pᵀ" true
+    (Mat.equal (Perm.permute_cols p u) (Mat.mul u (Mat.transpose (Perm.matrix p))))
+
+let test_perm_permute_list () =
+  let p = Perm.of_array [| 2; 0; 1 |] in
+  Alcotest.(check (list string)) "list relabeled" [ "b"; "c"; "a" ]
+    (Perm.permute_list p [ "a"; "b"; "c" ])
+
+let test_perm_invalid () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Perm.of_array: not a permutation")
+    (fun () -> ignore (Perm.of_array [| 0; 0; 2 |]))
+
+(* -------------------------------------------------------------- Unitary *)
+
+let test_qr_reconstruction () =
+  let rng = Rng.create 11 in
+  let a =
+    Mat.init 6 6 (fun _ _ ->
+        let re, im = Rng.gaussian_pair rng in
+        Cx.make re im)
+  in
+  let q, r = Unitary.qr a in
+  Alcotest.(check bool) "q unitary" true (Mat.is_unitary q);
+  Alcotest.(check bool) "qr = a" true (Mat.equal ~tol:1e-10 (Mat.mul q r) a);
+  (* r upper triangular *)
+  let ok = ref true in
+  for i = 0 to 5 do
+    for j = 0 to i - 1 do
+      if Cx.abs (Mat.get r i j) > 1e-10 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "r triangular" true !ok
+
+let test_haar_unitary () =
+  let rng = Rng.create 12 in
+  List.iter
+    (fun n -> Alcotest.(check bool) "unitary" true (Mat.is_unitary (Unitary.haar_random rng n)))
+    [ 1; 2; 5; 16 ]
+
+let test_orthogonal_real () =
+  let rng = Rng.create 13 in
+  let o = Unitary.random_orthogonal rng 7 in
+  Alcotest.(check bool) "unitary" true (Mat.is_unitary o);
+  let all_real = ref true in
+  for i = 0 to 6 do
+    for j = 0 to 6 do
+      if Float.abs (Mat.get o i j).Complex.im > 1e-12 then all_real := false
+    done
+  done;
+  Alcotest.(check bool) "entries real" true !all_real
+
+(* ---------------------------------------------------------------- Eigen *)
+
+let test_eigen_known () =
+  let lambda, v = Eigen.jacobi [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  check_close "λ₁" 1e-9 3. lambda.(0);
+  check_close "λ₂" 1e-9 1. lambda.(1);
+  (* Eigenvector for λ=3 is (1,1)/√2 up to sign. *)
+  check_close "evec component" 1e-9 (Float.abs v.(0).(0)) (Float.abs v.(1).(0))
+
+let test_eigen_reconstruct () =
+  let rng = Rng.create 14 in
+  let n = 8 in
+  let a =
+    Array.init n (fun _ -> Array.init n (fun _ -> Rng.gaussian rng))
+  in
+  let sym = Array.init n (fun i -> Array.init n (fun j -> (a.(i).(j) +. a.(j).(i)) /. 2.)) in
+  let lambda, v = Eigen.jacobi sym in
+  let recon = Eigen.reconstruct lambda v in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      worst := Float.max !worst (Float.abs (recon.(i).(j) -. sym.(i).(j)))
+    done
+  done;
+  Alcotest.(check bool) "reconstruction" true (!worst < 1e-8);
+  (* eigenvalues decreasing *)
+  for i = 0 to n - 2 do
+    Alcotest.(check bool) "sorted" true (lambda.(i) >= lambda.(i + 1))
+  done
+
+let test_eigen_rejects_asymmetric () =
+  Alcotest.check_raises "asymmetric" (Invalid_argument "Eigen.jacobi: not symmetric")
+    (fun () -> ignore (Eigen.jacobi [| [| 1.; 2. |]; [| 0.; 1. |] |]))
+
+(* --------------------------------------------------------------- Takagi *)
+
+let test_takagi_roundtrip () =
+  let rng = Rng.create 15 in
+  let n = 7 in
+  let a = Array.init n (fun _ -> Array.init n (fun _ -> Rng.gaussian rng)) in
+  let sym = Array.init n (fun i -> Array.init n (fun j -> (a.(i).(j) +. a.(j).(i)) /. 2.)) in
+  let lambda, u = Takagi.decompose sym in
+  Alcotest.(check bool) "u unitary" true (Mat.is_unitary u);
+  Array.iter (fun l -> Alcotest.(check bool) "λ ≥ 0" true (l >= 0.)) lambda;
+  Alcotest.(check bool) "A = U·diag·Uᵀ" true
+    (Mat.equal ~tol:1e-8 (Takagi.reconstruct lambda u) (Mat.of_real sym))
+
+(* ------------------------------------------------------------- Linsolve *)
+
+let test_linsolve_known_det () =
+  let m = Mat.of_arrays [| [| Cx.re 2.; Cx.re 1. |]; [| Cx.re 1.; Cx.re 3. |] |] in
+  Alcotest.(check bool) "det" true (Cx.is_close (Linsolve.det m) (Cx.re 5.))
+
+let test_linsolve_unitary_det_modulus () =
+  let rng = Rng.create 16 in
+  let u = Unitary.haar_random rng 6 in
+  check_close "det modulus 1" 1e-9 1. (Cx.abs (Linsolve.det u))
+
+let test_linsolve_inverse () =
+  let rng = Rng.create 17 in
+  let a =
+    Mat.init 6 6 (fun _ _ ->
+        let re, im = Rng.gaussian_pair rng in
+        Cx.make re im)
+  in
+  let inv = Linsolve.inverse a in
+  Alcotest.(check bool) "a·a⁻¹ = I" true (Mat.equal ~tol:1e-9 (Mat.mul a inv) (Mat.identity 6))
+
+let test_linsolve_solve () =
+  let rng = Rng.create 18 in
+  let a = Unitary.haar_random rng 5 in
+  let b = Array.init 5 (fun i -> Cx.make (float_of_int i) 1.) in
+  let x = Linsolve.solve a b in
+  let residual = Mat.mul_vec a x in
+  Array.iteri
+    (fun i r -> Alcotest.(check bool) "residual" true (Cx.is_close ~tol:1e-9 r b.(i)))
+    residual
+
+let test_linsolve_singular () =
+  let m = Mat.create 3 3 in
+  Alcotest.check_raises "singular" (Invalid_argument "Linsolve: singular matrix") (fun () ->
+      ignore (Linsolve.det m))
+
+(* ------------------------------------------------------------ properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"haar unitaries stay unitary under products" ~count:30
+      (pair small_int small_int)
+      (fun (s1, s2) ->
+         let rng = Rng.create ((s1 * 1000) + s2) in
+         let n = 2 + (abs s1 mod 6) in
+         let u = Unitary.haar_random rng n and v = Unitary.haar_random rng n in
+         Mat.is_unitary (Mat.mul u v));
+    Test.make ~name:"elimination preserves unitarity and row norms" ~count:50 small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let n = 3 + (abs seed mod 5) in
+         let u = Unitary.haar_random rng n in
+         let w = Mat.copy u in
+         ignore (Givens.eliminate w ~row:(n - 1) ~m:0 ~n:1);
+         Mat.is_unitary w
+         && Float.abs (Mat.row_norm2 w (n - 1) -. 1.) < 1e-9);
+    Test.make ~name:"perm matrix is orthogonal" ~count:50 small_int (fun seed ->
+        let rng = Rng.create seed in
+        let n = 2 + (abs seed mod 8) in
+        Mat.is_unitary (Perm.matrix (Perm.random rng n)));
+    Test.make ~name:"takagi roundtrips random symmetric matrices" ~count:25 small_int
+      (fun seed ->
+         let rng = Rng.create seed in
+         let n = 2 + (abs seed mod 5) in
+         let a = Array.init n (fun _ -> Array.init n (fun _ -> Rng.gaussian rng)) in
+         let sym =
+           Array.init n (fun i -> Array.init n (fun j -> (a.(i).(j) +. a.(j).(i)) /. 2.))
+         in
+         let lambda, u = Takagi.decompose sym in
+         Mat.equal ~tol:1e-7 (Takagi.reconstruct lambda u) (Mat.of_real sym));
+    Test.make ~name:"inverse_det consistent with det" ~count:25 small_int (fun seed ->
+        let rng = Rng.create (seed + 7) in
+        let n = 2 + (abs seed mod 5) in
+        let u = Unitary.haar_random rng n in
+        let _, d1 = Linsolve.inverse_det u in
+        let d2 = Linsolve.det u in
+        Cx.is_close ~tol:1e-9 d1 d2);
+  ]
+
+let () =
+  Alcotest.run "bose_linalg"
+    [
+      ("cx", [ Alcotest.test_case "arithmetic" `Quick test_cx_arith ]);
+      ( "mat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "adjoint involution" `Quick test_mat_adjoint_involution;
+          Alcotest.test_case "mul associative" `Quick test_mat_mul_associative;
+          Alcotest.test_case "trace/frobenius" `Quick test_mat_trace_frobenius;
+          Alcotest.test_case "unitary norms" `Quick test_mat_row_col_norms;
+          Alcotest.test_case "swap" `Quick test_mat_swap;
+          Alcotest.test_case "fidelity metric" `Quick test_mat_fidelity_metric;
+          Alcotest.test_case "rot roundtrip" `Quick test_rot_cols_roundtrip;
+          Alcotest.test_case "rot matches dense" `Quick test_rot_matches_dense;
+        ] );
+      ( "givens",
+        [
+          Alcotest.test_case "eliminates entry" `Quick test_givens_eliminates;
+          Alcotest.test_case "small angle" `Quick test_givens_small_angle_for_small_entry;
+          Alcotest.test_case "zero entry" `Quick test_givens_zero_entry;
+        ] );
+      ( "perm",
+        [
+          Alcotest.test_case "compose/inverse" `Quick test_perm_compose_inverse;
+          Alcotest.test_case "matrix consistency" `Quick test_perm_matrix_consistency;
+          Alcotest.test_case "permute list" `Quick test_perm_permute_list;
+          Alcotest.test_case "invalid input" `Quick test_perm_invalid;
+        ] );
+      ( "unitary",
+        [
+          Alcotest.test_case "qr reconstruction" `Quick test_qr_reconstruction;
+          Alcotest.test_case "haar unitary" `Quick test_haar_unitary;
+          Alcotest.test_case "orthogonal real" `Quick test_orthogonal_real;
+        ] );
+      ( "eigen",
+        [
+          Alcotest.test_case "known 2x2" `Quick test_eigen_known;
+          Alcotest.test_case "reconstruct" `Quick test_eigen_reconstruct;
+          Alcotest.test_case "rejects asymmetric" `Quick test_eigen_rejects_asymmetric;
+        ] );
+      ("takagi", [ Alcotest.test_case "roundtrip" `Quick test_takagi_roundtrip ]);
+      ( "linsolve",
+        [
+          Alcotest.test_case "known det" `Quick test_linsolve_known_det;
+          Alcotest.test_case "unitary det" `Quick test_linsolve_unitary_det_modulus;
+          Alcotest.test_case "inverse" `Quick test_linsolve_inverse;
+          Alcotest.test_case "solve" `Quick test_linsolve_solve;
+          Alcotest.test_case "singular" `Quick test_linsolve_singular;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,187 @@
+(* Unit and property tests for the qumode mapping optimization (§V). *)
+
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Perm = Bose_linalg.Perm
+module Unitary = Bose_linalg.Unitary
+open Bose_hardware
+open Bose_mapping
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+
+let haar seed n = Unitary.haar_random (Rng.create seed) n
+
+let pattern24 = Embedding.for_program (Lattice.create ~rows:6 ~cols:6) 24
+
+let test_trivial_mapping () =
+  let u = haar 1 8 in
+  let m = Mapping.trivial u in
+  Alcotest.(check bool) "identity rows" true (Perm.is_identity m.Mapping.row_perm);
+  Alcotest.(check bool) "identity cols" true (Perm.is_identity m.Mapping.col_perm);
+  Alcotest.(check bool) "permuted = u" true (Mat.equal m.Mapping.permuted u);
+  Alcotest.(check bool) "recovered = u" true (Mat.equal (Mapping.recovered_unitary m) u)
+
+let test_recovered_unitary () =
+  (* The zero-cost relabeling identity U = P_rᵀ·U_per·P_cᵀ (§V-B). *)
+  let u = haar 2 24 in
+  let m = Mapping.optimize pattern24 u in
+  Alcotest.(check bool) "U recovered exactly" true
+    (Mat.equal ~tol:1e-9 (Mapping.recovered_unitary m) u)
+
+let test_permuted_still_unitary () =
+  let u = haar 3 24 in
+  let m = Mapping.optimize pattern24 u in
+  Alcotest.(check bool) "U_per unitary" true (Mat.is_unitary m.Mapping.permuted)
+
+let test_mapping_improves_small_angles () =
+  (* The whole point of §V: more small rotations than the unmapped
+     decomposition on the same pattern. Checked on several seeds. *)
+  let improvements =
+    List.map
+      (fun seed ->
+         let u = haar seed 24 in
+         let plain = Eliminate.decompose pattern24 u in
+         let m = Mapping.optimize pattern24 u in
+         let mapped = Eliminate.decompose pattern24 m.Mapping.permuted in
+         let s p = Plan.small_angle_count p ~threshold:0.1 in
+         (s mapped, s plain))
+      [ 10; 11; 12; 13 ]
+  in
+  (* Greedy search is heuristic; require improvement in aggregate and no
+     catastrophic regression. *)
+  let total_mapped = List.fold_left (fun a (m, _) -> a + m) 0 improvements in
+  let total_plain = List.fold_left (fun a (_, p) -> a + p) 0 improvements in
+  Alcotest.(check bool)
+    (Printf.sprintf "mapped %d > plain %d" total_mapped total_plain)
+    true (total_mapped > total_plain)
+
+let test_small_angles_field_consistent () =
+  let u = haar 4 24 in
+  let m = Mapping.optimize pattern24 u in
+  let plan = Eliminate.decompose pattern24 m.Mapping.permuted in
+  Alcotest.(check int) "reported = recomputed" (Plan.small_angle_count plan ~threshold:0.1)
+    m.Mapping.small_angles
+
+let test_row_mass () =
+  let u = haar 5 24 in
+  let alpha = Mapping.main_region_row_mass pattern24 u in
+  Alcotest.(check int) "one mass per row" 24 (Array.length alpha);
+  Array.iter
+    (fun a -> Alcotest.(check bool) "mass in [0,1]" true (a >= 0. && a <= 1. +. 1e-9))
+    alpha;
+  (* Total mass = number of main-path columns (unitary columns have unit
+     norm). *)
+  let total = Array.fold_left ( +. ) 0. alpha in
+  Alcotest.(check (float 1e-6)) "total = main path size"
+    (float_of_int (List.length (Pattern.main_path_labels pattern24)))
+    total
+
+let test_relabel_output () =
+  let u = haar 6 24 in
+  let m = Mapping.optimize pattern24 u in
+  (* relabel_output maps physical pattern to logical: logical i reads
+     physical row_perm(i). *)
+  let physical = Array.init 24 (fun i -> i * 10) in
+  let logical = Mapping.relabel_output m physical in
+  for i = 0 to 23 do
+    Alcotest.(check int) "relabeled" (physical.(Perm.apply m.Mapping.row_perm i)) logical.(i)
+  done
+
+let test_input_site () =
+  let u = haar 7 24 in
+  let m = Mapping.optimize pattern24 u in
+  let sites = List.init 24 (Mapping.input_site m) in
+  Alcotest.(check (list int)) "input sites are a permutation" (List.init 24 (fun i -> i))
+    (List.sort compare sites)
+
+let test_polish_preserves_identity () =
+  (* The hill-climbing polish composes its swaps into the permutations,
+     so the zero-cost relabeling identity must keep holding. *)
+  let rng = Rng.create 20 in
+  let u = haar 20 24 in
+  let m = Mapping.optimize pattern24 u in
+  let polished = Mapping.polish ~trials:120 ~tau:0.99 ~rng pattern24 m in
+  Alcotest.(check bool) "U recovered after polish" true
+    (Mat.equal ~tol:1e-8 (Mapping.recovered_unitary polished) u);
+  Alcotest.(check bool) "permuted still unitary" true (Mat.is_unitary polished.Mapping.permuted)
+
+let test_polish_does_not_regress () =
+  (* The acceptance rule only ever keeps equal-or-better droppable
+     counts, measured at the polish tau. *)
+  let budget_count plan tau =
+    let a = Plan.angles plan in
+    Array.sort compare a;
+    let budget = (1. -. tau) *. 24. in
+    let rec go i acc =
+      if i >= Array.length a then i
+      else begin
+        let acc = acc +. (2. *. (1. -. cos a.(i))) in
+        if acc > budget then i else go (i + 1) acc
+      end
+    in
+    go 0 0.
+  in
+  let rng = Rng.create 21 in
+  let u = haar 21 24 in
+  let m = Mapping.optimize pattern24 u in
+  let before = budget_count (Eliminate.decompose pattern24 m.Mapping.permuted) 0.95 in
+  let polished = Mapping.polish ~trials:150 ~tau:0.95 ~rng pattern24 m in
+  let after = budget_count (Eliminate.decompose pattern24 polished.Mapping.permuted) 0.95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "polish %d ≥ %d" after before)
+    true (after >= before)
+
+let test_size_mismatch () =
+  let u = haar 8 10 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Mapping.optimize: unitary and pattern sizes differ") (fun () ->
+        ignore (Mapping.optimize pattern24 u))
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"optimize always recovers the original unitary" ~count:15
+      (pair (int_range 2 5) (int_range 2 5))
+      (fun (r, c) ->
+         let lattice = Lattice.create ~rows:r ~cols:c in
+         let n = Lattice.size lattice in
+         let pattern = Embedding.zigzag lattice in
+         let u = haar ((r * 31) + c) n in
+         let m = Mapping.optimize pattern u in
+         Mat.equal ~tol:1e-8 (Mapping.recovered_unitary m) u);
+    Test.make ~name:"decomposing U_per and undoing perms reproduces sampling unitary"
+      ~count:10 small_int
+      (fun seed ->
+         let lattice = Lattice.create ~rows:4 ~cols:4 in
+         let pattern = Embedding.zigzag lattice in
+         let u = haar seed 16 in
+         let m = Mapping.optimize pattern u in
+         let plan = Eliminate.decompose pattern m.Mapping.permuted in
+         let u_eff =
+           Perm.permute_rows
+             (Perm.inverse m.Mapping.row_perm)
+             (Perm.permute_cols (Perm.inverse m.Mapping.col_perm) (Plan.reconstruct plan))
+         in
+         Mat.equal ~tol:1e-8 u_eff u);
+  ]
+
+let () =
+  Alcotest.run "bose_mapping"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial_mapping;
+          Alcotest.test_case "recovered unitary" `Quick test_recovered_unitary;
+          Alcotest.test_case "permuted unitary" `Quick test_permuted_still_unitary;
+          Alcotest.test_case "improves small angles" `Quick test_mapping_improves_small_angles;
+          Alcotest.test_case "small_angles field" `Quick test_small_angles_field_consistent;
+          Alcotest.test_case "row mass" `Quick test_row_mass;
+          Alcotest.test_case "relabel output" `Quick test_relabel_output;
+          Alcotest.test_case "input sites" `Quick test_input_site;
+          Alcotest.test_case "polish identity" `Quick test_polish_preserves_identity;
+          Alcotest.test_case "polish monotone" `Quick test_polish_does_not_regress;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
