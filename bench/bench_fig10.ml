@@ -67,7 +67,11 @@ let run () =
        List.iter
          (fun (label, program) ->
             let device = Benchlib.device_for_program program in
-            let per_config = jsd_series ~rng ~device ~tau:b.Benchlib.tau program in
+            let per_config =
+              Benchlib.Telemetry.row ~experiment:"fig10"
+                ~row:(b.Benchlib.name ^ " " ^ label)
+                (fun () -> jsd_series ~rng ~device ~tau:b.Benchlib.tau program)
+            in
             print_series (b.Benchlib.name ^ " " ^ label) per_config;
             let impr = improvement per_config in
             totals := (b.Benchlib.name, impr) :: !totals;

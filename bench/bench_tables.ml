@@ -20,6 +20,7 @@ let table1 () =
        match b.Benchlib.instances with
        | [] -> ()
        | (_, program) :: _ ->
+         Benchlib.Telemetry.row ~experiment:"table1" ~row:b.Benchlib.name @@ fun () ->
          let device = Benchlib.device_for_program program in
          let counts = Runner.gate_counts program ~device in
          (* Count the MZI phase shifters the way the paper does: one per
@@ -41,6 +42,7 @@ let table2 () =
   let rng = Rng.create 99 in
   List.iter
     (fun b ->
+       Benchlib.Telemetry.row ~experiment:"table2" ~row:b.Benchlib.name @@ fun () ->
        let reductions config =
          List.map
            (fun (_, program) ->
@@ -71,6 +73,7 @@ let table3 ?(sizes = [ 10; 15; 20; 60; 100; 200; 500 ]) () =
   let rng = Rng.create 555 in
   List.iter
     (fun n ->
+       Benchlib.Telemetry.row ~experiment:"table3" ~row:(string_of_int n) @@ fun () ->
        let trials = if n <= 100 then 5 else if n <= 200 then 2 else 1 in
        let effort = if n <= 60 then Compiler.Standard else Compiler.Fast in
        let device = Lattice.create ~rows:3 ~cols:((n + 2) / 3) in

@@ -6,7 +6,69 @@
 module Rng = Bose_util.Rng
 module Cx = Bose_linalg.Cx
 module Lattice = Bose_hardware.Lattice
+module Obs = Bose_obs.Obs
 open Bosehedral
+
+(* Per-row telemetry: every benchmark row runs inside [Telemetry.row],
+   which opens a fresh metrics window and attaches the captured
+   [Obs.Report.t] to the row. [Telemetry.flush] (called by bench/main.ml
+   on exit) writes all rows to BENCH_TELEMETRY.json — override the path
+   with BOSE_BENCH_JSON — so benchmark trajectories carry pass-level
+   breakdowns alongside the printed tables. *)
+module Telemetry = struct
+  type entry = { experiment : string; row : string; report : Obs.Report.t }
+
+  let rows : entry list ref = ref []
+
+  let out_path () =
+    match Sys.getenv_opt "BOSE_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_TELEMETRY.json"
+
+  let row ~experiment ~row:label f =
+    let was_enabled = Obs.enabled () in
+    Obs.reset ();
+    Obs.enable ();
+    let finish () =
+      rows := { experiment; row = label; report = Obs.Report.capture () } :: !rows;
+      Obs.reset ();
+      if not was_enabled then Obs.disable ()
+    in
+    match f () with
+    | v -> finish (); v
+    | exception e -> finish (); raise e
+
+  let flush () =
+    match List.rev !rows with
+    | [] -> ()
+    | entries ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\"version\":1,\"rows\":[";
+      List.iteri
+        (fun i e ->
+           if i > 0 then Buffer.add_char buf ',';
+           (* Labels are printf-generated ASCII; escape the quotes and
+              backslashes anyway. *)
+           let escape s =
+             String.concat ""
+               (List.map
+                  (function
+                    | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+                  (List.init (String.length s) (String.get s)))
+           in
+           Buffer.add_string buf
+             (Printf.sprintf "{\"experiment\":\"%s\",\"row\":\"%s\",\"report\":%s}"
+                (escape e.experiment) (escape e.row)
+                (Obs.Report.to_json e.report)))
+        entries;
+      Buffer.add_string buf "]}\n";
+      let oc = open_out (out_path ()) in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\n[bench] telemetry for %d rows written to %s\n"
+        (List.length entries) (out_path ());
+      rows := []
+end
 
 type benchmark = {
   name : string;  (** DS / MC / GS / VS *)

@@ -36,6 +36,8 @@ let run_all () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Span times in the per-row telemetry reports are wall-clock. *)
+  Bose_obs.Obs.set_clock Unix.gettimeofday;
   let started = Unix.gettimeofday () in
   (match args with
    | [] | [ "all" ] -> run_all ()
@@ -49,4 +51,5 @@ let () =
               (String.concat " " (List.map fst experiments));
             exit 1)
        names);
+  Benchlib.Telemetry.flush ();
   Printf.printf "\n[bench] done in %.1fs\n" (Unix.gettimeofday () -. started)

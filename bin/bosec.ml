@@ -3,7 +3,11 @@
    Subcommands:
      compile    compile an interferometer and print the plan summary
      simulate   compile + execute on the noisy simulator, report JSD
-     layouts    compare square / triangular / hexagonal couplings *)
+     layouts    compare square / triangular / hexagonal couplings
+
+   Every subcommand accepts --metrics-out FILE (write the telemetry
+   report as JSON, schema in docs/METRICS.md) and --trace (stream span
+   closures to stderr as passes finish). *)
 
 module Rng = Bose_util.Rng
 module Cx = Bose_linalg.Cx
@@ -15,7 +19,41 @@ module Emb = Bose_hardware.Embedding
 module Pattern = Bose_hardware.Pattern
 module Plan = Bose_decomp.Plan
 module Noise = Bose_circuit.Noise
+module Obs = Bose_obs.Obs
 open Bosehedral
+
+(* Run [f] under the telemetry switch implied by --metrics-out/--trace:
+   spans/counters enabled, wall-clock span times, live stderr trace on
+   --trace, and a JSON report written afterwards when requested. *)
+let with_obs ~metrics_out ~trace f =
+  let active = metrics_out <> None || trace in
+  if active then begin
+    Obs.set_clock Unix.gettimeofday;
+    Obs.reset ();
+    Obs.enable ();
+    if trace then
+      Obs.on_span_close :=
+        Some
+          (fun ~name ~depth ~elapsed_s ->
+             Printf.eprintf "[trace] %s%-30s %.6fs\n%!"
+               (String.make (2 * depth) ' ')
+               name elapsed_s)
+  end;
+  f ();
+  if active then begin
+    let report = Obs.Report.capture () in
+    (match metrics_out with
+     | Some path ->
+       (try
+          Obs.Report.write_file path report;
+          Printf.printf "metrics: %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "bosec: cannot write metrics file: %s\n" msg;
+          exit 1)
+     | None -> Format.printf "@.%a@." Obs.Report.pp report);
+    Obs.on_span_close := None;
+    Obs.disable ()
+  end
 
 let make_unitary rng ~modes ~graph_p =
   match graph_p with
@@ -24,7 +62,7 @@ let make_unitary rng ~modes ~graph_p =
     let g = Bose_apps.Graph.random rng ~n:modes ~p in
     Bose_apps.Encoding.unitary_of g
 
-let run_compile rows cols modes seed config tau graph_p effort verbose =
+let run_compile rows cols modes seed config tau graph_p effort verbose metrics_out trace =
   let rng = Rng.create seed in
   let device = Lattice.create ~rows ~cols in
   let modes = match modes with Some n -> n | None -> Lattice.size device in
@@ -32,6 +70,7 @@ let run_compile rows cols modes seed config tau graph_p effort verbose =
     Printf.eprintf "error: %d qumodes do not fit on a %dx%d device\n" modes rows cols;
     exit 1
   end;
+  with_obs ~metrics_out ~trace @@ fun () ->
   let u = make_unitary rng ~modes ~graph_p in
   let compiled = Compiler.compile ~effort ~tau ~rng ~device ~config u in
   Format.printf "%a@." Compiler.pp_summary compiled;
@@ -52,7 +91,7 @@ let run_compile rows cols modes seed config tau graph_p effort verbose =
     Format.printf "plan:@.%a@." Plan.pp compiled.Compiler.plan
   end
 
-let run_simulate rows cols modes seed tau graph_p loss cutoff =
+let run_simulate rows cols modes seed tau graph_p loss cutoff metrics_out trace =
   let rng = Rng.create seed in
   let device = Lattice.create ~rows ~cols in
   let modes = match modes with Some n -> n | None -> min 8 (Lattice.size device) in
@@ -60,6 +99,7 @@ let run_simulate rows cols modes seed tau graph_p loss cutoff =
     Printf.eprintf "error: exact simulation is limited to 10 qumodes\n";
     exit 1
   end;
+  with_obs ~metrics_out ~trace @@ fun () ->
   let u = make_unitary rng ~modes ~graph_p in
   let program =
     Runner.pure_program ~squeezing:(Array.make modes (Cx.re 0.35)) ~unitary:u ()
@@ -78,8 +118,9 @@ let run_simulate rows cols modes seed tau graph_p loss cutoff =
          (Plan.rotation_count compiled.Compiler.plan))
     Config.all
 
-let run_layouts rows cols modes seed tau =
+let run_layouts rows cols modes seed tau metrics_out trace =
   let rng = Rng.create seed in
+  with_obs ~metrics_out ~trace @@ fun () ->
   let layouts =
     [
       ("square", Coupling.of_lattice (Lattice.create ~rows ~cols));
@@ -151,40 +192,56 @@ let effort =
        & info [ "effort" ] ~doc:"Search effort: fast or standard.")
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the pattern and full plan.")
+
+let metrics_out =
+  Arg.(value
+       & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable telemetry and write the per-run report as JSON to $(docv) \
+                 (schema documented in docs/METRICS.md).")
+
+let trace =
+  Arg.(value
+       & flag
+       & info [ "trace" ]
+           ~doc:"Enable telemetry and stream span timings to stderr as passes \
+                 finish; without $(b,--metrics-out) the report table is printed \
+                 on exit.")
 let loss = Arg.(value & opt float 0.05 & info [ "loss" ] ~doc:"Per-beamsplitter photon loss rate.")
 let cutoff = Arg.(value & opt int 5 & info [ "cutoff" ] ~doc:"Photon-number truncation.")
+
+let compile_term =
+  Term.(
+    const (fun rows cols modes seed config tau graph_p effort verbose metrics_out trace ->
+        run_compile rows cols modes seed config tau graph_p effort verbose metrics_out trace)
+    $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose
+    $ metrics_out $ trace)
 
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an interferometer and print the plan summary")
-    Term.(
-      const (fun rows cols modes seed config tau graph_p effort verbose ->
-          run_compile rows cols modes seed config tau graph_p effort verbose)
-      $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose)
+    compile_term
 
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compile and execute on the lossy simulator; report JSD per config")
     Term.(
-      const (fun rows cols modes seed tau graph_p loss cutoff ->
-          run_simulate rows cols modes seed tau graph_p loss cutoff)
-      $ rows $ cols $ modes $ seed $ tau $ graph_p $ loss $ cutoff)
+      const (fun rows cols modes seed tau graph_p loss cutoff metrics_out trace ->
+          run_simulate rows cols modes seed tau graph_p loss cutoff metrics_out trace)
+      $ rows $ cols $ modes $ seed $ tau $ graph_p $ loss $ cutoff $ metrics_out
+      $ trace)
 
 let layouts_cmd =
   Cmd.v
     (Cmd.info "layouts" ~doc:"Compare square / triangular / hexagonal couplings")
     Term.(
-      const (fun rows cols modes seed tau -> run_layouts rows cols modes seed tau)
-      $ rows $ cols $ modes $ seed $ tau)
+      const (fun rows cols modes seed tau metrics_out trace ->
+          run_layouts rows cols modes seed tau metrics_out trace)
+      $ rows $ cols $ modes $ seed $ tau $ metrics_out $ trace)
 
 let () =
   let doc = "Bosehedral compiler for (Gaussian) Boson sampling programs" in
-  let default =
-    Term.(
-      const (fun rows cols modes seed config tau graph_p effort verbose ->
-          run_compile rows cols modes seed config tau graph_p effort verbose)
-      $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose)
-  in
+  let default = compile_term in
   exit
     (Cmd.eval
        (Cmd.group ~default (Cmd.info "bosec" ~doc) [ compile_cmd; simulate_cmd; layouts_cmd ]))

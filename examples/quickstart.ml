@@ -7,9 +7,14 @@ module Rng = Bose_util.Rng
 module Unitary = Bose_linalg.Unitary
 module Lattice = Bose_hardware.Lattice
 module Plan = Bose_decomp.Plan
+module Obs = Bose_obs.Obs
 open Bosehedral
 
 let () =
+  (* Telemetry is off by default; enabling it makes every pass record
+     spans/counters without changing any compiled output (docs/METRICS.md). *)
+  Obs.enable ();
+
   let rng = Rng.create 2024 in
 
   (* The program's high-level semantics: an N x N unitary. *)
@@ -38,9 +43,14 @@ let () =
 
   (* The compile-time promise can be checked explicitly: reconstruct the
      approximated unitary of a sampled shot and measure its fidelity. *)
-  match Compiler.shot_mask rng compiled with
-  | None -> Format.printf "nothing dropped at this accuracy@."
-  | Some kept ->
-    let u_app = Compiler.approx_unitary ~kept compiled in
-    Format.printf "measured shot fidelity : %.6f@."
-      (Bose_linalg.Mat.unitary_fidelity u_app u)
+  (match Compiler.shot_mask rng compiled with
+   | None -> Format.printf "nothing dropped at this accuracy@."
+   | Some kept ->
+     let u_app = Compiler.approx_unitary ~kept compiled in
+     Format.printf "measured shot fidelity : %.6f@."
+       (Bose_linalg.Mat.unitary_fidelity u_app u));
+
+  (* What the compile cost, pass by pass: the telemetry report. The same
+     data is available as JSON via [Obs.Report.to_json] or, from the
+     CLI, `bosec compile --metrics-out metrics.json`. *)
+  Format.printf "@.--- telemetry ---@.%a@." Obs.Report.pp (Obs.Report.capture ())

@@ -8,6 +8,12 @@ module Plan = Bose_decomp.Plan
 module Eliminate = Bose_decomp.Eliminate
 module Mapping = Bose_mapping.Mapping
 module Dropout = Bose_dropout.Dropout
+module Obs = Bose_obs.Obs
+
+let c_compiles = Obs.Counter.make "compile.runs"
+let g_modes = Obs.Gauge.make "compile.modes"
+let g_plan_rotations = Obs.Gauge.make "compile.plan_rotations"
+let g_predicted_fidelity = Obs.Gauge.make "compile.predicted_fidelity"
 
 type effort = Fast | Standard
 
@@ -42,25 +48,40 @@ let polish_trials effort n =
 
 let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
   let n = Mat.rows u in
+  Obs.Counter.incr c_compiles;
+  Obs.Gauge.observe_max g_modes (float_of_int n);
   let t0 = Sys.time () in
   let mapping =
-    if Config.uses_mapping config then begin
-      let first = Mapping.optimize ?candidate_ks:(mapping_candidates effort n) pattern u in
-      let trials = polish_trials effort n in
-      if trials > 0 then Mapping.polish ~trials ~tau ~rng pattern first else first
-    end
-    else Mapping.trivial u
+    Obs.Span.with_ "compile.map" (fun () ->
+        if Config.uses_mapping config then begin
+          let first =
+            Mapping.optimize ?candidate_ks:(mapping_candidates effort n) pattern u
+          in
+          let trials = polish_trials effort n in
+          if trials > 0 then
+            Obs.Span.with_ "compile.map.polish" (fun () ->
+                Mapping.polish ~trials ~tau ~rng pattern first)
+          else first
+        end
+        else Mapping.trivial u)
   in
-  let plan = Eliminate.decompose pattern mapping.Mapping.permuted in
+  let plan =
+    Obs.Span.with_ "compile.decompose" (fun () ->
+        Eliminate.decompose pattern mapping.Mapping.permuted)
+  in
   let t1 = Sys.time () in
   let policy =
-    if Config.uses_dropout config then begin
-      let powers, iterations = dropout_knobs effort n in
-      Some (Dropout.make_policy ~powers ~iterations rng plan mapping.Mapping.permuted ~tau)
-    end
-    else None
+    Obs.Span.with_ "compile.dropout" (fun () ->
+        if Config.uses_dropout config then begin
+          let powers, iterations = dropout_knobs effort n in
+          Some (Dropout.make_policy ~powers ~iterations rng plan mapping.Mapping.permuted ~tau)
+        end
+        else None)
   in
   let t2 = Sys.time () in
+  Obs.Gauge.set g_plan_rotations (float_of_int (Plan.rotation_count plan));
+  Obs.Gauge.set g_predicted_fidelity
+    (match policy with None -> 1. | Some p -> p.Dropout.expected_fidelity);
   {
     config;
     tau;
@@ -77,11 +98,13 @@ let compile ?(effort = Standard) ?(tau = 0.999) ~rng ~device ~config u =
   if Mat.cols u <> n then invalid_arg "Compiler.compile: unitary must be square";
   if n > Lattice.size device then
     invalid_arg "Compiler.compile: program larger than device";
-  let pattern =
-    if Config.uses_tree_pattern config then Embedding.for_program device n
-    else Embedding.baseline device n
-  in
-  run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u
+  Obs.Span.with_ "compile" (fun () ->
+      let pattern =
+        Obs.Span.with_ "compile.embed" (fun () ->
+            if Config.uses_tree_pattern config then Embedding.for_program device n
+            else Embedding.baseline device n)
+      in
+      run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u)
 
 let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ~rng ~pattern ~config u =
   let n = Mat.rows u in
@@ -90,7 +113,8 @@ let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ~rng ~pattern ~conf
     invalid_arg "Compiler.compile_with_pattern: pattern size mismatch";
   let pattern = if Config.uses_tree_pattern config then pattern else Pattern.chain n in
   let device = Lattice.create ~rows:1 ~cols:n in
-  run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u
+  Obs.Span.with_ "compile" (fun () ->
+      run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u)
 
 let shot_mask rng t =
   match t.policy with
@@ -105,8 +129,9 @@ let shot_mask rng t =
     end
 
 let shot_circuit ?prelude rng t =
-  let kept = shot_mask rng t in
-  Plan.to_circuit ?kept ?prelude t.plan
+  Obs.Span.with_ "compile.shot_circuit" (fun () ->
+      let kept = shot_mask rng t in
+      Plan.to_circuit ?kept ?prelude t.plan)
 
 let approx_unitary ?kept t =
   let u_app = Plan.reconstruct ?kept t.plan in

@@ -4,7 +4,36 @@
     [compile] consumes the program's high-level semantics — the N×N
     interferometer unitary — plus the device, and produces everything
     needed to generate per-shot circuits and to reason about the
-    approximation at compile time (the paper's §III-B problem). *)
+    approximation at compile time (the paper's §III-B problem).
+
+    {2 Pass contract}
+
+    [compile] runs four passes in order; each is wrapped in the
+    telemetry span named below (see docs/METRICS.md), and the whole
+    call in span ["compile"]:
+
+    - {b embed} (["compile.embed"]): device + config → elimination
+      pattern. With tree-pattern configs, a pattern tree embedded into
+      the device's coupling graph; otherwise a chain. Every pattern
+      edge must be a physically coupled qumode pair.
+    - {b map} (["compile.map"], nested ["compile.map.polish"]):
+      unitary + pattern → {!Bose_mapping.Mapping.t}. Chooses row/column
+      permutations (zero-cost physical relabelings) and stores the
+      permuted unitary; semantics are untouched — undoing the
+      permutations must recover the input exactly.
+    - {b decompose} (["compile.decompose"]): permuted unitary →
+      {!Bose_decomp.Plan.t} along the pattern. The plan is exact:
+      replaying it reconstructs the permuted unitary to ~1e-8; every
+      rotation addresses a pattern edge.
+    - {b dropout} (["compile.dropout"]): plan + τ → optional
+      {!Bose_dropout.Dropout.policy}. Pure compile-time analysis of the
+      plan's angles; it alters neither plan nor mapping, and its
+      expected fidelity must be ≥ τ.
+
+    {!verify} checks these invariants on a compiled result. Telemetry
+    is observational only: with {!Bose_obs.Obs} enabled or disabled the
+    passes produce identical plans, policies, and shot circuits
+    (pinned by [test/test_obs.ml]). *)
 
 type effort = Fast | Standard
 (** [Fast] trims the mapping-K candidates and dropout search for large
@@ -63,7 +92,8 @@ val shot_mask : Bose_util.Rng.t -> t -> bool array option
 val shot_circuit :
   ?prelude:Bose_circuit.Gate.t list -> Bose_util.Rng.t -> t -> Bose_circuit.Circuit.t
 (** Physical circuit for one shot, including the prelude (state
-    preparation, already in physical qumode order). *)
+    preparation, already in physical qumode order). Timed by telemetry
+    span ["compile.shot_circuit"]. *)
 
 val approx_unitary : ?kept:bool array -> t -> Bose_linalg.Mat.t
 (** Effective {e logical-space} unitary implemented by a shot with the

@@ -10,6 +10,9 @@ module Gaussian = Bose_gbs.Gaussian
 module Fock = Bose_gbs.Fock
 module Mapping = Bose_mapping.Mapping
 module Plan = Bose_decomp.Plan
+module Obs = Bose_obs.Obs
+
+let c_realizations = Obs.Counter.make "run.realizations"
 
 type program = {
   squeezing : Cx.t array;
@@ -74,12 +77,13 @@ let gate_counts p ~device =
 
 let ideal_distribution ~max_photons p =
   validate_program p;
-  let n = program_modes p in
-  let state = Gaussian.thermal n p.thermal in
-  Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.squeeze state i a) p.squeezing;
-  Gaussian.interferometer state p.unitary;
-  Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.displace state i a) p.displacements;
-  Fock.truncated ~max_photons state
+  Obs.Span.with_ "run.ideal_distribution" (fun () ->
+      let n = program_modes p in
+      let state = Gaussian.thermal n p.thermal in
+      Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.squeeze state i a) p.squeezing;
+      Gaussian.interferometer state p.unitary;
+      Array.iteri (fun i a -> if Cx.abs a > 0. then Gaussian.displace state i a) p.displacements;
+      Fock.truncated ~max_photons state)
 
 (* Relabel a physical output pattern to logical order; the tail outcome
    passes through unchanged. *)
@@ -92,6 +96,8 @@ let relabel mapping pattern =
   end
 
 let one_realization ~rng ~noise ~max_photons compiled p =
+  Obs.Counter.incr c_realizations;
+  Obs.Span.with_ "run.shot" @@ fun () ->
   let mapping = compiled.Compiler.mapping in
   let circuit =
     Circuit.add_all
@@ -108,6 +114,7 @@ let one_realization ~rng ~noise ~max_photons compiled p =
 
 let noisy_distribution ?(realizations = 16) ~rng ~noise ~max_photons compiled p =
   validate_program p;
+  Obs.Span.with_ "run.noisy_distribution" @@ fun () ->
   let shots =
     match compiled.Compiler.policy with
     | None -> 1 (* deterministic circuit: one exact simulation suffices *)

@@ -1,7 +1,27 @@
 (** End-to-end execution of a compiled GBS program on the noisy
     simulator: per-shot circuit generation, physical↔logical relabeling
     from the mapping permutations, dropout-ensemble averaging, and the
-    JSD-vs-ideal metric of the paper's Fig. 10. *)
+    JSD-vs-ideal metric of the paper's Fig. 10.
+
+    {2 Pass contract}
+
+    Execution is instrumented with three telemetry spans
+    (docs/METRICS.md):
+
+    - ["run.ideal_distribution"]: program → exact noise-free output
+      distribution, computed directly from the high-level unitary.
+      Never touches the compiled artifacts.
+    - ["run.noisy_distribution"]: compiled program → lossy ensemble
+      estimate. Contains one ["run.shot"] per circuit realization.
+    - ["run.shot"]: one sampled shot circuit simulated gate-by-gate
+      with per-gate loss, outcomes relabeled physical → logical through
+      the mapping permutations before aggregation.
+
+    Invariants: both distributions are over {e logical} photon
+    patterns, normalized over the same truncated outcome set, so they
+    are directly comparable; realizations draw from [rng] in a fixed
+    order, so results are deterministic given the seed — telemetry on
+    or off. *)
 
 type program = {
   squeezing : Bose_linalg.Cx.t array;

@@ -2,6 +2,15 @@ module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
 module Givens = Bose_linalg.Givens
 module Pattern = Bose_hardware.Pattern
+module Obs = Bose_obs.Obs
+
+let c_eliminations = Obs.Counter.make "decomp.eliminations"
+let c_decompositions = Obs.Counter.make "decomp.decompositions"
+let c_beamsplitters = Obs.Counter.make "decomp.beamsplitters"
+
+let h_angles =
+  Obs.Histo.make "decomp.rotation_angles"
+    ~bounds:[| 1e-4; 1e-3; 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 |]
 
 let run pattern u =
   let n = Pattern.size pattern in
@@ -14,6 +23,7 @@ let run pattern u =
        List.iter
          (fun (m, cn) ->
             let rotation = Givens.eliminate work ~row ~m ~n:cn in
+            Obs.Counter.incr c_eliminations;
             elements := { Plan.rotation; row } :: !elements)
          pairs)
     (Pattern.full_schedule pattern);
@@ -21,6 +31,12 @@ let run pattern u =
 
 let decompose pattern u =
   let work, elements = run pattern u in
+  Obs.Counter.incr c_decompositions;
+  Obs.Counter.incr c_beamsplitters ~by:(Array.length elements);
+  if Obs.enabled () then
+    Array.iter
+      (fun e -> Obs.Histo.observe h_angles (Float.abs e.Plan.rotation.Givens.theta))
+      elements;
   let n = Pattern.size pattern in
   let lambda =
     Array.init n (fun i ->

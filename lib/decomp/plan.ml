@@ -3,6 +3,10 @@ module Mat = Bose_linalg.Mat
 module Givens = Bose_linalg.Givens
 module Gate = Bose_circuit.Gate
 module Circuit = Bose_circuit.Circuit
+module Obs = Bose_obs.Obs
+
+let c_bs_emitted = Obs.Counter.make "circuit.beamsplitters_emitted"
+let c_bs_dropped = Obs.Counter.make "circuit.beamsplitters_dropped"
 
 type element = { rotation : Givens.rotation; row : int }
 
@@ -52,8 +56,14 @@ let to_circuit ?(style = Tunable) ?kept ?(prelude = []) t =
   Array.iteri
     (fun i { rotation = { Givens.m; n; theta; phi }; _ } ->
        let keep = match kept with Some k -> k.(i) | None -> true in
-       if keep then c := Circuit.add_all !c (block ~m ~n ~theta ~phi)
-       else c := Circuit.add !c (Gate.Phase (m, phi)))
+       if keep then begin
+         Obs.Counter.incr c_bs_emitted;
+         c := Circuit.add_all !c (block ~m ~n ~theta ~phi)
+       end
+       else begin
+         Obs.Counter.incr c_bs_dropped;
+         c := Circuit.add !c (Gate.Phase (m, phi))
+       end)
     t.elements;
   Array.iteri (fun i lam -> c := Circuit.add !c (Gate.Phase (i, Cx.arg lam))) t.lambda;
   !c

@@ -1,6 +1,15 @@
 module Rng = Bose_util.Rng
 module Mat = Bose_linalg.Mat
 module Plan = Bose_decomp.Plan
+module Obs = Bose_obs.Obs
+
+let c_dropped_gates = Obs.Counter.make "dropout.dropped_gates"
+let c_fidelity_evals = Obs.Counter.make "dropout.fidelity_evals"
+let c_masks_sampled = Obs.Counter.make "dropout.masks_sampled"
+let g_theta_cut = Obs.Gauge.make "dropout.theta_cut"
+let g_kept_count = Obs.Gauge.make "dropout.kept_count"
+let g_power = Obs.Gauge.make "dropout.power_k"
+let g_expected_fidelity = Obs.Gauge.make "dropout.expected_fidelity"
 
 type policy = {
   tau : float;
@@ -28,7 +37,10 @@ let find_threshold plan u ~tau =
   let total = Array.length a in
   let sorted = Array.copy a in
   Array.sort compare sorted;
-  let fidelity_dropping d = Plan.fidelity ~kept:(mask_dropping_smallest plan d) plan u in
+  let fidelity_dropping d =
+    Obs.Counter.incr c_fidelity_evals;
+    Plan.fidelity ~kept:(mask_dropping_smallest plan d) plan u
+  in
   (* Largest d with fidelity >= tau; fidelity decreases (approximately)
      monotonically in d, so binary search suffices. *)
   let lo = ref 0 and hi = ref total in
@@ -60,6 +72,7 @@ let average_fidelity rng plan u weights kept_count iterations =
   let acc = ref 0. in
   for _ = 1 to iterations do
     let kept = sample_mask rng weights kept_count in
+    Obs.Counter.incr c_fidelity_evals;
     acc := !acc +. Plan.fidelity ~kept plan u
   done;
   !acc /. float_of_int iterations
@@ -68,35 +81,44 @@ let make_policy ?(powers = [ 1; 2; 5; 10; 20; 50; 100 ]) ?(iterations = 40) rng 
   let theta_cut, kept_count = find_threshold plan u ~tau in
   let angles = Plan.angles plan in
   let total = Array.length angles in
-  if kept_count >= total then
-    (* Nothing can be dropped at this accuracy: degenerate keep-all policy. *)
-    {
-      tau;
-      theta_cut = 0.;
-      kept_count = total;
-      power = 1;
-      weights = Array.make total 1.;
-      expected_fidelity = 1.;
-    }
-  else begin
-    let evaluate power =
-      let weights = make_weights angles theta_cut power in
-      let fid = average_fidelity rng plan u weights kept_count iterations in
-      (power, weights, fid)
-    in
-    let candidates = List.map evaluate powers in
-    let power, weights, expected_fidelity =
-      List.fold_left
-        (fun (bp, bw, bf) (p, w, f) -> if f > bf then (p, w, f) else (bp, bw, bf))
-        (List.hd candidates) (List.tl candidates)
-    in
-    { tau; theta_cut; kept_count; power; weights; expected_fidelity }
-  end
+  let policy =
+    if kept_count >= total then
+      (* Nothing can be dropped at this accuracy: degenerate keep-all policy. *)
+      {
+        tau;
+        theta_cut = 0.;
+        kept_count = total;
+        power = 1;
+        weights = Array.make total 1.;
+        expected_fidelity = 1.;
+      }
+    else begin
+      let evaluate power =
+        let weights = make_weights angles theta_cut power in
+        let fid = average_fidelity rng plan u weights kept_count iterations in
+        (power, weights, fid)
+      in
+      let candidates = List.map evaluate powers in
+      let power, weights, expected_fidelity =
+        List.fold_left
+          (fun (bp, bw, bf) (p, w, f) -> if f > bf then (p, w, f) else (bp, bw, bf))
+          (List.hd candidates) (List.tl candidates)
+      in
+      { tau; theta_cut; kept_count; power; weights; expected_fidelity }
+    end
+  in
+  Obs.Counter.incr c_dropped_gates ~by:(total - policy.kept_count);
+  Obs.Gauge.set g_theta_cut policy.theta_cut;
+  Obs.Gauge.set g_kept_count (float_of_int policy.kept_count);
+  Obs.Gauge.set g_power (float_of_int policy.power);
+  Obs.Gauge.set g_expected_fidelity policy.expected_fidelity;
+  policy
 
 let sample_kept rng policy plan =
   let total = Plan.rotation_count plan in
   if Array.length policy.weights <> total then
     invalid_arg "Dropout.sample_kept: policy does not match plan";
+  Obs.Counter.incr c_masks_sampled;
   sample_mask rng policy.weights policy.kept_count
 
 let hard_kept policy plan =

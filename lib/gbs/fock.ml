@@ -3,7 +3,11 @@ module Mat = Bose_linalg.Mat
 module Linsolve = Bose_linalg.Linsolve
 module Combin = Bose_util.Combin
 module Dist = Bose_util.Dist
+module Obs = Bose_obs.Obs
 open Cx
+
+let c_probability = Obs.Counter.make "gbs.fock_probability_calls"
+let g_max_fock_dim = Obs.Gauge.make "gbs.max_fock_dim"
 
 type prepared = {
   n : int;
@@ -81,7 +85,9 @@ let vacuum_probability p = p.p0
 let probability p pattern =
   if Array.length pattern <> p.n then invalid_arg "Fock.probability: pattern length mismatch";
   Array.iter (fun c -> if c < 0 then invalid_arg "Fock.probability: negative photon count") pattern;
+  Obs.Counter.incr c_probability;
   let total = Array.fold_left ( + ) 0 pattern in
+  Obs.Gauge.observe_max g_max_fock_dim (float_of_int (2 * total));
   if total = 0 then p.p0
   else begin
     (* Index list: mode k repeated n_k times in the â block, then the

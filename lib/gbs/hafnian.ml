@@ -1,6 +1,11 @@
 module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
+module Obs = Bose_obs.Obs
 open Cx
+
+let c_hafnian = Obs.Counter.make "gbs.hafnian_calls"
+let c_loop_hafnian = Obs.Counter.make "gbs.loop_hafnian_calls"
+let g_max_dim = Obs.Gauge.make "gbs.max_hafnian_dim"
 
 let max_indices = 24
 
@@ -11,6 +16,8 @@ let dp ~loops a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
   if n > max_indices then invalid_arg "Hafnian: matrix too large for subset DP";
+  Obs.Counter.incr (if loops then c_loop_hafnian else c_hafnian);
+  Obs.Gauge.observe_max g_max_dim (float_of_int n);
   if (not loops) && n mod 2 = 1 then Cx.zero
   else begin
     let memo = Hashtbl.create 1024 in
@@ -47,6 +54,8 @@ let loop_hafnian a = dp ~loops:true a
 let powertrace a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+  Obs.Counter.incr c_hafnian;
+  Obs.Gauge.observe_max g_max_dim (float_of_int n);
   if n = 0 then Cx.one
   else if n mod 2 = 1 then Cx.zero
   else begin

@@ -1,6 +1,10 @@
 module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
+module Obs = Bose_obs.Obs
 open Cx
+
+let c_permanent = Obs.Counter.make "gbs.permanent_calls"
+let g_max_dim = Obs.Gauge.make "gbs.max_permanent_dim"
 
 (* Ryser with Gray code: perm(A) = (−1)ⁿ Σ_{∅≠S⊆[n]} (−1)^{|S|} Π_i Σ_{j∈S} a_ij.
    The Gray-code walk updates the row sums by a single column per step. *)
@@ -8,6 +12,8 @@ let permanent a =
   let n = Mat.rows a in
   if Mat.cols a <> n then invalid_arg "Permanent: square matrices only";
   if n > 24 then invalid_arg "Permanent: matrix too large";
+  Obs.Counter.incr c_permanent;
+  Obs.Gauge.observe_max g_max_dim (float_of_int n);
   if n = 0 then Cx.one
   else begin
     let sums = Array.make n Cx.zero in

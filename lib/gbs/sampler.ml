@@ -1,5 +1,9 @@
 module Rng = Bose_util.Rng
 module Dist = Bose_util.Dist
+module Obs = Bose_obs.Obs
+
+let c_draws = Obs.Counter.make "gbs.sampler_draws"
+let c_chain_rule_draws = Obs.Counter.make "gbs.chain_rule_draws"
 
 type t = { dist : int list Dist.t; tail_mass : float }
 
@@ -9,7 +13,9 @@ let of_state ~max_photons state =
 
 let tail_mass t = t.tail_mass
 
-let draw rng t = Dist.sample rng t.dist
+let draw rng t =
+  Obs.Counter.incr c_draws;
+  Dist.sample rng t.dist
 
 let draw_many rng t shots = List.init shots (fun _ -> draw rng t)
 
@@ -18,6 +24,7 @@ let empirical rng t shots = Dist.of_samples (draw_many rng t shots)
 let exact t = t.dist
 
 let chain_rule ?(max_per_mode = 6) rng state =
+  Obs.Counter.incr c_chain_rule_draws;
   let n = Gaussian.modes state in
   (* Preprocess every prefix marginal once. *)
   let prepared =

@@ -4,6 +4,16 @@ module Perm = Bose_linalg.Perm
 module Pattern = Bose_hardware.Pattern
 module Plan = Bose_decomp.Plan
 module Eliminate = Bose_decomp.Eliminate
+module Obs = Bose_obs.Obs
+
+let c_candidate_ks = Obs.Counter.make "map.candidate_ks"
+let c_search_sweeps = Obs.Counter.make "map.search_sweeps"
+let c_column_swaps = Obs.Counter.make "map.column_swaps"
+let c_polish_trials = Obs.Counter.make "map.polish_trials"
+let c_polish_accepted = Obs.Counter.make "map.polish_accepted"
+let g_indicator_k = Obs.Gauge.make "map.indicator_k"
+let g_small_angles = Obs.Gauge.make "map.small_angles"
+let g_amplitude_gain = Obs.Gauge.make "map.amplitude_gain"
 
 type t = {
   permuted : Mat.t;
@@ -82,11 +92,13 @@ let column_search ~k u main_cols =
         List.fold_left (fun acc j -> acc +. Cx.abs2 (Mat.get w i j)) 0. main_cols)
   in
   let current = ref (kth_largest k alpha) in
+  let initial_mass = !current in
   let improved = ref true in
   let sweeps = ref 0 in
   while !improved && !sweeps < 5 do
     improved := false;
     incr sweeps;
+    Obs.Counter.incr c_search_sweeps;
     List.iter
       (fun a ->
          List.iter
@@ -101,11 +113,16 @@ let column_search ~k u main_cols =
                 Array.blit trial 0 alpha 0 n;
                 col_perm := Perm.compose (Perm.swap n a b) !col_perm;
                 current := candidate;
-                improved := true
+                improved := true;
+                Obs.Counter.incr c_column_swaps
               end)
            branch_cols)
       main_cols
   done;
+  (* §V-C objective: how much main-path K-th row mass the exchange
+     search accumulated, relative to the unpermuted unitary. *)
+  if initial_mass > 0. then
+    Obs.Gauge.observe_max g_amplitude_gain (!current /. initial_mass);
   (w, !col_perm, alpha)
 
 (* Assign the heaviest non-main columns to branch regions closest to the
@@ -149,6 +166,7 @@ let row_sort w main_cols =
   Perm.of_array p
 
 let run_for_k ~theta_threshold pattern u k =
+  Obs.Counter.incr c_candidate_ks;
   let regions = Pattern.branch_regions pattern in
   let main_cols = List.hd regions in
   let w1, cp1, alpha = column_search ~k u main_cols in
@@ -177,9 +195,14 @@ let optimize ?(theta_threshold = 0.1) ?candidate_ks pattern u =
            [ n / 4; n / 3; n / 2; 2 * n / 3; max 1 (n / 2) ])
   in
   let results = List.map (run_for_k ~theta_threshold pattern u) candidates in
-  List.fold_left
-    (fun best r -> if r.small_angles > best.small_angles then r else best)
-    (List.hd results) (List.tl results)
+  let best =
+    List.fold_left
+      (fun best r -> if r.small_angles > best.small_angles then r else best)
+      (List.hd results) (List.tl results)
+  in
+  Obs.Gauge.set g_indicator_k (float_of_int best.indicator_k);
+  Obs.Gauge.set g_small_angles (float_of_int best.small_angles);
+  best
 
 (* Rotations droppable within the (1−τ)·N trace budget, counting each
    dropped rotation's exact cost 2(1 − cos θ). *)
@@ -204,12 +227,14 @@ let polish ?(trials = 400) ?(tau = 0.95) ~rng pattern t =
   let score () = droppable_within (Eliminate.decompose pattern w) ~tau in
   let best = ref (score ()) in
   for _ = 1 to trials do
+    Obs.Counter.incr c_polish_trials;
     let a = Bose_util.Rng.int rng n and b = Bose_util.Rng.int rng n in
     if a <> b then begin
       let swap_rows = Bose_util.Rng.bool rng in
       if swap_rows then Mat.swap_rows w a b else Mat.swap_cols w a b;
       let s = score () in
       if s >= !best then begin
+        Obs.Counter.incr c_polish_accepted;
         best := s;
         if swap_rows then row_perm := Perm.compose (Perm.swap n a b) !row_perm
         else col_perm := Perm.compose (Perm.swap n a b) !col_perm
@@ -219,12 +244,14 @@ let polish ?(trials = 400) ?(tau = 0.95) ~rng pattern t =
     end
   done;
   let plan = Eliminate.decompose pattern w in
+  let small = Plan.small_angle_count plan ~threshold:0.1 in
+  Obs.Gauge.set g_small_angles (float_of_int small);
   {
     permuted = w;
     row_perm = !row_perm;
     col_perm = !col_perm;
     indicator_k = t.indicator_k;
-    small_angles = Plan.small_angle_count plan ~threshold:0.1;
+    small_angles = small;
   }
 
 let relabel_output t physical =

@@ -1,0 +1,627 @@
+(* Global registry of named metrics. Everything is single-domain
+   mutable state: the compiler pipeline is sequential, and the
+   enabled check keeps the disabled cost to one load + branch. *)
+
+let enabled_flag = ref false
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+let enabled () = !enabled_flag
+
+(* Sys.time is process CPU time: monotone non-decreasing, available
+   without unix. Binaries that link unix install gettimeofday. *)
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+let on_span_close :
+  (name:string -> depth:int -> elapsed_s:float -> unit) option ref =
+  ref None
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; v = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  let incr ?(by = 1) c = if !enabled_flag then c.v <- c.v + by
+  let value c = c.v
+end
+
+module Gauge = struct
+  type t = { name : string; mutable v : float; mutable touched : bool }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some g -> g
+    | None ->
+      let g = { name; v = 0.; touched = false } in
+      Hashtbl.add registry name g;
+      g
+
+  let set g x =
+    if !enabled_flag then begin
+      g.v <- x;
+      g.touched <- true
+    end
+
+  let observe_max g x =
+    if !enabled_flag then begin
+      if (not g.touched) || x > g.v then g.v <- x;
+      g.touched <- true
+    end
+
+  let value g = if g.touched then Some g.v else None
+end
+
+module Histo = struct
+  type t = {
+    name : string;
+    bounds : float array;
+    counts : int array;  (* length bounds + 1, last = overflow *)
+    mutable sum : float;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name ~bounds =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      if Array.length bounds = 0 then invalid_arg "Obs.Histo.make: empty bounds";
+      Array.iteri
+        (fun i b ->
+           if i > 0 && bounds.(i - 1) >= b then
+             invalid_arg "Obs.Histo.make: bounds must be strictly increasing")
+        bounds;
+      let h =
+        { name; bounds = Array.copy bounds;
+          counts = Array.make (Array.length bounds + 1) 0; sum = 0. }
+      in
+      Hashtbl.add registry name h;
+      h
+
+  let bucket h v =
+    let n = Array.length h.bounds in
+    let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
+    find 0
+
+  let observe h v =
+    if !enabled_flag then begin
+      let b = bucket h v in
+      h.counts.(b) <- h.counts.(b) + 1;
+      h.sum <- h.sum +. v
+    end
+
+  let total h = Array.fold_left ( + ) 0 h.counts
+end
+
+module Span = struct
+  type entry = {
+    name : string;
+    mutable count : int;
+    mutable total_s : float;
+    mutable max_s : float;
+    depth : int;  (* depth at first open *)
+  }
+
+  let registry : (string, entry) Hashtbl.t = Hashtbl.create 32
+  let depth_now = ref 0
+
+  let entry_for name depth =
+    match Hashtbl.find_opt registry name with
+    | Some e -> e
+    | None ->
+      let e = { name; count = 0; total_s = 0.; max_s = 0.; depth } in
+      Hashtbl.add registry name e;
+      e
+
+  let close name d t0 =
+    let dt = !clock () -. t0 in
+    decr depth_now;
+    let e = entry_for name d in
+    e.count <- e.count + 1;
+    e.total_s <- e.total_s +. dt;
+    if dt > e.max_s then e.max_s <- dt;
+    match !on_span_close with
+    | Some hook -> hook ~name ~depth:d ~elapsed_s:dt
+    | None -> ()
+
+  let with_ name f =
+    if not !enabled_flag then f ()
+    else begin
+      let d = !depth_now in
+      incr depth_now;
+      let t0 = !clock () in
+      match f () with
+      | v -> close name d t0; v
+      | exception e -> close name d t0; raise e
+    end
+end
+
+let reset () =
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
+  Hashtbl.iter
+    (fun _ (g : Gauge.t) ->
+       g.Gauge.v <- 0.;
+       g.Gauge.touched <- false)
+    Gauge.registry;
+  Hashtbl.iter
+    (fun _ (h : Histo.t) ->
+       Array.fill h.Histo.counts 0 (Array.length h.Histo.counts) 0;
+       h.Histo.sum <- 0.)
+    Histo.registry;
+  Hashtbl.iter
+    (fun _ (e : Span.entry) ->
+       e.Span.count <- 0;
+       e.Span.total_s <- 0.;
+       e.Span.max_s <- 0.)
+    Span.registry;
+  Span.depth_now := 0
+
+(* --- Minimal JSON (exactly the subset the report schema needs) ----- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+         match c with
+         | '"' -> Buffer.add_string buf "\\\""
+         | '\\' -> Buffer.add_string buf "\\\\"
+         | '\n' -> Buffer.add_string buf "\\n"
+         | '\r' -> Buffer.add_string buf "\\r"
+         | '\t' -> Buffer.add_string buf "\\t"
+         | c when Char.code c < 0x20 ->
+           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char buf c)
+      s
+
+  (* Shortest decimal that parses back to the same float, so the
+     to_json/of_json round-trip is exact. *)
+  let float_repr x =
+    if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else begin
+      let s15 = Printf.sprintf "%.15g" x in
+      if float_of_string s15 = x then s15 else Printf.sprintf "%.17g" x
+    end
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x ->
+      if Float.is_nan x || Float.abs x = infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr x)
+    | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+           if i > 0 then Buffer.add_char buf ',';
+           emit buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+           if i > 0 then Buffer.add_char buf ',';
+           Buffer.add_char buf '"';
+           escape buf k;
+           Buffer.add_string buf "\":";
+           emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    emit buf t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex)
+               with Failure _ -> fail "bad \\u escape"
+             in
+             (* Report names are ASCII; decode BMP codepoints as UTF-8. *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+           | _ -> fail "bad escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some x -> x
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member name = function
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
+end
+
+module Report = struct
+  type span = {
+    name : string;
+    count : int;
+    total_s : float;
+    max_s : float;
+    depth : int;
+  }
+
+  type histogram = {
+    name : string;
+    bounds : float array;
+    counts : int array;
+    sum : float;
+  }
+
+  type t = {
+    spans : span list;
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : histogram list;
+  }
+
+  let by_name f a b = compare (f a) (f b)
+
+  let capture () =
+    let spans =
+      Hashtbl.fold
+        (fun _ (e : Span.entry) acc ->
+           if e.Span.count = 0 then acc
+           else
+             { name = e.Span.name; count = e.Span.count;
+               total_s = e.Span.total_s; max_s = e.Span.max_s;
+               depth = e.Span.depth }
+             :: acc)
+        Span.registry []
+      |> List.sort (by_name (fun (s : span) -> s.name))
+    in
+    let counters =
+      Hashtbl.fold
+        (fun name (c : Counter.t) acc -> (name, c.Counter.v) :: acc)
+        Counter.registry []
+      |> List.sort (by_name fst)
+    in
+    let gauges =
+      Hashtbl.fold
+        (fun name (g : Gauge.t) acc ->
+           if g.Gauge.touched then (name, g.Gauge.v) :: acc else acc)
+        Gauge.registry []
+      |> List.sort (by_name fst)
+    in
+    let histograms =
+      Hashtbl.fold
+        (fun name (h : Histo.t) acc ->
+           if Histo.total h = 0 then acc
+           else
+             { name; bounds = Array.copy h.Histo.bounds;
+               counts = Array.copy h.Histo.counts; sum = h.Histo.sum }
+             :: acc)
+        Histo.registry []
+      |> List.sort (by_name (fun (h : histogram) -> h.name))
+    in
+    { spans; counters; gauges; histograms }
+
+  let is_empty t =
+    t.spans = []
+    && t.gauges = []
+    && t.histograms = []
+    && List.for_all (fun (_, v) -> v = 0) t.counters
+
+  let span t name = List.find_opt (fun (s : span) -> s.name = name) t.spans
+  let counter t name = List.assoc_opt name t.counters
+  let gauge t name = List.assoc_opt name t.gauges
+
+  let pp fmt t =
+    let open Format in
+    fprintf fmt "@[<v>";
+    if t.spans <> [] then begin
+      fprintf fmt "spans (calls, total s, max s):@,";
+      List.iter
+        (fun s ->
+           fprintf fmt "  %s%-*s %6d  %9.4f  %9.4f@,"
+             (String.make (2 * s.depth) ' ')
+             (max 1 (30 - (2 * s.depth)))
+             s.name s.count s.total_s s.max_s)
+        t.spans
+    end;
+    if t.counters <> [] then begin
+      fprintf fmt "counters:@,";
+      List.iter (fun (n, v) -> fprintf fmt "  %-32s %10d@," n v) t.counters
+    end;
+    if t.gauges <> [] then begin
+      fprintf fmt "gauges:@,";
+      List.iter (fun (n, v) -> fprintf fmt "  %-32s %10g@," n v) t.gauges
+    end;
+    if t.histograms <> [] then begin
+      fprintf fmt "histograms:@,";
+      List.iter
+        (fun h ->
+           fprintf fmt "  %s (n=%d, sum=%g):@," h.name
+             (Array.fold_left ( + ) 0 h.counts)
+             h.sum;
+           Array.iteri
+             (fun i c ->
+                if i < Array.length h.bounds then
+                  fprintf fmt "    <= %-10g %8d@," h.bounds.(i) c
+                else fprintf fmt "    >  %-10g %8d@," h.bounds.(i - 1) c)
+             h.counts)
+        t.histograms
+    end;
+    if is_empty t then fprintf fmt "(no telemetry recorded)@,";
+    fprintf fmt "@]"
+
+  let json_of t =
+    let open Json in
+    Obj
+      [
+        ("version", Num 1.);
+        ( "spans",
+          Arr
+            (List.map
+               (fun (s : span) ->
+                  Obj
+                    [
+                      ("name", Str s.name);
+                      ("count", Num (float_of_int s.count));
+                      ("total_s", Num s.total_s);
+                      ("max_s", Num s.max_s);
+                      ("depth", Num (float_of_int s.depth));
+                    ])
+               t.spans) );
+        ( "counters",
+          Arr
+            (List.map
+               (fun (n, v) ->
+                  Obj [ ("name", Str n); ("value", Num (float_of_int v)) ])
+               t.counters) );
+        ( "gauges",
+          Arr
+            (List.map
+               (fun (n, v) -> Obj [ ("name", Str n); ("value", Num v) ])
+               t.gauges) );
+        ( "histograms",
+          Arr
+            (List.map
+               (fun h ->
+                  Obj
+                    [
+                      ("name", Str h.name);
+                      ( "bounds",
+                        Arr (Array.to_list (Array.map (fun b -> Num b) h.bounds)) );
+                      ( "counts",
+                        Arr
+                          (Array.to_list
+                             (Array.map (fun c -> Num (float_of_int c)) h.counts)) );
+                      ("sum", Num h.sum);
+                    ])
+               t.histograms) );
+      ]
+
+  let to_json t = Json.to_string (json_of t)
+
+  let of_json text =
+    let open Json in
+    let fail msg = Error ("Obs.Report.of_json: " ^ msg) in
+    let ( let* ) r f = Result.bind r f in
+    let str = function Str s -> Ok s | _ -> fail "expected string" in
+    let num = function Num x -> Ok x | _ -> fail "expected number" in
+    let int v =
+      let* x = num v in
+      if Float.is_integer x then Ok (int_of_float x) else fail "expected integer"
+    in
+    let field name v =
+      match member name v with
+      | Some x -> Ok x
+      | None -> fail (Printf.sprintf "missing field %S" name)
+    in
+    let arr f v =
+      match v with
+      | Arr xs ->
+        List.fold_left
+          (fun acc x ->
+             let* acc = acc in
+             let* x = f x in
+             Ok (x :: acc))
+          (Ok []) xs
+        |> Result.map List.rev
+      | _ -> fail "expected array"
+    in
+    match Json.parse text with
+    | exception Json.Parse_error msg -> fail msg
+    | root ->
+      let* version = Result.bind (field "version" root) int in
+      if version <> 1 then fail (Printf.sprintf "unsupported version %d" version)
+      else
+        let* spans =
+          Result.bind (field "spans" root)
+            (arr (fun v ->
+                 let* name = Result.bind (field "name" v) str in
+                 let* count = Result.bind (field "count" v) int in
+                 let* total_s = Result.bind (field "total_s" v) num in
+                 let* max_s = Result.bind (field "max_s" v) num in
+                 let* depth = Result.bind (field "depth" v) int in
+                 Ok { name; count; total_s; max_s; depth }))
+        in
+        let* counters =
+          Result.bind (field "counters" root)
+            (arr (fun v ->
+                 let* name = Result.bind (field "name" v) str in
+                 let* value = Result.bind (field "value" v) int in
+                 Ok (name, value)))
+        in
+        let* gauges =
+          Result.bind (field "gauges" root)
+            (arr (fun v ->
+                 let* name = Result.bind (field "name" v) str in
+                 let* value = Result.bind (field "value" v) num in
+                 Ok (name, value)))
+        in
+        let* histograms =
+          Result.bind (field "histograms" root)
+            (arr (fun v ->
+                 let* name = Result.bind (field "name" v) str in
+                 let* bounds = Result.bind (field "bounds" v) (arr num) in
+                 let* counts = Result.bind (field "counts" v) (arr int) in
+                 let* sum = Result.bind (field "sum" v) num in
+                 if List.length counts <> List.length bounds + 1 then
+                   fail "histogram counts/bounds length mismatch"
+                 else
+                   Ok
+                     { name; bounds = Array.of_list bounds;
+                       counts = Array.of_list counts; sum }))
+        in
+        Ok { spans; counters; gauges; histograms }
+
+  let write_file path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+         output_string oc (to_json t);
+         output_char oc '\n')
+end
