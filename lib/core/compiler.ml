@@ -14,6 +14,10 @@ let c_compiles = Obs.Counter.make "compile.runs"
 let g_modes = Obs.Gauge.make "compile.modes"
 let g_plan_rotations = Obs.Gauge.make "compile.plan_rotations"
 let g_predicted_fidelity = Obs.Gauge.make "compile.predicted_fidelity"
+let g_bytes_allocated = Obs.Gauge.make "compile.bytes_allocated"
+let g_mats_allocated = Obs.Gauge.make "compile.mats_allocated"
+let g_ws_hits = Obs.Gauge.make "compile.ws_hits"
+let g_ws_misses = Obs.Gauge.make "compile.ws_misses"
 
 type effort = Fast | Standard
 
@@ -50,31 +54,39 @@ let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
   let n = Mat.rows u in
   Obs.Counter.incr c_compiles;
   Obs.Gauge.observe_max g_modes (float_of_int n);
+  (* One workspace per compile: mapping's candidate/polish eliminations
+     share slot 0, dropout's fidelity replays slot 1. Allocation gauges
+     make workspace regressions visible in BENCH_TELEMETRY.json. *)
+  let ws = Mat.workspace () in
+  let bytes0 = Gc.allocated_bytes () in
+  let mats0 = Mat.allocations () in
   let t0 = Sys.time () in
   let mapping =
     Obs.Span.with_ "compile.map" (fun () ->
         if Config.uses_mapping config then begin
           let first =
-            Mapping.optimize ?candidate_ks:(mapping_candidates effort n) pattern u
+            Mapping.optimize ~ws ?candidate_ks:(mapping_candidates effort n) pattern u
           in
           let trials = polish_trials effort n in
           if trials > 0 then
             Obs.Span.with_ "compile.map.polish" (fun () ->
-                Mapping.polish ~trials ~tau ~rng pattern first)
+                Mapping.polish ~ws ~trials ~tau ~rng pattern first)
           else first
         end
         else Mapping.trivial u)
   in
   let plan =
     Obs.Span.with_ "compile.decompose" (fun () ->
-        Eliminate.decompose pattern mapping.Mapping.permuted)
+        Eliminate.decompose ~ws pattern mapping.Mapping.permuted)
   in
   let t1 = Sys.time () in
   let policy =
     Obs.Span.with_ "compile.dropout" (fun () ->
         if Config.uses_dropout config then begin
           let powers, iterations = dropout_knobs effort n in
-          Some (Dropout.make_policy ~powers ~iterations rng plan mapping.Mapping.permuted ~tau)
+          Some
+            (Dropout.make_policy ~ws ~powers ~iterations rng plan mapping.Mapping.permuted
+               ~tau)
         end
         else None)
   in
@@ -82,6 +94,10 @@ let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
   Obs.Gauge.set g_plan_rotations (float_of_int (Plan.rotation_count plan));
   Obs.Gauge.set g_predicted_fidelity
     (match policy with None -> 1. | Some p -> p.Dropout.expected_fidelity);
+  Obs.Gauge.set g_bytes_allocated (Gc.allocated_bytes () -. bytes0);
+  Obs.Gauge.set g_mats_allocated (float_of_int (Mat.allocations () - mats0));
+  Obs.Gauge.set g_ws_hits (float_of_int (Mat.workspace_hits ws));
+  Obs.Gauge.set g_ws_misses (float_of_int (Mat.workspace_misses ws));
   {
     config;
     tau;
@@ -135,9 +151,10 @@ let shot_circuit ?prelude rng t =
 
 let approx_unitary ?kept t =
   let u_app = Plan.reconstruct ?kept t.plan in
-  Perm.permute_rows
-    (Perm.inverse t.mapping.Mapping.row_perm)
-    (Perm.permute_cols (Perm.inverse t.mapping.Mapping.col_perm) u_app)
+  (* u_app is fresh, so the two relabelings are applied in place. *)
+  Perm.permute_cols_inplace (Perm.inverse t.mapping.Mapping.col_perm) u_app;
+  Perm.permute_rows_inplace (Perm.inverse t.mapping.Mapping.row_perm) u_app;
+  u_app
 
 let predicted_fidelity t =
   match t.policy with None -> 1. | Some p -> p.Dropout.expected_fidelity

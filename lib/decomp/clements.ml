@@ -16,27 +16,40 @@ type t = {
    cleared with column rotations from the right, even k with row
    rotations from the left — the zero pattern is preserved exactly as
    in Clements et al. *)
-let decompose u =
+let decompose ?ws u =
   let n = Mat.rows u in
   if Mat.cols u <> n then invalid_arg "Clements.decompose: square matrices only";
-  let work = Mat.copy u in
+  let work =
+    match ws with
+    | None -> Mat.copy u
+    | Some ws ->
+      let w = Mat.scratch ~slot:0 ws n n in
+      Mat.blit u w;
+      w
+  in
   let left = ref [] and right = ref [] in
   for k = 1 to n - 1 do
     (* Odd diagonals are cleared corner-first (j ascending) so earlier
        zeros in the two touched columns are already in place; even
        diagonals are cleared top-first (j descending) for the same
        reason on the two touched rows. *)
-    let js = List.init k (fun j -> if k mod 2 = 1 then j else k - 1 - j) in
-    List.iter
-      (fun j ->
-         let row = n - 1 - j and col = k - 1 - j in
-         if k mod 2 = 1 then
-           (* Zero work(row, col) against column col+1 from the right. *)
-           right := Givens.eliminate work ~row ~m:col ~n:(col + 1) :: !right
-         else
-           (* Zero work(row, col) against row row-1 from the left. *)
-           left := Givens.eliminate_left work ~col ~m:row ~n:(row - 1) :: !left)
-      js
+    for idx = 0 to k - 1 do
+      let j = if k mod 2 = 1 then idx else k - 1 - idx in
+      let row = n - 1 - j and col = k - 1 - j in
+      (* Entry (r, c) of the lower triangle is cleared in sweep
+         n − r + c, so when (row, col) is up, everything below it in
+         columns col/col+1 and left of it in rows row/row−1 belongs to
+         an earlier sweep (or an earlier step of this one) and is
+         already zero — the rotations need not touch those entries. *)
+      if k mod 2 = 1 then
+        (* Zero work(row, col) against column col+1 from the right. *)
+        right :=
+          Givens.eliminate ~nrows:(row + 1) work ~row ~m:col ~n:(col + 1) :: !right
+      else
+        (* Zero work(row, col) against row row-1 from the left. *)
+        left :=
+          Givens.eliminate_left ~first:col work ~col ~m:row ~n:(row - 1) :: !left
+    done
   done;
   let lambda =
     Array.init n (fun i ->
@@ -61,20 +74,26 @@ let rotation_count t = List.length t.left + List.length t.right
 
 let angles t =
   Array.of_list
-    (List.map (fun r -> Float.abs r.Givens.theta) (t.left @ t.right))
+    (List.map (fun r -> Float.abs (Givens.theta r)) (t.left @ t.right))
 
 let to_circuit ?(prelude = []) t =
   let c = ref (Circuit.add_all (Circuit.create ~modes:t.modes) prelude) in
   (* U = A·D·B with B = R_p⋯R_1 applied first: light passes the right
      group in list order R_1 … R_p. *)
   List.iter
-    (fun { Givens.m; n; theta; phi } -> c := Circuit.add_all !c (Gate.mzi ~m ~n ~theta ~phi))
+    (fun r ->
+       c :=
+         Circuit.add_all !c
+           (Gate.mzi ~m:r.Givens.m ~n:r.Givens.n ~theta:(Givens.theta r) ~phi:(Givens.phi r)))
     t.right;
   Array.iteri (fun i lam -> c := Circuit.add !c (Gate.Phase (i, Cx.arg lam))) t.lambda;
   (* Then A = L_1†⋯L_q†: passing through L_q† first. Each T† is the
      reversed MZI: BS(−θ, 0) then R(−φ). *)
   List.iter
-    (fun { Givens.m; n; theta; phi } ->
-       c := Circuit.add_all !c [ Gate.Beamsplitter (m, n, -.theta, 0.); Gate.Phase (m, -.phi) ])
+    (fun r ->
+       c :=
+         Circuit.add_all !c
+           [ Gate.Beamsplitter (r.Givens.m, r.Givens.n, -.(Givens.theta r), 0.);
+             Gate.Phase (r.Givens.m, -.(Givens.phi r)) ])
     (List.rev t.left);
   !c

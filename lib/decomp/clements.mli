@@ -17,8 +17,10 @@ type t = {
   lambda : Bose_linalg.Cx.t array;  (** Diagonal of D, unit modulus. *)
 }
 
-val decompose : Bose_linalg.Mat.t -> t
-(** @raise Invalid_argument on non-square or non-unitary input. *)
+val decompose : ?ws:Bose_linalg.Mat.workspace -> Bose_linalg.Mat.t -> t
+(** @raise Invalid_argument on non-square or non-unitary input. Passing
+    [?ws] reuses the workspace's slot-0 scratch as the elimination work
+    matrix instead of allocating a fresh copy of the input. *)
 
 val reconstruct : t -> Bose_linalg.Mat.t
 (** Replays [L_1†⋯L_q†·D·R_p⋯R_1]; equals the input to machine

@@ -12,11 +12,23 @@ let h_angles =
   Obs.Histo.make "decomp.rotation_angles"
     ~bounds:[| 1e-4; 1e-3; 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 |]
 
-let run pattern u =
+(* The work matrix comes from the workspace when one is supplied (slot 0
+   by convention, see docs/ARCHITECTURE.md); callers that pass [?ws] get
+   an allocation-free decomposition loop. *)
+let work_copy ?ws u =
+  let n = Mat.rows u in
+  match ws with
+  | None -> Mat.copy u
+  | Some ws ->
+    let w = Mat.scratch ~slot:0 ws n n in
+    Mat.blit u w;
+    w
+
+let run ?ws pattern u =
   let n = Pattern.size pattern in
   if Mat.rows u <> n || Mat.cols u <> n then
     invalid_arg "Eliminate.decompose: unitary size does not match pattern";
-  let work = Mat.copy u in
+  let work = work_copy ?ws u in
   let elements = ref [] in
   List.iter
     (fun (row, pairs) ->
@@ -29,13 +41,13 @@ let run pattern u =
     (Pattern.full_schedule pattern);
   (work, Array.of_list (List.rev !elements))
 
-let decompose pattern u =
-  let work, elements = run pattern u in
+let decompose ?ws pattern u =
+  let work, elements = run ?ws pattern u in
   Obs.Counter.incr c_decompositions;
   Obs.Counter.incr c_beamsplitters ~by:(Array.length elements);
   if Obs.enabled () then
     Array.iter
-      (fun e -> Obs.Histo.observe h_angles (Float.abs e.Plan.rotation.Givens.theta))
+      (fun e -> Obs.Histo.observe h_angles (Float.abs (Givens.theta e.Plan.rotation)))
       elements;
   let n = Pattern.size pattern in
   let lambda =
@@ -50,10 +62,10 @@ let decompose pattern u =
   in
   { Plan.modes = n; elements; lambda }
 
-let decompose_baseline u = decompose (Pattern.chain (Mat.rows u)) u
+let decompose_baseline ?ws u = decompose ?ws (Pattern.chain (Mat.rows u)) u
 
-let residual_off_diagonal u pattern =
-  let work, _ = run pattern u in
+let residual_off_diagonal ?ws u pattern =
+  let work, _ = run ?ws pattern u in
   let n = Mat.rows work in
   let worst = ref 0. in
   for i = 0 to n - 1 do

@@ -5,16 +5,20 @@
     k-1 against the pattern's stage root and removes that root; the
     rotations produced are exactly the T_{m,n}(θ, φ) of Eq. (1). *)
 
-val decompose : Bose_hardware.Pattern.t -> Bose_linalg.Mat.t -> Plan.t
+val decompose :
+  ?ws:Bose_linalg.Mat.workspace -> Bose_hardware.Pattern.t -> Bose_linalg.Mat.t -> Plan.t
 (** [decompose pattern u] — [u] must be N×N unitary with
     N = pattern size. The returned plan satisfies
-    [Plan.reconstruct plan ≈ u] to machine precision.
+    [Plan.reconstruct plan ≈ u] to machine precision. Passing [?ws]
+    reuses the workspace's slot-0 scratch as the elimination work matrix
+    instead of allocating a fresh copy of [u].
     @raise Invalid_argument on a size mismatch or non-square input. *)
 
-val decompose_baseline : Bose_linalg.Mat.t -> Plan.t
+val decompose_baseline : ?ws:Bose_linalg.Mat.workspace -> Bose_linalg.Mat.t -> Plan.t
 (** Chain-pattern decomposition (Reck-style, the paper's baseline),
     ignoring hardware structure. *)
 
-val residual_off_diagonal : Bose_linalg.Mat.t -> Bose_hardware.Pattern.t -> float
+val residual_off_diagonal :
+  ?ws:Bose_linalg.Mat.workspace -> Bose_linalg.Mat.t -> Bose_hardware.Pattern.t -> float
 (** Largest off-diagonal modulus left after running the elimination on a
     copy — a diagnostic that a pattern drives the matrix to Λ. *)

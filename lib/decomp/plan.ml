@@ -14,32 +14,47 @@ type t = { modes : int; elements : element array; lambda : Cx.t array }
 
 let rotation_count t = Array.length t.elements
 
-let angles t = Array.map (fun e -> Float.abs e.rotation.Givens.theta) t.elements
+let angles t = Array.map (fun e -> Float.abs (Givens.theta e.rotation)) t.elements
 
 let small_angle_count t ~threshold =
   let a = angles t in
   Array.fold_left (fun acc x -> if x < threshold then acc + 1 else acc) 0 a
 
-let reconstruct ?kept t =
+(* Replay Λ·T_K⋯T_1 into [dst], which must be modes×modes. Shared by
+   the allocating [reconstruct] and the workspace-backed [fidelity]. *)
+let reconstruct_into ?kept ~dst t =
   (match kept with
    | Some k when Array.length k <> Array.length t.elements ->
      invalid_arg "Plan.reconstruct: kept length mismatch"
    | Some _ | None -> ());
-  let u = Mat.create t.modes t.modes in
-  Array.iteri (fun i lam -> Mat.set u i i lam) t.lambda;
+  Mat.fill_zero dst;
+  Array.iteri (fun i lam -> Mat.set dst i i lam) t.lambda;
   (* U = Λ·T_K⋯T_1: right-multiply by T_K first, down to T_1. *)
   for i = Array.length t.elements - 1 downto 0 do
     let r = t.elements.(i).rotation in
     let r =
       match kept with
-      | Some k when not k.(i) -> { r with Givens.theta = 0. }
+      | Some k when not k.(i) -> Givens.drop_mixing r
       | Some _ | None -> r
     in
-    Givens.apply_t_right u r
-  done;
+    Givens.apply_t_right dst r
+  done
+
+let reconstruct ?kept t =
+  let u = Mat.create t.modes t.modes in
+  reconstruct_into ?kept ~dst:u t;
   u
 
-let fidelity ?kept t u = Mat.unitary_fidelity (reconstruct ?kept t) u
+(* With [?ws], the replay target is the workspace's slot-1 scratch (slot
+   0 belongs to the elimination engines), so the dropout search's many
+   fidelity probes allocate no matrices after the first. *)
+let fidelity ?ws ?kept t u =
+  match ws with
+  | None -> Mat.unitary_fidelity (reconstruct ?kept t) u
+  | Some ws ->
+    let dst = Mat.scratch ~slot:1 ws t.modes t.modes in
+    reconstruct_into ?kept ~dst t;
+    Mat.unitary_fidelity dst u
 
 type mzi_style = Tunable | Fixed_fifty_fifty
 
@@ -54,15 +69,18 @@ let to_circuit ?(style = Tunable) ?kept ?(prelude = []) t =
   let c = Circuit.add_all (Circuit.create ~modes:t.modes) prelude in
   let c = ref c in
   Array.iteri
-    (fun i { rotation = { Givens.m; n; theta; phi }; _ } ->
+    (fun i { rotation; _ } ->
+       let m = rotation.Givens.m and n = rotation.Givens.n in
        let keep = match kept with Some k -> k.(i) | None -> true in
        if keep then begin
          Obs.Counter.incr c_bs_emitted;
-         c := Circuit.add_all !c (block ~m ~n ~theta ~phi)
+         c :=
+           Circuit.add_all !c
+             (block ~m ~n ~theta:(Givens.theta rotation) ~phi:(Givens.phi rotation))
        end
        else begin
          Obs.Counter.incr c_bs_dropped;
-         c := Circuit.add !c (Gate.Phase (m, phi))
+         c := Circuit.add !c (Gate.Phase (m, Givens.phi rotation))
        end)
     t.elements;
   Array.iteri (fun i lam -> c := Circuit.add !c (Gate.Phase (i, Cx.arg lam))) t.lambda;
@@ -70,14 +88,16 @@ let to_circuit ?(style = Tunable) ?kept ?(prelude = []) t =
 
 (* Line-oriented text serialization:
      plan <modes> <rotations>
-     r <row> <m> <n> <theta> <phi>      (one per rotation, in order)
-     l <re> <im>                        (one per Λ entry)
-   Floats are printed with %h (hex floats) so the roundtrip is exact. *)
+     r <row> <m> <n> <c> <s> <ere> <eim>   (one per rotation, in order)
+     l <re> <im>                           (one per Λ entry)
+   Rotations are stored in their kernel form (cos θ, sin θ, e^{iφ}) —
+   the same four numbers replay consumes — and floats are printed with
+   %h (hex floats) so the roundtrip is bit-exact. *)
 let save oc t =
   Printf.fprintf oc "plan %d %d\n" t.modes (Array.length t.elements);
   Array.iter
-    (fun { rotation = { Givens.m; n; theta; phi }; row } ->
-       Printf.fprintf oc "r %d %d %d %h %h\n" row m n theta phi)
+    (fun { rotation = { Givens.m; n; c; s; ere; eim }; row } ->
+       Printf.fprintf oc "r %d %d %d %h %h %h %h\n" row m n c s ere eim)
     t.elements;
   Array.iter (fun (lam : Cx.t) -> Printf.fprintf oc "l %h %h\n" lam.re lam.im) t.lambda
 
@@ -92,8 +112,9 @@ let load ic =
   let elements =
     Array.init count (fun _ ->
         try
-          Scanf.sscanf (line ()) "r %d %d %d %h %h" (fun row m n theta phi ->
-              { rotation = { Givens.m; n; theta; phi }; row })
+          Scanf.sscanf (line ()) "r %d %d %d %h %h %h %h"
+            (fun row m n c s ere eim ->
+               { rotation = { Givens.m; n; c; s; ere; eim }; row })
         with Scanf.Scan_failure _ | Failure _ -> fail "bad rotation line")
   in
   let lambda =
@@ -106,7 +127,9 @@ let load ic =
 let pp fmt t =
   Format.fprintf fmt "@[<v>plan on %d modes, %d rotations@," t.modes (Array.length t.elements);
   Array.iter
-    (fun { rotation = { Givens.m; n; theta; phi }; row } ->
-       Format.fprintf fmt "  row %d: T(%d,%d) theta=%.4f phi=%.4f@," row m n theta phi)
+    (fun { rotation; row } ->
+       Format.fprintf fmt "  row %d: T(%d,%d) theta=%.4f phi=%.4f@," row
+         rotation.Givens.m rotation.Givens.n (Givens.theta rotation)
+         (Givens.phi rotation))
     t.elements;
   Format.fprintf fmt "@]"

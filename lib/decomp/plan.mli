@@ -34,8 +34,18 @@ val reconstruct : ?kept:bool array -> t -> Bose_linalg.Mat.t
     replayed with θ = 0 (beamsplitter dropped, phase kept), giving the
     approximated unitary U_app of §VI. *)
 
-val fidelity : ?kept:bool array -> t -> Bose_linalg.Mat.t -> float
-(** [fidelity ?kept plan u] = |tr(U_app·U†)|/N against the original. *)
+val reconstruct_into :
+  ?kept:bool array -> dst:Bose_linalg.Mat.t -> t -> unit
+(** {!reconstruct} into a caller-owned [dst] (modes×modes, overwritten)
+    — the allocation-free replay used by workspace-backed callers. *)
+
+val fidelity :
+  ?ws:Bose_linalg.Mat.workspace ->
+  ?kept:bool array -> t -> Bose_linalg.Mat.t -> float
+(** [fidelity ?kept plan u] = |tr(U_app·U†)|/N against the original.
+    With [?ws] the replayed unitary lives in the workspace's slot-1
+    scratch, so repeated calls (the dropout threshold search) allocate
+    no matrices. *)
 
 type mzi_style =
   | Tunable  (** 'MZI 1': R(φ) + tunable BS(θ, 0) — two gates. *)

@@ -31,7 +31,7 @@ let mask_dropping_smallest plan d =
   done;
   kept
 
-let find_threshold plan u ~tau =
+let find_threshold ?ws plan u ~tau =
   if tau <= 0. || tau > 1. then invalid_arg "Dropout.find_threshold: tau out of (0,1]";
   let a = Plan.angles plan in
   let total = Array.length a in
@@ -39,7 +39,7 @@ let find_threshold plan u ~tau =
   Array.sort compare sorted;
   let fidelity_dropping d =
     Obs.Counter.incr c_fidelity_evals;
-    Plan.fidelity ~kept:(mask_dropping_smallest plan d) plan u
+    Plan.fidelity ?ws ~kept:(mask_dropping_smallest plan d) plan u
   in
   (* Largest d with fidelity >= tau; fidelity decreases (approximately)
      monotonically in d, so binary search suffices. *)
@@ -68,17 +68,17 @@ let sample_mask rng weights kept_count =
   List.iter (fun i -> kept.(i) <- true) (Rng.sample_without_replacement rng weights kept_count);
   kept
 
-let average_fidelity rng plan u weights kept_count iterations =
+let average_fidelity ?ws rng plan u weights kept_count iterations =
   let acc = ref 0. in
   for _ = 1 to iterations do
     let kept = sample_mask rng weights kept_count in
     Obs.Counter.incr c_fidelity_evals;
-    acc := !acc +. Plan.fidelity ~kept plan u
+    acc := !acc +. Plan.fidelity ?ws ~kept plan u
   done;
   !acc /. float_of_int iterations
 
-let make_policy ?(powers = [ 1; 2; 5; 10; 20; 50; 100 ]) ?(iterations = 40) rng plan u ~tau =
-  let theta_cut, kept_count = find_threshold plan u ~tau in
+let make_policy ?ws ?(powers = [ 1; 2; 5; 10; 20; 50; 100 ]) ?(iterations = 40) rng plan u ~tau =
+  let theta_cut, kept_count = find_threshold ?ws plan u ~tau in
   let angles = Plan.angles plan in
   let total = Array.length angles in
   let policy =
@@ -95,7 +95,7 @@ let make_policy ?(powers = [ 1; 2; 5; 10; 20; 50; 100 ]) ?(iterations = 40) rng 
     else begin
       let evaluate power =
         let weights = make_weights angles theta_cut power in
-        let fid = average_fidelity rng plan u weights kept_count iterations in
+        let fid = average_fidelity ?ws rng plan u weights kept_count iterations in
         (power, weights, fid)
       in
       let candidates = List.map evaluate powers in

@@ -19,13 +19,15 @@ type policy = {
   expected_fidelity : float;  (** τ_K of the selected K. *)
 }
 
-val find_threshold : Plan.t -> Bose_linalg.Mat.t -> tau:float -> float * int
+val find_threshold :
+  ?ws:Bose_linalg.Mat.workspace -> Plan.t -> Bose_linalg.Mat.t -> tau:float -> float * int
 (** [(theta_cut, kept)] — the largest hard cut whose approximation
     fidelity against the original unitary stays ≥ τ. [theta_cut] is 0
     and [kept] the full count when even one drop violates τ.
     @raise Invalid_argument unless τ ∈ (0, 1]. *)
 
 val make_policy :
+  ?ws:Bose_linalg.Mat.workspace ->
   ?powers:int list ->
   ?iterations:int ->
   Bose_util.Rng.t ->
@@ -35,7 +37,8 @@ val make_policy :
   policy
 (** Full §VI procedure. [powers] defaults to [1; 2; 5; 10; 20; 50; 100];
     [iterations] (the paper's L) defaults to 40 reconstructions per
-    candidate K. *)
+    candidate K. With [?ws] every fidelity probe replays into the
+    workspace's slot-1 scratch instead of allocating a matrix. *)
 
 val sample_kept : Bose_util.Rng.t -> policy -> Plan.t -> bool array
 (** One per-shot selection: a keep-mask with exactly [kept_count]

@@ -17,11 +17,10 @@ let check u ~input ~output =
   if photons > 12 then invalid_arg "Boson_sampling: too many photons";
   photons
 
-(* U_{s,t}: column j repeated s_j times, row i repeated t_i times. *)
+(* U_{s,t}: column j repeated s_j times, row i repeated t_i times — a
+   no-copy view, since the permanent only needs element access. *)
 let submatrix u ~input ~output =
-  let cols = expand input and rows = expand output in
-  Mat.init (Array.length rows) (Array.length cols) (fun i j ->
-      Mat.get u rows.(i) cols.(j))
+  Mat.view u ~rows:(expand output) ~cols:(expand input)
 
 let factorial_product counts =
   Array.fold_left (fun acc c -> acc *. Combin.factorial c) 1. counts
@@ -31,7 +30,7 @@ let probability u ~input ~output =
   if Array.fold_left ( + ) 0 output <> photons then 0.
   else if photons = 0 then 1.
   else begin
-    let perm = Permanent.permanent (submatrix u ~input ~output) in
+    let perm = Permanent.permanent_view (submatrix u ~input ~output) in
     Cx.abs2 perm /. (factorial_product input *. factorial_product output)
   end
 
@@ -64,7 +63,7 @@ let distinguishable_distribution u ~input =
          let p =
            if photons = 0 then 1.
            else begin
-             let perm = Permanent.permanent (submatrix squared ~input ~output) in
+             let perm = Permanent.permanent_view (submatrix squared ~input ~output) in
              perm.Complex.re /. (factorial_product input *. factorial_product output)
            end
          in

@@ -32,7 +32,14 @@ let of_pure psi =
   let rho = Mat.init dim dim (fun i j -> amp.(i) *: Cx.conj amp.(j)) in
   { n = Fock_backend.modes psi; cutoff = Fock_backend.cutoff psi; proto = psi; basis; rho }
 
-let conjugate t u = { t with rho = Mat.mul u (Mat.mul t.rho (Mat.adjoint u)) }
+(* ρ ← U·ρ·U† without materializing U†: ρ·U† is one gemm_adjoint. *)
+let conjugate t u =
+  let dim = dimension t in
+  let tmp = Mat.create dim dim in
+  Mat.gemm_adjoint ~dst:tmp t.rho u;
+  let rho = Mat.create dim dim in
+  Mat.gemm ~dst:rho u tmp;
+  { t with rho }
 
 let apply_gate t gate = conjugate t (Fock_backend.gate_matrix t.proto gate)
 
@@ -45,10 +52,11 @@ let loss t k rate =
   else begin
     let eta = 1. -. rate in
     let dim = dimension t in
-    let acc = Mat.create dim dim in
-    let result = ref acc in
+    let result = Mat.create dim dim in
+    let tmp = Mat.create dim dim in
+    let kraus = Mat.create dim dim in
     for j = 0 to t.cutoff do
-      let kraus = Mat.create dim dim in
+      Mat.fill_zero kraus;
       let nonzero = ref false in
       Array.iteri
         (fun col pattern ->
@@ -71,10 +79,13 @@ let loss t k rate =
              | None -> ()
            end)
         t.basis;
-      if !nonzero then
-        result := Mat.add !result (Mat.mul kraus (Mat.mul t.rho (Mat.adjoint kraus)))
+      (* result += K_j·ρ·K_j†, accumulated in place. *)
+      if !nonzero then begin
+        Mat.gemm_adjoint ~dst:tmp t.rho kraus;
+        Mat.gemm ~acc:true ~dst:result kraus tmp
+      end
     done;
-    { t with rho = !result }
+    { t with rho = result }
   end
 
 let run_circuit ?noise t circuit =
@@ -100,7 +111,7 @@ let probability t pattern =
 
 let trace t = (Mat.trace t.rho).Complex.re
 
-let purity t = (Mat.trace (Mat.mul t.rho t.rho)).Complex.re
+let purity t = (Mat.trace_mul t.rho t.rho).Complex.re
 
 let mean_photons t =
   let acc = ref 0. in

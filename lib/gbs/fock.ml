@@ -94,12 +94,14 @@ let probability p pattern =
        same in the â† block. *)
     let block = Array.concat (Array.to_list (Array.mapi (fun k c -> Array.make c k) pattern)) in
     let indices = Array.append block (Array.map (fun k -> k + p.n) block) in
-    let size = Array.length indices in
-    let sub =
-      Mat.init size size (fun i j ->
-          if i = j then p.gamma.(indices.(i)) else Mat.get p.a indices.(i) indices.(j))
+    (* The reduced kernel A_{s,s} is a no-copy view of A whose diagonal
+       is overridden by the γ slice (γ = 0 when undisplaced). *)
+    let sub = Mat.view p.a ~rows:indices ~cols:indices in
+    let diag = Array.map (fun i -> p.gamma.(i)) indices in
+    let h =
+      if p.displaced then Hafnian.loop_hafnian_view ~diag sub
+      else Hafnian.hafnian_view ~diag sub
     in
-    let h = if p.displaced then Hafnian.loop_hafnian sub else Hafnian.hafnian sub in
     let denom = Array.fold_left (fun acc c -> acc *. Combin.factorial c) 1. pattern in
     let value = p.p0 *. (h.Complex.re /. denom) in
     (* Rounding can leave a tiny negative residue. *)

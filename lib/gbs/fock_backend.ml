@@ -92,7 +92,9 @@ let gate_matrix t gate =
     (* G = θ(e^{iφ}·a_k·a_l† − e^{−iφ}·a_k†·a_l); photon-conserving, so
        exact on the truncated space. *)
     let ak = annihilator t k and al = annihilator t l in
-    let kl = Mat.mul ak (Mat.adjoint al) in
+    (* a_k·a_l† without materializing the adjoint. *)
+    let kl = Mat.create (Mat.rows ak) (Mat.rows al) in
+    Mat.gemm_adjoint ~dst:kl ak al;
     let g =
       Mat.scale (Cx.re theta)
         (Mat.sub (Mat.scale (Cx.exp_i phi) kl) (Mat.scale (Cx.exp_i (-.phi)) (Mat.adjoint kl)))

@@ -4,12 +4,22 @@ module Linsolve = Bose_linalg.Linsolve
 module Gate = Bose_circuit.Gate
 module Noise = Bose_circuit.Noise
 
-type t = { n : int; mean : float array; cov : float array array }
+(* The 2N×2N covariance matrix is stored flat row-major (like
+   Bose_linalg.Mat planes): the symplectic-block updates walk rows
+   contiguously instead of chasing a pointer per row. *)
+type t = { n : int; mean : float array; cov : float array }
+
+let[@inline] cget t i j = t.cov.((i * 2 * t.n) + j)
+let[@inline] cset t i j v = t.cov.((i * 2 * t.n) + j) <- v
 
 let vacuum n =
   if n <= 0 then invalid_arg "Gaussian.vacuum: need at least one qumode";
-  let cov = Array.init (2 * n) (fun i -> Array.init (2 * n) (fun j -> if i = j then 1. else 0.)) in
-  { n; mean = Array.make (2 * n) 0.; cov }
+  let dim = 2 * n in
+  let t = { n; mean = Array.make dim 0.; cov = Array.make (dim * dim) 0. } in
+  for i = 0 to dim - 1 do
+    cset t i i 1.
+  done;
+  t
 
 let thermal n nbar =
   if Array.length nbar <> n then invalid_arg "Gaussian.thermal: length mismatch";
@@ -17,17 +27,20 @@ let thermal n nbar =
   let t = vacuum n in
   for k = 0 to n - 1 do
     let v = (2. *. nbar.(k)) +. 1. in
-    t.cov.(k).(k) <- v;
-    t.cov.(n + k).(n + k) <- v
+    cset t k k v;
+    cset t (n + k) (n + k) v
   done;
   t
 
 let modes t = t.n
 
-let copy t = { n = t.n; mean = Array.copy t.mean; cov = Array.map Array.copy t.cov }
+let copy t = { n = t.n; mean = Array.copy t.mean; cov = Array.copy t.cov }
 
 let mean t = Array.copy t.mean
-let cov t = Array.map Array.copy t.cov
+
+let cov t =
+  let dim = 2 * t.n in
+  Array.init dim (fun i -> Array.init dim (fun j -> cget t i j))
 
 (* V ← S V Sᵀ and r̄ ← S r̄ where S acts as the m×m block [s] on the
    listed quadrature [indices] and as identity elsewhere. *)
@@ -40,12 +53,12 @@ let apply_block t indices s =
     for a = 0 to m - 1 do
       let acc = ref 0. in
       for b = 0 to m - 1 do
-        acc := !acc +. (s.(a).(b) *. t.cov.(indices.(b)).(j))
+        acc := !acc +. (s.(a).(b) *. cget t indices.(b) j)
       done;
       buf.(a) <- !acc
     done;
     for a = 0 to m - 1 do
-      t.cov.(indices.(a)).(j) <- buf.(a)
+      cset t indices.(a) j buf.(a)
     done
   done;
   (* Columns. *)
@@ -53,12 +66,12 @@ let apply_block t indices s =
     for a = 0 to m - 1 do
       let acc = ref 0. in
       for b = 0 to m - 1 do
-        acc := !acc +. (s.(a).(b) *. t.cov.(i).(indices.(b)))
+        acc := !acc +. (s.(a).(b) *. cget t i indices.(b))
       done;
       buf.(a) <- !acc
     done;
     for a = 0 to m - 1 do
-      t.cov.(i).(indices.(a)) <- buf.(a)
+      cset t i indices.(a) buf.(a)
     done
   done;
   (* Mean. *)
@@ -152,10 +165,10 @@ let loss t k rate =
   let dim = 2 * t.n in
   let scale_line idx =
     for j = 0 to dim - 1 do
-      t.cov.(idx).(j) <- t.cov.(idx).(j) *. g;
-      t.cov.(j).(idx) <- t.cov.(j).(idx) *. g
+      cset t idx j (cget t idx j *. g);
+      cset t j idx (cget t j idx *. g)
     done;
-    t.cov.(idx).(idx) <- t.cov.(idx).(idx) +. (1. -. eta);
+    cset t idx idx (cget t idx idx +. (1. -. eta));
     t.mean.(idx) <- t.mean.(idx) *. g
   in
   scale_line k;
@@ -182,15 +195,18 @@ let reduce t modes =
   List.iter (fun m -> check_mode t m "Gaussian.reduce") modes;
   let keep = Array.of_list modes in
   let index i = if i < k then keep.(i) else t.n + keep.(i - k) in
-  {
-    n = k;
-    mean = Array.init (2 * k) (fun i -> t.mean.(index i));
-    cov = Array.init (2 * k) (fun i -> Array.init (2 * k) (fun j -> t.cov.(index i).(index j)));
-  }
+  let r = { n = k; mean = Array.make (2 * k) 0.; cov = Array.make (2 * k * 2 * k) 0. } in
+  for i = 0 to (2 * k) - 1 do
+    r.mean.(i) <- t.mean.(index i);
+    for j = 0 to (2 * k) - 1 do
+      cset r i j (cget t (index i) (index j))
+    done
+  done;
+  r
 
 let mean_photons t k =
   check_mode t k "Gaussian.mean_photons";
-  let vxx = t.cov.(k).(k) and vpp = t.cov.(t.n + k).(t.n + k) in
+  let vxx = cget t k k and vpp = cget t (t.n + k) (t.n + k) in
   let x = t.mean.(k) and p = t.mean.(t.n + k) in
   ((vxx +. vpp -. 2.) /. 4.) +. (((x *. x) +. (p *. p)) /. 4.)
 
@@ -218,8 +234,9 @@ let rmul a b =
 
 let symplectic_eigenvalues t =
   let dim = 2 * t.n in
-  (* V^{1/2} from the (real symmetric) eigendecomposition of V. *)
-  let evals, q = Bose_linalg.Eigen.jacobi t.cov in
+  (* V^{1/2} from the (real symmetric) eigendecomposition of V. Jacobi
+     consumes the boxed representation, so convert at the boundary. *)
+  let evals, q = Bose_linalg.Eigen.jacobi (cov t) in
   let sqrt_evals = Array.map (fun l -> sqrt (Float.max 0. l)) evals in
   let vhalf =
     Array.init dim (fun i ->
@@ -255,7 +272,7 @@ let is_valid ?(tol = 1e-8) t =
   let symmetric = ref true in
   for i = 0 to dim - 1 do
     for j = i + 1 to dim - 1 do
-      if Float.abs (t.cov.(i).(j) -. t.cov.(j).(i)) > tol then symmetric := false
+      if Float.abs (cget t i j -. cget t j i) > tol then symmetric := false
     done
   done;
   !symmetric
@@ -263,7 +280,7 @@ let is_valid ?(tol = 1e-8) t =
 
 let homodyne_sample rng t k =
   check_mode t k "Gaussian.homodyne_sample";
-  t.mean.(k) +. (sqrt (Float.max 0. t.cov.(k).(k)) *. Bose_util.Rng.gaussian rng)
+  t.mean.(k) +. (sqrt (Float.max 0. (cget t k k)) *. Bose_util.Rng.gaussian rng)
 
 let homodyne_condition t k outcome =
   check_mode t k "Gaussian.homodyne_condition";
@@ -272,16 +289,18 @@ let homodyne_condition t k outcome =
   let keep = Array.of_list keep in
   let nk = Array.length keep in
   let index i = if i < nk then keep.(i) else t.n + keep.(i - nk) in
-  let vxx = t.cov.(k).(k) in
+  let vxx = cget t k k in
   if vxx <= 1e-12 then invalid_arg "Gaussian.homodyne_condition: degenerate quadrature";
   (* Gaussian conditioning on x_k = outcome with projector Π = |x⟩⟨x|:
      V' = V_B − C·C ᵀ/V_xx, r̄' = r̄_B + C·(outcome − x̄_k)/V_xx, where
      C = Cov(B, x_k). *)
-  let c = Array.init (2 * nk) (fun i -> t.cov.(index i).(k)) in
-  let cov =
-    Array.init (2 * nk) (fun i ->
-        Array.init (2 * nk) (fun j -> t.cov.(index i).(index j) -. (c.(i) *. c.(j) /. vxx)))
-  in
+  let c = Array.init (2 * nk) (fun i -> cget t (index i) k) in
   let shift = (outcome -. t.mean.(k)) /. vxx in
-  let mean = Array.init (2 * nk) (fun i -> t.mean.(index i) +. (c.(i) *. shift)) in
-  { n = nk; mean; cov }
+  let r = { n = nk; mean = Array.make (2 * nk) 0.; cov = Array.make (2 * nk * 2 * nk) 0. } in
+  for i = 0 to (2 * nk) - 1 do
+    r.mean.(i) <- t.mean.(index i) +. (c.(i) *. shift);
+    for j = 0 to (2 * nk) - 1 do
+      cset r i j (cget t (index i) (index j) -. (c.(i) *. c.(j) /. vxx))
+    done
+  done;
+  r

@@ -9,18 +9,24 @@ let g_max_dim = Obs.Gauge.make "gbs.max_hafnian_dim"
 
 let max_indices = 24
 
+(* One memo table for every DP call, cleared (buckets kept) rather than
+   reallocated: the sampler evaluates thousands of hafnians per
+   distribution and the table was its dominant allocation. [dp] never
+   nests — [go] recurses on masks, not on [dp] — so sharing is safe. *)
+let memo : (int, Cx.t) Hashtbl.t = Hashtbl.create 1024
+
 (* Memoized DP over index subsets. State = bitmask of still-unmatched
    indices; take its lowest set bit i and either loop it (A_ii, loop
-   hafnian only) or match it with any other set bit j. *)
-let dp ~loops a =
-  let n = Mat.rows a in
-  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+   hafnian only) or match it with any other set bit j. The matrix is
+   abstracted behind [get] so dense matrices and no-copy views share the
+   implementation. *)
+let dp_get ~loops n (get : int -> int -> Cx.t) =
   if n > max_indices then invalid_arg "Hafnian: matrix too large for subset DP";
   Obs.Counter.incr (if loops then c_loop_hafnian else c_hafnian);
   Obs.Gauge.observe_max g_max_dim (float_of_int n);
   if (not loops) && n mod 2 = 1 then Cx.zero
   else begin
-    let memo = Hashtbl.create 1024 in
+    Hashtbl.clear memo;
     let rec go mask =
       if mask = 0 then Cx.one
       else
@@ -34,10 +40,10 @@ let dp ~loops a =
           in
           let rest = mask lxor (1 lsl i) in
           let acc = ref Cx.zero in
-          if loops then acc := Mat.get a i i *: go rest;
+          if loops then acc := get i i *: go rest;
           for j = i + 1 to n - 1 do
             if rest land (1 lsl j) <> 0 then
-              acc := !acc +: (Mat.get a i j *: go (rest lxor (1 lsl j)))
+              acc := !acc +: (get i j *: go (rest lxor (1 lsl j)))
           done;
           Hashtbl.add memo mask !acc;
           !acc
@@ -45,15 +51,20 @@ let dp ~loops a =
     go ((1 lsl n) - 1)
   end
 
+let dp ~loops a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+  dp_get ~loops n (Mat.get a)
+
 let loop_hafnian a = dp ~loops:true a
 
 (* Björklund's power-trace hafnian:
    haf(A) = Σ_{S ⊆ [m]} (−1)^{m−|S|} · [x^m] exp(Σ_{j=1}^m tr((X·A_S)^j)/(2j)·x^j)
    for a 2m×2m symmetric A, where A_S keeps the index pairs (2i, 2i+1)
-   with i ∈ S and X is the direct sum of [[0,1],[1,0]] blocks. *)
-let powertrace a =
-  let n = Mat.rows a in
-  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+   with i ∈ S and X is the direct sum of [[0,1],[1,0]] blocks. The
+   element source is abstracted as [get] so views need no materialized
+   submatrix beyond the per-subset B. *)
+let powertrace_get n (get : int -> int -> Cx.t) =
   Obs.Counter.incr c_hafnian;
   Obs.Gauge.observe_max g_max_dim (float_of_int n);
   if n = 0 then Cx.one
@@ -79,14 +90,19 @@ let powertrace a =
       let b =
         Mat.init dim dim (fun r c ->
             let swapped = if r mod 2 = 0 then r + 1 else r - 1 in
-            Mat.get a idx.(swapped) idx.(c))
+            get idx.(swapped) idx.(c))
       in
-      (* Power traces tr(B^j), j = 1..m. *)
+      (* Power traces tr(B^j), j = 1..m, with two ping-pong product
+         buffers instead of an allocation per power. *)
       let traces = Array.make (m + 1) Cx.zero in
       let power = ref (Mat.copy b) in
+      let next = ref (Mat.create dim dim) in
       traces.(1) <- Mat.trace !power;
       for j = 2 to m do
-        power := Mat.mul !power b;
+        Mat.gemm ~dst:!next !power b;
+        let t = !power in
+        power := !next;
+        next := t;
         traces.(j) <- Mat.trace !power
       done;
       (* g = exp(Σ_j traces_j/(2j)·x^j) truncated at x^m, via the
@@ -107,13 +123,42 @@ let powertrace a =
     !total
   end
 
+let powertrace a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+  powertrace_get n (Mat.get a)
+
 let hafnian_powertrace = powertrace
+
+let dispatch_get n get =
+  if n <= 20 then dp_get ~loops:false n get
+  else if n <= 32 then powertrace_get n get
+  else invalid_arg "Hafnian.hafnian: matrix too large"
 
 let hafnian a =
   let n = Mat.rows a in
-  if n <= 20 then dp ~loops:false a
-  else if n <= 32 then powertrace a
-  else invalid_arg "Hafnian.hafnian: matrix too large"
+  if Mat.cols a <> n then invalid_arg "Hafnian: square matrices only";
+  dispatch_get n (Mat.get a)
+
+let view_get ?diag v name =
+  let n = Mat.View.rows v in
+  if Mat.View.cols v <> n then invalid_arg (name ^ ": square views only");
+  let get =
+    match diag with
+    | None -> Mat.View.get v
+    | Some d ->
+      if Array.length d <> n then invalid_arg (name ^ ": diag length mismatch");
+      fun i j -> if i = j then d.(i) else Mat.View.get v i j
+  in
+  (n, get)
+
+let hafnian_view ?diag v =
+  let n, get = view_get ?diag v "Hafnian.hafnian_view" in
+  dispatch_get n get
+
+let loop_hafnian_view ?diag v =
+  let n, get = view_get ?diag v "Hafnian.loop_hafnian_view" in
+  dp_get ~loops:true n get
 
 let rec brute ~loops a indices =
   match indices with

@@ -24,6 +24,20 @@ val hafnian_powertrace : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
 val loop_hafnian : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
 (** Loop hafnian; nonzero for odd dimensions when the diagonal is. *)
 
+val hafnian_view :
+  ?diag:Bose_linalg.Cx.t array -> Bose_linalg.Mat.View.t -> Bose_linalg.Cx.t
+(** {!hafnian} of a no-copy submatrix view — the repeated-index
+    submatrices of GBS probabilities never get materialized. [diag]
+    overrides the (i,i) entries in view coordinates (the power-trace
+    fallback above 20 indices reads the diagonal, so callers that
+    previously zeroed it keep identical results). *)
+
+val loop_hafnian_view :
+  ?diag:Bose_linalg.Cx.t array -> Bose_linalg.Mat.View.t -> Bose_linalg.Cx.t
+(** {!loop_hafnian} of a view. [diag] overrides the (i,i) entries (in
+    view coordinates) — displacement terms γ replace the diagonal of the
+    reduced kernel without copying it. *)
+
 val hafnian_brute : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
 (** Perfect-matching enumeration, O((n-1)!!) — for testing only. *)
 

@@ -7,10 +7,10 @@ let c_permanent = Obs.Counter.make "gbs.permanent_calls"
 let g_max_dim = Obs.Gauge.make "gbs.max_permanent_dim"
 
 (* Ryser with Gray code: perm(A) = (−1)ⁿ Σ_{∅≠S⊆[n]} (−1)^{|S|} Π_i Σ_{j∈S} a_ij.
-   The Gray-code walk updates the row sums by a single column per step. *)
-let permanent a =
-  let n = Mat.rows a in
-  if Mat.cols a <> n then invalid_arg "Permanent: square matrices only";
+   The Gray-code walk updates the row sums by a single column per step.
+   The matrix is abstracted behind [get] so dense matrices and no-copy
+   views share the implementation. *)
+let ryser_get n (get : int -> int -> Cx.t) =
   if n > 24 then invalid_arg "Permanent: matrix too large";
   Obs.Counter.incr c_permanent;
   Obs.Gauge.observe_max g_max_dim (float_of_int n);
@@ -28,8 +28,7 @@ let permanent a =
       in
       let add = next land (1 lsl j) <> 0 in
       for i = 0 to n - 1 do
-        sums.(i) <-
-          (if add then sums.(i) +: Mat.get a i j else sums.(i) -: Mat.get a i j)
+        sums.(i) <- (if add then sums.(i) +: get i j else sums.(i) -: get i j)
       done;
       gray := next;
       let product = Array.fold_left (fun acc s -> acc *: s) Cx.one sums in
@@ -42,6 +41,16 @@ let permanent a =
     done;
     !total
   end
+
+let permanent a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Permanent: square matrices only";
+  ryser_get n (Mat.get a)
+
+let permanent_view v =
+  let n = Mat.View.rows v in
+  if Mat.View.cols v <> n then invalid_arg "Permanent.permanent_view: square views only";
+  ryser_get n (Mat.View.get v)
 
 let permanent_brute a =
   let n = Mat.rows a in

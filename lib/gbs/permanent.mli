@@ -7,5 +7,10 @@ val permanent : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
     matrix. @raise Invalid_argument for non-square input or above 24
     rows. *)
 
+val permanent_view : Bose_linalg.Mat.View.t -> Bose_linalg.Cx.t
+(** {!permanent} of a no-copy submatrix view — boson-sampling
+    probabilities evaluate U's repeated-row/column submatrices without
+    materializing them. *)
+
 val permanent_brute : Bose_linalg.Mat.t -> Bose_linalg.Cx.t
 (** Sum over all permutations — for testing only. *)

@@ -1,53 +1,83 @@
+type rotation = { m : int; n : int; c : float; s : float; ere : float; eim : float }
 
-type rotation = { m : int; n : int; theta : float; phi : float }
+let of_angles ~m ~n ~theta ~phi =
+  { m; n; c = cos theta; s = sin theta; ere = cos phi; eim = sin phi }
 
-let matrix dim { m; n; theta; phi } =
+let theta r = atan2 r.s r.c
+let phi r = atan2 r.eim r.ere
+let drop_mixing r = { r with c = 1.; s = 0. }
+
+let matrix dim { m; n; c; s; ere; eim } =
   let t = Mat.identity dim in
-  let c = cos theta and s = sin theta in
-  Mat.set t m m (Cx.scale c (Cx.exp_i phi));
+  let e = Cx.make ere eim in
+  Mat.set t m m (Cx.scale c e);
   Mat.set t m n (Cx.re (-.s));
-  Mat.set t n m (Cx.scale s (Cx.exp_i phi));
+  Mat.set t n m (Cx.scale s e);
   Mat.set t n n (Cx.re c);
   t
 
-let apply_t_dagger_right u { m; n; theta; phi } = Mat.rot_cols_t_dagger u ~m ~n ~theta ~phi
+let apply_t_dagger_right u { m; n; c; s; ere; eim } =
+  Mat.rot_cols_t_dagger_cs u ~m ~n ~c ~s ~ere ~eim
 
-let apply_t_right u { m; n; theta; phi } = Mat.rot_cols_t u ~m ~n ~theta ~phi
+let apply_t_right u { m; n; c; s; ere; eim } = Mat.rot_cols_t_cs u ~m ~n ~c ~s ~ere ~eim
+let apply_t_left u { m; n; c; s; ere; eim } = Mat.rot_rows_t_cs u ~m ~n ~c ~s ~ere ~eim
 
-(* Solve u(row,m)·e^{-iφ}cosθ = u(row,n)·sinθ:
-   φ = arg(u_m) − arg(u_n) and tanθ = |u_m| / |u_n|. *)
-let solve u ~row ~m ~n =
-  let um = Mat.get u row m and un = Mat.get u row n in
-  let am = Cx.abs um and an = Cx.abs un in
-  if am = 0. then { m; n; theta = 0.; phi = 0. }
-  else if an = 0. then { m; n; theta = Float.pi /. 2.; phi = Cx.arg um }
-  else { m; n; theta = atan2 am an; phi = Cx.arg um -. Cx.arg un }
+let apply_t_dagger_left u { m; n; c; s; ere; eim } =
+  Mat.rot_rows_t_dagger_cs u ~m ~n ~c ~s ~ere ~eim
 
-let angle_for u ~row ~m ~n = (solve u ~row ~m ~n).theta
+(* The rotation zeroing u_m against u_n is derived algebraically — no
+   trigonometry: tan θ = |u_m|/|u_n| gives cos θ = |u_n|/h and
+   sin θ = |u_m|/h with h = √(|u_m|² + |u_n|²), and the phase is the
+   unit number e^{iφ} = w/|w| for w = u_m·conj(u_n) (φ = arg u_m −
+   arg u_n; [flip] conjugates w for the left-elimination convention
+   φ = arg u_n − arg u_m). θ and φ themselves are recovered on demand
+   by the {!theta}/{!phi} accessors — the decomposition hot loop never
+   pays an atan2/cos/sin. *)
+let derive ~m ~n ~flip (um : Cx.t) (un : Cx.t) =
+  let pm = (um.re *. um.re) +. (um.im *. um.im) in
+  if pm = 0. then { m; n; c = 1.; s = 0.; ere = 1.; eim = 0. }
+  else begin
+    let pn = (un.re *. un.re) +. (un.im *. un.im) in
+    let rm = sqrt pm and rn = sqrt pn in
+    let inv_h = 1. /. sqrt (pm +. pn) in
+    let c = rn *. inv_h and s = rm *. inv_h in
+    let ere, eim =
+      if pn = 0. then
+        let inv = 1. /. rm in
+        (um.re *. inv, um.im *. inv)
+      else
+        let wre = (um.re *. un.re) +. (um.im *. un.im)
+        and wim = (um.im *. un.re) -. (um.re *. un.im) in
+        let inv = 1. /. (rm *. rn) in
+        (wre *. inv, wim *. inv)
+    in
+    if flip then { m; n; c; s; ere; eim = -.eim } else { m; n; c; s; ere; eim }
+  end
 
-let apply_t_left u { m; n; theta; phi } = Mat.rot_rows_t u ~m ~n ~theta ~phi
+let solve u ~row ~m ~n = derive ~m ~n ~flip:false (Mat.get u row m) (Mat.get u row n)
 
-let apply_t_dagger_left u { m; n; theta; phi } = Mat.rot_rows_t_dagger u ~m ~n ~theta ~phi
+let angle_for u ~row ~m ~n = theta (solve u ~row ~m ~n)
 
-(* Solve (T·u)(m, col) = e^{iφ}cosθ·u(m,col) − sinθ·u(n,col) = 0:
-   φ = arg(u_n) − arg(u_m) and tanθ = |u_m| / |u_n|. *)
-let solve_left u ~col ~m ~n =
-  let um = Mat.get u m col and un = Mat.get u n col in
-  let am = Cx.abs um and an = Cx.abs un in
-  if am = 0. then { m; n; theta = 0.; phi = 0. }
-  else if an = 0. then { m; n; theta = Float.pi /. 2.; phi = -.Cx.arg um }
-  else { m; n; theta = atan2 am an; phi = Cx.arg un -. Cx.arg um }
+(* A [derive]d rotation is the exact identity only in the
+   nothing-to-eliminate case; skip the kernel pass then. *)
+let is_identity r = r.s = 0. && r.eim = 0. && r.ere = 1.
 
-let eliminate_left u ~col ~m ~n =
-  let r = solve_left u ~col ~m ~n in
-  apply_t_left u r;
-  Mat.set u m col Cx.zero;
+(* [?nrows]/[?first] forward to the ranged kernels, for sweeps that
+   know the zero structure of the two columns/rows being mixed. *)
+let eliminate ?nrows u ~row ~m ~n =
+  let r = solve u ~row ~m ~n in
+  if not (is_identity r) then begin
+    Mat.rot_cols_t_dagger_cs ?nrows u ~m ~n ~c:r.c ~s:r.s ~ere:r.ere ~eim:r.eim;
+    (* The eliminated entry is zero up to rounding; pin it exactly so later
+       eliminations in the same row see a clean matrix. *)
+    Mat.set u row m Cx.zero
+  end;
   r
 
-let eliminate u ~row ~m ~n =
-  let r = solve u ~row ~m ~n in
-  apply_t_dagger_right u r;
-  (* The eliminated entry is zero up to rounding; pin it exactly so later
-     eliminations in the same row see a clean matrix. *)
-  Mat.set u row m Cx.zero;
+let eliminate_left ?first u ~col ~m ~n =
+  let r = derive ~m ~n ~flip:true (Mat.get u m col) (Mat.get u n col) in
+  if not (is_identity r) then begin
+    Mat.rot_rows_t_cs ?first u ~m ~n ~c:r.c ~s:r.s ~ere:r.ere ~eim:r.eim;
+    Mat.set u m col Cx.zero
+  end;
   r

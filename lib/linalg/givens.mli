@@ -8,6 +8,15 @@
        T[n][m] = e^{iφ} sin θ     T[n][n] =  cos θ
     v}
 
+    A rotation is stored in the precomputed form the in-place kernels
+    consume — (cos θ, sin θ) and the unit phase e^{iφ} — rather than
+    as raw angles: {!eliminate} derives these four numbers
+    algebraically from the entries being zeroed, and replay feeds them
+    straight back to the [Mat.rot_*_cs] kernels, so neither direction
+    pays trigonometry. The angles themselves are recovered on demand
+    by {!theta}/{!phi} (one atan2 each) for circuit emission and
+    dropout thresholding.
+
     The elimination right-multiplies the working matrix by T†, zeroing
     entry [(row, m)] against entry [(row, n)] (paper Eq. 2), so a full
     decomposition reaches [U · T₁† · T₂† ⋯ = Λ], i.e.
@@ -16,24 +25,46 @@
 type rotation = {
   m : int;  (** Column/qumode whose entry gets zeroed. *)
   n : int;  (** Column/qumode that absorbs the amplitude. *)
-  theta : float;  (** Beamsplitter rotation angle, in [\[0, π/2\]]. *)
-  phi : float;  (** Phase-shifter angle. *)
+  c : float;  (** cos θ; θ is the beamsplitter angle, in [\[0, π/2\]]. *)
+  s : float;  (** sin θ. *)
+  ere : float;  (** Re e^{iφ}; φ is the phase-shifter angle. *)
+  eim : float;  (** Im e^{iφ}. *)
 }
+
+val of_angles : m:int -> n:int -> theta:float -> phi:float -> rotation
+(** Build a rotation from raw angles (cos/sin once, at construction). *)
+
+val theta : rotation -> float
+(** The beamsplitter angle θ = atan2 [s] [c], in [\[0, π/2\]] for
+    rotations produced by {!eliminate}. *)
+
+val phi : rotation -> float
+(** The phase-shifter angle φ = atan2 [eim] [ere], in [(-π, π]]. *)
+
+val drop_mixing : rotation -> rotation
+(** The rotation with its beamsplitter removed (θ ← 0) but its phase
+    kept — what physically remains when dropout discards an MZI. *)
 
 val matrix : int -> rotation -> Mat.t
 (** [matrix dim r] is the dense N×N matrix of T_{m,n}(θ, φ). *)
 
-val eliminate : Mat.t -> row:int -> m:int -> n:int -> rotation
-(** [eliminate u ~row ~m ~n] computes θ, φ such that right-multiplying
-    [u] by T† zeroes [u(row, m)], and applies the update to [u] in
-    place (only columns [m] and [n] change). After the call,
-    |u(row, n)|² has absorbed the old |u(row, m)|². *)
+val eliminate : ?nrows:int -> Mat.t -> row:int -> m:int -> n:int -> rotation
+(** [eliminate u ~row ~m ~n] computes the rotation such that
+    right-multiplying [u] by T† zeroes [u(row, m)], and applies the
+    update to [u] in place (only columns [m] and [n] change). After
+    the call, |u(row, n)|² has absorbed the old |u(row, m)|².
+    [?nrows] restricts the column update to the first [nrows] rows —
+    sound only when the caller knows both columns are zero below, as
+    in the Clements sweeps. *)
 
 val apply_t_dagger_right : Mat.t -> rotation -> unit
 (** In-place [u ← u · T†]. *)
 
 val apply_t_right : Mat.t -> rotation -> unit
 (** In-place [u ← u · T]; the inverse of {!apply_t_dagger_right}. *)
+
+val solve : Mat.t -> row:int -> m:int -> n:int -> rotation
+(** The rotation {!eliminate} would apply, without mutating anything. *)
 
 val angle_for : Mat.t -> row:int -> m:int -> n:int -> float
 (** The θ that {!eliminate} would produce, without mutating anything. *)
@@ -44,8 +75,10 @@ val apply_t_left : Mat.t -> rotation -> unit
 val apply_t_dagger_left : Mat.t -> rotation -> unit
 (** In-place [u ← T† · u]; the inverse of {!apply_t_left}. *)
 
-val eliminate_left : Mat.t -> col:int -> m:int -> n:int -> rotation
-(** [eliminate_left u ~col ~m ~n] computes θ, φ such that
+val eliminate_left : ?first:int -> Mat.t -> col:int -> m:int -> n:int -> rotation
+(** [eliminate_left u ~col ~m ~n] computes the rotation such that
     left-multiplying [u] by T_{m,n}(θ,φ) zeroes [u(m, col)] against
     [u(n, col)], and applies the update in place (only rows [m] and
-    [n] change). Used by the two-sided Clements elimination. *)
+    [n] change). Used by the two-sided Clements elimination.
+    [?first] restricts the row update to columns [first ..] — sound
+    only when both rows are zero to the left. *)

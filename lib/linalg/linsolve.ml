@@ -31,9 +31,8 @@ let factor a =
     for i = k + 1 to n - 1 do
       let factor = Mat.get lu i k /: pivot in
       Mat.set lu i k factor;
-      for j = k + 1 to n - 1 do
-        Mat.set lu i j (Mat.get lu i j -: (factor *: Mat.get lu k j))
-      done
+      (* Trailing-block update as one allocation-free row kernel. *)
+      Mat.row_axpy lu ~src:k ~dst:i ~from:(k + 1) (Cx.neg factor)
     done
   done;
   (lu, piv, !sign)

@@ -1,38 +1,70 @@
-(* Storage is two row-major float planes (real and imaginary parts) so
-   the rotation kernels and norms run without boxing Complex.t values. *)
+(* Storage is two contiguous row-major float planes (real and imaginary
+   parts), one flat array each, so the kernels below run without boxing
+   Complex.t values, without per-row pointer chasing, and without bounds
+   checks in the inner loops (indices are validated once at entry). The
+   flat representation is the load-bearing secret of this module: no
+   other file may assume it. *)
 
-type t = { re : float array array; im : float array array; nrows : int; ncols : int }
+type t = { re : float array; im : float array; nrows : int; ncols : int }
+
+(* Matrices allocated since program start — the denominator of the
+   allocation gauges (compile.mats_allocated, map.polish_mats_per_trial).
+   Every constructor funnels through [create]. *)
+let alloc_count = ref 0
+
+let allocations () = !alloc_count
 
 let create nrows ncols =
-  {
-    re = Array.make_matrix nrows ncols 0.;
-    im = Array.make_matrix nrows ncols 0.;
-    nrows;
-    ncols;
-  }
-
-let identity n =
-  let m = create n n in
-  for i = 0 to n - 1 do
-    m.re.(i).(i) <- 1.
-  done;
-  m
+  if nrows < 0 || ncols < 0 then invalid_arg "Mat.create: negative dimension";
+  incr alloc_count;
+  let len = nrows * ncols in
+  { re = Array.make (max len 1) 0.; im = Array.make (max len 1) 0.; nrows; ncols }
 
 let dims m = (m.nrows, m.ncols)
 let rows m = m.nrows
 let cols m = m.ncols
 
-let get m i j : Cx.t = { re = m.re.(i).(j); im = m.im.(i).(j) }
+let[@inline] idx m i j = (i * m.ncols) + j
+
+let check_index m i j name =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then invalid_arg (name ^ ": index out of bounds")
+
+let get m i j : Cx.t =
+  check_index m i j "Mat.get";
+  let k = idx m i j in
+  { re = Array.unsafe_get m.re k; im = Array.unsafe_get m.im k }
 
 let set m i j (v : Cx.t) =
-  m.re.(i).(j) <- v.Complex.re;
-  m.im.(i).(j) <- v.Complex.im
+  check_index m i j "Mat.set";
+  let k = idx m i j in
+  Array.unsafe_set m.re k v.Complex.re;
+  Array.unsafe_set m.im k v.Complex.im
+
+let fill_zero m =
+  Array.fill m.re 0 (Array.length m.re) 0.;
+  Array.fill m.im 0 (Array.length m.im) 0.
+
+let set_identity m =
+  fill_zero m;
+  for i = 0 to min m.nrows m.ncols - 1 do
+    m.re.(idx m i i) <- 1.
+  done
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.re.(idx m i i) <- 1.
+  done;
+  m
 
 let init nrows ncols f =
   let m = create nrows ncols in
   for i = 0 to nrows - 1 do
+    let base = i * ncols in
     for j = 0 to ncols - 1 do
-      set m i j (f i j)
+      let (v : Cx.t) = f i j in
+      m.re.(base + j) <- v.Complex.re;
+      m.im.(base + j) <- v.Complex.im
     done
   done;
   m
@@ -41,6 +73,7 @@ let of_arrays a =
   let nrows = Array.length a in
   if nrows = 0 then invalid_arg "Mat.of_arrays: empty";
   let ncols = Array.length a.(0) in
+  if ncols = 0 then invalid_arg "Mat.of_arrays: zero columns";
   Array.iter
     (fun row -> if Array.length row <> ncols then invalid_arg "Mat.of_arrays: ragged rows")
     a;
@@ -51,7 +84,13 @@ let to_arrays m = Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get 
 let of_real a = of_arrays (Array.map (Array.map Cx.re) a)
 
 let copy m =
-  { m with re = Array.map Array.copy m.re; im = Array.map Array.copy m.im }
+  incr alloc_count;
+  { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let blit src dst =
+  if dims src <> dims dst then invalid_arg "Mat.blit: dimension mismatch";
+  Array.blit src.re 0 dst.re 0 (src.nrows * src.ncols);
+  Array.blit src.im 0 dst.im 0 (src.nrows * src.ncols)
 
 let transpose m = init m.ncols m.nrows (fun i j -> get m j i)
 let conj m = init m.nrows m.ncols (fun i j -> Cx.conj (get m i j))
@@ -63,35 +102,199 @@ let zip_with op a b =
 
 let add = zip_with Cx.( +: )
 let sub = zip_with Cx.( -: )
-let scale s m = init m.nrows m.ncols (fun i j -> Cx.( *: ) s (get m i j))
+
+(* ------------------------------------------------------------------ *)
+(* In-place scalar kernels.                                           *)
+
+let scale_inplace (s : Cx.t) m =
+  let sre = s.Complex.re and sim = s.Complex.im in
+  let len = m.nrows * m.ncols in
+  for k = 0 to len - 1 do
+    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    Array.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
+    Array.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
+  done
+
+let scale s m =
+  let r = copy m in
+  scale_inplace s r;
+  r
+
+(* y <- y + a.x *)
+let axpy (a : Cx.t) x y =
+  if dims x <> dims y then invalid_arg "Mat.axpy: dimension mismatch";
+  let are = a.Complex.re and aim = a.Complex.im in
+  let len = x.nrows * x.ncols in
+  for k = 0 to len - 1 do
+    let xre = Array.unsafe_get x.re k and xim = Array.unsafe_get x.im k in
+    Array.unsafe_set y.re k
+      (Array.unsafe_get y.re k +. ((xre *. are) -. (xim *. aim)));
+    Array.unsafe_set y.im k
+      (Array.unsafe_get y.im k +. ((xre *. aim) +. (xim *. are)))
+  done
+
+let scale_row m i (s : Cx.t) =
+  if i < 0 || i >= m.nrows then invalid_arg "Mat.scale_row: row out of bounds";
+  let sre = s.Complex.re and sim = s.Complex.im in
+  let base = i * m.ncols in
+  for j = 0 to m.ncols - 1 do
+    let k = base + j in
+    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    Array.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
+    Array.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
+  done
+
+let scale_col m j (s : Cx.t) =
+  if j < 0 || j >= m.ncols then invalid_arg "Mat.scale_col: column out of bounds";
+  let sre = s.Complex.re and sim = s.Complex.im in
+  for i = 0 to m.nrows - 1 do
+    let k = (i * m.ncols) + j in
+    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    Array.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
+    Array.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
+  done
+
+(* row dst <- row dst + a.row src, on columns [from..ncols-1] — the LU
+   elimination kernel. *)
+let row_axpy m ~src ~dst ?(from = 0) (a : Cx.t) =
+  if src < 0 || src >= m.nrows || dst < 0 || dst >= m.nrows then
+    invalid_arg "Mat.row_axpy: row out of bounds";
+  if from < 0 || from > m.ncols then invalid_arg "Mat.row_axpy: bad column offset";
+  let are = a.Complex.re and aim = a.Complex.im in
+  let sbase = src * m.ncols and dbase = dst * m.ncols in
+  for j = from to m.ncols - 1 do
+    let xre = Array.unsafe_get m.re (sbase + j) and xim = Array.unsafe_get m.im (sbase + j) in
+    Array.unsafe_set m.re (dbase + j)
+      (Array.unsafe_get m.re (dbase + j) +. ((xre *. are) -. (xim *. aim)));
+    Array.unsafe_set m.im (dbase + j)
+      (Array.unsafe_get m.im (dbase + j) +. ((xre *. aim) +. (xim *. are)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* gemm family. All of them validate shapes, reject aliasing between   *)
+(* [dst] and the operands, and run over the flat planes unchecked.     *)
+
+let check_gemm_dst name ~dst a b rows cols =
+  if dst.nrows <> rows || dst.ncols <> cols then invalid_arg (name ^ ": dst shape mismatch");
+  if dst.re == a.re || dst.re == b.re then invalid_arg (name ^ ": dst aliases an input")
+
+(* dst <- a.b (or dst += a.b with [acc]), blocked over k so the active
+   rows of b stay cache-resident while a row of dst accumulates. *)
+let gemm ?(acc = false) ~dst a b =
+  if a.ncols <> b.nrows then invalid_arg "Mat.gemm: dimension mismatch";
+  check_gemm_dst "Mat.gemm" ~dst a b a.nrows b.ncols;
+  if not acc then fill_zero dst;
+  let m = a.nrows and kdim = a.ncols and n = b.ncols in
+  let bs = 64 in
+  let k0 = ref 0 in
+  while !k0 < kdim do
+    let khi = min kdim (!k0 + bs) in
+    for i = 0 to m - 1 do
+      let abase = i * kdim and dbase = i * n in
+      for k = !k0 to khi - 1 do
+        let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
+        if xre <> 0. || xim <> 0. then begin
+          let bbase = k * n in
+          for j = 0 to n - 1 do
+            let bre = Array.unsafe_get b.re (bbase + j) and bim = Array.unsafe_get b.im (bbase + j) in
+            Array.unsafe_set dst.re (dbase + j)
+              (Array.unsafe_get dst.re (dbase + j) +. ((xre *. bre) -. (xim *. bim)));
+            Array.unsafe_set dst.im (dbase + j)
+              (Array.unsafe_get dst.im (dbase + j) +. ((xre *. bim) +. (xim *. bre)))
+          done
+        end
+      done
+    done;
+    k0 := khi
+  done
+
+(* dst <- a.b† : entry (i,j) is the dot of two contiguous rows. *)
+let gemm_adjoint ?(acc = false) ~dst a b =
+  if a.ncols <> b.ncols then invalid_arg "Mat.gemm_adjoint: dimension mismatch";
+  check_gemm_dst "Mat.gemm_adjoint" ~dst a b a.nrows b.nrows;
+  if not acc then fill_zero dst;
+  let kdim = a.ncols in
+  for i = 0 to a.nrows - 1 do
+    let abase = i * kdim in
+    for j = 0 to b.nrows - 1 do
+      let bbase = j * kdim in
+      let accre = ref 0. and accim = ref 0. in
+      for k = 0 to kdim - 1 do
+        let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
+        let yre = Array.unsafe_get b.re (bbase + k) and yim = Array.unsafe_get b.im (bbase + k) in
+        (* x . conj y *)
+        accre := !accre +. ((xre *. yre) +. (xim *. yim));
+        accim := !accim +. ((xim *. yre) -. (xre *. yim))
+      done;
+      let d = (i * dst.ncols) + j in
+      Array.unsafe_set dst.re d (Array.unsafe_get dst.re d +. !accre);
+      Array.unsafe_set dst.im d (Array.unsafe_get dst.im d +. !accim)
+    done
+  done
+
+(* dst <- a†.b : loop k outermost so row k of b streams through while
+   the conjugated column of a is a scalar broadcast. *)
+let gemm_adjoint_left ?(acc = false) ~dst a b =
+  if a.nrows <> b.nrows then invalid_arg "Mat.gemm_adjoint_left: dimension mismatch";
+  check_gemm_dst "Mat.gemm_adjoint_left" ~dst a b a.ncols b.ncols;
+  if not acc then fill_zero dst;
+  let n = b.ncols in
+  for k = 0 to a.nrows - 1 do
+    let abase = k * a.ncols and bbase = k * n in
+    for i = 0 to a.ncols - 1 do
+      let xre = Array.unsafe_get a.re (abase + i) and xim = -.Array.unsafe_get a.im (abase + i) in
+      if xre <> 0. || xim <> 0. then begin
+        let dbase = i * n in
+        for j = 0 to n - 1 do
+          let bre = Array.unsafe_get b.re (bbase + j) and bim = Array.unsafe_get b.im (bbase + j) in
+          Array.unsafe_set dst.re (dbase + j)
+            (Array.unsafe_get dst.re (dbase + j) +. ((xre *. bre) -. (xim *. bim)));
+          Array.unsafe_set dst.im (dbase + j)
+            (Array.unsafe_get dst.im (dbase + j) +. ((xre *. bim) +. (xim *. bre)))
+        done
+      end
+    done
+  done
+
+(* dst <- a.bT (plain transpose, no conjugation) — rows dotted with rows. *)
+let gemm_transpose ?(acc = false) ~dst a b =
+  if a.ncols <> b.ncols then invalid_arg "Mat.gemm_transpose: dimension mismatch";
+  check_gemm_dst "Mat.gemm_transpose" ~dst a b a.nrows b.nrows;
+  if not acc then fill_zero dst;
+  let kdim = a.ncols in
+  for i = 0 to a.nrows - 1 do
+    let abase = i * kdim in
+    for j = 0 to b.nrows - 1 do
+      let bbase = j * kdim in
+      let accre = ref 0. and accim = ref 0. in
+      for k = 0 to kdim - 1 do
+        let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
+        let yre = Array.unsafe_get b.re (bbase + k) and yim = Array.unsafe_get b.im (bbase + k) in
+        accre := !accre +. ((xre *. yre) -. (xim *. yim));
+        accim := !accim +. ((xre *. yim) +. (xim *. yre))
+      done;
+      let d = (i * dst.ncols) + j in
+      Array.unsafe_set dst.re d (Array.unsafe_get dst.re d +. !accre);
+      Array.unsafe_set dst.im d (Array.unsafe_get dst.im d +. !accim)
+    done
+  done
 
 let mul a b =
   if a.ncols <> b.nrows then invalid_arg "Mat.mul: dimension mismatch";
   let r = create a.nrows b.ncols in
-  for i = 0 to a.nrows - 1 do
-    let are = a.re.(i) and aim = a.im.(i) in
-    let rre = r.re.(i) and rim = r.im.(i) in
-    for k = 0 to a.ncols - 1 do
-      let xre = are.(k) and xim = aim.(k) in
-      if xre <> 0. || xim <> 0. then begin
-        let bre = b.re.(k) and bim = b.im.(k) in
-        for j = 0 to b.ncols - 1 do
-          rre.(j) <- rre.(j) +. (xre *. bre.(j)) -. (xim *. bim.(j));
-          rim.(j) <- rim.(j) +. (xre *. bim.(j)) +. (xim *. bre.(j))
-        done
-      end
-    done
-  done;
+  gemm ~dst:r a b;
   r
 
 let mul_vec a v =
   if a.ncols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
   Array.init a.nrows (fun i ->
+      let base = i * a.ncols in
       let accre = ref 0. and accim = ref 0. in
       for j = 0 to a.ncols - 1 do
         let (x : Cx.t) = v.(j) in
-        accre := !accre +. (a.re.(i).(j) *. x.Complex.re) -. (a.im.(i).(j) *. x.Complex.im);
-        accim := !accim +. (a.re.(i).(j) *. x.Complex.im) +. (a.im.(i).(j) *. x.Complex.re)
+        let are = Array.unsafe_get a.re (base + j) and aim = Array.unsafe_get a.im (base + j) in
+        accre := !accre +. ((are *. x.Complex.re) -. (aim *. x.Complex.im));
+        accim := !accim +. ((are *. x.Complex.im) +. (aim *. x.Complex.re))
       done;
       Cx.make !accre !accim)
 
@@ -99,156 +302,357 @@ let trace m =
   let n = min m.nrows m.ncols in
   let accre = ref 0. and accim = ref 0. in
   for i = 0 to n - 1 do
-    accre := !accre +. m.re.(i).(i);
-    accim := !accim +. m.im.(i).(i)
+    accre := !accre +. m.re.(idx m i i);
+    accim := !accim +. m.im.(idx m i i)
+  done;
+  Cx.make !accre !accim
+
+(* tr(a.b) = sum_ik a(i,k).b(k,i) — no product matrix materialized. *)
+let trace_mul a b =
+  if a.ncols <> b.nrows || b.ncols <> a.nrows then
+    invalid_arg "Mat.trace_mul: dimension mismatch";
+  let accre = ref 0. and accim = ref 0. in
+  for i = 0 to a.nrows - 1 do
+    let abase = i * a.ncols in
+    for k = 0 to a.ncols - 1 do
+      let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
+      let l = (k * b.ncols) + i in
+      let yre = Array.unsafe_get b.re l and yim = Array.unsafe_get b.im l in
+      accre := !accre +. ((xre *. yre) -. (xim *. yim));
+      accim := !accim +. ((xre *. yim) +. (xim *. yre))
+    done
   done;
   Cx.make !accre !accim
 
 let frobenius_norm m =
   let acc = ref 0. in
-  for i = 0 to m.nrows - 1 do
-    for j = 0 to m.ncols - 1 do
-      acc := !acc +. (m.re.(i).(j) *. m.re.(i).(j)) +. (m.im.(i).(j) *. m.im.(i).(j))
-    done
+  let len = m.nrows * m.ncols in
+  for k = 0 to len - 1 do
+    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    acc := !acc +. (xre *. xre) +. (xim *. xim)
   done;
   sqrt !acc
 
 let max_abs_diff a b =
   if dims a <> dims b then invalid_arg "Mat.max_abs_diff: dimension mismatch";
   let acc = ref 0. in
-  for i = 0 to a.nrows - 1 do
-    for j = 0 to a.ncols - 1 do
-      let dre = a.re.(i).(j) -. b.re.(i).(j) and dim = a.im.(i).(j) -. b.im.(i).(j) in
-      acc := Float.max !acc (sqrt ((dre *. dre) +. (dim *. dim)))
-    done
+  let len = a.nrows * a.ncols in
+  for k = 0 to len - 1 do
+    let dre = Array.unsafe_get a.re k -. Array.unsafe_get b.re k
+    and dim = Array.unsafe_get a.im k -. Array.unsafe_get b.im k in
+    acc := Float.max !acc (sqrt ((dre *. dre) +. (dim *. dim)))
   done;
   !acc
 
 let equal ?(tol = 1e-9) a b = dims a = dims b && max_abs_diff a b <= tol
 
 let is_unitary ?(tol = 1e-8) m =
-  m.nrows = m.ncols && equal ~tol (mul (adjoint m) m) (identity m.nrows)
+  m.nrows = m.ncols
+  && begin
+    let p = create m.nrows m.nrows in
+    gemm_adjoint_left ~dst:p m m;
+    let id = identity m.nrows in
+    equal ~tol p id
+  end
 
 let row_norm2 m i =
+  if i < 0 || i >= m.nrows then invalid_arg "Mat.row_norm2: row out of bounds";
+  let base = i * m.ncols in
   let acc = ref 0. in
   for j = 0 to m.ncols - 1 do
-    acc := !acc +. (m.re.(i).(j) *. m.re.(i).(j)) +. (m.im.(i).(j) *. m.im.(i).(j))
+    let xre = Array.unsafe_get m.re (base + j) and xim = Array.unsafe_get m.im (base + j) in
+    acc := !acc +. (xre *. xre) +. (xim *. xim)
   done;
   !acc
 
 let col_norm2 m j =
+  if j < 0 || j >= m.ncols then invalid_arg "Mat.col_norm2: column out of bounds";
   let acc = ref 0. in
   for i = 0 to m.nrows - 1 do
-    acc := !acc +. (m.re.(i).(j) *. m.re.(i).(j)) +. (m.im.(i).(j) *. m.im.(i).(j))
+    let k = (i * m.ncols) + j in
+    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    acc := !acc +. (xre *. xre) +. (xim *. xim)
   done;
   !acc
 
 let swap_rows m i j =
-  let tre = m.re.(i) and tim = m.im.(i) in
-  m.re.(i) <- m.re.(j);
-  m.im.(i) <- m.im.(j);
-  m.re.(j) <- tre;
-  m.im.(j) <- tim
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.nrows then
+    invalid_arg "Mat.swap_rows: row out of bounds";
+  if i <> j then begin
+    let ibase = i * m.ncols and jbase = j * m.ncols in
+    for k = 0 to m.ncols - 1 do
+      let tre = Array.unsafe_get m.re (ibase + k) and tim = Array.unsafe_get m.im (ibase + k) in
+      Array.unsafe_set m.re (ibase + k) (Array.unsafe_get m.re (jbase + k));
+      Array.unsafe_set m.im (ibase + k) (Array.unsafe_get m.im (jbase + k));
+      Array.unsafe_set m.re (jbase + k) tre;
+      Array.unsafe_set m.im (jbase + k) tim
+    done
+  end
 
 let swap_cols m a b =
-  for i = 0 to m.nrows - 1 do
-    let tre = m.re.(i).(a) and tim = m.im.(i).(a) in
-    m.re.(i).(a) <- m.re.(i).(b);
-    m.im.(i).(a) <- m.im.(i).(b);
-    m.re.(i).(b) <- tre;
-    m.im.(i).(b) <- tim
+  if a < 0 || a >= m.ncols || b < 0 || b >= m.ncols then
+    invalid_arg "Mat.swap_cols: column out of bounds";
+  if a <> b then
+    for i = 0 to m.nrows - 1 do
+      let ka = (i * m.ncols) + a and kb = (i * m.ncols) + b in
+      let tre = Array.unsafe_get m.re ka and tim = Array.unsafe_get m.im ka in
+      Array.unsafe_set m.re ka (Array.unsafe_get m.re kb);
+      Array.unsafe_set m.im ka (Array.unsafe_get m.im kb);
+      Array.unsafe_set m.re kb tre;
+      Array.unsafe_set m.im kb tim
+    done
+
+(* ------------------------------------------------------------------ *)
+(* In-place permutations (cycle-following; one scratch row / scalar).  *)
+
+let check_perm p n name =
+  if Array.length p <> n then invalid_arg (name ^ ": size mismatch");
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+       if x < 0 || x >= n || seen.(x) then invalid_arg (name ^ ": not a permutation");
+       seen.(x) <- true)
+    p
+
+(* Row i of the result is row p(i) of nothing — rather: the old row i
+   ends up at row p(i), matching [Perm.permute_rows]. *)
+let permute_rows_inplace p m =
+  check_perm p m.nrows "Mat.permute_rows_inplace";
+  let nc = m.ncols in
+  let tre = Array.make (max nc 1) 0. and tim = Array.make (max nc 1) 0. in
+  let visited = Array.make m.nrows false in
+  for s = 0 to m.nrows - 1 do
+    if (not visited.(s)) && p.(s) <> s then begin
+      (* Carry old row s around its cycle, swapping through the buffer. *)
+      Array.blit m.re (s * nc) tre 0 nc;
+      Array.blit m.im (s * nc) tim 0 nc;
+      visited.(s) <- true;
+      let j = ref p.(s) in
+      while !j <> s do
+        (* Buffer holds the old row destined for row !j. *)
+        for k = 0 to nc - 1 do
+          let base = (!j * nc) + k in
+          let rre = Array.unsafe_get m.re base and rim = Array.unsafe_get m.im base in
+          Array.unsafe_set m.re base (Array.unsafe_get tre k);
+          Array.unsafe_set m.im base (Array.unsafe_get tim k);
+          Array.unsafe_set tre k rre;
+          Array.unsafe_set tim k rim
+        done;
+        visited.(!j) <- true;
+        j := p.(!j)
+      done;
+      Array.blit tre 0 m.re (s * nc) nc;
+      Array.blit tim 0 m.im (s * nc) nc
+    end
+  done
+
+(* Old column j ends up at column p(j), matching [Perm.permute_cols]. *)
+let permute_cols_inplace p m =
+  check_perm p m.ncols "Mat.permute_cols_inplace";
+  let nc = m.ncols in
+  let visited = Array.make nc false in
+  for r = 0 to m.nrows - 1 do
+    Array.fill visited 0 nc false;
+    let base = r * nc in
+    for s = 0 to nc - 1 do
+      if (not visited.(s)) && p.(s) <> s then begin
+        let tre = ref (Array.unsafe_get m.re (base + s))
+        and tim = ref (Array.unsafe_get m.im (base + s)) in
+        visited.(s) <- true;
+        let j = ref p.(s) in
+        while !j <> s do
+          let rre = Array.unsafe_get m.re (base + !j) and rim = Array.unsafe_get m.im (base + !j) in
+          Array.unsafe_set m.re (base + !j) !tre;
+          Array.unsafe_set m.im (base + !j) !tim;
+          tre := rre;
+          tim := rim;
+          visited.(!j) <- true;
+          j := p.(!j)
+        done;
+        Array.unsafe_set m.re (base + s) !tre;
+        Array.unsafe_set m.im (base + s) !tim
+      end
+    done
   done
 
 let map f m = init m.nrows m.ncols (fun i j -> f (get m i j))
 
-(* tr(u_app·u†) = Σ_{ij} u_app(i,j)·conj(u(i,j)), an O(N²) elementwise sum. *)
+(* tr(u_app.u†) = sum_{ij} u_app(i,j).conj(u(i,j)), an O(N²) elementwise sum. *)
 let unitary_fidelity u_app u =
   if dims u_app <> dims u || u.nrows <> u.ncols then
     invalid_arg "Mat.unitary_fidelity: need equal square matrices";
   let tre = ref 0. and tim = ref 0. in
-  for i = 0 to u.nrows - 1 do
-    let are = u_app.re.(i) and aim = u_app.im.(i) in
-    let bre = u.re.(i) and bim = u.im.(i) in
-    for j = 0 to u.ncols - 1 do
-      tre := !tre +. (are.(j) *. bre.(j)) +. (aim.(j) *. bim.(j));
-      tim := !tim +. (aim.(j) *. bre.(j)) -. (are.(j) *. bim.(j))
-    done
+  let len = u.nrows * u.ncols in
+  for k = 0 to len - 1 do
+    let are = Array.unsafe_get u_app.re k and aim = Array.unsafe_get u_app.im k in
+    let bre = Array.unsafe_get u.re k and bim = Array.unsafe_get u.im k in
+    tre := !tre +. ((are *. bre) +. (aim *. bim));
+    tim := !tim +. ((aim *. bre) -. (are *. bim))
   done;
   sqrt ((!tre *. !tre) +. (!tim *. !tim)) /. float_of_int u.nrows
 
-(* u ← u·T†: for each row r,
-   u(r,m)' = u(r,m)·e^{-iφ}cosθ − u(r,n)·sinθ
-   u(r,n)' = u(r,m)·e^{-iφ}sinθ + u(r,n)·cosθ *)
+let check_rot m n name =
+  if m < 0 || n < 0 || m = n then invalid_arg (name ^ ": bad index pair")
+
+(* The [_cs] variants take the rotation as precomputed cosines/sines:
+   [c] = cos θ, [s] = sin θ, ([ere], [eim]) = e^{iφ}. The elimination
+   engines derive these algebraically from the matrix entries (no trig
+   in the hot loop); the angle-based entry points below wrap them. *)
+
+(* The rotation bodies live in mat_stubs.c: the loops are pure
+   flop-bound float-plane arithmetic, and FMA + vectorized C roughly
+   halves their cost vs. ocamlopt's scalar output. [rot_pre] applies
+   e^{iφ} to the m plane before the real rotation, [rot_post] after;
+   together with a φ sign flip they cover all four kernels. Arguments:
+   re im count offset_m offset_n stride c s ere eim. *)
+external rot_pre :
+  float array ->
+  float array ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  unit = "bose_rot_pre_byte" "bose_rot_pre_nat"
+[@@noalloc]
+
+external rot_post :
+  float array ->
+  float array ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  unit = "bose_rot_post_byte" "bose_rot_post_nat"
+[@@noalloc]
+
+(* u <- u.T†: for each row r,
+   u(r,m)' = u(r,m).e^{-i phi} cos theta − u(r,n).sin theta
+   u(r,n)' = u(r,m).e^{-i phi} sin theta + u(r,n).cos theta
+   [?nrows] restricts the update to the first [nrows] rows — for
+   callers (Clements sweeps) that know both columns are zero below. *)
+let rot_cols_t_dagger_cs ?nrows u ~m ~n ~c ~s ~ere ~eim =
+  check_rot m n "Mat.rot_cols_t_dagger";
+  if m >= u.ncols || n >= u.ncols then invalid_arg "Mat.rot_cols_t_dagger: column out of bounds";
+  let count =
+    match nrows with
+    | None -> u.nrows
+    | Some r ->
+      if r < 0 || r > u.nrows then invalid_arg "Mat.rot_cols_t_dagger: bad nrows";
+      r
+  in
+  rot_pre u.re u.im count m n u.ncols c s ere (-.eim)
+
+(* u <- u.T: for each row r,
+   u(r,m)' = (u(r,m).cos theta + u(r,n).sin theta).e^{i phi}
+   u(r,n)' = −u(r,m).sin theta + u(r,n).cos theta *)
+let rot_cols_t_cs u ~m ~n ~c ~s ~ere ~eim =
+  check_rot m n "Mat.rot_cols_t";
+  if m >= u.ncols || n >= u.ncols then invalid_arg "Mat.rot_cols_t: column out of bounds";
+  rot_post u.re u.im u.nrows m n u.ncols c s ere eim
+
+(* u <- T.u: row m' = e^{i phi} cos theta.row m − sin theta.row n,
+            row n' = e^{i phi} sin theta.row m + cos theta.row n.
+   [?first] restricts the update to columns [first ..] — for callers
+   (Clements sweeps) that know both rows are zero to the left. *)
+let rot_rows_t_cs ?first u ~m ~n ~c ~s ~ere ~eim =
+  check_rot m n "Mat.rot_rows_t";
+  if m >= u.nrows || n >= u.nrows then invalid_arg "Mat.rot_rows_t: row out of bounds";
+  let j0 =
+    match first with
+    | None -> 0
+    | Some j ->
+      if j < 0 || j > u.ncols then invalid_arg "Mat.rot_rows_t: bad first";
+      j
+  in
+  rot_pre u.re u.im (u.ncols - j0) ((m * u.ncols) + j0) ((n * u.ncols) + j0) 1 c s ere eim
+
+(* u <- T†.u: row m' = e^{-i phi}(cos theta.row m + sin theta.row n),
+             row n' = −sin theta.row m + cos theta.row n. *)
+let rot_rows_t_dagger_cs u ~m ~n ~c ~s ~ere ~eim =
+  check_rot m n "Mat.rot_rows_t_dagger";
+  if m >= u.nrows || n >= u.nrows then invalid_arg "Mat.rot_rows_t_dagger: row out of bounds";
+  rot_post u.re u.im u.ncols (m * u.ncols) (n * u.ncols) 1 c s ere (-.eim)
+
 let rot_cols_t_dagger u ~m ~n ~theta ~phi =
-  let c = cos theta and s = sin theta in
-  let ere = cos phi and eim = -.sin phi in
-  for r = 0 to u.nrows - 1 do
-    let rre = u.re.(r) and rim = u.im.(r) in
-    let mre = rre.(m) and mim = rim.(m) in
-    let nre = rre.(n) and nim = rim.(n) in
-    (* w = u(r,m)·e^{-iφ} *)
-    let wre = (mre *. ere) -. (mim *. eim) in
-    let wim = (mre *. eim) +. (mim *. ere) in
-    rre.(m) <- (wre *. c) -. (nre *. s);
-    rim.(m) <- (wim *. c) -. (nim *. s);
-    rre.(n) <- (wre *. s) +. (nre *. c);
-    rim.(n) <- (wim *. s) +. (nim *. c)
-  done
+  rot_cols_t_dagger_cs u ~m ~n ~c:(cos theta) ~s:(sin theta) ~ere:(cos phi) ~eim:(sin phi)
 
-(* u ← u·T: for each row r,
-   u(r,m)' = (u(r,m)·cosθ + u(r,n)·sinθ)·e^{iφ}
-   u(r,n)' = −u(r,m)·sinθ + u(r,n)·cosθ *)
 let rot_cols_t u ~m ~n ~theta ~phi =
-  let c = cos theta and s = sin theta in
-  let ere = cos phi and eim = sin phi in
-  for r = 0 to u.nrows - 1 do
-    let rre = u.re.(r) and rim = u.im.(r) in
-    let mre = rre.(m) and mim = rim.(m) in
-    let nre = rre.(n) and nim = rim.(n) in
-    let wre = (mre *. c) +. (nre *. s) in
-    let wim = (mim *. c) +. (nim *. s) in
-    rre.(m) <- (wre *. ere) -. (wim *. eim);
-    rim.(m) <- (wre *. eim) +. (wim *. ere);
-    rre.(n) <- (nre *. c) -. (mre *. s);
-    rim.(n) <- (nim *. c) -. (mim *. s)
-  done
+  rot_cols_t_cs u ~m ~n ~c:(cos theta) ~s:(sin theta) ~ere:(cos phi) ~eim:(sin phi)
 
-(* u ← T·u: row m' = e^{iφ}cosθ·row m − sinθ·row n,
-            row n' = e^{iφ}sinθ·row m + cosθ·row n. *)
 let rot_rows_t u ~m ~n ~theta ~phi =
-  let c = cos theta and s = sin theta in
-  let ere = cos phi and eim = sin phi in
-  let mre = u.re.(m) and mim = u.im.(m) in
-  let nre = u.re.(n) and nim = u.im.(n) in
-  for j = 0 to u.ncols - 1 do
-    let amre = mre.(j) and amim = mim.(j) in
-    let anre = nre.(j) and anim = nim.(j) in
-    (* w = e^{iφ}·u(m,j) *)
-    let wre = (amre *. ere) -. (amim *. eim) in
-    let wim = (amre *. eim) +. (amim *. ere) in
-    mre.(j) <- (wre *. c) -. (anre *. s);
-    mim.(j) <- (wim *. c) -. (anim *. s);
-    nre.(j) <- (wre *. s) +. (anre *. c);
-    nim.(j) <- (wim *. s) +. (anim *. c)
-  done
+  rot_rows_t_cs u ~m ~n ~c:(cos theta) ~s:(sin theta) ~ere:(cos phi) ~eim:(sin phi)
 
-(* u ← T†·u: row m' = e^{-iφ}(cosθ·row m + sinθ·row n),
-             row n' = −sinθ·row m + cosθ·row n. *)
 let rot_rows_t_dagger u ~m ~n ~theta ~phi =
-  let c = cos theta and s = sin theta in
-  let ere = cos phi and eim = -.sin phi in
-  let mre = u.re.(m) and mim = u.im.(m) in
-  let nre = u.re.(n) and nim = u.im.(n) in
-  for j = 0 to u.ncols - 1 do
-    let amre = mre.(j) and amim = mim.(j) in
-    let anre = nre.(j) and anim = nim.(j) in
-    let wre = (amre *. c) +. (anre *. s) in
-    let wim = (amim *. c) +. (anim *. s) in
-    mre.(j) <- (wre *. ere) -. (wim *. eim);
-    mim.(j) <- (wre *. eim) +. (wim *. ere);
-    nre.(j) <- (anre *. c) -. (amre *. s);
-    nim.(j) <- (anim *. c) -. (amim *. s)
-  done
+  rot_rows_t_dagger_cs u ~m ~n ~c:(cos theta) ~s:(sin theta) ~ere:(cos phi) ~eim:(sin phi)
+
+(* ------------------------------------------------------------------ *)
+(* Views: submatrices as index sets, no storage copied.               *)
+
+module View = struct
+  type nonrec t = { base : t; row_idx : int array; col_idx : int array }
+
+  let rows v = Array.length v.row_idx
+  let cols v = Array.length v.col_idx
+
+  let get v i j = get v.base v.row_idx.(i) v.col_idx.(j)
+end
+
+let view m ~rows ~cols =
+  Array.iter
+    (fun i -> if i < 0 || i >= m.nrows then invalid_arg "Mat.view: row index out of bounds")
+    rows;
+  Array.iter
+    (fun j -> if j < 0 || j >= m.ncols then invalid_arg "Mat.view: column index out of bounds")
+    cols;
+  { View.base = m; row_idx = rows; col_idx = cols }
+
+let view_full m =
+  {
+    View.base = m;
+    row_idx = Array.init m.nrows (fun i -> i);
+    col_idx = Array.init m.ncols (fun j -> j);
+  }
+
+let of_view v =
+  init (View.rows v) (View.cols v) (fun i j -> View.get v i j)
+
+(* ------------------------------------------------------------------ *)
+(* Workspaces: scratch matrices reused across calls, keyed by          *)
+(* (slot, rows, cols). Contents of a scratch are unspecified; the      *)
+(* caller overwrites. Holders must not retain a scratch past their own *)
+(* return — distinct concurrent uses take distinct slots (see          *)
+(* docs/ARCHITECTURE.md, workspace-threading convention).              *)
+
+type workspace = {
+  tbl : (int * int * int, t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let workspace () = { tbl = Hashtbl.create 8; hits = 0; misses = 0 }
+
+let scratch ?(slot = 0) ws nrows ncols =
+  let key = (slot, nrows, ncols) in
+  match Hashtbl.find_opt ws.tbl key with
+  | Some m ->
+    ws.hits <- ws.hits + 1;
+    m
+  | None ->
+    ws.misses <- ws.misses + 1;
+    let m = create nrows ncols in
+    Hashtbl.add ws.tbl key m;
+    m
+
+let workspace_hits ws = ws.hits
+let workspace_misses ws = ws.misses
 
 let pp fmt m =
   Format.fprintf fmt "@[<v>";

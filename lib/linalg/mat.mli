@@ -2,8 +2,17 @@
 
     The high-level representation of a linear interferometer is an N×N
     unitary (paper §II-B); every Bosehedral pass manipulates values of
-    this type. Matrices are mutable arrays-of-rows; functions are
-    documented as pure unless their name says otherwise. *)
+    this type. Storage is a single contiguous row-major float plane per
+    component (real/imaginary) behind this abstract type — no other
+    module may assume the layout. Functions are documented as pure
+    unless their name says otherwise.
+
+    Beyond the constructors and elementwise operations, the module is a
+    kernel layer: in-place Givens rotations ([rot_*]), BLAS-style
+    in-place products ([gemm], [gemm_adjoint], …), [axpy]/[scale]
+    updates, in-place row/column permutations, no-copy submatrix
+    {!View}s, and {!type:workspace}s of reusable scratch matrices that
+    the compiler passes thread through the pipeline. *)
 
 type t
 
@@ -21,7 +30,8 @@ val set : t -> int -> int -> Cx.t -> unit
 
 val init : int -> int -> (int -> int -> Cx.t) -> t
 val of_arrays : Cx.t array array -> t
-(** Copies its input. @raise Invalid_argument on ragged rows. *)
+(** Copies its input. @raise Invalid_argument on empty input, a zero
+    number of columns, or ragged rows. *)
 
 val to_arrays : t -> Cx.t array array
 (** Fresh copy of the contents. *)
@@ -29,6 +39,17 @@ val to_arrays : t -> Cx.t array array
 val of_real : float array array -> t
 
 val copy : t -> t
+
+val blit : t -> t -> unit
+(** [blit src dst] overwrites [dst] with the contents of [src].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val fill_zero : t -> unit
+(** In-place: every entry becomes 0. *)
+
+val set_identity : t -> unit
+(** In-place: zero, then ones on the main diagonal. *)
+
 val transpose : t -> t
 val conj : t -> t
 val adjoint : t -> t
@@ -37,12 +58,53 @@ val adjoint : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : Cx.t -> t -> t
+
+val scale_inplace : Cx.t -> t -> unit
+(** [m ← s·m], allocation-free. *)
+
+val axpy : Cx.t -> t -> t -> unit
+(** [axpy a x y] is [y ← y + a·x], allocation-free.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val scale_row : t -> int -> Cx.t -> unit
+(** In-place scale of one row. *)
+
+val scale_col : t -> int -> Cx.t -> unit
+(** In-place scale of one column. *)
+
+val row_axpy : t -> src:int -> dst:int -> ?from:int -> Cx.t -> unit
+(** [row_axpy m ~src ~dst ~from a]: row [dst] ← row [dst] + a·row [src]
+    on columns [from..cols-1] ([from] defaults to 0) — the LU
+    elimination kernel. Allocation-free. *)
+
 val mul : t -> t -> t
 (** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val gemm : ?acc:bool -> dst:t -> t -> t -> unit
+(** [gemm ~dst a b] is [dst ← a·b] ([dst ← dst + a·b] with [~acc:true]),
+    cache-blocked over the contraction index, writing into the caller's
+    buffer — the allocation-free form of {!mul}. [dst] must not alias
+    [a] or [b]. @raise Invalid_argument on shape mismatch or aliasing. *)
+
+val gemm_adjoint : ?acc:bool -> dst:t -> t -> t -> unit
+(** [dst ← a·b†] without materializing [b†]: entry (i,j) is a dot
+    product of two contiguous rows. Same contract as {!gemm}. *)
+
+val gemm_adjoint_left : ?acc:bool -> dst:t -> t -> t -> unit
+(** [dst ← a†·b] without materializing [a†]. Same contract as {!gemm}. *)
+
+val gemm_transpose : ?acc:bool -> dst:t -> t -> t -> unit
+(** [dst ← a·bᵀ] (plain transpose, no conjugation). Same contract as
+    {!gemm}. *)
 
 val mul_vec : t -> Cx.t array -> Cx.t array
 
 val trace : t -> Cx.t
+
+val trace_mul : t -> t -> Cx.t
+(** [trace_mul a b] = tr(a·b) in O(N²) without materializing the
+    product. @raise Invalid_argument unless [a·b] is square. *)
+
 val frobenius_norm : t -> float
 val max_abs_diff : t -> t -> float
 (** Entrywise L∞ distance. *)
@@ -62,6 +124,16 @@ val swap_rows : t -> int -> int -> unit
 
 val swap_cols : t -> int -> int -> unit
 (** In-place. *)
+
+val permute_rows_inplace : int array -> t -> unit
+(** [permute_rows_inplace p m] moves row [i] to row [p.(i)] in place
+    (cycle-following; O(cols) scratch, no matrix allocated) — the
+    in-place form of [Perm.permute_rows].
+    @raise Invalid_argument if [p] is not a permutation of the rows. *)
+
+val permute_cols_inplace : int array -> t -> unit
+(** [permute_cols_inplace p m] moves column [j] to column [p.(j)] in
+    place — the in-place form of [Perm.permute_cols]. *)
 
 val map : (Cx.t -> Cx.t) -> t -> t
 
@@ -84,5 +156,89 @@ val rot_rows_t : t -> m:int -> n:int -> theta:float -> phi:float -> unit
 
 val rot_rows_t_dagger : t -> m:int -> n:int -> theta:float -> phi:float -> unit
 (** In-place [u ← T_{m,n}(θ,φ)† · u]; inverse of {!rot_rows_t}. *)
+
+(** The [_cs] variants take the rotation in precomputed form — [c] =
+    cos θ, [s] = sin θ and [(ere, eim)] = e^{iφ} — so callers that can
+    derive these algebraically (e.g. {!Givens.eliminate}, which reads
+    them off the entries being zeroed) skip the cos/sin/atan2 round
+    trip entirely. The angle-based kernels above are thin wrappers. *)
+
+val rot_cols_t_dagger_cs :
+  ?nrows:int -> t -> m:int -> n:int -> c:float -> s:float -> ere:float -> eim:float -> unit
+(** [?nrows] restricts the update to the first [nrows] rows, for
+    callers that know both columns are zero below (Clements sweeps). *)
+
+val rot_cols_t_cs :
+  t -> m:int -> n:int -> c:float -> s:float -> ere:float -> eim:float -> unit
+
+val rot_rows_t_cs :
+  ?first:int -> t -> m:int -> n:int -> c:float -> s:float -> ere:float -> eim:float -> unit
+(** [?first] restricts the update to columns [first ..], for callers
+    that know both rows are zero to the left (Clements sweeps). *)
+
+val rot_rows_t_dagger_cs :
+  t -> m:int -> n:int -> c:float -> s:float -> ere:float -> eim:float -> unit
+
+(** {1 Views}
+
+    A view is a submatrix described by row and column index sets over a
+    base matrix — nothing is copied, so the hafnian/permanent kernels
+    can address the A_{n̄} submatrices of GBS probability formulas
+    without allocating per query. Index arrays may repeat entries (the
+    GBS submatrices do). The view reads through to the live base
+    matrix; it is only valid while the base is unchanged. *)
+
+module View : sig
+  type t
+
+  val rows : t -> int
+  val cols : t -> int
+
+  val get : t -> int -> int -> Cx.t
+  (** [get v i j] = base entry at ([rows.(i)], [cols.(j)]). *)
+end
+
+val view : t -> rows:int array -> cols:int array -> View.t
+(** No-copy submatrix. The index arrays are captured, not copied — the
+    caller must not mutate them while the view is in use.
+    @raise Invalid_argument on out-of-range indices. *)
+
+val view_full : t -> View.t
+(** The whole matrix as a view. *)
+
+val of_view : View.t -> t
+(** Materialize a view into a fresh matrix. *)
+
+(** {1 Workspaces}
+
+    A workspace is a pool of scratch matrices keyed by
+    [(slot, rows, cols)], reused across calls so hot loops (the
+    500-trial mapping polish, the dropout fidelity search) allocate
+    O(1) matrices instead of O(trials). Scratch contents are
+    unspecified on acquisition; the caller overwrites. The threading
+    convention (who owns which slot, no scratch escapes the call that
+    acquired it) is documented in docs/ARCHITECTURE.md. *)
+
+type workspace
+
+val workspace : unit -> workspace
+
+val scratch : ?slot:int -> workspace -> int -> int -> t
+(** [scratch ws rows cols] returns the pooled matrix for this
+    (slot, shape), creating it on first use. [slot] (default 0)
+    separates concurrent uses of equal shapes. The returned matrix must
+    not be retained past the acquiring call's own return. *)
+
+val workspace_hits : workspace -> int
+(** Scratch requests served from the pool. *)
+
+val workspace_misses : workspace -> int
+(** Scratch requests that had to allocate. *)
+
+val allocations : unit -> int
+(** Global count of matrices allocated since program start — the
+    denominator of the compile-time allocation gauges
+    (docs/METRICS.md). Monotone; sample a delta around a region to
+    count its allocations. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+/* Flat split-plane Givens rotation kernels.
+ *
+ * An OCaml [float array] is a Double_array_tag block, so casting the
+ * value to [double *] addresses its elements directly.  All index and
+ * shape validation happens on the OCaml side (Mat.rot_*); these entry
+ * points assume in-bounds, distinct m/n.  They are [@@noalloc]: no
+ * OCaml allocation, no callbacks, so the GC cannot move the arrays
+ * mid-call.
+ *
+ * Two shapes cover the four Mat kernels:
+ *   pre  — the phase e^{iφ} multiplies plane m *before* the real
+ *          rotation (rot_cols_t_dagger with φ ← −φ, rot_rows_t);
+ *   post — the real rotation runs first and the phase lands on the
+ *          rotated m entry (rot_cols_t, rot_rows_t_dagger with φ ← −φ).
+ * Each shape comes in a unit-stride variant (row rotations: two
+ * contiguous runs, which the compiler vectorizes) and a strided
+ * variant (column rotations: stride = ncols).
+ *
+ * The restrict qualifiers are justified by the OCaml-side m <> n
+ * check: the m-run and n-run never overlap.
+ */
+
+#include <caml/mlvalues.h>
+
+static void rot_pre(double *restrict rm, double *restrict qm,
+                    double *restrict rn, double *restrict qn,
+                    intnat count, intnat stride,
+                    double c, double s, double ere, double eim)
+{
+  for (intnat k = 0; k < count; k++, rm += stride, qm += stride,
+                                 rn += stride, qn += stride) {
+    double mre = *rm, mim = *qm, nre = *rn, nim = *qn;
+    double wre = mre * ere - mim * eim;
+    double wim = mre * eim + mim * ere;
+    *rm = wre * c - nre * s;
+    *qm = wim * c - nim * s;
+    *rn = wre * s + nre * c;
+    *qn = wim * s + nim * c;
+  }
+}
+
+static void rot_post(double *restrict rm, double *restrict qm,
+                     double *restrict rn, double *restrict qn,
+                     intnat count, intnat stride,
+                     double c, double s, double ere, double eim)
+{
+  for (intnat k = 0; k < count; k++, rm += stride, qm += stride,
+                                 rn += stride, qn += stride) {
+    double mre = *rm, mim = *qm, nre = *rn, nim = *qn;
+    double wre = mre * c + nre * s;
+    double wim = mim * c + nim * s;
+    *rm = wre * ere - wim * eim;
+    *qm = wre * eim + wim * ere;
+    *rn = nre * c - mre * s;
+    *qn = nim * c - mim * s;
+  }
+}
+
+CAMLprim value bose_rot_pre_nat(value vre, value vim, intnat count,
+                                intnat km, intnat kn, intnat stride,
+                                double c, double s, double ere, double eim)
+{
+  double *re = (double *)vre, *im = (double *)vim;
+  if (stride == 1)
+    rot_pre(re + km, im + km, re + kn, im + kn, count, 1, c, s, ere, eim);
+  else
+    rot_pre(re + km, im + km, re + kn, im + kn, count, stride, c, s, ere, eim);
+  return Val_unit;
+}
+
+CAMLprim value bose_rot_post_nat(value vre, value vim, intnat count,
+                                 intnat km, intnat kn, intnat stride,
+                                 double c, double s, double ere, double eim)
+{
+  double *re = (double *)vre, *im = (double *)vim;
+  if (stride == 1)
+    rot_post(re + km, im + km, re + kn, im + kn, count, 1, c, s, ere, eim);
+  else
+    rot_post(re + km, im + km, re + kn, im + kn, count, stride, c, s, ere, eim);
+  return Val_unit;
+}
+
+CAMLprim value bose_rot_pre_byte(value *argv, int argn)
+{
+  (void)argn;
+  return bose_rot_pre_nat(argv[0], argv[1], Long_val(argv[2]),
+                          Long_val(argv[3]), Long_val(argv[4]),
+                          Long_val(argv[5]), Double_val(argv[6]),
+                          Double_val(argv[7]), Double_val(argv[8]),
+                          Double_val(argv[9]));
+}
+
+CAMLprim value bose_rot_post_byte(value *argv, int argn)
+{
+  (void)argn;
+  return bose_rot_post_nat(argv[0], argv[1], Long_val(argv[2]),
+                           Long_val(argv[3]), Long_val(argv[4]),
+                           Long_val(argv[5]), Double_val(argv[6]),
+                           Double_val(argv[7]), Double_val(argv[8]),
+                           Double_val(argv[9]));
+}

@@ -37,15 +37,25 @@ let is_identity p =
   Array.iteri (fun i x -> if i <> x then ok := false) p;
   !ok
 
+let permute_rows_inplace p m =
+  if Array.length p <> Mat.rows m then invalid_arg "Perm.permute_rows_inplace: size mismatch";
+  Mat.permute_rows_inplace p m
+
+let permute_cols_inplace p m =
+  if Array.length p <> Mat.cols m then invalid_arg "Perm.permute_cols_inplace: size mismatch";
+  Mat.permute_cols_inplace p m
+
 let permute_rows p m =
   if Array.length p <> Mat.rows m then invalid_arg "Perm.permute_rows: size mismatch";
-  let inv = inverse p in
-  Mat.init (Mat.rows m) (Mat.cols m) (fun i j -> Mat.get m inv.(i) j)
+  let r = Mat.copy m in
+  Mat.permute_rows_inplace p r;
+  r
 
 let permute_cols p m =
   if Array.length p <> Mat.cols m then invalid_arg "Perm.permute_cols: size mismatch";
-  let inv = inverse p in
-  Mat.init (Mat.rows m) (Mat.cols m) (fun i j -> Mat.get m i inv.(j))
+  let r = Mat.copy m in
+  Mat.permute_cols_inplace p r;
+  r
 
 let matrix p =
   let n = Array.length p in

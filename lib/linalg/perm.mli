@@ -32,6 +32,13 @@ val permute_cols : t -> Mat.t -> Mat.t
 (** [permute_cols p m] moves column [j] of [m] to column [p j];
     equals [m · Pᵀ]. *)
 
+val permute_rows_inplace : t -> Mat.t -> unit
+(** In-place {!permute_rows} (cycle-following, no matrix allocated) —
+    the zero-copy relabeling used by the mapping candidate search. *)
+
+val permute_cols_inplace : t -> Mat.t -> unit
+(** In-place {!permute_cols}. *)
+
 val matrix : t -> Mat.t
 (** Dense matrix [P] with [P(p i, i) = 1], so [P·x] relabels vector
     entries by [p]. *)

@@ -15,12 +15,12 @@ let decompose a =
   in
   (lambda, u)
 
+(* U·diag(λ)·Uᵀ as a column scaling plus one blocked gemm_transpose. *)
 let reconstruct lambda u =
   let n = Array.length lambda in
   if Mat.rows u <> n || Mat.cols u <> n then invalid_arg "Takagi.reconstruct: size mismatch";
-  Mat.init n n (fun i j ->
-      let acc = ref Cx.zero in
-      for k = 0 to n - 1 do
-        acc := !acc +: (Mat.get u i k *: Cx.re lambda.(k) *: Mat.get u j k)
-      done;
-      !acc)
+  let scaled = Mat.copy u in
+  Array.iteri (fun k l -> Mat.scale_col scaled k (Cx.re l)) lambda;
+  let r = Mat.create n n in
+  Mat.gemm_transpose ~dst:r scaled u;
+  r

@@ -52,20 +52,23 @@ let ginibre rng n =
       Cx.make (re /. sqrt 2.) (im /. sqrt 2.))
 
 (* Mezzadri's fix: scale the columns of Q by the phases of diag(R) so the
-   result is exactly Haar-distributed rather than merely unitary. *)
+   result is exactly Haar-distributed rather than merely unitary. The
+   phases are applied in place with the column kernel. *)
 let haar_random rng n =
   let q, r = qr (ginibre rng n) in
-  Mat.init n n (fun i j ->
-      let d = Mat.get r j j in
-      let phase = if Cx.abs d = 0. then Cx.one else Cx.exp_i (Cx.arg d) in
-      Mat.get q i j *: phase)
+  for j = 0 to n - 1 do
+    let d = Mat.get r j j in
+    if Cx.abs d <> 0. then Mat.scale_col q j (Cx.exp_i (Cx.arg d))
+  done;
+  q
 
 let random_orthogonal rng n =
   let g = Mat.init n n (fun _ _ -> Cx.re (Rng.gaussian rng)) in
   let q, r = qr g in
-  Mat.init n n (fun i j ->
-      let sign = if (Mat.get r j j).re < 0. then Cx.re (-1.) else Cx.one in
-      Mat.get q i j *: sign)
+  for j = 0 to n - 1 do
+    if (Mat.get r j j).re < 0. then Mat.scale_col q j (Cx.re (-1.))
+  done;
+  q
 
 let random_diagonal_phases rng n =
   let m = Mat.create n n in

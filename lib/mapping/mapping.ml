@@ -14,6 +14,7 @@ let c_polish_accepted = Obs.Counter.make "map.polish_accepted"
 let g_indicator_k = Obs.Gauge.make "map.indicator_k"
 let g_small_angles = Obs.Gauge.make "map.small_angles"
 let g_amplitude_gain = Obs.Gauge.make "map.amplitude_gain"
+let g_polish_mats = Obs.Gauge.make "map.polish_mats_per_trial"
 
 type t = {
   permuted : Mat.t;
@@ -165,21 +166,25 @@ let row_sort w main_cols =
   Array.iteri (fun dest src -> p.(src) <- dest) order;
   Perm.of_array p
 
-let run_for_k ~theta_threshold pattern u k =
+let run_for_k ?ws ~theta_threshold pattern u k =
   Obs.Counter.incr c_candidate_ks;
   let regions = Pattern.branch_regions pattern in
   let main_cols = List.hd regions in
   let w1, cp1, alpha = column_search ~k u main_cols in
   let cp2 = branch_assignment ~k w1 alpha regions in
-  let w2 = Perm.permute_cols cp2 w1 in
+  (* [w1] is owned by this call (column_search copies), so the branch
+     assignment and row sort are applied in place — the candidate search
+     allocates exactly one matrix per K regardless of how many
+     permutations it composes. *)
+  Perm.permute_cols_inplace cp2 w1;
   let col_perm = Perm.compose cp2 cp1 in
-  let row_perm = row_sort w2 main_cols in
-  let permuted = Perm.permute_rows row_perm w2 in
-  let plan = Eliminate.decompose pattern permuted in
+  let row_perm = row_sort w1 main_cols in
+  Perm.permute_rows_inplace row_perm w1;
+  let plan = Eliminate.decompose ?ws pattern w1 in
   let small = Plan.small_angle_count plan ~threshold:theta_threshold in
-  { permuted; row_perm; col_perm; indicator_k = k; small_angles = small }
+  { permuted = w1; row_perm; col_perm; indicator_k = k; small_angles = small }
 
-let optimize ?(theta_threshold = 0.1) ?candidate_ks pattern u =
+let optimize ?ws ?(theta_threshold = 0.1) ?candidate_ks pattern u =
   let n = Mat.rows u in
   if Mat.cols u <> n || n <> Pattern.size pattern then
     invalid_arg "Mapping.optimize: unitary and pattern sizes differ";
@@ -194,7 +199,7 @@ let optimize ?(theta_threshold = 0.1) ?candidate_ks pattern u =
            (fun k -> if k >= 1 && k <= n then Some k else None)
            [ n / 4; n / 3; n / 2; 2 * n / 3; max 1 (n / 2) ])
   in
-  let results = List.map (run_for_k ~theta_threshold pattern u) candidates in
+  let results = List.map (run_for_k ?ws ~theta_threshold pattern u) candidates in
   let best =
     List.fold_left
       (fun best r -> if r.small_angles > best.small_angles then r else best)
@@ -220,12 +225,13 @@ let droppable_within plan ~tau =
   in
   go 0 0.
 
-let polish ?(trials = 400) ?(tau = 0.95) ~rng pattern t =
+let polish ?ws ?(trials = 400) ?(tau = 0.95) ~rng pattern t =
   let n = Mat.rows t.permuted in
   let w = Mat.copy t.permuted in
   let col_perm = ref t.col_perm and row_perm = ref t.row_perm in
-  let score () = droppable_within (Eliminate.decompose pattern w) ~tau in
+  let score () = droppable_within (Eliminate.decompose ?ws pattern w) ~tau in
   let best = ref (score ()) in
+  let mats_before = Mat.allocations () in
   for _ = 1 to trials do
     Obs.Counter.incr c_polish_trials;
     let a = Bose_util.Rng.int rng n and b = Bose_util.Rng.int rng n in
@@ -243,7 +249,10 @@ let polish ?(trials = 400) ?(tau = 0.95) ~rng pattern t =
       else Mat.swap_cols w a b
     end
   done;
-  let plan = Eliminate.decompose pattern w in
+  if trials > 0 then
+    Obs.Gauge.set g_polish_mats
+      (float_of_int (Mat.allocations () - mats_before) /. float_of_int trials);
+  let plan = Eliminate.decompose ?ws pattern w in
   let small = Plan.small_angle_count plan ~threshold:0.1 in
   Obs.Gauge.set g_small_angles (float_of_int small);
   {
@@ -262,5 +271,7 @@ let relabel_output t physical =
 let input_site t i = Perm.apply t.col_perm i
 
 let recovered_unitary t =
-  Perm.permute_rows (Perm.inverse t.row_perm)
-    (Perm.permute_cols (Perm.inverse t.col_perm) t.permuted)
+  let u = Mat.copy t.permuted in
+  Perm.permute_cols_inplace (Perm.inverse t.col_perm) u;
+  Perm.permute_rows_inplace (Perm.inverse t.row_perm) u;
+  u

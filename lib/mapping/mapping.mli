@@ -27,6 +27,7 @@ val trivial : Bose_linalg.Mat.t -> t
 (** Identity mapping (used by the Baseline and Decomp-Opt configurations). *)
 
 val optimize :
+  ?ws:Bose_linalg.Mat.workspace ->
   ?theta_threshold:float ->
   ?candidate_ks:int list ->
   Bose_hardware.Pattern.t ->
@@ -35,9 +36,12 @@ val optimize :
 (** Full §V-D optimization. [candidate_ks] defaults to
     [{N/4, N/3, N/2, 2N/3}]; for each K the column search and row sort
     run and the K producing the most rotations with
-    |θ| < [theta_threshold] (default 0.1) wins. *)
+    |θ| < [theta_threshold] (default 0.1) wins. [?ws] is threaded to the
+    trial decompositions so the candidate search reuses one elimination
+    work matrix. *)
 
 val polish :
+  ?ws:Bose_linalg.Mat.workspace ->
   ?trials:int ->
   ?tau:float ->
   rng:Bose_util.Rng.t ->
@@ -51,7 +55,10 @@ val polish :
     actual decomposition. Each trial costs one O(N³) elimination, so
     [trials] (default 400) should shrink with N — the compiler scales it.
     The accepted swaps are composed into the returned permutations, so
-    the §V-B relabeling identity keeps holding. *)
+    the §V-B relabeling identity keeps holding. With [?ws] each trial's
+    elimination reuses the workspace's work matrix, dropping the loop to
+    O(1) matrix allocations total (reported by the
+    [map.polish_mats_per_trial] gauge). *)
 
 val main_region_row_mass : Bose_hardware.Pattern.t -> Bose_linalg.Mat.t -> float array
 (** α_i = Σ_{j ∈ main region} |u_ij|² for every row — §V-D's indicator

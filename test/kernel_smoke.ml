@@ -1,0 +1,73 @@
+(* Kernel smoke check, run by `dune runtest`: the flat linalg kernels
+   (gemm, Givens rotations, elimination) must agree with naive get/set
+   references at N=16, and a workspace-backed decomposition must
+   allocate zero matrices once the scratch is warm. Deterministic — no
+   timing — so a kernel regression fails CI without flakes. *)
+
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Givens = Bose_linalg.Givens
+module Pattern = Bose_hardware.Pattern
+module Eliminate = Bose_decomp.Eliminate
+module Clements = Bose_decomp.Clements
+module Plan = Bose_decomp.Plan
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "[kernel-smoke] ok   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "[kernel-smoke] FAIL %s\n" name
+  end
+
+let naive_mul a b =
+  let open Cx in
+  Mat.init (Mat.rows a) (Mat.cols b) (fun i j ->
+      let acc = ref Cx.zero in
+      for k = 0 to Mat.cols a - 1 do
+        acc := !acc +: (Mat.get a i k *: Mat.get b k j)
+      done;
+      !acc)
+
+let () =
+  let n = 16 in
+  let rng = Rng.create 2026 in
+  let u = Unitary.haar_random rng n in
+  let v = Unitary.haar_random rng n in
+
+  (* gemm vs naive reference. *)
+  let dst = Mat.create n n in
+  Mat.gemm ~dst u v;
+  check "gemm-16 matches naive mul" (Mat.equal ~tol:1e-10 dst (naive_mul u v));
+
+  (* Givens rotation kernel vs dense product. *)
+  let r = Givens.of_angles ~m:3 ~n:9 ~theta:0.77 ~phi:(-0.4) in
+  let rotated = Mat.copy u in
+  Givens.apply_t_right rotated r;
+  check "givens-rot-16 matches dense product"
+    (Mat.equal ~tol:1e-10 rotated (naive_mul u (Givens.matrix n r)));
+
+  (* Chain elimination reconstructs its input. *)
+  let plan = Eliminate.decompose_baseline u in
+  check "decompose-16 reconstructs" (Plan.fidelity plan u > 1. -. 1e-9);
+
+  (* Clements agrees with elimination on the same unitary. *)
+  let c = Clements.decompose u in
+  check "clements-16 reconstructs" (Mat.equal ~tol:1e-8 (Clements.reconstruct c) u);
+
+  (* Workspace discipline: after a warm-up decomposition, a ws-backed
+     decompose allocates zero matrices. *)
+  let ws = Mat.workspace () in
+  ignore (Eliminate.decompose ~ws (Pattern.chain n) u);
+  let before = Mat.allocations () in
+  ignore (Eliminate.decompose ~ws (Pattern.chain n) u);
+  check "ws decompose allocates no matrices" (Mat.allocations () = before);
+  ignore (Plan.fidelity ~ws plan u);
+  let before = Mat.allocations () in
+  ignore (Plan.fidelity ~ws plan u);
+  check "ws fidelity allocates no matrices" (Mat.allocations () = before);
+
+  if !failures > 0 then exit 1

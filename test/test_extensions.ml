@@ -253,7 +253,7 @@ let test_generic_embedding_beats_chain () =
 let test_mzi2_matches_t_matrix () =
   List.iter
     (fun (theta, phi) ->
-       let t = Givens.matrix 2 { Givens.m = 0; n = 1; theta; phi } in
+       let t = Givens.matrix 2 (Givens.of_angles ~m:0 ~n:1 ~theta ~phi) in
        let s1 = Gaussian.vacuum 2 and s2 = Gaussian.vacuum 2 in
        Gaussian.squeeze s1 0 (Cx.re 0.4);
        Gaussian.squeeze s2 0 (Cx.re 0.4);
@@ -724,7 +724,7 @@ let test_hong_ou_mandel () =
   (* Two photons on a 50:50 beamsplitter never exit separately —
      quantum interference the distinguishable baseline lacks. *)
   let bs =
-    Givens.matrix 2 { Givens.m = 0; n = 1; theta = Float.pi /. 4.; phi = 0. }
+    Givens.matrix 2 (Givens.of_angles ~m:0 ~n:1 ~theta:(Float.pi /. 4.) ~phi:0.)
   in
   let quantum = Boson_sampling.distribution bs ~input:[| 1; 1 |] in
   check_close "HOM dip" 1e-12 0. (List.assoc [ 1; 1 ] quantum);

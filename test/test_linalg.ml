@@ -80,7 +80,7 @@ let test_rot_matches_dense () =
   (* The in-place kernel must agree with dense multiplication by T†. *)
   let rng = Rng.create 7 in
   let u = Unitary.haar_random rng 5 in
-  let r = { Givens.m = 1; n = 3; theta = 0.7; phi = -0.4 } in
+  let r = Givens.of_angles ~m:1 ~n:3 ~theta:0.7 ~phi:(-0.4) in
   let kernel = Mat.copy u in
   Givens.apply_t_dagger_right kernel r;
   let dense = Mat.mul u (Mat.adjoint (Givens.matrix 5 r)) in
@@ -96,7 +96,8 @@ let test_givens_eliminates () =
   let rot = Givens.eliminate w ~row:5 ~m:2 ~n:4 in
   check_close "entry zeroed" 1e-12 0. (Cx.abs (Mat.get w 5 2));
   check_close "amplitude accumulated" 1e-10 before (Cx.abs2 (Mat.get w 5 4));
-  Alcotest.(check bool) "theta in range" true (rot.Givens.theta >= 0. && rot.Givens.theta <= Float.pi /. 2.)
+  let theta = Givens.theta rot in
+  Alcotest.(check bool) "theta in range" true (theta >= 0. && theta <= Float.pi /. 2.)
 
 let test_givens_small_angle_for_small_entry () =
   (* Eliminating a small entry against a large one gives a small theta. *)
@@ -112,7 +113,7 @@ let test_givens_small_angle_for_small_entry () =
 let test_givens_zero_entry () =
   let m = Mat.identity 3 in
   let rot = Givens.eliminate m ~row:0 ~m:1 ~n:2 in
-  check_close "theta 0 when already zero" 1e-12 0. rot.Givens.theta
+  check_close "theta 0 when already zero" 1e-12 0. (Givens.theta rot)
 
 (* ----------------------------------------------------------------- Perm *)
 
@@ -268,6 +269,212 @@ let test_linsolve_singular () =
   Alcotest.check_raises "singular" (Invalid_argument "Linsolve: singular matrix") (fun () ->
       ignore (Linsolve.det m))
 
+(* -------------------------------------------------------------- kernels *)
+
+(* Naive get/set references for the flat kernels: everything below only
+   touches the public element API, so a layout or blocking bug in the
+   kernels cannot also be in the reference. *)
+
+let random_mat rng rows cols =
+  Mat.init rows cols (fun _ _ ->
+      let re, im = Rng.gaussian_pair rng in
+      Cx.make re im)
+
+let naive_mul a b =
+  let open Cx in
+  Mat.init (Mat.rows a) (Mat.cols b) (fun i j ->
+      let acc = ref Cx.zero in
+      for k = 0 to Mat.cols a - 1 do
+        acc := !acc +: (Mat.get a i k *: Mat.get b k j)
+      done;
+      !acc)
+
+let test_of_arrays_zero_cols () =
+  Alcotest.check_raises "zero columns" (Invalid_argument "Mat.of_arrays: zero columns")
+    (fun () -> ignore (Mat.of_arrays [| [||]; [||] |]))
+
+let test_gemm_matches_naive () =
+  let rng = Rng.create 40 in
+  (* Non-square shapes, including degenerate 1×1, straddle the blocking
+     boundary (block size 64 needs > 64 columns to exercise wraparound). *)
+  List.iter
+    (fun (m, k, n) ->
+       let a = random_mat rng m k and b = random_mat rng k n in
+       let dst = Mat.create m n in
+       Mat.gemm ~dst a b;
+       Alcotest.(check bool)
+         (Printf.sprintf "gemm %dx%d·%dx%d" m k k n)
+         true
+         (Mat.equal ~tol:1e-10 dst (naive_mul a b));
+       (* acc:true adds on top. *)
+       Mat.gemm ~acc:true ~dst a b;
+       Alcotest.(check bool) "gemm acc" true
+         (Mat.equal ~tol:1e-10 dst (Mat.scale (Cx.re 2.) (naive_mul a b))))
+    [ (1, 1, 1); (3, 5, 4); (5, 3, 7); (8, 8, 8); (2, 70, 3) ]
+
+let test_gemm_variants_match_naive () =
+  let rng = Rng.create 41 in
+  let a = random_mat rng 4 6 and b = random_mat rng 5 6 in
+  let dst = Mat.create 4 5 in
+  Mat.gemm_adjoint ~dst a b;
+  Alcotest.(check bool) "gemm_adjoint = a·b†" true
+    (Mat.equal ~tol:1e-10 dst (naive_mul a (Mat.adjoint b)));
+  let c = random_mat rng 6 4 and d = random_mat rng 6 5 in
+  let dst2 = Mat.create 4 5 in
+  Mat.gemm_adjoint_left ~dst:dst2 c d;
+  Alcotest.(check bool) "gemm_adjoint_left = c†·d" true
+    (Mat.equal ~tol:1e-10 dst2 (naive_mul (Mat.adjoint c) d));
+  let e = random_mat rng 4 6 and f = random_mat rng 5 6 in
+  let dst3 = Mat.create 4 5 in
+  Mat.gemm_transpose ~dst:dst3 e f;
+  Alcotest.(check bool) "gemm_transpose = e·fᵀ" true
+    (Mat.equal ~tol:1e-10 dst3 (naive_mul e (Mat.transpose f)))
+
+let test_gemm_rejects_aliasing () =
+  let m = Mat.identity 3 in
+  Alcotest.check_raises "dst aliases a" (Invalid_argument "Mat.gemm: dst aliases an input")
+    (fun () -> Mat.gemm ~dst:m m (Mat.identity 3))
+
+let test_axpy_scale_match_reference () =
+  let rng = Rng.create 42 in
+  let x = random_mat rng 3 5 and y = random_mat rng 3 5 in
+  let alpha = Cx.make 0.3 (-1.1) in
+  let expected =
+    Mat.init 3 5 (fun i j -> Cx.( +: ) (Mat.get y i j) (Cx.( *: ) alpha (Mat.get x i j)))
+  in
+  let y' = Mat.copy y in
+  Mat.axpy alpha x y';
+  Alcotest.(check bool) "axpy" true (Mat.equal ~tol:1e-12 y' expected);
+  let s = Mat.copy x in
+  Mat.scale_inplace alpha s;
+  Alcotest.(check bool) "scale_inplace = scale" true
+    (Mat.equal ~tol:1e-12 s (Mat.scale alpha x))
+
+let test_rot_rows_matches_dense () =
+  let rng = Rng.create 43 in
+  let u = Unitary.haar_random rng 5 in
+  let r = Givens.of_angles ~m:0 ~n:4 ~theta:1.1 ~phi:0.3 in
+  let kernel = Mat.copy u in
+  Givens.apply_t_left kernel r;
+  Alcotest.(check bool) "T·u" true
+    (Mat.equal ~tol:1e-12 kernel (Mat.mul (Givens.matrix 5 r) u));
+  let kernel2 = Mat.copy u in
+  Givens.apply_t_dagger_left kernel2 r;
+  Alcotest.(check bool) "T†·u" true
+    (Mat.equal ~tol:1e-12 kernel2 (Mat.mul (Mat.adjoint (Givens.matrix 5 r)) u))
+
+(* The ranged kernels (?nrows on column rotations, ?first on row
+   rotations) must match the full kernel on the covered range and
+   leave everything outside it untouched. *)
+let test_ranged_rotations () =
+  let rng = Rng.create 47 in
+  let u = random_mat rng 7 7 in
+  let c = cos 0.9 and s = sin 0.9 in
+  let ere = cos (-0.7) and eim = sin (-0.7) in
+  let full = Mat.copy u in
+  Mat.rot_cols_t_dagger_cs full ~m:1 ~n:4 ~c ~s ~ere ~eim;
+  let ranged = Mat.copy u in
+  Mat.rot_cols_t_dagger_cs ~nrows:3 ranged ~m:1 ~n:4 ~c ~s ~ere ~eim;
+  for i = 0 to 6 do
+    for j = 0 to 6 do
+      let expected = if i < 3 then Mat.get full i j else Mat.get u i j in
+      Alcotest.(check bool)
+        (Printf.sprintf "cols nrows (%d,%d)" i j)
+        true
+        (Cx.is_close ~tol:1e-12 (Mat.get ranged i j) expected)
+    done
+  done;
+  let full = Mat.copy u in
+  Mat.rot_rows_t_cs full ~m:2 ~n:5 ~c ~s ~ere ~eim;
+  let ranged = Mat.copy u in
+  Mat.rot_rows_t_cs ~first:4 ranged ~m:2 ~n:5 ~c ~s ~ere ~eim;
+  for i = 0 to 6 do
+    for j = 0 to 6 do
+      let expected = if j >= 4 then Mat.get full i j else Mat.get u i j in
+      Alcotest.(check bool)
+        (Printf.sprintf "rows first (%d,%d)" i j)
+        true
+        (Cx.is_close ~tol:1e-12 (Mat.get ranged i j) expected)
+    done
+  done;
+  Alcotest.check_raises "bad nrows" (Invalid_argument "Mat.rot_cols_t_dagger: bad nrows")
+    (fun () -> Mat.rot_cols_t_dagger_cs ~nrows:8 (Mat.copy u) ~m:0 ~n:1 ~c ~s ~ere ~eim);
+  Alcotest.check_raises "bad first" (Invalid_argument "Mat.rot_rows_t: bad first")
+    (fun () -> Mat.rot_rows_t_cs ~first:(-1) (Mat.copy u) ~m:0 ~n:1 ~c ~s ~ere ~eim)
+
+(* Kernel-form rotations: of_angles and the theta/phi accessors are
+   inverses, and an eliminate-derived rotation agrees with one rebuilt
+   from its own angles. *)
+let test_rotation_angle_accessors () =
+  let theta0 = 0.41 and phi0 = -2.3 in
+  let r = Givens.of_angles ~m:0 ~n:1 ~theta:theta0 ~phi:phi0 in
+  check_close "theta roundtrip" 1e-12 theta0 (Givens.theta r);
+  check_close "phi roundtrip" 1e-12 phi0 (Givens.phi r);
+  let rng = Rng.create 48 in
+  let w = Unitary.haar_random rng 6 in
+  let rot = Givens.eliminate w ~row:3 ~m:1 ~n:2 in
+  let rebuilt =
+    Givens.of_angles ~m:1 ~n:2 ~theta:(Givens.theta rot) ~phi:(Givens.phi rot)
+  in
+  check_close "c" 1e-12 rot.Givens.c rebuilt.Givens.c;
+  check_close "s" 1e-12 rot.Givens.s rebuilt.Givens.s;
+  check_close "ere" 1e-12 rot.Givens.ere rebuilt.Givens.ere;
+  check_close "eim" 1e-12 rot.Givens.eim rebuilt.Givens.eim
+
+let test_permute_inplace_matches_pure () =
+  let rng = Rng.create 44 in
+  (* Non-square: rows and cols exercised with different sizes. *)
+  let m = random_mat rng 6 4 in
+  let pr = Perm.random rng 6 and pc = Perm.random rng 4 in
+  let rows_inplace = Mat.copy m in
+  Perm.permute_rows_inplace pr rows_inplace;
+  Alcotest.(check bool) "rows" true
+    (Mat.equal ~tol:0. rows_inplace (Perm.permute_rows pr m));
+  let cols_inplace = Mat.copy m in
+  Perm.permute_cols_inplace pc cols_inplace;
+  Alcotest.(check bool) "cols" true
+    (Mat.equal ~tol:0. cols_inplace (Perm.permute_cols pc m))
+
+let test_views_match_submatrix () =
+  let rng = Rng.create 45 in
+  let m = random_mat rng 6 5 in
+  let rows = [| 4; 0; 4 |] and cols = [| 1; 3 |] in
+  let v = Mat.view m ~rows ~cols in
+  Alcotest.(check int) "rows" 3 (Mat.View.rows v);
+  Alcotest.(check int) "cols" 2 (Mat.View.cols v);
+  let materialized = Mat.of_view v in
+  let expected = Mat.init 3 2 (fun i j -> Mat.get m rows.(i) cols.(j)) in
+  Alcotest.(check bool) "of_view = submatrix" true (Mat.equal ~tol:0. materialized expected);
+  (* Views are live: writing through the base is visible. *)
+  Mat.set m 4 1 (Cx.re 9.);
+  Alcotest.(check bool) "view is zero-copy" true
+    (Cx.is_close (Mat.View.get v 0 0) (Cx.re 9.));
+  Alcotest.check_raises "bad index" (Invalid_argument "Mat.view: row index out of bounds")
+    (fun () -> ignore (Mat.view m ~rows:[| 6 |] ~cols:[| 0 |]))
+
+let test_workspace_reuses_scratch () =
+  let ws = Mat.workspace () in
+  let a = Mat.scratch ws 8 8 in
+  let b = Mat.scratch ws 8 8 in
+  Alcotest.(check bool) "same matrix back" true (a == b);
+  let c = Mat.scratch ~slot:1 ws 8 8 in
+  Alcotest.(check bool) "slots are distinct" true (not (a == c));
+  let d = Mat.scratch ws 4 4 in
+  Alcotest.(check bool) "shapes are distinct" true (not (a == d));
+  Alcotest.(check int) "hits" 1 (Mat.workspace_hits ws);
+  Alcotest.(check int) "misses" 3 (Mat.workspace_misses ws);
+  (* A second same-shape round trip allocates nothing. *)
+  let before = Mat.allocations () in
+  ignore (Mat.scratch ws 8 8);
+  ignore (Mat.scratch ~slot:1 ws 8 8);
+  Alcotest.(check int) "no allocations on reuse" before (Mat.allocations ())
+
+let test_trace_mul_matches () =
+  let rng = Rng.create 46 in
+  let a = random_mat rng 5 5 and b = random_mat rng 5 5 in
+  Alcotest.(check bool) "trace_mul = trace(a·b)" true
+    (Cx.is_close ~tol:1e-10 (Mat.trace_mul a b) (Mat.trace (Mat.mul a b)))
+
 (* ------------------------------------------------------------ properties *)
 
 let qcheck_tests =
@@ -310,6 +517,59 @@ let qcheck_tests =
         let _, d1 = Linsolve.inverse_det u in
         let d2 = Linsolve.det u in
         Cx.is_close ~tol:1e-9 d1 d2);
+    Test.make ~name:"gemm matches naive on random shapes" ~count:40 small_int (fun seed ->
+        let rng = Rng.create (seed + 31) in
+        let m = 1 + (abs seed mod 7)
+        and k = 1 + (abs (seed * 13) mod 7)
+        and n = 1 + (abs (seed * 29) mod 7) in
+        let a = random_mat rng m k and b = random_mat rng k n in
+        let dst = Mat.create m n in
+        Mat.gemm ~dst a b;
+        Mat.equal ~tol:1e-10 dst (naive_mul a b));
+    Test.make ~name:"rot kernels match dense rotation products" ~count:40 small_int
+      (fun seed ->
+         let rng = Rng.create (seed + 53) in
+         let dim = 2 + (abs seed mod 7) in
+         let u = Unitary.haar_random rng dim in
+         let m = abs (seed * 7) mod dim in
+         let n = abs (seed * 11) mod dim in
+         let n = if n = m then (m + 1) mod dim else n in
+         let m, n = (min m n, max m n) in
+         let r = Givens.of_angles ~m ~n ~theta:(Rng.float rng 3.0) ~phi:(Rng.float rng 6.0) in
+         let t = Givens.matrix dim r in
+         let right = Mat.copy u in
+         Givens.apply_t_right right r;
+         let dright = Mat.copy u in
+         Givens.apply_t_dagger_right dright r;
+         let left = Mat.copy u in
+         Givens.apply_t_left left r;
+         Mat.equal ~tol:1e-10 right (Mat.mul u t)
+         && Mat.equal ~tol:1e-10 dright (Mat.mul u (Mat.adjoint t))
+         && Mat.equal ~tol:1e-10 left (Mat.mul t u));
+    Test.make ~name:"in-place permutes invert with the inverse perm" ~count:40 small_int
+      (fun seed ->
+         let rng = Rng.create (seed + 97) in
+         let rows = 1 + (abs seed mod 8) and cols = 1 + (abs (seed * 17) mod 8) in
+         let m = random_mat rng rows cols in
+         let pr = Perm.random rng rows and pc = Perm.random rng cols in
+         let w = Mat.copy m in
+         Perm.permute_rows_inplace pr w;
+         Perm.permute_cols_inplace pc w;
+         Perm.permute_cols_inplace (Perm.inverse pc) w;
+         Perm.permute_rows_inplace (Perm.inverse pr) w;
+         Mat.equal ~tol:0. w m);
+    Test.make ~name:"views agree with materialized submatrices" ~count:40 small_int
+      (fun seed ->
+         let rng = Rng.create (seed + 131) in
+         let rows = 1 + (abs seed mod 6) and cols = 1 + (abs (seed * 19) mod 6) in
+         let m = random_mat rng rows cols in
+         let vr = Array.init (1 + (abs (seed * 3) mod rows)) (fun i -> (i + abs seed) mod rows) in
+         let vc = Array.init (1 + (abs (seed * 5) mod cols)) (fun i -> (i + abs (seed * 7)) mod cols) in
+         let v = Mat.view m ~rows:vr ~cols:vc in
+         let expected =
+           Mat.init (Array.length vr) (Array.length vc) (fun i j -> Mat.get m vr.(i) vc.(j))
+         in
+         Mat.equal ~tol:0. (Mat.of_view v) expected);
   ]
 
 let () =
@@ -354,6 +614,21 @@ let () =
           Alcotest.test_case "rejects asymmetric" `Quick test_eigen_rejects_asymmetric;
         ] );
       ("takagi", [ Alcotest.test_case "roundtrip" `Quick test_takagi_roundtrip ]);
+      ( "kernels",
+        [
+          Alcotest.test_case "of_arrays zero cols" `Quick test_of_arrays_zero_cols;
+          Alcotest.test_case "gemm vs naive" `Quick test_gemm_matches_naive;
+          Alcotest.test_case "gemm variants vs naive" `Quick test_gemm_variants_match_naive;
+          Alcotest.test_case "gemm aliasing" `Quick test_gemm_rejects_aliasing;
+          Alcotest.test_case "axpy/scale" `Quick test_axpy_scale_match_reference;
+          Alcotest.test_case "rot rows vs dense" `Quick test_rot_rows_matches_dense;
+          Alcotest.test_case "ranged rotations" `Quick test_ranged_rotations;
+          Alcotest.test_case "rotation angle accessors" `Quick test_rotation_angle_accessors;
+          Alcotest.test_case "permute in place" `Quick test_permute_inplace_matches_pure;
+          Alcotest.test_case "views" `Quick test_views_match_submatrix;
+          Alcotest.test_case "workspace" `Quick test_workspace_reuses_scratch;
+          Alcotest.test_case "trace_mul" `Quick test_trace_mul_matches;
+        ] );
       ( "linsolve",
         [
           Alcotest.test_case "known det" `Quick test_linsolve_known_det;
