@@ -2,15 +2,18 @@
 
    Subcommands:
      compile    compile an interferometer and print the plan summary
+     check      statically verify serialized artifacts (lint engine)
      simulate   compile + execute on the noisy simulator, report JSD
      layouts    compare square / triangular / hexagonal couplings
 
    Every subcommand accepts --metrics-out FILE (write the telemetry
    report as JSON, schema in docs/METRICS.md) and --trace (stream span
-   closures to stderr as passes finish). *)
+   closures to stderr as passes finish). `check` exits 1 when any
+   error-severity diagnostic fires (codes in docs/DIAGNOSTICS.md). *)
 
 module Rng = Bose_util.Rng
 module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
 module Dist = Bose_util.Dist
 module Unitary = Bose_linalg.Unitary
 module Lattice = Bose_hardware.Lattice
@@ -20,6 +23,8 @@ module Pattern = Bose_hardware.Pattern
 module Plan = Bose_decomp.Plan
 module Noise = Bose_circuit.Noise
 module Obs = Bose_obs.Obs
+module Lint = Bose_lint.Lint
+module Diag = Bose_lint.Diag
 open Bosehedral
 
 (* Run [f] under the telemetry switch implied by --metrics-out/--trace:
@@ -62,7 +67,8 @@ let make_unitary rng ~modes ~graph_p =
     let g = Bose_apps.Graph.random rng ~n:modes ~p in
     Bose_apps.Encoding.unitary_of g
 
-let run_compile rows cols modes seed config tau graph_p effort verbose metrics_out trace =
+let run_compile rows cols modes seed config tau graph_p effort verbose plan_out
+    unitary_out metrics_out trace =
   let rng = Rng.create seed in
   let device = Lattice.create ~rows ~cols in
   let modes = match modes with Some n -> n | None -> Lattice.size device in
@@ -83,13 +89,112 @@ let run_compile rows cols modes seed config tau graph_p effort verbose metrics_o
      Format.printf "dropout: |Θ| = %.4f, M = %d, K = %d, τ_K = %.6f@."
        p.Bose_dropout.Dropout.theta_cut p.Bose_dropout.Dropout.kept_count
        p.Bose_dropout.Dropout.power p.Bose_dropout.Dropout.expected_fidelity);
-  (match Compiler.verify compiled with
-   | Ok () -> Format.printf "self-check: ok@."
-   | Error e -> Format.printf "self-check: FAILED (%s)@." e);
+  (* Full static verification against the program unitary, not just
+     the yes/no shim — warnings and all (docs/DIAGNOSTICS.md). *)
+  (match Compiler.lint ~unitary:u compiled with
+   | [] -> Format.printf "self-check: ok (0 diagnostics)@."
+   | diags -> Format.printf "self-check:@.%a@." Diag.pp_list diags);
+  (match plan_out with
+   | None -> ()
+   | Some path ->
+     (try
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+            Plan.save oc compiled.Compiler.plan);
+        Format.printf "plan: %s@." path
+      with Sys_error msg ->
+        Printf.eprintf "bosec: cannot write plan file: %s\n" msg;
+        exit 1));
+  (match unitary_out with
+   | None -> ()
+   | Some path ->
+     (try
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+            Unitary.save oc compiled.Compiler.mapping.Bose_mapping.Mapping.permuted);
+        Format.printf "unitary: %s@." path
+      with Sys_error msg ->
+        Printf.eprintf "bosec: cannot write unitary file: %s\n" msg;
+        exit 1));
   if verbose then begin
     Format.printf "@.pattern:@.%a@." Pattern.pp compiled.Compiler.pattern;
     Format.printf "plan:@.%a@." Plan.pp compiled.Compiler.plan
   end
+
+(* `bosec check`: the lint engine over serialized artifacts. Artifacts
+   that fail to parse become BH08xx diagnostics rather than exceptions;
+   the exit code is 1 iff any error-severity diagnostic fired. *)
+let run_check plan_file unitary_file seed tau min_fidelity json werror disable list_passes
+    metrics_out trace =
+  if list_passes then begin
+    List.iter
+      (fun p ->
+         Printf.printf "%-10s %s\n           codes: %s\n" p.Lint.name p.Lint.doc
+           (String.concat " " p.Lint.codes))
+      Lint.passes;
+    exit 0
+  end;
+  if plan_file = None && unitary_file = None then begin
+    Printf.eprintf "bosec check: nothing to check (use --plan and/or --unitary)\n";
+    exit 2
+  end;
+  let had_errors = ref false in
+  with_obs ~metrics_out ~trace (fun () ->
+      let load_diags = ref [] in
+      let plan =
+        match plan_file with
+        | None -> None
+        | Some path ->
+          (match Lint.load_plan path with
+           | Ok p -> Some p
+           | Error d ->
+             load_diags := d :: !load_diags;
+             None)
+      in
+      let unitary =
+        match unitary_file with
+        | None -> None
+        | Some path ->
+          (match Lint.load_unitary path with
+           | Ok u -> Some u
+           | Error d ->
+             load_diags := d :: !load_diags;
+             None)
+      in
+      (* With --tau, rebuild the §VI dropout policy for the plan (over
+         the provided unitary when dimensions agree, else the plan's own
+         replay) and lint it; --min-fidelity raises the bar BH0503
+         enforces above the policy's construction τ. *)
+      let policy =
+        match (tau, plan) with
+        | Some tau, Some plan ->
+          let reference =
+            match unitary with
+            | Some u when Mat.dims u = (plan.Plan.modes, plan.Plan.modes) -> u
+            | Some _ | None -> Plan.reconstruct plan
+          in
+          Some (Bose_dropout.Dropout.make_policy (Rng.create seed) plan reference ~tau)
+        | _ -> None
+      in
+      let subject =
+        {
+          Lint.empty with
+          Lint.plan;
+          unitary;
+          reference =
+            (match (plan, unitary) with
+             | Some p, Some u when Mat.dims u = (p.Plan.modes, p.Plan.modes) -> unitary
+             | _ -> None);
+          policy;
+          min_fidelity;
+        }
+      in
+      let settings = { Lint.default_settings with Lint.disabled_codes = disable; werror } in
+      let diags = List.rev !load_diags @ Lint.run ~settings subject in
+      if json then print_endline (Diag.to_json diags)
+      else Format.printf "%a@." Diag.pp_list diags;
+      had_errors := List.exists Diag.is_error diags);
+  if !had_errors then exit 1
 
 let run_simulate rows cols modes seed tau graph_p loss cutoff metrics_out trace =
   let rng = Rng.create seed in
@@ -193,6 +298,20 @@ let effort =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the pattern and full plan.")
 
+let plan_out =
+  Arg.(value
+       & opt (some string) None
+       & info [ "plan-out" ] ~docv:"FILE"
+           ~doc:"Write the compiled plan to $(docv) (text format, loadable by \
+                 $(b,bosec check --plan)).")
+
+let unitary_out =
+  Arg.(value
+       & opt (some string) None
+       & info [ "unitary-out" ] ~docv:"FILE"
+           ~doc:"Write the permuted unitary — the plan's replay reference — to $(docv) \
+                 (loadable by $(b,bosec check --unitary)).")
+
 let metrics_out =
   Arg.(value
        & opt (some string) None
@@ -212,15 +331,74 @@ let cutoff = Arg.(value & opt int 5 & info [ "cutoff" ] ~doc:"Photon-number trun
 
 let compile_term =
   Term.(
-    const (fun rows cols modes seed config tau graph_p effort verbose metrics_out trace ->
-        run_compile rows cols modes seed config tau graph_p effort verbose metrics_out trace)
-    $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose
-    $ metrics_out $ trace)
+    const (fun rows cols modes seed config tau graph_p effort verbose plan_out unitary_out
+             metrics_out trace ->
+        run_compile rows cols modes seed config tau graph_p effort verbose plan_out
+          unitary_out metrics_out trace)
+    $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose $ plan_out
+    $ unitary_out $ metrics_out $ trace)
 
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an interferometer and print the plan summary")
     compile_term
+
+let check_cmd =
+  let plan_file =
+    Arg.(value
+         & opt (some string) None
+         & info [ "plan" ] ~docv:"FILE" ~doc:"Plan file to verify (written by \
+                                              $(b,--plan-out)).")
+  in
+  let unitary_file =
+    Arg.(value
+         & opt (some string) None
+         & info [ "unitary" ] ~docv:"FILE"
+             ~doc:"Unitary file to verify (Unitary.save format). With $(b,--plan), also \
+                   used as the plan's replay reference.")
+  in
+  let check_tau =
+    Arg.(value
+         & opt (some float) None
+         & info [ "tau" ]
+             ~doc:"Rebuild the dropout policy for the plan at this accuracy threshold and \
+                   lint it.")
+  in
+  let min_fidelity =
+    Arg.(value
+         & opt (some float) None
+         & info [ "min-fidelity" ]
+             ~doc:"Require the policy's expected fidelity to reach this value (default: \
+                   the policy's own tau) — BH0503 fires below it.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON instead of text.")
+  in
+  let werror =
+    Arg.(value & flag & info [ "werror" ] ~doc:"Promote warnings to errors (-Werror).")
+  in
+  let disable =
+    Arg.(value
+         & opt (list string) []
+         & info [ "disable" ] ~docv:"CODES"
+             ~doc:"Comma-separated diagnostic codes to suppress, e.g. BH0407,BH0104.")
+  in
+  let list_passes =
+    Arg.(value
+         & flag
+         & info [ "list-passes" ] ~doc:"List the registered lint passes and their codes.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically verify serialized compiler artifacts; exit 1 on any error \
+             diagnostic")
+    Term.(
+      const (fun plan_file unitary_file seed tau min_fidelity json werror disable
+               list_passes metrics_out trace ->
+          run_check plan_file unitary_file seed tau min_fidelity json werror disable
+            list_passes metrics_out trace)
+      $ plan_file $ unitary_file $ seed $ check_tau $ min_fidelity $ json $ werror
+      $ disable $ list_passes $ metrics_out $ trace)
 
 let simulate_cmd =
   Cmd.v
@@ -244,4 +422,4 @@ let () =
   let default = compile_term in
   exit
     (Cmd.eval
-       (Cmd.group ~default (Cmd.info "bosec" ~doc) [ compile_cmd; simulate_cmd; layouts_cmd ]))
+       (Cmd.group ~default (Cmd.info "bosec" ~doc) [ compile_cmd; check_cmd; simulate_cmd; layouts_cmd ]))

@@ -50,6 +50,18 @@ let () =
      Format.printf "measured shot fidelity : %.6f@."
        (Bose_linalg.Mat.unitary_fidelity u_app u));
 
+  (* Static verification: run the full lint registry over the compiled
+     artifacts (docs/DIAGNOSTICS.md). Passing the program unitary also
+     checks that un-permuting the mapping recovers it bit-exactly. A
+     clean compile produces zero diagnostics; the same engine backs
+     `bosec check` for artifacts on disk. *)
+  (match Compiler.lint ~unitary:u compiled with
+   | [] -> Format.printf "static verification    : ok (0 diagnostics)@."
+   | diags ->
+     Format.printf "static verification    : %s@.%a@."
+       (Bose_lint.Diag.summary diags)
+       Bose_lint.Diag.pp_list diags);
+
   (* What the compile cost, pass by pass: the telemetry report. The same
      data is available as JSON via [Obs.Report.to_json] or, from the
      CLI, `bosec compile --metrics-out metrics.json`. *)

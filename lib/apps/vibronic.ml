@@ -1,7 +1,6 @@
 module Rng = Bose_util.Rng
 module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
-module Unitary = Bose_linalg.Unitary
 module Stats = Bose_util.Stats
 module Broaden = Bose_util.Broaden
 module Dist = Bose_util.Dist

@@ -1,4 +1,3 @@
-module Rng = Bose_util.Rng
 module Mat = Bose_linalg.Mat
 module Perm = Bose_linalg.Perm
 module Lattice = Bose_hardware.Lattice
@@ -9,6 +8,7 @@ module Eliminate = Bose_decomp.Eliminate
 module Mapping = Bose_mapping.Mapping
 module Dropout = Bose_dropout.Dropout
 module Obs = Bose_obs.Obs
+module Lint = Bose_lint.Lint
 
 let c_compiles = Obs.Counter.make "compile.runs"
 let g_modes = Obs.Gauge.make "compile.modes"
@@ -169,40 +169,28 @@ let beamsplitters_kept t =
 
 let small_angles t ~threshold = Plan.small_angle_count t.plan ~threshold
 
+(* Static verification is delegated to the lint engine: one subject
+   per compiled result, every artifact slotted in. The permuted
+   unitary doubles as the plan's replay reference, and un-permuting it
+   must recover the program unitary ([?unitary]) bit-exactly. *)
+let lint ?settings ?unitary t =
+  let subject =
+    {
+      Lint.empty with
+      Lint.unitary;
+      pattern = Some t.pattern;
+      mapping = Some t.mapping;
+      plan = Some t.plan;
+      reference = Some t.mapping.Mapping.permuted;
+      policy = t.policy;
+    }
+  in
+  Lint.run ?settings subject
+
 let verify t =
-  let ( let* ) r f = Result.bind r f in
-  let* () =
-    if
-      Mat.equal ~tol:1e-8
-        (Plan.reconstruct t.plan)
-        t.mapping.Mapping.permuted
-    then Ok ()
-    else Error "plan does not reconstruct the permuted unitary"
-  in
-  let* () =
-    if Mat.equal ~tol:1e-8 (approx_unitary t) (Mapping.recovered_unitary t.mapping) then Ok ()
-    else Error "permutation relabeling does not recover the program unitary"
-  in
-  let* () =
-    let bad =
-      Array.exists
-        (fun e ->
-           let { Bose_linalg.Givens.m; n; _ } = e.Plan.rotation in
-           not (List.mem n (Pattern.neighbors t.pattern m)))
-        t.plan.Plan.elements
-    in
-    if bad then Error "a rotation addresses a non-coupled qumode pair" else Ok ()
-  in
-  let* () =
-    match t.policy with
-    | None -> Ok ()
-    | Some p ->
-      if Array.length p.Bose_dropout.Dropout.weights = Plan.rotation_count t.plan
-         && p.Bose_dropout.Dropout.kept_count <= Plan.rotation_count t.plan
-      then Ok ()
-      else Error "dropout policy does not match the plan"
-  in
-  Ok ()
+  match List.find_opt Lint.Diag.is_error (lint t) with
+  | None -> Ok ()
+  | Some d -> Error (Format.asprintf "%a" Lint.Diag.pp d)
 
 let pp_summary fmt t =
   Format.fprintf fmt

@@ -111,11 +111,25 @@ val beamsplitters_kept : t -> int
 val small_angles : t -> threshold:float -> int
 (** Rotations below an angle threshold in the compiled plan. *)
 
+val lint :
+  ?settings:Bose_lint.Lint.settings ->
+  ?unitary:Bose_linalg.Mat.t ->
+  t ->
+  Bose_lint.Diag.t list
+(** Run the full static-verification registry ({!Bose_lint.Lint.run})
+    over the compiled result: the plan replays to the permuted unitary
+    to ≤ 1e-8, every rotation addresses a pattern tree edge, the
+    serialized plan round-trips, and the dropout policy is well-shaped
+    with expected fidelity ≥ τ. With [?unitary] (the program unitary
+    handed to {!compile}), additionally checks that un-permuting the
+    mapping recovers it bit-exactly and that the input itself is
+    healthy (square, finite, unitary). Diagnostics carry the stable
+    codes catalogued in docs/DIAGNOSTICS.md; a clean compile produces
+    none. *)
+
 val verify : t -> (unit, string) result
-(** Compile-time self check: the plan replays to the permuted unitary,
-    undoing the permutations recovers the program unitary, every
-    rotation sits on a pattern tree edge (hence on a physical coupling),
-    and the dropout policy is shaped consistently. [Error] describes the
-    first violation. *)
+(** {!lint} shim, kept for callers that only need a yes/no: [Ok] when
+    no [Error]-severity diagnostic fires, otherwise the first error
+    rendered as a string. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -5,7 +5,6 @@ module Mat = Bose_linalg.Mat
 module Perm = Bose_linalg.Perm
 module Gate = Bose_circuit.Gate
 module Circuit = Bose_circuit.Circuit
-module Noise = Bose_circuit.Noise
 module Gaussian = Bose_gbs.Gaussian
 module Fock = Bose_gbs.Fock
 module Mapping = Bose_mapping.Mapping

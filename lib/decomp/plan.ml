@@ -93,36 +93,72 @@ let to_circuit ?(style = Tunable) ?kept ?(prelude = []) t =
    Rotations are stored in their kernel form (cos θ, sin θ, e^{iφ}) —
    the same four numbers replay consumes — and floats are printed with
    %h (hex floats) so the roundtrip is bit-exact. *)
-let save oc t =
-  Printf.fprintf oc "plan %d %d\n" t.modes (Array.length t.elements);
+let to_string t =
+  let buf = Buffer.create (64 + (Array.length t.elements * 64)) in
+  Buffer.add_string buf (Printf.sprintf "plan %d %d\n" t.modes (Array.length t.elements));
   Array.iter
     (fun { rotation = { Givens.m; n; c; s; ere; eim }; row } ->
-       Printf.fprintf oc "r %d %d %d %h %h %h %h\n" row m n c s ere eim)
+       Buffer.add_string buf (Printf.sprintf "r %d %d %d %h %h %h %h\n" row m n c s ere eim))
     t.elements;
-  Array.iter (fun (lam : Cx.t) -> Printf.fprintf oc "l %h %h\n" lam.re lam.im) t.lambda
+  Array.iter
+    (fun (lam : Cx.t) -> Buffer.add_string buf (Printf.sprintf "l %h %h\n" lam.re lam.im))
+    t.lambda;
+  Buffer.contents buf
+
+let save oc t = output_string oc (to_string t)
+
+(* The parse never raises on malformed input: every line failure is
+   surfaced as [Error (message, 1-based line)] so bosec/lint can turn
+   it into a BH0801 diagnostic rather than dying on an exception. *)
+let parse_lines line =
+  let lineno = ref 0 in
+  let exception Bad of string * int in
+  let fail msg = raise (Bad (msg, !lineno)) in
+  let next () =
+    incr lineno;
+    match line () with Some l -> l | None -> fail "truncated input"
+  in
+  try
+    let modes, count =
+      try Scanf.sscanf (next ()) "plan %d %d" (fun a b -> (a, b))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad header"
+    in
+    if modes <= 0 || count < 0 then fail "bad header values";
+    let elements =
+      Array.init count (fun _ ->
+          try
+            Scanf.sscanf (next ()) "r %d %d %d %h %h %h %h"
+              (fun row m n c s ere eim ->
+                 { rotation = { Givens.m; n; c; s; ere; eim }; row })
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad rotation line")
+    in
+    let lambda =
+      Array.init modes (fun _ ->
+          try Scanf.sscanf (next ()) "l %h %h" Cx.make
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad lambda line")
+    in
+    Ok { modes; elements; lambda }
+  with Bad (msg, l) -> Error (msg, l)
+
+let load_result ic =
+  parse_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let of_string s =
+  let pos = ref 0 in
+  let len = String.length s in
+  parse_lines (fun () ->
+      if !pos >= len then None
+      else begin
+        let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> len in
+        let l = String.sub s !pos (stop - !pos) in
+        pos := stop + 1;
+        Some l
+      end)
 
 let load ic =
-  let fail msg = failwith ("Plan.load: " ^ msg) in
-  let line () = try input_line ic with End_of_file -> fail "truncated input" in
-  let modes, count =
-    try Scanf.sscanf (line ()) "plan %d %d" (fun a b -> (a, b))
-    with Scanf.Scan_failure _ | Failure _ -> fail "bad header"
-  in
-  if modes <= 0 || count < 0 then fail "bad header values";
-  let elements =
-    Array.init count (fun _ ->
-        try
-          Scanf.sscanf (line ()) "r %d %d %d %h %h %h %h"
-            (fun row m n c s ere eim ->
-               { rotation = { Givens.m; n; c; s; ere; eim }; row })
-        with Scanf.Scan_failure _ | Failure _ -> fail "bad rotation line")
-  in
-  let lambda =
-    Array.init modes (fun _ ->
-        try Scanf.sscanf (line ()) "l %h %h" (fun re im -> Cx.make re im)
-        with Scanf.Scan_failure _ | Failure _ -> fail "bad lambda line")
-  in
-  { modes; elements; lambda }
+  match load_result ic with
+  | Ok t -> t
+  | Error (msg, l) -> failwith (Printf.sprintf "Plan.load: %s (line %d)" msg l)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>plan on %d modes, %d rotations@," t.modes (Array.length t.elements);

@@ -66,9 +66,22 @@ val to_circuit :
 
 val save : out_channel -> t -> unit
 (** Persist a plan as a line-oriented text format ("compile once, run
-    the shot loop elsewhere"). *)
+    the shot loop elsewhere"). Hex floats, bit-exact round-trip. *)
+
+val to_string : t -> string
+(** The exact bytes {!save} writes — the in-memory form the lint
+    round-trip check (BH0405) compares against. *)
+
+val load_result : in_channel -> (t, string * int) result
+(** Inverse of {!save}. [Error (message, line)] carries the 1-based
+    line the parse failed on, so callers ([bosec check], the lint file
+    loaders) can surface malformed input as a structured diagnostic
+    instead of an exception. *)
+
+val of_string : string -> (t, string * int) result
+(** {!load_result} over an in-memory string. *)
 
 val load : in_channel -> t
-(** Inverse of {!save}. @raise Failure on malformed input. *)
+(** {!load_result} shim. @raise Failure on malformed input. *)
 
 val pp : Format.formatter -> t -> unit

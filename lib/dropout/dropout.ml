@@ -1,5 +1,4 @@
 module Rng = Bose_util.Rng
-module Mat = Bose_linalg.Mat
 module Plan = Bose_decomp.Plan
 module Obs = Bose_obs.Obs
 

@@ -1,6 +1,5 @@
 module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
-module Linsolve = Bose_linalg.Linsolve
 module Gate = Bose_circuit.Gate
 module Noise = Bose_circuit.Noise
 

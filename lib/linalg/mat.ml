@@ -160,6 +160,10 @@ let row_axpy m ~src ~dst ?(from = 0) (a : Cx.t) =
   if src < 0 || src >= m.nrows || dst < 0 || dst >= m.nrows then
     invalid_arg "Mat.row_axpy: row out of bounds";
   if from < 0 || from > m.ncols then invalid_arg "Mat.row_axpy: bad column offset";
+  (* Debug-only (release compiles with -noassert): src = dst is the
+     row-level aliasing hazard — the update would read its own partial
+     writes in a blocked implementation. *)
+  assert (src <> dst);
   let are = a.Complex.re and aim = a.Complex.im in
   let sbase = src * m.ncols and dbase = dst * m.ncols in
   for j = from to m.ncols - 1 do
@@ -494,6 +498,18 @@ let unitary_fidelity u_app u =
 let check_rot m n name =
   if m < 0 || n < 0 || m = n then invalid_arg (name ^ ": bad index pair")
 
+(* Debug-only kernel guard, compiled out by -noassert (the release
+   profile): a rotation quadruple fed to the in-place kernels must be
+   finite and normalized — c²+s² = 1 and |e^{iφ}| = 1 within 1e-6. A
+   denormalized or NaN quadruple makes the C stubs silently corrupt the
+   matrix; lint pass BH0406 catches this statically in plans, the
+   assertion catches it dynamically at every kernel entry in dev
+   builds. O(1) per call, nothing per element. *)
+let rot_params_sane c s ere eim =
+  Float.is_finite c && Float.is_finite s
+  && Float.abs ((c *. c) +. (s *. s) -. 1.) <= 1e-6
+  && Float.abs ((ere *. ere) +. (eim *. eim) -. 1.) <= 1e-6
+
 (* The [_cs] variants take the rotation as precomputed cosines/sines:
    [c] = cos θ, [s] = sin θ, ([ere], [eim]) = e^{iφ}. The elimination
    engines derive these algebraically from the matrix entries (no trig
@@ -541,6 +557,7 @@ external rot_post :
 let rot_cols_t_dagger_cs ?nrows u ~m ~n ~c ~s ~ere ~eim =
   check_rot m n "Mat.rot_cols_t_dagger";
   if m >= u.ncols || n >= u.ncols then invalid_arg "Mat.rot_cols_t_dagger: column out of bounds";
+  assert (rot_params_sane c s ere eim);
   let count =
     match nrows with
     | None -> u.nrows
@@ -556,6 +573,7 @@ let rot_cols_t_dagger_cs ?nrows u ~m ~n ~c ~s ~ere ~eim =
 let rot_cols_t_cs u ~m ~n ~c ~s ~ere ~eim =
   check_rot m n "Mat.rot_cols_t";
   if m >= u.ncols || n >= u.ncols then invalid_arg "Mat.rot_cols_t: column out of bounds";
+  assert (rot_params_sane c s ere eim);
   rot_post u.re u.im u.nrows m n u.ncols c s ere eim
 
 (* u <- T.u: row m' = e^{i phi} cos theta.row m − sin theta.row n,
@@ -572,6 +590,7 @@ let rot_rows_t_cs ?first u ~m ~n ~c ~s ~ere ~eim =
       if j < 0 || j > u.ncols then invalid_arg "Mat.rot_rows_t: bad first";
       j
   in
+  assert (rot_params_sane c s ere eim);
   rot_pre u.re u.im (u.ncols - j0) ((m * u.ncols) + j0) ((n * u.ncols) + j0) 1 c s ere eim
 
 (* u <- T†.u: row m' = e^{-i phi}(cos theta.row m + sin theta.row n),
@@ -579,6 +598,7 @@ let rot_rows_t_cs ?first u ~m ~n ~c ~s ~ere ~eim =
 let rot_rows_t_dagger_cs u ~m ~n ~c ~s ~ere ~eim =
   check_rot m n "Mat.rot_rows_t_dagger";
   if m >= u.nrows || n >= u.nrows then invalid_arg "Mat.rot_rows_t_dagger: row out of bounds";
+  assert (rot_params_sane c s ere eim);
   rot_post u.re u.im u.ncols (m * u.ncols) (n * u.ncols) 1 c s ere (-.eim)
 
 let rot_cols_t_dagger u ~m ~n ~theta ~phi =
@@ -623,6 +643,23 @@ let view_full m =
 
 let of_view v =
   init (View.rows v) (View.cols v) (fun i j -> View.get v i j)
+
+(* Two views alias iff they read the same storage: same parent planes
+   (physical equality — every constructor allocates fresh arrays, so
+   plane identity is buffer identity) and at least one shared row index
+   and one shared column index. Index sets are small and may repeat
+   entries, so membership goes through a per-dimension occupancy
+   bitmap rather than sorting. *)
+let index_sets_intersect n a b =
+  let seen = Array.make (max n 1) false in
+  Array.iter (fun i -> seen.(i) <- true) a;
+  Array.exists (fun j -> seen.(j)) b
+
+let views_overlap v1 v2 =
+  let b1 = v1.View.base and b2 = v2.View.base in
+  b1.re == b2.re
+  && index_sets_intersect b1.nrows v1.View.row_idx v2.View.row_idx
+  && index_sets_intersect b1.ncols v1.View.col_idx v2.View.col_idx
 
 (* ------------------------------------------------------------------ *)
 (* Workspaces: scratch matrices reused across calls, keyed by          *)

@@ -209,6 +209,16 @@ val view_full : t -> View.t
 val of_view : View.t -> t
 (** Materialize a view into a fresh matrix. *)
 
+val views_overlap : View.t -> View.t -> bool
+(** Static aliasing check: whether the two views address intersecting
+    storage — the same parent buffer, at least one common row index and
+    at least one common column index. Two overlapping views must never
+    be handed to an in-place kernel as source and destination; the lint
+    pass [aliasing] (code BH0701) reports every overlapping pair at a
+    kernel call site, and dev builds additionally assert kernel-input
+    health at entry (assertions are compiled out by [-noassert] in the
+    release profile). O(rows + cols) of the parent. *)
+
 (** {1 Workspaces}
 
     A workspace is a pool of scratch matrices keyed by

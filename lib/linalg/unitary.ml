@@ -76,3 +76,50 @@ let random_diagonal_phases rng n =
     Mat.set m i i (Cx.exp_i (Rng.float rng (2. *. Float.pi)))
   done;
   m
+
+(* Line-oriented text serialization, mirroring Plan's format:
+     unitary <n>
+     e <re> <im>      (n·n lines, row-major)
+   Floats are printed with %h (hex) so the round-trip is bit-exact. *)
+let save oc m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Unitary.save: square matrices only";
+  Printf.fprintf oc "unitary %d\n" n;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let (v : Cx.t) = Mat.get m i j in
+      Printf.fprintf oc "e %h %h\n" v.re v.im
+    done
+  done
+
+let load_result ic =
+  let lineno = ref 0 in
+  let exception Bad of string * int in
+  let fail msg = raise (Bad (msg, !lineno)) in
+  let line () =
+    incr lineno;
+    try input_line ic with End_of_file -> fail "truncated input"
+  in
+  try
+    let n =
+      try Scanf.sscanf (line ()) "unitary %d" (fun n -> n)
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad header"
+    in
+    if n <= 0 then fail "bad header values";
+    let m = Mat.create n n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let v =
+          try Scanf.sscanf (line ()) "e %h %h" Cx.make
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad entry line"
+        in
+        Mat.set m i j v
+      done
+    done;
+    Ok m
+  with Bad (msg, l) -> Error (msg, l)
+
+let load ic =
+  match load_result ic with
+  | Ok m -> m
+  | Error (msg, l) -> failwith (Printf.sprintf "Unitary.load: %s (line %d)" msg l)

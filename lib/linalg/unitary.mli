@@ -13,3 +13,18 @@ val random_orthogonal : Bose_util.Rng.t -> int -> Mat.t
 
 val random_diagonal_phases : Bose_util.Rng.t -> int -> Mat.t
 (** Diagonal unitary with uniform random phases. *)
+
+val save : out_channel -> Mat.t -> unit
+(** Persist a square matrix as a line-oriented text format (header
+    [unitary <n>], then one [e <re> <im>] line per entry, row-major,
+    hex floats — bit-exact round-trip).
+    @raise Invalid_argument on non-square input. *)
+
+val load_result : in_channel -> (Mat.t, string * int) result
+(** Inverse of {!save}. [Error (message, line)] carries the 1-based
+    line the parse failed on, so callers ([bosec check], the lint file
+    loaders) can surface malformed input as a structured diagnostic
+    instead of an exception. *)
+
+val load : in_channel -> Mat.t
+(** {!load_result} shim. @raise Failure on malformed input. *)

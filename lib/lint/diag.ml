@@ -1,0 +1,138 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Whole
+  | Entry of int * int
+  | Step of int
+  | Gate of int
+  | Mode of int
+  | Edge of int * int
+  | Line of int
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+  hint : string option;
+}
+
+let make severity ?hint ?(loc = Whole) ~code message =
+  { code; severity; location = loc; message; hint }
+
+let error ?hint ?loc ~code message = make Error ?hint ?loc ~code message
+let warning ?hint ?loc ~code message = make Warning ?hint ?loc ~code message
+let info ?hint ?loc ~code message = make Info ?hint ?loc ~code message
+
+let is_error d = d.severity = Error
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let promote_warnings =
+  List.map (fun d -> if d.severity = Warning then { d with severity = Error } else d)
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let plural n noun = Printf.sprintf "%d %s%s" n noun (if n = 1 then "" else "s")
+
+let summary ds =
+  Printf.sprintf "%s, %s, %d info"
+    (plural (count Error ds) "error")
+    (plural (count Warning ds) "warning")
+    (count Info ds)
+
+let pp_location fmt = function
+  | Whole -> Format.pp_print_string fmt "artifact"
+  | Entry (i, j) -> Format.fprintf fmt "entry (%d,%d)" i j
+  | Step i -> Format.fprintf fmt "plan step %d" i
+  | Gate i -> Format.fprintf fmt "gate %d" i
+  | Mode m -> Format.fprintf fmt "mode %d" m
+  | Edge (m, n) -> Format.fprintf fmt "edge (%d,%d)" m n
+  | Line l -> Format.fprintf fmt "line %d" l
+
+let pp fmt d =
+  Format.fprintf fmt "%s[%s] %a: %s" (severity_name d.severity) d.code pp_location
+    d.location d.message;
+  match d.hint with
+  | None -> ()
+  | Some h -> Format.fprintf fmt "@,  hint: %s" h
+
+let pp_list fmt ds =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun d -> Format.fprintf fmt "%a@," pp d) ds;
+  Format.fprintf fmt "%s@]" (summary ds)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering. Only strings and ints appear, so the emitter is a
+   few lines; string escaping matches the Obs report writer. *)
+
+let escape buf s =
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let add_field buf key value =
+  add_string buf key;
+  Buffer.add_char buf ':';
+  value ()
+
+let location_json buf loc =
+  let obj kind fields =
+    Buffer.add_char buf '{';
+    add_field buf "kind" (fun () -> add_string buf kind);
+    List.iter
+      (fun (k, v) ->
+         Buffer.add_char buf ',';
+         add_field buf k (fun () -> Buffer.add_string buf (string_of_int v)))
+      fields;
+    Buffer.add_char buf '}'
+  in
+  match loc with
+  | Whole -> obj "artifact" []
+  | Entry (i, j) -> obj "entry" [ ("row", i); ("col", j) ]
+  | Step i -> obj "step" [ ("index", i) ]
+  | Gate i -> obj "gate" [ ("index", i) ]
+  | Mode m -> obj "mode" [ ("mode", m) ]
+  | Edge (m, n) -> obj "edge" [ ("m", m); ("n", n) ]
+  | Line l -> obj "line" [ ("line", l) ]
+
+let to_json ds =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"version\":1,\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_char buf '{';
+       add_field buf "code" (fun () -> add_string buf d.code);
+       Buffer.add_char buf ',';
+       add_field buf "severity" (fun () -> add_string buf (severity_name d.severity));
+       Buffer.add_char buf ',';
+       add_field buf "location" (fun () -> location_json buf d.location);
+       Buffer.add_char buf ',';
+       add_field buf "message" (fun () -> add_string buf d.message);
+       (match d.hint with
+        | None -> ()
+        | Some h ->
+          Buffer.add_char buf ',';
+          add_field buf "hint" (fun () -> add_string buf h));
+       Buffer.add_char buf '}')
+    ds;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"errors\":%d,\"warnings\":%d,\"info\":%d}" (count Error ds)
+       (count Warning ds) (count Info ds));
+  Buffer.contents buf

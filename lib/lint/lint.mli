@@ -1,0 +1,87 @@
+(** Static verification passes over the compiler's artifacts.
+
+    Bosehedral's pass contracts (documented in [Compiler], paper
+    §IV–§VI) are all properties of the compact N×N unitary and the
+    artifacts derived from it — pattern, mapping, plan, dropout policy,
+    shot circuit — so they can be checked without ever running the
+    simulator. This module is the checker registry: each {!pass} reads
+    the slices of a {!subject} it understands and emits structured
+    {!Diag.t} diagnostics with stable codes (catalogue in
+    docs/DIAGNOSTICS.md).
+
+    [Compiler.verify] is a thin shim over {!run}; [bosec check]
+    exposes the same engine on serialized artifacts. Passes never
+    raise on malformed input — that is the point: violations come back
+    as data. Every pass is timed under telemetry span [lint.<pass>]
+    (plus [lint] overall), with counters [lint.runs],
+    [lint.diagnostics] and [lint.errors]. *)
+
+module Diag = Diag
+
+type subject = {
+  unitary : Bose_linalg.Mat.t option;
+      (** The program unitary: health-checked (BH01xx) and, when a
+          mapping is present, used as the bit-exact recovery reference
+          (BH0304). *)
+  pattern : Bose_hardware.Pattern.t option;
+  coupled : (int -> int -> bool) option;
+      (** Physical coupling predicate over flat {e site} indices (for
+          pattern edges, BH0202) and over qumode indices (for circuit
+          beamsplitters, BH0602). When absent, coupling checks are
+          skipped. *)
+  mapping : Bose_mapping.Mapping.t option;
+  plan : Bose_decomp.Plan.t option;
+  reference : Bose_linalg.Mat.t option;
+      (** What the plan must replay to — the {e permuted} unitary
+          (BH0401). *)
+  policy : Bose_dropout.Dropout.policy option;
+  min_fidelity : float option;
+      (** Threshold for BH0503; defaults to the policy's own τ. *)
+  circuit : Bose_circuit.Circuit.t option;
+  perms : (string * int array) list;
+      (** Raw permutation arrays to bijection-check (BH0302). *)
+  views : (string * Bose_linalg.Mat.View.t) list;
+      (** Named views at an in-place kernel call site; every
+          overlapping pair is reported (BH0701). *)
+}
+
+val empty : subject
+(** All fields absent; build subjects with record update,
+    [{ Lint.empty with plan = Some p }]. *)
+
+type pass = {
+  name : string;  (** Registry key, e.g. ["plan"]. *)
+  codes : string list;  (** Diagnostic codes this pass can emit. *)
+  doc : string;  (** One-line description (shown by [bosec check --list]). *)
+  run : subject -> Diag.t list;
+}
+
+val passes : pass list
+(** The registry, in pipeline order: [unitary], [pattern], [perms],
+    [mapping], [plan], [policy], [circuit], [aliasing]. *)
+
+type settings = {
+  disabled_passes : string list;  (** Pass names to skip. *)
+  disabled_codes : string list;  (** Codes to drop after running. *)
+  werror : bool;  (** Promote warnings to errors ([--Werror]). *)
+}
+
+val default_settings : settings
+(** Everything enabled, no promotion. *)
+
+val run : ?settings:settings -> subject -> Diag.t list
+(** Run every enabled pass over the subject, in registry order. Per
+    (pass, code) emission is capped at 16 diagnostics — a suppression
+    note (code BH0001, severity Info) reports how many more fired — so
+    a fully-poisoned artifact cannot flood the output. *)
+
+val errors : Diag.t list -> int
+val warnings : Diag.t list -> int
+
+val load_plan : string -> (Bose_decomp.Plan.t, Diag.t) result
+(** Read a {!Bose_decomp.Plan.save} file; I/O and parse failures come
+    back as a BH0801 diagnostic with the failing 1-based line. *)
+
+val load_unitary : string -> (Bose_linalg.Mat.t, Diag.t) result
+(** Read a {!Bose_linalg.Unitary.save} file; failures come back as a
+    BH0802 diagnostic with the failing line. *)

@@ -422,23 +422,23 @@ module Report = struct
     in
     let counters =
       Hashtbl.fold
-        (fun name (c : Counter.t) acc -> (name, c.Counter.v) :: acc)
+        (fun _ (c : Counter.t) acc -> (c.Counter.name, c.Counter.v) :: acc)
         Counter.registry []
       |> List.sort (by_name fst)
     in
     let gauges =
       Hashtbl.fold
-        (fun name (g : Gauge.t) acc ->
-           if g.Gauge.touched then (name, g.Gauge.v) :: acc else acc)
+        (fun _ (g : Gauge.t) acc ->
+           if g.Gauge.touched then (g.Gauge.name, g.Gauge.v) :: acc else acc)
         Gauge.registry []
       |> List.sort (by_name fst)
     in
     let histograms =
       Hashtbl.fold
-        (fun name (h : Histo.t) acc ->
+        (fun _ (h : Histo.t) acc ->
            if Histo.total h = 0 then acc
            else
-             { name; bounds = Array.copy h.Histo.bounds;
+             { name = h.Histo.name; bounds = Array.copy h.Histo.bounds;
                counts = Array.copy h.Histo.counts; sum = h.Histo.sum }
              :: acc)
         Histo.registry []

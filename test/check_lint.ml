@@ -1,0 +1,21 @@
+(* Smoke assertion over `bosec check` output (test/dune generates
+   lint_smoke.out by checking a freshly compiled 8-mode plan against
+   its replay reference): the run must end with a clean summary line.
+   Mirrors check_metrics.ml — a grep with a real exit code. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  if not (contains ~needle:"0 errors, 0 warnings, 0 info" body) then begin
+    Printf.eprintf "check_lint: %s does not report a clean check:\n%s" path body;
+    exit 1
+  end;
+  print_endline "check_lint: ok (bosec check reports 0 errors)"

@@ -208,5 +208,5 @@ let () =
           Alcotest.test_case "circuit hardware compatible" `Quick test_to_circuit_hardware_compatible;
           Alcotest.test_case "prelude first" `Quick test_prelude;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

@@ -1,7 +1,6 @@
 (* Unit and property tests for the probabilistic gate dropout (§VI). *)
 
 module Rng = Bose_util.Rng
-module Mat = Bose_linalg.Mat
 module Unitary = Bose_linalg.Unitary
 open Bose_hardware
 open Bose_decomp
@@ -156,5 +155,5 @@ let () =
           Alcotest.test_case "degenerate keeps all" `Quick test_degenerate_policy_keeps_all;
           Alcotest.test_case "tauK near tau" `Quick test_expected_fidelity_near_tau;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

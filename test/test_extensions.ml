@@ -1066,5 +1066,5 @@ let () =
           Alcotest.test_case "kernel" `Quick test_point_process_kernel;
           Alcotest.test_case "clusters" `Quick test_point_process_clusters;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

@@ -376,5 +376,5 @@ let () =
           Alcotest.test_case "empirical matches exact" `Quick test_sampler_empirical_matches_exact;
           Alcotest.test_case "draw shapes" `Quick test_sampler_draw_shapes;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

@@ -247,5 +247,5 @@ let () =
           Alcotest.test_case "for_program sizes" `Quick test_for_program_sizes;
           Alcotest.test_case "baseline chain" `Quick test_baseline_is_chain;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

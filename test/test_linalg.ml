@@ -637,5 +637,5 @@ let () =
           Alcotest.test_case "solve" `Quick test_linsolve_solve;
           Alcotest.test_case "singular" `Quick test_linsolve_singular;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

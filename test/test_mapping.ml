@@ -1,7 +1,6 @@
 (* Unit and property tests for the qumode mapping optimization (§V). *)
 
 module Rng = Bose_util.Rng
-module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
 module Perm = Bose_linalg.Perm
 module Unitary = Bose_linalg.Unitary
@@ -183,5 +182,5 @@ let () =
           Alcotest.test_case "polish monotone" `Quick test_polish_does_not_regress;
           Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

@@ -352,5 +352,5 @@ let () =
           Alcotest.test_case "normalization" `Quick test_broaden_normalization;
           Alcotest.test_case "peak location" `Quick test_broaden_peak_location;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]
