@@ -80,8 +80,39 @@ let benchmarks () =
         ignore (Clements.decompose ~ws u32)));
   ]
 
+(* Warm-cache recompile speedup: compile a job cold through a shared
+   artifact cache, then recompile it several times warm — every pass
+   replays its recorded artifact — and report cold/warm wall-clock.
+   Each row runs inside Telemetry.row, so the cache_hits/cache_misses
+   gauges land in BENCH_TELEMETRY.json next to the timings. *)
+let cache_recompile_row ~n ~rows ~cols =
+  Benchlib.Telemetry.row ~experiment:"micro" ~row:(Printf.sprintf "compile-cache-%d" n)
+  @@ fun () ->
+  let device = Lattice.create ~rows ~cols in
+  let u = Unitary.haar_random (Rng.create 6) n in
+  let cache = Bosehedral.Pipeline.Cache.create () in
+  let compile () =
+    ignore
+      (Bosehedral.Compiler.compile ~tau:0.99 ~cache ~rng:(Rng.create 7) ~device
+         ~config:Bosehedral.Config.Full_opt u)
+  in
+  let t0 = Unix.gettimeofday () in
+  compile ();
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let warm_runs = 5 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to warm_runs do
+    compile ()
+  done;
+  let warm_s = (Unix.gettimeofday () -. t1) /. float_of_int warm_runs in
+  Printf.printf "compile-cache-%-14d cold %8.1f us, warm %8.1f us, %8.2fx speedup\n" n
+    (1e6 *. cold_s) (1e6 *. warm_s)
+    (if warm_s > 0. then cold_s /. warm_s else Float.infinity)
+
 let run () =
   Benchlib.header "Micro-benchmarks (Bechamel): compiler kernels at 24 qumodes";
+  cache_recompile_row ~n:16 ~rows:4 ~cols:4;
+  cache_recompile_row ~n:32 ~rows:6 ~cols:6;
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.6) ~kde:(Some 500) () in
   let estimates = Hashtbl.create 16 in

@@ -67,8 +67,42 @@ let make_unitary rng ~modes ~graph_p =
     let g = Bose_apps.Graph.random rng ~n:modes ~p in
     Bose_apps.Encoding.unitary_of g
 
+(* `bosec compile --list-passes`: the compiler's pass registry, one
+   entry per registered pass with its telemetry span, dependencies and
+   one-line doc. *)
+let print_pipeline () =
+  let passes = Pipeline.passes Pipeline.default in
+  List.iter
+    (fun (p : Pass.t) ->
+       let deps =
+         match Pipeline.dep_names passes p with
+         | [] -> "-"
+         | names -> String.concat ", " names
+       in
+       Printf.printf "%-10s span %-18s after %-16s %s%s\n" p.Pass.name p.Pass.span deps
+         p.Pass.doc
+         (if Pass.can_skip p then "" else " [mandatory]"))
+    passes
+
 let run_compile rows cols modes seed config tau graph_p effort verbose plan_out
-    unitary_out metrics_out trace =
+    unitary_out list_passes disable_passes cache_stats metrics_out trace =
+  if list_passes then begin
+    print_pipeline ();
+    exit 0
+  end;
+  List.iter
+    (fun name ->
+       match Pipeline.find Pipeline.default name with
+       | None ->
+         Printf.eprintf "bosec compile: unknown pass %s (see --list-passes)\n" name;
+         exit 2
+       | Some p ->
+         if not (Pass.can_skip p) then begin
+           Printf.eprintf "bosec compile: pass %s is mandatory and cannot be disabled\n"
+             name;
+           exit 2
+         end)
+    disable_passes;
   let rng = Rng.create seed in
   let device = Lattice.create ~rows ~cols in
   let modes = match modes with Some n -> n | None -> Lattice.size device in
@@ -76,9 +110,16 @@ let run_compile rows cols modes seed config tau graph_p effort verbose plan_out
     Printf.eprintf "error: %d qumodes do not fit on a %dx%d device\n" modes rows cols;
     exit 1
   end;
+  let cache = if cache_stats then Some (Pipeline.Cache.create ()) else None in
   with_obs ~metrics_out ~trace @@ fun () ->
   let u = make_unitary rng ~modes ~graph_p in
-  let compiled = Compiler.compile ~effort ~tau ~rng ~device ~config u in
+  let compiled =
+    Compiler.compile ~effort ~tau ?cache ~disabled_passes:disable_passes ~rng ~device
+      ~config u
+  in
+  (match cache with
+   | None -> ()
+   | Some c -> Format.printf "cache: %a@." Pipeline.Cache.pp c);
   Format.printf "%a@." Compiler.pp_summary compiled;
   Format.printf "small rotations (θ < 0.1): %d of %d@."
     (Compiler.small_angles compiled ~threshold:0.1)
@@ -312,6 +353,28 @@ let unitary_out =
            ~doc:"Write the permuted unitary — the plan's replay reference — to $(docv) \
                  (loadable by $(b,bosec check --unitary)).")
 
+let list_compile_passes =
+  Arg.(value
+       & flag
+       & info [ "list-passes" ]
+           ~doc:"List the registered compiler passes (name, telemetry span, \
+                 dependencies) and exit.")
+
+let disable_passes =
+  Arg.(value
+       & opt (list string) []
+       & info [ "disable-pass" ] ~docv:"NAMES"
+           ~doc:"Comma-separated pass names to skip; each skipped pass stores its \
+                 neutral artifact (e.g. $(b,dropout) compiles with no dropout policy). \
+                 Mandatory passes cannot be disabled.")
+
+let cache_stats =
+  Arg.(value
+       & flag
+       & info [ "cache-stats" ]
+           ~doc:"Compile through a fresh artifact cache and print its hit/miss/entry \
+                 statistics.")
+
 let metrics_out =
   Arg.(value
        & opt (some string) None
@@ -332,11 +395,12 @@ let cutoff = Arg.(value & opt int 5 & info [ "cutoff" ] ~doc:"Photon-number trun
 let compile_term =
   Term.(
     const (fun rows cols modes seed config tau graph_p effort verbose plan_out unitary_out
-             metrics_out trace ->
+             list_passes disable_passes cache_stats metrics_out trace ->
         run_compile rows cols modes seed config tau graph_p effort verbose plan_out
-          unitary_out metrics_out trace)
+          unitary_out list_passes disable_passes cache_stats metrics_out trace)
     $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose $ plan_out
-    $ unitary_out $ metrics_out $ trace)
+    $ unitary_out $ list_compile_passes $ disable_passes $ cache_stats $ metrics_out
+    $ trace)
 
 let compile_cmd =
   Cmd.v

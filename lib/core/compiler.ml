@@ -2,15 +2,14 @@ module Mat = Bose_linalg.Mat
 module Perm = Bose_linalg.Perm
 module Lattice = Bose_hardware.Lattice
 module Pattern = Bose_hardware.Pattern
-module Embedding = Bose_hardware.Embedding
 module Plan = Bose_decomp.Plan
-module Eliminate = Bose_decomp.Eliminate
 module Mapping = Bose_mapping.Mapping
 module Dropout = Bose_dropout.Dropout
 module Obs = Bose_obs.Obs
 module Lint = Bose_lint.Lint
 
 let c_compiles = Obs.Counter.make "compile.runs"
+let c_batch_jobs = Obs.Counter.make "compile.batch_jobs"
 let g_modes = Obs.Gauge.make "compile.modes"
 let g_plan_rotations = Obs.Gauge.make "compile.plan_rotations"
 let g_predicted_fidelity = Obs.Gauge.make "compile.predicted_fidelity"
@@ -18,8 +17,10 @@ let g_bytes_allocated = Obs.Gauge.make "compile.bytes_allocated"
 let g_mats_allocated = Obs.Gauge.make "compile.mats_allocated"
 let g_ws_hits = Obs.Gauge.make "compile.ws_hits"
 let g_ws_misses = Obs.Gauge.make "compile.ws_misses"
+let g_cache_hits = Obs.Gauge.make "compile.cache_hits"
+let g_cache_misses = Obs.Gauge.make "compile.cache_misses"
 
-type effort = Fast | Standard
+type effort = Pass.effort = Fast | Standard
 
 type timings = { decomposition_s : float; total_s : float }
 
@@ -32,65 +33,31 @@ type t = {
   plan : Plan.t;
   policy : Dropout.policy option;
   timings : timings;
+  trace : Lint.pipeline_trace;
 }
 
-let mapping_candidates effort n =
-  match effort with
-  | Standard -> None (* Mapping.optimize defaults *)
-  | Fast -> Some [ max 1 (n / 3); max 1 (n / 2) ]
-
-let dropout_knobs effort n =
-  match effort with
-  | Standard -> ([ 1; 2; 5; 10; 20; 50; 100 ], 40)
-  | Fast -> ([ 1; 20; 100 ], max 4 (min 10 (4000 / (n + 1))))
-
-(* The polish hill-climb pays one O(N³) decomposition per trial: scale
-   the trial count so the pass stays a modest fraction of compile time. *)
-let polish_trials effort n =
-  let base = match effort with Standard -> 500 | Fast -> 150 in
-  min base (max 0 (600_000_000 / (n * n * n)))
-
-let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
+(* The driver: build a compile context, execute the registered pipeline
+   over it (optionally through an artifact cache), and assemble the
+   result from the context's artifact cells. The per-stage work lives
+   in Pass.{embed,map,decompose,dropout}; this function only sequences
+   and observes. *)
+let drive ?cache ?(disabled = []) ~effort ~tau ~rng ~device ~config ~source u =
   let n = Mat.rows u in
   Obs.Counter.incr c_compiles;
   Obs.Gauge.observe_max g_modes (float_of_int n);
   (* One workspace per compile: mapping's candidate/polish eliminations
-     share slot 0, dropout's fidelity replays slot 1. Allocation gauges
-     make workspace regressions visible in BENCH_TELEMETRY.json. *)
+     share Mat.Slot.elimination, dropout's fidelity replays
+     Mat.Slot.replay. Allocation gauges make workspace regressions
+     visible in BENCH_TELEMETRY.json. *)
   let ws = Mat.workspace () in
   let bytes0 = Gc.allocated_bytes () in
   let mats0 = Mat.allocations () in
-  let t0 = Sys.time () in
-  let mapping =
-    Obs.Span.with_ "compile.map" (fun () ->
-        if Config.uses_mapping config then begin
-          let first =
-            Mapping.optimize ~ws ?candidate_ks:(mapping_candidates effort n) pattern u
-          in
-          let trials = polish_trials effort n in
-          if trials > 0 then
-            Obs.Span.with_ "compile.map.polish" (fun () ->
-                Mapping.polish ~ws ~trials ~tau ~rng pattern first)
-          else first
-        end
-        else Mapping.trivial u)
-  in
-  let plan =
-    Obs.Span.with_ "compile.decompose" (fun () ->
-        Eliminate.decompose ~ws pattern mapping.Mapping.permuted)
-  in
-  let t1 = Sys.time () in
-  let policy =
-    Obs.Span.with_ "compile.dropout" (fun () ->
-        if Config.uses_dropout config then begin
-          let powers, iterations = dropout_knobs effort n in
-          Some
-            (Dropout.make_policy ~ws ~powers ~iterations rng plan mapping.Mapping.permuted
-               ~tau)
-        end
-        else None)
-  in
-  let t2 = Sys.time () in
+  let ctx = Pass.context ~effort ~tau ~rng ~device ~config ~source ~ws u in
+  let trace = Pipeline.run ?cache ~disabled Pipeline.default ctx in
+  let pattern = Pass.pattern_exn ctx in
+  let mapping = Pass.mapping_exn ctx in
+  let plan = Pass.plan_exn ctx in
+  let policy = ctx.Pass.policy in
   Obs.Gauge.set g_plan_rotations (float_of_int (Plan.rotation_count plan));
   Obs.Gauge.set g_predicted_fidelity
     (match policy with None -> 1. | Some p -> p.Dropout.expected_fidelity);
@@ -98,6 +65,9 @@ let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
   Obs.Gauge.set g_mats_allocated (float_of_int (Mat.allocations () - mats0));
   Obs.Gauge.set g_ws_hits (float_of_int (Mat.workspace_hits ws));
   Obs.Gauge.set g_ws_misses (float_of_int (Mat.workspace_misses ws));
+  Obs.Gauge.set g_cache_hits (float_of_int (Pipeline.hits trace));
+  Obs.Gauge.set g_cache_misses (float_of_int (Pipeline.misses trace));
+  let stage = Pipeline.elapsed trace in
   {
     config;
     tau;
@@ -106,31 +76,48 @@ let run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u =
     mapping;
     plan;
     policy;
-    timings = { decomposition_s = t1 -. t0; total_s = t2 -. t0 };
+    (* Same brackets as the pre-pipeline Sys.time stamps: decomposition
+       covers map + decompose, total additionally includes dropout. *)
+    timings =
+      {
+        decomposition_s = stage "map" +. stage "decompose";
+        total_s = stage "map" +. stage "decompose" +. stage "dropout";
+      };
+    trace = Pipeline.lint_trace ~disabled Pipeline.default trace;
   }
 
-let compile ?(effort = Standard) ?(tau = 0.999) ~rng ~device ~config u =
+let compile ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ~rng ~device
+    ~config u =
   let n = Mat.rows u in
   if Mat.cols u <> n then invalid_arg "Compiler.compile: unitary must be square";
   if n > Lattice.size device then
     invalid_arg "Compiler.compile: program larger than device";
   Obs.Span.with_ "compile" (fun () ->
-      let pattern =
-        Obs.Span.with_ "compile.embed" (fun () ->
-            if Config.uses_tree_pattern config then Embedding.for_program device n
-            else Embedding.baseline device n)
-      in
-      run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u)
+      drive ?cache ?disabled:disabled_passes ~effort ~tau ~rng ~device ~config
+        ~source:Pass.Device u)
 
-let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ~rng ~pattern ~config u =
+let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ~rng
+    ~pattern ~config u =
   let n = Mat.rows u in
   if Mat.cols u <> n then invalid_arg "Compiler.compile_with_pattern: unitary must be square";
   if n <> Pattern.size pattern then
     invalid_arg "Compiler.compile_with_pattern: pattern size mismatch";
-  let pattern = if Config.uses_tree_pattern config then pattern else Pattern.chain n in
   let device = Lattice.create ~rows:1 ~cols:n in
   Obs.Span.with_ "compile" (fun () ->
-      run_pipeline ~effort ~tau ~rng ~device ~config ~pattern u)
+      drive ?cache ?disabled:disabled_passes ~effort ~tau ~rng ~device ~config
+        ~source:(Pass.Explicit pattern) u)
+
+let compile_batch ?(effort = Standard) ?(tau = 0.999) ?cache ~rng ~device jobs =
+  (* One shared cache across the whole batch: jobs with identical
+     fingerprints replay each other's patterns, mappings, plans and
+     policies instead of recompiling them. *)
+  let cache = match cache with Some c -> c | None -> Pipeline.Cache.create () in
+  Obs.Span.with_ "compile.batch" (fun () ->
+      List.map
+        (fun (u, config) ->
+           Obs.Counter.incr c_batch_jobs;
+           compile ~effort ~tau ~cache ~rng ~device ~config u)
+        jobs)
 
 let shot_mask rng t =
   match t.policy with
@@ -183,6 +170,7 @@ let lint ?settings ?unitary t =
       plan = Some t.plan;
       reference = Some t.mapping.Mapping.permuted;
       policy = t.policy;
+      pipeline = Some t.trace;
     }
   in
   Lint.run ?settings subject

@@ -8,7 +8,9 @@
 
     {2 Pass contract}
 
-    [compile] runs four passes in order; each is wrapped in the
+    [compile] is a thin driver over the default pass-manager pipeline
+    ({!Pipeline.default}): four registered {!Pass.t} stages executed in
+    dependency order over a shared compile context, each wrapped in the
     telemetry span named below (see docs/METRICS.md), and the whole
     call in span ["compile"]:
 
@@ -33,9 +35,21 @@
     {!verify} checks these invariants on a compiled result. Telemetry
     is observational only: with {!Bose_obs.Obs} enabled or disabled the
     passes produce identical plans, policies, and shot circuits
-    (pinned by [test/test_obs.ml]). *)
+    (pinned by [test/test_obs.ml]).
 
-type effort = Fast | Standard
+    {2 Artifact cache}
+
+    Pass [?cache] (a {!Pipeline.Cache.t}) to reuse recorded artifacts
+    across compiles: each pass's inputs are content-fingerprinted
+    ({!Pass.Fingerprint}), and a hit replays the recorded artifact —
+    deep-copied, bit-identical — instead of running the pass. Hit and
+    miss counts surface as the [compile.cache_hits] /
+    [compile.cache_misses] gauges. Caching is opt-in: without [?cache]
+    every compile runs cold (a hit skips the pass's RNG draws, so a
+    shared default cache would perturb callers that stream the same RNG
+    through subsequent sampling). *)
+
+type effort = Pass.effort = Fast | Standard
 (** [Fast] trims the mapping-K candidates and dropout search for large
     problems (used by the scalability study); [Standard] is the full
     search. *)
@@ -54,11 +68,17 @@ type t = {
   plan : Bose_decomp.Plan.t;  (** Decomposition of [mapping.permuted]. *)
   policy : Bose_dropout.Dropout.policy option;  (** [None] iff no dropout. *)
   timings : timings;
+  trace : Bose_lint.Lint.pipeline_trace;
+      (** Pass-manager execution record (registered passes with
+          dependencies, executed passes with cache-hit flags), audited
+          by the lint engine's [pipeline] checker (BH09xx). *)
 }
 
 val compile :
   ?effort:effort ->
   ?tau:float ->
+  ?cache:Pipeline.Cache.t ->
+  ?disabled_passes:string list ->
   rng:Bose_util.Rng.t ->
   device:Bose_hardware.Lattice.t ->
   config:Config.t ->
@@ -66,12 +86,18 @@ val compile :
   t
 (** [compile ~rng ~device ~config u]. [tau] is the unitary-approximation
     accuracy threshold (default 0.999). The unitary's dimension must not
-    exceed the device size.
-    @raise Invalid_argument on size mismatch or non-square input. *)
+    exceed the device size. [?cache] reuses recorded artifacts across
+    compiles (see the cache section above); [?disabled_passes] skips
+    named skippable passes, storing their neutral artifact instead
+    ([bosec compile --disable-pass]).
+    @raise Invalid_argument on size mismatch, non-square input, or an
+    unknown/mandatory name in [disabled_passes]. *)
 
 val compile_with_pattern :
   ?effort:effort ->
   ?tau:float ->
+  ?cache:Pipeline.Cache.t ->
+  ?disabled_passes:string list ->
   rng:Bose_util.Rng.t ->
   pattern:Bose_hardware.Pattern.t ->
   config:Config.t ->
@@ -83,6 +109,21 @@ val compile_with_pattern :
     lattice; connectivity is whatever the pattern encodes. With a
     [config] that does not use the tree pattern, the pattern is replaced
     by a chain over the same number of qumodes. *)
+
+val compile_batch :
+  ?effort:effort ->
+  ?tau:float ->
+  ?cache:Pipeline.Cache.t ->
+  rng:Bose_util.Rng.t ->
+  device:Bose_hardware.Lattice.t ->
+  (Bose_linalg.Mat.t * Config.t) list ->
+  t list
+(** Compile a job list through one shared artifact cache (a fresh
+    bounded cache when [?cache] is absent): jobs whose pass inputs
+    fingerprint identically replay each other's artifacts instead of
+    recompiling. Results are in job order; the whole batch is wrapped
+    in telemetry span ["compile.batch"], and each job increments the
+    [compile.batch_jobs] counter. *)
 
 val shot_mask : Bose_util.Rng.t -> t -> bool array option
 (** Per-shot beamsplitter keep-mask: [None] when the configuration keeps
@@ -119,8 +160,11 @@ val lint :
 (** Run the full static-verification registry ({!Bose_lint.Lint.run})
     over the compiled result: the plan replays to the permuted unitary
     to ≤ 1e-8, every rotation addresses a pattern tree edge, the
-    serialized plan round-trips, and the dropout policy is well-shaped
-    with expected fidelity ≥ τ. With [?unitary] (the program unitary
+    serialized plan round-trips, the dropout policy is well-shaped
+    with expected fidelity ≥ τ, and the pass-manager trace shows every
+    registered pass ran exactly once in dependency order (BH09xx —
+    cache-hit compiles lint identical to cold). With [?unitary] (the
+    program unitary
     handed to {!compile}), additionally checks that un-permuting the
     mapping recovers it bit-exactly and that the input itself is
     healthy (square, finite, unitary). Diagnostics carry the stable

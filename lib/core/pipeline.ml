@@ -1,0 +1,198 @@
+module Obs = Bose_obs.Obs
+module Lint = Bose_lint.Lint
+
+type t = { passes : Pass.t list }
+
+let make passes =
+  (* A registry must be executable front to back: producers unique,
+     every dependency produced by an earlier pass. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Pass.t) ->
+       let same_name =
+         List.filter (fun (q : Pass.t) -> q.Pass.name = p.Pass.name) passes
+       in
+       if List.length same_name > 1 then
+         invalid_arg ("Pipeline.make: duplicate pass name " ^ p.Pass.name);
+       List.iter
+         (fun k ->
+            if not (Hashtbl.mem seen k) then
+              invalid_arg
+                ("Pipeline.make: pass " ^ p.Pass.name ^ " depends on an artifact no \
+                  earlier pass produces"))
+         p.Pass.depends;
+       if Hashtbl.mem seen p.Pass.produces then
+         invalid_arg ("Pipeline.make: two passes produce the artifact of " ^ p.Pass.name);
+       Hashtbl.add seen p.Pass.produces ())
+    passes;
+  { passes }
+
+let default = make [ Pass.embed; Pass.map; Pass.decompose; Pass.dropout ]
+
+let passes t = t.passes
+let names t = List.map (fun (p : Pass.t) -> p.Pass.name) t.passes
+let find t name = List.find_opt (fun (p : Pass.t) -> p.Pass.name = name) t.passes
+
+(* Dependency names resolved against a pass list: kind -> the name of
+   the pass in [among] producing it (absent when that pass is disabled
+   — its artifact then comes from [skip], outside the pass system). *)
+let dep_names among (p : Pass.t) =
+  List.filter_map
+    (fun k ->
+       List.find_map
+         (fun (q : Pass.t) -> if q.Pass.produces = k then Some q.Pass.name else None)
+         among)
+    p.Pass.depends
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint-keyed artifact cache: bounded LRU, deep-copying on both
+   insert and hit (see Pass.copy_artifact). Eviction scans for the
+   least-recent tick — O(capacity), trivial next to any pass body.     *)
+
+module Cache = struct
+  type entry = { mutable last_use : int; artifact : Pass.artifact }
+
+  type t = {
+    capacity : int;
+    tbl : (string, entry) Hashtbl.t;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  type stats = {
+    hits : int;
+    misses : int;
+    entries : int;
+    evictions : int;
+    capacity : int;
+  }
+
+  let create ?(capacity = 256) () =
+    if capacity < 1 then invalid_arg "Pipeline.Cache.create: capacity must be positive";
+    { capacity; tbl = Hashtbl.create 64; tick = 0; hits = 0; misses = 0; evictions = 0 }
+
+  let clear c =
+    Hashtbl.reset c.tbl;
+    c.tick <- 0
+
+  let stats (c : t) =
+    {
+      hits = c.hits;
+      misses = c.misses;
+      entries = Hashtbl.length c.tbl;
+      evictions = c.evictions;
+      capacity = c.capacity;
+    }
+
+  let find c key =
+    match Hashtbl.find_opt c.tbl key with
+    | Some e ->
+      c.tick <- c.tick + 1;
+      e.last_use <- c.tick;
+      c.hits <- c.hits + 1;
+      Some (Pass.copy_artifact e.artifact)
+    | None ->
+      c.misses <- c.misses + 1;
+      None
+
+  let evict_lru c =
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+           match acc with
+           | Some (_, best) when best <= e.last_use -> acc
+           | _ -> Some (key, e.last_use))
+        c.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+      Hashtbl.remove c.tbl key;
+      c.evictions <- c.evictions + 1
+
+  let add c key artifact =
+    if not (Hashtbl.mem c.tbl key) then begin
+      if Hashtbl.length c.tbl >= c.capacity then evict_lru c;
+      c.tick <- c.tick + 1;
+      Hashtbl.replace c.tbl key { last_use = c.tick; artifact = Pass.copy_artifact artifact }
+    end
+
+  let pp fmt c =
+    let s = stats c in
+    Format.fprintf fmt "%d hits, %d misses, %d/%d entries, %d evictions" s.hits s.misses
+      s.entries s.capacity s.evictions
+end
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+
+type exec = { pass : string; cache_hit : bool; elapsed_s : float }
+type trace = exec list
+
+let elapsed trace name =
+  List.fold_left (fun acc e -> if e.pass = name then acc +. e.elapsed_s else acc) 0. trace
+
+let hits trace = List.length (List.filter (fun e -> e.cache_hit) trace)
+let misses trace = List.length (List.filter (fun e -> not e.cache_hit) trace)
+
+let check_disabled t disabled =
+  List.iter
+    (fun name ->
+       match find t name with
+       | None -> invalid_arg ("Pipeline.run: unknown pass " ^ name)
+       | Some p ->
+         if not (Pass.can_skip p) then
+           invalid_arg ("Pipeline.run: pass " ^ name ^ " is mandatory and cannot be disabled"))
+    disabled
+
+let run ?cache ?(disabled = []) t ctx =
+  check_disabled t disabled;
+  let trace = ref [] in
+  List.iter
+    (fun (p : Pass.t) ->
+       if List.mem p.Pass.name disabled then
+         (* A disabled pass contributes its neutral artifact outside
+            the pass system: no span, no cache traffic, no trace row
+            (the effective registry shrinks to match, see lint_trace). *)
+         match p.Pass.skip with
+         | Some skip -> Pass.store ctx (skip ctx)
+         | None -> assert false
+       else begin
+         let t0 = Sys.time () in
+         let cache_hit =
+           Obs.Span.with_ p.Pass.span (fun () ->
+               match cache with
+               | None ->
+                 Pass.store ctx (p.Pass.run ctx);
+                 false
+               | Some c ->
+                 let key =
+                   p.Pass.name ^ ":" ^ Pass.Fingerprint.to_hex (p.Pass.fingerprint ctx)
+                 in
+                 (match Cache.find c key with
+                  | Some artifact ->
+                    Pass.store ctx artifact;
+                    true
+                  | None ->
+                    let artifact = p.Pass.run ctx in
+                    Pass.store ctx artifact;
+                    Cache.add c key artifact;
+                    false))
+         in
+         trace :=
+           { pass = p.Pass.name; cache_hit; elapsed_s = Sys.time () -. t0 } :: !trace
+       end)
+    t.passes;
+  List.rev !trace
+
+let lint_trace ?(disabled = []) t trace =
+  let effective =
+    List.filter (fun (p : Pass.t) -> not (List.mem p.Pass.name disabled)) t.passes
+  in
+  {
+    Lint.registered =
+      List.map (fun (p : Pass.t) -> (p.Pass.name, dep_names effective p)) effective;
+    executed = List.map (fun e -> (e.pass, e.cache_hit)) trace;
+  }

@@ -1,0 +1,93 @@
+(** The pass-manager pipeline: an ordered registry of {!Pass.t} values
+    executed over a shared compile context, with per-pass telemetry
+    spans, a fingerprint-keyed artifact cache, and an execution trace
+    the lint engine audits (BH09xx).
+
+    [Compiler.compile] and [compile_with_pattern] are thin drivers over
+    {!default}; [Compiler.compile_batch] shares one {!Cache.t} across a
+    job list so identical fingerprints reuse recorded artifacts. *)
+
+type t
+(** An ordered pass registry. *)
+
+val make : Pass.t list -> t
+(** Validate and freeze a registry: pass names unique, at most one
+    producer per artifact kind, every dependency produced by an earlier
+    pass. @raise Invalid_argument otherwise. *)
+
+val default : t
+(** The paper pipeline: [embed → map → decompose → dropout]. *)
+
+val passes : t -> Pass.t list
+val names : t -> string list
+val find : t -> string -> Pass.t option
+
+val dep_names : Pass.t list -> Pass.t -> string list
+(** Names of the passes (among the given list) producing the artifact
+    kinds a pass depends on. *)
+
+(** Bounded-LRU artifact cache keyed by
+    ["<pass>:<input fingerprint>"]. Artifacts are deep-copied on both
+    insert and hit ({!Pass.copy_artifact}), so cache contents never
+    alias caller-visible matrices. A hit replays the recorded artifact
+    and skips the pass body entirely — including its RNG draws: the
+    cache canonicalizes a fingerprint to the first artifact computed
+    for it. Per-compile hit/miss counts surface as the
+    [compile.cache_hits]/[compile.cache_misses] gauges (METRICS.md);
+    lifetime totals via {!Cache.stats} ([bosec compile --cache-stats]). *)
+module Cache : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] (default 256) bounds the entry count; the
+      least-recently-used entry is evicted at the bound.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val clear : t -> unit
+  (** Drop every entry (statistics survive). *)
+
+  type stats = {
+    hits : int;
+    misses : int;
+    entries : int;
+    evictions : int;
+    capacity : int;
+  }
+
+  val stats : t -> stats
+  (** Lifetime totals since [create]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type exec = {
+  pass : string;
+  cache_hit : bool;  (** The pass replayed a cached artifact. *)
+  elapsed_s : float;  (** [Sys.time] spent in the stage (lookup + body). *)
+}
+
+type trace = exec list
+(** One {!exec} per executed pass, in execution order. Disabled passes
+    do not appear (their neutral artifact comes from [Pass.skip]). *)
+
+val elapsed : trace -> string -> float
+val hits : trace -> int
+val misses : trace -> int
+
+val run :
+  ?cache:Cache.t -> ?disabled:string list -> t -> Pass.ctx -> trace
+(** Execute the registry front to back over the context: for each
+    enabled pass, open its telemetry span, look its input fingerprint
+    up in [cache] (when given), and either replay the recorded artifact
+    or run the body and record the result. Disabled passes store their
+    [Pass.skip] artifact without running, outside spans, cache and
+    trace.
+    @raise Invalid_argument for an unknown or mandatory name in
+    [disabled]. *)
+
+val lint_trace :
+  ?disabled:string list -> t -> trace -> Bose_lint.Lint.pipeline_trace
+(** Project a run onto the lint engine's pipeline-trace shape: the
+    effective (post-disable) registry with resolved dependency names,
+    plus the executed list. A clean run lints to zero BH09xx
+    diagnostics, cold or cache-hit alike. *)

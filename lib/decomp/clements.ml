@@ -23,7 +23,7 @@ let decompose ?ws u =
     match ws with
     | None -> Mat.copy u
     | Some ws ->
-      let w = Mat.scratch ~slot:0 ws n n in
+      let w = Mat.scratch ~slot:Mat.Slot.elimination ws n n in
       Mat.blit u w;
       w
   in

@@ -12,15 +12,15 @@ let h_angles =
   Obs.Histo.make "decomp.rotation_angles"
     ~bounds:[| 1e-4; 1e-3; 0.01; 0.05; 0.1; 0.2; 0.5; 1.0 |]
 
-(* The work matrix comes from the workspace when one is supplied (slot 0
-   by convention, see docs/ARCHITECTURE.md); callers that pass [?ws] get
-   an allocation-free decomposition loop. *)
+(* The work matrix comes from the workspace when one is supplied
+   ([Mat.Slot.elimination] by convention, see docs/ARCHITECTURE.md);
+   callers that pass [?ws] get an allocation-free decomposition loop. *)
 let work_copy ?ws u =
   let n = Mat.rows u in
   match ws with
   | None -> Mat.copy u
   | Some ws ->
-    let w = Mat.scratch ~slot:0 ws n n in
+    let w = Mat.scratch ~slot:Mat.Slot.elimination ws n n in
     Mat.blit u w;
     w
 

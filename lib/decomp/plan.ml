@@ -45,14 +45,15 @@ let reconstruct ?kept t =
   reconstruct_into ?kept ~dst:u t;
   u
 
-(* With [?ws], the replay target is the workspace's slot-1 scratch (slot
-   0 belongs to the elimination engines), so the dropout search's many
-   fidelity probes allocate no matrices after the first. *)
+(* With [?ws], the replay target is the workspace's [Mat.Slot.replay]
+   scratch ([Mat.Slot.elimination] belongs to the elimination engines),
+   so the dropout search's many fidelity probes allocate no matrices
+   after the first. *)
 let fidelity ?ws ?kept t u =
   match ws with
   | None -> Mat.unitary_fidelity (reconstruct ?kept t) u
   | Some ws ->
-    let dst = Mat.scratch ~slot:1 ws t.modes t.modes in
+    let dst = Mat.scratch ~slot:Mat.Slot.replay ws t.modes t.modes in
     reconstruct_into ?kept ~dst t;
     Mat.unitary_fidelity dst u
 

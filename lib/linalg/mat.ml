@@ -668,6 +668,11 @@ let views_overlap v1 v2 =
 (* return — distinct concurrent uses take distinct slots (see          *)
 (* docs/ARCHITECTURE.md, workspace-threading convention).              *)
 
+module Slot = struct
+  let elimination = 0
+  let replay = 1
+end
+
 type workspace = {
   tbl : (int * int * int, t) Hashtbl.t;
   mutable hits : int;

@@ -229,6 +229,23 @@ val views_overlap : View.t -> View.t -> bool
     convention (who owns which slot, no scratch escapes the call that
     acquired it) is documented in docs/ARCHITECTURE.md. *)
 
+(** Named workspace slots. The slot numbers are a repo-wide ownership
+    convention (previously magic literals at each call site): every
+    holder of a slot may assume no live scratch from another owner
+    shares it. New subsystems should claim a fresh constant here
+    rather than inventing a number locally. *)
+module Slot : sig
+  val elimination : int
+  (** Slot 0 — the elimination engines' work matrix
+      ([Eliminate.decompose], [Clements.decompose] copy their input
+      here). *)
+
+  val replay : int
+  (** Slot 1 — [Plan.fidelity]'s replay target (the dropout search and
+      mapping polish probe fidelities here while an elimination's work
+      matrix is dead). *)
+end
+
 type workspace
 
 val workspace : unit -> workspace

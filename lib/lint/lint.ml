@@ -16,6 +16,11 @@ let c_runs = Obs.Counter.make "lint.runs"
 let c_diags = Obs.Counter.make "lint.diagnostics"
 let c_errors = Obs.Counter.make "lint.errors"
 
+type pipeline_trace = {
+  registered : (string * string list) list;
+  executed : (string * bool) list;
+}
+
 type subject = {
   unitary : Mat.t option;
   pattern : Pattern.t option;
@@ -28,6 +33,7 @@ type subject = {
   circuit : Circuit.t option;
   perms : (string * int array) list;
   views : (string * Mat.View.t) list;
+  pipeline : pipeline_trace option;
 }
 
 let empty =
@@ -43,6 +49,7 @@ let empty =
     circuit = None;
     perms = [];
     views = [];
+    pipeline = None;
   }
 
 (* Numeric thresholds shared with the pass contracts: the replay and
@@ -485,6 +492,61 @@ let check_views views =
   in
   pairs views
 
+(* BH09xx — pass-manager execution discipline. The trace is pure data
+   (pass names + cache-hit flags), so the checker works on traces from
+   any pipeline, including hand-built ones in tests. A cache hit counts
+   as the pass having run: cold and warm compiles of the same job must
+   produce traces that lint identically. *)
+let check_pipeline (t : pipeline_trace) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let runs name =
+    List.length (List.filter (fun (n, _) -> n = name) t.executed)
+  in
+  (* Every registered pass runs exactly once. *)
+  List.iter
+    (fun (name, _) ->
+       match runs name with
+       | 1 -> ()
+       | 0 ->
+         emit
+           (Diag.error ~code:"BH0901"
+              ~hint:"a dependency that never materializes poisons every downstream pass"
+              (Printf.sprintf "registered pass %s did not run" name))
+       | k ->
+         emit
+           (Diag.error ~code:"BH0901"
+              (Printf.sprintf "registered pass %s ran %d times" name k)))
+    t.registered;
+  (* No unregistered pass executes. *)
+  List.iter
+    (fun (name, _) ->
+       if not (List.mem_assoc name t.registered) then
+         emit
+           (Diag.error ~code:"BH0902"
+              (Printf.sprintf "pass %s executed but is not in the registry" name)))
+    t.executed;
+  (* Dependency order: a pass may only execute once every declared
+     dependency has. *)
+  let done_ = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+       (match List.assoc_opt name t.registered with
+        | None -> ()
+        | Some deps ->
+          List.iter
+            (fun dep ->
+               if not (Hashtbl.mem done_ dep) then
+                 emit
+                   (Diag.error ~code:"BH0903"
+                      ~hint:"the registry declares artifact inputs; executing early reads \
+                             a stale or absent artifact"
+                      (Printf.sprintf "pass %s executed before its dependency %s" name dep)))
+            deps);
+       Hashtbl.replace done_ name ())
+    t.executed;
+  List.rev !diags
+
 (* ------------------------------------------------------------------ *)
 (* Registry and engine.                                                *)
 
@@ -546,6 +608,12 @@ let passes =
       codes = [ "BH0701" ];
       doc = "Mat.View overlap at in-place kernel call sites";
       run = (fun s -> check_views s.views);
+    };
+    {
+      name = "pipeline";
+      codes = [ "BH0901"; "BH0902"; "BH0903" ];
+      doc = "pass-manager discipline: every registered pass ran once, in dependency order";
+      run = (fun s -> on_opt check_pipeline s.pipeline);
     };
   ]
 

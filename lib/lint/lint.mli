@@ -18,6 +18,23 @@
 
 module Diag = Diag
 
+type pipeline_trace = {
+  registered : (string * string list) list;
+      (** The effective pass registry for the compile, in registry
+          order: pass name plus the names of the passes whose artifacts
+          it declares as inputs. *)
+  executed : (string * bool) list;
+      (** Passes in execution order; [true] marks a fingerprint-cache
+          hit (the pass replayed recorded artifacts instead of
+          running). A hit still counts as the pass having run. *)
+}
+(** Execution record of a pass-manager pipeline (produced by
+    [Bosehedral.Pipeline], consumed by the [pipeline] pass, BH09xx):
+    every registered pass must execute exactly once, no unregistered
+    pass may execute, and no pass may execute before its declared
+    dependencies. Cache-hit and cold compiles produce traces that lint
+    identically. *)
+
 type subject = {
   unitary : Bose_linalg.Mat.t option;
       (** The program unitary: health-checked (BH01xx) and, when a
@@ -43,6 +60,9 @@ type subject = {
   views : (string * Bose_linalg.Mat.View.t) list;
       (** Named views at an in-place kernel call site; every
           overlapping pair is reported (BH0701). *)
+  pipeline : pipeline_trace option;
+      (** Pass-manager execution record; registry/execution mismatches
+          are reported (BH09xx). *)
 }
 
 val empty : subject
@@ -58,7 +78,7 @@ type pass = {
 
 val passes : pass list
 (** The registry, in pipeline order: [unitary], [pattern], [perms],
-    [mapping], [plan], [policy], [circuit], [aliasing]. *)
+    [mapping], [plan], [policy], [circuit], [aliasing], [pipeline]. *)
 
 type settings = {
   disabled_passes : string list;  (** Pass names to skip. *)

@@ -8,14 +8,31 @@ let contains ~needle hay =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
-let () =
-  let path = Sys.argv.(1) in
+let read path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in
   close_in ic;
-  if not (contains ~needle:"0 errors, 0 warnings, 0 info" body) then begin
-    Printf.eprintf "check_lint: %s does not report a clean check:\n%s" path body;
-    exit 1
-  end;
-  print_endline "check_lint: ok (bosec check reports 0 errors)"
+  body
+
+let () =
+  match Sys.argv with
+  | [| _; "--usage"; path |] ->
+    (* check_usage.out: stderr of `bosec check` with no inputs. The
+       dune rule already pinned exit code 2; here we pin the hint. *)
+    let body = read path in
+    if not (contains ~needle:"nothing to check" body) then begin
+      Printf.eprintf "check_lint: %s lacks the usage hint:\n%s" path body;
+      exit 1
+    end;
+    print_endline "check_lint: ok (bosec check with no inputs exits 2 with a hint)"
+  | [| _; path |] ->
+    let body = read path in
+    if not (contains ~needle:"0 errors, 0 warnings, 0 info" body) then begin
+      Printf.eprintf "check_lint: %s does not report a clean check:\n%s" path body;
+      exit 1
+    end;
+    print_endline "check_lint: ok (bosec check reports 0 errors)"
+  | _ ->
+    prerr_endline "usage: check_lint [--usage] FILE";
+    exit 2

@@ -1,0 +1,439 @@
+(* Tests for the pass-manager pipeline: the registry, the
+   fingerprint-keyed artifact cache, the batch driver, disabled passes,
+   and the BH09xx pipeline lint checker.
+
+   The load-bearing property throughout is bit-exactness: the pipeline
+   must reproduce the pre-refactor monolithic compiler byte for byte
+   (same artifacts, same RNG draw order), and a cache-hit compile must
+   be indistinguishable from a cold one. *)
+
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Lattice = Bose_hardware.Lattice
+module Coupling = Bose_hardware.Coupling
+module Emb = Bose_hardware.Embedding
+module Plan = Bose_decomp.Plan
+module Eliminate = Bose_decomp.Eliminate
+module Mapping = Bose_mapping.Mapping
+module Dropout = Bose_dropout.Dropout
+module Obs = Bose_obs.Obs
+module Lint = Bose_lint.Lint
+module Diag = Bose_lint.Diag
+open Bosehedral
+
+let device33 = Lattice.create ~rows:3 ~cols:3
+
+(* Bit-exact artifact comparison: Plan.to_string is the hex-float
+   serialization, Mat.equal ~tol:0. is exact float equality, policies
+   compare field by field. *)
+let check_plan_eq label (a : Plan.t) (b : Plan.t) =
+  Alcotest.(check string) (label ^ ": plan bytes") (Plan.to_string a) (Plan.to_string b)
+
+let check_mapping_eq label (a : Mapping.t) (b : Mapping.t) =
+  Alcotest.(check bool)
+    (label ^ ": permuted bytes")
+    true
+    (Mat.equal ~tol:0. a.Mapping.permuted b.Mapping.permuted);
+  Alcotest.(check (array int))
+    (label ^ ": row perm")
+    (Bose_linalg.Perm.to_array a.Mapping.row_perm)
+    (Bose_linalg.Perm.to_array b.Mapping.row_perm);
+  Alcotest.(check (array int))
+    (label ^ ": col perm")
+    (Bose_linalg.Perm.to_array a.Mapping.col_perm)
+    (Bose_linalg.Perm.to_array b.Mapping.col_perm)
+
+let check_policy_eq label (a : Dropout.policy option) (b : Dropout.policy option) =
+  match (a, b) with
+  | None, None -> ()
+  | Some a, Some b ->
+    Alcotest.(check (float 0.)) (label ^ ": theta_cut") a.Dropout.theta_cut b.Dropout.theta_cut;
+    Alcotest.(check int) (label ^ ": kept_count") a.Dropout.kept_count b.Dropout.kept_count;
+    Alcotest.(check int) (label ^ ": power") a.Dropout.power b.Dropout.power;
+    Alcotest.(check (float 0.))
+      (label ^ ": expected_fidelity")
+      a.Dropout.expected_fidelity b.Dropout.expected_fidelity;
+    Alcotest.(check (array (float 0.))) (label ^ ": weights") a.Dropout.weights b.Dropout.weights
+  | _ -> Alcotest.fail (label ^ ": one policy is None, the other is not")
+
+let check_compiled_eq label (a : Compiler.t) (b : Compiler.t) =
+  check_mapping_eq label a.Compiler.mapping b.Compiler.mapping;
+  check_plan_eq label a.Compiler.plan b.Compiler.plan;
+  check_policy_eq label a.Compiler.policy b.Compiler.policy
+
+(* ------------------------------------------------- bit-exact refactor *)
+
+(* Hand-rolled replica of the pre-pipeline monolithic Compiler.compile:
+   the exact stage bodies, knob functions and RNG draw order the pass
+   registry now encapsulates. The pipeline must match it byte for
+   byte on every configuration. *)
+let legacy_compile ~effort ~tau ~rng ~device ~config u =
+  let n = Mat.rows u in
+  let ws = Mat.workspace () in
+  let pattern =
+    if Config.uses_tree_pattern config then Emb.for_program device n
+    else Emb.baseline device n
+  in
+  let mapping =
+    if Config.uses_mapping config then begin
+      let first =
+        Mapping.optimize ~ws ?candidate_ks:(Pass.mapping_candidates effort n) pattern u
+      in
+      let trials = Pass.polish_trials effort n in
+      if trials > 0 then Mapping.polish ~ws ~trials ~tau ~rng pattern first else first
+    end
+    else Mapping.trivial u
+  in
+  let plan = Eliminate.decompose ~ws pattern mapping.Mapping.permuted in
+  let policy =
+    if Config.uses_dropout config then begin
+      let powers, iterations = Pass.dropout_knobs effort n in
+      Some
+        (Dropout.make_policy ~ws ~powers ~iterations rng plan mapping.Mapping.permuted
+           ~tau)
+    end
+    else None
+  in
+  (mapping, plan, policy)
+
+let test_bit_exact_vs_legacy () =
+  let u = Unitary.haar_random (Rng.create 11) 9 in
+  List.iter
+    (fun effort ->
+       List.iter
+         (fun config ->
+            let label =
+              Config.name config ^ "/" ^ Pass.effort_name effort
+            in
+            let c =
+              Compiler.compile ~effort ~tau:0.99 ~rng:(Rng.create 42) ~device:device33
+                ~config u
+            in
+            let mapping, plan, policy =
+              legacy_compile ~effort ~tau:0.99 ~rng:(Rng.create 42) ~device:device33
+                ~config u
+            in
+            check_mapping_eq label c.Compiler.mapping mapping;
+            check_plan_eq label c.Compiler.plan plan;
+            check_policy_eq label c.Compiler.policy policy)
+         Config.all)
+    [ Compiler.Standard; Compiler.Fast ]
+
+(* --------------------------------------------------------- the cache *)
+
+let compile_cached cache seed u =
+  Compiler.compile ?cache ~tau:0.99 ~rng:(Rng.create seed) ~device:device33
+    ~config:Config.Full_opt u
+
+let test_cache_hit_bit_identical () =
+  let u = Unitary.haar_random (Rng.create 12) 9 in
+  let cache = Pipeline.Cache.create () in
+  let cold = compile_cached (Some cache) 42 u in
+  let s1 = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "cold run misses every pass" 4 s1.Pipeline.Cache.misses;
+  Alcotest.(check int) "cold run hits nothing" 0 s1.Pipeline.Cache.hits;
+  Alcotest.(check int) "one entry per pass" 4 s1.Pipeline.Cache.entries;
+  let warm = compile_cached (Some cache) 42 u in
+  let s2 = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "warm run hits every pass" 4 s2.Pipeline.Cache.hits;
+  Alcotest.(check int) "no new misses" 4 s2.Pipeline.Cache.misses;
+  check_compiled_eq "warm vs cold" cold warm;
+  (* The replayed artifacts are deep copies: mutating the warm result
+     must not corrupt the cache for a third compile. *)
+  Mat.set warm.Compiler.mapping.Mapping.permuted 0 0 (Bose_linalg.Cx.re 999.);
+  let warm2 = compile_cached (Some cache) 42 u in
+  check_compiled_eq "cache unpoisoned by caller mutation" cold warm2
+
+let test_cache_gauges () =
+  (* The per-compile hit/miss gauges surface in telemetry reports. *)
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let u = Unitary.haar_random (Rng.create 13) 6 in
+      let cache = Pipeline.Cache.create () in
+      ignore (compile_cached (Some cache) 7 u);
+      let r = Obs.Report.capture () in
+      Alcotest.(check (option (float 0.))) "cold: no hits" (Some 0.)
+        (Obs.Report.gauge r "compile.cache_hits");
+      Alcotest.(check (option (float 0.))) "cold: all misses" (Some 4.)
+        (Obs.Report.gauge r "compile.cache_misses");
+      ignore (compile_cached (Some cache) 7 u);
+      let r = Obs.Report.capture () in
+      Alcotest.(check (option (float 0.))) "warm: all hits" (Some 4.)
+        (Obs.Report.gauge r "compile.cache_hits");
+      Alcotest.(check (option (float 0.))) "warm: no misses" (Some 0.)
+        (Obs.Report.gauge r "compile.cache_misses"))
+
+let test_cache_uncached_compile_untouched () =
+  (* Without ?cache the compile is cold by construction — bit-exact
+     with a cached cold compile of the same job. *)
+  let u = Unitary.haar_random (Rng.create 14) 9 in
+  let plain = compile_cached None 42 u in
+  let cached = compile_cached (Some (Pipeline.Cache.create ())) 42 u in
+  check_compiled_eq "plain vs cached-cold" plain cached
+
+let test_cache_capacity_and_eviction () =
+  Alcotest.check_raises "zero capacity rejected"
+    (Invalid_argument "Pipeline.Cache.create: capacity must be positive") (fun () ->
+      ignore (Pipeline.Cache.create ~capacity:0 ()));
+  let u = Unitary.haar_random (Rng.create 15) 6 in
+  let cache = Pipeline.Cache.create ~capacity:1 () in
+  let a = compile_cached (Some cache) 42 u in
+  let b = compile_cached (Some cache) 42 u in
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "bounded at capacity" 1 s.Pipeline.Cache.entries;
+  Alcotest.(check bool) "evictions happened" true (s.Pipeline.Cache.evictions > 0);
+  (* With capacity 1 every pass but the last is evicted before reuse:
+     the second compile is effectively cold — and still identical. *)
+  check_compiled_eq "evicting cache stays correct" a b;
+  Pipeline.Cache.clear cache;
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "clear empties" 0 s.Pipeline.Cache.entries;
+  Alcotest.(check bool) "clear keeps stats" true (s.Pipeline.Cache.misses > 0)
+
+let test_cache_keys_discriminate () =
+  (* Different unitaries, configs, tau or effort must never collide. *)
+  let cache = Pipeline.Cache.create () in
+  let u1 = Unitary.haar_random (Rng.create 16) 6 in
+  let u2 = Unitary.haar_random (Rng.create 17) 6 in
+  let compile ?(tau = 0.99) ?(effort = Compiler.Standard) ~config u =
+    Compiler.compile ~effort ~tau ~cache ~rng:(Rng.create 42) ~device:device33 ~config u
+  in
+  ignore (compile ~config:Config.Full_opt u1);
+  ignore (compile ~config:Config.Full_opt u2);
+  ignore (compile ~config:Config.Baseline u1);
+  ignore (compile ~config:Config.Full_opt ~tau:0.999 u1);
+  ignore (compile ~config:Config.Full_opt ~effort:Compiler.Fast u1);
+  let s = Pipeline.Cache.stats cache in
+  (* Embed's fingerprint covers config, tau, effort and N but not the
+     unitary entries, so only u2's embed hits; every other combination
+     changes some fingerprinted input and misses. *)
+  Alcotest.(check int) "only structural hits" 1 s.Pipeline.Cache.hits
+
+(* ------------------------------------------------------------- batch *)
+
+let test_compile_batch_shares_cache () =
+  let u1 = Unitary.haar_random (Rng.create 18) 6 in
+  let u2 = Unitary.haar_random (Rng.create 19) 6 in
+  let cache = Pipeline.Cache.create () in
+  let results =
+    Compiler.compile_batch ~tau:0.99 ~cache ~rng:(Rng.create 42) ~device:device33
+      [ (u1, Config.Full_opt); (u2, Config.Baseline); (u1, Config.Full_opt) ]
+  in
+  (match results with
+   | [ a; b; c ] ->
+     check_compiled_eq "duplicate jobs identical" a c;
+     Alcotest.(check bool) "distinct jobs distinct" false
+       (Plan.to_string a.Compiler.plan = Plan.to_string b.Compiler.plan)
+   | _ -> Alcotest.fail "expected three results");
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "third job replays the first" 4 s.Pipeline.Cache.hits
+
+(* ---------------------------------------------------- disabled passes *)
+
+let test_disabled_dropout () =
+  let u = Unitary.haar_random (Rng.create 20) 9 in
+  let c =
+    Compiler.compile ~tau:0.99 ~disabled_passes:[ "dropout" ] ~rng:(Rng.create 42)
+      ~device:device33 ~config:Config.Full_opt u
+  in
+  Alcotest.(check bool) "no policy" true (c.Compiler.policy = None);
+  Alcotest.(check (list string)) "trace still lints clean" []
+    (List.map (fun d -> d.Diag.code) (Compiler.lint ~unitary:u c))
+
+let test_disabled_map () =
+  let u = Unitary.haar_random (Rng.create 21) 9 in
+  let c =
+    Compiler.compile ~tau:0.99 ~disabled_passes:[ "map" ] ~rng:(Rng.create 42)
+      ~device:device33 ~config:Config.Full_opt u
+  in
+  Alcotest.(check bool) "trivial mapping" true
+    (Mat.equal ~tol:0. c.Compiler.mapping.Mapping.permuted u);
+  Alcotest.(check (list string)) "trace still lints clean" []
+    (List.map (fun d -> d.Diag.code) (Compiler.lint ~unitary:u c))
+
+let test_disabled_validation () =
+  let u = Unitary.haar_random (Rng.create 22) 6 in
+  let compile disabled () =
+    ignore
+      (Compiler.compile ~disabled_passes:disabled ~rng:(Rng.create 42) ~device:device33
+         ~config:Config.Full_opt u)
+  in
+  Alcotest.check_raises "unknown pass"
+    (Invalid_argument "Pipeline.run: unknown pass fuse")
+    (compile [ "fuse" ]);
+  Alcotest.check_raises "mandatory pass"
+    (Invalid_argument "Pipeline.run: pass decompose is mandatory and cannot be disabled")
+    (compile [ "decompose" ])
+
+(* ---------------------------------------------------------- registry *)
+
+let test_registry_shape () =
+  Alcotest.(check (list string)) "default order"
+    [ "embed"; "map"; "decompose"; "dropout" ]
+    (Pipeline.names Pipeline.default);
+  let passes = Pipeline.passes Pipeline.default in
+  let deps name =
+    match Pipeline.find Pipeline.default name with
+    | None -> Alcotest.fail ("missing pass " ^ name)
+    | Some p -> Pipeline.dep_names passes p
+  in
+  Alcotest.(check (list string)) "embed deps" [] (deps "embed");
+  Alcotest.(check (list string)) "map deps" [ "embed" ] (deps "map");
+  Alcotest.(check (list string)) "decompose deps" [ "embed"; "map" ] (deps "decompose");
+  Alcotest.(check (list string)) "dropout deps" [ "decompose"; "map" ] (deps "dropout")
+
+let test_registry_validation () =
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Pipeline.make: duplicate pass name embed") (fun () ->
+      ignore (Pipeline.make [ Pass.embed; Pass.embed ]));
+  Alcotest.check_raises "dependency before producer"
+    (Invalid_argument
+       "Pipeline.make: pass map depends on an artifact no earlier pass produces")
+    (fun () -> ignore (Pipeline.make [ Pass.map ]));
+  Alcotest.check_raises "two producers of one artifact"
+    (Invalid_argument "Pipeline.make: two passes produce the artifact of embed2")
+    (fun () ->
+       ignore (Pipeline.make [ Pass.embed; { Pass.embed with Pass.name = "embed2" } ]))
+
+(* ------------------------------------------------------ BH09xx codes *)
+
+let lint_trace trace =
+  Lint.run { Lint.empty with Lint.pipeline = Some trace }
+
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diag.code) ds)
+
+let full_registry =
+  [ ("embed", []); ("map", [ "embed" ]); ("decompose", [ "embed"; "map" ]);
+    ("dropout", [ "decompose"; "map" ]) ]
+
+let executed_clean = [ ("embed", false); ("map", false); ("decompose", false); ("dropout", false) ]
+
+let test_bh0901_missing_or_repeated () =
+  (* Drop a leaf pass (dropout) so the only violation is the missing
+     run — dropping embed would also fire BH0903 downstream. *)
+  let missing =
+    lint_trace
+      {
+        Lint.registered = full_registry;
+        executed = List.filter (fun (n, _) -> n <> "dropout") executed_clean;
+      }
+  in
+  Alcotest.(check (list string)) "missing pass" [ "BH0901" ] (codes missing);
+  let repeated =
+    lint_trace
+      { Lint.registered = full_registry; executed = ("embed", true) :: executed_clean }
+  in
+  Alcotest.(check (list string)) "repeated pass" [ "BH0901" ] (codes repeated)
+
+let test_bh0902_unregistered () =
+  let ds =
+    lint_trace
+      { Lint.registered = full_registry; executed = executed_clean @ [ ("fuse", false) ] }
+  in
+  Alcotest.(check (list string)) "unregistered pass" [ "BH0902" ] (codes ds)
+
+let test_bh0903_out_of_order () =
+  let ds =
+    lint_trace
+      {
+        Lint.registered = full_registry;
+        executed =
+          [ ("map", false); ("embed", false); ("decompose", false); ("dropout", false) ];
+      }
+  in
+  Alcotest.(check (list string)) "map before embed" [ "BH0903" ] (codes ds)
+
+let test_compile_trace_lints_clean () =
+  let u = Unitary.haar_random (Rng.create 23) 6 in
+  let cache = Pipeline.Cache.create () in
+  let cold = compile_cached (Some cache) 42 u in
+  let warm = compile_cached (Some cache) 42 u in
+  Alcotest.(check (list string)) "cold trace clean" [] (codes (lint_trace cold.Compiler.trace));
+  Alcotest.(check (list string)) "warm trace clean" [] (codes (lint_trace warm.Compiler.trace));
+  (* A cache hit still counts as the pass having run: the executed
+     names match cold byte for byte, only the hit flags differ. *)
+  Alcotest.(check (list string)) "same executed passes"
+    (List.map fst cold.Compiler.trace.Lint.executed)
+    (List.map fst warm.Compiler.trace.Lint.executed);
+  Alcotest.(check bool) "warm ran from cache" true
+    (List.for_all snd warm.Compiler.trace.Lint.executed)
+
+(* -------------------------------------- irregular coupling + caching *)
+
+let test_irregular_pattern_cold_vs_warm () =
+  (* Satellite: compile_with_pattern on a genuinely non-lattice coupling
+     graph (odd cycle lengths, a degree-5 hub, no grid structure), cold
+     vs cache-hit — plans and policies must be bit-identical and both
+     compiles must lint clean. *)
+  let n = 10 in
+  let coupling =
+    Coupling.of_edges ~n
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7); (7, 8); (8, 9);
+        (0, 4); (4, 7); (4, 9); (2, 6); (1, 8) ]
+  in
+  let pattern = Emb.of_coupling_for_program coupling n in
+  let u = Unitary.haar_random (Rng.create 24) n in
+  let cache = Pipeline.Cache.create () in
+  let compile () =
+    Compiler.compile_with_pattern ~tau:0.99 ~cache ~rng:(Rng.create 42) ~pattern
+      ~config:Config.Full_opt u
+  in
+  let cold = compile () in
+  let warm = compile () in
+  Alcotest.(check int) "warm hit every pass" 4 (Pipeline.Cache.stats cache).Pipeline.Cache.hits;
+  check_compiled_eq "irregular cold vs warm" cold warm;
+  Alcotest.(check bool) "dropout engaged" true (cold.Compiler.policy <> None);
+  let lint c = List.map (fun d -> d.Diag.code) (Compiler.lint ~unitary:u c) in
+  Alcotest.(check (list string)) "cold lints clean" [] (lint cold);
+  Alcotest.(check (list string)) "warm lints clean" [] (lint warm)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "bit-exact",
+        [
+          Alcotest.test_case "pipeline vs legacy monolith" `Quick test_bit_exact_vs_legacy;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit replays bit-identical" `Quick test_cache_hit_bit_identical;
+          Alcotest.test_case "hit/miss gauges" `Quick test_cache_gauges;
+          Alcotest.test_case "uncached equals cached-cold" `Quick
+            test_cache_uncached_compile_untouched;
+          Alcotest.test_case "capacity, eviction, clear" `Quick
+            test_cache_capacity_and_eviction;
+          Alcotest.test_case "keys discriminate inputs" `Quick test_cache_keys_discriminate;
+        ] );
+      ( "batch",
+        [ Alcotest.test_case "shared cache across jobs" `Quick test_compile_batch_shares_cache ] );
+      ( "disable",
+        [
+          Alcotest.test_case "dropout disabled" `Quick test_disabled_dropout;
+          Alcotest.test_case "map disabled" `Quick test_disabled_map;
+          Alcotest.test_case "validation" `Quick test_disabled_validation;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "default shape" `Quick test_registry_shape;
+          Alcotest.test_case "make validation" `Quick test_registry_validation;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "BH0901 missing/repeated" `Quick test_bh0901_missing_or_repeated;
+          Alcotest.test_case "BH0902 unregistered" `Quick test_bh0902_unregistered;
+          Alcotest.test_case "BH0903 out of order" `Quick test_bh0903_out_of_order;
+          Alcotest.test_case "compile traces lint clean" `Quick
+            test_compile_trace_lints_clean;
+        ] );
+      ( "irregular",
+        [
+          Alcotest.test_case "non-lattice coupling, cold vs warm" `Quick
+            test_irregular_pattern_cold_vs_warm;
+        ] );
+    ]
