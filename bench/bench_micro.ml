@@ -11,8 +11,21 @@ module Plan = Bose_decomp.Plan
 module Eliminate = Bose_decomp.Eliminate
 module Clements = Bose_decomp.Clements
 module Mapping = Bose_mapping.Mapping
+module Gaussian = Bose_gbs.Gaussian
+module Sampler = Bose_gbs.Sampler
+module Pool = Bose_par.Pool
+module Obs = Bose_obs.Obs
 open Bechamel
 open Toolkit
+
+(* Row gauges: Telemetry.row captures the metrics window per row, so
+   these land in each row's report in BENCH_TELEMETRY.json where
+   bench/check_regression.ml compares them against bench_floors.json. *)
+let g_cold_us = Obs.Gauge.make "bench.cold_us"
+let g_warm_us = Obs.Gauge.make "bench.warm_us"
+let g_warm_speedup = Obs.Gauge.make "bench.warm_speedup"
+let g_wall_s = Obs.Gauge.make "bench.wall_s"
+let g_par_speedup = Obs.Gauge.make "bench.parallel_speedup"
 
 (* Boxed get/set reference implementations: what the flat kernels are
    measured against, and what they replaced. *)
@@ -105,14 +118,85 @@ let cache_recompile_row ~n ~rows ~cols =
     compile ()
   done;
   let warm_s = (Unix.gettimeofday () -. t1) /. float_of_int warm_runs in
+  let speedup = if warm_s > 0. then cold_s /. warm_s else Float.infinity in
+  Obs.Gauge.set g_cold_us (1e6 *. cold_s);
+  Obs.Gauge.set g_warm_us (1e6 *. warm_s);
+  Obs.Gauge.set g_warm_speedup speedup;
   Printf.printf "compile-cache-%-14d cold %8.1f us, warm %8.1f us, %8.2fx speedup\n" n
-    (1e6 *. cold_s) (1e6 *. warm_s)
-    (if warm_s > 0. then cold_s /. warm_s else Float.infinity)
+    (1e6 *. cold_s) (1e6 *. warm_s) speedup
+
+(* Parallel-scaling rows. Jobs values above the host's recommended
+   domain count are skipped rather than reported: with more domains than
+   cores the OCaml runtime's stop-the-world minor collections serialize
+   the pool and the row would measure GC contention, not scaling. The
+   speedup floors in bench_floors.json therefore only bind on multi-core
+   runners (CI), and check_regression skips floors whose row is absent. *)
+let scaling_jobs () =
+  List.filter (fun j -> j <= Domain.recommended_domain_count ()) [ 1; 2; 4 ]
+
+let batch_compile_scaling ~n ~rows ~cols ~job_count =
+  let device = Lattice.create ~rows ~cols in
+  let job_list =
+    List.init job_count (fun k ->
+        (Unitary.haar_random (Rng.create (50 + k)) n, Bosehedral.Config.Full_opt))
+  in
+  let base = ref 0. in
+  List.iter
+    (fun jobs ->
+       Benchlib.Telemetry.row ~experiment:"micro"
+         ~row:(Printf.sprintf "batch-compile-%d-jobs-%d" n jobs)
+       @@ fun () ->
+       let t0 = Unix.gettimeofday () in
+       ignore
+         (Bosehedral.Compiler.compile_batch ~tau:0.99 ~jobs ~rng:(Rng.create 8)
+            ~device job_list);
+       let wall = Unix.gettimeofday () -. t0 in
+       if jobs = 1 then base := wall;
+       let speedup = if wall > 0. then !base /. wall else 0. in
+       Obs.Gauge.set g_wall_s wall;
+       Obs.Gauge.set g_par_speedup speedup;
+       Printf.printf "batch-compile-%-2d (%d jobs)  --jobs %d  %9.1f ms  %6.2fx\n" n
+         job_count jobs (1e3 *. wall) speedup)
+    (scaling_jobs ())
+
+let sampling_scaling ~modes ~shots =
+  let u = Unitary.haar_random (Rng.create 9) modes in
+  let state = Gaussian.vacuum modes in
+  for i = 0 to modes - 1 do
+    Gaussian.squeeze state i (Cx.re 0.35)
+  done;
+  Gaussian.interferometer state u;
+  let base = ref 0. in
+  List.iter
+    (fun jobs ->
+       Benchlib.Telemetry.row ~experiment:"micro"
+         ~row:(Printf.sprintf "sample-chain-%d-jobs-%d" modes jobs)
+       @@ fun () ->
+       let with_pool f =
+         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> f (Some p))
+         else f None
+       in
+       let t0 = Unix.gettimeofday () in
+       let samples =
+         with_pool (fun pool ->
+             Sampler.chain_rule_chains ?pool (Rng.create 10) state shots)
+       in
+       let wall = Unix.gettimeofday () -. t0 in
+       assert (List.length samples = shots);
+       if jobs = 1 then base := wall;
+       let speedup = if wall > 0. then !base /. wall else 0. in
+       Obs.Gauge.set g_wall_s wall;
+       Obs.Gauge.set g_par_speedup speedup;
+       Printf.printf "sample-chain-%-2d (%d shots)  --jobs %d  %9.1f ms  %6.2fx\n"
+         modes shots jobs (1e3 *. wall) speedup)
+    (scaling_jobs ())
 
 let run () =
   Benchlib.header "Micro-benchmarks (Bechamel): compiler kernels at 24 qumodes";
   cache_recompile_row ~n:16 ~rows:4 ~cols:4;
   cache_recompile_row ~n:32 ~rows:6 ~cols:6;
+  batch_compile_scaling ~n:32 ~rows:6 ~cols:6 ~job_count:8;
+  sampling_scaling ~modes:6 ~shots:1024;
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.6) ~kde:(Some 500) () in
   let estimates = Hashtbl.create 16 in

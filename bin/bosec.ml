@@ -4,6 +4,7 @@
      compile    compile an interferometer and print the plan summary
      check      statically verify serialized artifacts (lint engine)
      simulate   compile + execute on the noisy simulator, report JSD
+     sample     draw GBS samples from a squeezed-light interferometer
      layouts    compare square / triangular / hexagonal couplings
 
    Every subcommand accepts --metrics-out FILE (write the telemetry
@@ -25,6 +26,10 @@ module Noise = Bose_circuit.Noise
 module Obs = Bose_obs.Obs
 module Lint = Bose_lint.Lint
 module Diag = Bose_lint.Diag
+module Pool = Bose_par.Pool
+module Gaussian = Bose_gbs.Gaussian
+module Sampler = Bose_gbs.Sampler
+module Fock = Bose_gbs.Fock
 open Bosehedral
 
 (* Run [f] under the telemetry switch implied by --metrics-out/--trace:
@@ -84,10 +89,51 @@ let print_pipeline () =
          (if Pass.can_skip p then "" else " [mandatory]"))
     passes
 
-let run_compile rows cols modes seed config tau graph_p effort verbose plan_out
+(* `bosec compile --batch K --jobs N`: compile K seed-varied programs
+   as one batch, sharded over N domains. Per-job RNG streams are keyed
+   by job content, so the summaries are identical at every N. *)
+let run_batch_compile ~rows ~cols ~modes ~seed ~config ~tau ~graph_p ~effort ~jobs ~batch
+    ~cache_stats ~metrics_out ~trace =
+  let device = Lattice.create ~rows ~cols in
+  let modes = match modes with Some n -> n | None -> Lattice.size device in
+  if modes > Lattice.size device then begin
+    Printf.eprintf "error: %d qumodes do not fit on a %dx%d device\n" modes rows cols;
+    exit 1
+  end;
+  let job_list =
+    List.init batch (fun k ->
+        (make_unitary (Rng.create (seed + 1 + k)) ~modes ~graph_p, config))
+  in
+  let cache = if cache_stats then Some (Pipeline.Cache.create ()) else None in
+  with_obs ~metrics_out ~trace @@ fun () ->
+  let results =
+    Compiler.compile_batch ~effort ~tau ?cache ~jobs ~rng:(Rng.create seed) ~device
+      job_list
+  in
+  List.iteri
+    (fun i c -> Format.printf "[job %d] %a@." i Compiler.pp_summary c)
+    results;
+  (match cache with
+   | None -> ()
+   | Some c -> Format.printf "cache: %a@." Pipeline.Cache.pp c)
+
+let run_compile rows cols modes seed config tau graph_p effort jobs batch verbose plan_out
     unitary_out list_passes disable_passes cache_stats metrics_out trace =
   if list_passes then begin
     print_pipeline ();
+    exit 0
+  end;
+  if jobs < 1 then begin
+    Printf.eprintf "bosec compile: --jobs must be >= 1\n";
+    exit 2
+  end;
+  if batch < 0 then begin
+    Printf.eprintf "bosec compile: --batch must be >= 0\n";
+    exit 2
+  end;
+  if batch > 0 then begin
+    run_batch_compile ~rows ~cols ~modes ~seed ~config ~tau ~graph_p ~effort ~jobs ~batch
+      ~cache_stats ~metrics_out ~trace;
     exit 0
   end;
   List.iter
@@ -264,6 +310,65 @@ let run_simulate rows cols modes seed tau graph_p loss cutoff metrics_out trace 
          (Plan.rotation_count compiled.Compiler.plan))
     Config.all
 
+(* `bosec sample`: draw GBS Fock samples from a squeezed-light state
+   through a Haar-random (or graph-encoded) interferometer. Shots fan
+   out over pre-split per-chain RNG streams, so the sample list is
+   bit-identical at every --jobs value. *)
+let run_sample modes seed shots jobs chains squeezing max_photons use_chain_rule graph_p
+    metrics_out trace =
+  if jobs < 1 then begin
+    Printf.eprintf "bosec sample: --jobs must be >= 1\n";
+    exit 2
+  end;
+  if modes < 1 || modes > 10 then begin
+    Printf.eprintf "bosec sample: --modes must be in 1..10 (exact Gaussian simulation)\n";
+    exit 2
+  end;
+  with_obs ~metrics_out ~trace @@ fun () ->
+  let rng = Rng.create seed in
+  let u = make_unitary (Rng.create (seed + 1)) ~modes ~graph_p in
+  let state = Gaussian.vacuum modes in
+  for i = 0 to modes - 1 do
+    Gaussian.squeeze state i (Cx.re squeezing)
+  done;
+  Gaussian.interferometer state u;
+  let with_pool f =
+    if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> f (Some p)) else f None
+  in
+  let samples =
+    with_pool (fun pool ->
+        if use_chain_rule then Sampler.chain_rule_chains ~chains ?pool rng state shots
+        else begin
+          let s = Sampler.of_state ~max_photons state in
+          Format.printf "truncation tail mass: %.6f@." (Sampler.tail_mass s);
+          Sampler.draw_chains ~chains ?pool rng s shots
+        end)
+  in
+  Format.printf "%d modes, %d shots over %d chains, jobs %d (%s)@." modes shots chains
+    jobs
+    (if use_chain_rule then "chain-rule" else "exact distribution");
+  let dist = Dist.of_samples samples in
+  let by_mass =
+    List.sort
+      (fun (_, p) (_, q) -> compare (q : float) p)
+      (Dist.to_list dist)
+  in
+  List.iteri
+    (fun i (pattern, p) ->
+       if i < 8 then
+         Format.printf "  %-24s %.4f@."
+           (if pattern = Fock.tail then "(tail)"
+            else "[" ^ String.concat "; " (List.map string_of_int pattern) ^ "]")
+           p)
+    by_mass;
+  let mean =
+    List.fold_left
+      (fun acc s -> if s = Fock.tail then acc else acc + List.fold_left ( + ) 0 s)
+      0 samples
+  in
+  Format.printf "mean photons per shot: %.3f@."
+    (float_of_int mean /. float_of_int (max 1 shots))
+
 let run_layouts rows cols modes seed tau metrics_out trace =
   let rng = Rng.create seed in
   with_obs ~metrics_out ~trace @@ fun () ->
@@ -392,15 +497,29 @@ let trace =
 let loss = Arg.(value & opt float 0.05 & info [ "loss" ] ~doc:"Per-beamsplitter photon loss rate.")
 let cutoff = Arg.(value & opt int 5 & info [ "cutoff" ] ~doc:"Photon-number truncation.")
 
+let jobs =
+  Arg.(value
+       & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Parallel domains (including the calling one). Output is bit-identical \
+                 at every $(docv) for a fixed seed; only wall-clock time changes.")
+
+let batch =
+  Arg.(value
+       & opt int 0
+       & info [ "batch" ] ~docv:"K"
+           ~doc:"Compile $(docv) seed-varied programs as one batch (sharded across \
+                 $(b,--jobs) domains) instead of a single program.")
+
 let compile_term =
   Term.(
-    const (fun rows cols modes seed config tau graph_p effort verbose plan_out unitary_out
-             list_passes disable_passes cache_stats metrics_out trace ->
-        run_compile rows cols modes seed config tau graph_p effort verbose plan_out
-          unitary_out list_passes disable_passes cache_stats metrics_out trace)
-    $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ verbose $ plan_out
-    $ unitary_out $ list_compile_passes $ disable_passes $ cache_stats $ metrics_out
-    $ trace)
+    const (fun rows cols modes seed config tau graph_p effort jobs batch verbose plan_out
+             unitary_out list_passes disable_passes cache_stats metrics_out trace ->
+        run_compile rows cols modes seed config tau graph_p effort jobs batch verbose
+          plan_out unitary_out list_passes disable_passes cache_stats metrics_out trace)
+    $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ jobs $ batch
+    $ verbose $ plan_out $ unitary_out $ list_compile_passes $ disable_passes
+    $ cache_stats $ metrics_out $ trace)
 
 let compile_cmd =
   Cmd.v
@@ -473,6 +592,50 @@ let simulate_cmd =
       $ rows $ cols $ modes $ seed $ tau $ graph_p $ loss $ cutoff $ metrics_out
       $ trace)
 
+let sample_cmd =
+  let sample_modes =
+    Arg.(value
+         & opt int 5
+         & info [ "n"; "modes" ] ~doc:"Program qumodes (exact simulation, 1..10).")
+  in
+  let shots = Arg.(value & opt int 1024 & info [ "shots" ] ~doc:"Shots to draw.") in
+  let chains =
+    Arg.(value
+         & opt int 16
+         & info [ "chains" ]
+             ~doc:"Independent shot chains; the sample layout (and therefore the \
+                   output) depends on this, not on $(b,--jobs).")
+  in
+  let squeezing =
+    Arg.(value
+         & opt float 0.35
+         & info [ "squeezing" ] ~doc:"Squeezing parameter applied to every qumode.")
+  in
+  let max_photons =
+    Arg.(value
+         & opt int 5
+         & info [ "max-photons" ]
+             ~doc:"Photon-number truncation of the exact output distribution.")
+  in
+  let use_chain_rule =
+    Arg.(value
+         & flag
+         & info [ "chain-rule" ]
+             ~doc:"Sample mode-by-mode via conditional loop hafnians instead of \
+                   enumerating the truncated distribution.")
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:"Draw GBS samples from a squeezed-light interferometer; $(b,--jobs) fans \
+             shot chains out over a domain pool with bit-identical output")
+    Term.(
+      const (fun modes seed shots jobs chains squeezing max_photons use_chain_rule
+               graph_p metrics_out trace ->
+          run_sample modes seed shots jobs chains squeezing max_photons use_chain_rule
+            graph_p metrics_out trace)
+      $ sample_modes $ seed $ shots $ jobs $ chains $ squeezing $ max_photons
+      $ use_chain_rule $ graph_p $ metrics_out $ trace)
+
 let layouts_cmd =
   Cmd.v
     (Cmd.info "layouts" ~doc:"Compare square / triangular / hexagonal couplings")
@@ -486,4 +649,6 @@ let () =
   let default = compile_term in
   exit
     (Cmd.eval
-       (Cmd.group ~default (Cmd.info "bosec" ~doc) [ compile_cmd; check_cmd; simulate_cmd; layouts_cmd ]))
+       (Cmd.group ~default
+          (Cmd.info "bosec" ~doc ~version:Version.version)
+          [ compile_cmd; check_cmd; simulate_cmd; sample_cmd; layouts_cmd ]))

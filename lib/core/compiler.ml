@@ -7,6 +7,8 @@ module Mapping = Bose_mapping.Mapping
 module Dropout = Bose_dropout.Dropout
 module Obs = Bose_obs.Obs
 module Lint = Bose_lint.Lint
+module Rng = Bose_util.Rng
+module Pool = Bose_par.Pool
 
 let c_compiles = Obs.Counter.make "compile.runs"
 let c_batch_jobs = Obs.Counter.make "compile.batch_jobs"
@@ -107,17 +109,63 @@ let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_pa
       drive ?cache ?disabled:disabled_passes ~effort ~tau ~rng ~device ~config
         ~source:(Pass.Explicit pattern) u)
 
-let compile_batch ?(effort = Standard) ?(tau = 0.999) ?cache ~rng ~device jobs =
-  (* One shared cache across the whole batch: jobs with identical
-     fingerprints replay each other's patterns, mappings, plans and
-     policies instead of recompiling them. *)
-  let cache = match cache with Some c -> c | None -> Pipeline.Cache.create () in
-  Obs.Span.with_ "compile.batch" (fun () ->
-      List.map
-        (fun (u, config) ->
-           Obs.Counter.incr c_batch_jobs;
-           compile ~effort ~tau ~cache ~rng ~device ~config u)
-        jobs)
+(* The same fields the passes fingerprint, folded once per job. Jobs
+   with identical inputs get identical streams, so a cache replay of a
+   duplicate job is indistinguishable from recompiling it. *)
+let job_fingerprint ~effort ~tau ~config u =
+  Pass.Fingerprint.(
+    mat (string (float (string seed (Config.name config)) tau) (Pass.effort_name effort)) u)
+
+let compile_batch ?(effort = Standard) ?(tau = 0.999) ?cache ?(jobs = 1) ~rng ~device
+    job_list =
+  if jobs < 1 then invalid_arg "Compiler.compile_batch: jobs must be >= 1";
+  let n = List.length job_list in
+  (* Content-keyed per-job RNG streams: one base draw from the caller's
+     rng, XORed with each job's input fingerprint. Every job's stream
+     is then a function of the batch seed and the job's own inputs —
+     independent of job order, sharding, and cache replays — which is
+     what makes [~jobs:n] output bit-identical to sequential. *)
+  let base = Rng.bits64 rng in
+  let stream_for (u, config) =
+    Rng.of_key (Int64.logxor base (job_fingerprint ~effort ~tau ~config u))
+  in
+  let compile_job cache ((u, config) as job) =
+    Obs.Counter.incr c_batch_jobs;
+    compile ~effort ~tau ~cache ~rng:(stream_for job) ~device ~config u
+  in
+  let domains = min jobs n in
+  if domains <= 1 then begin
+    (* Sequential: one shared cache across the whole batch, so jobs
+       with identical fingerprints replay each other's patterns,
+       mappings, plans and policies instead of recompiling them. *)
+    let cache = match cache with Some c -> c | None -> Pipeline.Cache.create () in
+    Obs.Span.with_ "compile.batch" (fun () -> List.map (compile_job cache) job_list)
+  end
+  else
+    Obs.Span.with_ "compile.batch" (fun () ->
+        let arr = Array.of_list job_list in
+        let out = Array.make n None in
+        (* Each chunk gets its own cache (shared mutable caches would
+           race across domains) and its own [Mat.workspace] via the
+           per-compile workspace in [drive]. Chunk boundaries depend
+           only on [domains] and [n], never on scheduling. *)
+        let chunk_stats = Array.make domains None in
+        Pool.with_pool ~domains (fun pool ->
+            Pool.chunked_iter pool ~chunks:domains ~n (fun ~chunk ~lo ~hi ->
+                let local = Pipeline.Cache.create () in
+                for i = lo to hi - 1 do
+                  out.(i) <- Some (compile_job local arr.(i))
+                done;
+                chunk_stats.(chunk) <- Some (Pipeline.Cache.stats local)));
+        (* Surface domain-local hit rates through the caller's cache. *)
+        (match cache with
+         | None -> ()
+         | Some c ->
+           Array.iter
+             (function None -> () | Some s -> Pipeline.Cache.absorb c s)
+             chunk_stats);
+        Array.to_list out
+        |> List.map (function Some t -> t | None -> assert false))
 
 let shot_mask rng t =
   match t.policy with

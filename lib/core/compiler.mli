@@ -114,16 +114,31 @@ val compile_batch :
   ?effort:effort ->
   ?tau:float ->
   ?cache:Pipeline.Cache.t ->
+  ?jobs:int ->
   rng:Bose_util.Rng.t ->
   device:Bose_hardware.Lattice.t ->
   (Bose_linalg.Mat.t * Config.t) list ->
   t list
-(** Compile a job list through one shared artifact cache (a fresh
-    bounded cache when [?cache] is absent): jobs whose pass inputs
-    fingerprint identically replay each other's artifacts instead of
-    recompiling. Results are in job order; the whole batch is wrapped
-    in telemetry span ["compile.batch"], and each job increments the
-    [compile.batch_jobs] counter. *)
+(** Compile a job list. Results are in job order; the whole batch is
+    wrapped in telemetry span ["compile.batch"], and each job
+    increments the [compile.batch_jobs] counter.
+
+    Sequentially ([jobs] absent or 1), the batch runs through one
+    shared artifact cache (a fresh bounded cache when [?cache] is
+    absent): jobs whose pass inputs fingerprint identically replay each
+    other's artifacts instead of recompiling.
+
+    With [~jobs:n > 1] the job list is sharded into contiguous chunks
+    across a [Bose_par.Pool] of [min n (length jobs)] domains. Each
+    domain compiles its chunk with its own workspace and its own
+    domain-local artifact cache; at the join barrier the local caches'
+    hit/miss statistics are folded into [?cache] (entries are not — a
+    shared mutable cache would race). Every job draws from a private
+    RNG stream keyed by the batch seed and the job's own content
+    fingerprint, so the compiled plans and policies are bit-identical
+    across all [jobs] values, cache configurations, and shardings.
+    Pool telemetry lands in the [par.*] gauges (docs/METRICS.md).
+    @raise Invalid_argument when [jobs < 1]. *)
 
 val shot_mask : Bose_util.Rng.t -> t -> bool array option
 (** Per-shot beamsplitter keep-mask: [None] when the configuration keeps

@@ -119,6 +119,11 @@ module Cache = struct
       Hashtbl.replace c.tbl key { last_use = c.tick; artifact = Pass.copy_artifact artifact }
     end
 
+  let absorb (c : t) (s : stats) =
+    c.hits <- c.hits + s.hits;
+    c.misses <- c.misses + s.misses;
+    c.evictions <- c.evictions + s.evictions
+
   let pp fmt c =
     let s = stats c in
     Format.fprintf fmt "%d hits, %d misses, %d/%d entries, %d evictions" s.hits s.misses

@@ -57,6 +57,12 @@ module Cache : sig
   val stats : t -> stats
   (** Lifetime totals since [create]. *)
 
+  val absorb : t -> stats -> unit
+  (** Fold another cache's statistics into this one's lifetime totals
+      ([hits]/[misses]/[evictions] add; [entries]/[capacity] are
+      ignored). Used by [Compiler.compile_batch ~jobs] to surface the
+      hit rates of its domain-local caches through the caller's cache. *)
+
   val pp : Format.formatter -> t -> unit
 end
 

@@ -1,6 +1,9 @@
 module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
 module Combin = Bose_util.Combin
+module Rng = Bose_util.Rng
+module Dist = Bose_util.Dist
+module Pool = Bose_par.Pool
 
 let expand counts =
   Array.concat (Array.to_list (Array.mapi (fun k c -> Array.make c k) counts))
@@ -47,6 +50,32 @@ let distribution u ~input =
 let single_photons ~modes ~photons =
   if photons > modes then invalid_arg "Boson_sampling.single_photons: too many photons";
   Array.init modes (fun i -> if i < photons then 1 else 0)
+
+(* Sampling: the distribution (the expensive permanent enumeration) is
+   built once on the calling domain; drawing is then cheap and fans out
+   over per-chain RNG streams with the same layout as
+   [Sampler.draw_chains], so parallel output is bit-identical to
+   sequential for a fixed seed. *)
+let sample ?(chains = 16) ?pool rng u ~input shots =
+  if chains < 1 then invalid_arg "Boson_sampling.sample: chains must be >= 1";
+  if shots < 0 then invalid_arg "Boson_sampling.sample: negative shot count";
+  let dist = Dist.of_weights (distribution u ~input) in
+  let chains = min chains (max shots 1) in
+  let streams = Rng.split rng chains in
+  let base = shots / chains and extra = shots mod chains in
+  let per_chain c =
+    let n = base + if c < extra then 1 else 0 in
+    List.init n (fun _ -> Dist.sample streams.(c) dist)
+  in
+  let out = Array.make chains [] in
+  (match pool with
+   | Some p when Pool.domains p > 1 ->
+     Pool.run p ~tasks:chains (fun c -> out.(c) <- per_chain c)
+   | _ ->
+     for c = 0 to chains - 1 do
+       out.(c) <- per_chain c
+     done);
+  List.concat (Array.to_list out)
 
 (* Distinguishable particles: replace each amplitude by its squared
    modulus and use the permanent of that non-negative matrix, normalized

@@ -27,6 +27,22 @@ val single_photons : modes:int -> photons:int -> int array
 (** The standard input: one photon in each of the first [photons]
     ports. *)
 
+val sample :
+  ?chains:int ->
+  ?pool:Bose_par.Pool.t ->
+  Bose_util.Rng.t ->
+  Bose_linalg.Mat.t ->
+  input:int array ->
+  int ->
+  int list list
+(** [sample rng u ~input shots] draws output patterns from
+    {!distribution} (built once, on the calling domain). Shots are
+    partitioned over [chains] (default 16) pre-split RNG streams with a
+    fixed layout, so for a fixed seed the output is bit-identical with
+    or without a [?pool] and at every pool size.
+    @raise Invalid_argument on [chains < 1], negative [shots], or
+    anything {!distribution} rejects. *)
+
 val distinguishable_distribution :
   Bose_linalg.Mat.t -> input:int array -> (int list * float) list
 (** The classical baseline: photons treated as distinguishable

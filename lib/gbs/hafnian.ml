@@ -9,11 +9,14 @@ let g_max_dim = Obs.Gauge.make "gbs.max_hafnian_dim"
 
 let max_indices = 24
 
-(* One memo table for every DP call, cleared (buckets kept) rather than
-   reallocated: the sampler evaluates thousands of hafnians per
-   distribution and the table was its dominant allocation. [dp] never
-   nests — [go] recurses on masks, not on [dp] — so sharing is safe. *)
-let memo : (int, Cx.t) Hashtbl.t = Hashtbl.create 1024
+(* One memo table per domain for every DP call, cleared (buckets kept)
+   rather than reallocated: the sampler evaluates thousands of hafnians
+   per distribution and the table was its dominant allocation. [dp]
+   never nests — [go] recurses on masks, not on [dp] — so sharing
+   within a domain is safe; parallel shot chains (bose_par) each get
+   their own table through domain-local storage. *)
+let memo_key : (int, Cx.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
 
 (* Memoized DP over index subsets. State = bitmask of still-unmatched
    indices; take its lowest set bit i and either loop it (A_ii, loop
@@ -26,6 +29,7 @@ let dp_get ~loops n (get : int -> int -> Cx.t) =
   Obs.Gauge.observe_max g_max_dim (float_of_int n);
   if (not loops) && n mod 2 = 1 then Cx.zero
   else begin
+    let memo = Domain.DLS.get memo_key in
     Hashtbl.clear memo;
     let rec go mask =
       if mask = 0 then Cx.one

@@ -1,6 +1,7 @@
 module Rng = Bose_util.Rng
 module Dist = Bose_util.Dist
 module Obs = Bose_obs.Obs
+module Pool = Bose_par.Pool
 
 let c_draws = Obs.Counter.make "gbs.sampler_draws"
 let c_chain_rule_draws = Obs.Counter.make "gbs.chain_rule_draws"
@@ -67,3 +68,48 @@ let chain_rule ?(max_per_mode = 6) rng state =
 
 let chain_rule_many ?max_per_mode rng state shots =
   List.init shots (fun _ -> chain_rule ?max_per_mode rng state)
+
+(* ------------------------------------------------- parallel chains *)
+
+(* Shot chains: [shots] draws are partitioned over [chains] independent
+   shot sequences, each with its own pre-split RNG stream and a fixed
+   shot count that depends only on [chains] and [shots]. The chain
+   layout is identical whether chains run sequentially or on a pool, so
+   for a fixed seed the concatenated output is bit-identical across
+   every [?pool] configuration. *)
+
+let assert_distinct_streams streams =
+  assert (
+    let n = Array.length streams in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.same streams.(i) streams.(j) then ok := false
+      done
+    done;
+    !ok)
+
+let run_chains ?pool ~chains rng shots shot_fun =
+  if chains < 1 then invalid_arg "Sampler: chains must be >= 1";
+  if shots < 0 then invalid_arg "Sampler: negative shot count";
+  let chains = min chains (max shots 1) in
+  let streams = Rng.split rng chains in
+  assert_distinct_streams streams;
+  let base = shots / chains and extra = shots mod chains in
+  let per_chain c = shot_fun streams.(c) (base + if c < extra then 1 else 0) in
+  let out = Array.make chains [] in
+  (match pool with
+   | Some p when Pool.domains p > 1 ->
+     Pool.run p ~tasks:chains (fun c -> out.(c) <- per_chain c)
+   | _ ->
+     for c = 0 to chains - 1 do
+       out.(c) <- per_chain c
+     done);
+  List.concat (Array.to_list out)
+
+let draw_chains ?(chains = 16) ?pool rng t shots =
+  run_chains ?pool ~chains rng shots (fun stream n -> draw_many stream t n)
+
+let chain_rule_chains ?max_per_mode ?(chains = 16) ?pool rng state shots =
+  run_chains ?pool ~chains rng shots (fun stream n ->
+      chain_rule_many ?max_per_mode stream state n)

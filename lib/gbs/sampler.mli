@@ -45,3 +45,32 @@ val chain_rule :
 
 val chain_rule_many :
   ?max_per_mode:int -> Bose_util.Rng.t -> Gaussian.t -> int -> int list list
+
+(** {1 Parallel shot chains}
+
+    [shots] draws are partitioned over [chains] independent shot
+    sequences (default 16), each seeded from its own
+    {!Bose_util.Rng.split} stream with a fixed shot count depending only
+    on [chains] and [shots]. The chain layout is independent of the
+    execution backend, so for a fixed seed the concatenated output
+    (chain order) is {e bit-identical} whether [?pool] is absent, a
+    1-domain pool, or any larger {!Bose_par.Pool} — only wall-clock time
+    changes. Shots within a chain stay sequential; across chains they
+    are exchangeable, not a prefix of the [chains:1] sequence. *)
+
+val draw_chains :
+  ?chains:int -> ?pool:Bose_par.Pool.t -> Bose_util.Rng.t -> t -> int -> int list list
+(** [draw_chains rng t shots] — {!draw_many} across chains.
+    @raise Invalid_argument on [chains < 1] or negative [shots]. *)
+
+val chain_rule_chains :
+  ?max_per_mode:int ->
+  ?chains:int ->
+  ?pool:Bose_par.Pool.t ->
+  Bose_util.Rng.t ->
+  Gaussian.t ->
+  int ->
+  int list list
+(** [chain_rule_chains rng state shots] — {!chain_rule_many} across
+    chains; the per-shot cost is dominated by loop-hafnian evaluations,
+    which is where pool parallelism pays. *)

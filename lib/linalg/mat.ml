@@ -9,14 +9,15 @@ type t = { re : float array; im : float array; nrows : int; ncols : int }
 
 (* Matrices allocated since program start — the denominator of the
    allocation gauges (compile.mats_allocated, map.polish_mats_per_trial).
-   Every constructor funnels through [create]. *)
-let alloc_count = ref 0
+   Every constructor funnels through [create]. Atomic, because pool
+   workers (bose_par) allocate concurrently. *)
+let alloc_count = Atomic.make 0
 
-let allocations () = !alloc_count
+let allocations () = Atomic.get alloc_count
 
 let create nrows ncols =
   if nrows < 0 || ncols < 0 then invalid_arg "Mat.create: negative dimension";
-  incr alloc_count;
+  Atomic.incr alloc_count;
   let len = nrows * ncols in
   { re = Array.make (max len 1) 0.; im = Array.make (max len 1) 0.; nrows; ncols }
 
@@ -84,7 +85,7 @@ let to_arrays m = Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get 
 let of_real a = of_arrays (Array.map (Array.map Cx.re) a)
 
 let copy m =
-  incr alloc_count;
+  Atomic.incr alloc_count;
   { m with re = Array.copy m.re; im = Array.copy m.im }
 
 let blit src dst =

@@ -33,6 +33,7 @@ type subject = {
   circuit : Circuit.t option;
   perms : (string * int array) list;
   views : (string * Mat.View.t) list;
+  rngs : (string * Bose_util.Rng.t) list;
   pipeline : pipeline_trace option;
 }
 
@@ -49,6 +50,7 @@ let empty =
     circuit = None;
     perms = [];
     views = [];
+    rngs = [];
     pipeline = None;
   }
 
@@ -492,6 +494,30 @@ let check_views views =
   in
   pairs views
 
+(* BH1001 — one RNG stream shared between concurrent tasks. [Rng.t] is
+   single-stream mutable state with no internal locking: two pool tasks
+   drawing from the same stream race on it and destroy replayability.
+   The subject carries the named streams handed to each parallel task;
+   any physically-equal pair is an error. *)
+let check_rngs rngs =
+  let rec pairs = function
+    | [] -> []
+    | (name1, r1) :: rest ->
+      List.filter_map
+        (fun (name2, r2) ->
+           if Bose_util.Rng.same r1 r2 then
+             Some
+               (Diag.error ~code:"BH1001"
+                  ~hint:"pre-split one stream per task with Rng.split so results depend \
+                         only on the task index, never on domain interleaving"
+                  (Printf.sprintf "parallel tasks %s and %s share one RNG stream" name1
+                     name2))
+           else None)
+        rest
+      @ pairs rest
+  in
+  pairs rngs
+
 (* BH09xx — pass-manager execution discipline. The trace is pure data
    (pass names + cache-hit flags), so the checker works on traces from
    any pipeline, including hand-built ones in tests. A cache hit counts
@@ -608,6 +634,12 @@ let passes =
       codes = [ "BH0701" ];
       doc = "Mat.View overlap at in-place kernel call sites";
       run = (fun s -> check_views s.views);
+    };
+    {
+      name = "rng";
+      codes = [ "BH1001" ];
+      doc = "RNG stream sharing across parallel tasks";
+      run = (fun s -> check_rngs s.rngs);
     };
     {
       name = "pipeline";

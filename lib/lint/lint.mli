@@ -60,6 +60,11 @@ type subject = {
   views : (string * Bose_linalg.Mat.View.t) list;
       (** Named views at an in-place kernel call site; every
           overlapping pair is reported (BH0701). *)
+  rngs : (string * Bose_util.Rng.t) list;
+      (** Named RNG streams handed to concurrent pool tasks; every
+          physically-shared pair ({!Bose_util.Rng.same}) is reported
+          (BH1001) — a shared stream races and destroys
+          replayability. *)
   pipeline : pipeline_trace option;
       (** Pass-manager execution record; registry/execution mismatches
           are reported (BH09xx). *)
@@ -78,7 +83,8 @@ type pass = {
 
 val passes : pass list
 (** The registry, in pipeline order: [unitary], [pattern], [perms],
-    [mapping], [plan], [policy], [circuit], [aliasing], [pipeline]. *)
+    [mapping], [plan], [policy], [circuit], [aliasing], [rng],
+    [pipeline]. *)
 
 type settings = {
   disabled_passes : string list;  (** Pass names to skip. *)

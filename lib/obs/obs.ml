@@ -11,10 +11,47 @@ let enabled () = !enabled_flag
    without unix. Binaries that link unix install gettimeofday. *)
 let clock = ref Sys.time
 let set_clock f = clock := f
+let now () = !clock ()
 
 let on_span_close :
   (name:string -> depth:int -> elapsed_s:float -> unit) option ref =
   ref None
+
+(* --- Per-domain collectors ----------------------------------------
+
+   The global registries below are plain single-domain mutable state.
+   Pool workers (bose_par) therefore never touch them directly: each
+   worker domain installs a [local_sink] in domain-local storage, every
+   recording entry point routes to it when present, and the pool owner
+   merges the sinks into the globals at the join barrier. The hot path
+   stays lock-free — the only added cost while enabled is one DLS read
+   per record. Metric registration ([make]) must still happen on the
+   main domain (top-level [let]s, as every instrumented module does). *)
+
+type local_gauge = { mutable lg_v : float; mutable lg_max : bool }
+
+type local_histo = {
+  lh_bounds : float array;
+  lh_counts : int array;
+  mutable lh_sum : float;
+}
+
+type local_span = {
+  mutable ls_count : int;
+  mutable ls_total_s : float;
+  mutable ls_max_s : float;
+  ls_depth : int;  (* depth at first open, within this sink *)
+}
+
+type local_sink = {
+  l_counters : (string, int ref) Hashtbl.t;
+  l_gauges : (string, local_gauge) Hashtbl.t;
+  l_histos : (string, local_histo) Hashtbl.t;
+  l_spans : (string, local_span) Hashtbl.t;
+  mutable l_depth : int;
+}
+
+let sink_key : local_sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 module Counter = struct
   type t = { name : string; mutable v : int }
@@ -29,7 +66,15 @@ module Counter = struct
       Hashtbl.add registry name c;
       c
 
-  let incr ?(by = 1) c = if !enabled_flag then c.v <- c.v + by
+  let incr ?(by = 1) c =
+    if !enabled_flag then
+      match Domain.DLS.get sink_key with
+      | None -> c.v <- c.v + by
+      | Some s ->
+        (match Hashtbl.find_opt s.l_counters c.name with
+         | Some r -> r := !r + by
+         | None -> Hashtbl.add s.l_counters c.name (ref by))
+
   let value c = c.v
 end
 
@@ -47,16 +92,28 @@ module Gauge = struct
       g
 
   let set g x =
-    if !enabled_flag then begin
-      g.v <- x;
-      g.touched <- true
-    end
+    if !enabled_flag then
+      match Domain.DLS.get sink_key with
+      | None ->
+        g.v <- x;
+        g.touched <- true
+      | Some s ->
+        (match Hashtbl.find_opt s.l_gauges g.name with
+         | Some r ->
+           r.lg_v <- x;
+           r.lg_max <- false
+         | None -> Hashtbl.add s.l_gauges g.name { lg_v = x; lg_max = false })
 
   let observe_max g x =
-    if !enabled_flag then begin
-      if (not g.touched) || x > g.v then g.v <- x;
-      g.touched <- true
-    end
+    if !enabled_flag then
+      match Domain.DLS.get sink_key with
+      | None ->
+        if (not g.touched) || x > g.v then g.v <- x;
+        g.touched <- true
+      | Some s ->
+        (match Hashtbl.find_opt s.l_gauges g.name with
+         | Some r -> if x > r.lg_v then r.lg_v <- x
+         | None -> Hashtbl.add s.l_gauges g.name { lg_v = x; lg_max = true })
 
   let value g = if g.touched then Some g.v else None
 end
@@ -94,11 +151,27 @@ module Histo = struct
     find 0
 
   let observe h v =
-    if !enabled_flag then begin
-      let b = bucket h v in
-      h.counts.(b) <- h.counts.(b) + 1;
-      h.sum <- h.sum +. v
-    end
+    if !enabled_flag then
+      match Domain.DLS.get sink_key with
+      | None ->
+        let b = bucket h v in
+        h.counts.(b) <- h.counts.(b) + 1;
+        h.sum <- h.sum +. v
+      | Some s ->
+        let r =
+          match Hashtbl.find_opt s.l_histos h.name with
+          | Some r -> r
+          | None ->
+            let r =
+              { lh_bounds = h.bounds;
+                lh_counts = Array.make (Array.length h.bounds + 1) 0; lh_sum = 0. }
+            in
+            Hashtbl.add s.l_histos h.name r;
+            r
+        in
+        let b = bucket h v in
+        r.lh_counts.(b) <- r.lh_counts.(b) + 1;
+        r.lh_sum <- r.lh_sum +. v
 
   let total h = Array.fold_left ( + ) 0 h.counts
 end
@@ -134,16 +207,41 @@ module Span = struct
     | Some hook -> hook ~name ~depth:d ~elapsed_s:dt
     | None -> ()
 
+  (* Worker-side spans accumulate into the sink; the live-trace hook
+     ([on_span_close]) fires only for owner-domain spans. *)
+  let close_local (s : local_sink) name d t0 =
+    let dt = !clock () -. t0 in
+    s.l_depth <- s.l_depth - 1;
+    let e =
+      match Hashtbl.find_opt s.l_spans name with
+      | Some e -> e
+      | None ->
+        let e = { ls_count = 0; ls_total_s = 0.; ls_max_s = 0.; ls_depth = d } in
+        Hashtbl.add s.l_spans name e;
+        e
+    in
+    e.ls_count <- e.ls_count + 1;
+    e.ls_total_s <- e.ls_total_s +. dt;
+    if dt > e.ls_max_s then e.ls_max_s <- dt
+
   let with_ name f =
     if not !enabled_flag then f ()
-    else begin
-      let d = !depth_now in
-      incr depth_now;
-      let t0 = !clock () in
-      match f () with
-      | v -> close name d t0; v
-      | exception e -> close name d t0; raise e
-    end
+    else
+      match Domain.DLS.get sink_key with
+      | None ->
+        let d = !depth_now in
+        incr depth_now;
+        let t0 = !clock () in
+        (match f () with
+         | v -> close name d t0; v
+         | exception e -> close name d t0; raise e)
+      | Some s ->
+        let d = s.l_depth in
+        s.l_depth <- d + 1;
+        let t0 = !clock () in
+        (match f () with
+         | v -> close_local s name d t0; v
+         | exception e -> close_local s name d t0; raise e)
 end
 
 let reset () =
@@ -165,6 +263,63 @@ let reset () =
        e.Span.max_s <- 0.)
     Span.registry;
   Span.depth_now := 0
+
+module Local = struct
+  type sink = local_sink
+
+  let create () =
+    {
+      l_counters = Hashtbl.create 16;
+      l_gauges = Hashtbl.create 16;
+      l_histos = Hashtbl.create 8;
+      l_spans = Hashtbl.create 16;
+      l_depth = 0;
+    }
+
+  let install s = Domain.DLS.set sink_key (Some s)
+  let uninstall () = Domain.DLS.set sink_key None
+  let installed () = Option.is_some (Domain.DLS.get sink_key)
+
+  (* Fold a quiesced sink into the global registry, then reset it for
+     the next batch. Counters and histograms add; [set] gauges take the
+     sink's value (merge order decides ties), [observe_max] gauges max;
+     spans accumulate count/total and max the max. *)
+  let merge s =
+    Hashtbl.iter
+      (fun name r ->
+         let c = Counter.make name in
+         c.Counter.v <- c.Counter.v + !r)
+      s.l_counters;
+    Hashtbl.iter
+      (fun name (r : local_gauge) ->
+         let g = Gauge.make name in
+         if r.lg_max then begin
+           if (not g.Gauge.touched) || r.lg_v > g.Gauge.v then g.Gauge.v <- r.lg_v
+         end
+         else g.Gauge.v <- r.lg_v;
+         g.Gauge.touched <- true)
+      s.l_gauges;
+    Hashtbl.iter
+      (fun name (r : local_histo) ->
+         let h = Histo.make name ~bounds:r.lh_bounds in
+         Array.iteri
+           (fun i c -> h.Histo.counts.(i) <- h.Histo.counts.(i) + c)
+           r.lh_counts;
+         h.Histo.sum <- h.Histo.sum +. r.lh_sum)
+      s.l_histos;
+    Hashtbl.iter
+      (fun name (r : local_span) ->
+         let e = Span.entry_for name r.ls_depth in
+         e.Span.count <- e.Span.count + r.ls_count;
+         e.Span.total_s <- e.Span.total_s +. r.ls_total_s;
+         if r.ls_max_s > e.Span.max_s then e.Span.max_s <- r.ls_max_s)
+      s.l_spans;
+    Hashtbl.reset s.l_counters;
+    Hashtbl.reset s.l_gauges;
+    Hashtbl.reset s.l_histos;
+    Hashtbl.reset s.l_spans;
+    s.l_depth <- 0
+end
 
 (* --- Minimal JSON (exactly the subset the report schema needs) ----- *)
 

@@ -40,6 +40,11 @@ val set_clock : (unit -> float) -> unit
 (** Replace the span clock (seconds, monotone non-decreasing). Default
     is [Sys.time]. *)
 
+val now : unit -> float
+(** Read the installed clock — the time base spans are recorded in.
+    Exposed so other instrumentation (the [bose_par] pool's idle-time
+    gauge, benchmark wall-clock rows) shares the span time base. *)
+
 val on_span_close :
   (name:string -> depth:int -> elapsed_s:float -> unit) option ref
 (** Live-trace hook: called as each enabled span closes, with its
@@ -96,6 +101,46 @@ module Span : sig
       accumulates (count, total, max) under the span name; nesting is
       tracked so reports can indent. Exceptions propagate, the span
       still closes. When disabled this is exactly [f ()]. *)
+end
+
+(** Per-domain collectors for parallel sections.
+
+    The global registries are single-domain mutable state; a pool
+    worker must never record into them directly. Instead the pool owner
+    creates one {!Local.sink} per worker, each worker {!Local.install}s
+    its sink (domain-local storage) so that {e every} recording entry
+    point — counters, gauges, histograms, spans — routes into it, and
+    after the join barrier the owner {!Local.merge}s the sinks into the
+    global registry. Recording stays lock-free; the only added cost
+    while enabled is one domain-local read per record.
+
+    Merge semantics: counters and histograms add; [Gauge.set] values
+    overwrite in merge order while [Gauge.observe_max] values max;
+    spans add count/total and max the max. Worker-side span nesting
+    depths are relative to the sink (0 = the task's outermost span),
+    and the {!on_span_close} live-trace hook fires only for
+    owner-domain spans. Metric registration ([make]) must still happen
+    on the main domain — the repo's top-level [let] registration idiom
+    guarantees this. *)
+module Local : sig
+  type sink
+
+  val create : unit -> sink
+  (** Fresh empty sink (owner side, one per worker domain). *)
+
+  val install : sink -> unit
+  (** Route this domain's recording into [sink] (worker side, before
+      running tasks). *)
+
+  val uninstall : unit -> unit
+  (** Restore direct global recording for this domain. *)
+
+  val installed : unit -> bool
+
+  val merge : sink -> unit
+  (** Fold a quiesced sink into the global registry and reset it.
+      Owner side, after the join barrier — never while the sink's
+      worker may still record. *)
 end
 
 module Report : sig

@@ -34,13 +34,26 @@ let bits64 t =
   t.s3 <- rotl t.s3 45;
   result
 
-let split t =
-  let state = ref (bits64 t) in
+let of_key key =
+  let state = ref key in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
+
+let split t n =
+  if n < 0 then invalid_arg "Rng.split: negative stream count";
+  (* Children are derived in index order from consecutive parent draws,
+     so the stream assignment is a pure function of the parent state —
+     never of evaluation order. *)
+  let children = Array.make n t in
+  for i = 0 to n - 1 do
+    children.(i) <- of_key (bits64 t)
+  done;
+  children
+
+let same a b = a == b
 
 (* Take the top 53 bits for a uniform double in [0, 1). *)
 let uniform t =

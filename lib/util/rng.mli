@@ -6,7 +6,14 @@
     authors recommend. *)
 
 type t
-(** Mutable generator state. *)
+(** Mutable generator state.
+
+    A [t] is {b single-stream}: it must only be advanced from one
+    domain (or pool task) at a time. Concurrent draws from a shared
+    state race on the four state words and destroy reproducibility.
+    Give each parallel chain its own stream with {!split} (the
+    [bose_par] call sites assert pairwise-distinct states in dev
+    builds, and the lint engine flags shared states as BH1001). *)
 
 val create : int -> t
 (** [create seed] builds a generator from an integer seed. Two generators
@@ -15,9 +22,27 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
-val split : t -> t
-(** [split rng] derives a new generator from [rng], advancing [rng].
-    Streams of the parent and child are statistically independent. *)
+val split : t -> int -> t array
+(** [split rng n] derives [n] fresh generators from [rng], advancing
+    [rng] by exactly [n] raw draws. Children are keyed by consecutive
+    parent draws in index order, so for a fixed parent state the
+    resulting streams are a deterministic function of [n] alone —
+    the contract parallel samplers rely on to make chain [i]'s output
+    independent of how chains are scheduled across domains. Streams of
+    the parent and every child are statistically independent
+    (splitmix64-seeded, as {!create}). *)
+
+val of_key : int64 -> t
+(** [of_key k] builds a generator from a full 64-bit key (splitmix64
+    expansion, the [int]-seeded {!create} generalized). Used to derive
+    content-keyed streams, e.g. one stream per batch-compile job keyed
+    by the job's fingerprint. *)
+
+val same : t -> t -> bool
+(** Physical identity of generator states: [same a b] is [true] iff
+    advancing [a] advances [b]. The aliasing predicate behind the
+    BH1001 lint diagnostic — two pool tasks handed [same] states race
+    on one stream. [copy a] is never [same] as [a]. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -1,0 +1,16 @@
+(* Pin `bosec --version`: one line, "<package>+<git>", with the package
+   half matching the dune-project version. The git half varies by
+   checkout (describe output or "unknown"), so only require it to be
+   non-empty. *)
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let line = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  let prefix = "0.5.0+" in
+  let n = String.length prefix in
+  let ok = String.length line > n && String.sub line 0 n = prefix in
+  if not ok then begin
+    Printf.eprintf "check_version: expected \"%s<git>\", got %S\n" prefix line;
+    exit 1
+  end

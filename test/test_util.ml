@@ -120,9 +120,35 @@ let test_swr_zero_weights_come_last () =
 
 let test_split_independence () =
   let parent = Rng.create 5 in
-  let child = Rng.split parent in
-  let a = Rng.bits64 parent and b = Rng.bits64 child in
-  Alcotest.(check bool) "streams differ" true (not (Int64.equal a b))
+  let children = Rng.split parent 4 in
+  Alcotest.(check int) "stream count" 4 (Array.length children);
+  let draws = Array.map Rng.bits64 children in
+  let a = Rng.bits64 parent in
+  Array.iter
+    (fun b ->
+       Alcotest.(check bool) "parent and child streams differ" true
+         (not (Int64.equal a b)))
+    draws;
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      Alcotest.(check bool) "child streams pairwise differ" true
+        (not (Int64.equal draws.(i) draws.(j)))
+    done
+  done;
+  (* Same parent seed => same child streams, independent of use order. *)
+  let again = Rng.split (Rng.create 5) 4 in
+  Array.iteri
+    (fun i c ->
+       Alcotest.(check bool) "split is deterministic" true
+         (Int64.equal draws.(i) (Rng.bits64 c)))
+    again;
+  Alcotest.(check int) "zero streams" 0 (Array.length (Rng.split parent 0))
+
+let test_same_is_physical_identity () =
+  let r = Rng.create 7 in
+  Alcotest.(check bool) "same rng" true (Rng.same r r);
+  Alcotest.(check bool) "copy is a fresh state" false (Rng.same r (Rng.copy r));
+  Alcotest.(check bool) "of_key is a fresh state" false (Rng.same r (Rng.of_key 7L))
 
 (* ---------------------------------------------------------------- Stats *)
 
@@ -319,6 +345,7 @@ let () =
           Alcotest.test_case "swr prefers heavy" `Quick test_swr_prefers_heavy;
           Alcotest.test_case "swr zeros last" `Quick test_swr_zero_weights_come_last;
           Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "same identity" `Quick test_same_is_physical_identity;
         ] );
       ( "stats",
         [
