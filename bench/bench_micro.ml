@@ -26,6 +26,7 @@ let g_warm_us = Obs.Gauge.make "bench.warm_us"
 let g_warm_speedup = Obs.Gauge.make "bench.warm_speedup"
 let g_wall_s = Obs.Gauge.make "bench.wall_s"
 let g_par_speedup = Obs.Gauge.make "bench.parallel_speedup"
+let g_serve_rps = Obs.Gauge.make "bench.serve_rps"
 
 (* Boxed get/set reference implementations: what the flat kernels are
    measured against, and what they replaced. *)
@@ -125,6 +126,54 @@ let cache_recompile_row ~n ~rows ~cols =
   Printf.printf "compile-cache-%-14d cold %8.1f us, warm %8.1f us, %8.2fx speedup\n" n
     (1e6 *. cold_s) (1e6 *. warm_s) speedup
 
+(* Sustained serve throughput: drive the `bosec serve` request engine
+   in-process (no socket — this measures the service, not the kernel's
+   socket stack) against a warm disk cache. Every request after the
+   warm-up is a disk hit: fingerprint the job, read + validate the
+   stored object, render the reply. The floor in bench_floors.json
+   binds requests/sec. *)
+let serve_sustained_row () =
+  Benchlib.Telemetry.row ~experiment:"micro" ~row:"serve-sustained" @@ fun () ->
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bosec-serve-bench.%d" (Unix.getpid ()))
+  in
+  let state = Bose_serve.Serve.create ~cache_dir:dir () in
+  let distinct = 4 in
+  let req k =
+    Printf.sprintf
+      {|{"id":%d,"op":"compile","params":{"modes":8,"rows":3,"cols":3,"seed":%d}}|} k
+      (100 + (k mod distinct))
+  in
+  for k = 0 to distinct - 1 do
+    ignore (Bose_serve.Serve.handle_line state (req k))
+  done;
+  let total = 200 in
+  let t0 = Unix.gettimeofday () in
+  for k = 0 to total - 1 do
+    let reply = Bose_serve.Serve.handle_line state (req k) in
+    assert (String.length reply > 0 && reply.[0] = '{')
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let rps = if wall > 0. then float_of_int total /. wall else Float.infinity in
+  Obs.Gauge.set g_serve_rps rps;
+  Printf.printf "serve-sustained (%d reqs, warm disk cache)  %9.1f req/s\n" total rps;
+  Bose_serve.Serve.shutdown state;
+  (* Best-effort temp-cache cleanup. *)
+  let rm_files d =
+    if Sys.file_exists d then
+      Array.iter
+        (fun f ->
+           let p = Filename.concat d f in
+           if not (Sys.is_directory p) then try Sys.remove p with Sys_error _ -> ())
+        (Sys.readdir d)
+  in
+  List.iter rm_files
+    [ Filename.concat dir "objects"; Filename.concat dir "quarantine"; dir ];
+  List.iter
+    (fun d -> try Sys.rmdir d with Sys_error _ -> ())
+    [ Filename.concat dir "objects"; Filename.concat dir "quarantine"; dir ]
+
 (* Parallel-scaling rows. Jobs values above the host's recommended
    domain count are skipped rather than reported: with more domains than
    cores the OCaml runtime's stop-the-world minor collections serialize
@@ -195,6 +244,7 @@ let run () =
   Benchlib.header "Micro-benchmarks (Bechamel): compiler kernels at 24 qumodes";
   cache_recompile_row ~n:16 ~rows:4 ~cols:4;
   cache_recompile_row ~n:32 ~rows:6 ~cols:6;
+  serve_sustained_row ();
   batch_compile_scaling ~n:32 ~rows:6 ~cols:6 ~job_count:8;
   sampling_scaling ~modes:6 ~shots:1024;
   let instances = Instance.[ monotonic_clock ] in

@@ -6,6 +6,7 @@
      simulate   compile + execute on the noisy simulator, report JSD
      sample     draw GBS samples from a squeezed-light interferometer
      layouts    compare square / triangular / hexagonal couplings
+     serve      long-running compile/sample service (docs/SERVING.md)
 
    Every subcommand accepts --metrics-out FILE (write the telemetry
    report as JSON, schema in docs/METRICS.md) and --trace (stream span
@@ -211,8 +212,8 @@ let run_compile rows cols modes seed config tau graph_p effort jobs batch verbos
 (* `bosec check`: the lint engine over serialized artifacts. Artifacts
    that fail to parse become BH08xx diagnostics rather than exceptions;
    the exit code is 1 iff any error-severity diagnostic fired. *)
-let run_check plan_file unitary_file seed tau min_fidelity json werror disable list_passes
-    metrics_out trace =
+let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror disable
+    list_passes metrics_out trace =
   if list_passes then begin
     List.iter
       (fun p ->
@@ -221,8 +222,9 @@ let run_check plan_file unitary_file seed tau min_fidelity json werror disable l
       Lint.passes;
     exit 0
   end;
-  if plan_file = None && unitary_file = None then begin
-    Printf.eprintf "bosec check: nothing to check (use --plan and/or --unitary)\n";
+  if plan_file = None && unitary_file = None && cache_dir = None then begin
+    Printf.eprintf
+      "bosec check: nothing to check (use --plan, --unitary and/or --cache-dir)\n";
     exit 2
   end;
   let had_errors = ref false in
@@ -274,6 +276,7 @@ let run_check plan_file unitary_file seed tau min_fidelity json werror disable l
              | _ -> None);
           policy;
           min_fidelity;
+          cache_dir;
         }
       in
       let settings = { Lint.default_settings with Lint.disabled_codes = disable; werror } in
@@ -368,6 +371,27 @@ let run_sample modes seed shots jobs chains squeezing max_photons use_chain_rule
   in
   Format.printf "mean photons per shot: %.3f@."
     (float_of_int mean /. float_of_int (max 1 shots))
+
+(* `bosec serve`: the long-running compile/sample service. Wire
+   protocol and on-disk cache layout are documented in docs/SERVING.md;
+   without --socket the server speaks the same protocol on
+   stdin/stdout (one JSON request per line, one reply per line). *)
+let run_serve socket cache_dir max_cache_mb jobs metrics_out trace =
+  if jobs < 1 then begin
+    Printf.eprintf "bosec serve: --jobs must be >= 1\n";
+    exit 2
+  end;
+  if max_cache_mb < 1 then begin
+    Printf.eprintf "bosec serve: --max-cache-mb must be >= 1\n";
+    exit 2
+  end;
+  with_obs ~metrics_out ~trace @@ fun () ->
+  let state = Bose_serve.Serve.create ~jobs ?cache_dir ~max_cache_mb () in
+  match socket with
+  | Some path ->
+    Printf.eprintf "bosec serve: listening on %s\n%!" path;
+    Bose_serve.Serve.serve_socket state ~path
+  | None -> Bose_serve.Serve.serve_channels state stdin stdout
 
 let run_layouts rows cols modes seed tau metrics_out trace =
   let rng = Rng.create seed in
@@ -540,6 +564,13 @@ let check_cmd =
              ~doc:"Unitary file to verify (Unitary.save format). With $(b,--plan), also \
                    used as the plan's replay reference.")
   in
+  let cache_dir =
+    Arg.(value
+         & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Audit a $(b,bosec serve) disk-cache directory (read-only): index \
+                   integrity, object framing, orphans (BH12xx).")
+  in
   let check_tau =
     Arg.(value
          & opt (some float) None
@@ -576,12 +607,12 @@ let check_cmd =
        ~doc:"Statically verify serialized compiler artifacts; exit 1 on any error \
              diagnostic")
     Term.(
-      const (fun plan_file unitary_file seed tau min_fidelity json werror disable
-               list_passes metrics_out trace ->
-          run_check plan_file unitary_file seed tau min_fidelity json werror disable
-            list_passes metrics_out trace)
-      $ plan_file $ unitary_file $ seed $ check_tau $ min_fidelity $ json $ werror
-      $ disable $ list_passes $ metrics_out $ trace)
+      const (fun plan_file unitary_file cache_dir seed tau min_fidelity json werror
+               disable list_passes metrics_out trace ->
+          run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
+            disable list_passes metrics_out trace)
+      $ plan_file $ unitary_file $ cache_dir $ seed $ check_tau $ min_fidelity $ json
+      $ werror $ disable $ list_passes $ metrics_out $ trace)
 
 let simulate_cmd =
   Cmd.v
@@ -636,6 +667,39 @@ let sample_cmd =
       $ sample_modes $ seed $ shots $ jobs $ chains $ squeezing $ max_photons
       $ use_chain_rule $ graph_p $ metrics_out $ trace)
 
+let serve_cmd =
+  let socket =
+    Arg.(value
+         & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv) (any number of \
+                   concurrent clients); without it the server speaks the protocol \
+                   on stdin/stdout.")
+  in
+  let cache_dir =
+    Arg.(value
+         & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist compile artifacts to a disk cache under $(docv) \
+                   (created if missing); artifacts survive restarts and disk hits \
+                   are bit-identical to the original compile.")
+  in
+  let max_cache_mb =
+    Arg.(value
+         & opt int 64
+         & info [ "max-cache-mb" ] ~docv:"MB"
+             ~doc:"Disk-cache size bound; least-recently-used entries are evicted \
+                   past it.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running compile/sample service over stdin/stdout or a Unix-domain \
+             socket (line-delimited JSON; protocol in docs/SERVING.md)")
+    Term.(
+      const (fun socket cache_dir max_cache_mb jobs metrics_out trace ->
+          run_serve socket cache_dir max_cache_mb jobs metrics_out trace)
+      $ socket $ cache_dir $ max_cache_mb $ jobs $ metrics_out $ trace)
+
 let layouts_cmd =
   Cmd.v
     (Cmd.info "layouts" ~doc:"Compare square / triangular / hexagonal couplings")
@@ -651,4 +715,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "bosec" ~doc ~version:Version.version)
-          [ compile_cmd; check_cmd; simulate_cmd; sample_cmd; layouts_cmd ]))
+          [ compile_cmd; check_cmd; simulate_cmd; sample_cmd; layouts_cmd; serve_cmd ]))

@@ -81,28 +81,32 @@ let random_diagonal_phases rng n =
      unitary <n>
      e <re> <im>      (n·n lines, row-major)
    Floats are printed with %h (hex) so the round-trip is bit-exact. *)
-let save oc m =
+let to_string m =
   let n = Mat.rows m in
-  if Mat.cols m <> n then invalid_arg "Unitary.save: square matrices only";
-  Printf.fprintf oc "unitary %d\n" n;
+  if Mat.cols m <> n then invalid_arg "Unitary.to_string: square matrices only";
+  let buf = Buffer.create (16 + (n * n * 32)) in
+  Buffer.add_string buf (Printf.sprintf "unitary %d\n" n);
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       let (v : Cx.t) = Mat.get m i j in
-      Printf.fprintf oc "e %h %h\n" v.re v.im
+      Buffer.add_string buf (Printf.sprintf "e %h %h\n" v.re v.im)
     done
-  done
+  done;
+  Buffer.contents buf
 
-let load_result ic =
+let save oc m = output_string oc (to_string m)
+
+let parse_lines line =
   let lineno = ref 0 in
   let exception Bad of string * int in
   let fail msg = raise (Bad (msg, !lineno)) in
-  let line () =
+  let next () =
     incr lineno;
-    try input_line ic with End_of_file -> fail "truncated input"
+    match line () with Some l -> l | None -> fail "truncated input"
   in
   try
     let n =
-      try Scanf.sscanf (line ()) "unitary %d" (fun n -> n)
+      try Scanf.sscanf (next ()) "unitary %d" (fun n -> n)
       with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad header"
     in
     if n <= 0 then fail "bad header values";
@@ -110,7 +114,7 @@ let load_result ic =
     for i = 0 to n - 1 do
       for j = 0 to n - 1 do
         let v =
-          try Scanf.sscanf (line ()) "e %h %h" Cx.make
+          try Scanf.sscanf (next ()) "e %h %h" Cx.make
           with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad entry line"
         in
         Mat.set m i j v
@@ -118,6 +122,21 @@ let load_result ic =
     done;
     Ok m
   with Bad (msg, l) -> Error (msg, l)
+
+let load_result ic =
+  parse_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
+
+let of_string s =
+  let pos = ref 0 in
+  let len = String.length s in
+  parse_lines (fun () ->
+      if !pos >= len then None
+      else begin
+        let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> len in
+        let l = String.sub s !pos (stop - !pos) in
+        pos := stop + 1;
+        Some l
+      end)
 
 let load ic =
   match load_result ic with

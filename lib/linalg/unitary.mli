@@ -20,11 +20,19 @@ val save : out_channel -> Mat.t -> unit
     hex floats — bit-exact round-trip).
     @raise Invalid_argument on non-square input. *)
 
+val to_string : Mat.t -> string
+(** The exact bytes {!save} writes — the value format of the serve
+    daemon's disk-backed artifact store.
+    @raise Invalid_argument on non-square input. *)
+
 val load_result : in_channel -> (Mat.t, string * int) result
 (** Inverse of {!save}. [Error (message, line)] carries the 1-based
     line the parse failed on, so callers ([bosec check], the lint file
     loaders) can surface malformed input as a structured diagnostic
     instead of an exception. *)
+
+val of_string : string -> (Mat.t, string * int) result
+(** {!load_result} over an in-memory string. *)
 
 val load : in_channel -> Mat.t
 (** {!load_result} shim. @raise Failure on malformed input. *)

@@ -35,6 +35,7 @@ type subject = {
   views : (string * Mat.View.t) list;
   rngs : (string * Bose_util.Rng.t) list;
   pipeline : pipeline_trace option;
+  cache_dir : string option;
 }
 
 let empty =
@@ -52,6 +53,7 @@ let empty =
     views = [];
     rngs = [];
     pipeline = None;
+    cache_dir = None;
   }
 
 (* Numeric thresholds shared with the pass contracts: the replay and
@@ -573,6 +575,44 @@ let check_pipeline (t : pipeline_trace) =
     t.executed;
   List.rev !diags
 
+(* BH12xx — on-disk artifact-cache integrity. The decision procedure is
+   [Bose_store.Diskcache.audit] (read-only; it never repairs or
+   quarantines); this pass only translates its findings into coded
+   diagnostics. The runtime store self-heals everything reported here —
+   reconciling the index on open, quarantining corrupt objects on read —
+   so errors mean "this entry will miss", never "the server will crash". *)
+let check_cache_dir dir =
+  let module D = Bose_store.Diskcache in
+  let msg issue = Format.asprintf "%a" D.pp_issue issue in
+  List.map
+    (fun issue ->
+       match issue with
+       | D.Bad_index _ ->
+         Diag.error ~code:"BH1201"
+           ~hint:"the index is a rebuildable hint; delete it (or the whole cache \
+                  directory) to recover"
+           (msg issue)
+       | D.Missing_object _ ->
+         Diag.error ~code:"BH1202"
+           ~hint:"the entry will miss and recompile; reopening the cache drops it \
+                  from the index"
+           (msg issue)
+       | D.Corrupt_object _ ->
+         Diag.error ~code:"BH1203"
+           ~hint:"the serve daemon quarantines this object on first read and \
+                  recompiles; deleting the file is also safe"
+           (msg issue)
+       | D.Orphan_object _ ->
+         Diag.warning ~code:"BH1204"
+           ~hint:"reopening the cache adopts orphans as least-recently-used entries"
+           (msg issue)
+       | D.Size_mismatch _ ->
+         Diag.warning ~code:"BH1205"
+           ~hint:"usually a stale index after an external edit; reopening the cache \
+                  re-measures every object"
+           (msg issue))
+    (D.audit dir)
+
 (* ------------------------------------------------------------------ *)
 (* Registry and engine.                                                *)
 
@@ -646,6 +686,12 @@ let passes =
       codes = [ "BH0901"; "BH0902"; "BH0903" ];
       doc = "pass-manager discipline: every registered pass ran once, in dependency order";
       run = (fun s -> on_opt check_pipeline s.pipeline);
+    };
+    {
+      name = "diskcache";
+      codes = [ "BH1201"; "BH1202"; "BH1203"; "BH1204"; "BH1205" ];
+      doc = "on-disk artifact-cache integrity: index, object framing, orphans";
+      run = (fun s -> on_opt check_cache_dir s.cache_dir);
     };
   ]
 

@@ -68,6 +68,10 @@ type subject = {
   pipeline : pipeline_trace option;
       (** Pass-manager execution record; registry/execution mismatches
           are reported (BH09xx). *)
+  cache_dir : string option;
+      (** A [bosec serve] disk-cache directory to audit
+          ([Bose_store.Diskcache.audit], read-only): malformed index,
+          missing/corrupt/orphan object files, stale sizes (BH12xx). *)
 }
 
 val empty : subject
@@ -84,7 +88,7 @@ type pass = {
 val passes : pass list
 (** The registry, in pipeline order: [unitary], [pattern], [perms],
     [mapping], [plan], [policy], [circuit], [aliasing], [rng],
-    [pipeline]. *)
+    [pipeline], [diskcache]. *)
 
 type settings = {
   disabled_passes : string list;  (** Pass names to skip. *)

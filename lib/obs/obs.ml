@@ -780,3 +780,12 @@ module Report = struct
          output_string oc (to_json t);
          output_char oc '\n')
 end
+
+(* The registered metric-name universe, for the doc-consistency gate
+   (test/check_docs.ml): every name here must appear in docs/METRICS.md. *)
+let registered () =
+  let names = ref [] in
+  Hashtbl.iter (fun name _ -> names := name :: !names) Counter.registry;
+  Hashtbl.iter (fun name _ -> names := name :: !names) Gauge.registry;
+  Hashtbl.iter (fun name _ -> names := name :: !names) Histo.registry;
+  List.sort_uniq String.compare !names

@@ -36,6 +36,12 @@ val reset : unit -> unit
     Registration survives: the metric set of a later {!Report.capture}
     is unchanged. *)
 
+val registered : unit -> string list
+(** Names of every counter, gauge and histogram registered so far
+    (sorted, deduplicated). Spans are excluded — they register on first
+    close, not at module load. Powers the doc-consistency gate
+    ([test/check_docs.ml]) that keeps docs/METRICS.md from rotting. *)
+
 val set_clock : (unit -> float) -> unit
 (** Replace the span clock (seconds, monotone non-decreasing). Default
     is [Sys.time]. *)

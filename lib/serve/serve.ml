@@ -1,0 +1,549 @@
+module Rng = Bose_util.Rng
+module Cx = Bose_linalg.Cx
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Plan = Bose_decomp.Plan
+module Lattice = Bose_hardware.Lattice
+module Mapping = Bose_mapping.Mapping
+module Pool = Bose_par.Pool
+module Gaussian = Bose_gbs.Gaussian
+module Sampler = Bose_gbs.Sampler
+module Fock = Bose_gbs.Fock
+module Obs = Bose_obs.Obs
+module Diskcache = Bose_store.Diskcache
+open Bosehedral
+
+(* serve.* telemetry (docs/METRICS.md). Counters are also mirrored in
+   plain fields of [t] so `stats` replies work with telemetry off. *)
+let c_requests = Obs.Counter.make "serve.requests"
+let c_errors = Obs.Counter.make "serve.errors"
+let c_disk_hits = Obs.Counter.make "serve.compile.disk_hits"
+let c_mem_hits = Obs.Counter.make "serve.compile.mem_hits"
+let c_misses = Obs.Counter.make "serve.compile.misses"
+let g_hit_rate = Obs.Gauge.make "serve.hit_rate"
+let g_bytes = Obs.Gauge.make "serve.cache.bytes"
+let g_entries = Obs.Gauge.make "serve.cache.entries"
+let g_evictions = Obs.Gauge.make "serve.cache.evictions"
+let g_quarantined = Obs.Gauge.make "serve.cache.quarantined"
+
+let h_batch_s =
+  Obs.Histo.make "serve.batch_s" ~bounds:[| 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+
+type t = {
+  pool : Pool.t option;
+  mem : Pipeline.Cache.t;
+  disk : Diskcache.t option;
+  mutable stop : bool;
+  mutable requests : int;
+  mutable errors : int;
+  mutable disk_hits : int;
+  mutable mem_hits : int;
+  mutable misses : int;
+}
+
+let create ?(jobs = 1) ?cache_dir ?(max_cache_mb = 64) () =
+  if jobs < 1 then invalid_arg "Serve.create: jobs must be >= 1";
+  if max_cache_mb < 1 then invalid_arg "Serve.create: max_cache_mb must be >= 1";
+  {
+    pool = (if jobs > 1 then Some (Pool.create ~domains:jobs) else None);
+    mem = Pipeline.Cache.create ();
+    disk =
+      Option.map
+        (fun dir -> Diskcache.open_ ~dir ~max_bytes:(max_cache_mb * 1024 * 1024))
+        cache_dir;
+    stop = false;
+    requests = 0;
+    errors = 0;
+    disk_hits = 0;
+    mem_hits = 0;
+    misses = 0;
+  }
+
+let shutdown t = Option.iter Pool.shutdown t.pool
+let stopping t = t.stop
+
+(* ---------------------------------------------------------------- *)
+(* Requests.                                                         *)
+
+type compile_req = {
+  u : Mat.t;
+  config : Config.t;
+  tau : float;
+  effort : Compiler.effort;
+  rows : int;
+  cols : int;
+  seed : int;
+  key : string;
+}
+
+type sample_req = {
+  s_modes : int;
+  s_seed : int;
+  shots : int;
+  chains : int;
+  squeezing : float;
+  max_photons : int;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Compile of compile_req
+  | Sample of sample_req
+
+(* The cache key: a content fingerprint over everything that determines
+   the artifact. The seed is deliberately excluded — it only picks the
+   Haar sample, and the sampled unitary itself is folded in — matching
+   the pass cache's canonicalization rule. *)
+let compile_key ~config ~tau ~effort ~rows ~cols u =
+  let open Pass.Fingerprint in
+  to_hex
+    (mat
+       (int
+          (int
+             (string (float (string (string seed "serve.compile.v1") (Config.name config)) tau)
+                (Pass.effort_name effort))
+             rows)
+          cols)
+       u)
+
+exception Bad_request of string
+
+let fail msg = raise (Bad_request msg)
+
+let get_int params key ~default =
+  match Json.mem key params with
+  | None -> default
+  | Some v -> (match Json.int v with Some n -> n | None -> fail (key ^ " must be an integer"))
+
+let get_num params key ~default =
+  match Json.mem key params with
+  | None -> default
+  | Some v -> (match Json.num v with Some x -> x | None -> fail (key ^ " must be a number"))
+
+let get_str params key =
+  match Json.mem key params with
+  | None -> None
+  | Some v -> (match Json.str v with Some s -> Some s | None -> fail (key ^ " must be a string"))
+
+let parse_compile params =
+  let rows = get_int params "rows" ~default:6 in
+  let cols = get_int params "cols" ~default:6 in
+  let seed = get_int params "seed" ~default:2024 in
+  let tau = get_num params "tau" ~default:0.999 in
+  if rows < 1 || cols < 1 then fail "rows/cols must be >= 1";
+  let config =
+    match get_str params "config" with
+    | None -> Config.Full_opt
+    | Some s ->
+      (match Config.of_string s with
+       | Some c -> c
+       | None -> fail "config must be baseline | rot-cut | decomp-opt | full-opt")
+  in
+  let effort =
+    match get_str params "effort" with
+    | None | Some "standard" -> Compiler.Standard
+    | Some "fast" -> Compiler.Fast
+    | Some _ -> fail "effort must be fast | standard"
+  in
+  let u =
+    match get_str params "unitary" with
+    | Some text ->
+      (match Unitary.of_string text with
+       | Ok u -> u
+       | Error (msg, l) -> fail (Printf.sprintf "unitary line %d: %s" l msg))
+    | None ->
+      let modes = get_int params "modes" ~default:6 in
+      if modes < 1 then fail "modes must be >= 1";
+      if modes > rows * cols then fail "modes do not fit on the device";
+      Unitary.haar_random (Rng.create seed) modes
+  in
+  if Mat.rows u > rows * cols then fail "unitary does not fit on the device";
+  let key = compile_key ~config ~tau ~effort ~rows ~cols u in
+  Compile { u; config; tau; effort; rows; cols; seed; key }
+
+let parse_sample params =
+  let s_modes = get_int params "modes" ~default:4 in
+  if s_modes < 1 || s_modes > 10 then fail "modes must be in 1..10 (exact simulation)";
+  let shots = get_int params "shots" ~default:64 in
+  if shots < 1 then fail "shots must be >= 1";
+  let chains = get_int params "chains" ~default:4 in
+  if chains < 1 then fail "chains must be >= 1";
+  let max_photons = get_int params "max_photons" ~default:4 in
+  if max_photons < 1 then fail "max_photons must be >= 1";
+  Sample
+    {
+      s_modes;
+      s_seed = get_int params "seed" ~default:2024;
+      shots;
+      chains;
+      squeezing = get_num params "squeezing" ~default:0.35;
+      max_photons;
+    }
+
+(* One parsed line: the request id (echoed back verbatim) plus either a
+   request or an error reply payload. *)
+let parse_line line =
+  match Json.parse line with
+  | Error msg -> (Json.Null, Error ("parse", msg))
+  | Ok v ->
+    let id = Option.value ~default:Json.Null (Json.mem "id" v) in
+    let params = Option.value ~default:(Json.Obj []) (Json.mem "params" v) in
+    (match Option.map Json.str (Json.mem "op" v) with
+     | None | Some None -> (id, Error ("bad-request", "missing op field"))
+     | Some (Some op) ->
+       (try
+          match op with
+          | "ping" -> (id, Ok Ping)
+          | "stats" -> (id, Ok Stats)
+          | "shutdown" -> (id, Ok Shutdown)
+          | "compile" -> (id, Ok (parse_compile params))
+          | "sample" -> (id, Ok (parse_sample params))
+          | _ -> (id, Error ("bad-request", "unknown op " ^ op))
+        with Bad_request msg -> (id, Error ("bad-request", msg))))
+
+(* ---------------------------------------------------------------- *)
+(* Replies.                                                          *)
+
+let reply_ok id result =
+  Json.to_string (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ])
+
+let reply_error t id code msg =
+  t.errors <- t.errors + 1;
+  Obs.Counter.incr c_errors;
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ("error", Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]);
+       ])
+
+let meta_line ~fidelity ~rotations ~modes =
+  Printf.sprintf "fidelity=%h rotations=%d modes=%d" fidelity rotations modes
+
+let parse_meta meta =
+  try
+    Some
+      (Scanf.sscanf meta "fidelity=%h rotations=%d modes=%d" (fun f r m -> (f, r, m)))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let compile_result ~cached ~key ~fidelity ~rotations ~modes ~plan ~unitary =
+  Json.Obj
+    [
+      ("key", Json.Str key);
+      ("cached", Json.Str cached);
+      ("modes", Json.Num (float_of_int modes));
+      ("rotations", Json.Num (float_of_int rotations));
+      ("fidelity", Json.Num fidelity);
+      ("plan", Json.Str plan);
+      ("unitary", Json.Str unitary);
+    ]
+
+(* Run one compile. [use_mem_cache] is false on pool domains: both
+   caches are owner-domain state. Returns everything the reply and the
+   disk write-through need. *)
+let do_compile t ~use_mem_cache (req : compile_req) =
+  let rng = Rng.create req.seed in
+  let device = Lattice.create ~rows:req.rows ~cols:req.cols in
+  let cache = if use_mem_cache then Some t.mem else None in
+  let c =
+    Compiler.compile ~effort:req.effort ~tau:req.tau ?cache ~rng ~device
+      ~config:req.config req.u
+  in
+  let executed = c.Compiler.trace.Bose_lint.Lint.executed in
+  let mem_hit = executed <> [] && List.for_all snd executed in
+  let plan = Plan.to_string c.Compiler.plan in
+  let unitary = Unitary.to_string c.Compiler.mapping.Mapping.permuted in
+  let fidelity = Compiler.predicted_fidelity c in
+  let rotations = Plan.rotation_count c.Compiler.plan in
+  let modes = c.Compiler.plan.Plan.modes in
+  (mem_hit, fidelity, rotations, modes, plan, unitary)
+
+let refresh_cache_gauges t =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+    let s = Diskcache.stats d in
+    Obs.Gauge.set g_bytes (float_of_int s.Diskcache.bytes);
+    Obs.Gauge.set g_entries (float_of_int s.Diskcache.entries);
+    Obs.Gauge.set g_evictions (float_of_int s.Diskcache.evictions);
+    Obs.Gauge.set g_quarantined (float_of_int s.Diskcache.quarantined)
+
+let refresh_hit_rate t =
+  let total = t.disk_hits + t.mem_hits + t.misses in
+  if total > 0 then
+    Obs.Gauge.set g_hit_rate (float_of_int (t.disk_hits + t.mem_hits) /. float_of_int total)
+
+let count_compile t = function
+  | `Disk ->
+    t.disk_hits <- t.disk_hits + 1;
+    Obs.Counter.incr c_disk_hits
+  | `Mem ->
+    t.mem_hits <- t.mem_hits + 1;
+    Obs.Counter.incr c_mem_hits
+  | `Miss ->
+    t.misses <- t.misses + 1;
+    Obs.Counter.incr c_misses
+
+(* Owner-domain completion of a compile miss: write-through to disk,
+   count, and render the reply. *)
+let finish_compile t id (req : compile_req) outcome =
+  match outcome with
+  | Error msg -> reply_error t id "internal" msg
+  | Ok (mem_hit, fidelity, rotations, modes, plan, unitary) ->
+    Option.iter
+      (fun d ->
+         Diskcache.store d ~key:req.key
+           ~meta:(meta_line ~fidelity ~rotations ~modes)
+           ~plan ~unitary)
+      t.disk;
+    count_compile t (if mem_hit then `Mem else `Miss);
+    reply_ok id
+      (compile_result
+         ~cached:(if mem_hit then "mem" else "none")
+         ~key:req.key ~fidelity ~rotations ~modes ~plan ~unitary)
+
+let do_sample t (req : sample_req) =
+  let rng = Rng.create req.s_seed in
+  let u = Unitary.haar_random (Rng.create (req.s_seed + 1)) req.s_modes in
+  let state = Gaussian.vacuum req.s_modes in
+  for i = 0 to req.s_modes - 1 do
+    Gaussian.squeeze state i (Cx.re req.squeezing)
+  done;
+  Gaussian.interferometer state u;
+  let s = Sampler.of_state ~max_photons:req.max_photons state in
+  let samples = Sampler.draw_chains ~chains:req.chains ?pool:t.pool rng s req.shots in
+  Json.Obj
+    [
+      ("modes", Json.Num (float_of_int req.s_modes));
+      ("shots", Json.Num (float_of_int req.shots));
+      ( "samples",
+        Json.List
+          (List.map
+             (fun sample ->
+                if sample = Fock.tail then Json.Null
+                else Json.List (List.map (fun k -> Json.Num (float_of_int k)) sample))
+             samples) );
+    ]
+
+let stats_result t =
+  let mem = Pipeline.Cache.stats t.mem in
+  let disk =
+    match t.disk with
+    | None -> Json.Null
+    | Some d ->
+      let s = Diskcache.stats d in
+      Json.Obj
+        [
+          ("dir", Json.Str (Diskcache.dir d));
+          ("hits", Json.Num (float_of_int s.Diskcache.hits));
+          ("misses", Json.Num (float_of_int s.Diskcache.misses));
+          ("entries", Json.Num (float_of_int s.Diskcache.entries));
+          ("bytes", Json.Num (float_of_int s.Diskcache.bytes));
+          ("evictions", Json.Num (float_of_int s.Diskcache.evictions));
+          ("quarantined", Json.Num (float_of_int s.Diskcache.quarantined));
+          ("max_bytes", Json.Num (float_of_int s.Diskcache.max_bytes));
+        ]
+  in
+  Json.Obj
+    [
+      ("requests", Json.Num (float_of_int t.requests));
+      ("errors", Json.Num (float_of_int t.errors));
+      ( "compile",
+        Json.Obj
+          [
+            ("disk_hits", Json.Num (float_of_int t.disk_hits));
+            ("mem_hits", Json.Num (float_of_int t.mem_hits));
+            ("misses", Json.Num (float_of_int t.misses));
+          ] );
+      ( "mem_cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int mem.Pipeline.Cache.hits));
+            ("misses", Json.Num (float_of_int mem.Pipeline.Cache.misses));
+            ("entries", Json.Num (float_of_int mem.Pipeline.Cache.entries));
+          ] );
+      ("disk_cache", disk);
+      ( "jobs",
+        Json.Num (float_of_int (match t.pool with None -> 1 | Some p -> Pool.domains p))
+      );
+    ]
+
+(* ---------------------------------------------------------------- *)
+(* Batch engine. All cache traffic stays on the owner domain; only the
+   pure compile work of cache misses fans out to the pool.            *)
+
+let handle_many t lines =
+  let t0 = Obs.now () in
+  let parsed = Array.of_list (List.map parse_line lines) in
+  let n = Array.length parsed in
+  t.requests <- t.requests + n;
+  Obs.Counter.incr ~by:n c_requests;
+  let replies = Array.make n "" in
+  (* Phase 1: everything except compile misses, plus disk lookups. *)
+  let miss_idx = ref [] in
+  Array.iteri
+    (fun i (id, req) ->
+       match req with
+       | Error (code, msg) -> replies.(i) <- reply_error t id code msg
+       | Ok Ping -> replies.(i) <- reply_ok id (Json.Obj [ ("pong", Json.Bool true) ])
+       | Ok Stats -> replies.(i) <- reply_ok id (stats_result t)
+       | Ok Shutdown ->
+         t.stop <- true;
+         replies.(i) <- reply_ok id (Json.Obj [ ("stopping", Json.Bool true) ])
+       | Ok (Sample req) ->
+         replies.(i) <-
+           (try reply_ok id (do_sample t req)
+            with e -> reply_error t id "internal" (Printexc.to_string e))
+       | Ok (Compile req) ->
+         (match Option.map (fun d -> Diskcache.find d req.key) t.disk with
+          | Some (Some (meta, plan, unitary)) ->
+            (match parse_meta meta with
+             | Some (fidelity, rotations, modes) ->
+               count_compile t `Disk;
+               replies.(i) <-
+                 reply_ok id
+                   (compile_result ~cached:"disk" ~key:req.key ~fidelity ~rotations
+                      ~modes ~plan ~unitary)
+             | None ->
+               (* Readable object, unreadable meta: recompile and let
+                  the write-through repair the entry. *)
+               miss_idx := i :: !miss_idx)
+          | Some None | None -> miss_idx := i :: !miss_idx))
+    parsed;
+  (* Phase 2: compile misses. Two or more fan out cold over the pool;
+     a single miss compiles inline through the in-memory pass cache. *)
+  let misses = Array.of_list (List.rev !miss_idx) in
+  let job i =
+    match snd parsed.(i) with
+    | Ok (Compile req) -> req
+    | _ -> assert false
+  in
+  (match (t.pool, Array.length misses) with
+   | Some pool, m when m > 1 ->
+     let outcomes =
+       Pool.map pool
+         (fun i ->
+            try Ok (do_compile t ~use_mem_cache:false (job i))
+            with e -> Error (Printexc.to_string e))
+         misses
+     in
+     Array.iteri
+       (fun k i ->
+          let id, _ = parsed.(i) in
+          replies.(i) <- finish_compile t id (job i) outcomes.(k))
+       misses
+   | _ ->
+     Array.iter
+       (fun i ->
+          let id, _ = parsed.(i) in
+          let outcome =
+            try Ok (do_compile t ~use_mem_cache:true (job i))
+            with e -> Error (Printexc.to_string e)
+          in
+          replies.(i) <- finish_compile t id (job i) outcome)
+       misses);
+  refresh_hit_rate t;
+  refresh_cache_gauges t;
+  Obs.Histo.observe h_batch_s (Obs.now () -. t0);
+  Array.to_list replies
+
+let handle_line t line =
+  match handle_many t [ line ] with [ r ] -> r | _ -> assert false
+
+(* ---------------------------------------------------------------- *)
+(* Transports.                                                       *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    if not t.stop then
+      match (try Some (input_line ic) with End_of_file -> None) with
+      | None -> ()
+      | Some line ->
+        output_string oc (handle_line t line);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+  in
+  loop ();
+  shutdown t
+
+(* Unix-domain socket server: one select loop, per-client line buffers,
+   any number of concurrent clients. Complete lines arriving in the
+   same select round (across all clients) form one pool batch. *)
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let serve_socket t ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let clients = ref [] in
+  let close_client c =
+    clients := List.filter (fun c' -> c'.fd != c.fd) !clients;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let write_all fd s =
+    let b = Bytes.of_string s in
+    let rec go off =
+      if off < Bytes.length b then
+        go (off + Unix.write fd b off (Bytes.length b - off))
+    in
+    go 0
+  in
+  let chunk = Bytes.create 65536 in
+  (* Drain complete lines out of a client's buffer. *)
+  let take_lines c =
+    let data = Buffer.contents c.buf in
+    let rec go pos acc =
+      match String.index_from_opt data pos '\n' with
+      | None ->
+        Buffer.clear c.buf;
+        Buffer.add_substring c.buf data pos (String.length data - pos);
+        List.rev acc
+      | Some i -> go (i + 1) (String.sub data pos (i - pos) :: acc)
+    in
+    go 0 []
+  in
+  while not t.stop do
+    let fds = srv :: List.map (fun c -> c.fd) !clients in
+    let ready, _, _ =
+      try Unix.select fds [] [] 0.25
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    (* Gather one batch of lines across every readable client. *)
+    let batch = ref [] in
+    List.iter
+      (fun fd ->
+         if fd == srv then begin
+           match Unix.accept srv with
+           | cfd, _ -> clients := { fd = cfd; buf = Buffer.create 256 } :: !clients
+           | exception Unix.Unix_error _ -> ()
+         end
+         else
+           match List.find_opt (fun c -> c.fd == fd) !clients with
+           | None -> ()
+           | Some c ->
+             (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+              | 0 -> close_client c
+              | n ->
+                Buffer.add_subbytes c.buf chunk 0 n;
+                List.iter (fun line -> batch := (c, line) :: !batch) (take_lines c)
+              | exception Unix.Unix_error _ -> close_client c))
+      ready;
+    let batch = List.rev !batch in
+    if batch <> [] then begin
+      let replies = handle_many t (List.map snd batch) in
+      List.iter2
+        (fun (c, _) reply ->
+           try write_all c.fd (reply ^ "\n")
+           with Unix.Unix_error _ -> close_client c)
+        batch replies
+    end
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Sys.remove path with Sys_error _ -> ());
+  shutdown t

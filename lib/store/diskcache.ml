@@ -1,0 +1,426 @@
+module Plan = Bose_decomp.Plan
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+
+let object_magic = "bosec-object 1"
+let index_magic = "bosec-cache-index 1"
+let ( // ) = Filename.concat
+
+type entry = { mutable last_use : int; size : int }
+
+type t = {
+  dir : string;
+  max_bytes : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable quarantined : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  bytes : int;
+  evictions : int;
+  quarantined : int;
+  max_bytes : int;
+}
+
+type issue =
+  | Bad_index of { line : int; msg : string }
+  | Missing_object of { key : string }
+  | Corrupt_object of { file : string; msg : string }
+  | Orphan_object of { file : string }
+  | Size_mismatch of { key : string; index_bytes : int; disk_bytes : int }
+
+let objects_dir dir = dir // "objects"
+let quarantine_dir dir = dir // "quarantine"
+let index_file dir = dir // "index"
+
+let validate_key key =
+  key <> ""
+  && String.for_all (function 'a' .. 'z' | '0' .. '9' -> true | _ -> false) key
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers: stdlib-only, every write atomic.                *)
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      (try Sys.mkdir p 0o755 with Sys_error _ -> ())
+    end
+  in
+  go path;
+  if not (Sys.file_exists path && Sys.is_directory path) then
+    invalid_arg ("Diskcache: cannot create directory " ^ path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Write-then-rename: the temp file lives in the destination directory
+   so the rename never crosses a filesystem boundary. *)
+let write_atomic ~path content =
+  let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) ".part" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+(* ------------------------------------------------------------------ *)
+(* Object format: self-describing, length-framed, then semantically
+   validated by actually parsing both artifacts.
+
+     bosec-object 1
+     key <key>
+     meta <one free-form line>
+     plan <bytes>
+     <plan text, exactly that many bytes>
+     unitary <bytes>
+     <unitary text>
+     end
+*)
+
+let render_object ~key ~meta ~plan ~unitary =
+  let buf =
+    Buffer.create (64 + String.length meta + String.length plan + String.length unitary)
+  in
+  Buffer.add_string buf object_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("key " ^ key ^ "\n");
+  Buffer.add_string buf ("meta " ^ meta ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "plan %d\n" (String.length plan));
+  Buffer.add_string buf plan;
+  Buffer.add_string buf (Printf.sprintf "unitary %d\n" (String.length unitary));
+  Buffer.add_string buf unitary;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+exception Bad of string
+
+let parse_object ~key content =
+  let len = String.length content in
+  let pos = ref 0 in
+  let line () =
+    if !pos >= len then raise (Bad "truncated object");
+    let stop =
+      match String.index_from_opt content !pos '\n' with
+      | Some i -> i
+      | None -> raise (Bad "truncated object")
+    in
+    let l = String.sub content !pos (stop - !pos) in
+    pos := stop + 1;
+    l
+  in
+  let take n =
+    if n < 0 || !pos + n > len then raise (Bad "section length exceeds file");
+    let s = String.sub content !pos n in
+    pos := !pos + n;
+    s
+  in
+  let section name =
+    let l = line () in
+    match Scanf.sscanf l "%s %d%!" (fun tag n -> (tag, n)) with
+    | tag, n when tag = name -> take n
+    | _ -> raise (Bad ("bad " ^ name ^ " header"))
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      raise (Bad ("bad " ^ name ^ " header"))
+  in
+  try
+    if line () <> object_magic then raise (Bad "bad magic line");
+    (match line () with
+     | l when l = "key " ^ key -> ()
+     | l when String.length l >= 4 && String.sub l 0 4 = "key " ->
+       raise (Bad "key line does not match file name")
+     | _ -> raise (Bad "bad key line"));
+    let meta =
+      let l = line () in
+      if String.length l >= 5 && String.sub l 0 5 = "meta " then
+        String.sub l 5 (String.length l - 5)
+      else raise (Bad "bad meta line")
+    in
+    let plan = section "plan" in
+    let unitary = section "unitary" in
+    if line () <> "end" then raise (Bad "missing end marker");
+    if !pos <> len then raise (Bad "trailing bytes after end marker");
+    (* Semantic validation: both artifacts must parse with the repo's
+       own readers, and agree on the mode count. *)
+    let p =
+      match Plan.of_string plan with
+      | Ok p -> p
+      | Error (msg, l) -> raise (Bad (Printf.sprintf "plan section line %d: %s" l msg))
+    in
+    let u =
+      match Unitary.of_string unitary with
+      | Ok u -> u
+      | Error (msg, l) -> raise (Bad (Printf.sprintf "unitary section line %d: %s" l msg))
+    in
+    if Mat.rows u <> p.Plan.modes then
+      raise (Bad "plan and unitary disagree on the mode count");
+    Ok (meta, plan, unitary)
+  with Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Index: a performance hint rebuilt from the object files whenever it
+   is missing or stale. One line per entry after the magic:
+     e <key> <bytes> <tick>                                            *)
+
+let render_index t =
+  let buf = Buffer.create (32 + (Hashtbl.length t.tbl * 40)) in
+  Buffer.add_string buf index_magic;
+  Buffer.add_char buf '\n';
+  let rows =
+    Hashtbl.fold (fun key e acc -> (key, e.size, e.last_use) :: acc) t.tbl []
+  in
+  List.iter
+    (fun (key, size, tick) ->
+       Buffer.add_string buf (Printf.sprintf "e %s %d %d\n" key size tick))
+    (List.sort compare rows);
+  Buffer.contents buf
+
+let write_index t = write_atomic ~path:(index_file t.dir) (render_index t)
+
+(* Parse an index file body. Returns the entry list plus structural
+   issues; the runtime ignores bad lines (the object files are the
+   source of truth), the audit reports them.                           *)
+let parse_index content =
+  let issues = ref [] in
+  let entries = ref [] in
+  (match String.split_on_char '\n' content with
+   | [] -> issues := [ Bad_index { line = 0; msg = "empty index" } ]
+   | magic :: rest ->
+     if magic <> index_magic then
+       issues := [ Bad_index { line = 1; msg = "bad index magic line" } ]
+     else
+       List.iteri
+         (fun i l ->
+            if l <> "" then
+              match Scanf.sscanf l "e %s %d %d%!" (fun k s t -> (k, s, t)) with
+              | (key, size, tick) when validate_key key && size >= 0 ->
+                entries := (key, size, tick) :: !entries
+              | _ ->
+                issues := Bad_index { line = i + 2; msg = "bad entry line" } :: !issues
+              | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+                issues := Bad_index { line = i + 2; msg = "bad entry line" } :: !issues)
+         rest);
+  (List.rev !entries, List.rev !issues)
+
+(* ------------------------------------------------------------------ *)
+
+let quarantine t key =
+  let src = objects_dir t.dir // key in
+  let rec dest k =
+    let d = quarantine_dir t.dir // Printf.sprintf "%s.%d" key k in
+    if Sys.file_exists d then dest (k + 1) else d
+  in
+  (try Sys.rename src (dest 0) with Sys_error _ -> ());
+  (match Hashtbl.find_opt t.tbl key with
+   | Some e ->
+     t.bytes <- t.bytes - e.size;
+     Hashtbl.remove t.tbl key
+   | None -> ());
+  t.quarantined <- t.quarantined + 1;
+  write_index t
+
+let evict_lru t ~keep =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+         if key = keep then acc
+         else
+           match acc with
+           | Some (_, best) when best <= e.last_use -> acc
+           | _ -> Some (key, e.last_use))
+      t.tbl None
+  in
+  match victim with
+  | None -> false
+  | Some (key, _) ->
+    (match Hashtbl.find_opt t.tbl key with
+     | Some e -> t.bytes <- t.bytes - e.size
+     | None -> ());
+    Hashtbl.remove t.tbl key;
+    (try Sys.remove (objects_dir t.dir // key) with Sys_error _ -> ());
+    t.evictions <- t.evictions + 1;
+    true
+
+let enforce_bound (t : t) ~keep =
+  let continue_ = ref true in
+  while t.bytes > t.max_bytes && !continue_ do
+    continue_ := evict_lru t ~keep
+  done
+
+let open_ ~dir ~max_bytes =
+  if max_bytes < 1 then invalid_arg "Diskcache.open_: max_bytes must be positive";
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    invalid_arg ("Diskcache.open_: not a directory: " ^ dir);
+  mkdir_p (objects_dir dir);
+  mkdir_p (quarantine_dir dir);
+  let t =
+    {
+      dir;
+      max_bytes;
+      tbl = Hashtbl.create 64;
+      bytes = 0;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      quarantined = 0;
+    }
+  in
+  (* Reconcile: indexed entries must exist on disk (at their current
+     disk size); object files the index missed are adopted as oldest. *)
+  (match if Sys.file_exists (index_file dir) then Some (read_file (index_file dir)) else None with
+   | None -> ()
+   | Some content ->
+     let entries, _issues = parse_index content in
+     List.iter
+       (fun (key, _size, tick) ->
+          let path = objects_dir dir // key in
+          if Sys.file_exists path && not (Hashtbl.mem t.tbl key) then begin
+            let size = file_size path in
+            Hashtbl.replace t.tbl key { last_use = tick; size };
+            t.bytes <- t.bytes + size;
+            if tick > t.tick then t.tick <- tick
+          end)
+       entries);
+  Array.iter
+    (fun file ->
+       if validate_key file && not (Hashtbl.mem t.tbl file) then begin
+         let size = file_size (objects_dir dir // file) in
+         Hashtbl.replace t.tbl file { last_use = 0; size };
+         t.bytes <- t.bytes + size
+       end)
+    (try Sys.readdir (objects_dir dir) with Sys_error _ -> [||]);
+  enforce_bound t ~keep:"";
+  write_index t;
+  t
+
+let dir t = t.dir
+let mem t key = Hashtbl.mem t.tbl key
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some e ->
+    let path = objects_dir t.dir // key in
+    (match (try Some (read_file path) with Sys_error _ -> None) with
+     | None ->
+       (* Deleted behind our back: drop the entry, count a miss. *)
+       t.bytes <- t.bytes - e.size;
+       Hashtbl.remove t.tbl key;
+       t.misses <- t.misses + 1;
+       write_index t;
+       None
+     | Some content ->
+       (match parse_object ~key content with
+        | Ok (meta, plan, unitary) ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          t.hits <- t.hits + 1;
+          Some (meta, plan, unitary)
+        | Error _ ->
+          (* Corrupted entry: quarantine rather than crash, and let the
+             caller recompile — the next store heals the key. *)
+          quarantine t key;
+          t.misses <- t.misses + 1;
+          None))
+
+let store t ~key ~meta ~plan ~unitary =
+  if not (validate_key key) then invalid_arg ("Diskcache.store: invalid key " ^ key);
+  if String.contains meta '\n' then
+    invalid_arg "Diskcache.store: meta must be a single line";
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    t.tick <- t.tick + 1;
+    e.last_use <- t.tick
+  | None ->
+    let content = render_object ~key ~meta ~plan ~unitary in
+    write_atomic ~path:(objects_dir t.dir // key) content;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.tbl key { last_use = t.tick; size = String.length content };
+    t.bytes <- t.bytes + String.length content;
+    enforce_bound t ~keep:key;
+    write_index t
+
+let stats (t : t) : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    entries = Hashtbl.length t.tbl;
+    bytes = t.bytes;
+    evictions = t.evictions;
+    quarantined = t.quarantined;
+    max_bytes = t.max_bytes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Read-only audit, shared with lib/lint's diskcache pass (BH12xx).    *)
+
+let audit dir =
+  if not (Sys.file_exists dir) then
+    [ Bad_index { line = 0; msg = "cache directory does not exist: " ^ dir } ]
+  else if not (Sys.is_directory dir) then
+    [ Bad_index { line = 0; msg = "not a directory: " ^ dir } ]
+  else begin
+    let indexed, index_issues =
+      if Sys.file_exists (index_file dir) then parse_index (read_file (index_file dir))
+      else ([], [])
+    in
+    let issues = ref (List.rev index_issues) in
+    let index_keys = Hashtbl.create 32 in
+    List.iter
+      (fun (key, size, _) ->
+         Hashtbl.replace index_keys key ();
+         let path = objects_dir dir // key in
+         if not (Sys.file_exists path) then
+           issues := Missing_object { key } :: !issues
+         else begin
+           let disk_bytes = file_size path in
+           if disk_bytes <> size then
+             issues := Size_mismatch { key; index_bytes = size; disk_bytes } :: !issues
+         end)
+      indexed;
+    Array.iter
+      (fun file ->
+         let path = objects_dir dir // file in
+         if not (Hashtbl.mem index_keys file) then
+           issues := Orphan_object { file = path } :: !issues;
+         match parse_object ~key:file (read_file path) with
+         | Ok _ -> ()
+         | Error msg -> issues := Corrupt_object { file = path; msg } :: !issues
+         | exception Sys_error msg ->
+           issues := Corrupt_object { file = path; msg } :: !issues)
+      (try Sys.readdir (objects_dir dir) with Sys_error _ -> [||]);
+    List.rev !issues
+  end
+
+let pp_issue fmt = function
+  | Bad_index { line; msg } ->
+    if line > 0 then Format.fprintf fmt "index line %d: %s" line msg
+    else Format.fprintf fmt "index: %s" msg
+  | Missing_object { key } -> Format.fprintf fmt "entry %s: object file missing" key
+  | Corrupt_object { file; msg } -> Format.fprintf fmt "%s: corrupt (%s)" file msg
+  | Orphan_object { file } -> Format.fprintf fmt "%s: not referenced by the index" file
+  | Size_mismatch { key; index_bytes; disk_bytes } ->
+    Format.fprintf fmt "entry %s: index records %d bytes, file has %d" key index_bytes
+      disk_bytes

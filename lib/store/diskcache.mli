@@ -1,0 +1,106 @@
+(** A content-fingerprint-keyed, disk-backed artifact store — the
+    persistence layer behind [bosec serve].
+
+    The in-memory [Pipeline.Cache] makes warm recompiles ~170-260x
+    faster but dies with the process; this store makes the speedup
+    survive restarts. Keys are the pass manager's FNV-1a content
+    fingerprints rendered as 16 hex characters
+    ([Pass.Fingerprint.to_hex]); values are the stable text serializers
+    from the lint PR — [Plan.to_string] and [Unitary.to_string], hex
+    floats, bit-exact round-trip — so a disk hit returns the exact
+    bytes the original compile produced.
+
+    {2 On-disk layout} (documented for operators in docs/SERVING.md)
+
+    {v
+    <dir>/index              LRU index, one line per entry
+    <dir>/objects/<key>      artifact files (self-describing, framed)
+    <dir>/quarantine/        corrupted entries moved aside, never read
+    v}
+
+    Every write is atomic (write to a temp file in the same directory,
+    then rename), so a crashed or killed writer never leaves a
+    half-written object where a reader can trip on it. The index is a
+    performance hint, not a source of truth: {!open_} reconciles it
+    against the object files (missing files are dropped, orphan files
+    adopted), and deleting any file — or the whole directory — is
+    always safe; the worst case is a cold cache.
+
+    A corrupted object (bad framing, parse failure, key mismatch) is
+    {e quarantined} on first read — moved to [quarantine/], counted,
+    reported as a miss — never raised. [lib/lint]'s [diskcache] pass
+    ({!audit}, BH12xx) reports the same findings as diagnostics without
+    modifying the directory.
+
+    The store is single-domain mutable state: callers serialize access
+    (the serve daemon performs all store traffic on the owner domain). *)
+
+type t
+
+type stats = {
+  hits : int;  (** Reads that returned a validated artifact. *)
+  misses : int;  (** Reads that found nothing usable (includes quarantines). *)
+  entries : int;
+  bytes : int;  (** Total object-file bytes currently indexed. *)
+  evictions : int;  (** Entries removed by the size bound. *)
+  quarantined : int;  (** Corrupted objects moved to [quarantine/]. *)
+  max_bytes : int;
+}
+
+val open_ : dir:string -> max_bytes:int -> t
+(** Open (creating directories as needed) and reconcile the index
+    against the object files. [max_bytes] bounds the total object-file
+    bytes; least-recently-used entries are evicted past it.
+    @raise Invalid_argument when [max_bytes < 1] or [dir] exists and is
+    not a directory. *)
+
+val dir : t -> string
+
+val validate_key : string -> bool
+(** Keys must be non-empty [[a-z0-9]] strings (fingerprint hex) — they
+    become file names verbatim. *)
+
+val mem : t -> string -> bool
+(** Index membership only; no I/O, no statistics. *)
+
+val find : t -> string -> (string * string * string) option
+(** [find t key] reads, validates and returns [(meta, plan, unitary)]:
+    the caller's metadata line, the [Plan.to_string] bytes and the
+    [Unitary.to_string] bytes recorded by {!store} — verbatim, so a
+    disk hit is bit-identical to the original compile. A corrupted
+    object is quarantined and reported as a miss. *)
+
+val store : t -> key:string -> meta:string -> plan:string -> unitary:string -> unit
+(** Record an artifact (atomic write-then-rename), update the index and
+    evict past the size bound. Storing an existing key only refreshes
+    its recency — the store is content-addressed, same key means same
+    content. [meta] is one free-form line (no newline).
+    @raise Invalid_argument on an invalid key or a [meta] containing a
+    newline. *)
+
+val stats : t -> stats
+(** Lifetime totals since {!open_}. *)
+
+(** {2 Read-only integrity audit} — the decision procedure behind the
+    lint engine's [diskcache] pass (BH1201–BH1205). *)
+
+type issue =
+  | Bad_index of { line : int; msg : string }
+      (** Index file malformed ([line] is 1-based; 0 = whole file /
+          directory problem). *)
+  | Missing_object of { key : string }
+      (** Index entry whose object file does not exist. *)
+  | Corrupt_object of { file : string; msg : string }
+      (** Object file fails framing or artifact-parse validation. *)
+  | Orphan_object of { file : string }
+      (** Object file not referenced by the index. *)
+  | Size_mismatch of { key : string; index_bytes : int; disk_bytes : int }
+      (** Indexed size disagrees with the file on disk. *)
+
+val audit : string -> issue list
+(** Audit a cache directory without opening or modifying it. A missing
+    directory is one [Bad_index]; a missing index with no objects is a
+    fresh cache and clean. [quarantine/] contents are expected-bad and
+    not audited. *)
+
+val pp_issue : Format.formatter -> issue -> unit

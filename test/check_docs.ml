@@ -1,0 +1,77 @@
+(* Doc-consistency gate (runtest): every registered telemetry metric
+   must appear in docs/METRICS.md and every lint diagnostic code in
+   docs/DIAGNOSTICS.md, so the operator docs cannot silently rot as
+   instrumentation is added.
+
+   Metric registration happens in module initializers, and the linker
+   only runs initializers of modules something references — so below,
+   every metric-registering module in the tree is referenced
+   explicitly. Adding a new instrumented module without extending this
+   list leaves its metrics unchecked; grep `Obs.Counter.make` when in
+   doubt. Span names are not checked: spans register on first close,
+   not at load ([Obs.registered] excludes them by design). *)
+
+module Obs = Bose_obs.Obs
+module Lint = Bose_lint.Lint
+
+(* Force-link every module that registers metrics at init. *)
+let _ = Bosehedral.Compiler.predicted_fidelity
+let _ = Bosehedral.Runner.ideal_distribution
+let _ = Bose_decomp.Eliminate.decompose
+let _ = Bose_decomp.Plan.to_string
+let _ = Bose_mapping.Mapping.optimize
+let _ = Bose_dropout.Dropout.make_policy
+let _ = Bose_gbs.Fock.tail
+let _ = Bose_gbs.Hafnian.hafnian
+let _ = Bose_gbs.Permanent.permanent
+let _ = Bose_gbs.Sampler.tail_mass
+let _ = Bose_par.Pool.create
+let _ = Bose_lint.Lint.run
+let _ = Bose_serve.Serve.create
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n > 0 && go 0
+
+(* Codes emitted outside the pass registry: the flood-cap note and the
+   artifact-loader parse failures. *)
+let extra_codes = [ "BH0001"; "BH0801"; "BH0802" ]
+
+let () =
+  let metrics_path, diagnostics_path =
+    match Sys.argv with
+    | [| _; m; d |] -> (m, d)
+    | _ ->
+      prerr_endline "usage: check_docs METRICS.md DIAGNOSTICS.md";
+      exit 2
+  in
+  let metrics_text = read_file metrics_path in
+  let diagnostics_text = read_file diagnostics_path in
+  let failures = ref 0 in
+  let require text ~from name =
+    if not (contains ~needle:name text) then begin
+      Printf.printf "check_docs: %s is missing %s\n" from name;
+      incr failures
+    end
+  in
+  let metrics = Obs.registered () in
+  List.iter (require metrics_text ~from:(Filename.basename metrics_path)) metrics;
+  let codes =
+    List.sort_uniq String.compare
+      (extra_codes @ List.concat_map (fun p -> p.Lint.codes) Lint.passes)
+  in
+  List.iter (require diagnostics_text ~from:(Filename.basename diagnostics_path)) codes;
+  if !failures > 0 then begin
+    Printf.printf "check_docs: %d missing entr%s\n" !failures
+      (if !failures = 1 then "y" else "ies");
+    exit 1
+  end;
+  Printf.printf "check_docs: ok (%d metrics, %d diagnostic codes documented)\n"
+    (List.length metrics) (List.length codes)

@@ -1,0 +1,372 @@
+(* bosec serve: the disk-backed artifact store and the JSON request
+   engine. Pins the PR's headline contract — a compile artifact served
+   from the on-disk cache after a restart is bit-identical to the one
+   the original compile returned — plus the failure modes: corrupted
+   objects are quarantined (and reported as BH12xx diagnostics), never
+   raised, and concurrent socket clients each get their own replies. *)
+
+module Rng = Bose_util.Rng
+module Mat = Bose_linalg.Mat
+module Unitary = Bose_linalg.Unitary
+module Plan = Bose_decomp.Plan
+module Lattice = Bose_hardware.Lattice
+module Diskcache = Bose_store.Diskcache
+module Lint = Bose_lint.Lint
+module Diag = Bose_lint.Diag
+module Json = Bose_serve.Json
+module Serve = Bose_serve.Serve
+
+(* Fresh temp directory per test; contents removed best-effort. *)
+let temp_dir_counter = ref 0
+
+let fresh_dir () =
+  incr temp_dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bosec-test-serve.%d.%d" (Unix.getpid ()) !temp_dir_counter)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let sample_artifacts seed n =
+  let u = Unitary.haar_random (Rng.create seed) n in
+  let device = Lattice.create ~rows:n ~cols:1 in
+  let c =
+    Bosehedral.Compiler.compile ~rng:(Rng.create (seed + 1)) ~device
+      ~config:Bosehedral.Config.Baseline u
+  in
+  ( Plan.to_string c.Bosehedral.Compiler.plan,
+    Unitary.to_string c.Bosehedral.Compiler.mapping.Bose_mapping.Mapping.permuted )
+
+(* ------------------------------------------------- unitary strings *)
+
+let test_unitary_string_roundtrip () =
+  let u = Unitary.haar_random (Rng.create 5) 6 in
+  let text = Unitary.to_string u in
+  match Unitary.of_string text with
+  | Error (msg, l) -> Alcotest.failf "of_string failed: %s (line %d)" msg l
+  | Ok v ->
+    Alcotest.(check bool) "bit-exact round-trip" true (Mat.equal u v);
+    Alcotest.(check string) "re-serialization identical" text (Unitary.to_string v)
+
+(* ------------------------------------------------------- diskcache *)
+
+let test_store_persists_verbatim () =
+  with_dir @@ fun dir ->
+  let plan, unitary = sample_artifacts 11 4 in
+  let key = "aaaa000011112222" in
+  let t = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  Diskcache.store t ~key ~meta:"fidelity=0x1p+0 rotations=6 modes=4" ~plan ~unitary;
+  (match Diskcache.find t key with
+   | None -> Alcotest.fail "hit expected on the writing process"
+   | Some (_, p, u) ->
+     Alcotest.(check string) "plan verbatim" plan p;
+     Alcotest.(check string) "unitary verbatim" unitary u);
+  (* Cold start: a second open of the same directory serves the exact
+     bytes the first process stored. *)
+  let t2 = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  (match Diskcache.find t2 key with
+   | None -> Alcotest.fail "hit expected after reopen"
+   | Some (meta, p, u) ->
+     Alcotest.(check string) "meta survives restart" "fidelity=0x1p+0 rotations=6 modes=4"
+       meta;
+     Alcotest.(check string) "plan survives restart" plan p;
+     Alcotest.(check string) "unitary survives restart" unitary u);
+  let s = Diskcache.stats t2 in
+  Alcotest.(check int) "one entry" 1 s.Diskcache.entries;
+  Alcotest.(check int) "one hit" 1 s.Diskcache.hits
+
+let test_corrupt_entry_quarantined () =
+  with_dir @@ fun dir ->
+  let plan, unitary = sample_artifacts 12 4 in
+  let key = "feedbead00000001" in
+  let t = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  Diskcache.store t ~key ~meta:"m" ~plan ~unitary;
+  (* Truncate the object behind the store's back. *)
+  let path = Filename.concat (Filename.concat dir "objects") key in
+  let content = read_file path in
+  write_file path (String.sub content 0 (String.length content / 2));
+  let t2 = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  Alcotest.(check bool) "find does not raise, reports a miss" true
+    (Diskcache.find t2 key = None);
+  let s = Diskcache.stats t2 in
+  Alcotest.(check int) "quarantined" 1 s.Diskcache.quarantined;
+  Alcotest.(check int) "no live entries" 0 s.Diskcache.entries;
+  Alcotest.(check bool) "object file moved aside" false (Sys.file_exists path);
+  Alcotest.(check bool) "quarantine holds the bytes" true
+    (Sys.readdir (Filename.concat dir "quarantine") <> [||]);
+  (* The key is recompilable: a fresh store heals it. *)
+  Diskcache.store t2 ~key ~meta:"m" ~plan ~unitary;
+  Alcotest.(check bool) "healed" true (Diskcache.find t2 key <> None)
+
+let test_audit_reports_bh12xx () =
+  with_dir @@ fun dir ->
+  let plan, unitary = sample_artifacts 13 4 in
+  let t = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  Diskcache.store t ~key:"aaaaaaaaaaaaaaa1" ~meta:"m" ~plan ~unitary;
+  Diskcache.store t ~key:"aaaaaaaaaaaaaaa2" ~meta:"m" ~plan ~unitary;
+  (* Corrupt one object, delete the other, drop an orphan in. *)
+  let obj k = Filename.concat (Filename.concat dir "objects") k in
+  write_file (obj "aaaaaaaaaaaaaaa1") "bosec-object 1\ngarbage\n";
+  Sys.remove (obj "aaaaaaaaaaaaaaa2");
+  write_file (obj "bbbbbbbbbbbbbbb3") "not even framed\n";
+  let diags = Lint.run { Lint.empty with Lint.cache_dir = Some dir } in
+  let codes = List.map (fun (d : Diag.t) -> d.Diag.code) diags in
+  let has c = List.mem c codes in
+  Alcotest.(check bool) "BH1202 missing object" true (has "BH1202");
+  Alcotest.(check bool) "BH1203 corrupt object" true (has "BH1203");
+  Alcotest.(check bool) "BH1204 orphan object" true (has "BH1204");
+  (* Size mismatch (corrupted-in-place file with a stale index). *)
+  Alcotest.(check bool) "BH1205 size mismatch" true (has "BH1205");
+  (* A malformed index is BH1201 and still not a crash. *)
+  write_file (Filename.concat dir "index") "not an index\n";
+  let diags = Lint.run { Lint.empty with Lint.cache_dir = Some dir } in
+  Alcotest.(check bool) "BH1201 bad index" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "BH1201") diags);
+  (* A clean directory audits clean. *)
+  let clean = fresh_dir () in
+  let t2 = Diskcache.open_ ~dir:clean ~max_bytes:(1 lsl 20) in
+  Diskcache.store t2 ~key:"cccccccccccccccc" ~meta:"m" ~plan ~unitary;
+  let diags = Lint.run { Lint.empty with Lint.cache_dir = Some clean } in
+  Alcotest.(check int) "clean cache: no diagnostics" 0 (List.length diags);
+  rm_rf clean
+
+let test_lru_eviction () =
+  with_dir @@ fun dir ->
+  let plan, unitary = sample_artifacts 14 4 in
+  let size =
+    String.length plan + String.length unitary + 128 (* header slack *)
+  in
+  (* Room for two entries, not three. *)
+  let t = Diskcache.open_ ~dir ~max_bytes:(2 * size) in
+  Diskcache.store t ~key:"aaaaaaaaaaaaaaa1" ~meta:"m" ~plan ~unitary;
+  Diskcache.store t ~key:"aaaaaaaaaaaaaaa2" ~meta:"m" ~plan ~unitary;
+  ignore (Diskcache.find t "aaaaaaaaaaaaaaa1");
+  (* 2 is now least-recently-used; adding 3 evicts it. *)
+  Diskcache.store t ~key:"aaaaaaaaaaaaaaa3" ~meta:"m" ~plan ~unitary;
+  Alcotest.(check bool) "recently-used survives" true (Diskcache.mem t "aaaaaaaaaaaaaaa1");
+  Alcotest.(check bool) "LRU evicted" false (Diskcache.mem t "aaaaaaaaaaaaaaa2");
+  Alcotest.(check bool) "new entry present" true (Diskcache.mem t "aaaaaaaaaaaaaaa3");
+  let s = Diskcache.stats t in
+  Alcotest.(check int) "one eviction" 1 s.Diskcache.evictions;
+  Alcotest.(check bool) "bound respected" true (s.Diskcache.bytes <= 2 * size)
+
+(* ------------------------------------------------- request engine *)
+
+let get_str path reply =
+  match Json.parse reply with
+  | Error msg -> Alcotest.failf "reply is not JSON: %s (%s)" msg reply
+  | Ok v ->
+    let rec go v = function
+      | [] -> Json.str v
+      | k :: rest -> (match Json.mem k v with Some v -> go v rest | None -> None)
+    in
+    go v path
+
+let ok_reply reply =
+  match Json.parse reply with
+  | Ok v -> Json.mem "ok" v = Some (Json.Bool true)
+  | Error _ -> false
+
+let compile_req ~id ~seed =
+  Printf.sprintf
+    {|{"id":%d,"op":"compile","params":{"modes":4,"rows":2,"cols":2,"seed":%d}}|} id seed
+
+let test_protocol_basics () =
+  let t = Serve.create () in
+  Alcotest.(check bool) "ping" true (ok_reply (Serve.handle_line t {|{"id":1,"op":"ping"}|}));
+  (* Errors are structured replies, never exceptions. *)
+  Alcotest.(check (option string)) "parse error" (Some "parse")
+    (get_str [ "error"; "code" ] (Serve.handle_line t "not json"));
+  Alcotest.(check (option string)) "unknown op" (Some "bad-request")
+    (get_str [ "error"; "code" ] (Serve.handle_line t {|{"id":2,"op":"frobnicate"}|}));
+  Alcotest.(check (option string)) "missing op" (Some "bad-request")
+    (get_str [ "error"; "code" ] (Serve.handle_line t {|{"id":3}|}));
+  Alcotest.(check (option string)) "bad params" (Some "bad-request")
+    (get_str [ "error"; "code" ]
+       (Serve.handle_line t {|{"op":"compile","params":{"modes":0}}|}));
+  Alcotest.(check bool) "stats" true
+    (ok_reply (Serve.handle_line t {|{"op":"stats"}|}));
+  Alcotest.(check bool) "sample" true
+    (ok_reply
+       (Serve.handle_line t
+          {|{"op":"sample","params":{"modes":2,"shots":4,"max_photons":2}}|}));
+  Alcotest.(check bool) "not stopping yet" false (Serve.stopping t);
+  Alcotest.(check bool) "shutdown" true
+    (ok_reply (Serve.handle_line t {|{"op":"shutdown"}|}));
+  Alcotest.(check bool) "stopping" true (Serve.stopping t);
+  Serve.shutdown t
+
+let test_restart_disk_hit_bit_identical () =
+  with_dir @@ fun dir ->
+  (* First server: cold compile, killed. *)
+  let t1 = Serve.create ~cache_dir:dir () in
+  let r1 = Serve.handle_line t1 (compile_req ~id:1 ~seed:42) in
+  Alcotest.(check (option string)) "cold" (Some "none") (get_str [ "result"; "cached" ] r1);
+  (* The write-through makes a repeat request a disk hit immediately —
+     disk is checked before the pass cache, so the reply skips the
+     compile machinery entirely. *)
+  let r2 = Serve.handle_line t1 (compile_req ~id:2 ~seed:42) in
+  Alcotest.(check (option string)) "warm in-process" (Some "disk")
+    (get_str [ "result"; "cached" ] r2);
+  Serve.shutdown t1;
+  (* Without a disk store, the warm path is the in-memory pass cache:
+     every pass replays its recorded artifact, bit-identically. *)
+  let tm = Serve.create () in
+  let m1 = Serve.handle_line tm (compile_req ~id:10 ~seed:42) in
+  let m2 = Serve.handle_line tm (compile_req ~id:11 ~seed:42) in
+  Alcotest.(check (option string)) "no disk: cold" (Some "none")
+    (get_str [ "result"; "cached" ] m1);
+  Alcotest.(check (option string)) "no disk: pass-cache hit" (Some "mem")
+    (get_str [ "result"; "cached" ] m2);
+  List.iter
+    (fun field ->
+       Alcotest.(check (option string))
+         (field ^ " bit-identical on mem replay")
+         (get_str [ "result"; field ] m1)
+         (get_str [ "result"; field ] m2))
+    [ "plan"; "unitary" ];
+  Serve.shutdown tm;
+  (* Second server, same cache dir: the recompile must be a disk hit
+     returning bit-identical plan and unitary text. *)
+  let t2 = Serve.create ~cache_dir:dir () in
+  let r3 = Serve.handle_line t2 (compile_req ~id:3 ~seed:42) in
+  Alcotest.(check (option string)) "disk hit after restart" (Some "disk")
+    (get_str [ "result"; "cached" ] r3);
+  List.iter
+    (fun field ->
+       Alcotest.(check (option string))
+         (field ^ " bit-identical across restart")
+         (get_str [ "result"; field ] r1)
+         (get_str [ "result"; field ] r3))
+    [ "plan"; "unitary"; "key" ];
+  Serve.shutdown t2
+
+(* ------------------------------------------------------- socket *)
+
+let connect_with_retry path =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      if Unix.gettimeofday () > deadline then Alcotest.fail "server did not come up";
+      Unix.sleepf 0.02;
+      go ()
+  in
+  go ()
+
+let send_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> Alcotest.fail "server closed the connection mid-reply"
+    | _ ->
+      if Bytes.get one 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get one 0);
+        go ()
+      end
+  in
+  go ()
+
+let test_socket_concurrent_clients () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "sock" in
+  Sys.mkdir dir 0o755;
+  (* The server owns its state entirely inside its domain. *)
+  let server = Domain.spawn (fun () ->
+      let t = Serve.create () in
+      Serve.serve_socket t ~path)
+  in
+  let a = connect_with_retry path in
+  let b = connect_with_retry path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      (try Unix.close b with Unix.Unix_error _ -> ()))
+    (fun () ->
+       (* Interleave: both clients write before either reads. Replies
+          must land on the right connection with the right id. *)
+       send_line a (compile_req ~id:101 ~seed:7);
+       send_line b {|{"id":202,"op":"ping"}|};
+       let ra = recv_line a in
+       let rb = recv_line b in
+       Alcotest.(check bool) "client a ok" true (ok_reply ra);
+       Alcotest.(check bool) "client b ok" true (ok_reply rb);
+       let id reply =
+         match Json.parse reply with
+         | Ok v -> Json.mem "id" v
+         | Error _ -> None
+       in
+       Alcotest.(check bool) "a got its own id" true (id ra = Some (Json.Num 101.));
+       Alcotest.(check bool) "b got its own id" true (id rb = Some (Json.Num 202.));
+       Alcotest.(check (option string)) "a is a compile reply" (Some "none")
+         (get_str [ "result"; "cached" ] ra);
+       (* Second request on a live connection still works. *)
+       send_line b (compile_req ~id:203 ~seed:7);
+       Alcotest.(check bool) "b compile ok" true (ok_reply (recv_line b));
+       send_line a {|{"id":104,"op":"shutdown"}|};
+       Alcotest.(check bool) "shutdown acked" true (ok_reply (recv_line a)));
+  Domain.join server;
+  Alcotest.(check bool) "socket file removed on exit" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "unitary string round-trip" `Quick
+            test_unitary_string_roundtrip;
+          Alcotest.test_case "persists verbatim across reopen" `Quick
+            test_store_persists_verbatim;
+          Alcotest.test_case "corrupt entry quarantined, not raised" `Quick
+            test_corrupt_entry_quarantined;
+          Alcotest.test_case "audit reports BH12xx" `Quick test_audit_reports_bh12xx;
+          Alcotest.test_case "LRU eviction under the size bound" `Quick
+            test_lru_eviction;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "ping/stats/sample/errors/shutdown" `Quick
+            test_protocol_basics;
+          Alcotest.test_case "restart disk hit is bit-identical" `Quick
+            test_restart_disk_hit_bit_identical;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "two concurrent clients" `Quick
+            test_socket_concurrent_clients;
+        ] );
+    ]
