@@ -27,6 +27,10 @@ let g_warm_speedup = Obs.Gauge.make "bench.warm_speedup"
 let g_wall_s = Obs.Gauge.make "bench.wall_s"
 let g_par_speedup = Obs.Gauge.make "bench.parallel_speedup"
 let g_serve_rps = Obs.Gauge.make "bench.serve_rps"
+let g_text_load_us = Obs.Gauge.make "bench.text_load_us"
+let g_bin_load_us = Obs.Gauge.make "bench.binary_load_us"
+let g_bin_speedup = Obs.Gauge.make "bench.binary_load_speedup"
+let g_rot_melems = Obs.Gauge.make "bench.rot_melems_s"
 
 (* Boxed get/set reference implementations: what the flat kernels are
    measured against, and what they replaced. *)
@@ -174,6 +178,76 @@ let serve_sustained_row () =
     (fun d -> try Sys.rmdir d with Sys_error _ -> ())
     [ Filename.concat dir "objects"; Filename.concat dir "quarantine"; dir ]
 
+(* Artifact load latency, text vs binary: parse the same plan + unitary
+   pair from both encodings. The binary path replaces hex-float
+   scanning with plane blits + one FNV pass, which is where the disk
+   cache's load-time speedup comes from; the floor in bench_floors.json
+   binds the ratio. *)
+let artifact_load_row ~n =
+  Benchlib.Telemetry.row ~experiment:"micro" ~row:(Printf.sprintf "artifact-load-%d" n)
+  @@ fun () ->
+  let device = Lattice.create ~rows:6 ~cols:6 in
+  let u = Unitary.haar_random (Rng.create 11) n in
+  let pattern = Embedding.for_program device n in
+  let plan = Eliminate.decompose pattern u in
+  let ptext = Plan.to_string plan and pbin = Plan.to_binary_string plan in
+  let utext = Unitary.to_string u and ubin = Unitary.to_binary_string u in
+  let ok = function Ok _ -> () | Error _ -> assert false in
+  let iters = 50 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  (* One warm round each so neither encoding pays first-touch costs. *)
+  ok (Plan.of_string ptext);
+  ok (Unitary.of_string utext);
+  ok (Plan.of_string pbin);
+  ok (Unitary.of_string ubin);
+  let text_s = time (fun () -> ok (Plan.of_string ptext); ok (Unitary.of_string utext)) in
+  let bin_s = time (fun () -> ok (Plan.of_string pbin); ok (Unitary.of_string ubin)) in
+  let speedup = if bin_s > 0. then text_s /. bin_s else Float.infinity in
+  Obs.Gauge.set g_text_load_us (1e6 *. text_s);
+  Obs.Gauge.set g_bin_load_us (1e6 *. bin_s);
+  Obs.Gauge.set g_bin_speedup speedup;
+  Printf.printf "artifact-load-%-13d text %8.1f us, binary %8.1f us, %8.2fx speedup\n" n
+    (1e6 *. text_s) (1e6 *. bin_s) speedup
+
+(* Rotation-kernel throughput at sizes straddling the lock-release
+   threshold (N >= Mat.blocking_threshold runs the blocking C entry
+   points). Reported as million complex elements rotated per second;
+   the floors are conservative lower bounds that catch a kernel
+   falling off a cliff, not a tight performance pin. *)
+let rot_throughput_row ~n =
+  Benchlib.Telemetry.row ~experiment:"micro" ~row:(Printf.sprintf "rot-kernel-%d" n)
+  @@ fun () ->
+  let rng = Rng.create 13 in
+  let u =
+    Mat.init n n (fun _ _ ->
+        let re, im = Rng.gaussian_pair rng in
+        Cx.make re im)
+  in
+  let c = cos 0.3 and s = sin 0.3 in
+  let ere = cos 1.1 and eim = sin 1.1 in
+  let iters = max 64 (2_000_000 / n) in
+  let locks0 = Mat.lock_releases () in
+  let t0 = Unix.gettimeofday () in
+  for k = 1 to iters do
+    let m = k mod (n - 1) in
+    Mat.rot_cols_t_cs u ~m ~n:(m + 1) ~c ~s ~ere ~eim
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Each call rewrites two length-n columns: 2n complex elements. *)
+  let melems =
+    if wall > 0. then float_of_int (2 * n * iters) /. wall /. 1e6 else Float.infinity
+  in
+  Obs.Gauge.set g_rot_melems melems;
+  let path = if Mat.lock_releases () > locks0 then "blocking" else "fast" in
+  Printf.printf "rot-kernel-%-16d %9.1f Melem/s (%s path, %d iters)\n" n melems path
+    iters
+
 (* Parallel-scaling rows. Jobs values above the host's recommended
    domain count are skipped rather than reported: with more domains than
    cores the OCaml runtime's stop-the-world minor collections serialize
@@ -245,6 +319,10 @@ let run () =
   cache_recompile_row ~n:16 ~rows:4 ~cols:4;
   cache_recompile_row ~n:32 ~rows:6 ~cols:6;
   serve_sustained_row ();
+  artifact_load_row ~n:32;
+  rot_throughput_row ~n:128;
+  rot_throughput_row ~n:256;
+  rot_throughput_row ~n:500;
   batch_compile_scaling ~n:32 ~rows:6 ~cols:6 ~job_count:8;
   sampling_scaling ~modes:6 ~shots:1024;
   let instances = Instance.[ monotonic_clock ] in

@@ -21,6 +21,8 @@ let g_ws_hits = Obs.Gauge.make "compile.ws_hits"
 let g_ws_misses = Obs.Gauge.make "compile.ws_misses"
 let g_cache_hits = Obs.Gauge.make "compile.cache_hits"
 let g_cache_misses = Obs.Gauge.make "compile.cache_misses"
+let g_bytes_offheap = Obs.Gauge.make "mat.bytes_offheap"
+let g_lock_releases = Obs.Gauge.make "mat.lock_releases"
 
 type effort = Pass.effort = Fast | Standard
 
@@ -54,6 +56,8 @@ let drive ?cache ?(disabled = []) ~effort ~tau ~rng ~device ~config ~source u =
   let ws = Mat.workspace () in
   let bytes0 = Gc.allocated_bytes () in
   let mats0 = Mat.allocations () in
+  let offheap0 = Mat.bytes_offheap () in
+  let locks0 = Mat.lock_releases () in
   let ctx = Pass.context ~effort ~tau ~rng ~device ~config ~source ~ws u in
   let trace = Pipeline.run ?cache ~disabled Pipeline.default ctx in
   let pattern = Pass.pattern_exn ctx in
@@ -69,6 +73,8 @@ let drive ?cache ?(disabled = []) ~effort ~tau ~rng ~device ~config ~source u =
   Obs.Gauge.set g_ws_misses (float_of_int (Mat.workspace_misses ws));
   Obs.Gauge.set g_cache_hits (float_of_int (Pipeline.hits trace));
   Obs.Gauge.set g_cache_misses (float_of_int (Pipeline.misses trace));
+  Obs.Gauge.set g_bytes_offheap (float_of_int (Mat.bytes_offheap () - offheap0));
+  Obs.Gauge.set g_lock_releases (float_of_int (Mat.lock_releases () - locks0));
   let stage = Pipeline.elapsed trace in
   {
     config;

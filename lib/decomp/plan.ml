@@ -1,6 +1,7 @@
 module Cx = Bose_linalg.Cx
 module Mat = Bose_linalg.Mat
 module Givens = Bose_linalg.Givens
+module Fnv = Bose_util.Fnv
 module Gate = Bose_circuit.Gate
 module Circuit = Bose_circuit.Circuit
 module Obs = Bose_obs.Obs
@@ -144,17 +145,133 @@ let parse_lines line =
 let load_result ic =
   parse_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
 
-let of_string s =
-  let pos = ref 0 in
+(* Binary artifact format v2 (docs/SERVING.md), the plan-side sibling
+   of Unitary's "BHBU" layout. Fixed little-endian fields, no parsing:
+     bytes 0..3   magic "BHBP"
+     byte  4      format version (0x02)
+     bytes 5..7   zero padding
+     bytes 8..11  modes (u32 LE)
+     bytes 12..15 rotation count (u32 LE)
+     then count × 48-byte elements
+                  { row i32, m i32, n i32, pad i32, c f64, s f64,
+                    ere f64, eim f64 }   — the kernel quadruple, same
+                  numbers the text format's "r" lines carry
+     then modes × 16-byte Λ entries { re f64, im f64 }
+     last 8       FNV-1a 64 over all preceding bytes (u64 LE)
+   Text plans keep their "plan" first line, so [of_string] dispatches
+   on the magic and old artifacts keep loading. *)
+let binary_magic = "BHBP"
+let binary_format_version = 2
+let binary_header_bytes = 16
+let element_bytes = 48
+let lambda_bytes = 16
+let max_binary_dim = 1 lsl 20
+
+let binary_size ~modes ~count =
+  binary_header_bytes + (element_bytes * count) + (lambda_bytes * modes) + 8
+
+let to_binary_string t =
+  let count = Array.length t.elements in
+  let buf = Buffer.create (binary_size ~modes:t.modes ~count) in
+  Buffer.add_string buf binary_magic;
+  Buffer.add_uint8 buf binary_format_version;
+  Buffer.add_string buf "\000\000\000";
+  Buffer.add_int32_le buf (Int32.of_int t.modes);
+  Buffer.add_int32_le buf (Int32.of_int count);
+  let f64 x = Buffer.add_int64_le buf (Int64.bits_of_float x) in
+  Array.iter
+    (fun { rotation = { Givens.m; n; c; s; ere; eim }; row } ->
+       Buffer.add_int32_le buf (Int32.of_int row);
+       Buffer.add_int32_le buf (Int32.of_int m);
+       Buffer.add_int32_le buf (Int32.of_int n);
+       Buffer.add_int32_le buf 0l;
+       f64 c;
+       f64 s;
+       f64 ere;
+       f64 eim)
+    t.elements;
+  Array.iter
+    (fun (lam : Cx.t) ->
+       f64 lam.Complex.re;
+       f64 lam.Complex.im)
+    t.lambda;
+  Buffer.add_int64_le buf (Fnv.string Fnv.seed (Buffer.contents buf));
+  Buffer.contents buf
+
+let has_binary_magic s =
+  String.length s >= 4 && String.sub s 0 4 = binary_magic
+
+(* Binary parse errors report line 0 — there are no lines to point at,
+   and 0 cannot collide with a 1-based text line number. *)
+let of_binary_string s =
   let len = String.length s in
-  parse_lines (fun () ->
-      if !pos >= len then None
+  if len < binary_header_bytes + 8 then Error ("binary plan: truncated", 0)
+  else begin
+    let version = Char.code s.[4] in
+    let modes = Int32.to_int (String.get_int32_le s 8) in
+    let count = Int32.to_int (String.get_int32_le s 12) in
+    if version <> binary_format_version then
+      Error (Printf.sprintf "binary plan: unsupported version %d" version, 0)
+    else if modes <= 0 || modes > max_binary_dim || count < 0 || count > max_binary_dim * 4
+    then Error ("binary plan: bad header values", 0)
+    else if len <> binary_size ~modes ~count then Error ("binary plan: size mismatch", 0)
+    else begin
+      let body = len - 8 in
+      if String.get_int64_le s body <> Fnv.substring Fnv.seed s ~pos:0 ~len:body then
+        Error ("binary plan: checksum mismatch", 0)
       else begin
-        let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> len in
-        let l = String.sub s !pos (stop - !pos) in
-        pos := stop + 1;
-        Some l
-      end)
+        let i32 pos = Int32.to_int (String.get_int32_le s pos) in
+        let f64 pos = Int64.float_of_bits (String.get_int64_le s pos) in
+        let elements =
+          Array.init count (fun i ->
+              let p = binary_header_bytes + (element_bytes * i) in
+              {
+                rotation =
+                  {
+                    Givens.m = i32 (p + 4);
+                    n = i32 (p + 8);
+                    c = f64 (p + 16);
+                    s = f64 (p + 24);
+                    ere = f64 (p + 32);
+                    eim = f64 (p + 40);
+                  };
+                row = i32 p;
+              })
+        in
+        let lbase = binary_header_bytes + (element_bytes * count) in
+        let lambda =
+          Array.init modes (fun i ->
+              let p = lbase + (lambda_bytes * i) in
+              Cx.make (f64 p) (f64 (p + 8)))
+        in
+        Ok { modes; elements; lambda }
+      end
+    end
+  end
+
+let of_bigbytes ba ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim ba then
+    invalid_arg "Plan.of_bigbytes: range out of bounds";
+  (* Plans are header-dominated (48 bytes per rotation, no O(N²) plane
+     payload), so the mmap path copies the slice out and reuses the
+     fixed-field string decoder — the win over text is skipping
+     hex-float parsing, not the copy. *)
+  of_binary_string (Mat.bigbytes_sub_string ba ~pos ~len)
+
+let of_string s =
+  if has_binary_magic s then of_binary_string s
+  else begin
+    let pos = ref 0 in
+    let len = String.length s in
+    parse_lines (fun () ->
+        if !pos >= len then None
+        else begin
+          let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> len in
+          let l = String.sub s !pos (stop - !pos) in
+          pos := stop + 1;
+          Some l
+        end)
+  end
 
 let load ic =
   match load_result ic with

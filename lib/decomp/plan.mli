@@ -79,7 +79,24 @@ val load_result : in_channel -> (t, string * int) result
     instead of an exception. *)
 
 val of_string : string -> (t, string * int) result
-(** {!load_result} over an in-memory string. *)
+(** {!load_result} over an in-memory string, dispatching on the leading
+    bytes: strings opening with the binary magic ["BHBP"] parse as the
+    v2 binary format (docs/SERVING.md), anything else as the text
+    format. Binary parse errors report line [0]. *)
+
+val to_binary_string : t -> string
+(** The v2 binary artifact encoding: magic ["BHBP"], format version,
+    dimensions, fixed 48-byte rotation records carrying the kernel
+    quadruple, the Λ entries, and a trailing FNV-1a 64 checksum.
+    Bit-exact round-trip through {!of_string} with no hex-float
+    parsing on load — the disk cache's preferred encoding. *)
+
+val of_bigbytes :
+  Bose_linalg.Mat.bigbytes -> pos:int -> len:int -> (t, string * int) result
+(** Decode a v2 binary plan from [len] bytes at [pos] of a mapped
+    buffer. Same error convention as {!of_string}.
+    @raise Invalid_argument when the range is out of bounds of the
+    buffer itself. *)
 
 val load : in_channel -> t
 (** {!load_result} shim. @raise Failure on malformed input. *)

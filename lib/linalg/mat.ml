@@ -1,25 +1,46 @@
 (* Storage is two contiguous row-major float planes (real and imaginary
-   parts), one flat array each, so the kernels below run without boxing
-   Complex.t values, without per-row pointer chasing, and without bounds
-   checks in the inner loops (indices are validated once at entry). The
-   flat representation is the load-bearing secret of this module: no
-   other file may assume it. *)
+   parts), one Bigarray.Array1 (float64, c_layout) each, so the kernels
+   below run without boxing Complex.t values, without per-row pointer
+   chasing, and without bounds checks in the inner loops (indices are
+   validated once at entry). Off-heap Bigarray storage — rather than
+   OCaml float arrays — is what lets the C stubs hold stable data
+   pointers with no GC interaction: large kernels can drop the runtime
+   lock (see [blocking_threshold]) so pool domains overlap compute, and
+   the binary artifact codec can blit planes straight out of an mmapped
+   cache object. The flat representation is the load-bearing secret of
+   this module: no other file may assume it. *)
 
-type t = { re : float array; im : float array; nrows : int; ncols : int }
+module A1 = Bigarray.Array1
+
+type plane = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+type t = { re : plane; im : plane; nrows : int; ncols : int }
 
 (* Matrices allocated since program start — the denominator of the
    allocation gauges (compile.mats_allocated, map.polish_mats_per_trial).
    Every constructor funnels through [create]. Atomic, because pool
-   workers (bose_par) allocate concurrently. *)
+   workers (bose_par) allocate concurrently. [offheap_bytes] counts the
+   cumulative plane bytes handed to malloc by Bigarray — the off-heap
+   twin of compile.bytes_allocated's GC-words gauge. *)
 let alloc_count = Atomic.make 0
+let offheap_bytes = Atomic.make 0
 
 let allocations () = Atomic.get alloc_count
+let bytes_offheap () = Atomic.get offheap_bytes
+
+let make_plane len =
+  (* Bigarray.create never zeroes its malloc'd block; every fresh plane
+     must be filled before an entry is read. *)
+  let p = A1.create Bigarray.float64 Bigarray.c_layout len in
+  A1.fill p 0.;
+  p
 
 let create nrows ncols =
   if nrows < 0 || ncols < 0 then invalid_arg "Mat.create: negative dimension";
   Atomic.incr alloc_count;
-  let len = nrows * ncols in
-  { re = Array.make (max len 1) 0.; im = Array.make (max len 1) 0.; nrows; ncols }
+  let len = max (nrows * ncols) 1 in
+  ignore (Atomic.fetch_and_add offheap_bytes (16 * len));
+  { re = make_plane len; im = make_plane len; nrows; ncols }
 
 let dims m = (m.nrows, m.ncols)
 let rows m = m.nrows
@@ -33,28 +54,28 @@ let check_index m i j name =
 let get m i j : Cx.t =
   check_index m i j "Mat.get";
   let k = idx m i j in
-  { re = Array.unsafe_get m.re k; im = Array.unsafe_get m.im k }
+  { re = A1.unsafe_get m.re k; im = A1.unsafe_get m.im k }
 
 let set m i j (v : Cx.t) =
   check_index m i j "Mat.set";
   let k = idx m i j in
-  Array.unsafe_set m.re k v.Complex.re;
-  Array.unsafe_set m.im k v.Complex.im
+  A1.unsafe_set m.re k v.Complex.re;
+  A1.unsafe_set m.im k v.Complex.im
 
 let fill_zero m =
-  Array.fill m.re 0 (Array.length m.re) 0.;
-  Array.fill m.im 0 (Array.length m.im) 0.
+  A1.fill m.re 0.;
+  A1.fill m.im 0.
 
 let set_identity m =
   fill_zero m;
   for i = 0 to min m.nrows m.ncols - 1 do
-    m.re.(idx m i i) <- 1.
+    A1.unsafe_set m.re (idx m i i) 1.
   done
 
 let identity n =
   let m = create n n in
   for i = 0 to n - 1 do
-    m.re.(idx m i i) <- 1.
+    A1.unsafe_set m.re (idx m i i) 1.
   done;
   m
 
@@ -64,8 +85,8 @@ let init nrows ncols f =
     let base = i * ncols in
     for j = 0 to ncols - 1 do
       let (v : Cx.t) = f i j in
-      m.re.(base + j) <- v.Complex.re;
-      m.im.(base + j) <- v.Complex.im
+      A1.unsafe_set m.re (base + j) v.Complex.re;
+      A1.unsafe_set m.im (base + j) v.Complex.im
     done
   done;
   m
@@ -85,13 +106,15 @@ let to_arrays m = Array.init m.nrows (fun i -> Array.init m.ncols (fun j -> get 
 let of_real a = of_arrays (Array.map (Array.map Cx.re) a)
 
 let copy m =
-  Atomic.incr alloc_count;
-  { m with re = Array.copy m.re; im = Array.copy m.im }
+  let r = create m.nrows m.ncols in
+  A1.blit m.re r.re;
+  A1.blit m.im r.im;
+  r
 
 let blit src dst =
   if dims src <> dims dst then invalid_arg "Mat.blit: dimension mismatch";
-  Array.blit src.re 0 dst.re 0 (src.nrows * src.ncols);
-  Array.blit src.im 0 dst.im 0 (src.nrows * src.ncols)
+  A1.blit src.re dst.re;
+  A1.blit src.im dst.im
 
 let transpose m = init m.ncols m.nrows (fun i j -> get m j i)
 let conj m = init m.nrows m.ncols (fun i j -> Cx.conj (get m i j))
@@ -111,9 +134,9 @@ let scale_inplace (s : Cx.t) m =
   let sre = s.Complex.re and sim = s.Complex.im in
   let len = m.nrows * m.ncols in
   for k = 0 to len - 1 do
-    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
-    Array.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
-    Array.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
+    let xre = A1.unsafe_get m.re k and xim = A1.unsafe_get m.im k in
+    A1.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
+    A1.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
   done
 
 let scale s m =
@@ -127,11 +150,11 @@ let axpy (a : Cx.t) x y =
   let are = a.Complex.re and aim = a.Complex.im in
   let len = x.nrows * x.ncols in
   for k = 0 to len - 1 do
-    let xre = Array.unsafe_get x.re k and xim = Array.unsafe_get x.im k in
-    Array.unsafe_set y.re k
-      (Array.unsafe_get y.re k +. ((xre *. are) -. (xim *. aim)));
-    Array.unsafe_set y.im k
-      (Array.unsafe_get y.im k +. ((xre *. aim) +. (xim *. are)))
+    let xre = A1.unsafe_get x.re k and xim = A1.unsafe_get x.im k in
+    A1.unsafe_set y.re k
+      (A1.unsafe_get y.re k +. ((xre *. are) -. (xim *. aim)));
+    A1.unsafe_set y.im k
+      (A1.unsafe_get y.im k +. ((xre *. aim) +. (xim *. are)))
   done
 
 let scale_row m i (s : Cx.t) =
@@ -140,9 +163,9 @@ let scale_row m i (s : Cx.t) =
   let base = i * m.ncols in
   for j = 0 to m.ncols - 1 do
     let k = base + j in
-    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
-    Array.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
-    Array.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
+    let xre = A1.unsafe_get m.re k and xim = A1.unsafe_get m.im k in
+    A1.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
+    A1.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
   done
 
 let scale_col m j (s : Cx.t) =
@@ -150,9 +173,9 @@ let scale_col m j (s : Cx.t) =
   let sre = s.Complex.re and sim = s.Complex.im in
   for i = 0 to m.nrows - 1 do
     let k = (i * m.ncols) + j in
-    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
-    Array.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
-    Array.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
+    let xre = A1.unsafe_get m.re k and xim = A1.unsafe_get m.im k in
+    A1.unsafe_set m.re k ((xre *. sre) -. (xim *. sim));
+    A1.unsafe_set m.im k ((xre *. sim) +. (xim *. sre))
   done
 
 (* row dst <- row dst + a.row src, on columns [from..ncols-1] — the LU
@@ -168,11 +191,11 @@ let row_axpy m ~src ~dst ?(from = 0) (a : Cx.t) =
   let are = a.Complex.re and aim = a.Complex.im in
   let sbase = src * m.ncols and dbase = dst * m.ncols in
   for j = from to m.ncols - 1 do
-    let xre = Array.unsafe_get m.re (sbase + j) and xim = Array.unsafe_get m.im (sbase + j) in
-    Array.unsafe_set m.re (dbase + j)
-      (Array.unsafe_get m.re (dbase + j) +. ((xre *. are) -. (xim *. aim)));
-    Array.unsafe_set m.im (dbase + j)
-      (Array.unsafe_get m.im (dbase + j) +. ((xre *. aim) +. (xim *. are)))
+    let xre = A1.unsafe_get m.re (sbase + j) and xim = A1.unsafe_get m.im (sbase + j) in
+    A1.unsafe_set m.re (dbase + j)
+      (A1.unsafe_get m.re (dbase + j) +. ((xre *. are) -. (xim *. aim)));
+    A1.unsafe_set m.im (dbase + j)
+      (A1.unsafe_get m.im (dbase + j) +. ((xre *. aim) +. (xim *. are)))
   done
 
 (* ------------------------------------------------------------------ *)
@@ -197,15 +220,15 @@ let gemm ?(acc = false) ~dst a b =
     for i = 0 to m - 1 do
       let abase = i * kdim and dbase = i * n in
       for k = !k0 to khi - 1 do
-        let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
+        let xre = A1.unsafe_get a.re (abase + k) and xim = A1.unsafe_get a.im (abase + k) in
         if xre <> 0. || xim <> 0. then begin
           let bbase = k * n in
           for j = 0 to n - 1 do
-            let bre = Array.unsafe_get b.re (bbase + j) and bim = Array.unsafe_get b.im (bbase + j) in
-            Array.unsafe_set dst.re (dbase + j)
-              (Array.unsafe_get dst.re (dbase + j) +. ((xre *. bre) -. (xim *. bim)));
-            Array.unsafe_set dst.im (dbase + j)
-              (Array.unsafe_get dst.im (dbase + j) +. ((xre *. bim) +. (xim *. bre)))
+            let bre = A1.unsafe_get b.re (bbase + j) and bim = A1.unsafe_get b.im (bbase + j) in
+            A1.unsafe_set dst.re (dbase + j)
+              (A1.unsafe_get dst.re (dbase + j) +. ((xre *. bre) -. (xim *. bim)));
+            A1.unsafe_set dst.im (dbase + j)
+              (A1.unsafe_get dst.im (dbase + j) +. ((xre *. bim) +. (xim *. bre)))
           done
         end
       done
@@ -225,15 +248,15 @@ let gemm_adjoint ?(acc = false) ~dst a b =
       let bbase = j * kdim in
       let accre = ref 0. and accim = ref 0. in
       for k = 0 to kdim - 1 do
-        let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
-        let yre = Array.unsafe_get b.re (bbase + k) and yim = Array.unsafe_get b.im (bbase + k) in
+        let xre = A1.unsafe_get a.re (abase + k) and xim = A1.unsafe_get a.im (abase + k) in
+        let yre = A1.unsafe_get b.re (bbase + k) and yim = A1.unsafe_get b.im (bbase + k) in
         (* x . conj y *)
         accre := !accre +. ((xre *. yre) +. (xim *. yim));
         accim := !accim +. ((xim *. yre) -. (xre *. yim))
       done;
       let d = (i * dst.ncols) + j in
-      Array.unsafe_set dst.re d (Array.unsafe_get dst.re d +. !accre);
-      Array.unsafe_set dst.im d (Array.unsafe_get dst.im d +. !accim)
+      A1.unsafe_set dst.re d (A1.unsafe_get dst.re d +. !accre);
+      A1.unsafe_set dst.im d (A1.unsafe_get dst.im d +. !accim)
     done
   done
 
@@ -247,15 +270,15 @@ let gemm_adjoint_left ?(acc = false) ~dst a b =
   for k = 0 to a.nrows - 1 do
     let abase = k * a.ncols and bbase = k * n in
     for i = 0 to a.ncols - 1 do
-      let xre = Array.unsafe_get a.re (abase + i) and xim = -.Array.unsafe_get a.im (abase + i) in
+      let xre = A1.unsafe_get a.re (abase + i) and xim = -.A1.unsafe_get a.im (abase + i) in
       if xre <> 0. || xim <> 0. then begin
         let dbase = i * n in
         for j = 0 to n - 1 do
-          let bre = Array.unsafe_get b.re (bbase + j) and bim = Array.unsafe_get b.im (bbase + j) in
-          Array.unsafe_set dst.re (dbase + j)
-            (Array.unsafe_get dst.re (dbase + j) +. ((xre *. bre) -. (xim *. bim)));
-          Array.unsafe_set dst.im (dbase + j)
-            (Array.unsafe_get dst.im (dbase + j) +. ((xre *. bim) +. (xim *. bre)))
+          let bre = A1.unsafe_get b.re (bbase + j) and bim = A1.unsafe_get b.im (bbase + j) in
+          A1.unsafe_set dst.re (dbase + j)
+            (A1.unsafe_get dst.re (dbase + j) +. ((xre *. bre) -. (xim *. bim)));
+          A1.unsafe_set dst.im (dbase + j)
+            (A1.unsafe_get dst.im (dbase + j) +. ((xre *. bim) +. (xim *. bre)))
         done
       end
     done
@@ -273,14 +296,14 @@ let gemm_transpose ?(acc = false) ~dst a b =
       let bbase = j * kdim in
       let accre = ref 0. and accim = ref 0. in
       for k = 0 to kdim - 1 do
-        let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
-        let yre = Array.unsafe_get b.re (bbase + k) and yim = Array.unsafe_get b.im (bbase + k) in
+        let xre = A1.unsafe_get a.re (abase + k) and xim = A1.unsafe_get a.im (abase + k) in
+        let yre = A1.unsafe_get b.re (bbase + k) and yim = A1.unsafe_get b.im (bbase + k) in
         accre := !accre +. ((xre *. yre) -. (xim *. yim));
         accim := !accim +. ((xre *. yim) +. (xim *. yre))
       done;
       let d = (i * dst.ncols) + j in
-      Array.unsafe_set dst.re d (Array.unsafe_get dst.re d +. !accre);
-      Array.unsafe_set dst.im d (Array.unsafe_get dst.im d +. !accim)
+      A1.unsafe_set dst.re d (A1.unsafe_get dst.re d +. !accre);
+      A1.unsafe_set dst.im d (A1.unsafe_get dst.im d +. !accim)
     done
   done
 
@@ -297,7 +320,7 @@ let mul_vec a v =
       let accre = ref 0. and accim = ref 0. in
       for j = 0 to a.ncols - 1 do
         let (x : Cx.t) = v.(j) in
-        let are = Array.unsafe_get a.re (base + j) and aim = Array.unsafe_get a.im (base + j) in
+        let are = A1.unsafe_get a.re (base + j) and aim = A1.unsafe_get a.im (base + j) in
         accre := !accre +. ((are *. x.Complex.re) -. (aim *. x.Complex.im));
         accim := !accim +. ((are *. x.Complex.im) +. (aim *. x.Complex.re))
       done;
@@ -307,8 +330,8 @@ let trace m =
   let n = min m.nrows m.ncols in
   let accre = ref 0. and accim = ref 0. in
   for i = 0 to n - 1 do
-    accre := !accre +. m.re.(idx m i i);
-    accim := !accim +. m.im.(idx m i i)
+    accre := !accre +. A1.unsafe_get m.re (idx m i i);
+    accim := !accim +. A1.unsafe_get m.im (idx m i i)
   done;
   Cx.make !accre !accim
 
@@ -320,9 +343,9 @@ let trace_mul a b =
   for i = 0 to a.nrows - 1 do
     let abase = i * a.ncols in
     for k = 0 to a.ncols - 1 do
-      let xre = Array.unsafe_get a.re (abase + k) and xim = Array.unsafe_get a.im (abase + k) in
+      let xre = A1.unsafe_get a.re (abase + k) and xim = A1.unsafe_get a.im (abase + k) in
       let l = (k * b.ncols) + i in
-      let yre = Array.unsafe_get b.re l and yim = Array.unsafe_get b.im l in
+      let yre = A1.unsafe_get b.re l and yim = A1.unsafe_get b.im l in
       accre := !accre +. ((xre *. yre) -. (xim *. yim));
       accim := !accim +. ((xre *. yim) +. (xim *. yre))
     done
@@ -333,7 +356,7 @@ let frobenius_norm m =
   let acc = ref 0. in
   let len = m.nrows * m.ncols in
   for k = 0 to len - 1 do
-    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    let xre = A1.unsafe_get m.re k and xim = A1.unsafe_get m.im k in
     acc := !acc +. (xre *. xre) +. (xim *. xim)
   done;
   sqrt !acc
@@ -343,8 +366,8 @@ let max_abs_diff a b =
   let acc = ref 0. in
   let len = a.nrows * a.ncols in
   for k = 0 to len - 1 do
-    let dre = Array.unsafe_get a.re k -. Array.unsafe_get b.re k
-    and dim = Array.unsafe_get a.im k -. Array.unsafe_get b.im k in
+    let dre = A1.unsafe_get a.re k -. A1.unsafe_get b.re k
+    and dim = A1.unsafe_get a.im k -. A1.unsafe_get b.im k in
     acc := Float.max !acc (sqrt ((dre *. dre) +. (dim *. dim)))
   done;
   !acc
@@ -365,7 +388,7 @@ let row_norm2 m i =
   let base = i * m.ncols in
   let acc = ref 0. in
   for j = 0 to m.ncols - 1 do
-    let xre = Array.unsafe_get m.re (base + j) and xim = Array.unsafe_get m.im (base + j) in
+    let xre = A1.unsafe_get m.re (base + j) and xim = A1.unsafe_get m.im (base + j) in
     acc := !acc +. (xre *. xre) +. (xim *. xim)
   done;
   !acc
@@ -375,7 +398,7 @@ let col_norm2 m j =
   let acc = ref 0. in
   for i = 0 to m.nrows - 1 do
     let k = (i * m.ncols) + j in
-    let xre = Array.unsafe_get m.re k and xim = Array.unsafe_get m.im k in
+    let xre = A1.unsafe_get m.re k and xim = A1.unsafe_get m.im k in
     acc := !acc +. (xre *. xre) +. (xim *. xim)
   done;
   !acc
@@ -386,11 +409,11 @@ let swap_rows m i j =
   if i <> j then begin
     let ibase = i * m.ncols and jbase = j * m.ncols in
     for k = 0 to m.ncols - 1 do
-      let tre = Array.unsafe_get m.re (ibase + k) and tim = Array.unsafe_get m.im (ibase + k) in
-      Array.unsafe_set m.re (ibase + k) (Array.unsafe_get m.re (jbase + k));
-      Array.unsafe_set m.im (ibase + k) (Array.unsafe_get m.im (jbase + k));
-      Array.unsafe_set m.re (jbase + k) tre;
-      Array.unsafe_set m.im (jbase + k) tim
+      let tre = A1.unsafe_get m.re (ibase + k) and tim = A1.unsafe_get m.im (ibase + k) in
+      A1.unsafe_set m.re (ibase + k) (A1.unsafe_get m.re (jbase + k));
+      A1.unsafe_set m.im (ibase + k) (A1.unsafe_get m.im (jbase + k));
+      A1.unsafe_set m.re (jbase + k) tre;
+      A1.unsafe_set m.im (jbase + k) tim
     done
   end
 
@@ -400,11 +423,11 @@ let swap_cols m a b =
   if a <> b then
     for i = 0 to m.nrows - 1 do
       let ka = (i * m.ncols) + a and kb = (i * m.ncols) + b in
-      let tre = Array.unsafe_get m.re ka and tim = Array.unsafe_get m.im ka in
-      Array.unsafe_set m.re ka (Array.unsafe_get m.re kb);
-      Array.unsafe_set m.im ka (Array.unsafe_get m.im kb);
-      Array.unsafe_set m.re kb tre;
-      Array.unsafe_set m.im kb tim
+      let tre = A1.unsafe_get m.re ka and tim = A1.unsafe_get m.im ka in
+      A1.unsafe_set m.re ka (A1.unsafe_get m.re kb);
+      A1.unsafe_set m.im ka (A1.unsafe_get m.im kb);
+      A1.unsafe_set m.re kb tre;
+      A1.unsafe_set m.im kb tim
     done
 
 (* ------------------------------------------------------------------ *)
@@ -419,6 +442,19 @@ let check_perm p n name =
        seen.(x) <- true)
     p
 
+(* Copy row helpers between a plane and an OCaml scratch row — the
+   cycle-following permutation below carries one row through plain
+   float arrays (cheap, GC-tracked, never escapes the call). *)
+let row_to_scratch (p : plane) base (dst : float array) nc =
+  for k = 0 to nc - 1 do
+    Array.unsafe_set dst k (A1.unsafe_get p (base + k))
+  done
+
+let row_from_scratch (src : float array) (p : plane) base nc =
+  for k = 0 to nc - 1 do
+    A1.unsafe_set p (base + k) (Array.unsafe_get src k)
+  done
+
 (* Row i of the result is row p(i) of nothing — rather: the old row i
    ends up at row p(i), matching [Perm.permute_rows]. *)
 let permute_rows_inplace p m =
@@ -429,25 +465,25 @@ let permute_rows_inplace p m =
   for s = 0 to m.nrows - 1 do
     if (not visited.(s)) && p.(s) <> s then begin
       (* Carry old row s around its cycle, swapping through the buffer. *)
-      Array.blit m.re (s * nc) tre 0 nc;
-      Array.blit m.im (s * nc) tim 0 nc;
+      row_to_scratch m.re (s * nc) tre nc;
+      row_to_scratch m.im (s * nc) tim nc;
       visited.(s) <- true;
       let j = ref p.(s) in
       while !j <> s do
         (* Buffer holds the old row destined for row !j. *)
         for k = 0 to nc - 1 do
           let base = (!j * nc) + k in
-          let rre = Array.unsafe_get m.re base and rim = Array.unsafe_get m.im base in
-          Array.unsafe_set m.re base (Array.unsafe_get tre k);
-          Array.unsafe_set m.im base (Array.unsafe_get tim k);
+          let rre = A1.unsafe_get m.re base and rim = A1.unsafe_get m.im base in
+          A1.unsafe_set m.re base (Array.unsafe_get tre k);
+          A1.unsafe_set m.im base (Array.unsafe_get tim k);
           Array.unsafe_set tre k rre;
           Array.unsafe_set tim k rim
         done;
         visited.(!j) <- true;
         j := p.(!j)
       done;
-      Array.blit tre 0 m.re (s * nc) nc;
-      Array.blit tim 0 m.im (s * nc) nc
+      row_from_scratch tre m.re (s * nc) nc;
+      row_from_scratch tim m.im (s * nc) nc
     end
   done
 
@@ -461,21 +497,21 @@ let permute_cols_inplace p m =
     let base = r * nc in
     for s = 0 to nc - 1 do
       if (not visited.(s)) && p.(s) <> s then begin
-        let tre = ref (Array.unsafe_get m.re (base + s))
-        and tim = ref (Array.unsafe_get m.im (base + s)) in
+        let tre = ref (A1.unsafe_get m.re (base + s))
+        and tim = ref (A1.unsafe_get m.im (base + s)) in
         visited.(s) <- true;
         let j = ref p.(s) in
         while !j <> s do
-          let rre = Array.unsafe_get m.re (base + !j) and rim = Array.unsafe_get m.im (base + !j) in
-          Array.unsafe_set m.re (base + !j) !tre;
-          Array.unsafe_set m.im (base + !j) !tim;
+          let rre = A1.unsafe_get m.re (base + !j) and rim = A1.unsafe_get m.im (base + !j) in
+          A1.unsafe_set m.re (base + !j) !tre;
+          A1.unsafe_set m.im (base + !j) !tim;
           tre := rre;
           tim := rim;
           visited.(!j) <- true;
           j := p.(!j)
         done;
-        Array.unsafe_set m.re (base + s) !tre;
-        Array.unsafe_set m.im (base + s) !tim
+        A1.unsafe_set m.re (base + s) !tre;
+        A1.unsafe_set m.im (base + s) !tim
       end
     done
   done
@@ -489,8 +525,8 @@ let unitary_fidelity u_app u =
   let tre = ref 0. and tim = ref 0. in
   let len = u.nrows * u.ncols in
   for k = 0 to len - 1 do
-    let are = Array.unsafe_get u_app.re k and aim = Array.unsafe_get u_app.im k in
-    let bre = Array.unsafe_get u.re k and bim = Array.unsafe_get u.im k in
+    let are = A1.unsafe_get u_app.re k and aim = A1.unsafe_get u_app.im k in
+    let bre = A1.unsafe_get u.re k and bim = A1.unsafe_get u.im k in
     tre := !tre +. ((are *. bre) +. (aim *. bim));
     tim := !tim +. ((aim *. bre) -. (are *. bim))
   done;
@@ -521,10 +557,21 @@ let rot_params_sane c s ere eim =
    halves their cost vs. ocamlopt's scalar output. [rot_pre] applies
    e^{iφ} to the m plane before the real rotation, [rot_post] after;
    together with a φ sign flip they cover all four kernels. Arguments:
-   re im count offset_m offset_n stride c s ere eim. *)
-external rot_pre :
-  float array ->
-  float array ->
+   re im count offset_m offset_n stride c s ere eim.
+
+   Each body has two lock disciplines. The [_fast] stubs are
+   [@@noalloc] and never touch the runtime — right for the sub-µs
+   kernels that dominate small-N compiles. Above [blocking_threshold]
+   elements, dispatch switches to the [_blk] stubs, which release the
+   OCaml runtime lock for the duration of the loop: Bigarray planes
+   are off-heap, so the GC is free to run (and pool domains free to
+   collect minor heaps) while a long strided rotation streams memory.
+   The threshold matches the paper's N≥128 tier, where a column
+   rotation walks ≥128 cache lines and the release/acquire pair
+   (~100ns) vanishes in the kernel time. *)
+external rot_pre_fast :
+  plane ->
+  plane ->
   (int[@untagged]) ->
   (int[@untagged]) ->
   (int[@untagged]) ->
@@ -536,9 +583,9 @@ external rot_pre :
   unit = "bose_rot_pre_byte" "bose_rot_pre_nat"
 [@@noalloc]
 
-external rot_post :
-  float array ->
-  float array ->
+external rot_post_fast :
+  plane ->
+  plane ->
   (int[@untagged]) ->
   (int[@untagged]) ->
   (int[@untagged]) ->
@@ -549,6 +596,53 @@ external rot_post :
   (float[@unboxed]) ->
   unit = "bose_rot_post_byte" "bose_rot_post_nat"
 [@@noalloc]
+
+(* The blocking stubs release/reacquire the runtime lock, so they must
+   NOT be [@@noalloc] — the reacquire may run pending actions. *)
+external rot_pre_blk :
+  plane ->
+  plane ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  unit = "bose_rot_pre_blk_byte" "bose_rot_pre_blk_nat"
+
+external rot_post_blk :
+  plane ->
+  plane ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (int[@untagged]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  (float[@unboxed]) ->
+  unit = "bose_rot_post_blk_byte" "bose_rot_post_blk_nat"
+
+let blocking_threshold = 128
+
+let lock_release_count = Atomic.make 0
+let lock_releases () = Atomic.get lock_release_count
+
+let rot_pre re im count km kn stride c s ere eim =
+  if count >= blocking_threshold then begin
+    Atomic.incr lock_release_count;
+    rot_pre_blk re im count km kn stride c s ere eim
+  end
+  else rot_pre_fast re im count km kn stride c s ere eim
+
+let rot_post re im count km kn stride c s ere eim =
+  if count >= blocking_threshold then begin
+    Atomic.incr lock_release_count;
+    rot_post_blk re im count km kn stride c s ere eim
+  end
+  else rot_post_fast re im count km kn stride c s ere eim
 
 (* u <- u.T†: for each row r,
    u(r,m)' = u(r,m).e^{-i phi} cos theta − u(r,n).sin theta
@@ -615,6 +709,92 @@ let rot_rows_t_dagger u ~m ~n ~theta ~phi =
   rot_rows_t_dagger_cs u ~m ~n ~c:(cos theta) ~s:(sin theta) ~ere:(cos phi) ~eim:(sin phi)
 
 (* ------------------------------------------------------------------ *)
+(* Binary plane codec. The serialized form of a matrix's payload is
+   the two planes, row-major, little-endian IEEE-754 doubles, re plane
+   then im plane — [Plan]/[Unitary] wrap this in their headers and the
+   FNV-1a trailer (docs/SERVING.md, object layout v2). Three access
+   paths share the format: Buffer append on encode, string reads on
+   the plain decode, and a per-plane memcpy out of an mmapped cache
+   object on the zero-copy decode. *)
+
+type bigbytes = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) A1.t
+
+external ba_blit_to_plane : bigbytes -> int -> plane -> int -> int -> unit
+  = "bose_ba_blit_to_plane"
+[@@noalloc]
+
+external ba_fnv1a64 : bigbytes -> int -> int -> int64 = "bose_ba_fnv1a64"
+
+let plane_bytes m = 8 * m.nrows * m.ncols
+
+let encode_planes buf m =
+  let len = m.nrows * m.ncols in
+  for k = 0 to len - 1 do
+    Buffer.add_int64_le buf (Int64.bits_of_float (A1.unsafe_get m.re k))
+  done;
+  for k = 0 to len - 1 do
+    Buffer.add_int64_le buf (Int64.bits_of_float (A1.unsafe_get m.im k))
+  done
+
+let decode_planes_string ~rows ~cols s ~pos =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.decode_planes_string: negative dimension";
+  let len = rows * cols in
+  if pos < 0 || pos + (16 * len) > String.length s then
+    invalid_arg "Mat.decode_planes_string: range out of bounds";
+  let m = create rows cols in
+  for k = 0 to len - 1 do
+    A1.unsafe_set m.re k (Int64.float_of_bits (String.get_int64_le s (pos + (8 * k))))
+  done;
+  let ibase = pos + (8 * len) in
+  for k = 0 to len - 1 do
+    A1.unsafe_set m.im k (Int64.float_of_bits (String.get_int64_le s (ibase + (8 * k))))
+  done;
+  m
+
+let decode_planes_bigbytes ~rows ~cols ba ~pos =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.decode_planes_bigbytes: negative dimension";
+  let len = rows * cols in
+  if pos < 0 || pos + (16 * len) > A1.dim ba then
+    invalid_arg "Mat.decode_planes_bigbytes: range out of bounds";
+  let m = create rows cols in
+  if Sys.big_endian then begin
+    (* Portable fallback: assemble each little-endian double by hand.
+       Only ever taken on big-endian hosts, where the memcpy below
+       would reinterpret the bytes wrongly. *)
+    let read_f64 off =
+      let v = ref 0L in
+      for b = 7 downto 0 do
+        v := Int64.logor (Int64.shift_left !v 8)
+               (Int64.of_int (Char.code (A1.unsafe_get ba (off + b))))
+      done;
+      Int64.float_of_bits !v
+    in
+    for k = 0 to len - 1 do
+      A1.unsafe_set m.re k (read_f64 (pos + (8 * k)));
+      A1.unsafe_set m.im k (read_f64 (pos + (8 * (len + k))))
+    done
+  end
+  else begin
+    ba_blit_to_plane ba pos m.re 0 len;
+    ba_blit_to_plane ba (pos + (8 * len)) m.im 0 len
+  end;
+  m
+
+let bigbytes_sub_string ba ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > A1.dim ba then
+    invalid_arg "Mat.bigbytes_sub_string: range out of bounds";
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (A1.unsafe_get ba (pos + i))
+  done;
+  Bytes.unsafe_to_string b
+
+let fnv1a64_bigbytes ba ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > A1.dim ba then
+    invalid_arg "Mat.fnv1a64_bigbytes: range out of bounds";
+  ba_fnv1a64 ba pos len
+
+(* ------------------------------------------------------------------ *)
 (* Views: submatrices as index sets, no storage copied.               *)
 
 module View = struct
@@ -646,10 +826,10 @@ let of_view v =
   init (View.rows v) (View.cols v) (fun i j -> View.get v i j)
 
 (* Two views alias iff they read the same storage: same parent planes
-   (physical equality — every constructor allocates fresh arrays, so
-   plane identity is buffer identity) and at least one shared row index
-   and one shared column index. Index sets are small and may repeat
-   entries, so membership goes through a per-dimension occupancy
+   (physical equality — every constructor allocates a fresh Bigarray,
+   so plane identity is buffer identity) and at least one shared row
+   index and one shared column index. Index sets are small and may
+   repeat entries, so membership goes through a per-dimension occupancy
    bitmap rather than sorting. *)
 let index_sets_intersect n a b =
   let seen = Array.make (max n 1) false in

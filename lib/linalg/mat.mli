@@ -2,10 +2,14 @@
 
     The high-level representation of a linear interferometer is an N×N
     unitary (paper §II-B); every Bosehedral pass manipulates values of
-    this type. Storage is a single contiguous row-major float plane per
-    component (real/imaginary) behind this abstract type — no other
-    module may assume the layout. Functions are documented as pure
-    unless their name says otherwise.
+    this type. Storage is a single contiguous row-major off-heap
+    [Bigarray] plane per component (real/imaginary) behind this
+    abstract type — no other module may assume the layout. Off-heap
+    planes give the C kernels stable data pointers (no GC interaction),
+    which is what lets large kernels release the OCaml runtime lock
+    (see {!blocking_threshold}) and the binary artifact codec blit
+    planes straight out of mmapped cache objects. Functions are
+    documented as pure unless their name says otherwise.
 
     Beyond the constructors and elementwise operations, the module is a
     kernel layer: in-place Givens rotations ([rot_*]), BLAS-style
@@ -267,5 +271,60 @@ val allocations : unit -> int
     denominator of the compile-time allocation gauges
     (docs/METRICS.md). Monotone; sample a delta around a region to
     count its allocations. *)
+
+val bytes_offheap : unit -> int
+(** Cumulative bytes of off-heap plane storage allocated since program
+    start (16 bytes per element: two float64 planes). The off-heap twin
+    of the GC-words allocation gauges; feeds [mat.bytes_offheap]
+    (docs/METRICS.md). Monotone — sample a delta around a region. *)
+
+val blocking_threshold : int
+(** Element count at and above which the in-place rotation kernels
+    dispatch to their runtime-lock-releasing C variants, letting pool
+    domains overlap compute and GC during long kernels. Below it the
+    plain [@@noalloc] fast path keeps kernel entry at ~a C call. *)
+
+val lock_releases : unit -> int
+(** Number of kernel invocations that released the OCaml runtime lock
+    (count ≥ {!blocking_threshold}). Feeds [mat.lock_releases]
+    (docs/METRICS.md). Monotone. *)
+
+(** {1 Binary plane codec}
+
+    The payload layout shared by the v2 binary artifact formats
+    (docs/SERVING.md): both planes row-major as little-endian IEEE-754
+    doubles, the full real plane followed by the full imaginary plane.
+    [Plan]/[Unitary] wrap this in their magic/version headers and
+    FNV-1a checksum trailers; the disk cache decodes it either from a
+    string read or zero-copy from an mmapped object file. *)
+
+type bigbytes = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** A raw byte buffer — in practice an mmapped cache object file. *)
+
+val plane_bytes : t -> int
+(** Encoded payload size: [16 · rows · cols] bytes. *)
+
+val encode_planes : Buffer.t -> t -> unit
+(** Append the two planes to [buf] in the codec layout. *)
+
+val decode_planes_string : rows:int -> cols:int -> string -> pos:int -> t
+(** Decode a fresh matrix from the codec layout starting at [pos].
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val decode_planes_bigbytes : rows:int -> cols:int -> bigbytes -> pos:int -> t
+(** {!decode_planes_string} over a mapped buffer — one [memcpy] per
+    plane on little-endian hosts (a portable per-element fallback runs
+    on big-endian ones), no intermediate string.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val bigbytes_sub_string : bigbytes -> pos:int -> len:int -> string
+(** Copy a slice of a mapped buffer out as a string — for the small
+    header/trailer regions around the plane payloads.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val fnv1a64_bigbytes : bigbytes -> pos:int -> len:int -> int64
+(** FNV-1a 64 over a buffer slice, agreeing with [Bose_util.Fnv] — the
+    checksum validation primitive of the mmap read path.
+    @raise Invalid_argument when the range is out of bounds. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,11 +1,12 @@
-/* Flat split-plane Givens rotation kernels.
+/* Flat split-plane Givens rotation kernels over Bigarray storage.
  *
- * An OCaml [float array] is a Double_array_tag block, so casting the
- * value to [double *] addresses its elements directly.  All index and
- * shape validation happens on the OCaml side (Mat.rot_*); these entry
- * points assume in-bounds, distinct m/n.  They are [@@noalloc]: no
- * OCaml allocation, no callbacks, so the GC cannot move the arrays
- * mid-call.
+ * Mat's two float planes are float64/c_layout Bigarray.Array1 values,
+ * so Caml_ba_data_val gives a stable off-heap [double *] with no GC
+ * interaction: the data never moves, which is what makes the blocking
+ * entry points below safe — they drop the OCaml runtime lock around
+ * the loop so pool domains overlap compute during large (N >= 128)
+ * kernels.  All index and shape validation happens on the OCaml side
+ * (Mat.rot_*); these entry points assume in-bounds, distinct m/n.
  *
  * Two shapes cover the four Mat kernels:
  *   pre  — the phase e^{iφ} multiplies plane m *before* the real
@@ -16,11 +17,24 @@
  * contiguous runs, which the compiler vectorizes) and a strided
  * variant (column rotations: stride = ncols).
  *
+ * Each shape also comes in two lock disciplines:
+ *   plain (…_nat)      — [@@noalloc], never touches the runtime; the
+ *                        small-kernel fast path (entry cost ~a C call);
+ *   blocking (…_blk_*) — caml_release_runtime_system around the loop;
+ *                        Mat dispatches here above its size threshold.
+ * A blocking stub must read every OCaml value (the two Bigarray data
+ * pointers) *before* releasing the lock and must not touch the OCaml
+ * heap until it reacquires — the loop only ever sees raw doubles.
+ *
  * The restrict qualifiers are justified by the OCaml-side m <> n
  * check: the m-run and n-run never overlap.
  */
 
+#include <string.h>
 #include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/bigarray.h>
+#include <caml/threads.h>
 
 static void rot_pre(double *restrict rm, double *restrict qm,
                     double *restrict rn, double *restrict qn,
@@ -60,7 +74,8 @@ CAMLprim value bose_rot_pre_nat(value vre, value vim, intnat count,
                                 intnat km, intnat kn, intnat stride,
                                 double c, double s, double ere, double eim)
 {
-  double *re = (double *)vre, *im = (double *)vim;
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
   if (stride == 1)
     rot_pre(re + km, im + km, re + kn, im + kn, count, 1, c, s, ere, eim);
   else
@@ -72,11 +87,42 @@ CAMLprim value bose_rot_post_nat(value vre, value vim, intnat count,
                                  intnat km, intnat kn, intnat stride,
                                  double c, double s, double ere, double eim)
 {
-  double *re = (double *)vre, *im = (double *)vim;
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
   if (stride == 1)
     rot_post(re + km, im + km, re + kn, im + kn, count, 1, c, s, ere, eim);
   else
     rot_post(re + km, im + km, re + kn, im + kn, count, stride, c, s, ere, eim);
+  return Val_unit;
+}
+
+CAMLprim value bose_rot_pre_blk_nat(value vre, value vim, intnat count,
+                                    intnat km, intnat kn, intnat stride,
+                                    double c, double s, double ere, double eim)
+{
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
+  caml_release_runtime_system();
+  if (stride == 1)
+    rot_pre(re + km, im + km, re + kn, im + kn, count, 1, c, s, ere, eim);
+  else
+    rot_pre(re + km, im + km, re + kn, im + kn, count, stride, c, s, ere, eim);
+  caml_acquire_runtime_system();
+  return Val_unit;
+}
+
+CAMLprim value bose_rot_post_blk_nat(value vre, value vim, intnat count,
+                                     intnat km, intnat kn, intnat stride,
+                                     double c, double s, double ere, double eim)
+{
+  double *re = (double *)Caml_ba_data_val(vre);
+  double *im = (double *)Caml_ba_data_val(vim);
+  caml_release_runtime_system();
+  if (stride == 1)
+    rot_post(re + km, im + km, re + kn, im + kn, count, 1, c, s, ere, eim);
+  else
+    rot_post(re + km, im + km, re + kn, im + kn, count, stride, c, s, ere, eim);
+  caml_acquire_runtime_system();
   return Val_unit;
 }
 
@@ -98,4 +144,52 @@ CAMLprim value bose_rot_post_byte(value *argv, int argn)
                            Long_val(argv[5]), Double_val(argv[6]),
                            Double_val(argv[7]), Double_val(argv[8]),
                            Double_val(argv[9]));
+}
+
+CAMLprim value bose_rot_pre_blk_byte(value *argv, int argn)
+{
+  (void)argn;
+  return bose_rot_pre_blk_nat(argv[0], argv[1], Long_val(argv[2]),
+                              Long_val(argv[3]), Long_val(argv[4]),
+                              Long_val(argv[5]), Double_val(argv[6]),
+                              Double_val(argv[7]), Double_val(argv[8]),
+                              Double_val(argv[9]));
+}
+
+CAMLprim value bose_rot_post_blk_byte(value *argv, int argn)
+{
+  (void)argn;
+  return bose_rot_post_blk_nat(argv[0], argv[1], Long_val(argv[2]),
+                               Long_val(argv[3]), Long_val(argv[4]),
+                               Long_val(argv[5]), Double_val(argv[6]),
+                               Double_val(argv[7]), Double_val(argv[8]),
+                               Double_val(argv[9]));
+}
+
+/* ------------------------------------------------------------------ */
+/* Binary-artifact helpers over mmapped byte buffers (char Bigarrays).
+ * The disk cache maps object files and decodes the float planes with
+ * one memcpy per plane (memcpy handles the file's arbitrary alignment)
+ * instead of allocating and parsing an intermediate string.  Little-
+ * endian hosts only; Mat gates the callers on Sys.big_endian.         */
+
+CAMLprim value bose_ba_blit_to_plane(value vsrc, value vsrcoff, value vdst,
+                                     value vdstoff, value vcount)
+{
+  const char *src = (const char *)Caml_ba_data_val(vsrc) + Long_val(vsrcoff);
+  double *dst = (double *)Caml_ba_data_val(vdst) + Long_val(vdstoff);
+  memcpy(dst, src, (size_t)Long_val(vcount) * sizeof(double));
+  return Val_unit;
+}
+
+/* FNV-1a 64 over a mapped buffer slice; must agree with Bose_util.Fnv. */
+CAMLprim value bose_ba_fnv1a64(value vba, value voff, value vlen)
+{
+  const unsigned char *p =
+    (const unsigned char *)Caml_ba_data_val(vba) + Long_val(voff);
+  intnat len = Long_val(vlen);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (intnat i = 0; i < len; i++)
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  return caml_copy_int64((int64_t)h);
 }

@@ -1,5 +1,6 @@
 open Cx
 module Rng = Bose_util.Rng
+module Fnv = Bose_util.Fnv
 
 (* Householder QR. For column k, build v = x + e^{i·arg x₀}‖x‖·e₀ and
    reflect the trailing block of r and the trailing columns of q. *)
@@ -126,17 +127,105 @@ let parse_lines line =
 let load_result ic =
   parse_lines (fun () -> try Some (input_line ic) with End_of_file -> None)
 
-let of_string s =
-  let pos = ref 0 in
+(* Binary artifact format v2 (docs/SERVING.md). Fixed little-endian
+   layout so the disk cache can decode an mmapped object without
+   parsing:
+     bytes 0..3   magic "BHBU"
+     byte  4      format version (0x02)
+     bytes 5..7   zero padding
+     bytes 8..11  n  (u32 LE)
+     bytes 12..15 zero padding (plane payload starts 16-byte aligned
+                  in the serialized stream)
+     bytes 16..   the two planes (Mat's binary plane codec)
+     last 8       FNV-1a 64 over all preceding bytes (u64 LE)
+   Text artifacts keep their "unitary" first line, so one byte of
+   lookahead distinguishes the formats — [of_string] dispatches on the
+   magic, and old cache objects keep loading. *)
+let binary_magic = "BHBU"
+let binary_format_version = 2
+let binary_header_bytes = 16
+let max_binary_dim = 1 lsl 20
+
+let binary_size n = binary_header_bytes + (16 * n * n) + 8
+
+let to_binary_string m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Unitary.to_binary_string: square matrices only";
+  let buf = Buffer.create (binary_size n) in
+  Buffer.add_string buf binary_magic;
+  Buffer.add_uint8 buf binary_format_version;
+  Buffer.add_string buf "\000\000\000";
+  Buffer.add_int32_le buf (Int32.of_int n);
+  Buffer.add_int32_le buf 0l;
+  Mat.encode_planes buf m;
+  Buffer.add_int64_le buf (Fnv.string Fnv.seed (Buffer.contents buf));
+  Buffer.contents buf
+
+let has_binary_magic s =
+  String.length s >= 4 && String.sub s 0 4 = binary_magic
+
+(* Binary parse errors report line 0 — there are no lines to point at,
+   and 0 cannot collide with a 1-based text line number. *)
+let check_binary_header ~version ~n ~len =
+  if version <> binary_format_version then
+    Error (Printf.sprintf "binary unitary: unsupported version %d" version, 0)
+  else if n <= 0 || n > max_binary_dim then Error ("binary unitary: bad header values", 0)
+  else if len <> binary_size n then Error ("binary unitary: size mismatch", 0)
+  else Ok ()
+
+let of_binary_string s =
   let len = String.length s in
-  parse_lines (fun () ->
-      if !pos >= len then None
-      else begin
-        let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> len in
-        let l = String.sub s !pos (stop - !pos) in
-        pos := stop + 1;
-        Some l
-      end)
+  if len < binary_header_bytes + 8 then Error ("binary unitary: truncated", 0)
+  else begin
+    let version = Char.code s.[4] in
+    let n = Int32.to_int (String.get_int32_le s 8) in
+    match check_binary_header ~version ~n ~len with
+    | Error _ as e -> e
+    | Ok () ->
+      let body = len - 8 in
+      if String.get_int64_le s body <> Fnv.substring Fnv.seed s ~pos:0 ~len:body then
+        Error ("binary unitary: checksum mismatch", 0)
+      else Ok (Mat.decode_planes_string ~rows:n ~cols:n s ~pos:binary_header_bytes)
+  end
+
+let of_bigbytes ba ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bigarray.Array1.dim ba then
+    invalid_arg "Unitary.of_bigbytes: range out of bounds";
+  if len < binary_header_bytes + 8 then Error ("binary unitary: truncated", 0)
+  else begin
+    let header = Mat.bigbytes_sub_string ba ~pos ~len:binary_header_bytes in
+    if String.sub header 0 4 <> binary_magic then Error ("binary unitary: bad magic", 0)
+    else begin
+      let version = Char.code header.[4] in
+      let n = Int32.to_int (String.get_int32_le header 8) in
+      match check_binary_header ~version ~n ~len with
+      | Error _ as e -> e
+      | Ok () ->
+        let body = len - 8 in
+        let stored =
+          String.get_int64_le (Mat.bigbytes_sub_string ba ~pos:(pos + body) ~len:8) 0
+        in
+        if stored <> Mat.fnv1a64_bigbytes ba ~pos ~len:body then
+          Error ("binary unitary: checksum mismatch", 0)
+        else
+          Ok (Mat.decode_planes_bigbytes ~rows:n ~cols:n ba ~pos:(pos + binary_header_bytes))
+    end
+  end
+
+let of_string s =
+  if has_binary_magic s then of_binary_string s
+  else begin
+    let pos = ref 0 in
+    let len = String.length s in
+    parse_lines (fun () ->
+        if !pos >= len then None
+        else begin
+          let stop = match String.index_from_opt s !pos '\n' with Some i -> i | None -> len in
+          let l = String.sub s !pos (stop - !pos) in
+          pos := stop + 1;
+          Some l
+        end)
+  end
 
 let load ic =
   match load_result ic with

@@ -32,7 +32,26 @@ val load_result : in_channel -> (Mat.t, string * int) result
     instead of an exception. *)
 
 val of_string : string -> (Mat.t, string * int) result
-(** {!load_result} over an in-memory string. *)
+(** {!load_result} over an in-memory string, dispatching on the leading
+    bytes: strings opening with the binary magic ["BHBU"] parse as the
+    v2 binary format (docs/SERVING.md), anything else as the text
+    format — so callers load old and new artifacts through one entry
+    point. Binary parse errors report line [0]. *)
+
+val to_binary_string : Mat.t -> string
+(** The v2 binary artifact encoding: magic ["BHBU"], format version,
+    dimension, the two raw little-endian float planes, and a trailing
+    FNV-1a 64 checksum. Bit-exact round-trip through {!of_string}, and
+    ~an order of magnitude faster to load than the text format (no
+    hex-float parsing — the disk cache's preferred encoding).
+    @raise Invalid_argument on non-square input. *)
+
+val of_bigbytes : Mat.bigbytes -> pos:int -> len:int -> (Mat.t, string * int) result
+(** Decode a v2 binary artifact in place from [len] bytes at [pos] of a
+    mapped buffer — checksum validated and planes blitted straight out
+    of the mapping, no intermediate string. Same error convention as
+    {!of_string}. @raise Invalid_argument when the range is out of
+    bounds of the buffer itself. *)
 
 val load : in_channel -> Mat.t
 (** {!load_result} shim. @raise Failure on malformed input. *)

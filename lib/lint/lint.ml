@@ -610,6 +610,12 @@ let check_cache_dir dir =
          Diag.warning ~code:"BH1205"
            ~hint:"usually a stale index after an external edit; reopening the cache \
                   re-measures every object"
+           (msg issue)
+       | D.Version_mismatch _ ->
+         Diag.error ~code:"BH1206"
+           ~hint:"the object was written by a binary with a newer container format; \
+                  upgrade this binary to read it, or delete the file to recompile \
+                  (the serve daemon quarantines it on first read)"
            (msg issue))
     (D.audit dir)
 
@@ -689,7 +695,7 @@ let passes =
     };
     {
       name = "diskcache";
-      codes = [ "BH1201"; "BH1202"; "BH1203"; "BH1204"; "BH1205" ];
+      codes = [ "BH1201"; "BH1202"; "BH1203"; "BH1204"; "BH1205"; "BH1206" ];
       doc = "on-disk artifact-cache integrity: index, object framing, orphans";
       run = (fun s -> on_opt check_cache_dir s.cache_dir);
     };

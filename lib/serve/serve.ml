@@ -25,6 +25,7 @@ let g_bytes = Obs.Gauge.make "serve.cache.bytes"
 let g_entries = Obs.Gauge.make "serve.cache.entries"
 let g_evictions = Obs.Gauge.make "serve.cache.evictions"
 let g_quarantined = Obs.Gauge.make "serve.cache.quarantined"
+let g_mmap_hits = Obs.Gauge.make "store.mmap_hits"
 
 let h_batch_s =
   Obs.Histo.make "serve.batch_s" ~bounds:[| 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
@@ -229,11 +230,19 @@ let parse_meta meta =
       (Scanf.sscanf meta "fidelity=%h rotations=%d modes=%d" (fun f r m -> (f, r, m)))
   with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
-let compile_result ~cached ~key ~fidelity ~rotations ~modes ~plan ~unitary =
+(* The [format] field reports the artifact encoding backing the reply:
+   a disk hit echoes the stored object's encoding ("binary"/"text"); a
+   compile reports what the write-through will store — "binary" with a
+   disk cache attached, "none" without one. The plan/unitary payload
+   fields themselves are always the text renderings (JSON strings carry
+   no raw bytes); text round-trips are bit-exact, so the payload is
+   identical whichever encoding backs it. *)
+let compile_result ~cached ~format ~key ~fidelity ~rotations ~modes ~plan ~unitary =
   Json.Obj
     [
       ("key", Json.Str key);
       ("cached", Json.Str cached);
+      ("format", Json.Str format);
       ("modes", Json.Num (float_of_int modes));
       ("rotations", Json.Num (float_of_int rotations));
       ("fidelity", Json.Num fidelity);
@@ -241,9 +250,22 @@ let compile_result ~cached ~key ~fidelity ~rotations ~modes ~plan ~unitary =
       ("unitary", Json.Str unitary);
     ]
 
+(* Everything the reply and the disk write-through need from one
+   compile: the typed artifacts for the (binary) store, the text
+   renderings for the reply. *)
+type compile_out = {
+  co_mem_hit : bool;
+  co_fidelity : float;
+  co_rotations : int;
+  co_modes : int;
+  co_plan : Plan.t;
+  co_unitary : Mat.t;
+  co_plan_str : string;
+  co_unitary_str : string;
+}
+
 (* Run one compile. [use_mem_cache] is false on pool domains: both
-   caches are owner-domain state. Returns everything the reply and the
-   disk write-through need. *)
+   caches are owner-domain state. *)
 let do_compile t ~use_mem_cache (req : compile_req) =
   let rng = Rng.create req.seed in
   let device = Lattice.create ~rows:req.rows ~cols:req.cols in
@@ -254,12 +276,18 @@ let do_compile t ~use_mem_cache (req : compile_req) =
   in
   let executed = c.Compiler.trace.Bose_lint.Lint.executed in
   let mem_hit = executed <> [] && List.for_all snd executed in
-  let plan = Plan.to_string c.Compiler.plan in
-  let unitary = Unitary.to_string c.Compiler.mapping.Mapping.permuted in
-  let fidelity = Compiler.predicted_fidelity c in
-  let rotations = Plan.rotation_count c.Compiler.plan in
-  let modes = c.Compiler.plan.Plan.modes in
-  (mem_hit, fidelity, rotations, modes, plan, unitary)
+  let plan = c.Compiler.plan in
+  let unitary = c.Compiler.mapping.Mapping.permuted in
+  {
+    co_mem_hit = mem_hit;
+    co_fidelity = Compiler.predicted_fidelity c;
+    co_rotations = Plan.rotation_count plan;
+    co_modes = plan.Plan.modes;
+    co_plan = plan;
+    co_unitary = unitary;
+    co_plan_str = Plan.to_string plan;
+    co_unitary_str = Unitary.to_string unitary;
+  }
 
 let refresh_cache_gauges t =
   match t.disk with
@@ -269,7 +297,8 @@ let refresh_cache_gauges t =
     Obs.Gauge.set g_bytes (float_of_int s.Diskcache.bytes);
     Obs.Gauge.set g_entries (float_of_int s.Diskcache.entries);
     Obs.Gauge.set g_evictions (float_of_int s.Diskcache.evictions);
-    Obs.Gauge.set g_quarantined (float_of_int s.Diskcache.quarantined)
+    Obs.Gauge.set g_quarantined (float_of_int s.Diskcache.quarantined);
+    Obs.Gauge.set g_mmap_hits (float_of_int s.Diskcache.mmap_hits)
 
 let refresh_hit_rate t =
   let total = t.disk_hits + t.mem_hits + t.misses in
@@ -292,18 +321,25 @@ let count_compile t = function
 let finish_compile t id (req : compile_req) outcome =
   match outcome with
   | Error msg -> reply_error t id "internal" msg
-  | Ok (mem_hit, fidelity, rotations, modes, plan, unitary) ->
+  | Ok o ->
     Option.iter
       (fun d ->
          Diskcache.store d ~key:req.key
-           ~meta:(meta_line ~fidelity ~rotations ~modes)
-           ~plan ~unitary)
+           ~meta:
+             (meta_line ~fidelity:o.co_fidelity ~rotations:o.co_rotations
+                ~modes:o.co_modes)
+           ~plan:o.co_plan ~unitary:o.co_unitary)
       t.disk;
-    count_compile t (if mem_hit then `Mem else `Miss);
+    count_compile t (if o.co_mem_hit then `Mem else `Miss);
     reply_ok id
       (compile_result
-         ~cached:(if mem_hit then "mem" else "none")
-         ~key:req.key ~fidelity ~rotations ~modes ~plan ~unitary)
+         ~cached:(if o.co_mem_hit then "mem" else "none")
+         ~format:
+           (match t.disk with
+            | Some _ -> Diskcache.format_to_string Diskcache.Binary
+            | None -> "none")
+         ~key:req.key ~fidelity:o.co_fidelity ~rotations:o.co_rotations
+         ~modes:o.co_modes ~plan:o.co_plan_str ~unitary:o.co_unitary_str)
 
 let do_sample t (req : sample_req) =
   let rng = Rng.create req.s_seed in
@@ -345,6 +381,7 @@ let stats_result t =
           ("evictions", Json.Num (float_of_int s.Diskcache.evictions));
           ("quarantined", Json.Num (float_of_int s.Diskcache.quarantined));
           ("max_bytes", Json.Num (float_of_int s.Diskcache.max_bytes));
+          ("mmap_hits", Json.Num (float_of_int s.Diskcache.mmap_hits));
         ]
   in
   Json.Obj
@@ -399,14 +436,17 @@ let handle_many t lines =
             with e -> reply_error t id "internal" (Printexc.to_string e))
        | Ok (Compile req) ->
          (match Option.map (fun d -> Diskcache.find d req.key) t.disk with
-          | Some (Some (meta, plan, unitary)) ->
-            (match parse_meta meta with
+          | Some (Some hit) ->
+            (match parse_meta hit.Diskcache.meta with
              | Some (fidelity, rotations, modes) ->
                count_compile t `Disk;
                replies.(i) <-
                  reply_ok id
-                   (compile_result ~cached:"disk" ~key:req.key ~fidelity ~rotations
-                      ~modes ~plan ~unitary)
+                   (compile_result ~cached:"disk"
+                      ~format:(Diskcache.format_to_string hit.Diskcache.format)
+                      ~key:req.key ~fidelity ~rotations ~modes
+                      ~plan:(Plan.to_string hit.Diskcache.plan)
+                      ~unitary:(Unitary.to_string hit.Diskcache.unitary))
              | None ->
                (* Readable object, unreadable meta: recompile and let
                   the write-through repair the entry. *)

@@ -2,9 +2,18 @@ module Plan = Bose_decomp.Plan
 module Mat = Bose_linalg.Mat
 module Unitary = Bose_linalg.Unitary
 
-let object_magic = "bosec-object 1"
+(* Container versions. v1 objects (the PR 6 format) carry text artifacts
+   and no format line; v2 adds the format line and allows the binary
+   artifact encodings. The store writes v2 and reads both — a directory
+   written by an old binary keeps serving hits after an upgrade. *)
+let object_magic_prefix = "bosec-object "
+let object_magic_v2 = "bosec-object 2"
 let index_magic = "bosec-cache-index 1"
 let ( // ) = Filename.concat
+
+type format = Text | Binary
+
+let format_to_string = function Text -> "text" | Binary -> "binary"
 
 type entry = { mutable last_use : int; size : int }
 
@@ -18,6 +27,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable quarantined : int;
+  mutable mmap_hits : int;
 }
 
 type stats = {
@@ -28,7 +38,10 @@ type stats = {
   evictions : int;
   quarantined : int;
   max_bytes : int;
+  mmap_hits : int;
 }
+
+type hit = { meta : string; format : format; plan : Plan.t; unitary : Mat.t }
 
 type issue =
   | Bad_index of { line : int; msg : string }
@@ -36,6 +49,7 @@ type issue =
   | Corrupt_object of { file : string; msg : string }
   | Orphan_object of { file : string }
   | Size_mismatch of { key : string; index_bytes : int; disk_bytes : int }
+  | Version_mismatch of { file : string; version : int }
 
 let objects_dir dir = dir // "objects"
 let quarantine_dir dir = dir // "quarantine"
@@ -83,28 +97,51 @@ let file_size path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
 
+(* Map a whole file read-only as a byte Bigarray. The fd is closed
+   immediately — the mapping outlives it. Any failure (empty file,
+   filesystem without mmap) degrades to None and the caller falls back
+   to an ordinary read. *)
+let map_file path : Mat.bigbytes option =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+         try
+           let g = Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |] in
+           Some (Bigarray.array1_of_genarray g)
+         with Unix.Unix_error _ | Sys_error _ | Invalid_argument _ -> None)
+
 (* ------------------------------------------------------------------ *)
 (* Object format: self-describing, length-framed, then semantically
    validated by actually parsing both artifacts.
 
-     bosec-object 1
+     bosec-object 2
      key <key>
      meta <one free-form line>
+     format <text|binary>
      plan <bytes>
-     <plan text, exactly that many bytes>
+     <plan artifact, exactly that many bytes>
      unitary <bytes>
-     <unitary text>
+     <unitary artifact>
      end
-*)
 
-let render_object ~key ~meta ~plan ~unitary =
+   v1 objects differ only in the magic line and the absence of the
+   format line (their sections are always text). The section payloads
+   are whatever Plan/Unitary serialize — text or the v2 binary
+   encodings, both of which their [of_string] dispatches on — so the
+   container never inspects float bytes itself. *)
+
+let render_object ~key ~meta ~format ~plan ~unitary =
   let buf =
-    Buffer.create (64 + String.length meta + String.length plan + String.length unitary)
+    Buffer.create (80 + String.length meta + String.length plan + String.length unitary)
   in
-  Buffer.add_string buf object_magic;
+  Buffer.add_string buf object_magic_v2;
   Buffer.add_char buf '\n';
   Buffer.add_string buf ("key " ^ key ^ "\n");
   Buffer.add_string buf ("meta " ^ meta ^ "\n");
+  Buffer.add_string buf ("format " ^ format_to_string format ^ "\n");
   Buffer.add_string buf (Printf.sprintf "plan %d\n" (String.length plan));
   Buffer.add_string buf plan;
   Buffer.add_string buf (Printf.sprintf "unitary %d\n" (String.length unitary));
@@ -112,69 +149,166 @@ let render_object ~key ~meta ~plan ~unitary =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
-exception Bad of string
+(* An abstract byte source lets one framing parser serve both read
+   paths: plain strings and mmapped buffers. *)
+module Src = struct
+  type t = {
+    len : int;
+    sub : pos:int -> len:int -> string;
+    index_nl : int -> int option;  (** first '\n' at or after a position *)
+  }
 
-let parse_object ~key content =
-  let len = String.length content in
+  let of_string s =
+    {
+      len = String.length s;
+      sub = (fun ~pos ~len -> String.sub s pos len);
+      index_nl = (fun p -> String.index_from_opt s p '\n');
+    }
+
+  let of_bigbytes (ba : Mat.bigbytes) =
+    let dim = Bigarray.Array1.dim ba in
+    let rec find_nl i =
+      if i >= dim then None
+      else if Char.equal (Bigarray.Array1.unsafe_get ba i) '\n' then Some i
+      else find_nl (i + 1)
+    in
+    {
+      len = dim;
+      sub = (fun ~pos ~len -> Mat.bigbytes_sub_string ba ~pos ~len);
+      index_nl = (fun p -> if p < 0 then None else find_nl p);
+    }
+end
+
+type parse_error = Corrupt of string | Wrong_version of int
+
+exception Bad of parse_error
+
+let bad msg = raise (Bad (Corrupt msg))
+
+(* Framing only: splits the container into header fields and raw
+   section ranges without decoding the artifacts. *)
+type framing = {
+  f_meta : string;
+  f_declared : format option;  (* None on v1 objects *)
+  f_plan_pos : int;
+  f_plan_len : int;
+  f_unitary_pos : int;
+  f_unitary_len : int;
+}
+
+let parse_framing ~key (src : Src.t) =
   let pos = ref 0 in
   let line () =
-    if !pos >= len then raise (Bad "truncated object");
-    let stop =
-      match String.index_from_opt content !pos '\n' with
-      | Some i -> i
-      | None -> raise (Bad "truncated object")
-    in
-    let l = String.sub content !pos (stop - !pos) in
+    if !pos >= src.len then bad "truncated object";
+    let stop = match src.index_nl !pos with Some i -> i | None -> bad "truncated object" in
+    let l = src.sub ~pos:!pos ~len:(stop - !pos) in
     pos := stop + 1;
     l
   in
-  let take n =
-    if n < 0 || !pos + n > len then raise (Bad "section length exceeds file");
-    let s = String.sub content !pos n in
-    pos := !pos + n;
-    s
-  in
   let section name =
     let l = line () in
-    match Scanf.sscanf l "%s %d%!" (fun tag n -> (tag, n)) with
-    | tag, n when tag = name -> take n
-    | _ -> raise (Bad ("bad " ^ name ^ " header"))
-    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
-      raise (Bad ("bad " ^ name ^ " header"))
+    let n =
+      match Scanf.sscanf l "%s %d%!" (fun tag n -> (tag, n)) with
+      | tag, n when tag = name -> n
+      | _ -> bad ("bad " ^ name ^ " header")
+      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+        bad ("bad " ^ name ^ " header")
+    in
+    if n < 0 || !pos + n > src.len then bad "section length exceeds file";
+    let p = !pos in
+    pos := !pos + n;
+    (p, n)
   in
-  try
-    if line () <> object_magic then raise (Bad "bad magic line");
-    (match line () with
-     | l when l = "key " ^ key -> ()
-     | l when String.length l >= 4 && String.sub l 0 4 = "key " ->
-       raise (Bad "key line does not match file name")
-     | _ -> raise (Bad "bad key line"));
-    let meta =
-      let l = line () in
-      if String.length l >= 5 && String.sub l 0 5 = "meta " then
-        String.sub l 5 (String.length l - 5)
-      else raise (Bad "bad meta line")
+  let magic = line () in
+  let version =
+    let plen = String.length object_magic_prefix in
+    if String.length magic > plen && String.sub magic 0 plen = object_magic_prefix then
+      match int_of_string_opt (String.sub magic plen (String.length magic - plen)) with
+      | Some v -> v
+      | None -> bad "bad magic line"
+    else bad "bad magic line"
+  in
+  if version <> 1 && version <> 2 then raise (Bad (Wrong_version version));
+  (match line () with
+   | l when l = "key " ^ key -> ()
+   | l when String.length l >= 4 && String.sub l 0 4 = "key " ->
+     bad "key line does not match file name"
+   | _ -> bad "bad key line");
+  let f_meta =
+    let l = line () in
+    if String.length l >= 5 && String.sub l 0 5 = "meta " then
+      String.sub l 5 (String.length l - 5)
+    else bad "bad meta line"
+  in
+  let f_declared =
+    if version = 1 then None
+    else
+      match line () with
+      | "format text" -> Some Text
+      | "format binary" -> Some Binary
+      | _ -> bad "bad format line"
+  in
+  let f_plan_pos, f_plan_len = section "plan" in
+  let f_unitary_pos, f_unitary_len = section "unitary" in
+  if line () <> "end" then bad "missing end marker";
+  if !pos <> src.len then bad "trailing bytes after end marker";
+  { f_meta; f_declared; f_plan_pos; f_plan_len; f_unitary_pos; f_unitary_len }
+
+(* The format a section actually uses is what its own magic says; the
+   v2 format line must agree (a disagreement means a corrupted or
+   hand-edited object). *)
+let section_format (src : Src.t) ~pos ~len =
+  if len >= 4 && (src.sub ~pos ~len:4 = "BHBP" || src.sub ~pos ~len:4 = "BHBU") then Binary
+  else Text
+
+let check_declared f fmt =
+  match f.f_declared with
+  | Some d when d <> fmt -> bad "format line disagrees with section contents"
+  | Some _ | None -> ()
+
+let decode_sections ~via_map (src : Src.t) (ba : Mat.bigbytes option) f =
+  let fmt = section_format src ~pos:f.f_plan_pos ~len:f.f_plan_len in
+  let ufmt = section_format src ~pos:f.f_unitary_pos ~len:f.f_unitary_len in
+  if fmt <> ufmt then bad "plan and unitary sections disagree on format";
+  check_declared f fmt;
+  let p =
+    let r =
+      match (fmt, ba) with
+      | Binary, Some ba when via_map -> Plan.of_bigbytes ba ~pos:f.f_plan_pos ~len:f.f_plan_len
+      | _ -> Plan.of_string (src.sub ~pos:f.f_plan_pos ~len:f.f_plan_len)
     in
-    let plan = section "plan" in
-    let unitary = section "unitary" in
-    if line () <> "end" then raise (Bad "missing end marker");
-    if !pos <> len then raise (Bad "trailing bytes after end marker");
-    (* Semantic validation: both artifacts must parse with the repo's
-       own readers, and agree on the mode count. *)
-    let p =
-      match Plan.of_string plan with
-      | Ok p -> p
-      | Error (msg, l) -> raise (Bad (Printf.sprintf "plan section line %d: %s" l msg))
+    match r with
+    | Ok p -> p
+    | Error (msg, l) -> bad (Printf.sprintf "plan section line %d: %s" l msg)
+  in
+  let u =
+    let r =
+      match (fmt, ba) with
+      | Binary, Some ba when via_map ->
+        Unitary.of_bigbytes ba ~pos:f.f_unitary_pos ~len:f.f_unitary_len
+      | _ -> Unitary.of_string (src.sub ~pos:f.f_unitary_pos ~len:f.f_unitary_len)
     in
-    let u =
-      match Unitary.of_string unitary with
-      | Ok u -> u
-      | Error (msg, l) -> raise (Bad (Printf.sprintf "unitary section line %d: %s" l msg))
-    in
-    if Mat.rows u <> p.Plan.modes then
-      raise (Bad "plan and unitary disagree on the mode count");
-    Ok (meta, plan, unitary)
-  with Bad msg -> Error msg
+    match r with
+    | Ok u -> u
+    | Error (msg, l) -> bad (Printf.sprintf "unitary section line %d: %s" l msg)
+  in
+  if Mat.rows u <> p.Plan.modes then bad "plan and unitary disagree on the mode count";
+  { meta = f.f_meta; format = fmt; plan = p; unitary = u }
+
+let parse_object ~key content =
+  let src = Src.of_string content in
+  match decode_sections ~via_map:false src None (parse_framing ~key src) with
+  | h -> Ok h
+  | exception Bad e -> Error e
+
+(* The zero-copy read path: binary unitary planes blit straight out of
+   the mapping. Big-endian hosts skip it — the string path byte-swaps
+   correctly and mmap would save nothing. *)
+let parse_object_map ~key (ba : Mat.bigbytes) =
+  let src = Src.of_bigbytes ba in
+  match decode_sections ~via_map:true src (Some ba) (parse_framing ~key src) with
+  | h -> Ok h
+  | exception Bad e -> Error e
 
 (* ------------------------------------------------------------------ *)
 (* Index: a performance hint rebuilt from the object files whenever it
@@ -283,6 +417,7 @@ let open_ ~dir ~max_bytes =
       misses = 0;
       evictions = 0;
       quarantined = 0;
+      mmap_hits = 0;
     }
   in
   (* Reconcile: indexed entries must exist on disk (at their current
@@ -316,6 +451,11 @@ let open_ ~dir ~max_bytes =
 let dir t = t.dir
 let mem t key = Hashtbl.mem t.tbl key
 
+let record_hit t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick;
+  t.hits <- t.hits + 1
+
 let find t key =
   match Hashtbl.find_opt t.tbl key with
   | None ->
@@ -323,38 +463,63 @@ let find t key =
     None
   | Some e ->
     let path = objects_dir t.dir // key in
-    (match (try Some (read_file path) with Sys_error _ -> None) with
+    let mapped =
+      (* The mmap fast path. Little-endian hosts only: the plane blit
+         reinterprets raw LE bytes. Any mapping or parse hiccup falls
+         through to the ordinary read, which owns quarantining. *)
+      if Sys.big_endian then None
+      else
+        match map_file path with
+        | None -> None
+        | Some ba -> (match parse_object_map ~key ba with Ok h -> Some h | Error _ -> None)
+    in
+    (match mapped with
+     | Some h ->
+       record_hit t e;
+       if h.format = Binary then t.mmap_hits <- t.mmap_hits + 1;
+       Some h
      | None ->
-       (* Deleted behind our back: drop the entry, count a miss. *)
-       t.bytes <- t.bytes - e.size;
-       Hashtbl.remove t.tbl key;
-       t.misses <- t.misses + 1;
-       write_index t;
-       None
-     | Some content ->
-       (match parse_object ~key content with
-        | Ok (meta, plan, unitary) ->
-          t.tick <- t.tick + 1;
-          e.last_use <- t.tick;
-          t.hits <- t.hits + 1;
-          Some (meta, plan, unitary)
-        | Error _ ->
-          (* Corrupted entry: quarantine rather than crash, and let the
-             caller recompile — the next store heals the key. *)
-          quarantine t key;
+       (match (try Some (read_file path) with Sys_error _ -> None) with
+        | None ->
+          (* Deleted behind our back: drop the entry, count a miss. *)
+          t.bytes <- t.bytes - e.size;
+          Hashtbl.remove t.tbl key;
           t.misses <- t.misses + 1;
-          None))
+          write_index t;
+          None
+        | Some content ->
+          (match parse_object ~key content with
+           | Ok h ->
+             record_hit t e;
+             Some h
+           | Error _ ->
+             (* Corrupted or wrong-version entry: quarantine rather than
+                crash, and let the caller recompile — the next store
+                heals the key. *)
+             quarantine t key;
+             t.misses <- t.misses + 1;
+             None)))
 
-let store t ~key ~meta ~plan ~unitary =
+let store ?(format = Binary) t ~key ~meta ~plan ~unitary =
   if not (validate_key key) then invalid_arg ("Diskcache.store: invalid key " ^ key);
   if String.contains meta '\n' then
     invalid_arg "Diskcache.store: meta must be a single line";
+  if Mat.rows unitary <> plan.Plan.modes then
+    invalid_arg "Diskcache.store: plan and unitary disagree on the mode count";
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
     t.tick <- t.tick + 1;
     e.last_use <- t.tick
   | None ->
-    let content = render_object ~key ~meta ~plan ~unitary in
+    let plan_str =
+      match format with Text -> Plan.to_string plan | Binary -> Plan.to_binary_string plan
+    in
+    let unitary_str =
+      match format with
+      | Text -> Unitary.to_string unitary
+      | Binary -> Unitary.to_binary_string unitary
+    in
+    let content = render_object ~key ~meta ~format ~plan:plan_str ~unitary:unitary_str in
     write_atomic ~path:(objects_dir t.dir // key) content;
     t.tick <- t.tick + 1;
     Hashtbl.replace t.tbl key { last_use = t.tick; size = String.length content };
@@ -371,6 +536,7 @@ let stats (t : t) : stats =
     evictions = t.evictions;
     quarantined = t.quarantined;
     max_bytes = t.max_bytes;
+    mmap_hits = t.mmap_hits;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -407,7 +573,9 @@ let audit dir =
            issues := Orphan_object { file = path } :: !issues;
          match parse_object ~key:file (read_file path) with
          | Ok _ -> ()
-         | Error msg -> issues := Corrupt_object { file = path; msg } :: !issues
+         | Error (Wrong_version version) ->
+           issues := Version_mismatch { file = path; version } :: !issues
+         | Error (Corrupt msg) -> issues := Corrupt_object { file = path; msg } :: !issues
          | exception Sys_error msg ->
            issues := Corrupt_object { file = path; msg } :: !issues)
       (try Sys.readdir (objects_dir dir) with Sys_error _ -> [||]);
@@ -424,3 +592,6 @@ let pp_issue fmt = function
   | Size_mismatch { key; index_bytes; disk_bytes } ->
     Format.fprintf fmt "entry %s: index records %d bytes, file has %d" key index_bytes
       disk_bytes
+  | Version_mismatch { file; version } ->
+    Format.fprintf fmt
+      "%s: object format version %d (this binary reads versions 1 and 2)" file version

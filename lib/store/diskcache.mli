@@ -5,10 +5,23 @@
     faster but dies with the process; this store makes the speedup
     survive restarts. Keys are the pass manager's FNV-1a content
     fingerprints rendered as 16 hex characters
-    ([Pass.Fingerprint.to_hex]); values are the stable text serializers
-    from the lint PR — [Plan.to_string] and [Unitary.to_string], hex
-    floats, bit-exact round-trip — so a disk hit returns the exact
-    bytes the original compile produced.
+    ([Pass.Fingerprint.to_hex]); values are typed artifacts — a
+    [Plan.t] and its unitary — serialized through the stable codecs,
+    so a disk hit returns exactly what the original compile produced.
+
+    {2 Artifact formats}
+
+    New objects are written in the v2 {e binary} artifact encoding by
+    default ([Plan.to_binary_string] / [Unitary.to_binary_string]:
+    magic, format version, raw little-endian planes, FNV-1a checksum) —
+    no hex-float parsing on load, and on little-endian hosts {!find}
+    serves reads {e zero-copy}: the object file is mapped with
+    [Unix.map_file] and the unitary's planes are blitted straight out
+    of the mapping ([stats.mmap_hits] counts these). [~format:Text]
+    keeps the PR 6 hex-float text artifacts for operators who want
+    greppable objects. Both load through the same dispatching readers,
+    and directories written by older binaries (v1 containers, text-only)
+    keep serving hits — the migration story is in docs/SERVING.md.
 
     {2 On-disk layout} (documented for operators in docs/SERVING.md)
 
@@ -26,16 +39,27 @@
     adopted), and deleting any file — or the whole directory — is
     always safe; the worst case is a cold cache.
 
-    A corrupted object (bad framing, parse failure, key mismatch) is
-    {e quarantined} on first read — moved to [quarantine/], counted,
-    reported as a miss — never raised. [lib/lint]'s [diskcache] pass
-    ({!audit}, BH12xx) reports the same findings as diagnostics without
-    modifying the directory.
+    A corrupted object (bad framing, parse failure, checksum or key
+    mismatch) — or one whose container version this binary does not
+    read — is {e quarantined} on first read: moved to [quarantine/],
+    counted, reported as a miss, never raised. [lib/lint]'s [diskcache]
+    pass ({!audit}, BH12xx) reports the same findings as diagnostics
+    without modifying the directory.
 
     The store is single-domain mutable state: callers serialize access
     (the serve daemon performs all store traffic on the owner domain). *)
 
 type t
+
+(** Artifact encoding inside an object's sections. *)
+type format =
+  | Text  (** Hex-float line format — greppable, v1-compatible. *)
+  | Binary  (** v2 binary encoding — mmap-servable, ~an order of
+                magnitude faster to load. *)
+
+val format_to_string : format -> string
+(** ["text"] / ["binary"] — the wire spelling used by the object's
+    [format] line and the serve protocol's reply field. *)
 
 type stats = {
   hits : int;  (** Reads that returned a validated artifact. *)
@@ -45,6 +69,8 @@ type stats = {
   evictions : int;  (** Entries removed by the size bound. *)
   quarantined : int;  (** Corrupted objects moved to [quarantine/]. *)
   max_bytes : int;
+  mmap_hits : int;
+      (** Hits served zero-copy from an mmapped binary object. *)
 }
 
 val open_ : dir:string -> max_bytes:int -> t
@@ -63,26 +89,44 @@ val validate_key : string -> bool
 val mem : t -> string -> bool
 (** Index membership only; no I/O, no statistics. *)
 
-val find : t -> string -> (string * string * string) option
-(** [find t key] reads, validates and returns [(meta, plan, unitary)]:
-    the caller's metadata line, the [Plan.to_string] bytes and the
-    [Unitary.to_string] bytes recorded by {!store} — verbatim, so a
-    disk hit is bit-identical to the original compile. A corrupted
-    object is quarantined and reported as a miss. *)
+(** A validated read: the stored metadata line, the encoding the object
+    carried, and the decoded artifacts. Re-serializing with the text
+    codecs reproduces the original compile's bytes exactly (hex-float
+    and binary round-trips are both bit-exact). *)
+type hit = {
+  meta : string;
+  format : format;
+  plan : Bose_decomp.Plan.t;
+  unitary : Bose_linalg.Mat.t;
+}
 
-val store : t -> key:string -> meta:string -> plan:string -> unitary:string -> unit
+val find : t -> string -> hit option
+(** [find t key] reads, validates and returns the stored artifacts. On
+    little-endian hosts binary objects are served from an mmap when
+    possible (falling back to an ordinary read). A corrupted or
+    wrong-version object is quarantined and reported as a miss. *)
+
+val store :
+  ?format:format ->
+  t ->
+  key:string ->
+  meta:string ->
+  plan:Bose_decomp.Plan.t ->
+  unitary:Bose_linalg.Mat.t ->
+  unit
 (** Record an artifact (atomic write-then-rename), update the index and
-    evict past the size bound. Storing an existing key only refreshes
-    its recency — the store is content-addressed, same key means same
+    evict past the size bound. [format] (default {!Binary}) picks the
+    section encoding. Storing an existing key only refreshes its
+    recency — the store is content-addressed, same key means same
     content. [meta] is one free-form line (no newline).
-    @raise Invalid_argument on an invalid key or a [meta] containing a
-    newline. *)
+    @raise Invalid_argument on an invalid key, a [meta] containing a
+    newline, or artifacts disagreeing on the mode count. *)
 
 val stats : t -> stats
 (** Lifetime totals since {!open_}. *)
 
 (** {2 Read-only integrity audit} — the decision procedure behind the
-    lint engine's [diskcache] pass (BH1201–BH1205). *)
+    lint engine's [diskcache] pass (BH1201–BH1206). *)
 
 type issue =
   | Bad_index of { line : int; msg : string }
@@ -91,11 +135,17 @@ type issue =
   | Missing_object of { key : string }
       (** Index entry whose object file does not exist. *)
   | Corrupt_object of { file : string; msg : string }
-      (** Object file fails framing or artifact-parse validation. *)
+      (** Object file fails framing, checksum or artifact-parse
+          validation. *)
   | Orphan_object of { file : string }
       (** Object file not referenced by the index. *)
   | Size_mismatch of { key : string; index_bytes : int; disk_bytes : int }
       (** Indexed size disagrees with the file on disk. *)
+  | Version_mismatch of { file : string; version : int }
+      (** Object declares a container format version this binary does
+          not read (not 1 or 2) — likely written by a newer binary;
+          distinct from corruption so operators know an upgrade, not a
+          disk fault, is the fix. *)
 
 val audit : string -> issue list
 (** Audit a cache directory without opening or modifying it. A missing

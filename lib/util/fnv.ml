@@ -1,0 +1,24 @@
+(* FNV-1a, 64-bit. The binary artifact codec (Plan/Unitary v2) trails
+   every object with this checksum, and the disk cache validates it on
+   both the string and the mmap read paths — so the three
+   implementations (here, the C stub over mapped buffers in
+   mat_stubs.c, and Pass.Fingerprint's content hashing) must agree on
+   the classic offset-basis/prime pair. Pass.Fingerprint keeps its own
+   copy on purpose: its hashes are persisted cache keys and must not
+   drift if this module ever changes. *)
+
+let seed = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let substring h s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Fnv.substring: range out of bounds";
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := byte !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+let string h s = substring h s ~pos:0 ~len:(String.length s)

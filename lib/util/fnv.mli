@@ -1,0 +1,22 @@
+(** FNV-1a 64-bit hashing — the checksum primitive of the binary
+    artifact format (docs/SERVING.md, object layout v2).
+
+    Fold bytes into a running hash starting from {!seed}:
+    [string seed s] is the hash of [s]. The constants are the standard
+    FNV-1a offset basis and prime, matching both [Pass.Fingerprint]
+    (which keeps an independent copy — its values are persisted cache
+    keys) and the C-side implementation used on mmap-read buffers. *)
+
+val seed : int64
+(** The FNV-1a 64-bit offset basis, [0xcbf29ce484222325]. *)
+
+val prime : int64
+(** The FNV-1a 64-bit prime, [0x100000001b3]. *)
+
+val byte : int64 -> int -> int64
+(** [byte h b] folds the low 8 bits of [b] into [h]. *)
+
+val string : int64 -> string -> int64
+
+val substring : int64 -> string -> pos:int -> len:int -> int64
+(** @raise Invalid_argument when the range is out of bounds. *)

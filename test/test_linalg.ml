@@ -475,6 +475,180 @@ let test_trace_mul_matches () =
   Alcotest.(check bool) "trace_mul = trace(a·b)" true
     (Cx.is_close ~tol:1e-10 (Mat.trace_mul a b) (Mat.trace (Mat.mul a b)))
 
+(* ------------------------------------------- native kernels vs reference *)
+
+(* Pure-OCaml references for the four C rotation kernels, written
+   against the public element API only (Mat.get/Mat.set), so a layout,
+   stride or lock-discipline bug in mat_stubs.c cannot also be in the
+   reference. The loop bodies mirror the C [rot_pre]/[rot_post] shapes;
+   the comparison tolerance covers FMA contraction in the -mfma C build
+   (a ulp-scale difference per element, never more). *)
+
+let cx (re, im) = Cx.make re im
+let parts z = (z.Complex.re, z.Complex.im)
+
+(* pre: the phase lands on the m entry before the real rotation. *)
+let pre_step (mre, mim) (nre, nim) c s ere eim =
+  let wre = (mre *. ere) -. (mim *. eim) in
+  let wim = (mre *. eim) +. (mim *. ere) in
+  ( ((wre *. c) -. (nre *. s), (wim *. c) -. (nim *. s)),
+    ((wre *. s) +. (nre *. c), (wim *. s) +. (nim *. c)) )
+
+(* post: the real rotation runs first, the phase lands on rotated m. *)
+let post_step (mre, mim) (nre, nim) c s ere eim =
+  let wre = (mre *. c) +. (nre *. s) in
+  let wim = (mim *. c) +. (nim *. s) in
+  ( ((wre *. ere) -. (wim *. eim), (wre *. eim) +. (wim *. ere)),
+    ((nre *. c) -. (mre *. s), (nim *. c) -. (mim *. s)) )
+
+let ref_rot_cols_t_dagger ?nrows u ~m ~n ~c ~s ~ere ~eim =
+  let count = match nrows with None -> Mat.rows u | Some r -> r in
+  let eim = -.eim in
+  for i = 0 to count - 1 do
+    let a, b = pre_step (parts (Mat.get u i m)) (parts (Mat.get u i n)) c s ere eim in
+    Mat.set u i m (cx a);
+    Mat.set u i n (cx b)
+  done
+
+let ref_rot_cols_t u ~m ~n ~c ~s ~ere ~eim =
+  for i = 0 to Mat.rows u - 1 do
+    let a, b = post_step (parts (Mat.get u i m)) (parts (Mat.get u i n)) c s ere eim in
+    Mat.set u i m (cx a);
+    Mat.set u i n (cx b)
+  done
+
+let ref_rot_rows_t ?(first = 0) u ~m ~n ~c ~s ~ere ~eim =
+  for j = first to Mat.cols u - 1 do
+    let a, b = pre_step (parts (Mat.get u m j)) (parts (Mat.get u n j)) c s ere eim in
+    Mat.set u m j (cx a);
+    Mat.set u n j (cx b)
+  done
+
+let ref_rot_rows_t_dagger u ~m ~n ~c ~s ~ere ~eim =
+  let eim = -.eim in
+  for j = 0 to Mat.cols u - 1 do
+    let a, b = post_step (parts (Mat.get u m j)) (parts (Mat.get u n j)) c s ere eim in
+    Mat.set u m j (cx a);
+    Mat.set u n j (cx b)
+  done
+
+let test_rot_kernels_match_reference () =
+  let rng = Rng.create 60 in
+  (* Ragged shapes from degenerate through odd primes up to past the
+     blocking threshold, so both lock disciplines are exercised and
+     compared against the same reference. *)
+  let shapes =
+    [ (1, 2); (2, 1); (2, 2); (3, 5); (5, 3); (7, 13); (31, 33); (64, 64);
+      (Mat.blocking_threshold, 5); (5, Mat.blocking_threshold);
+      (Mat.blocking_threshold + 22, Mat.blocking_threshold + 22) ]
+  in
+  let pick2 rng dim =
+    let m = Rng.int rng dim and n = Rng.int rng dim in
+    let n = if n = m then (m + 1) mod dim else n in
+    (min m n, max m n)
+  in
+  let check_kernel label shape_lbl native reference u =
+    let got = Mat.copy u and want = Mat.copy u in
+    native got;
+    reference want;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s %s" label shape_lbl)
+      true
+      (Mat.equal ~tol:1e-12 got want)
+  in
+  List.iter
+    (fun (nr, nc) ->
+       let u = random_mat rng nr nc in
+       let shape_lbl = Printf.sprintf "%dx%d" nr nc in
+       let theta = Rng.float rng 6.3 and phi = Rng.float rng 6.3 -. 3.15 in
+       let c = cos theta and s = sin theta in
+       let ere = cos phi and eim = sin phi in
+       if nc >= 2 then begin
+         let m, n = pick2 rng nc in
+         check_kernel "cols t_dagger" shape_lbl
+           (fun w -> Mat.rot_cols_t_dagger_cs w ~m ~n ~c ~s ~ere ~eim)
+           (fun w -> ref_rot_cols_t_dagger w ~m ~n ~c ~s ~ere ~eim)
+           u;
+         check_kernel "cols t" shape_lbl
+           (fun w -> Mat.rot_cols_t_cs w ~m ~n ~c ~s ~ere ~eim)
+           (fun w -> ref_rot_cols_t w ~m ~n ~c ~s ~ere ~eim)
+           u;
+         (* Ranged: an odd prefix, empty, and full-range spellings. *)
+         List.iter
+           (fun nrows ->
+              check_kernel (Printf.sprintf "cols t_dagger nrows=%d" nrows) shape_lbl
+                (fun w -> Mat.rot_cols_t_dagger_cs ~nrows w ~m ~n ~c ~s ~ere ~eim)
+                (fun w -> ref_rot_cols_t_dagger ~nrows w ~m ~n ~c ~s ~ere ~eim)
+                u)
+           [ 0; (nr / 2) + 1; nr ]
+       end;
+       if nr >= 2 then begin
+         let m, n = pick2 rng nr in
+         check_kernel "rows t" shape_lbl
+           (fun w -> Mat.rot_rows_t_cs w ~m ~n ~c ~s ~ere ~eim)
+           (fun w -> ref_rot_rows_t w ~m ~n ~c ~s ~ere ~eim)
+           u;
+         check_kernel "rows t_dagger" shape_lbl
+           (fun w -> Mat.rot_rows_t_dagger_cs w ~m ~n ~c ~s ~ere ~eim)
+           (fun w -> ref_rot_rows_t_dagger w ~m ~n ~c ~s ~ere ~eim)
+           u;
+         List.iter
+           (fun first ->
+              check_kernel (Printf.sprintf "rows t first=%d" first) shape_lbl
+                (fun w -> Mat.rot_rows_t_cs ~first w ~m ~n ~c ~s ~ere ~eim)
+                (fun w -> ref_rot_rows_t ~first w ~m ~n ~c ~s ~ere ~eim)
+                u)
+           [ 0; (nc / 2) + 1; nc ]
+       end)
+    shapes
+
+(* The size dispatch is observable: a kernel whose run length reaches
+   Mat.blocking_threshold goes through the lock-releasing C entry
+   points and bumps the lock_releases counter; a small one does not. *)
+let test_blocking_dispatch_observable () =
+  let rng = Rng.create 62 in
+  let small = random_mat rng 8 8 in
+  let locks0 = Mat.lock_releases () in
+  Mat.rot_cols_t_cs small ~m:0 ~n:1 ~c:0.8 ~s:0.6 ~ere:1.0 ~eim:0.0;
+  Alcotest.(check int) "small kernel stays on the fast path" locks0 (Mat.lock_releases ());
+  let big = random_mat rng Mat.blocking_threshold 4 in
+  Mat.rot_cols_t_cs big ~m:0 ~n:1 ~c:0.8 ~s:0.6 ~ere:1.0 ~eim:0.0;
+  Alcotest.(check int) "threshold-size kernel releases the lock" (locks0 + 1)
+    (Mat.lock_releases ());
+  (* Row rotations dispatch on the column count. *)
+  let wide = random_mat rng 4 Mat.blocking_threshold in
+  Mat.rot_rows_t_cs wide ~m:0 ~n:1 ~c:0.8 ~s:0.6 ~ere:1.0 ~eim:0.0;
+  Alcotest.(check int) "wide row rotation releases the lock" (locks0 + 2)
+    (Mat.lock_releases ())
+
+(* Binary plane codec: encode → decode must be bit-exact through both
+   the string reader and the (possibly misaligned) bigbytes reader,
+   and the Bigarray FNV-1a stub must agree with the pure-OCaml hash. *)
+let test_plane_codec_roundtrip () =
+  let rng = Rng.create 61 in
+  List.iter
+    (fun (r, cdim) ->
+       let m = random_mat rng r cdim in
+       let buf = Buffer.create 64 in
+       Mat.encode_planes buf m;
+       let s = Buffer.contents buf in
+       Alcotest.(check int) "encoded length" (16 * r * cdim) (String.length s);
+       let d = Mat.decode_planes_string ~rows:r ~cols:cdim s ~pos:0 in
+       Alcotest.(check bool) "string decode bit-exact" true (Mat.equal ~tol:0. d m);
+       (* Offset 3 forces a misaligned mmap-style read. *)
+       let ba =
+         Bigarray.Array1.create Bigarray.char Bigarray.c_layout (String.length s + 3)
+       in
+       String.iteri (fun i ch -> Bigarray.Array1.set ba (i + 3) ch) s;
+       let d2 = Mat.decode_planes_bigbytes ~rows:r ~cols:cdim ba ~pos:3 in
+       Alcotest.(check bool) "bigbytes decode bit-exact" true (Mat.equal ~tol:0. d2 m);
+       Alcotest.(check string) "bigbytes_sub_string round-trips" s
+         (Mat.bigbytes_sub_string ba ~pos:3 ~len:(String.length s));
+       Alcotest.(check bool) "bigarray FNV agrees with pure-OCaml FNV" true
+         (Mat.fnv1a64_bigbytes ba ~pos:3 ~len:(String.length s)
+          = Bose_util.Fnv.string Bose_util.Fnv.seed s))
+    [ (1, 1); (3, 5); (8, 8); (1, 17) ]
+
 (* ------------------------------------------------------------ properties *)
 
 let qcheck_tests =
@@ -628,6 +802,11 @@ let () =
           Alcotest.test_case "views" `Quick test_views_match_submatrix;
           Alcotest.test_case "workspace" `Quick test_workspace_reuses_scratch;
           Alcotest.test_case "trace_mul" `Quick test_trace_mul_matches;
+          Alcotest.test_case "rot kernels vs pure-OCaml reference" `Quick
+            test_rot_kernels_match_reference;
+          Alcotest.test_case "blocking dispatch observable" `Quick
+            test_blocking_dispatch_observable;
+          Alcotest.test_case "plane codec round-trip" `Quick test_plane_codec_roundtrip;
         ] );
       ( "linsolve",
         [

@@ -120,6 +120,27 @@ let test_bit_exact_vs_legacy () =
          Config.all)
     [ Compiler.Standard; Compiler.Fast ]
 
+(* A compiled plan survives the v2 binary artifact codec bit-exactly:
+   text → binary → text reproduces the hex-float bytes, for every
+   config (phases, eliminations and lambdas all make the trip). *)
+let test_plan_binary_roundtrip_bit_exact () =
+  let u = Unitary.haar_random (Rng.create 19) 9 in
+  List.iter
+    (fun config ->
+       let c =
+         Compiler.compile ~tau:0.99 ~rng:(Rng.create 42) ~device:device33 ~config u
+       in
+       let text = Plan.to_string c.Compiler.plan in
+       match Plan.of_string (Plan.to_binary_string c.Compiler.plan) with
+       | Error (msg, l) ->
+         Alcotest.failf "%s: binary plan parse failed: %s (line %d)" (Config.name config)
+           msg l
+       | Ok p ->
+         Alcotest.(check string)
+           (Config.name config ^ ": text→binary→text")
+           text (Plan.to_string p))
+    Config.all
+
 (* --------------------------------------------------------- the cache *)
 
 let compile_cached cache seed u =
@@ -399,6 +420,8 @@ let () =
       ( "bit-exact",
         [
           Alcotest.test_case "pipeline vs legacy monolith" `Quick test_bit_exact_vs_legacy;
+          Alcotest.test_case "plan binary codec bit-exact" `Quick
+            test_plan_binary_roundtrip_bit_exact;
         ] );
       ( "cache",
         [

@@ -56,8 +56,14 @@ let sample_artifacts seed n =
     Bosehedral.Compiler.compile ~rng:(Rng.create (seed + 1)) ~device
       ~config:Bosehedral.Config.Baseline u
   in
-  ( Plan.to_string c.Bosehedral.Compiler.plan,
-    Unitary.to_string c.Bosehedral.Compiler.mapping.Bose_mapping.Mapping.permuted )
+  ( c.Bosehedral.Compiler.plan,
+    c.Bosehedral.Compiler.mapping.Bose_mapping.Mapping.permuted )
+
+(* A PR 6-era object file: v1 container, text artifacts, no format
+   line. The store must keep reading these. *)
+let render_v1 ~key ~meta ~plan_text ~unitary_text =
+  Printf.sprintf "bosec-object 1\nkey %s\nmeta %s\nplan %d\n%sunitary %d\n%send\n" key
+    meta (String.length plan_text) plan_text (String.length unitary_text) unitary_text
 
 (* ------------------------------------------------- unitary strings *)
 
@@ -70,32 +76,108 @@ let test_unitary_string_roundtrip () =
     Alcotest.(check bool) "bit-exact round-trip" true (Mat.equal u v);
     Alcotest.(check string) "re-serialization identical" text (Unitary.to_string v)
 
+(* Codec round-trip: text → binary → text must reproduce the text
+   bytes exactly, for both artifact kinds, and a flipped payload byte
+   must fail the checksum rather than decode silently. *)
+let test_binary_codec_roundtrip () =
+  let plan, unitary = sample_artifacts 16 5 in
+  let ptext = Plan.to_string plan in
+  let pbin = Plan.to_binary_string plan in
+  Alcotest.(check bool) "plan binary is a distinct encoding" true (ptext <> pbin);
+  (match Plan.of_string pbin with
+   | Error (msg, l) -> Alcotest.failf "binary plan parse failed: %s (line %d)" msg l
+   | Ok p2 ->
+     Alcotest.(check string) "plan text→binary→text bit-identical" ptext
+       (Plan.to_string p2));
+  let utext = Unitary.to_string unitary in
+  let ubin = Unitary.to_binary_string unitary in
+  (match Unitary.of_string ubin with
+   | Error (msg, l) -> Alcotest.failf "binary unitary parse failed: %s (line %d)" msg l
+   | Ok u2 ->
+     Alcotest.(check string) "unitary text→binary→text bit-identical" utext
+       (Unitary.to_string u2));
+  let corrupt = Bytes.of_string ubin in
+  let mid = Bytes.length corrupt / 2 in
+  Bytes.set corrupt mid (Char.chr (Char.code (Bytes.get corrupt mid) lxor 0x40));
+  (match Unitary.of_string (Bytes.to_string corrupt) with
+   | Ok _ -> Alcotest.fail "checksum must reject a flipped payload byte"
+   | Error (msg, _) ->
+     Alcotest.(check bool) "rejected via checksum" true
+       (String.length msg > 0))
+
 (* ------------------------------------------------------- diskcache *)
 
 let test_store_persists_verbatim () =
   with_dir @@ fun dir ->
   let plan, unitary = sample_artifacts 11 4 in
+  let plan_text = Plan.to_string plan and unitary_text = Unitary.to_string unitary in
   let key = "aaaa000011112222" in
   let t = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
   Diskcache.store t ~key ~meta:"fidelity=0x1p+0 rotations=6 modes=4" ~plan ~unitary;
   (match Diskcache.find t key with
    | None -> Alcotest.fail "hit expected on the writing process"
-   | Some (_, p, u) ->
-     Alcotest.(check string) "plan verbatim" plan p;
-     Alcotest.(check string) "unitary verbatim" unitary u);
-  (* Cold start: a second open of the same directory serves the exact
-     bytes the first process stored. *)
+   | Some h ->
+     Alcotest.(check bool) "stored binary by default" true
+       (h.Diskcache.format = Diskcache.Binary);
+     Alcotest.(check string) "plan text-identical" plan_text
+       (Plan.to_string h.Diskcache.plan);
+     Alcotest.(check string) "unitary text-identical" unitary_text
+       (Unitary.to_string h.Diskcache.unitary));
+  (* Cold start: a second open of the same directory serves artifacts
+     identical to what the first process stored. *)
   let t2 = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
   (match Diskcache.find t2 key with
    | None -> Alcotest.fail "hit expected after reopen"
-   | Some (meta, p, u) ->
+   | Some h ->
      Alcotest.(check string) "meta survives restart" "fidelity=0x1p+0 rotations=6 modes=4"
-       meta;
-     Alcotest.(check string) "plan survives restart" plan p;
-     Alcotest.(check string) "unitary survives restart" unitary u);
+       h.Diskcache.meta;
+     Alcotest.(check string) "plan survives restart" plan_text
+       (Plan.to_string h.Diskcache.plan);
+     Alcotest.(check string) "unitary survives restart" unitary_text
+       (Unitary.to_string h.Diskcache.unitary));
   let s = Diskcache.stats t2 in
   Alcotest.(check int) "one entry" 1 s.Diskcache.entries;
-  Alcotest.(check int) "one hit" 1 s.Diskcache.hits
+  Alcotest.(check int) "one hit" 1 s.Diskcache.hits;
+  (* On little-endian hosts the binary read is served from the mmap. *)
+  if not Sys.big_endian then
+    Alcotest.(check int) "served zero-copy" 1 s.Diskcache.mmap_hits
+
+(* A directory mixing v1 text objects (written by a PR 6 binary), v2
+   text objects and v2 binary objects serves all three — the restart
+   compatibility story of the format migration. *)
+let test_mixed_version_directory () =
+  with_dir @@ fun dir ->
+  let plan, unitary = sample_artifacts 15 4 in
+  let plan_text = Plan.to_string plan and unitary_text = Unitary.to_string unitary in
+  let kbin = "b1b1b1b1b1b1b1b1" and ktext = "a2a2a2a2a2a2a2a2" and kv1 = "c3c3c3c3c3c3c3c3" in
+  let t = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  Diskcache.store t ~key:kbin ~meta:"m" ~plan ~unitary;
+  Diskcache.store ~format:Diskcache.Text t ~key:ktext ~meta:"m" ~plan ~unitary;
+  write_file
+    (Filename.concat (Filename.concat dir "objects") kv1)
+    (render_v1 ~key:kv1 ~meta:"m" ~plan_text ~unitary_text);
+  (* Reopen: the v1 file is adopted from disk like any other object. *)
+  let t2 = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  let check_hit key expected_format label =
+    match Diskcache.find t2 key with
+    | None -> Alcotest.failf "%s: expected a hit" label
+    | Some h ->
+      Alcotest.(check bool) (label ^ ": format") true (h.Diskcache.format = expected_format);
+      Alcotest.(check string) (label ^ ": plan") plan_text (Plan.to_string h.Diskcache.plan);
+      Alcotest.(check string) (label ^ ": unitary") unitary_text
+        (Unitary.to_string h.Diskcache.unitary)
+  in
+  check_hit kbin Diskcache.Binary "v2 binary";
+  check_hit ktext Diskcache.Text "v2 text";
+  check_hit kv1 Diskcache.Text "v1 text";
+  let s = Diskcache.stats t2 in
+  Alcotest.(check int) "all three live" 3 s.Diskcache.entries;
+  Alcotest.(check int) "no quarantines" 0 s.Diskcache.quarantined;
+  (* Only the binary object is mmap-servable. *)
+  if not Sys.big_endian then
+    Alcotest.(check int) "one zero-copy hit" 1 s.Diskcache.mmap_hits;
+  (* The mixed directory audits clean. *)
+  Alcotest.(check int) "audit clean" 0 (List.length (Diskcache.audit dir))
 
 let test_corrupt_entry_quarantined () =
   with_dir @@ fun dir ->
@@ -126,11 +208,14 @@ let test_audit_reports_bh12xx () =
   let t = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
   Diskcache.store t ~key:"aaaaaaaaaaaaaaa1" ~meta:"m" ~plan ~unitary;
   Diskcache.store t ~key:"aaaaaaaaaaaaaaa2" ~meta:"m" ~plan ~unitary;
-  (* Corrupt one object, delete the other, drop an orphan in. *)
+  Diskcache.store t ~key:"aaaaaaaaaaaaaaa4" ~meta:"m" ~plan ~unitary;
+  (* Corrupt one object, delete another, drop an orphan in, and stamp
+     one with a container version from the future. *)
   let obj k = Filename.concat (Filename.concat dir "objects") k in
   write_file (obj "aaaaaaaaaaaaaaa1") "bosec-object 1\ngarbage\n";
   Sys.remove (obj "aaaaaaaaaaaaaaa2");
   write_file (obj "bbbbbbbbbbbbbbb3") "not even framed\n";
+  write_file (obj "aaaaaaaaaaaaaaa4") "bosec-object 9\nkey aaaaaaaaaaaaaaa4\n";
   let diags = Lint.run { Lint.empty with Lint.cache_dir = Some dir } in
   let codes = List.map (fun (d : Diag.t) -> d.Diag.code) diags in
   let has c = List.mem c codes in
@@ -139,6 +224,14 @@ let test_audit_reports_bh12xx () =
   Alcotest.(check bool) "BH1204 orphan object" true (has "BH1204");
   (* Size mismatch (corrupted-in-place file with a stale index). *)
   Alcotest.(check bool) "BH1205 size mismatch" true (has "BH1205");
+  (* Version mismatch is its own diagnostic, not generic corruption. *)
+  Alcotest.(check bool) "BH1206 version mismatch" true (has "BH1206");
+  (* The runtime quarantines a wrong-version object like a corrupt one. *)
+  let t2 = Diskcache.open_ ~dir ~max_bytes:(1 lsl 20) in
+  Alcotest.(check bool) "wrong version reads as a miss" true
+    (Diskcache.find t2 "aaaaaaaaaaaaaaa4" = None);
+  Alcotest.(check bool) "wrong version quarantined" true
+    ((Diskcache.stats t2).Diskcache.quarantined >= 1);
   (* A malformed index is BH1201 and still not a crash. *)
   write_file (Filename.concat dir "index") "not an index\n";
   let diags = Lint.run { Lint.empty with Lint.cache_dir = Some dir } in
@@ -156,7 +249,9 @@ let test_lru_eviction () =
   with_dir @@ fun dir ->
   let plan, unitary = sample_artifacts 14 4 in
   let size =
-    String.length plan + String.length unitary + 128 (* header slack *)
+    String.length (Plan.to_binary_string plan)
+    + String.length (Unitary.to_binary_string unitary)
+    + 128 (* container framing slack *)
   in
   (* Room for two entries, not three. *)
   let t = Diskcache.open_ ~dir ~max_bytes:(2 * size) in
@@ -224,12 +319,18 @@ let test_restart_disk_hit_bit_identical () =
   let t1 = Serve.create ~cache_dir:dir () in
   let r1 = Serve.handle_line t1 (compile_req ~id:1 ~seed:42) in
   Alcotest.(check (option string)) "cold" (Some "none") (get_str [ "result"; "cached" ] r1);
+  (* With a disk store attached, the compile is persisted in the v2
+     binary encoding and the reply says so. *)
+  Alcotest.(check (option string)) "cold stores binary" (Some "binary")
+    (get_str [ "result"; "format" ] r1);
   (* The write-through makes a repeat request a disk hit immediately —
      disk is checked before the pass cache, so the reply skips the
      compile machinery entirely. *)
   let r2 = Serve.handle_line t1 (compile_req ~id:2 ~seed:42) in
   Alcotest.(check (option string)) "warm in-process" (Some "disk")
     (get_str [ "result"; "cached" ] r2);
+  Alcotest.(check (option string)) "disk hit reports stored format" (Some "binary")
+    (get_str [ "result"; "format" ] r2);
   Serve.shutdown t1;
   (* Without a disk store, the warm path is the in-memory pass cache:
      every pass replays its recorded artifact, bit-identically. *)
@@ -238,6 +339,8 @@ let test_restart_disk_hit_bit_identical () =
   let m2 = Serve.handle_line tm (compile_req ~id:11 ~seed:42) in
   Alcotest.(check (option string)) "no disk: cold" (Some "none")
     (get_str [ "result"; "cached" ] m1);
+  Alcotest.(check (option string)) "no disk: nothing persisted" (Some "none")
+    (get_str [ "result"; "format" ] m1);
   Alcotest.(check (option string)) "no disk: pass-cache hit" (Some "mem")
     (get_str [ "result"; "cached" ] m2);
   List.iter
@@ -254,6 +357,8 @@ let test_restart_disk_hit_bit_identical () =
   let r3 = Serve.handle_line t2 (compile_req ~id:3 ~seed:42) in
   Alcotest.(check (option string)) "disk hit after restart" (Some "disk")
     (get_str [ "result"; "cached" ] r3);
+  Alcotest.(check (option string)) "restart hit served from binary" (Some "binary")
+    (get_str [ "result"; "format" ] r3);
   List.iter
     (fun field ->
        Alcotest.(check (option string))
@@ -349,8 +454,12 @@ let () =
         [
           Alcotest.test_case "unitary string round-trip" `Quick
             test_unitary_string_roundtrip;
+          Alcotest.test_case "binary codec round-trip and checksum" `Quick
+            test_binary_codec_roundtrip;
           Alcotest.test_case "persists verbatim across reopen" `Quick
             test_store_persists_verbatim;
+          Alcotest.test_case "mixed v1/v2 text/binary directory" `Quick
+            test_mixed_version_directory;
           Alcotest.test_case "corrupt entry quarantined, not raised" `Quick
             test_corrupt_entry_quarantined;
           Alcotest.test_case "audit reports BH12xx" `Quick test_audit_reports_bh12xx;
