@@ -31,6 +31,7 @@ let g_text_load_us = Obs.Gauge.make "bench.text_load_us"
 let g_bin_load_us = Obs.Gauge.make "bench.binary_load_us"
 let g_bin_speedup = Obs.Gauge.make "bench.binary_load_speedup"
 let g_rot_melems = Obs.Gauge.make "bench.rot_melems_s"
+let g_analyze_per_s = Obs.Gauge.make "bench.analyze_per_s"
 
 (* Boxed get/set reference implementations: what the flat kernels are
    measured against, and what they replaced. *)
@@ -248,6 +249,58 @@ let rot_throughput_row ~n =
   Printf.printf "rot-kernel-%-16d %9.1f Melem/s (%s path, %d iters)\n" n melems path
     iters
 
+(* Dataflow-analysis throughput: full Flow.analyze reports (layering,
+   liveness, feasibility BFS, budget intervals) over a synthetic
+   N-mode plan with the Clements brickwork rotation pattern —
+   N(N-1)/2 rotations, built directly so the row never pays an O(N^3)
+   decomposition. The floor is analyses per second. *)
+let analyze_row ~n ~rows ~cols =
+  Benchlib.Telemetry.row ~experiment:"micro" ~row:(Printf.sprintf "analyze-%d" n)
+  @@ fun () ->
+  assert (rows * cols = n);
+  let elements = ref [] in
+  let count = ref 0 in
+  for layer = 0 to n - 1 do
+    let j = ref (layer mod 2) in
+    while !j + 1 < n do
+      incr count;
+      elements :=
+        {
+          Bose_decomp.Plan.rotation =
+            { Givens.m = !j; n = !j + 1; c = cos 0.3; s = sin 0.3; ere = 1.; eim = 0. };
+          row = !count - 1;
+        }
+        :: !elements;
+      j := !j + 2
+    done
+  done;
+  let plan =
+    {
+      Bose_decomp.Plan.modes = n;
+      elements = Array.of_list (List.rev !elements);
+      lambda = Array.init n (fun _ -> Cx.one);
+    }
+  in
+  let kept = Array.init (Array.length plan.Bose_decomp.Plan.elements) (fun i -> i mod 7 <> 0) in
+  let backend =
+    Bose_flow.Flow.backend
+      ~coupling:(Bose_hardware.Coupling.of_lattice (Lattice.create ~rows ~cols))
+      ~noise:(Bose_circuit.Noise.uniform 1e-4) ~min_transmission:0.2 ()
+  in
+  let iters = 10 in
+  let t0 = Unix.gettimeofday () in
+  let depth = ref 0 in
+  for _ = 1 to iters do
+    let r = Bose_flow.Flow.analyze ~kept ~backend plan in
+    depth := r.Bose_flow.Flow.layers.Bose_flow.Flow.depth
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let per_s = if wall > 0. then float_of_int iters /. wall else Float.infinity in
+  Obs.Gauge.set g_analyze_per_s per_s;
+  Printf.printf "analyze-%-17d %9.1f analyses/s (depth %d, %d rotations)\n" n per_s
+    !depth
+    (Array.length plan.Bose_decomp.Plan.elements)
+
 (* Parallel-scaling rows. Jobs values above the host's recommended
    domain count are skipped rather than reported: with more domains than
    cores the OCaml runtime's stop-the-world minor collections serialize
@@ -323,6 +376,7 @@ let run () =
   rot_throughput_row ~n:128;
   rot_throughput_row ~n:256;
   rot_throughput_row ~n:500;
+  analyze_row ~n:500 ~rows:20 ~cols:25;
   batch_compile_scaling ~n:32 ~rows:6 ~cols:6 ~job_count:8;
   sampling_scaling ~modes:6 ~shots:1024;
   let instances = Instance.[ monotonic_clock ] in

@@ -3,6 +3,8 @@
    Subcommands:
      compile    compile an interferometer and print the plan summary
      check      statically verify serialized artifacts (lint engine)
+     analyze    dataflow analysis of a plan: depth, fronts, liveness,
+                coupling feasibility, fidelity/loss budgets (JSON)
      simulate   compile + execute on the noisy simulator, report JSD
      sample     draw GBS samples from a squeezed-light interferometer
      layouts    compare square / triangular / hexagonal couplings
@@ -10,8 +12,9 @@
 
    Every subcommand accepts --metrics-out FILE (write the telemetry
    report as JSON, schema in docs/METRICS.md) and --trace (stream span
-   closures to stderr as passes finish). `check` exits 1 when any
-   error-severity diagnostic fires (codes in docs/DIAGNOSTICS.md). *)
+   closures to stderr as passes finish). `check` and `analyze` exit 1
+   when any error-severity diagnostic fires (codes in
+   docs/DIAGNOSTICS.md). *)
 
 module Rng = Bose_util.Rng
 module Cx = Bose_linalg.Cx
@@ -209,6 +212,26 @@ let run_compile rows cols modes seed config tau graph_p effort jobs batch verbos
     Format.printf "plan:@.%a@." Plan.pp compiled.Compiler.plan
   end
 
+(* Every code the lint engine can emit: the per-pass registries plus
+   the engine's own codes (BH0001 suppression notes, BH08xx loader
+   diagnostics) that belong to no pass. *)
+let known_codes =
+  "BH0001" :: "BH0801" :: "BH0802"
+  :: List.concat_map (fun p -> p.Lint.codes) Lint.passes
+
+(* An unknown --disable entry used to pass silently — a typo like
+   BH4042 would "work" while suppressing nothing. Warn (on stderr, exit
+   unchanged: suppressing nothing is not an artifact defect). *)
+let warn_unknown_disables cmd disable =
+  List.iter
+    (fun code ->
+       if not (List.mem code known_codes) then
+         Printf.eprintf
+           "bosec %s: warning: --disable %s matches no known diagnostic code (see \
+            bosec check --list-passes)\n%!"
+           cmd code)
+    disable
+
 (* `bosec check`: the lint engine over serialized artifacts. Artifacts
    that fail to parse become BH08xx diagnostics rather than exceptions;
    the exit code is 1 iff any error-severity diagnostic fired. *)
@@ -227,6 +250,7 @@ let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
       "bosec check: nothing to check (use --plan, --unitary and/or --cache-dir)\n";
     exit 2
   end;
+  warn_unknown_disables "check" disable;
   let had_errors = ref false in
   with_obs ~metrics_out ~trace (fun () ->
       let load_diags = ref [] in
@@ -283,6 +307,116 @@ let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
       let diags = List.rev !load_diags @ Lint.run ~settings subject in
       if json then print_endline (Diag.to_json diags)
       else Format.printf "%a@." Diag.pp_list diags;
+      had_errors := List.exists Diag.is_error diags);
+  if !had_errors then exit 1
+
+(* `bosec analyze`: dataflow analysis (lib/flow) of a serialized plan —
+   ASAP depth and commuting fronts, per-mode liveness, sound
+   fidelity/loss budget intervals, and (with --coupling) feasibility
+   against a hardware coupling graph. Prints the JSON report, then the
+   BH11xx-and-friends diagnostics; exits 1 iff any error fired, with
+   --werror promoting warnings, mirroring `bosec check`. *)
+let run_analyze plan_file unitary_file seed tau coupling_kind rows cols routing_budget
+    max_depth loss min_transmission json werror disable metrics_out trace =
+  (match plan_file with
+   | Some _ -> ()
+   | None ->
+     Printf.eprintf "bosec analyze: nothing to analyze (use --plan)\n";
+     exit 2);
+  warn_unknown_disables "analyze" disable;
+  let coupling =
+    match coupling_kind with
+    | None -> None
+    | Some kind ->
+      (match kind with
+       | "square" -> Some (Coupling.of_lattice (Lattice.create ~rows ~cols))
+       | "triangular" -> Some (Coupling.triangular ~rows ~cols)
+       | "hexagonal" -> Some (Coupling.hexagonal ~rows ~cols)
+       | other ->
+         Printf.eprintf
+           "bosec analyze: unknown coupling %s (expected square | triangular | \
+            hexagonal)\n"
+           other;
+         exit 2)
+  in
+  let noise = if loss > 0. then Noise.uniform loss else Noise.ideal in
+  let backend =
+    Bose_flow.Flow.backend ?coupling ~routing_budget ?max_depth ~noise
+      ~min_transmission ()
+  in
+  let had_errors = ref false in
+  with_obs ~metrics_out ~trace (fun () ->
+      let load_diags = ref [] in
+      let plan =
+        match plan_file with
+        | None -> None
+        | Some path ->
+          (match Lint.load_plan path with
+           | Ok p -> Some p
+           | Error d ->
+             load_diags := d :: !load_diags;
+             None)
+      in
+      let unitary =
+        match unitary_file with
+        | None -> None
+        | Some path ->
+          (match Lint.load_unitary path with
+           | Ok u -> Some u
+           | Error d ->
+             load_diags := d :: !load_diags;
+             None)
+      in
+      (* Same policy reconstruction as `bosec check --tau`: the report
+         and the BH11xx pass then analyze under the policy's
+         deterministic hard mask — what a shot actually keeps. *)
+      let policy =
+        match (tau, plan) with
+        | Some tau, Some plan ->
+          let reference =
+            match unitary with
+            | Some u when Mat.dims u = (plan.Plan.modes, plan.Plan.modes) -> u
+            | Some _ | None -> Plan.reconstruct plan
+          in
+          Some (Bose_dropout.Dropout.make_policy (Rng.create seed) plan reference ~tau)
+        | _ -> None
+      in
+      let report =
+        match plan with
+        | None -> None
+        | Some p ->
+          let kept =
+            Option.map (fun pol -> Bose_dropout.Dropout.hard_kept pol p) policy
+          in
+          Some (Bose_flow.Flow.analyze ?kept ~backend p)
+      in
+      let subject =
+        {
+          Lint.empty with
+          Lint.plan;
+          unitary;
+          reference =
+            (match (plan, unitary) with
+             | Some p, Some u when Mat.dims u = (p.Plan.modes, p.Plan.modes) -> unitary
+             | _ -> None);
+          policy;
+          backend = Some backend;
+        }
+      in
+      let settings = { Lint.default_settings with Lint.disabled_codes = disable; werror } in
+      let diags = List.rev !load_diags @ Lint.run ~settings subject in
+      (match (json, report) with
+       | true, _ ->
+         Printf.printf {|{"report":%s,"diagnostics":%s}|}
+           (match report with
+            | Some r -> Bose_flow.Flow.report_to_json r
+            | None -> "null")
+           (Diag.to_json diags);
+         print_newline ()
+       | false, Some r ->
+         print_endline (Bose_flow.Flow.report_to_json r);
+         Format.printf "%a@.%a@." Bose_flow.Flow.pp_report r Diag.pp_list diags
+       | false, None -> Format.printf "%a@." Diag.pp_list diags);
       had_errors := List.exists Diag.is_error diags);
   if !had_errors then exit 1
 
@@ -614,6 +748,94 @@ let check_cmd =
       $ plan_file $ unitary_file $ cache_dir $ seed $ check_tau $ min_fidelity $ json
       $ werror $ disable $ list_passes $ metrics_out $ trace)
 
+let analyze_cmd =
+  let plan_file =
+    Arg.(value
+         & opt (some string) None
+         & info [ "plan" ] ~docv:"FILE"
+             ~doc:"Plan file to analyze (written by $(b,bosec compile --plan-out)).")
+  in
+  let unitary_file =
+    Arg.(value
+         & opt (some string) None
+         & info [ "unitary" ] ~docv:"FILE"
+             ~doc:"Replay reference for the plan (enables the replay lint checks and \
+                   grounds the $(b,--tau) policy).")
+  in
+  let analyze_tau =
+    Arg.(value
+         & opt (some float) None
+         & info [ "tau" ]
+             ~doc:"Rebuild the dropout policy at this accuracy threshold and analyze \
+                   under its hard mask — the rotations a shot actually keeps.")
+  in
+  let coupling_kind =
+    Arg.(value
+         & opt (some string) None
+         & info [ "coupling" ] ~docv:"KIND"
+             ~doc:"Check coupling feasibility against a $(docv) graph (square, \
+                   triangular or hexagonal on $(b,--rows) x $(b,--cols)) whose sites \
+                   are the plan's qumode labels. Without it, feasibility is skipped.")
+  in
+  let routing_budget =
+    Arg.(value
+         & opt int 0
+         & info [ "routing-budget" ] ~docv:"HOPS"
+             ~doc:"Extra swap hops allowed per rotation: a mode pair is feasible at \
+                   coupling distance <= 1 + $(docv).")
+  in
+  let max_depth =
+    Arg.(value
+         & opt (some int) None
+         & info [ "max-depth" ]
+             ~doc:"Backend depth ceiling; BH1102 fires when the schedule is deeper.")
+  in
+  let analyze_loss =
+    Arg.(value
+         & opt float 0.
+         & info [ "loss" ]
+             ~doc:"Per-beamsplitter photon loss rate for the transmission budget \
+                   (single-qumode gates lose at a tenth of it); 0 means ideal.")
+  in
+  let min_transmission =
+    Arg.(value
+         & opt float 0.
+         & info [ "min-transmission" ]
+             ~doc:"Loss-budget floor: BH1104 fires for every mode whose transmission \
+                   falls below it.")
+  in
+  let json =
+    Arg.(value
+         & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON object with the report and the diagnostics instead \
+                   of text.")
+  in
+  let werror =
+    Arg.(value & flag & info [ "werror" ] ~doc:"Promote warnings to errors (-Werror).")
+  in
+  let disable =
+    Arg.(value
+         & opt (list string) []
+         & info [ "disable" ] ~docv:"CODES"
+             ~doc:"Comma-separated diagnostic codes to suppress, e.g. BH1103; unknown \
+                   codes draw a warning.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Dataflow analysis of a plan: schedule depth and commuting fronts, \
+             per-mode liveness, coupling feasibility, fidelity/loss budget intervals \
+             (JSON report); exit 1 on any error diagnostic")
+    Term.(
+      const (fun plan_file unitary_file seed tau coupling_kind rows cols routing_budget
+               max_depth loss min_transmission json werror disable metrics_out trace ->
+          run_analyze plan_file unitary_file seed tau coupling_kind rows cols
+            routing_budget max_depth loss min_transmission json werror disable
+            metrics_out trace)
+      $ plan_file $ unitary_file $ seed $ analyze_tau $ coupling_kind $ rows $ cols
+      $ routing_budget $ max_depth $ analyze_loss $ min_transmission $ json $ werror
+      $ disable $ metrics_out $ trace)
+
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compile and execute on the lossy simulator; report JSD per config")
@@ -715,4 +937,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "bosec" ~doc ~version:Version.version)
-          [ compile_cmd; check_cmd; simulate_cmd; sample_cmd; layouts_cmd; serve_cmd ]))
+          [ compile_cmd; check_cmd; analyze_cmd; simulate_cmd; sample_cmd; layouts_cmd;
+            serve_cmd ]))

@@ -7,6 +7,8 @@ module Mapping = Bose_mapping.Mapping
 module Dropout = Bose_dropout.Dropout
 module Obs = Bose_obs.Obs
 module Lint = Bose_lint.Lint
+module Flow = Bose_flow.Flow
+module Coupling = Bose_hardware.Coupling
 module Rng = Bose_util.Rng
 module Pool = Bose_par.Pool
 
@@ -214,6 +216,44 @@ let small_angles t ~threshold = Plan.small_angle_count t.plan ~threshold
    per compiled result, every artifact slotted in. The permuted
    unitary doubles as the plan's replay reference, and un-permuting it
    must recover the program unitary ([?unitary]) bit-exactly. *)
+(* The compiled result's own hardware backend for dataflow analysis:
+   the device lattice as coupling graph, with the pattern's embedding
+   as the label → site map. The coupling is attached only when the
+   device actually explains the embedding — every label has a site and
+   every pattern tree edge sits on device-adjacent sites (the same
+   invariant lint's BH0202 checks). [compile_with_pattern] results
+   carry a placeholder 1×n device that generally fails this test (the
+   explicit pattern may be embedded for a different topology), so they
+   analyze without feasibility — depth, liveness and budgets are still
+   reported. *)
+let flow_backend t =
+  let n = Pattern.size t.pattern in
+  let sites = Array.make n (-1) in
+  let faithful = ref true in
+  for label = 0 to n - 1 do
+    match Pattern.site t.pattern label with
+    | Some s -> sites.(label) <- s
+    | None -> faithful := false
+  done;
+  let on_device s = s >= 0 && s < Lattice.size t.device in
+  if !faithful then
+    for m = 0 to n - 1 do
+      if not (on_device sites.(m)) then faithful := false
+      else
+        List.iter
+          (fun nb ->
+             if
+               nb > m
+               && not
+                    (on_device sites.(nb)
+                     && Lattice.adjacent t.device sites.(m) sites.(nb))
+             then faithful := false)
+          (Pattern.neighbors t.pattern m)
+    done;
+  if !faithful then
+    Flow.backend ~coupling:(Coupling.of_lattice t.device) ~sites ()
+  else Flow.backend ()
+
 let lint ?settings ?unitary t =
   let subject =
     {
@@ -225,9 +265,18 @@ let lint ?settings ?unitary t =
       reference = Some t.mapping.Mapping.permuted;
       policy = t.policy;
       pipeline = Some t.trace;
+      backend = Some (flow_backend t);
     }
   in
   Lint.run ?settings subject
+
+(* Dataflow analysis of the compiled plan under the policy's
+   deterministic hard mask — what a shot of the program actually
+   keeps — against the result's own backend (or [?backend]). *)
+let analyze ?backend t =
+  let b = match backend with Some b -> b | None -> flow_backend t in
+  let kept = Option.map (fun p -> Dropout.hard_kept p t.plan) t.policy in
+  Flow.analyze ?kept ~backend:b t.plan
 
 let verify t =
   match List.find_opt Lint.Diag.is_error (lint t) with

@@ -184,7 +184,19 @@ val lint :
     mapping recovers it bit-exactly and that the input itself is
     healthy (square, finite, unitary). Diagnostics carry the stable
     codes catalogued in docs/DIAGNOSTICS.md; a clean compile produces
-    none. *)
+    none. The subject carries the result's own hardware backend (see
+    {!analyze}), so the BH11xx dataflow pass checks coupling
+    feasibility against the device the program was compiled for. *)
+
+val analyze : ?backend:Bose_flow.Flow.backend -> t -> Bose_flow.Flow.report
+(** Dataflow analysis ({!Bose_flow.Flow.analyze}) of the compiled plan
+    under the dropout policy's deterministic hard mask: ASAP/ALAP
+    layering and commuting fronts, critical-path depth, per-mode
+    liveness, sound fidelity/loss budget intervals, and coupling
+    feasibility. The default backend is the compiled result's own — the
+    device lattice as coupling graph with the pattern's embedding as
+    the label → site map (no depth limit, ideal noise); pass [?backend]
+    to ask "would this plan fit elsewhere?" instead. *)
 
 val verify : t -> (unit, string) result
 (** {!lint} shim, kept for callers that only need a yes/no: [Ok] when

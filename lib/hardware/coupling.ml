@@ -104,6 +104,19 @@ let bfs t start =
   done;
   (dist, parent)
 
+let distance t a b =
+  if a < 0 || a >= t.n || b < 0 || b >= t.n then
+    invalid_arg "Coupling.distance: vertex out of range";
+  if a = b then 0
+  else begin
+    let dist, _ = bfs t a in
+    dist.(b)
+  end
+
+let distances t a =
+  if a < 0 || a >= t.n then invalid_arg "Coupling.distances: vertex out of range";
+  fst (bfs t a)
+
 let farthest dist =
   let best = ref 0 in
   Array.iteri (fun v d -> if d > dist.(!best) then best := v) dist;

@@ -30,6 +30,18 @@ val edges : t -> (int * int) list
 val degree : t -> int -> int
 val max_degree : t -> int
 
+val distance : t -> int -> int -> int
+(** BFS hop distance between two qumodes; [-1] when unreachable (cannot
+    happen for graphs built by {!of_edges}, which rejects disconnected
+    inputs, but kept total for defensive callers). O(V+E) per query.
+    @raise Invalid_argument when either vertex is out of range. *)
+
+val distances : t -> int -> int array
+(** All hop distances from one source in a single BFS — what callers
+    amortizing many queries per source (the flow feasibility memo)
+    should use instead of repeated {!distance} calls.
+    @raise Invalid_argument when the vertex is out of range. *)
+
 val dominating_path : t -> int list
 (** A simple path whose closed neighborhood covers most qumodes, found
     greedily from a peripheral start — the main amplitude-accumulation

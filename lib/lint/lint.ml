@@ -10,6 +10,7 @@ module Plan = Bose_decomp.Plan
 module Dropout = Bose_dropout.Dropout
 module Gate = Bose_circuit.Gate
 module Circuit = Bose_circuit.Circuit
+module Flow = Bose_flow.Flow
 module Obs = Bose_obs.Obs
 
 let c_runs = Obs.Counter.make "lint.runs"
@@ -36,6 +37,8 @@ type subject = {
   rngs : (string * Bose_util.Rng.t) list;
   pipeline : pipeline_trace option;
   cache_dir : string option;
+  backend : Flow.backend option;
+  fronts : int list list option;
 }
 
 let empty =
@@ -54,6 +57,8 @@ let empty =
     rngs = [];
     pipeline = None;
     cache_dir = None;
+    backend = None;
+    fronts = None;
   }
 
 (* Numeric thresholds shared with the pass contracts: the replay and
@@ -401,6 +406,99 @@ let check_policy ?min_fidelity plan (p : Dropout.policy) =
             p.Dropout.expected_fidelity threshold));
   List.rev !diags
 
+(* BH11xx — dataflow analysis over the plan ([Bose_flow.Flow]):
+   schedule depth vs. the backend limit, coupling feasibility within
+   the routing budget, per-mode transmission vs. the loss-budget floor,
+   modes left dead by dropout, and externally supplied commuting-front
+   schedules. When a policy is present the analysis runs under its
+   deterministic hard mask — the same rotations a shot of the compiled
+   program keeps — but only if the policy structurally matches the plan
+   (shape mismatches are the policy pass's BH05xx findings; this pass
+   must not raise on them). *)
+let check_flow ?backend ?policy ?fronts plan =
+  let total = Plan.rotation_count plan in
+  (* Structurally broken plans (out-of-range mode pairs — the plan
+     pass's BH0403) would make the analysis index out of bounds; lint
+     passes never raise, so gate on the same structural condition. *)
+  let structurally_sound =
+    plan.Plan.modes > 0
+    && Array.for_all
+         (fun { Plan.rotation = { Givens.m; n; _ }; _ } ->
+            m >= 0 && m < plan.Plan.modes && n >= 0 && n < plan.Plan.modes && m <> n)
+         plan.Plan.elements
+  in
+  if not structurally_sound then []
+  else begin
+  let kept =
+    match (policy : Dropout.policy option) with
+    | Some p
+      when Array.length p.Dropout.weights = total
+           && p.Dropout.kept_count >= 0
+           && p.Dropout.kept_count <= total ->
+      Some (Dropout.hard_kept p plan)
+    | Some _ | None -> None
+  in
+  let b = match backend with Some b -> b | None -> Flow.backend () in
+  let report = Flow.analyze ?kept ?backend plan in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun { Flow.rotation; pair = m, n; distance } ->
+       emit
+         (Diag.error ~code:"BH1101" ~loc:(Diag.Step rotation)
+            ~hint:"route the pair (raise the routing budget) or re-embed the pattern"
+            (if distance < 0 then
+               Printf.sprintf "rotation (%d,%d) maps to no valid backend site" m n
+             else
+               Printf.sprintf
+                 "rotation (%d,%d) needs %d coupling hops; the backend allows %d" m n
+                 distance (1 + b.Flow.routing_budget))))
+    report.Flow.infeasible_rotations;
+  (match report.Flow.max_depth with
+   | Some limit when report.Flow.layers.Flow.depth > limit ->
+     emit
+       (Diag.error ~code:"BH1102"
+          ~hint:"deepen dropout (lower tau) or pick a backend with more depth headroom"
+          (Printf.sprintf "schedule depth %d exceeds the backend limit %d"
+             report.Flow.layers.Flow.depth limit))
+   | Some _ | None -> ());
+  List.iter
+    (fun v ->
+       emit
+         (Diag.warning ~code:"BH1103" ~loc:(Diag.Mode v)
+            ~hint:
+              (if kept = None then
+                 "the mode never mixes with the interferometer; shrink the program \
+                  or re-embed"
+               else "dropout removed every beamsplitter on this mode; raise tau")
+            "no kept rotation touches this mode"))
+    report.Flow.live.Flow.dead;
+  if report.Flow.transmission_range.Flow.lo < b.Flow.min_transmission then begin
+    Array.iteri
+      (fun v eta ->
+         if eta < b.Flow.min_transmission then
+           emit
+             (Diag.error ~code:"BH1104" ~loc:(Diag.Mode v)
+                ~hint:"fewer kept rotations (lower tau) or better hardware; loss \
+                       compounds per gate"
+                (Printf.sprintf "transmission %.6f is below the loss-budget floor %.6f"
+                   eta b.Flow.min_transmission)))
+      report.Flow.per_mode_transmission
+  end;
+  (match fronts with
+   | None -> ()
+   | Some fronts ->
+     (match Flow.check_fronts ?kept plan fronts with
+      | None -> ()
+      | Some reason ->
+        emit
+          (Diag.error ~code:"BH1105"
+             ~hint:"fronts must partition the kept rotations into mode-disjoint sets \
+                    in elimination order (Flow.layering computes a valid schedule)"
+             ("commuting-front schedule invalid: " ^ reason))));
+    List.rev !diags
+  end
+
 (* BH06xx — circuit-level checks. *)
 let check_circuit ?coupled ?plan ?policy c =
   let modes = Circuit.modes c in
@@ -667,6 +765,16 @@ let passes =
            match (s.plan, s.policy) with
            | Some plan, Some p -> check_policy ?min_fidelity:s.min_fidelity plan p
            | _ -> []);
+    };
+    {
+      name = "flow";
+      codes = [ "BH1101"; "BH1102"; "BH1103"; "BH1104"; "BH1105" ];
+      doc = "dataflow analysis: coupling feasibility, depth/loss budgets, dead modes";
+      run =
+        (fun s ->
+           on_opt
+             (check_flow ?backend:s.backend ?policy:s.policy ?fronts:s.fronts)
+             s.plan);
     };
     {
       name = "circuit";

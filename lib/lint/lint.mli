@@ -72,6 +72,15 @@ type subject = {
       (** A [bosec serve] disk-cache directory to audit
           ([Bose_store.Diskcache.audit], read-only): malformed index,
           missing/corrupt/orphan object files, stale sizes (BH12xx). *)
+  backend : Bose_flow.Flow.backend option;
+      (** Hardware backend for the dataflow pass (BH11xx): coupling
+          feasibility within the routing budget, depth ceiling,
+          loss-budget floor under the noise model. Without it the pass
+          still reports dead modes and validates [fronts]. *)
+  fronts : int list list option;
+      (** An externally supplied commuting-front schedule to validate
+          against the plan (BH1105) — e.g. what a parallel executor
+          intends to run. *)
 }
 
 val empty : subject
@@ -87,7 +96,7 @@ type pass = {
 
 val passes : pass list
 (** The registry, in pipeline order: [unitary], [pattern], [perms],
-    [mapping], [plan], [policy], [circuit], [aliasing], [rng],
+    [mapping], [plan], [policy], [flow], [circuit], [aliasing], [rng],
     [pipeline], [diskcache]. *)
 
 type settings = {

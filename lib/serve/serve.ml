@@ -11,6 +11,11 @@ module Sampler = Bose_gbs.Sampler
 module Fock = Bose_gbs.Fock
 module Obs = Bose_obs.Obs
 module Diskcache = Bose_store.Diskcache
+module Noise = Bose_circuit.Noise
+module Dropout = Bose_dropout.Dropout
+module Flow = Bose_flow.Flow
+module Lint = Bose_lint.Lint
+module Diag = Bose_lint.Diag
 open Bosehedral
 
 (* serve.* telemetry (docs/METRICS.md). Counters are also mirrored in
@@ -86,12 +91,23 @@ type sample_req = {
   max_photons : int;
 }
 
+type analyze_req = {
+  a_plan : Plan.t option;  (* inline plan text, or... *)
+  a_key : string option;  (* ...a disk-cache key to analyze in place *)
+  a_seed : int;
+  a_tau : float option;
+  a_max_depth : int option;
+  a_loss : float;
+  a_min_transmission : float;
+}
+
 type request =
   | Ping
   | Stats
   | Shutdown
   | Compile of compile_req
   | Sample of sample_req
+  | Analyze of analyze_req
 
 (* The cache key: a content fingerprint over everything that determines
    the artifact. The seed is deliberately excluded — it only picks the
@@ -183,6 +199,40 @@ let parse_sample params =
       max_photons;
     }
 
+let get_opt_num params key =
+  match Json.mem key params with
+  | None -> None
+  | Some v -> (match Json.num v with Some x -> Some x | None -> fail (key ^ " must be a number"))
+
+let parse_analyze params =
+  let a_plan =
+    match get_str params "plan" with
+    | None -> None
+    | Some text ->
+      (match Plan.of_string text with
+       | Ok p -> Some p
+       | Error (msg, l) -> fail (Printf.sprintf "plan line %d: %s" l msg))
+  in
+  let a_key = get_str params "key" in
+  if a_plan = None && a_key = None then
+    fail "analyze needs a plan (inline text) or a key (disk-cache entry)";
+  let a_loss = get_num params "loss" ~default:0. in
+  if not (a_loss >= 0. && a_loss <= 1.) then fail "loss must be in [0,1]";
+  Analyze
+    {
+      a_plan;
+      a_key;
+      a_seed = get_int params "seed" ~default:2024;
+      a_tau = get_opt_num params "tau";
+      a_max_depth =
+        (match get_int params "max_depth" ~default:(-1) with
+         | -1 -> None
+         | d when d >= 0 -> Some d
+         | _ -> fail "max_depth must be >= 0");
+      a_loss;
+      a_min_transmission = get_num params "min_transmission" ~default:0.;
+    }
+
 (* One parsed line: the request id (echoed back verbatim) plus either a
    request or an error reply payload. *)
 let parse_line line =
@@ -201,6 +251,7 @@ let parse_line line =
           | "shutdown" -> (id, Ok Shutdown)
           | "compile" -> (id, Ok (parse_compile params))
           | "sample" -> (id, Ok (parse_sample params))
+          | "analyze" -> (id, Ok (parse_analyze params))
           | _ -> (id, Error ("bad-request", "unknown op " ^ op))
         with Bad_request msg -> (id, Error ("bad-request", msg))))
 
@@ -364,6 +415,65 @@ let do_sample t (req : sample_req) =
              samples) );
     ]
 
+(* Static analysis of a plan: either inline text or a disk-cache entry
+   analyzed in place. Runs the Flow report plus the lint passes over the
+   same subject, so the reply carries both the numbers and any BH11xx
+   (or structural) diagnostics. *)
+let do_analyze t (req : analyze_req) =
+  let plan, unitary =
+    match (req.a_plan, req.a_key) with
+    | Some p, _ -> (p, None)
+    | None, Some key ->
+      (match t.disk with
+       | None -> fail "analyze by key needs a disk cache (start with a cache dir)"
+       | Some d ->
+         (match Diskcache.find d key with
+          | None -> fail ("no cache entry for key " ^ key)
+          | Some hit -> (hit.Diskcache.plan, Some hit.Diskcache.unitary)))
+    | None, None -> assert false (* parse_analyze rejects this shape *)
+  in
+  (* Same policy reconstruction as `bosec analyze --tau`: the hard mask
+     of the deterministic policy is what a shot actually keeps. *)
+  let policy =
+    Option.map
+      (fun tau ->
+         let reference =
+           match unitary with
+           | Some u when Mat.dims u = (plan.Plan.modes, plan.Plan.modes) -> u
+           | Some _ | None -> Plan.reconstruct plan
+         in
+         Dropout.make_policy (Rng.create req.a_seed) plan reference ~tau)
+      req.a_tau
+  in
+  let noise = if req.a_loss > 0. then Noise.uniform req.a_loss else Noise.ideal in
+  let backend =
+    Flow.backend ?max_depth:req.a_max_depth ~noise
+      ~min_transmission:req.a_min_transmission ()
+  in
+  let kept = Option.map (fun pol -> Dropout.hard_kept pol plan) policy in
+  let report = Flow.analyze ?kept ~backend plan in
+  let subject =
+    {
+      Lint.empty with
+      Lint.plan = Some plan;
+      reference =
+        (match unitary with
+         | Some u when Mat.dims u = (plan.Plan.modes, plan.Plan.modes) -> unitary
+         | _ -> None);
+      policy;
+      backend = Some backend;
+    }
+  in
+  let diags = Lint.run subject in
+  let embed s = match Json.parse s with Ok v -> v | Error _ -> Json.Null in
+  Json.Obj
+    [
+      ("modes", Json.Num (float_of_int plan.Plan.modes));
+      ("report", embed (Flow.report_to_json report));
+      ("diagnostics", embed (Diag.to_json diags));
+      ("errors", Json.Num (float_of_int (Lint.errors diags)));
+    ]
+
 let stats_result t =
   let mem = Pipeline.Cache.stats t.mem in
   let disk =
@@ -434,6 +544,12 @@ let handle_many t lines =
          replies.(i) <-
            (try reply_ok id (do_sample t req)
             with e -> reply_error t id "internal" (Printexc.to_string e))
+       | Ok (Analyze req) ->
+         replies.(i) <-
+           (try reply_ok id (do_analyze t req)
+            with
+            | Bad_request msg -> reply_error t id "bad-request" msg
+            | e -> reply_error t id "internal" (Printexc.to_string e))
        | Ok (Compile req) ->
          (match Option.map (fun d -> Diskcache.find d req.key) t.disk with
           | Some (Some hit) ->

@@ -3,7 +3,10 @@
     reply per line — full schemas in docs/SERVING.md) over
     stdin/stdout or a Unix-domain socket.
 
-    Request ops: [ping], [compile], [sample], [stats], [shutdown].
+    Request ops: [ping], [compile], [analyze], [sample], [stats],
+    [shutdown]. [analyze] runs the {!Bose_flow.Flow} static analysis
+    (plus the lint passes) over an inline plan or a cached compile
+    artifact and replies with the report and diagnostics.
     Every reply carries the request's [id] back and is either
     [{"id":..,"ok":true,"result":{..}}] or
     [{"id":..,"ok":false,"error":{"code":..,"message":..}}] with code

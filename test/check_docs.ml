@@ -27,6 +27,7 @@ let _ = Bose_gbs.Permanent.permanent
 let _ = Bose_gbs.Sampler.tail_mass
 let _ = Bose_par.Pool.create
 let _ = Bose_lint.Lint.run
+let _ = Bose_flow.Flow.analyze
 let _ = Bose_serve.Serve.create
 
 let read_file path =

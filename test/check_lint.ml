@@ -26,6 +26,45 @@ let () =
       exit 1
     end;
     print_endline "check_lint: ok (bosec check with no inputs exits 2 with a hint)"
+  | [| _; "--analyze"; path |] ->
+    (* analyze_smoke.out: `bosec analyze` on the 8-mode smoke plan. The
+       report JSON line must carry the dataflow fields and the lint
+       summary must be clean. *)
+    let body = read path in
+    let want =
+      [
+        "\"depth\"";
+        "\"fronts\"";
+        "\"liveness\"";
+        "\"fidelity\"";
+        "\"transmission\"";
+        "0 errors, 0 warnings, 0 info";
+      ]
+    in
+    List.iter
+      (fun needle ->
+         if not (contains ~needle body) then begin
+           Printf.eprintf "check_lint: %s lacks %s:\n%s" path needle body;
+           exit 1
+         end)
+      want;
+    print_endline "check_lint: ok (bosec analyze reports depth/liveness/budgets, 0 errors)"
+  | [| _; "--disable-typo"; err_path; out_path |] ->
+    (* disable_typo.{err,out}: an unknown --disable code must warn on
+       stderr without changing the clean verdict (the dune rule already
+       pinned exit code 0). *)
+    let err = read err_path in
+    if not (contains ~needle:"matches no known diagnostic code" err) then begin
+      Printf.eprintf "check_lint: %s lacks the unknown-disable warning:\n%s" err_path
+        err;
+      exit 1
+    end;
+    let out = read out_path in
+    if not (contains ~needle:"0 errors, 0 warnings, 0 info" out) then begin
+      Printf.eprintf "check_lint: %s is not a clean check:\n%s" out_path out;
+      exit 1
+    end;
+    print_endline "check_lint: ok (unknown --disable warns without changing the verdict)"
   | [| _; path |] ->
     let body = read path in
     if not (contains ~needle:"0 errors, 0 warnings, 0 info" body) then begin
@@ -34,5 +73,5 @@ let () =
     end;
     print_endline "check_lint: ok (bosec check reports 0 errors)"
   | _ ->
-    prerr_endline "usage: check_lint [--usage] FILE";
+    prerr_endline "usage: check_lint [--usage | --analyze | --disable-typo ERR OUT] FILE";
     exit 2

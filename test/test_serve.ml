@@ -313,6 +313,62 @@ let test_protocol_basics () =
   Alcotest.(check bool) "stopping" true (Serve.stopping t);
   Serve.shutdown t
 
+let get_num path reply =
+  match Json.parse reply with
+  | Error msg -> Alcotest.failf "reply is not JSON: %s (%s)" msg reply
+  | Ok v ->
+    let rec go v = function
+      | [] -> Json.num v
+      | k :: rest -> (match Json.mem k v with Some v -> go v rest | None -> None)
+    in
+    go v path
+
+let test_analyze_op () =
+  with_dir @@ fun dir ->
+  let t = Serve.create ~cache_dir:dir () in
+  (* Inline plan: clean analysis, report fields present. *)
+  let plan, _ = sample_artifacts 5 4 in
+  let req =
+    Json.to_string
+      (Json.Obj
+         [
+           ("id", Json.Num 1.);
+           ("op", Json.Str "analyze");
+           ("params", Json.Obj [ ("plan", Json.Str (Plan.to_string plan)) ]);
+         ])
+  in
+  let r = Serve.handle_line t req in
+  Alcotest.(check bool) "inline plan ok" true (ok_reply r);
+  Alcotest.(check (option (float 0.))) "no errors" (Some 0.)
+    (get_num [ "result"; "errors" ] r);
+  Alcotest.(check bool) "depth reported" true
+    (get_num [ "result"; "report"; "depth" ] r <> None);
+  Alcotest.(check bool) "fidelity interval reported" true
+    (get_num [ "result"; "report"; "fidelity"; "lo" ] r <> None);
+  (* Neither plan nor key is a bad request, not an exception. *)
+  Alcotest.(check (option string)) "no plan, no key" (Some "bad-request")
+    (get_str [ "error"; "code" ] (Serve.handle_line t {|{"id":2,"op":"analyze"}|}));
+  Alcotest.(check (option string)) "unknown key" (Some "bad-request")
+    (get_str [ "error"; "code" ]
+       (Serve.handle_line t {|{"id":3,"op":"analyze","params":{"key":"nope"}}|}));
+  (* Compile through the cache, then analyze the stored artifact by
+     key with a depth ceiling low enough to trip BH1102. *)
+  let rc = Serve.handle_line t (compile_req ~id:4 ~seed:9) in
+  let key = match get_str [ "result"; "key" ] rc with
+    | Some k -> k
+    | None -> Alcotest.fail "compile reply has no key"
+  in
+  let ra =
+    Serve.handle_line t
+      (Printf.sprintf
+         {|{"id":5,"op":"analyze","params":{"key":"%s","tau":0.999,"max_depth":1}}|}
+         key)
+  in
+  Alcotest.(check bool) "by-key ok" true (ok_reply ra);
+  Alcotest.(check bool) "depth ceiling trips errors" true
+    (match get_num [ "result"; "errors" ] ra with Some e -> e > 0. | None -> false);
+  Serve.shutdown t
+
 let test_restart_disk_hit_bit_identical () =
   with_dir @@ fun dir ->
   (* First server: cold compile, killed. *)
@@ -470,6 +526,8 @@ let () =
         [
           Alcotest.test_case "ping/stats/sample/errors/shutdown" `Quick
             test_protocol_basics;
+          Alcotest.test_case "analyze op: inline, by key, errors" `Quick
+            test_analyze_op;
           Alcotest.test_case "restart disk hit is bit-identical" `Quick
             test_restart_disk_hit_bit_identical;
         ] );
