@@ -32,6 +32,10 @@ let g_bin_load_us = Obs.Gauge.make "bench.binary_load_us"
 let g_bin_speedup = Obs.Gauge.make "bench.binary_load_speedup"
 let g_rot_melems = Obs.Gauge.make "bench.rot_melems_s"
 let g_analyze_per_s = Obs.Gauge.make "bench.analyze_per_s"
+let g_target_rotations = Obs.Gauge.make "bench.target_rotations"
+let g_target_kept = Obs.Gauge.make "bench.target_kept"
+let g_target_fidelity = Obs.Gauge.make "bench.target_fidelity"
+let g_target_depth = Obs.Gauge.make "bench.target_depth"
 
 (* Boxed get/set reference implementations: what the flat kernels are
    measured against, and what they replaced. *)
@@ -367,10 +371,43 @@ let sampling_scaling ~modes ~shots =
          modes shots jobs (1e3 *. wall) speedup)
     (scaling_jobs ())
 
+(* Cross-target compiles: the same 32-qumode Haar unitary on every
+   registered hardware target, with plan size, hard-mask keep count,
+   predicted fidelity and schedule depth as gauges. The floors pin the
+   quality contract per target (a topology or ceiling regression that
+   degrades plans fails here); wall-clock is reported but not bound —
+   graph targets legitimately cost more than the grid path. *)
+let target_compile_row ~n (target : Bose_hardware.Target.t) =
+  Benchlib.Telemetry.row ~experiment:"micro"
+    ~row:(Printf.sprintf "target-compile-%d-%s" n target.Bose_hardware.Target.name)
+  @@ fun () ->
+  let u = Unitary.haar_random (Rng.create 8) n in
+  let t0 = Unix.gettimeofday () in
+  let c =
+    Bosehedral.Compiler.compile_for_target ~effort:Bosehedral.Compiler.Fast ~tau:0.99
+      ~rng:(Rng.create 9) ~target ~config:Bosehedral.Config.Full_opt u
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let rotations = Plan.rotation_count c.Bosehedral.Compiler.plan in
+  let kept = Bosehedral.Compiler.beamsplitters_kept c in
+  let fidelity = Bosehedral.Compiler.predicted_fidelity c in
+  let depth =
+    (Bosehedral.Compiler.analyze c).Bose_flow.Flow.layers.Bose_flow.Flow.depth
+  in
+  Obs.Gauge.set g_wall_s wall;
+  Obs.Gauge.set g_target_rotations (float_of_int rotations);
+  Obs.Gauge.set g_target_kept (float_of_int kept);
+  Obs.Gauge.set g_target_fidelity fidelity;
+  Obs.Gauge.set g_target_depth (float_of_int depth);
+  Printf.printf
+    "target-compile-%d-%-13s %8.1f ms  %4d rot, keep %4d, fidelity %.4f, depth %3d\n" n
+    target.Bose_hardware.Target.name (1e3 *. wall) rotations kept fidelity depth
+
 let run () =
   Benchlib.header "Micro-benchmarks (Bechamel): compiler kernels at 24 qumodes";
   cache_recompile_row ~n:16 ~rows:4 ~cols:4;
   cache_recompile_row ~n:32 ~rows:6 ~cols:6;
+  List.iter (target_compile_row ~n:32) (Bose_hardware.Target.all ());
   serve_sustained_row ();
   artifact_load_row ~n:32;
   rot_throughput_row ~n:128;

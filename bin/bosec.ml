@@ -8,6 +8,7 @@
      simulate   compile + execute on the noisy simulator, report JSD
      sample     draw GBS samples from a squeezed-light interferometer
      layouts    compare square / triangular / hexagonal couplings
+     targets    list the registered hardware targets (docs/TARGETS.md)
      serve      long-running compile/sample service (docs/SERVING.md)
 
    Every subcommand accepts --metrics-out FILE (write the telemetry
@@ -23,6 +24,7 @@ module Dist = Bose_util.Dist
 module Unitary = Bose_linalg.Unitary
 module Lattice = Bose_hardware.Lattice
 module Coupling = Bose_hardware.Coupling
+module Target = Bose_hardware.Target
 module Emb = Bose_hardware.Embedding
 module Pattern = Bose_hardware.Pattern
 module Plan = Bose_decomp.Plan
@@ -121,8 +123,8 @@ let run_batch_compile ~rows ~cols ~modes ~seed ~config ~tau ~graph_p ~effort ~jo
    | None -> ()
    | Some c -> Format.printf "cache: %a@." Pipeline.Cache.pp c)
 
-let run_compile rows cols modes seed config tau graph_p effort jobs batch verbose plan_out
-    unitary_out list_passes disable_passes cache_stats metrics_out trace =
+let run_compile rows cols modes target seed config tau graph_p effort jobs batch verbose
+    plan_out unitary_out list_passes disable_passes cache_stats metrics_out trace =
   if list_passes then begin
     print_pipeline ();
     exit 0
@@ -133,6 +135,10 @@ let run_compile rows cols modes seed config tau graph_p effort jobs batch verbos
   end;
   if batch < 0 then begin
     Printf.eprintf "bosec compile: --batch must be >= 0\n";
+    exit 2
+  end;
+  if Option.is_some target && batch > 0 then begin
+    Printf.eprintf "bosec compile: --target is not supported with --batch\n";
     exit 2
   end;
   if batch > 0 then begin
@@ -155,8 +161,16 @@ let run_compile rows cols modes seed config tau graph_p effort jobs batch verbos
     disable_passes;
   let rng = Rng.create seed in
   let device = Lattice.create ~rows ~cols in
-  let modes = match modes with Some n -> n | None -> Lattice.size device in
-  if modes > Lattice.size device then begin
+  (* With --target the target sizes its own device; a 16-qumode default
+     keeps the quickstart fast. Without it, the program fills the
+     --rows x --cols device as before. *)
+  let modes =
+    match (modes, target) with
+    | Some n, _ -> n
+    | None, Some _ -> 16
+    | None, None -> Lattice.size device
+  in
+  if Option.is_none target && modes > Lattice.size device then begin
     Printf.eprintf "error: %d qumodes do not fit on a %dx%d device\n" modes rows cols;
     exit 1
   end;
@@ -164,9 +178,17 @@ let run_compile rows cols modes seed config tau graph_p effort jobs batch verbos
   with_obs ~metrics_out ~trace @@ fun () ->
   let u = make_unitary rng ~modes ~graph_p in
   let compiled =
-    Compiler.compile ~effort ~tau ?cache ~disabled_passes:disable_passes ~rng ~device
-      ~config u
+    match target with
+    | Some target ->
+      Compiler.compile_for_target ~effort ~tau ?cache ~disabled_passes:disable_passes
+        ~rng ~target ~config u
+    | None ->
+      Compiler.compile ~effort ~tau ?cache ~disabled_passes:disable_passes ~rng ~device
+        ~config u
   in
+  (match target with
+   | Some (t : Target.t) -> Format.printf "target: %s@." t.Target.name
+   | None -> ());
   (match cache with
    | None -> ()
    | Some c -> Format.printf "cache: %a@." Pipeline.Cache.pp c);
@@ -235,8 +257,8 @@ let warn_unknown_disables cmd disable =
 (* `bosec check`: the lint engine over serialized artifacts. Artifacts
    that fail to parse become BH08xx diagnostics rather than exceptions;
    the exit code is 1 iff any error-severity diagnostic fired. *)
-let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror disable
-    list_passes metrics_out trace =
+let run_check plan_file unitary_file cache_dir target_name compiled_for seed tau
+    min_fidelity json werror disable list_passes metrics_out trace =
   if list_passes then begin
     List.iter
       (fun p ->
@@ -245,9 +267,11 @@ let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
       Lint.passes;
     exit 0
   end;
-  if plan_file = None && unitary_file = None && cache_dir = None then begin
+  if plan_file = None && unitary_file = None && cache_dir = None && target_name = None
+  then begin
     Printf.eprintf
-      "bosec check: nothing to check (use --plan, --unitary and/or --cache-dir)\n";
+      "bosec check: nothing to check (use --plan, --unitary, --cache-dir and/or \
+       --target)\n";
     exit 2
   end;
   warn_unknown_disables "check" disable;
@@ -301,6 +325,11 @@ let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
           policy;
           min_fidelity;
           cache_dir;
+          (* No flow backend here, so the target pass owns the depth
+             ceiling (BH1303); `bosec analyze --target` attaches the
+             target-derived backend and gates depth as BH1102 instead. *)
+          target_name;
+          compiled_target = compiled_for;
         }
       in
       let settings = { Lint.default_settings with Lint.disabled_codes = disable; werror } in
@@ -316,33 +345,42 @@ let run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
    against a hardware coupling graph. Prints the JSON report, then the
    BH11xx-and-friends diagnostics; exits 1 iff any error fired, with
    --werror promoting warnings, mirroring `bosec check`. *)
-let run_analyze plan_file unitary_file seed tau coupling_kind rows cols routing_budget
-    max_depth loss min_transmission json werror disable metrics_out trace =
+let run_analyze plan_file unitary_file seed tau coupling_kind rows cols target
+    routing_budget max_depth loss min_transmission json werror disable metrics_out trace
+    =
   (match plan_file with
    | Some _ -> ()
    | None ->
      Printf.eprintf "bosec analyze: nothing to analyze (use --plan)\n";
      exit 2);
+  if Option.is_some target && Option.is_some coupling_kind then begin
+    Printf.eprintf
+      "bosec analyze: --target and --coupling are mutually exclusive (the target \
+       brings its own coupling graph)\n";
+    exit 2
+  end;
   warn_unknown_disables "analyze" disable;
   let coupling =
     match coupling_kind with
     | None -> None
     | Some kind ->
-      (match kind with
-       | "square" -> Some (Coupling.of_lattice (Lattice.create ~rows ~cols))
-       | "triangular" -> Some (Coupling.triangular ~rows ~cols)
-       | "hexagonal" -> Some (Coupling.hexagonal ~rows ~cols)
-       | other ->
-         Printf.eprintf
-           "bosec analyze: unknown coupling %s (expected square | triangular | \
-            hexagonal)\n"
-           other;
+      (match Coupling.of_kind_string ~rows ~cols kind with
+       | Ok c -> Some c
+       | Error msg ->
+         Printf.eprintf "bosec analyze: %s\n" msg;
          exit 2)
   in
-  let noise = if loss > 0. then Noise.uniform loss else Noise.ideal in
-  let backend =
-    Bose_flow.Flow.backend ?coupling ~routing_budget ?max_depth ~noise
-      ~min_transmission ()
+  (* The manual backend knobs are usable immediately; a target backend
+     needs the plan's mode count, so it is derived after the plan
+     loads. *)
+  let backend_for plan =
+    match ((target : Target.t option), plan) with
+    | Some t, Some p -> Bose_flow.Flow.backend_of_target ~n:p.Plan.modes t
+    | Some _, None -> Bose_flow.Flow.backend ()
+    | None, _ ->
+      let noise = if loss > 0. then Noise.uniform loss else Noise.ideal in
+      Bose_flow.Flow.backend ?coupling ~routing_budget ?max_depth ~noise
+        ~min_transmission ()
   in
   let had_errors = ref false in
   with_obs ~metrics_out ~trace (fun () ->
@@ -381,6 +419,7 @@ let run_analyze plan_file unitary_file seed tau coupling_kind rows cols routing_
           Some (Bose_dropout.Dropout.make_policy (Rng.create seed) plan reference ~tau)
         | _ -> None
       in
+      let backend = backend_for plan in
       let report =
         match plan with
         | None -> None
@@ -401,6 +440,7 @@ let run_analyze plan_file unitary_file seed tau coupling_kind rows cols routing_
              | _ -> None);
           policy;
           backend = Some backend;
+          target_name = Option.map (fun (t : Target.t) -> t.Target.name) target;
         }
       in
       let settings = { Lint.default_settings with Lint.disabled_codes = disable; werror } in
@@ -451,8 +491,8 @@ let run_simulate rows cols modes seed tau graph_p loss cutoff metrics_out trace 
    through a Haar-random (or graph-encoded) interferometer. Shots fan
    out over pre-split per-chain RNG streams, so the sample list is
    bit-identical at every --jobs value. *)
-let run_sample modes seed shots jobs chains squeezing max_photons use_chain_rule graph_p
-    metrics_out trace =
+let run_sample modes target seed shots jobs chains squeezing max_photons use_chain_rule
+    graph_p metrics_out trace =
   if jobs < 1 then begin
     Printf.eprintf "bosec sample: --jobs must be >= 1\n";
     exit 2
@@ -464,6 +504,29 @@ let run_sample modes seed shots jobs chains squeezing max_photons use_chain_rule
   with_obs ~metrics_out ~trace @@ fun () ->
   let rng = Rng.create seed in
   let u = make_unitary (Rng.create (seed + 1)) ~modes ~graph_p in
+  (* With --target, sample the interferometer the hardware would
+     actually run: compile for the target and push the approximate
+     unitary (dropout's deterministic hard mask applied) through the
+     Gaussian simulation instead of the exact program unitary. *)
+  let u =
+    match target with
+    | None -> u
+    | Some target ->
+      let c =
+        Compiler.compile_for_target ~rng:(Rng.create (seed + 2)) ~target
+          ~config:Config.Full_opt u
+      in
+      let kept =
+        Option.map
+          (fun p -> Bose_dropout.Dropout.hard_kept p c.Compiler.plan)
+          c.Compiler.policy
+      in
+      Format.printf "target %s: sampling the compiled approximation (%d of %d rotations kept)@."
+        target.Target.name
+        (Compiler.beamsplitters_kept c)
+        (Plan.rotation_count c.Compiler.plan);
+      Compiler.approx_unitary ?kept c
+  in
   let state = Gaussian.vacuum modes in
   for i = 0 to modes - 1 do
     Gaussian.squeeze state i (Cx.re squeezing)
@@ -531,11 +594,16 @@ let run_layouts rows cols modes seed tau metrics_out trace =
   let rng = Rng.create seed in
   with_obs ~metrics_out ~trace @@ fun () ->
   let layouts =
-    [
-      ("square", Coupling.of_lattice (Lattice.create ~rows ~cols));
-      ("triangular", Coupling.triangular ~rows ~cols);
-      ("hexagonal", Coupling.hexagonal ~rows ~cols);
-    ]
+    List.map
+      (fun kind ->
+         match Coupling.of_kind_string ~rows ~cols kind with
+         | Ok c -> (kind, c)
+         | Error msg ->
+           (* kind_names is the parser's own vocabulary, so this is
+              unreachable; fail loudly rather than silently skipping. *)
+           Printf.eprintf "bosec layouts: %s\n" msg;
+           exit 2)
+      Coupling.kind_names
   in
   let modes = match modes with Some n -> n | None -> rows * cols in
   let u = Unitary.haar_random rng modes in
@@ -554,10 +622,59 @@ let run_layouts rows cols modes seed tau metrics_out trace =
          (Compiler.small_angles compiled ~threshold:0.1))
     layouts
 
+(* `bosec targets`: the hardware-target registry (docs/TARGETS.md). One
+   line per target: name, topology class, routing budget, the depth
+   ceiling evaluated at a 32-mode reference program, and the doc. *)
+let run_targets () =
+  List.iter
+    (fun (t : Target.t) ->
+       let topology =
+         match t.Target.topology with Target.Grid _ -> "grid" | Target.Graph _ -> "graph"
+       in
+       let depth =
+         match t.Target.max_depth 32 with
+         | None -> "unlimited"
+         | Some d -> Printf.sprintf "%d @ n=32" d
+       in
+       Printf.printf "%-14s %-6s routing %-2d depth %-11s %s\n" t.Target.name topology
+         t.Target.routing_budget depth t.Target.doc)
+    (Target.all ())
+
 open Cmdliner
 
-let rows = Arg.(value & opt int 6 & info [ "rows" ] ~doc:"Device rows.")
-let cols = Arg.(value & opt int 6 & info [ "cols" ] ~doc:"Device columns.")
+let rows =
+  Arg.(value
+       & opt int 6
+       & info [ "rows" ]
+           ~doc:"Device rows. Legacy spelling of the hardware description: prefer \
+                 $(b,--target), which sizes its own device; with it this flag is \
+                 ignored.")
+
+let cols =
+  Arg.(value
+       & opt int 6
+       & info [ "cols" ]
+           ~doc:"Device columns. Legacy spelling of the hardware description: prefer \
+                 $(b,--target), which sizes its own device; with it this flag is \
+                 ignored.")
+
+(* --target NAME, resolved against the registry at parse time. The
+   check subcommand deliberately takes the raw string instead, so an
+   unknown name reaches the lint engine as BH1301. *)
+let target_conv =
+  let parse s =
+    match Target.find s with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown target %s (registered: %s)" s
+              (String.concat " | " (Target.names ()))))
+  in
+  let print fmt (t : Target.t) = Format.pp_print_string fmt t.Target.name in
+  Arg.conv (parse, print)
+
+let target_arg ~doc = Arg.(value & opt (some target_conv) None & info [ "target" ] ~docv:"NAME" ~doc)
 
 let modes =
   Arg.(value
@@ -669,15 +786,25 @@ let batch =
            ~doc:"Compile $(docv) seed-varied programs as one batch (sharded across \
                  $(b,--jobs) domains) instead of a single program.")
 
+let compile_target =
+  target_arg
+    ~doc:
+      "Compile for a registered hardware target (see $(b,bosec targets)). The target \
+       supplies the coupling graph, embedding, routing budget, depth ceiling and \
+       noise model; $(b,--rows)/$(b,--cols) are ignored and $(b,--modes) defaults \
+       to 16. Not supported with $(b,--batch)."
+
 let compile_term =
   Term.(
-    const (fun rows cols modes seed config tau graph_p effort jobs batch verbose plan_out
-             unitary_out list_passes disable_passes cache_stats metrics_out trace ->
-        run_compile rows cols modes seed config tau graph_p effort jobs batch verbose
-          plan_out unitary_out list_passes disable_passes cache_stats metrics_out trace)
-    $ rows $ cols $ modes $ seed $ config $ tau $ graph_p $ effort $ jobs $ batch
-    $ verbose $ plan_out $ unitary_out $ list_compile_passes $ disable_passes
-    $ cache_stats $ metrics_out $ trace)
+    const (fun rows cols modes target seed config tau graph_p effort jobs batch verbose
+             plan_out unitary_out list_passes disable_passes cache_stats metrics_out
+             trace ->
+        run_compile rows cols modes target seed config tau graph_p effort jobs batch
+          verbose plan_out unitary_out list_passes disable_passes cache_stats
+          metrics_out trace)
+    $ rows $ cols $ modes $ compile_target $ seed $ config $ tau $ graph_p $ effort
+    $ jobs $ batch $ verbose $ plan_out $ unitary_out $ list_compile_passes
+    $ disable_passes $ cache_stats $ metrics_out $ trace)
 
 let compile_cmd =
   Cmd.v
@@ -736,17 +863,33 @@ let check_cmd =
          & flag
          & info [ "list-passes" ] ~doc:"List the registered lint passes and their codes.")
   in
+  let target_name =
+    Arg.(value
+         & opt (some string) None
+         & info [ "target" ] ~docv:"NAME"
+             ~doc:"Check the artifacts against a hardware target: unknown names are \
+                   BH1301, a plan deeper than the target's depth ceiling is BH1303, \
+                   and a mismatching $(b,--compiled-for) is BH1302.")
+  in
+  let compiled_for =
+    Arg.(value
+         & opt (some string) None
+         & info [ "compiled-for" ] ~docv:"NAME"
+             ~doc:"Target the plan was originally compiled for (its provenance); \
+                   differing from $(b,--target) is BH1302.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Statically verify serialized compiler artifacts; exit 1 on any error \
              diagnostic")
     Term.(
-      const (fun plan_file unitary_file cache_dir seed tau min_fidelity json werror
-               disable list_passes metrics_out trace ->
-          run_check plan_file unitary_file cache_dir seed tau min_fidelity json werror
-            disable list_passes metrics_out trace)
-      $ plan_file $ unitary_file $ cache_dir $ seed $ check_tau $ min_fidelity $ json
-      $ werror $ disable $ list_passes $ metrics_out $ trace)
+      const (fun plan_file unitary_file cache_dir target_name compiled_for seed tau
+               min_fidelity json werror disable list_passes metrics_out trace ->
+          run_check plan_file unitary_file cache_dir target_name compiled_for seed tau
+            min_fidelity json werror disable list_passes metrics_out trace)
+      $ plan_file $ unitary_file $ cache_dir $ target_name $ compiled_for $ seed
+      $ check_tau $ min_fidelity $ json $ werror $ disable $ list_passes $ metrics_out
+      $ trace)
 
 let analyze_cmd =
   let plan_file =
@@ -775,7 +918,18 @@ let analyze_cmd =
          & info [ "coupling" ] ~docv:"KIND"
              ~doc:"Check coupling feasibility against a $(docv) graph (square, \
                    triangular or hexagonal on $(b,--rows) x $(b,--cols)) whose sites \
-                   are the plan's qumode labels. Without it, feasibility is skipped.")
+                   are the plan's qumode labels. Without it, feasibility is skipped. \
+                   Legacy spelling of the hardware description: prefer $(b,--target), \
+                   which also brings the routing budget, depth ceiling and noise \
+                   model.")
+  in
+  let analyze_target =
+    target_arg
+      ~doc:
+        "Analyze against a registered hardware target (see $(b,bosec targets)): its \
+         coupling graph sized to the plan, routing budget, depth ceiling and noise \
+         model. Mutually exclusive with $(b,--coupling) and the manual backend \
+         knobs."
   in
   let routing_budget =
     Arg.(value
@@ -827,14 +981,15 @@ let analyze_cmd =
              per-mode liveness, coupling feasibility, fidelity/loss budget intervals \
              (JSON report); exit 1 on any error diagnostic")
     Term.(
-      const (fun plan_file unitary_file seed tau coupling_kind rows cols routing_budget
-               max_depth loss min_transmission json werror disable metrics_out trace ->
-          run_analyze plan_file unitary_file seed tau coupling_kind rows cols
+      const (fun plan_file unitary_file seed tau coupling_kind rows cols target
+               routing_budget max_depth loss min_transmission json werror disable
+               metrics_out trace ->
+          run_analyze plan_file unitary_file seed tau coupling_kind rows cols target
             routing_budget max_depth loss min_transmission json werror disable
             metrics_out trace)
       $ plan_file $ unitary_file $ seed $ analyze_tau $ coupling_kind $ rows $ cols
-      $ routing_budget $ max_depth $ analyze_loss $ min_transmission $ json $ werror
-      $ disable $ metrics_out $ trace)
+      $ analyze_target $ routing_budget $ max_depth $ analyze_loss $ min_transmission
+      $ json $ werror $ disable $ metrics_out $ trace)
 
 let simulate_cmd =
   Cmd.v
@@ -877,17 +1032,24 @@ let sample_cmd =
              ~doc:"Sample mode-by-mode via conditional loop hafnians instead of \
                    enumerating the truncated distribution.")
   in
+  let sample_target =
+    target_arg
+      ~doc:
+        "Compile the interferometer for a registered hardware target first (see \
+         $(b,bosec targets)) and sample its approximate unitary — dropout's \
+         deterministic hard mask applied — instead of the exact program unitary."
+  in
   Cmd.v
     (Cmd.info "sample"
        ~doc:"Draw GBS samples from a squeezed-light interferometer; $(b,--jobs) fans \
              shot chains out over a domain pool with bit-identical output")
     Term.(
-      const (fun modes seed shots jobs chains squeezing max_photons use_chain_rule
-               graph_p metrics_out trace ->
-          run_sample modes seed shots jobs chains squeezing max_photons use_chain_rule
-            graph_p metrics_out trace)
-      $ sample_modes $ seed $ shots $ jobs $ chains $ squeezing $ max_photons
-      $ use_chain_rule $ graph_p $ metrics_out $ trace)
+      const (fun modes target seed shots jobs chains squeezing max_photons
+               use_chain_rule graph_p metrics_out trace ->
+          run_sample modes target seed shots jobs chains squeezing max_photons
+            use_chain_rule graph_p metrics_out trace)
+      $ sample_modes $ sample_target $ seed $ shots $ jobs $ chains $ squeezing
+      $ max_photons $ use_chain_rule $ graph_p $ metrics_out $ trace)
 
 let serve_cmd =
   let socket =
@@ -930,6 +1092,13 @@ let layouts_cmd =
           run_layouts rows cols modes seed tau metrics_out trace)
       $ rows $ cols $ modes $ seed $ tau $ metrics_out $ trace)
 
+let targets_cmd =
+  Cmd.v
+    (Cmd.info "targets"
+       ~doc:"List the registered hardware targets (docs/TARGETS.md); pass a name to \
+             $(b,--target) on compile, check, analyze or sample")
+    Term.(const run_targets $ const ())
+
 let () =
   let doc = "Bosehedral compiler for (Gaussian) Boson sampling programs" in
   let default = compile_term in
@@ -938,4 +1107,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "bosec" ~doc ~version:Version.version)
           [ compile_cmd; check_cmd; analyze_cmd; simulate_cmd; sample_cmd; layouts_cmd;
-            serve_cmd ]))
+            targets_cmd; serve_cmd ]))

@@ -34,11 +34,14 @@ let () =
          (List.length (Pattern.main_path_labels pattern))
          (100. *. Compiler.beamsplitter_reduction compiled)
          (Compiler.small_angles compiled ~threshold:0.1))
-    [
-      ("square 4x4", Coupling.of_lattice (Lattice.create ~rows:4 ~cols:4));
-      ("triangular", Coupling.triangular ~rows:4 ~cols:4);
-      ("hexagonal", Coupling.hexagonal ~rows:4 ~cols:4);
-    ];
+    (* The same parser `bosec analyze --coupling` and `bosec layouts`
+       use, so the example stays in lockstep with the CLI vocabulary. *)
+    (List.map
+       (fun kind ->
+          match Coupling.of_kind_string ~rows:4 ~cols:4 kind with
+          | Ok c -> (kind ^ " 4x4", c)
+          | Error msg -> failwith msg)
+       Coupling.kind_names);
 
   (* MZI realizations: same plan, two hardware styles. *)
   let device = Lattice.create ~rows:4 ~cols:4 in

@@ -9,6 +9,7 @@ module Obs = Bose_obs.Obs
 module Lint = Bose_lint.Lint
 module Flow = Bose_flow.Flow
 module Coupling = Bose_hardware.Coupling
+module Target = Bose_hardware.Target
 module Rng = Bose_util.Rng
 module Pool = Bose_par.Pool
 
@@ -34,6 +35,7 @@ type t = {
   config : Config.t;
   tau : float;
   device : Lattice.t;
+  target : Target.t option;
   pattern : Pattern.t;
   mapping : Mapping.t;
   plan : Plan.t;
@@ -47,7 +49,7 @@ type t = {
    result from the context's artifact cells. The per-stage work lives
    in Pass.{embed,map,decompose,dropout}; this function only sequences
    and observes. *)
-let drive ?cache ?(disabled = []) ~effort ~tau ~rng ~device ~config ~source u =
+let drive ?cache ?(disabled = []) ?target ~effort ~tau ~rng ~device ~config ~source u =
   let n = Mat.rows u in
   Obs.Counter.incr c_compiles;
   Obs.Gauge.observe_max g_modes (float_of_int n);
@@ -60,7 +62,11 @@ let drive ?cache ?(disabled = []) ~effort ~tau ~rng ~device ~config ~source u =
   let mats0 = Mat.allocations () in
   let offheap0 = Mat.bytes_offheap () in
   let locks0 = Mat.lock_releases () in
-  let ctx = Pass.context ~effort ~tau ~rng ~device ~config ~source ~ws u in
+  let ctx =
+    Pass.context ~effort ~tau
+      ?target:(Option.map (fun (t : Target.t) -> t.Target.name) target)
+      ~rng ~device ~config ~source ~ws u
+  in
   let trace = Pipeline.run ?cache ~disabled Pipeline.default ctx in
   let pattern = Pass.pattern_exn ctx in
   let mapping = Pass.mapping_exn ctx in
@@ -82,6 +88,7 @@ let drive ?cache ?(disabled = []) ~effort ~tau ~rng ~device ~config ~source u =
     config;
     tau;
     device;
+    target;
     pattern;
     mapping;
     plan;
@@ -116,6 +123,30 @@ let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_pa
   Obs.Span.with_ "compile" (fun () ->
       drive ?cache ?disabled:disabled_passes ~effort ~tau ~rng ~device ~config
         ~source:(Pass.Explicit pattern) u)
+
+(* Target-directed compilation. Grid targets run through the same
+   [source = Device] path as [compile] with the target-sized lattice —
+   identical pass bodies and RNG draw order, so a zigzag compile is
+   bit-identical to [compile ~device:(square-ish lattice)]; only the
+   fingerprints (cache keys) carry the target identity. Graph targets
+   have no lattice, so the target's derived elimination pattern goes in
+   explicitly, with a placeholder 1×n device (the same convention as
+   [compile_with_pattern]). *)
+let compile_for_target ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ~rng
+    ~target ~config u =
+  let n = Mat.rows u in
+  if Mat.cols u <> n then invalid_arg "Compiler.compile_for_target: unitary must be square";
+  let device, source =
+    match Target.device target n with
+    | Some lattice ->
+      if n > Lattice.size lattice then
+        invalid_arg "Compiler.compile_for_target: program larger than target device";
+      (lattice, Pass.Device)
+    | None -> (Lattice.create ~rows:1 ~cols:n, Pass.Explicit (Target.pattern target n))
+  in
+  Obs.Span.with_ "compile" (fun () ->
+      drive ?cache ?disabled:disabled_passes ~target ~effort ~tau ~rng ~device ~config
+        ~source u)
 
 (* The same fields the passes fingerprint, folded once per job. Jobs
    with identical inputs get identical streams, so a cache replay of a
@@ -225,8 +256,11 @@ let small_angles t ~threshold = Plan.small_angle_count t.plan ~threshold
    carry a placeholder 1×n device that generally fails this test (the
    explicit pattern may be embedded for a different topology), so they
    analyze without feasibility — depth, liveness and budgets are still
-   reported. *)
-let flow_backend t =
+   reported. Target-compiled results short-circuit all of this: the
+   target IS the backend (its coupling graph, routing budget, depth
+   ceiling, noise model and loss floor), with the compile pattern's
+   sites as the label → site map when the pattern carries one. *)
+let flow_backend_from_device t =
   let n = Pattern.size t.pattern in
   let sites = Array.make n (-1) in
   let faithful = ref true in
@@ -254,6 +288,20 @@ let flow_backend t =
     Flow.backend ~coupling:(Coupling.of_lattice t.device) ~sites ()
   else Flow.backend ()
 
+let flow_backend t =
+  match t.target with
+  | Some target ->
+    let n = Pattern.size t.pattern in
+    let sites = Array.make n (-1) in
+    let embedded = ref true in
+    for label = 0 to n - 1 do
+      match Pattern.site t.pattern label with
+      | Some s -> sites.(label) <- s
+      | None -> embedded := false
+    done;
+    Flow.backend_of_target ?sites:(if !embedded then Some sites else None) ~n target
+  | None -> flow_backend_from_device t
+
 let lint ?settings ?unitary t =
   let subject =
     {
@@ -266,6 +314,7 @@ let lint ?settings ?unitary t =
       policy = t.policy;
       pipeline = Some t.trace;
       backend = Some (flow_backend t);
+      target_name = Option.map (fun (tg : Target.t) -> tg.Target.name) t.target;
     }
   in
   Lint.run ?settings subject

@@ -63,6 +63,12 @@ type t = {
   config : Config.t;
   tau : float;
   device : Bose_hardware.Lattice.t;
+  target : Bose_hardware.Target.t option;
+      (** The hardware target compiled for ({!compile_for_target});
+          [None] for the device/pattern entry points. Drives the
+          default {!analyze} backend and is folded into pass
+          fingerprints, so artifact caches discriminate across
+          targets. *)
   pattern : Bose_hardware.Pattern.t;
   mapping : Bose_mapping.Mapping.t;
   plan : Bose_decomp.Plan.t;  (** Decomposition of [mapping.permuted]. *)
@@ -109,6 +115,29 @@ val compile_with_pattern :
     lattice; connectivity is whatever the pattern encodes. With a
     [config] that does not use the tree pattern, the pattern is replaced
     by a chain over the same number of qumodes. *)
+
+val compile_for_target :
+  ?effort:effort ->
+  ?tau:float ->
+  ?cache:Pipeline.Cache.t ->
+  ?disabled_passes:string list ->
+  rng:Bose_util.Rng.t ->
+  target:Bose_hardware.Target.t ->
+  config:Config.t ->
+  Bose_linalg.Mat.t ->
+  t
+(** Compile for a registered hardware target ([bosec compile --target]).
+    Grid targets ({!Bose_hardware.Target.device} = [Some _]) run the
+    exact [compile ~device] path with the target-sized lattice — the
+    [zigzag] built-in is bit-identical to today's default compile —
+    while graph targets go through the target's derived elimination
+    pattern (the result's [device] is the same placeholder 1-row
+    lattice as {!compile_with_pattern}). Either way the result's
+    [target] field is set and the target name is folded into every pass
+    fingerprint, so one {!Pipeline.Cache.t} (or disk cache keyed off
+    these fingerprints) serves multiple targets without cross-talk.
+    @raise Invalid_argument on a non-square input or a program larger
+    than a grid target's device. *)
 
 val compile_batch :
   ?effort:effort ->
@@ -193,10 +222,13 @@ val analyze : ?backend:Bose_flow.Flow.backend -> t -> Bose_flow.Flow.report
     under the dropout policy's deterministic hard mask: ASAP/ALAP
     layering and commuting fronts, critical-path depth, per-mode
     liveness, sound fidelity/loss budget intervals, and coupling
-    feasibility. The default backend is the compiled result's own — the
-    device lattice as coupling graph with the pattern's embedding as
-    the label → site map (no depth limit, ideal noise); pass [?backend]
-    to ask "would this plan fit elsewhere?" instead. *)
+    feasibility. The default backend is the compiled result's own: for
+    target-compiled results, {!Bose_flow.Flow.backend_of_target} (the
+    target's coupling graph, routing budget, depth ceiling, noise model
+    and loss floor); otherwise the device lattice as coupling graph
+    with the pattern's embedding as the label → site map (no depth
+    limit, ideal noise). Pass [?backend] to ask "would this plan fit
+    elsewhere?" instead. *)
 
 val verify : t -> (unit, string) result
 (** {!lint} shim, kept for callers that only need a yes/no: [Ok] when

@@ -29,6 +29,7 @@ type ctx = {
   effort : effort;
   device : Lattice.t;
   source : pattern_source;
+  target : string option;
   rng : Rng.t;
   ws : Mat.workspace;
   mutable pattern : Pattern.t option;
@@ -37,7 +38,8 @@ type ctx = {
   mutable policy : Dropout.policy option;
 }
 
-let context ?(effort = Standard) ?(tau = 0.999) ~rng ~device ~config ~source ~ws u =
+let context ?(effort = Standard) ?(tau = 0.999) ?target ~rng ~device ~config ~source ~ws
+    u =
   {
     unitary = u;
     config;
@@ -45,6 +47,7 @@ let context ?(effort = Standard) ?(tau = 0.999) ~rng ~device ~config ~source ~ws
     effort;
     device;
     source;
+    target;
     rng;
     ws;
     pattern = None;
@@ -141,14 +144,19 @@ module Fingerprint = struct
   let to_hex = Printf.sprintf "%016Lx"
 end
 
-(* Shared job prefix: config + tau + effort. The per-pass functions
-   extend it with the slices (unitary bytes, upstream artifacts) that
-   pass actually reads. *)
+(* Shared job prefix: config + tau + effort (+ the target name when
+   compiling for one). The per-pass functions extend it with the
+   slices (unitary bytes, upstream artifacts) that pass actually
+   reads. Folding the target identity here is what keeps cache keys
+   from colliding across targets whose derived patterns happen to
+   coincide; target-less compiles keep their historical fingerprints
+   bit-for-bit (disk caches stay warm across the upgrade). *)
 let base_fp ctx =
   let open Fingerprint in
   let h = string seed (Config.name ctx.config) in
   let h = float h ctx.tau in
-  string h (effort_name ctx.effort)
+  let h = string h (effort_name ctx.effort) in
+  match ctx.target with None -> h | Some name -> string (string h "target") name
 
 let embed_fp ctx =
   let open Fingerprint in

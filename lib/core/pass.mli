@@ -33,6 +33,11 @@ type ctx = {
   effort : effort;
   device : Bose_hardware.Lattice.t;
   source : pattern_source;
+  target : string option;
+      (** Hardware-target identity ([Compiler.compile_for_target]),
+          folded into every pass fingerprint so cache keys discriminate
+          across targets; [None] (the legacy paths) leaves fingerprints
+          bit-for-bit unchanged. *)
   rng : Bose_util.Rng.t;
   ws : Bose_linalg.Mat.workspace;
   mutable pattern : Bose_hardware.Pattern.t option;
@@ -48,6 +53,7 @@ type ctx = {
 val context :
   ?effort:effort ->
   ?tau:float ->
+  ?target:string ->
   rng:Bose_util.Rng.t ->
   device:Bose_hardware.Lattice.t ->
   config:Config.t ->

@@ -205,6 +205,20 @@ let backend ?coupling ?sites ?(routing_budget = 0) ?max_depth
   Noise.validate noise;
   { coupling; sites; routing_budget; max_depth; noise; min_transmission }
 
+(* The one place a hardware target becomes a dataflow backend: the
+   coupling graph sized to the program, plus the target's routing,
+   depth, noise and loss-floor knobs, verbatim. Everything downstream
+   (BH11xx, bosec analyze, the serve analyze op) goes through this. *)
+let backend_of_target ?sites ~n (t : Bose_hardware.Target.t) =
+  {
+    coupling = Some (Bose_hardware.Target.coupling t n);
+    sites;
+    routing_budget = t.Bose_hardware.Target.routing_budget;
+    max_depth = t.Bose_hardware.Target.max_depth n;
+    noise = t.Bose_hardware.Target.noise;
+    min_transmission = t.Bose_hardware.Target.min_transmission;
+  }
+
 type infeasible_rotation = {
   rotation : int;
   pair : int * int;

@@ -132,6 +132,17 @@ val backend :
     {!Bose_circuit.Noise.ideal}, floor 0 — i.e. a backend that
     constrains nothing. *)
 
+val backend_of_target :
+  ?sites:int array -> n:int -> Bose_hardware.Target.t -> backend
+(** The canonical backend for an [n]-qumode program on a hardware
+    target: the target's coupling graph sized to [n], its routing
+    budget, its depth ceiling at [n], its noise model and loss floor.
+    [?sites] is the label → site embedding (e.g. the compile pattern's
+    {!Bose_hardware.Pattern.site} map); omitted, labels are sites.
+    Deriving backends here — not at call sites — is what keeps
+    [Compiler.lint], [bosec analyze] and the serve [analyze] op
+    agreeing on what a target means. *)
+
 type infeasible_rotation = {
   rotation : int;  (** Index into the plan's elements. *)
   pair : int * int;  (** The rotation's (m, n) qumode labels. *)

@@ -65,6 +65,21 @@ let hexagonal ~rows ~cols =
   done;
   of_edges ~n:(rows * cols) (!horizontal @ !vertical)
 
+(* One shared spelling of the lattice-kind names, so `bosec analyze
+   --coupling`, the layouts subcommand and the examples cannot drift
+   apart. *)
+let kind_names = [ "square"; "triangular"; "hexagonal" ]
+
+let of_kind_string ~rows ~cols kind =
+  match kind with
+  | "square" -> Ok (of_lattice (Lattice.create ~rows ~cols))
+  | "triangular" -> Ok (triangular ~rows ~cols)
+  | "hexagonal" -> Ok (hexagonal ~rows ~cols)
+  | other ->
+    Error
+      (Printf.sprintf "unknown coupling %s (expected %s)" other
+         (String.concat " | " kind_names))
+
 let size t = t.n
 let neighbors t v = t.adjacency.(v)
 let adjacent t a b = List.mem b t.adjacency.(a)

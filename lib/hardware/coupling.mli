@@ -23,6 +23,16 @@ val hexagonal : rows:int -> cols:int -> t
     but only every other vertical edge (brick-wall pattern), max
     degree 3. *)
 
+val kind_names : string list
+(** The lattice-kind spellings {!of_kind_string} accepts:
+    ["square"; "triangular"; "hexagonal"]. *)
+
+val of_kind_string : rows:int -> cols:int -> string -> (t, string) result
+(** Parse a lattice-kind name into its coupling graph on a
+    [rows]x[cols] grid — the one parser behind [bosec analyze
+    --coupling], [bosec layouts] and the examples. [Error] carries a
+    user-facing message naming the accepted kinds. *)
+
 val size : t -> int
 val adjacent : t -> int -> int -> bool
 val neighbors : t -> int -> int list

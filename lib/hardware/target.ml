@@ -1,0 +1,121 @@
+module Noise = Bose_circuit.Noise
+
+type topology =
+  | Grid of (int -> Lattice.t)
+  | Graph of (int -> Coupling.t)
+
+type t = {
+  name : string;
+  doc : string;
+  topology : topology;
+  routing_budget : int;
+  max_depth : int -> int option;
+  noise : Noise.t;
+  min_transmission : float;
+}
+
+let check_n name n =
+  if n < 1 then invalid_arg ("Target." ^ name ^ ": program needs at least one qumode")
+
+let coupling t n =
+  check_n "coupling" n;
+  match t.topology with
+  | Grid f -> Coupling.of_lattice (f n)
+  | Graph f -> f n
+
+let device t n =
+  check_n "device" n;
+  match t.topology with Grid f -> Some (f n) | Graph _ -> None
+
+let pattern t n =
+  check_n "pattern" n;
+  match t.topology with
+  | Grid f -> Embedding.for_program (f n) n
+  | Graph f -> Embedding.of_coupling_for_program (f n) n
+
+(* ------------------------------------------------------------------ *)
+(* Registry. Target names are stable currency — cache keys, serve
+   protocol fields, CLI flags — so registration validates eagerly and
+   collisions raise instead of shadowing.                              *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register t =
+  if t.name = "" then invalid_arg "Target.register: empty name";
+  String.iter
+    (fun c ->
+       if c = ' ' || c = '\t' || c = '\n' then
+         invalid_arg "Target.register: name must not contain whitespace")
+    t.name;
+  if Hashtbl.mem registry t.name then
+    invalid_arg ("Target.register: duplicate target " ^ t.name);
+  Hashtbl.replace registry t.name t
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) registry [])
+
+let all () = List.filter_map find (names ())
+
+(* ------------------------------------------------------------------ *)
+(* Built-ins.                                                          *)
+
+(* The paper's device: an as-square-as-possible 2-D lattice with at
+   least n sites. n = 36 gives the familiar 6x6; n = 24 gives 4x6 —
+   rows = floor(sqrt n), cols = ceil(n / rows), matching how the
+   evaluation sizes devices to programs. *)
+let square_ish n =
+  let rows = max 1 (int_of_float (sqrt (float_of_int n))) in
+  let cols = (n + rows - 1) / rows in
+  Lattice.create ~rows ~cols
+
+let ring n =
+  let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let edges = if n > 2 then (0, n - 1) :: chain else chain in
+  Coupling.of_edges ~n edges
+
+let chain n = Coupling.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let zigzag =
+  {
+    name = "zigzag";
+    doc = "2-D nearest-neighbour lattice, zigzag tree embedding (paper §IV) — the default";
+    topology = Grid square_ish;
+    routing_budget = 0;
+    max_depth = (fun _ -> None);
+    noise = Noise.ideal;
+    min_transmission = 0.;
+  }
+
+let timebin_loop =
+  {
+    name = "timebin-loop";
+    doc = "1-D time-bin loop interferometer: ring coupling, one routing hop, bounded depth";
+    topology = Graph ring;
+    routing_budget = 1;
+    (* Loop storage bounds how many passes a pulse train survives; 4
+       passes per qumode is the generous end of the regime. *)
+    max_depth = (fun n -> Some (max 16 (4 * n)));
+    noise = Noise.uniform 5e-4;
+    min_transmission = 0.;
+  }
+
+let orca_shallow =
+  {
+    name = "orca-shallow";
+    doc = "ORCA-style shallow line circuit: chain coupling, no routing, aggressive depth cap";
+    topology = Graph chain;
+    routing_budget = 0;
+    (* A chain elimination schedules in 2n - 3 fronts; capping at 2n
+       leaves just enough headroom that only dropout-heavy compiles
+       stay comfortably inside — the regime where dropout must shine. *)
+    max_depth = (fun n -> Some (max 8 (2 * n)));
+    noise = Noise.ideal;
+    min_transmission = 0.;
+  }
+
+let () =
+  register zigzag;
+  register timebin_loop;
+  register orca_shallow

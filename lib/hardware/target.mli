@@ -1,0 +1,88 @@
+(** First-class hardware targets: named, pluggable backend descriptions.
+
+    The compiler's value claim is device-aware optimization, but until
+    this module the device shape was implicit — a 2-D lattice threaded
+    through [Compiler.compile] and a hard-coded zigzag embedding. A
+    {!t} makes the target an explicit value: how to build the coupling
+    graph for a program of [n] qumodes, which elimination-pattern
+    embedding is native, how much mode routing the hardware affords,
+    its circuit-depth ceiling, and its loss model. The rest of the
+    stack derives everything from it in one place — the embedding
+    ([Compiler.compile_for_target]), the dataflow backend
+    ([Flow.backend_of_target]), pass-cache keys (the target name is
+    folded into pass fingerprints), the lint engine's BH13xx pass, the
+    [--target] CLI flags and the serve protocol's ["target"] field.
+
+    Three targets are built in (catalogue in docs/TARGETS.md):
+
+    - ["zigzag"] — the paper's 2-D nearest-neighbour lattice with the
+      zigzag tree embedding (§IV-B). Compiling for it is bit-exact
+      with [Compiler.compile] on the same lattice.
+    - ["timebin-loop"] — a 1-D nearest-neighbour ring, the loop /
+      time-bin interferometer regime (Leone & Turner,
+      arXiv:2504.16880): one fibre loop gives wraparound adjacency and
+      one hop of routing slack, but bounded storage caps the circuit
+      depth.
+    - ["orca-shallow"] — an ORCA-style shallow-circuit line (Brádler &
+      Wallner, arXiv:2112.09766): chain coupling, no routing, and an
+      aggressive depth ceiling — the regime where dropout must carry
+      the depth budget. *)
+
+(** How the target's physical layout scales with the program size [n].
+    [Grid] targets have a native 2-D lattice and take the zigzag tree
+    embedding; [Graph] targets supply an arbitrary coupling graph and
+    take the generic {!Embedding.of_coupling} embedding. *)
+type topology =
+  | Grid of (int -> Lattice.t)
+  | Graph of (int -> Coupling.t)
+
+type t = {
+  name : string;  (** Stable registry key, e.g. ["timebin-loop"]. *)
+  doc : string;  (** One line, shown by [bosec targets]. *)
+  topology : topology;
+  routing_budget : int;
+      (** Extra swap hops the hardware affords per rotation; a mode
+          pair is feasible at coupling distance <= 1 + budget. *)
+  max_depth : int -> int option;
+      (** Circuit-depth ceiling as a function of the program size;
+          [None] means unbounded. BH1102/BH1303 gate against it. *)
+  noise : Bose_circuit.Noise.t;
+  min_transmission : float;
+      (** Loss-budget floor every mode's transmissivity must clear. *)
+}
+
+(** {2 Derived views} *)
+
+val coupling : t -> int -> Coupling.t
+(** The coupling graph for an [n]-qumode program (the lattice's graph
+    for [Grid] targets). @raise Invalid_argument when [n < 1] or the
+    constructor rejects [n]. *)
+
+val device : t -> int -> Lattice.t option
+(** The native lattice sized for [n] qumodes; [None] for [Graph]
+    targets (they have no 2-D device — compile through the pattern). *)
+
+val pattern : t -> int -> Pattern.t
+(** The target's native elimination pattern for an [n]-qumode program:
+    the zigzag tree restricted to [n] for [Grid] targets,
+    {!Embedding.of_coupling_for_program} for [Graph] targets. *)
+
+(** {2 Registry} *)
+
+val register : t -> unit
+(** Add a target to the registry.
+    @raise Invalid_argument on an empty name, a name with spaces, or a
+    name already registered — target names are stable cache-key and
+    protocol currency, so collisions are programming errors. *)
+
+val find : string -> t option
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val all : unit -> t list
+(** Registered targets, in name order. *)
+
+val zigzag : t
+val timebin_loop : t
+val orca_shallow : t
+(** The built-ins, pre-registered at module init. *)

@@ -11,6 +11,7 @@ module Dropout = Bose_dropout.Dropout
 module Gate = Bose_circuit.Gate
 module Circuit = Bose_circuit.Circuit
 module Flow = Bose_flow.Flow
+module Target = Bose_hardware.Target
 module Obs = Bose_obs.Obs
 
 let c_runs = Obs.Counter.make "lint.runs"
@@ -39,6 +40,8 @@ type subject = {
   cache_dir : string option;
   backend : Flow.backend option;
   fronts : int list list option;
+  target_name : string option;
+  compiled_target : string option;
 }
 
 let empty =
@@ -59,6 +62,8 @@ let empty =
     cache_dir = None;
     backend = None;
     fronts = None;
+    target_name = None;
+    compiled_target = None;
   }
 
 (* Numeric thresholds shared with the pass contracts: the replay and
@@ -499,6 +504,72 @@ let check_flow ?backend ?policy ?fronts plan =
     List.rev !diags
   end
 
+(* BH13xx — hardware-target identity. The subject names the target the
+   artifact is being checked against ([target_name], e.g. `bosec check
+   --target`); [compiled_target] is what the artifact itself records it
+   was compiled for (e.g. serve cache metadata). The depth check
+   (BH1303) only runs when no flow backend is attached — with one, the
+   BH11xx pass already gates depth against the same ceiling (BH1102),
+   and double-reporting the same violation under two codes would force
+   every consumer to dedup. *)
+let check_target ?compiled_target ?plan ?policy ~has_backend name =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  (match Target.find name with
+   | None ->
+     emit
+       (Diag.error ~code:"BH1301"
+          ~hint:
+            (Printf.sprintf "registered targets: %s"
+               (String.concat ", " (Target.names ())))
+          (Printf.sprintf "unknown hardware target %S" name))
+   | Some tgt ->
+     (match compiled_target with
+      | Some other when other <> name ->
+        emit
+          (Diag.error ~code:"BH1302"
+             ~hint:"recompile for this target; plans do not transfer across targets"
+             (Printf.sprintf "plan was compiled for target %S, checked against %S"
+                other name))
+      | Some _ | None -> ());
+     (match plan with
+      | Some plan when not has_backend ->
+        (* Same structural gate as the flow pass: lint never raises. *)
+        let structurally_sound =
+          plan.Plan.modes > 0
+          && Array.for_all
+               (fun { Plan.rotation = { Bose_linalg.Givens.m; n; _ }; _ } ->
+                  m >= 0 && m < plan.Plan.modes && n >= 0 && n < plan.Plan.modes
+                  && m <> n)
+               plan.Plan.elements
+        in
+        (match
+           (structurally_sound, tgt.Target.max_depth plan.Plan.modes)
+         with
+         | true, Some limit ->
+           let total = Plan.rotation_count plan in
+           let kept =
+             match (policy : Dropout.policy option) with
+             | Some p
+               when Array.length p.Dropout.weights = total
+                    && p.Dropout.kept_count >= 0
+                    && p.Dropout.kept_count <= total ->
+               Some (Dropout.hard_kept p plan)
+             | Some _ | None -> None
+           in
+           let depth = (Flow.layering ?kept plan).Flow.depth in
+           if depth > limit then
+             emit
+               (Diag.error ~code:"BH1303"
+                  ~hint:"deepen dropout (lower tau) or pick a target with more \
+                         depth headroom"
+                  (Printf.sprintf
+                     "schedule depth %d exceeds target %s's depth ceiling %d" depth
+                     name limit))
+         | _ -> ())
+      | Some _ | None -> ()));
+  List.rev !diags
+
 (* BH06xx — circuit-level checks. *)
 let check_circuit ?coupled ?plan ?policy c =
   let modes = Circuit.modes c in
@@ -775,6 +846,18 @@ let passes =
            on_opt
              (check_flow ?backend:s.backend ?policy:s.policy ?fronts:s.fronts)
              s.plan);
+    };
+    {
+      name = "target";
+      codes = [ "BH1301"; "BH1302"; "BH1303" ];
+      doc = "hardware-target identity: registry membership, provenance, depth ceiling";
+      run =
+        (fun s ->
+           on_opt
+             (check_target ?compiled_target:s.compiled_target ?plan:s.plan
+                ?policy:s.policy
+                ~has_backend:(Option.is_some s.backend))
+             s.target_name);
     };
     {
       name = "circuit";

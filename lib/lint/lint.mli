@@ -81,6 +81,16 @@ type subject = {
       (** An externally supplied commuting-front schedule to validate
           against the plan (BH1105) — e.g. what a parallel executor
           intends to run. *)
+  target_name : string option;
+      (** Hardware target the subject claims to run on (BH13xx):
+          unknown names are reported against the
+          {!Bose_hardware.Target} registry, plans are gated against the
+          target's depth ceiling (only when no [backend] is attached —
+          with one, BH1102 already covers depth), and a mismatching
+          [compiled_target] is a provenance error. *)
+  compiled_target : string option;
+      (** Target the artifact records it was compiled for (e.g. serve
+          cache metadata); differing from [target_name] is BH1302. *)
 }
 
 val empty : subject
@@ -96,8 +106,8 @@ type pass = {
 
 val passes : pass list
 (** The registry, in pipeline order: [unitary], [pattern], [perms],
-    [mapping], [plan], [policy], [flow], [circuit], [aliasing], [rng],
-    [pipeline], [diskcache]. *)
+    [mapping], [plan], [policy], [flow], [target], [circuit],
+    [aliasing], [rng], [pipeline], [diskcache]. *)
 
 type settings = {
   disabled_passes : string list;  (** Pass names to skip. *)

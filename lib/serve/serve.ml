@@ -4,6 +4,7 @@ module Mat = Bose_linalg.Mat
 module Unitary = Bose_linalg.Unitary
 module Plan = Bose_decomp.Plan
 module Lattice = Bose_hardware.Lattice
+module Target = Bose_hardware.Target
 module Mapping = Bose_mapping.Mapping
 module Pool = Bose_par.Pool
 module Gaussian = Bose_gbs.Gaussian
@@ -78,6 +79,7 @@ type compile_req = {
   effort : Compiler.effort;
   rows : int;
   cols : int;
+  target : Target.t option;
   seed : int;
   key : string;
 }
@@ -99,6 +101,7 @@ type analyze_req = {
   a_max_depth : int option;
   a_loss : float;
   a_min_transmission : float;
+  a_target : Target.t option;  (* backend derived from a registered target *)
 }
 
 type request =
@@ -112,18 +115,25 @@ type request =
 (* The cache key: a content fingerprint over everything that determines
    the artifact. The seed is deliberately excluded — it only picks the
    Haar sample, and the sampled unitary itself is folded in — matching
-   the pass cache's canonicalization rule. *)
-let compile_key ~config ~tau ~effort ~rows ~cols u =
+   the pass cache's canonicalization rule. The target name is folded in
+   only when a target is requested, so pre-target disk caches keep
+   serving hits for target-less requests. *)
+let compile_key ?target ~config ~tau ~effort ~rows ~cols u =
   let open Pass.Fingerprint in
-  to_hex
-    (mat
-       (int
-          (int
-             (string (float (string (string seed "serve.compile.v1") (Config.name config)) tau)
-                (Pass.effort_name effort))
-             rows)
-          cols)
-       u)
+  let h =
+    int
+      (int
+         (string (float (string (string seed "serve.compile.v1") (Config.name config)) tau)
+            (Pass.effort_name effort))
+         rows)
+      cols
+  in
+  let h =
+    match target with
+    | None -> h
+    | Some (t : Target.t) -> string (string h "target") t.Target.name
+  in
+  to_hex (mat h u)
 
 exception Bad_request of string
 
@@ -144,12 +154,28 @@ let get_str params key =
   | None -> None
   | Some v -> (match Json.str v with Some s -> Some s | None -> fail (key ^ " must be a string"))
 
+let get_target params =
+  match get_str params "target" with
+  | None -> None
+  | Some name ->
+    (match Target.find name with
+     | Some t -> Some t
+     | None ->
+       fail
+         (Printf.sprintf "unknown target %s (registered: %s)" name
+            (String.concat " | " (Target.names ()))))
+
 let parse_compile params =
   let rows = get_int params "rows" ~default:6 in
   let cols = get_int params "cols" ~default:6 in
   let seed = get_int params "seed" ~default:2024 in
   let tau = get_num params "tau" ~default:0.999 in
   if rows < 1 || cols < 1 then fail "rows/cols must be >= 1";
+  let target = get_target params in
+  if
+    Option.is_some target
+    && (Option.is_some (Json.mem "rows" params) || Option.is_some (Json.mem "cols" params))
+  then fail "target and rows/cols are mutually exclusive (the target sizes its own device)";
   let config =
     match get_str params "config" with
     | None -> Config.Full_opt
@@ -173,12 +199,14 @@ let parse_compile params =
     | None ->
       let modes = get_int params "modes" ~default:6 in
       if modes < 1 then fail "modes must be >= 1";
-      if modes > rows * cols then fail "modes do not fit on the device";
+      if Option.is_none target && modes > rows * cols then
+        fail "modes do not fit on the device";
       Unitary.haar_random (Rng.create seed) modes
   in
-  if Mat.rows u > rows * cols then fail "unitary does not fit on the device";
-  let key = compile_key ~config ~tau ~effort ~rows ~cols u in
-  Compile { u; config; tau; effort; rows; cols; seed; key }
+  if Option.is_none target && Mat.rows u > rows * cols then
+    fail "unitary does not fit on the device";
+  let key = compile_key ?target ~config ~tau ~effort ~rows ~cols u in
+  Compile { u; config; tau; effort; rows; cols; target; seed; key }
 
 let parse_sample params =
   let s_modes = get_int params "modes" ~default:4 in
@@ -218,6 +246,13 @@ let parse_analyze params =
     fail "analyze needs a plan (inline text) or a key (disk-cache entry)";
   let a_loss = get_num params "loss" ~default:0. in
   if not (a_loss >= 0. && a_loss <= 1.) then fail "loss must be in [0,1]";
+  let a_target = get_target params in
+  if
+    Option.is_some a_target
+    && List.exists (fun k -> Option.is_some (Json.mem k params))
+         [ "max_depth"; "loss"; "min_transmission" ]
+  then fail "target and manual backend fields (max_depth/loss/min_transmission) are \
+             mutually exclusive";
   Analyze
     {
       a_plan;
@@ -231,6 +266,7 @@ let parse_analyze params =
          | _ -> fail "max_depth must be >= 0");
       a_loss;
       a_min_transmission = get_num params "min_transmission" ~default:0.;
+      a_target;
     }
 
 (* One parsed line: the request id (echoed back verbatim) plus either a
@@ -272,14 +308,23 @@ let reply_error t id code msg =
          ("error", Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]);
        ])
 
-let meta_line ~fidelity ~rotations ~modes =
-  Printf.sprintf "fidelity=%h rotations=%d modes=%d" fidelity rotations modes
+let meta_line ?target ~fidelity ~rotations ~modes () =
+  let base = Printf.sprintf "fidelity=%h rotations=%d modes=%d" fidelity rotations modes in
+  match target with None -> base | Some name -> base ^ " target=" ^ name
 
+(* Both meta generations parse: entries written before targets existed
+   lack the trailing [target=] field and come back as [None]. *)
 let parse_meta meta =
   try
     Some
-      (Scanf.sscanf meta "fidelity=%h rotations=%d modes=%d" (fun f r m -> (f, r, m)))
-  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      (Scanf.sscanf meta "fidelity=%h rotations=%d modes=%d target=%s"
+         (fun f r m tgt -> (f, r, m, Some tgt)))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    (try
+       Some
+         (Scanf.sscanf meta "fidelity=%h rotations=%d modes=%d"
+            (fun f r m -> (f, r, m, None)))
+     with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
 
 (* The [format] field reports the artifact encoding backing the reply:
    a disk hit echoes the stored object's encoding ("binary"/"text"); a
@@ -288,18 +333,20 @@ let parse_meta meta =
    fields themselves are always the text renderings (JSON strings carry
    no raw bytes); text round-trips are bit-exact, so the payload is
    identical whichever encoding backs it. *)
-let compile_result ~cached ~format ~key ~fidelity ~rotations ~modes ~plan ~unitary =
+let compile_result ?target ~cached ~format ~key ~fidelity ~rotations ~modes ~plan
+    ~unitary () =
   Json.Obj
-    [
-      ("key", Json.Str key);
-      ("cached", Json.Str cached);
-      ("format", Json.Str format);
-      ("modes", Json.Num (float_of_int modes));
-      ("rotations", Json.Num (float_of_int rotations));
-      ("fidelity", Json.Num fidelity);
-      ("plan", Json.Str plan);
-      ("unitary", Json.Str unitary);
-    ]
+    ([
+       ("key", Json.Str key);
+       ("cached", Json.Str cached);
+       ("format", Json.Str format);
+       ("modes", Json.Num (float_of_int modes));
+       ("rotations", Json.Num (float_of_int rotations));
+       ("fidelity", Json.Num fidelity);
+       ("plan", Json.Str plan);
+       ("unitary", Json.Str unitary);
+     ]
+     @ match target with None -> [] | Some name -> [ ("target", Json.Str name) ])
 
 (* Everything the reply and the disk write-through need from one
    compile: the typed artifacts for the (binary) store, the text
@@ -319,11 +366,16 @@ type compile_out = {
    caches are owner-domain state. *)
 let do_compile t ~use_mem_cache (req : compile_req) =
   let rng = Rng.create req.seed in
-  let device = Lattice.create ~rows:req.rows ~cols:req.cols in
   let cache = if use_mem_cache then Some t.mem else None in
   let c =
-    Compiler.compile ~effort:req.effort ~tau:req.tau ?cache ~rng ~device
-      ~config:req.config req.u
+    match req.target with
+    | Some target ->
+      Compiler.compile_for_target ~effort:req.effort ~tau:req.tau ?cache ~rng ~target
+        ~config:req.config req.u
+    | None ->
+      let device = Lattice.create ~rows:req.rows ~cols:req.cols in
+      Compiler.compile ~effort:req.effort ~tau:req.tau ?cache ~rng ~device
+        ~config:req.config req.u
   in
   let executed = c.Compiler.trace.Bose_lint.Lint.executed in
   let mem_hit = executed <> [] && List.for_all snd executed in
@@ -373,24 +425,25 @@ let finish_compile t id (req : compile_req) outcome =
   match outcome with
   | Error msg -> reply_error t id "internal" msg
   | Ok o ->
+    let target = Option.map (fun (t : Target.t) -> t.Target.name) req.target in
     Option.iter
       (fun d ->
          Diskcache.store d ~key:req.key
            ~meta:
-             (meta_line ~fidelity:o.co_fidelity ~rotations:o.co_rotations
-                ~modes:o.co_modes)
+             (meta_line ?target ~fidelity:o.co_fidelity ~rotations:o.co_rotations
+                ~modes:o.co_modes ())
            ~plan:o.co_plan ~unitary:o.co_unitary)
       t.disk;
     count_compile t (if o.co_mem_hit then `Mem else `Miss);
     reply_ok id
-      (compile_result
+      (compile_result ?target
          ~cached:(if o.co_mem_hit then "mem" else "none")
          ~format:
            (match t.disk with
             | Some _ -> Diskcache.format_to_string Diskcache.Binary
             | None -> "none")
          ~key:req.key ~fidelity:o.co_fidelity ~rotations:o.co_rotations
-         ~modes:o.co_modes ~plan:o.co_plan_str ~unitary:o.co_unitary_str)
+         ~modes:o.co_modes ~plan:o.co_plan_str ~unitary:o.co_unitary_str ())
 
 let do_sample t (req : sample_req) =
   let rng = Rng.create req.s_seed in
@@ -420,16 +473,22 @@ let do_sample t (req : sample_req) =
    same subject, so the reply carries both the numbers and any BH11xx
    (or structural) diagnostics. *)
 let do_analyze t (req : analyze_req) =
-  let plan, unitary =
+  let plan, unitary, compiled_target =
     match (req.a_plan, req.a_key) with
-    | Some p, _ -> (p, None)
+    | Some p, _ -> (p, None, None)
     | None, Some key ->
       (match t.disk with
        | None -> fail "analyze by key needs a disk cache (start with a cache dir)"
        | Some d ->
          (match Diskcache.find d key with
           | None -> fail ("no cache entry for key " ^ key)
-          | Some hit -> (hit.Diskcache.plan, Some hit.Diskcache.unitary)))
+          | Some hit ->
+            let stored_target =
+              match parse_meta hit.Diskcache.meta with
+              | Some (_, _, _, tgt) -> tgt
+              | None -> None
+            in
+            (hit.Diskcache.plan, Some hit.Diskcache.unitary, stored_target)))
     | None, None -> assert false (* parse_analyze rejects this shape *)
   in
   (* Same policy reconstruction as `bosec analyze --tau`: the hard mask
@@ -445,10 +504,13 @@ let do_analyze t (req : analyze_req) =
          Dropout.make_policy (Rng.create req.a_seed) plan reference ~tau)
       req.a_tau
   in
-  let noise = if req.a_loss > 0. then Noise.uniform req.a_loss else Noise.ideal in
   let backend =
-    Flow.backend ?max_depth:req.a_max_depth ~noise
-      ~min_transmission:req.a_min_transmission ()
+    match req.a_target with
+    | Some target -> Flow.backend_of_target ~n:plan.Plan.modes target
+    | None ->
+      let noise = if req.a_loss > 0. then Noise.uniform req.a_loss else Noise.ideal in
+      Flow.backend ?max_depth:req.a_max_depth ~noise
+        ~min_transmission:req.a_min_transmission ()
   in
   let kept = Option.map (fun pol -> Dropout.hard_kept pol plan) policy in
   let report = Flow.analyze ?kept ~backend plan in
@@ -462,17 +524,23 @@ let do_analyze t (req : analyze_req) =
          | _ -> None);
       policy;
       backend = Some backend;
+      target_name = Option.map (fun (t : Target.t) -> t.Target.name) req.a_target;
+      compiled_target;
     }
   in
   let diags = Lint.run subject in
   let embed s = match Json.parse s with Ok v -> v | Error _ -> Json.Null in
   Json.Obj
-    [
-      ("modes", Json.Num (float_of_int plan.Plan.modes));
-      ("report", embed (Flow.report_to_json report));
-      ("diagnostics", embed (Diag.to_json diags));
-      ("errors", Json.Num (float_of_int (Lint.errors diags)));
-    ]
+    ([
+       ("modes", Json.Num (float_of_int plan.Plan.modes));
+       ("report", embed (Flow.report_to_json report));
+       ("diagnostics", embed (Diag.to_json diags));
+       ("errors", Json.Num (float_of_int (Lint.errors diags)));
+     ]
+     @
+     match req.a_target with
+     | None -> []
+     | Some (t : Target.t) -> [ ("target", Json.Str t.Target.name) ])
 
 let stats_result t =
   let mem = Pipeline.Cache.stats t.mem in
@@ -554,15 +622,15 @@ let handle_many t lines =
          (match Option.map (fun d -> Diskcache.find d req.key) t.disk with
           | Some (Some hit) ->
             (match parse_meta hit.Diskcache.meta with
-             | Some (fidelity, rotations, modes) ->
+             | Some (fidelity, rotations, modes, target) ->
                count_compile t `Disk;
                replies.(i) <-
                  reply_ok id
-                   (compile_result ~cached:"disk"
+                   (compile_result ?target ~cached:"disk"
                       ~format:(Diskcache.format_to_string hit.Diskcache.format)
                       ~key:req.key ~fidelity ~rotations ~modes
                       ~plan:(Plan.to_string hit.Diskcache.plan)
-                      ~unitary:(Unitary.to_string hit.Diskcache.unitary))
+                      ~unitary:(Unitary.to_string hit.Diskcache.unitary) ())
              | None ->
                (* Readable object, unreadable meta: recompile and let
                   the write-through repair the entry. *)

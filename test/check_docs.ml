@@ -1,7 +1,8 @@
 (* Doc-consistency gate (runtest): every registered telemetry metric
-   must appear in docs/METRICS.md and every lint diagnostic code in
-   docs/DIAGNOSTICS.md, so the operator docs cannot silently rot as
-   instrumentation is added.
+   must appear in docs/METRICS.md, every lint diagnostic code in
+   docs/DIAGNOSTICS.md, and every registered hardware target in
+   docs/TARGETS.md, so the operator docs cannot silently rot as
+   instrumentation (or a new target) is added.
 
    Metric registration happens in module initializers, and the linker
    only runs initializers of modules something references — so below,
@@ -13,6 +14,7 @@
 
 module Obs = Bose_obs.Obs
 module Lint = Bose_lint.Lint
+module Target = Bose_hardware.Target
 
 (* Force-link every module that registers metrics at init. *)
 let _ = Bosehedral.Compiler.predicted_fidelity
@@ -46,15 +48,16 @@ let contains ~needle hay =
 let extra_codes = [ "BH0001"; "BH0801"; "BH0802" ]
 
 let () =
-  let metrics_path, diagnostics_path =
+  let metrics_path, diagnostics_path, targets_path =
     match Sys.argv with
-    | [| _; m; d |] -> (m, d)
+    | [| _; m; d; t |] -> (m, d, t)
     | _ ->
-      prerr_endline "usage: check_docs METRICS.md DIAGNOSTICS.md";
+      prerr_endline "usage: check_docs METRICS.md DIAGNOSTICS.md TARGETS.md";
       exit 2
   in
   let metrics_text = read_file metrics_path in
   let diagnostics_text = read_file diagnostics_path in
+  let targets_text = read_file targets_path in
   let failures = ref 0 in
   let require text ~from name =
     if not (contains ~needle:name text) then begin
@@ -69,10 +72,13 @@ let () =
       (extra_codes @ List.concat_map (fun p -> p.Lint.codes) Lint.passes)
   in
   List.iter (require diagnostics_text ~from:(Filename.basename diagnostics_path)) codes;
+  let targets = Target.names () in
+  List.iter (require targets_text ~from:(Filename.basename targets_path)) targets;
   if !failures > 0 then begin
     Printf.printf "check_docs: %d missing entr%s\n" !failures
       (if !failures = 1 then "y" else "ies");
     exit 1
   end;
-  Printf.printf "check_docs: ok (%d metrics, %d diagnostic codes documented)\n"
-    (List.length metrics) (List.length codes)
+  Printf.printf
+    "check_docs: ok (%d metrics, %d diagnostic codes, %d targets documented)\n"
+    (List.length metrics) (List.length codes) (List.length targets)

@@ -65,6 +65,18 @@ let () =
       exit 1
     end;
     print_endline "check_lint: ok (unknown --disable warns without changing the verdict)"
+  | [| _; "--targets"; path |] ->
+    (* targets_list.out: `bosec targets` must list every built-in — a
+       registry regression (or a renamed target) fails runtest here. *)
+    let body = read path in
+    List.iter
+      (fun name ->
+         if not (contains ~needle:name body) then begin
+           Printf.eprintf "check_lint: %s does not list target %s:\n%s" path name body;
+           exit 1
+         end)
+      [ "zigzag"; "timebin-loop"; "orca-shallow" ];
+    print_endline "check_lint: ok (bosec targets lists all built-ins)"
   | [| _; path |] ->
     let body = read path in
     if not (contains ~needle:"0 errors, 0 warnings, 0 info" body) then begin
@@ -73,5 +85,6 @@ let () =
     end;
     print_endline "check_lint: ok (bosec check reports 0 errors)"
   | _ ->
-    prerr_endline "usage: check_lint [--usage | --analyze | --disable-typo ERR OUT] FILE";
+    prerr_endline
+      "usage: check_lint [--usage | --analyze | --disable-typo ERR OUT | --targets] FILE";
     exit 2

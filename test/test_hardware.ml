@@ -186,6 +186,177 @@ let test_baseline_is_chain () =
       (Pattern.neighbors p v)
   done
 
+(* ------------------------------------------------------------- Coupling *)
+
+let test_of_kind_string () =
+  (* One parser for every lattice-kind spelling, shared by `bosec
+     analyze --coupling`, `bosec layouts` and the examples. *)
+  Alcotest.(check (list string)) "kinds" [ "square"; "triangular"; "hexagonal" ]
+    Coupling.kind_names;
+  List.iter
+    (fun kind ->
+       match Coupling.of_kind_string ~rows:3 ~cols:4 kind with
+       | Ok c -> Alcotest.(check int) (kind ^ " size") 12 (Coupling.size c)
+       | Error msg -> Alcotest.fail (kind ^ ": " ^ msg))
+    Coupling.kind_names;
+  (match Coupling.of_kind_string ~rows:3 ~cols:4 "moebius" with
+   | Ok _ -> Alcotest.fail "moebius parsed"
+   | Error msg ->
+     let contains needle =
+       let nh = String.length needle and nm = String.length msg in
+       let rec at i = i + nh <= nm && (String.sub msg i nh = needle || at (i + 1)) in
+       at 0
+     in
+     List.iter
+       (fun kind ->
+          Alcotest.(check bool) ("error names " ^ kind) true (contains kind))
+       Coupling.kind_names);
+  (* Parsing is case-sensitive, like Config.of_string. *)
+  Alcotest.(check bool) "case sensitive" true
+    (Result.is_error (Coupling.of_kind_string ~rows:2 ~cols:2 "Square"))
+
+let test_coupling_single_node () =
+  (* n = 1: no edges to give, trivially connected. *)
+  let c = Coupling.of_edges ~n:1 [] in
+  Alcotest.(check int) "size" 1 (Coupling.size c);
+  Alcotest.(check (list int)) "dominating path" [ 0 ] (Coupling.dominating_path c);
+  let p = Embedding.of_coupling c in
+  Alcotest.(check int) "pattern size" 1 (Pattern.size p);
+  Alcotest.(check string) "pattern valid" "ok" (Result.get_ok (Pattern.validate p));
+  Alcotest.(check (list int)) "main path" [ 0 ] (Pattern.main_path_labels p)
+
+let test_coupling_disconnected () =
+  (* of_edges is the single point that rejects disconnected graphs, so
+     everything downstream (dominating_path, of_coupling) can assume
+     connectivity. *)
+  Alcotest.check_raises "two components"
+    (Invalid_argument "Coupling.of_edges: graph is disconnected") (fun () ->
+        ignore (Coupling.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+  Alcotest.check_raises "isolated vertex"
+    (Invalid_argument "Coupling.of_edges: graph is disconnected") (fun () ->
+        ignore (Coupling.of_edges ~n:3 [ (0, 1) ]));
+  Alcotest.check_raises "no edges at all"
+    (Invalid_argument "Coupling.of_edges: graph is disconnected") (fun () ->
+        ignore (Coupling.of_edges ~n:2 []))
+
+let test_dominating_path_covers () =
+  (* The path's closed neighborhood covers every qumode on layouts the
+     greedy walk handles (rings, chains, grids). *)
+  List.iter
+    (fun (name, c) ->
+       let path = Coupling.dominating_path c in
+       let n = Coupling.size c in
+       let covered = Array.make n false in
+       List.iter
+         (fun v ->
+            covered.(v) <- true;
+            List.iter (fun w -> covered.(w) <- true) (Coupling.neighbors c v))
+         path;
+       Alcotest.(check bool) (name ^ " covered") true
+         (Array.for_all Fun.id covered))
+    [
+      ("chain 8", Coupling.of_edges ~n:8 (List.init 7 (fun i -> (i, i + 1))));
+      ( "ring 8",
+        Coupling.of_edges ~n:8 ((0, 7) :: List.init 7 (fun i -> (i, i + 1))) );
+      ("grid 4x4", Coupling.of_lattice (Lattice.create ~rows:4 ~cols:4));
+    ]
+
+(* -------------------------------------------------------------- Target *)
+
+let test_target_registry () =
+  let names = Target.names () in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [ "zigzag"; "timebin-loop"; "orca-shallow" ];
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names;
+  Alcotest.(check bool) "find hit" true (Option.is_some (Target.find "zigzag"));
+  Alcotest.(check bool) "find miss" true (Option.is_none (Target.find "nokia-3310"));
+  Alcotest.(check int) "all matches names" (List.length names)
+    (List.length (Target.all ()))
+
+let test_target_register_validation () =
+  let dummy name = { Target.zigzag with Target.name } in
+  Alcotest.check_raises "empty name"
+    (Invalid_argument "Target.register: empty name") (fun () ->
+        Target.register (dummy ""));
+  Alcotest.check_raises "whitespace"
+    (Invalid_argument "Target.register: name must not contain whitespace") (fun () ->
+        Target.register (dummy "bad name"));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Target.register: duplicate target zigzag") (fun () ->
+        Target.register (dummy "zigzag"))
+
+let test_target_builtins () =
+  (* zigzag is a grid target whose device holds the program... *)
+  (match Target.device Target.zigzag 10 with
+   | None -> Alcotest.fail "zigzag has no device"
+   | Some l -> Alcotest.(check bool) "device fits" true (Lattice.size l >= 10));
+  Alcotest.(check (option int)) "zigzag unbounded depth" None
+    (Target.zigzag.Target.max_depth 32);
+  (* ...the graph targets have no lattice and bounded depth. *)
+  List.iter
+    (fun (t : Target.t) ->
+       Alcotest.(check bool) (t.Target.name ^ " no device") true
+         (Option.is_none (Target.device t 8));
+       Alcotest.(check bool) (t.Target.name ^ " bounded depth") true
+         (Option.is_some (t.Target.max_depth 8)))
+    [ Target.timebin_loop; Target.orca_shallow ];
+  (* Derived patterns are valid, correctly sized, and sited on the
+     coupling graph for every program size. *)
+  List.iter
+    (fun (t : Target.t) ->
+       List.iter
+         (fun n ->
+            let p = Target.pattern t n in
+            Alcotest.(check int) (Printf.sprintf "%s n=%d size" t.Target.name n) n
+              (Pattern.size p);
+            Alcotest.(check string)
+              (Printf.sprintf "%s n=%d valid" t.Target.name n)
+              "ok"
+              (Result.get_ok (Pattern.validate p));
+            let c = Target.coupling t n in
+            for v = 0 to n - 1 do
+              match Pattern.site p v with
+              | None -> ()
+              | Some sv ->
+                List.iter
+                  (fun w ->
+                     match Pattern.site p w with
+                     | None -> ()
+                     | Some sw ->
+                       Alcotest.(check bool)
+                         (Printf.sprintf "%s n=%d edge %d-%d coupled" t.Target.name n
+                            v w)
+                         true (Coupling.adjacent c sv sw))
+                  (Pattern.neighbors p v)
+            done)
+         [ 1; 2; 3; 8; 16; 25 ])
+    (Target.all ());
+  Alcotest.check_raises "n = 0 rejected"
+    (Invalid_argument "Target.pattern: program needs at least one qumode") (fun () ->
+        ignore (Target.pattern Target.zigzag 0))
+
+let test_target_depth_headroom () =
+  (* The built-in ceilings must clear the worst-case chain (Reck) ASAP
+     depth 2N-3, or every full-plan compile would lint BH1102/BH1303. *)
+  List.iter
+    (fun n ->
+       (match Target.orca_shallow.Target.max_depth n with
+        | Some limit ->
+          Alcotest.(check bool)
+            (Printf.sprintf "orca n=%d headroom" n)
+            true
+            (limit >= (2 * n) - 3)
+        | None -> Alcotest.fail "orca has a ceiling");
+       match Target.timebin_loop.Target.max_depth n with
+       | Some limit ->
+         Alcotest.(check bool)
+           (Printf.sprintf "timebin n=%d headroom" n)
+           true
+           (limit >= (2 * n) - 3)
+       | None -> Alcotest.fail "timebin has a ceiling")
+    [ 2; 8; 16; 32; 64 ]
+
 (* ------------------------------------------------------------ properties *)
 
 let qcheck_tests =
@@ -246,6 +417,20 @@ let () =
           Alcotest.test_case "has branches" `Quick test_embedding_has_branches;
           Alcotest.test_case "for_program sizes" `Quick test_for_program_sizes;
           Alcotest.test_case "baseline chain" `Quick test_baseline_is_chain;
+        ] );
+      ( "coupling",
+        [
+          Alcotest.test_case "of_kind_string" `Quick test_of_kind_string;
+          Alcotest.test_case "single node" `Quick test_coupling_single_node;
+          Alcotest.test_case "disconnected rejected" `Quick test_coupling_disconnected;
+          Alcotest.test_case "dominating path covers" `Quick test_dominating_path_covers;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "registry" `Quick test_target_registry;
+          Alcotest.test_case "register validation" `Quick test_target_register_validation;
+          Alcotest.test_case "builtins" `Quick test_target_builtins;
+          Alcotest.test_case "depth headroom" `Quick test_target_depth_headroom;
         ] );
       ("properties", List.map (fun t -> QCheck_alcotest.to_alcotest t) qcheck_tests);
     ]

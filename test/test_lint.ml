@@ -257,6 +257,64 @@ let test_plan_save_load_roundtrip () =
   | Error (msg, line) -> Alcotest.fail (Printf.sprintf "line %d: %s" line msg)
   | Ok plan' -> Alcotest.(check bool) "bit-exact round-trip" true (plan = plan')
 
+(* --- hardware targets (BH13xx) ----------------------------------- *)
+
+module Target = Bose_hardware.Target
+module Flow = Bose_flow.Flow
+
+let test_bh1301_unknown_target () =
+  let ds = Lint.run { Lint.empty with Lint.target_name = Some "nokia-3310" } in
+  check_code "unknown target" "BH1301" ds;
+  Alcotest.(check int) "it is an error" 1 (Lint.errors ds);
+  (* A registered name alone is clean — nothing else to check. *)
+  Alcotest.(check (list string)) "known target clean" []
+    (codes (Lint.run { Lint.empty with Lint.target_name = Some "zigzag" }))
+
+let test_bh1302_provenance_mismatch () =
+  let compiled, _ = compile_n 8 in
+  let subject compiled_target =
+    {
+      Lint.empty with
+      Lint.plan = Some compiled.Compiler.plan;
+      target_name = Some "zigzag";
+      compiled_target;
+    }
+  in
+  check_code "cross-target plan" "BH1302" (Lint.run (subject (Some "orca-shallow")));
+  Alcotest.(check (list string)) "matching provenance clean" []
+    (codes (Lint.run (subject (Some "zigzag"))));
+  Alcotest.(check (list string)) "absent provenance clean" []
+    (codes (Lint.run (subject None)))
+
+(* A registered-for-the-test target with a ceiling no real plan can
+   meet: depth 1 regardless of size. Registration is process-global,
+   which is fine — the name is unique to this suite. *)
+let tiny_depth =
+  let t =
+    { Target.zigzag with Target.name = "test-tiny-depth"; max_depth = (fun _ -> Some 1) }
+  in
+  Target.register t;
+  t
+
+let test_bh1303_depth_ceiling () =
+  let compiled, _ = compile_n 8 in
+  let subject =
+    {
+      Lint.empty with
+      Lint.plan = Some compiled.Compiler.plan;
+      target_name = Some tiny_depth.Target.name;
+    }
+  in
+  check_code "over ceiling" "BH1303" (Lint.run subject);
+  (* With a flow backend attached, depth gating belongs to BH1102 —
+     BH1303 must stay silent instead of double-reporting. *)
+  let with_backend = { subject with Lint.backend = Some (Flow.backend ()) } in
+  Alcotest.(check bool) "backend silences BH1303" false
+    (has_code "BH1303" (Lint.run with_backend));
+  (* zigzag has no ceiling: same plan, no diagnostic. *)
+  Alcotest.(check (list string)) "unbounded target clean" []
+    (codes (Lint.run { subject with Lint.target_name = Some "zigzag" }))
+
 (* --- rendering --------------------------------------------------- *)
 
 let test_json_shape () =
@@ -312,6 +370,13 @@ let () =
         [
           Alcotest.test_case "plan diagnostics" `Quick test_load_plan_diagnostics;
           Alcotest.test_case "unitary diagnostics" `Quick test_load_unitary_diagnostics;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "BH1301 unknown target" `Quick test_bh1301_unknown_target;
+          Alcotest.test_case "BH1302 provenance mismatch" `Quick
+            test_bh1302_provenance_mismatch;
+          Alcotest.test_case "BH1303 depth ceiling" `Quick test_bh1303_depth_ceiling;
         ] );
       ( "render", [ Alcotest.test_case "json shape" `Quick test_json_shape ] );
     ]

@@ -414,6 +414,85 @@ let test_irregular_pattern_cold_vs_warm () =
   Alcotest.(check (list string)) "cold lints clean" [] (lint cold);
   Alcotest.(check (list string)) "warm lints clean" [] (lint warm)
 
+(* ---------------------------------------------------- hardware targets *)
+
+module Target = Bose_hardware.Target
+
+let compile_target ?cache ?(effort = Compiler.Standard) target u =
+  Compiler.compile_for_target ?cache ~effort ~tau:0.99 ~rng:(Rng.create 42) ~target
+    ~config:Config.Full_opt u
+
+let test_target_zigzag_bit_exact () =
+  (* --target zigzag IS today's device path: same lattice, same pass
+     bodies, same RNG draw order — artifacts bit-identical to a plain
+     compile on the equivalent device. *)
+  List.iter
+    (fun n ->
+       let u = Unitary.haar_random (Rng.create (30 + n)) n in
+       let device = Option.get (Target.device Target.zigzag n) in
+       let via_target = compile_target Target.zigzag u in
+       let via_device =
+         Compiler.compile ~tau:0.99 ~rng:(Rng.create 42) ~device ~config:Config.Full_opt u
+       in
+       check_compiled_eq (Printf.sprintf "zigzag n=%d" n) via_target via_device)
+    [ 6; 9; 12 ]
+
+let test_target_cache_keys_discriminate () =
+  (* The target name is folded into every pass fingerprint: the same
+     unitary compiled with and without --target zigzag (identical
+     device, config, tau, effort) must occupy distinct cache entries,
+     and distinct targets never share entries. *)
+  let u = Unitary.haar_random (Rng.create 33) 9 in
+  let cache = Pipeline.Cache.create () in
+  ignore
+    (Compiler.compile ~cache ~tau:0.99 ~rng:(Rng.create 42) ~device:device33
+       ~config:Config.Full_opt u);
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "plain compile: all misses" 0 s.Pipeline.Cache.hits;
+  ignore (compile_target ~cache Target.zigzag u);
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "same job + target: still no hits" 0 s.Pipeline.Cache.hits;
+  ignore (compile_target ~cache Target.orca_shallow u);
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "different target: still no hits" 0 s.Pipeline.Cache.hits;
+  (* Re-running each keyed job replays it fully from cache. *)
+  ignore (compile_target ~cache Target.zigzag u);
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "zigzag rerun: full hit" 4 s.Pipeline.Cache.hits;
+  ignore (compile_target ~cache Target.orca_shallow u);
+  let s = Pipeline.Cache.stats cache in
+  Alcotest.(check int) "orca rerun: full hit" 8 s.Pipeline.Cache.hits;
+  (* And the replayed artifacts are the right ones per key. *)
+  let a = compile_target ~cache Target.zigzag u in
+  let b = compile_target ~cache Target.orca_shallow u in
+  Alcotest.(check bool) "distinct targets, distinct plans" false
+    (Plan.to_string a.Compiler.plan = Plan.to_string b.Compiler.plan)
+
+let test_graph_targets_compile_clean () =
+  (* ISSUE acceptance: timebin-loop and orca-shallow compile N = 8..32
+     with zero lint diagnostics (depth ceilings included, via the
+     backend the target derives). Standard effort at N=8, Fast above to
+     keep the suite quick — same ladder the CLI smoke uses. *)
+  List.iter
+    (fun (target : Target.t) ->
+       List.iter
+         (fun (n, effort) ->
+            let u = Unitary.haar_random (Rng.create (40 + n)) n in
+            let c = compile_target ~effort target u in
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s n=%d clean" target.Target.name n)
+              []
+              (List.map (fun d -> d.Diag.code) (Compiler.lint ~unitary:u c));
+            Alcotest.(check bool)
+              (Printf.sprintf "%s n=%d within ceiling" target.Target.name n)
+              true
+              (match target.Target.max_depth n with
+               | None -> true
+               | Some limit ->
+                 (Compiler.analyze c).Bose_flow.Flow.layers.Bose_flow.Flow.depth <= limit))
+         [ (8, Compiler.Standard); (16, Compiler.Fast); (32, Compiler.Fast) ])
+    [ Target.timebin_loop; Target.orca_shallow ]
+
 let () =
   Alcotest.run "pipeline"
     [
@@ -458,5 +537,14 @@ let () =
         [
           Alcotest.test_case "non-lattice coupling, cold vs warm" `Quick
             test_irregular_pattern_cold_vs_warm;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "zigzag bit-exact vs device" `Quick
+            test_target_zigzag_bit_exact;
+          Alcotest.test_case "cache keys discriminate targets" `Quick
+            test_target_cache_keys_discriminate;
+          Alcotest.test_case "graph targets compile clean N=8..32" `Quick
+            test_graph_targets_compile_clean;
         ] );
     ]

@@ -424,6 +424,94 @@ let test_restart_disk_hit_bit_identical () =
     [ "plan"; "unitary"; "key" ];
   Serve.shutdown t2
 
+(* ------------------------------------------------------- targets *)
+
+let target_req ~id ~seed target =
+  Printf.sprintf {|{"id":%d,"op":"compile","params":{"modes":8,"seed":%d,"target":"%s"}}|}
+    id seed target
+
+let test_target_compile_protocol () =
+  with_dir @@ fun dir ->
+  (* Disk-backed so the by-key analyze at the end can find the artifact. *)
+  let t = Serve.create ~cache_dir:dir () in
+  let r = Serve.handle_line t (target_req ~id:1 ~seed:7 "zigzag") in
+  Alcotest.(check bool) "targeted compile ok" true (ok_reply r);
+  Alcotest.(check (option string)) "target echoed" (Some "zigzag")
+    (get_str [ "result"; "target" ] r);
+  (* The key namespace discriminates: same job on another target, and
+     the same job with no target at all, are three distinct entries. *)
+  let r_orca = Serve.handle_line t (target_req ~id:2 ~seed:7 "orca-shallow") in
+  Alcotest.(check bool) "orca compile ok" true (ok_reply r_orca);
+  Alcotest.(check (option string)) "orca echoed" (Some "orca-shallow")
+    (get_str [ "result"; "target" ] r_orca);
+  let r_plain =
+    Serve.handle_line t {|{"id":3,"op":"compile","params":{"modes":8,"seed":7}}|}
+  in
+  let key r = get_str [ "result"; "key" ] r in
+  Alcotest.(check bool) "zigzag vs orca keys differ" false (key r = key r_orca);
+  Alcotest.(check bool) "target vs no-target keys differ" false (key r = key r_plain);
+  Alcotest.(check (option string)) "no target, no echo" None
+    (get_str [ "result"; "target" ] r_plain);
+  (* Unknown targets and conflicting geometry are structured errors. *)
+  Alcotest.(check (option string)) "unknown target" (Some "bad-request")
+    (get_str [ "error"; "code" ] (Serve.handle_line t (target_req ~id:4 ~seed:7 "nokia")));
+  Alcotest.(check (option string)) "target + rows rejected" (Some "bad-request")
+    (get_str [ "error"; "code" ]
+       (Serve.handle_line t
+          {|{"id":5,"op":"compile","params":{"modes":8,"rows":3,"target":"zigzag"}}|}));
+  (* analyze accepts a target in place of manual backend knobs, but not
+     both. *)
+  (match key r with
+   | None -> Alcotest.fail "compile reply has no key"
+   | Some k ->
+     let ra =
+       Serve.handle_line t
+         (Printf.sprintf {|{"id":6,"op":"analyze","params":{"key":"%s","target":"zigzag"}}|} k)
+     in
+     Alcotest.(check bool) "analyze with target ok" true (ok_reply ra);
+     Alcotest.(check (option string)) "analyze echoes target" (Some "zigzag")
+       (get_str [ "result"; "target" ] ra);
+     Alcotest.(check (option string)) "analyze target + max_depth rejected"
+       (Some "bad-request")
+       (get_str [ "error"; "code" ]
+          (Serve.handle_line t
+             (Printf.sprintf
+                {|{"id":7,"op":"analyze","params":{"key":"%s","target":"zigzag","max_depth":4}}|}
+                k))));
+  Serve.shutdown t
+
+let test_target_restart_disk_hit () =
+  with_dir @@ fun dir ->
+  (* Cold targeted compile, write-through to disk, server killed. *)
+  let t1 = Serve.create ~cache_dir:dir () in
+  let r1 = Serve.handle_line t1 (target_req ~id:1 ~seed:42 "timebin-loop") in
+  Alcotest.(check (option string)) "cold" (Some "none") (get_str [ "result"; "cached" ] r1);
+  Alcotest.(check (option string)) "target in cold reply" (Some "timebin-loop")
+    (get_str [ "result"; "target" ] r1);
+  Serve.shutdown t1;
+  (* Fresh server on the same directory: the disk hit must carry the
+     target provenance back out of the stored meta, bit-identically. *)
+  let t2 = Serve.create ~cache_dir:dir () in
+  let r2 = Serve.handle_line t2 (target_req ~id:2 ~seed:42 "timebin-loop") in
+  Alcotest.(check (option string)) "disk hit after restart" (Some "disk")
+    (get_str [ "result"; "cached" ] r2);
+  Alcotest.(check (option string)) "target survives the meta round-trip"
+    (Some "timebin-loop")
+    (get_str [ "result"; "target" ] r2);
+  List.iter
+    (fun field ->
+       Alcotest.(check (option string))
+         (field ^ " bit-identical across restart")
+         (get_str [ "result"; field ] r1)
+         (get_str [ "result"; field ] r2))
+    [ "plan"; "unitary"; "key"; "fidelity"; "rotations" ];
+  (* A target-less request with the same geometry stays a cold miss:
+     the legacy key namespace is untouched. *)
+  let r3 = Serve.handle_line t2 {|{"id":3,"op":"compile","params":{"modes":8,"seed":42}}|} in
+  Alcotest.(check (option string)) "legacy namespace unaffected" (Some "none")
+    (get_str [ "result"; "cached" ] r3);
+  Serve.shutdown t2
+
 (* ------------------------------------------------------- socket *)
 
 let connect_with_retry path =
@@ -530,6 +618,13 @@ let () =
             test_analyze_op;
           Alcotest.test_case "restart disk hit is bit-identical" `Quick
             test_restart_disk_hit_bit_identical;
+        ] );
+      ( "target",
+        [
+          Alcotest.test_case "compile/analyze with target" `Quick
+            test_target_compile_protocol;
+          Alcotest.test_case "targeted disk hit across restart" `Quick
+            test_target_restart_disk_hit;
         ] );
       ( "socket",
         [
