@@ -31,6 +31,7 @@ let g_text_load_us = Obs.Gauge.make "bench.text_load_us"
 let g_bin_load_us = Obs.Gauge.make "bench.binary_load_us"
 let g_bin_speedup = Obs.Gauge.make "bench.binary_load_speedup"
 let g_rot_melems = Obs.Gauge.make "bench.rot_melems_s"
+let g_intra_speedup = Obs.Gauge.make "bench.intra_speedup"
 let g_analyze_per_s = Obs.Gauge.make "bench.analyze_per_s"
 let g_target_rotations = Obs.Gauge.make "bench.target_rotations"
 let g_target_kept = Obs.Gauge.make "bench.target_kept"
@@ -253,6 +254,45 @@ let rot_throughput_row ~n =
   Printf.printf "rot-kernel-%-16d %9.1f Melem/s (%s path, %d iters)\n" n melems path
     iters
 
+(* Fused sweep-kernel throughput: a whole commuting front of rotations
+   (disjoint adjacent pairs, BLAS rotm-style) applied in one C call,
+   versus rot-kernel-* which pays one call per rotation. Same gauge
+   (bench.rot_melems_s) and the same conservative floors — the fused
+   path must never fall below the per-rotation path's floor. *)
+let sweep_throughput_row ~n =
+  Benchlib.Telemetry.row ~experiment:"micro" ~row:(Printf.sprintf "sweep-kernel-%d" n)
+  @@ fun () ->
+  let rng = Rng.create 14 in
+  let u =
+    Mat.init n n (fun _ _ ->
+        let re, im = Rng.gaussian_pair rng in
+        Cx.make re im)
+  in
+  let rots = n / 2 in
+  let seq = Mat.Rotseq.create ~capacity:rots () in
+  let c = cos 0.3 and s = sin 0.3 in
+  let ere = cos 1.1 and eim = sin 1.1 in
+  for k = 0 to rots - 1 do
+    let m = 2 * k in
+    Mat.Rotseq.push seq ~m ~n:(m + 1) ~c ~s ~ere ~eim ~bound:n
+  done;
+  let iters = max 8 (4_000_000 / (n * rots)) in
+  let locks0 = Mat.lock_releases () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    Mat.sweep_cols_pre u seq ~rot_lo:0 ~rot_hi:rots ~row_lo:0 ~row_hi:n
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Each pass rewrites two entries per (row, rotation) pair. *)
+  let melems =
+    if wall > 0. then float_of_int (2 * n * rots * iters) /. wall /. 1e6
+    else Float.infinity
+  in
+  Obs.Gauge.set g_rot_melems melems;
+  let path = if Mat.lock_releases () > locks0 then "blocking" else "fast" in
+  Printf.printf "sweep-kernel-%-14d %9.1f Melem/s (%s path, %d rots/pass, %d iters)\n" n
+    melems path rots iters
+
 (* Dataflow-analysis throughput: full Flow.analyze reports (layering,
    liveness, feasibility BFS, budget intervals) over a synthetic
    N-mode plan with the Clements brickwork rotation pattern —
@@ -339,6 +379,63 @@ let batch_compile_scaling ~n ~rows ~cols ~job_count =
          job_count jobs (1e3 *. wall) speedup)
     (scaling_jobs ())
 
+(* Intra-decomposition scaling: ONE Clements decomposition with the
+   fused engine's bulk sweeps chunked over the pool, versus batch
+   scaling above which parallelizes across independent compiles. Output
+   is bit-identical at every jobs value (test/test_par.ml); only the
+   wall clock moves. Speedup rows report bench.intra_speedup. *)
+let clements_scaling ~n =
+  let u = Unitary.haar_random (Rng.create 15) n in
+  let base = ref 0. in
+  List.iter
+    (fun jobs ->
+       Benchlib.Telemetry.row ~experiment:"micro"
+         ~row:(Printf.sprintf "clements-%d-jobs-%d" n jobs)
+       @@ fun () ->
+       let with_pool f =
+         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> f (Some p)) else f None
+       in
+       let t0 = Unix.gettimeofday () in
+       ignore (with_pool (fun pool -> Clements.decompose ?pool u));
+       let wall = Unix.gettimeofday () -. t0 in
+       if jobs = 1 then base := wall;
+       let speedup = if wall > 0. then !base /. wall else 0. in
+       Obs.Gauge.set g_wall_s wall;
+       Obs.Gauge.set g_intra_speedup speedup;
+       Printf.printf "clements-%-12d --jobs %d  %9.1f ms  %6.2fx\n" n jobs (1e3 *. wall)
+         speedup)
+    (scaling_jobs ())
+
+(* The paper's N=500 tier end to end: one Compiler.compile with the
+   pool threaded through the pass manager into the fused elimination.
+   The jobs-4 intra_speedup floor (bench_floors.json) is the
+   acceptance gate for intra-compile parallelism. *)
+let intra_compile_scaling ~n ~rows ~cols =
+  let device = Lattice.create ~rows ~cols in
+  let u = Unitary.haar_random (Rng.create 16) n in
+  let base = ref 0. in
+  List.iter
+    (fun jobs ->
+       Benchlib.Telemetry.row ~experiment:"micro"
+         ~row:(Printf.sprintf "intra-compile-%d-jobs-%d" n jobs)
+       @@ fun () ->
+       let with_pool f =
+         if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> f (Some p)) else f None
+       in
+       let t0 = Unix.gettimeofday () in
+       ignore
+         (with_pool (fun pool ->
+              Bosehedral.Compiler.compile ~tau:0.99 ?pool ~rng:(Rng.create 17) ~device
+                ~config:Bosehedral.Config.Baseline u));
+       let wall = Unix.gettimeofday () -. t0 in
+       if jobs = 1 then base := wall;
+       let speedup = if wall > 0. then !base /. wall else 0. in
+       Obs.Gauge.set g_wall_s wall;
+       Obs.Gauge.set g_intra_speedup speedup;
+       Printf.printf "intra-compile-%-7d --jobs %d  %9.1f ms  %6.2fx\n" n jobs
+         (1e3 *. wall) speedup)
+    (scaling_jobs ())
+
 let sampling_scaling ~modes ~shots =
   let u = Unitary.haar_random (Rng.create 9) modes in
   let state = Gaussian.vacuum modes in
@@ -413,8 +510,15 @@ let run () =
   rot_throughput_row ~n:128;
   rot_throughput_row ~n:256;
   rot_throughput_row ~n:500;
+  sweep_throughput_row ~n:128;
+  sweep_throughput_row ~n:256;
+  sweep_throughput_row ~n:500;
   analyze_row ~n:500 ~rows:20 ~cols:25;
   batch_compile_scaling ~n:32 ~rows:6 ~cols:6 ~job_count:8;
+  clements_scaling ~n:128;
+  clements_scaling ~n:256;
+  clements_scaling ~n:500;
+  intra_compile_scaling ~n:500 ~rows:23 ~cols:22;
   sampling_scaling ~modes:6 ~shots:1024;
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.6) ~kde:(Some 500) () in

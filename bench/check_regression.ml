@@ -2,7 +2,7 @@
    BENCH_TELEMETRY.json against the committed floors in
    bench/bench_floors.json.
 
-     check_regression BENCH_TELEMETRY.json bench_floors.json
+     check_regression [--require GAUGE]... BENCH_TELEMETRY.json bench_floors.json
 
    Dependency-free on purpose — it string-scans the two compact JSON
    files (both are machine-written by this repo, never hand-edited)
@@ -11,8 +11,12 @@
    the parallel-scaling rows only exist on hosts with enough cores
    (bench_micro.ml gates them on [Domain.recommended_domain_count]), so
    the speedup floors bind on multi-core CI runners without producing
-   false failures on single-core boxes. A present value below its floor
-   exits 1. *)
+   false failures on single-core boxes. Skipped floors are enumerated
+   in a trailing WARN line so CI logs show exactly which floors did not
+   bind. On lanes that are supposed to have the cores, pass
+   [--require GAUGE] (repeatable): a SKIP on a floor whose gauge is in
+   the required set becomes a FAIL instead of silently not binding. A
+   present value below its floor exits 1. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -95,23 +99,50 @@ let parse_floors s =
   in
   go 0 []
 
+let usage () =
+  prerr_endline
+    "usage: check_regression [--require GAUGE]... BENCH_TELEMETRY.json bench_floors.json";
+  exit 2
+
 let () =
-  if Array.length Sys.argv <> 3 then begin
-    prerr_endline "usage: check_regression BENCH_TELEMETRY.json bench_floors.json";
-    exit 2
-  end;
-  let telemetry = read_file Sys.argv.(1) in
-  let floors = parse_floors (read_file Sys.argv.(2)) in
+  let required = ref [] and positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--require" :: g :: rest ->
+      required := g :: !required;
+      parse rest
+    | [ "--require" ] ->
+      prerr_endline "check_regression: --require needs a gauge name";
+      usage ()
+    | a :: rest ->
+      positional := a :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let telemetry_path, floors_path =
+    match List.rev !positional with
+    | [ t; f ] -> (t, f)
+    | _ -> usage ()
+  in
+  let telemetry = read_file telemetry_path in
+  let floors = parse_floors (read_file floors_path) in
   if floors = [] then begin
-    Printf.eprintf "check_regression: no floors parsed from %s\n" Sys.argv.(2);
+    Printf.eprintf "check_regression: no floors parsed from %s\n" floors_path;
     exit 2
   end;
+  let required_gauge g = List.mem g !required in
   let failed = ref 0 and skipped = ref 0 in
+  let skipped_floors = ref [] in
   List.iter
     (fun (row, gauge, min_v) ->
        match gauge_value telemetry ~row ~gauge with
+       | None when required_gauge gauge ->
+         incr failed;
+         Printf.printf "FAIL  %-28s %-24s (row absent but --require %s)\n" row
+           gauge gauge
        | None ->
          incr skipped;
+         skipped_floors := (row, gauge) :: !skipped_floors;
          Printf.printf "SKIP  %-28s %-24s (row absent: not enough cores?)\n" row gauge
        | Some v when v >= min_v ->
          Printf.printf "OK    %-28s %-24s %8.2f >= %.2f\n" row gauge v min_v
@@ -121,4 +152,8 @@ let () =
     floors;
   Printf.printf "%d floors: %d failed, %d skipped\n" (List.length floors) !failed
     !skipped;
+  if !skipped_floors <> [] then
+    Printf.printf "WARN  floors that did not bind: %s\n"
+      (String.concat ", "
+         (List.rev_map (fun (row, gauge) -> row ^ "/" ^ gauge) !skipped_floors));
   if !failed > 0 then exit 1

@@ -177,14 +177,21 @@ let run_compile rows cols modes target seed config tau graph_p effort jobs batch
   let cache = if cache_stats then Some (Pipeline.Cache.create ()) else None in
   with_obs ~metrics_out ~trace @@ fun () ->
   let u = make_unitary rng ~modes ~graph_p in
+  (* --jobs on a single compile: intra-compile parallelism. The pool
+     only chunks the fused sweep engine's bulk passes, so the compiled
+     artifacts are bit-identical at every jobs value. *)
+  let with_pool f =
+    if jobs > 1 then Pool.with_pool ~domains:jobs (fun p -> f (Some p)) else f None
+  in
   let compiled =
-    match target with
-    | Some target ->
-      Compiler.compile_for_target ~effort ~tau ?cache ~disabled_passes:disable_passes
-        ~rng ~target ~config u
-    | None ->
-      Compiler.compile ~effort ~tau ?cache ~disabled_passes:disable_passes ~rng ~device
-        ~config u
+    with_pool (fun pool ->
+        match target with
+        | Some target ->
+          Compiler.compile_for_target ~effort ~tau ?cache ~disabled_passes:disable_passes
+            ?pool ~rng ~target ~config u
+        | None ->
+          Compiler.compile ~effort ~tau ?cache ~disabled_passes:disable_passes ?pool ~rng
+            ~device ~config u)
   in
   (match target with
    | Some (t : Target.t) -> Format.printf "target: %s@." t.Target.name

@@ -49,7 +49,7 @@ type t = {
    result from the context's artifact cells. The per-stage work lives
    in Pass.{embed,map,decompose,dropout}; this function only sequences
    and observes. *)
-let drive ?cache ?(disabled = []) ?target ~effort ~tau ~rng ~device ~config ~source u =
+let drive ?cache ?(disabled = []) ?target ?pool ~effort ~tau ~rng ~device ~config ~source u =
   let n = Mat.rows u in
   Obs.Counter.incr c_compiles;
   Obs.Gauge.observe_max g_modes (float_of_int n);
@@ -65,7 +65,7 @@ let drive ?cache ?(disabled = []) ?target ~effort ~tau ~rng ~device ~config ~sou
   let ctx =
     Pass.context ~effort ~tau
       ?target:(Option.map (fun (t : Target.t) -> t.Target.name) target)
-      ~rng ~device ~config ~source ~ws u
+      ?pool ~rng ~device ~config ~source ~ws u
   in
   let trace = Pipeline.run ?cache ~disabled Pipeline.default ctx in
   let pattern = Pass.pattern_exn ctx in
@@ -103,25 +103,25 @@ let drive ?cache ?(disabled = []) ?target ~effort ~tau ~rng ~device ~config ~sou
     trace = Pipeline.lint_trace ~disabled Pipeline.default trace;
   }
 
-let compile ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ~rng ~device
+let compile ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ?pool ~rng ~device
     ~config u =
   let n = Mat.rows u in
   if Mat.cols u <> n then invalid_arg "Compiler.compile: unitary must be square";
   if n > Lattice.size device then
     invalid_arg "Compiler.compile: program larger than device";
   Obs.Span.with_ "compile" (fun () ->
-      drive ?cache ?disabled:disabled_passes ~effort ~tau ~rng ~device ~config
+      drive ?cache ?disabled:disabled_passes ?pool ~effort ~tau ~rng ~device ~config
         ~source:Pass.Device u)
 
-let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ~rng
-    ~pattern ~config u =
+let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ?pool
+    ~rng ~pattern ~config u =
   let n = Mat.rows u in
   if Mat.cols u <> n then invalid_arg "Compiler.compile_with_pattern: unitary must be square";
   if n <> Pattern.size pattern then
     invalid_arg "Compiler.compile_with_pattern: pattern size mismatch";
   let device = Lattice.create ~rows:1 ~cols:n in
   Obs.Span.with_ "compile" (fun () ->
-      drive ?cache ?disabled:disabled_passes ~effort ~tau ~rng ~device ~config
+      drive ?cache ?disabled:disabled_passes ?pool ~effort ~tau ~rng ~device ~config
         ~source:(Pass.Explicit pattern) u)
 
 (* Target-directed compilation. Grid targets run through the same
@@ -132,8 +132,8 @@ let compile_with_pattern ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_pa
    have no lattice, so the target's derived elimination pattern goes in
    explicitly, with a placeholder 1×n device (the same convention as
    [compile_with_pattern]). *)
-let compile_for_target ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ~rng
-    ~target ~config u =
+let compile_for_target ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_passes ?pool
+    ~rng ~target ~config u =
   let n = Mat.rows u in
   if Mat.cols u <> n then invalid_arg "Compiler.compile_for_target: unitary must be square";
   let device, source =
@@ -145,8 +145,8 @@ let compile_for_target ?(effort = Standard) ?(tau = 0.999) ?cache ?disabled_pass
     | None -> (Lattice.create ~rows:1 ~cols:n, Pass.Explicit (Target.pattern target n))
   in
   Obs.Span.with_ "compile" (fun () ->
-      drive ?cache ?disabled:disabled_passes ~target ~effort ~tau ~rng ~device ~config
-        ~source u)
+      drive ?cache ?disabled:disabled_passes ~target ?pool ~effort ~tau ~rng ~device
+        ~config ~source u)
 
 (* The same fields the passes fingerprint, folded once per job. Jobs
    with identical inputs get identical streams, so a cache replay of a

@@ -85,6 +85,7 @@ val compile :
   ?tau:float ->
   ?cache:Pipeline.Cache.t ->
   ?disabled_passes:string list ->
+  ?pool:Bose_par.Pool.t ->
   rng:Bose_util.Rng.t ->
   device:Bose_hardware.Lattice.t ->
   config:Config.t ->
@@ -96,6 +97,15 @@ val compile :
     compiles (see the cache section above); [?disabled_passes] skips
     named skippable passes, storing their neutral artifact instead
     ([bosec compile --disable-pass]).
+
+    [?pool] enables intra-compile parallelism ([bosec compile --jobs]):
+    at N ≥ [Mat.blocking_threshold] the decompose pass's fused sweep
+    engine chunks its bulk rotation passes across the pool. Scheduling
+    only — compiled artifacts are bit-identical at every pool size
+    (pinned by test/test_par.ml), and pass fingerprints ignore the
+    pool, so artifact caches stay valid across job counts. Do not pass
+    a pool whose domains are already inside a pool task (nested
+    parallelism is rejected by [Bose_par.Pool.run]).
     @raise Invalid_argument on size mismatch, non-square input, or an
     unknown/mandatory name in [disabled_passes]. *)
 
@@ -104,6 +114,7 @@ val compile_with_pattern :
   ?tau:float ->
   ?cache:Pipeline.Cache.t ->
   ?disabled_passes:string list ->
+  ?pool:Bose_par.Pool.t ->
   rng:Bose_util.Rng.t ->
   pattern:Bose_hardware.Pattern.t ->
   config:Config.t ->
@@ -121,6 +132,7 @@ val compile_for_target :
   ?tau:float ->
   ?cache:Pipeline.Cache.t ->
   ?disabled_passes:string list ->
+  ?pool:Bose_par.Pool.t ->
   rng:Bose_util.Rng.t ->
   target:Bose_hardware.Target.t ->
   config:Config.t ->

@@ -24,25 +24,72 @@ let work_copy ?ws u =
     Mat.blit u w;
     w
 
-let run ?ws pattern u =
+(* Every rotation of a stage derives from and updates the stage's own
+   row, so the fused engine runs the derivations serially on that one
+   row (through the same sweep kernel, keeping serial- and bulk-phase
+   arithmetic identical), then applies the whole packed stage to every
+   other row in one pool-chunked bulk pass. Stage order is a barrier:
+   the next stage's derivations read rows the bulk pass just updated.
+   Engine selection is by size only — never pool presence — so plan
+   bits at a given N are the same at every job count. *)
+let fused_threshold = Mat.blocking_threshold
+
+let run_fused ?pool work n schedule elements =
+  let seq = Mat.Rotseq.create ~capacity:n () in
+  List.iter
+    (fun (row, pairs) ->
+       Mat.Rotseq.clear seq;
+       List.iter
+         (fun (m, cn) ->
+            let rotation = Givens.solve work ~row ~m ~n:cn in
+            if not (Givens.is_identity rotation) then begin
+              let len = Mat.Rotseq.length seq in
+              Givens.seq_push_t_dagger_right seq rotation ~nrows:n;
+              Mat.sweep_cols_pre work seq ~rot_lo:len ~rot_hi:(len + 1) ~row_lo:row
+                ~row_hi:(row + 1);
+              Mat.set work row m Cx.zero
+            end;
+            Obs.Counter.incr c_eliminations;
+            elements := { Plan.rotation; row } :: !elements)
+         pairs;
+       let len = Mat.Rotseq.length seq in
+       if len > 0 then
+         (* All rows but the derivation row, which the serial walk
+            already updated; a chunk straddling it splits in two. *)
+         Bose_par.Pool.bulk_iter pool ~n (fun ~lo ~hi ->
+             let sweep row_lo row_hi =
+               if row_hi > row_lo then
+                 Mat.sweep_cols_pre work seq ~rot_lo:0 ~rot_hi:len ~row_lo ~row_hi
+             in
+             if hi <= row || lo > row then sweep lo hi
+             else begin
+               sweep lo row;
+               sweep (row + 1) hi
+             end))
+    schedule
+
+let run ?ws ?pool pattern u =
   let n = Pattern.size pattern in
   if Mat.rows u <> n || Mat.cols u <> n then
     invalid_arg "Eliminate.decompose: unitary size does not match pattern";
   let work = work_copy ?ws u in
   let elements = ref [] in
-  List.iter
-    (fun (row, pairs) ->
-       List.iter
-         (fun (m, cn) ->
-            let rotation = Givens.eliminate work ~row ~m ~n:cn in
-            Obs.Counter.incr c_eliminations;
-            elements := { Plan.rotation; row } :: !elements)
-         pairs)
-    (Pattern.full_schedule pattern);
+  let schedule = Pattern.full_schedule pattern in
+  if n >= fused_threshold then run_fused ?pool work n schedule elements
+  else
+    List.iter
+      (fun (row, pairs) ->
+         List.iter
+           (fun (m, cn) ->
+              let rotation = Givens.eliminate work ~row ~m ~n:cn in
+              Obs.Counter.incr c_eliminations;
+              elements := { Plan.rotation; row } :: !elements)
+           pairs)
+      schedule;
   (work, Array.of_list (List.rev !elements))
 
-let decompose ?ws pattern u =
-  let work, elements = run ?ws pattern u in
+let decompose ?ws ?pool pattern u =
+  let work, elements = run ?ws ?pool pattern u in
   Obs.Counter.incr c_decompositions;
   Obs.Counter.incr c_beamsplitters ~by:(Array.length elements);
   if Obs.enabled () then
@@ -62,7 +109,7 @@ let decompose ?ws pattern u =
   in
   { Plan.modes = n; elements; lambda }
 
-let decompose_baseline ?ws u = decompose ?ws (Pattern.chain (Mat.rows u)) u
+let decompose_baseline ?ws ?pool u = decompose ?ws ?pool (Pattern.chain (Mat.rows u)) u
 
 let residual_off_diagonal ?ws u pattern =
   let work, _ = run ?ws pattern u in

@@ -6,15 +6,25 @@
     rotations produced are exactly the T_{m,n}(θ, φ) of Eq. (1). *)
 
 val decompose :
-  ?ws:Bose_linalg.Mat.workspace -> Bose_hardware.Pattern.t -> Bose_linalg.Mat.t -> Plan.t
+  ?ws:Bose_linalg.Mat.workspace ->
+  ?pool:Bose_par.Pool.t ->
+  Bose_hardware.Pattern.t -> Bose_linalg.Mat.t -> Plan.t
 (** [decompose pattern u] — [u] must be N×N unitary with
     N = pattern size. The returned plan satisfies
     [Plan.reconstruct plan ≈ u] to machine precision. Passing [?ws]
     reuses the workspace's slot-0 scratch as the elimination work matrix
     instead of allocating a fresh copy of [u].
+
+    At N ≥ [Mat.blocking_threshold] the elimination switches to the
+    fused sweep engine: each stage derives its rotations serially on
+    the stage row, then applies the packed stage to every other row in
+    one bulk pass, chunked across [?pool] when present. Engine choice
+    depends only on N — the plan is bit-identical at every pool size,
+    pool or no pool (docs/ARCHITECTURE.md, determinism contract).
     @raise Invalid_argument on a size mismatch or non-square input. *)
 
-val decompose_baseline : ?ws:Bose_linalg.Mat.workspace -> Bose_linalg.Mat.t -> Plan.t
+val decompose_baseline :
+  ?ws:Bose_linalg.Mat.workspace -> ?pool:Bose_par.Pool.t -> Bose_linalg.Mat.t -> Plan.t
 (** Chain-pattern decomposition (Reck-style, the paper's baseline),
     ignoring hardware structure. *)
 

@@ -81,3 +81,19 @@ let eliminate_left ?first u ~col ~m ~n =
     Mat.set u m col Cx.zero
   end;
   r
+
+let solve_left u ~col ~m ~n = derive ~m ~n ~flip:true (Mat.get u m col) (Mat.get u n col)
+
+(* Packed-sequence pushers for the fused Mat.sweep_ kernels.
+   Each bakes the phase into the kernel form its sweep body consumes:
+   the dagger-right push negates eim exactly as rot_cols_t_dagger_cs
+   does, so `sweep_cols_pre` over a pushed sequence applies the same
+   per-element arithmetic as the per-rotation elimination kernel. *)
+let seq_push_t_dagger_right seq r ~nrows =
+  Mat.Rotseq.push seq ~m:r.m ~n:r.n ~c:r.c ~s:r.s ~ere:r.ere ~eim:(-.r.eim) ~bound:nrows
+
+let seq_push_t_right seq r ~nrows =
+  Mat.Rotseq.push seq ~m:r.m ~n:r.n ~c:r.c ~s:r.s ~ere:r.ere ~eim:r.eim ~bound:nrows
+
+let seq_push_t_left seq r ~first =
+  Mat.Rotseq.push seq ~m:r.m ~n:r.n ~c:r.c ~s:r.s ~ere:r.ere ~eim:r.eim ~bound:first

@@ -709,6 +709,139 @@ let rot_rows_t_dagger u ~m ~n ~theta ~phi =
   rot_rows_t_dagger_cs u ~m ~n ~c:(cos theta) ~s:(sin theta) ~ere:(cos phi) ~eim:(sin phi)
 
 (* ------------------------------------------------------------------ *)
+(* Fused multi-rotation sweeps. A Rotseq packs rotations as 8 doubles
+   each — m, n, c, s, ere, eim, bound, pad — in kernel form (any dagger
+   sign flip is baked in at push time by the Givens-layer helpers), so
+   the three C sweep bodies cover every caller. The column sweeps walk
+   row-outer: each row receives the rotation subsequence in order, so
+   the bits of a row never depend on how a caller partitions the row
+   range across pool domains — the determinism contract of the
+   parallel elimination engines (docs/ARCHITECTURE.md). *)
+
+module Rotseq = struct
+  type nonrec t = { mutable buf : plane; mutable len : int; mutable max_idx : int }
+
+  let stride = 8
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Mat.Rotseq.create: bad capacity";
+    (* A1.create, not make_plane: every slot is written before read. *)
+    { buf = A1.create Bigarray.float64 Bigarray.c_layout (stride * capacity);
+      len = 0;
+      max_idx = -1 }
+
+  let length t = t.len
+
+  let clear t =
+    t.len <- 0;
+    t.max_idx <- -1
+
+  let push t ~m ~n ~c ~s ~ere ~eim ~bound =
+    if m < 0 || n < 0 || m = n then invalid_arg "Mat.Rotseq.push: bad index pair";
+    assert (rot_params_sane c s ere eim);
+    let base = stride * t.len in
+    if base + stride > A1.dim t.buf then begin
+      let bigger = A1.create Bigarray.float64 Bigarray.c_layout (2 * A1.dim t.buf) in
+      A1.blit t.buf (A1.sub bigger 0 (A1.dim t.buf));
+      t.buf <- bigger
+    end;
+    A1.unsafe_set t.buf (base + 0) (float_of_int m);
+    A1.unsafe_set t.buf (base + 1) (float_of_int n);
+    A1.unsafe_set t.buf (base + 2) c;
+    A1.unsafe_set t.buf (base + 3) s;
+    A1.unsafe_set t.buf (base + 4) ere;
+    A1.unsafe_set t.buf (base + 5) eim;
+    A1.unsafe_set t.buf (base + 6) (float_of_int bound);
+    A1.unsafe_set t.buf (base + 7) 0.;
+    t.len <- t.len + 1;
+    if m > t.max_idx then t.max_idx <- m;
+    if n > t.max_idx then t.max_idx <- n
+end
+
+(* The sweep stubs mirror the rot_* declaration pattern: a [@@noalloc]
+   fast entry for small slices and a runtime-lock-releasing blocking
+   entry that Mat dispatches to above [blocking_threshold] units of
+   work (one unit = one rotation applied to one row/column — the same
+   granularity the per-rotation kernels count in). *)
+external sweep_cols_pre_fast :
+  plane -> plane -> plane ->
+  (int[@untagged]) -> (int[@untagged]) -> (int[@untagged]) ->
+  (int[@untagged]) -> (int[@untagged]) ->
+  unit = "bose_sweep_cols_pre_byte" "bose_sweep_cols_pre_nat"
+[@@noalloc]
+
+external sweep_cols_pre_blk :
+  plane -> plane -> plane ->
+  (int[@untagged]) -> (int[@untagged]) -> (int[@untagged]) ->
+  (int[@untagged]) -> (int[@untagged]) ->
+  unit = "bose_sweep_cols_pre_blk_byte" "bose_sweep_cols_pre_blk_nat"
+
+external sweep_cols_post_fast :
+  plane -> plane -> plane ->
+  (int[@untagged]) -> (int[@untagged]) -> (int[@untagged]) ->
+  (int[@untagged]) -> (int[@untagged]) ->
+  unit = "bose_sweep_cols_post_byte" "bose_sweep_cols_post_nat"
+[@@noalloc]
+
+external sweep_cols_post_blk :
+  plane -> plane -> plane ->
+  (int[@untagged]) -> (int[@untagged]) -> (int[@untagged]) ->
+  (int[@untagged]) -> (int[@untagged]) ->
+  unit = "bose_sweep_cols_post_blk_byte" "bose_sweep_cols_post_blk_nat"
+
+external sweep_rows_pre_fast :
+  plane -> plane -> plane ->
+  (int[@untagged]) -> (int[@untagged]) -> (int[@untagged]) ->
+  (int[@untagged]) -> (int[@untagged]) ->
+  unit = "bose_sweep_rows_pre_byte" "bose_sweep_rows_pre_nat"
+[@@noalloc]
+
+external sweep_rows_pre_blk :
+  plane -> plane -> plane ->
+  (int[@untagged]) -> (int[@untagged]) -> (int[@untagged]) ->
+  (int[@untagged]) -> (int[@untagged]) ->
+  unit = "bose_sweep_rows_pre_blk_byte" "bose_sweep_rows_pre_blk_nat"
+
+let check_sweep name (seq : Rotseq.t) ~rot_lo ~rot_hi ~lo ~hi ~extent ~idx_extent =
+  if rot_lo < 0 || rot_hi > seq.Rotseq.len || rot_lo > rot_hi then
+    invalid_arg (name ^ ": bad rotation range");
+  if lo < 0 || hi > extent || lo > hi then invalid_arg (name ^ ": bad slice range");
+  if seq.Rotseq.max_idx >= idx_extent then invalid_arg (name ^ ": rotation index out of bounds")
+
+let sweep_cols_pre u seq ~rot_lo ~rot_hi ~row_lo ~row_hi =
+  check_sweep "Mat.sweep_cols_pre" seq ~rot_lo ~rot_hi ~lo:row_lo ~hi:row_hi
+    ~extent:u.nrows ~idx_extent:u.ncols;
+  let work = (row_hi - row_lo) * (rot_hi - rot_lo) in
+  if work = 0 then ()
+  else if work >= blocking_threshold then begin
+    Atomic.incr lock_release_count;
+    sweep_cols_pre_blk u.re u.im seq.Rotseq.buf u.ncols row_lo row_hi rot_lo rot_hi
+  end
+  else sweep_cols_pre_fast u.re u.im seq.Rotseq.buf u.ncols row_lo row_hi rot_lo rot_hi
+
+let sweep_cols_post u seq ~rot_lo ~rot_hi ~row_lo ~row_hi =
+  check_sweep "Mat.sweep_cols_post" seq ~rot_lo ~rot_hi ~lo:row_lo ~hi:row_hi
+    ~extent:u.nrows ~idx_extent:u.ncols;
+  let work = (row_hi - row_lo) * (rot_hi - rot_lo) in
+  if work = 0 then ()
+  else if work >= blocking_threshold then begin
+    Atomic.incr lock_release_count;
+    sweep_cols_post_blk u.re u.im seq.Rotseq.buf u.ncols row_lo row_hi rot_lo rot_hi
+  end
+  else sweep_cols_post_fast u.re u.im seq.Rotseq.buf u.ncols row_lo row_hi rot_lo rot_hi
+
+let sweep_rows_pre u seq ~rot_lo ~rot_hi ~col_lo ~col_hi =
+  check_sweep "Mat.sweep_rows_pre" seq ~rot_lo ~rot_hi ~lo:col_lo ~hi:col_hi
+    ~extent:u.ncols ~idx_extent:u.nrows;
+  let work = (col_hi - col_lo) * (rot_hi - rot_lo) in
+  if work = 0 then ()
+  else if work >= blocking_threshold then begin
+    Atomic.incr lock_release_count;
+    sweep_rows_pre_blk u.re u.im seq.Rotseq.buf u.ncols col_lo col_hi rot_lo rot_hi
+  end
+  else sweep_rows_pre_fast u.re u.im seq.Rotseq.buf u.ncols col_lo col_hi rot_lo rot_hi
+
+(* ------------------------------------------------------------------ *)
 (* Binary plane codec. The serialized form of a matrix's payload is
    the two planes, row-major, little-endian IEEE-754 doubles, re plane
    then im plane — [Plan]/[Unitary] wrap this in their headers and the

@@ -183,6 +183,69 @@ val rot_rows_t_cs :
 val rot_rows_t_dagger_cs :
   t -> m:int -> n:int -> c:float -> s:float -> ere:float -> eim:float -> unit
 
+(** {1 Fused rotation sweeps}
+
+    A {!Rotseq.t} packs an ordered run of Givens rotations into one
+    off-heap buffer (8 float64 slots each) so a single C call can
+    apply a whole anti-diagonal of a Clements sweep per pass, BLAS
+    [rotm]-style, instead of one kernel entry per rotation. Rotations
+    are stored in {e kernel} form: the pusher bakes in any dagger sign
+    flip on the phase (see the [Givens.seq_push_*] helpers), so three
+    sweep bodies cover every decomposition/replay caller.
+
+    Determinism contract: the column sweeps iterate row-outer and the
+    row sweep applies rotations in packed order per column, so the
+    resulting bits of any row (resp. column) depend only on the
+    rotation subsequence — never on how callers split the row/column
+    range across pool domains. The parallel elimination engines
+    (docs/ARCHITECTURE.md, "Parallel execution") rely on exactly this.
+
+    Like the per-rotation kernels, a sweep whose work — (slice width) ×
+    (rotation count) — reaches {!blocking_threshold} dispatches to a
+    runtime-lock-releasing C variant and counts in {!lock_releases}. *)
+
+module Rotseq : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Growable packed sequence; [capacity] (default 64) is the initial
+      rotation capacity. *)
+
+  val length : t -> int
+  (** Rotations currently packed. *)
+
+  val clear : t -> unit
+  (** Reset to empty (storage retained). *)
+
+  val push :
+    t -> m:int -> n:int -> c:float -> s:float -> ere:float -> eim:float ->
+    bound:int -> unit
+  (** Append one rotation in kernel form. [bound] is the rotation's
+      applicability limit: for column sweeps, the exclusive row bound
+      (apply to row [r] iff [r < bound] — the [?nrows] restriction);
+      for the row sweep, the first column touched (the [?first]
+      restriction). Pass the matrix extent when unrestricted.
+      @raise Invalid_argument on a bad [m]/[n] pair. *)
+end
+
+val sweep_cols_pre : t -> Rotseq.t -> rot_lo:int -> rot_hi:int -> row_lo:int -> row_hi:int -> unit
+(** Apply the packed subsequence [\[rot_lo, rot_hi)] to rows
+    [\[row_lo, row_hi)], each rotation mixing columns [m]/[n] with the
+    phase multiplying the [m] plane {e before} the real rotation — the
+    fused form of {!rot_cols_t_dagger_cs} (push with [eim] negated).
+    @raise Invalid_argument on bad ranges or out-of-range columns. *)
+
+val sweep_cols_post : t -> Rotseq.t -> rot_lo:int -> rot_hi:int -> row_lo:int -> row_hi:int -> unit
+(** As {!sweep_cols_pre} with the phase applied {e after} the real
+    rotation — the fused form of {!rot_cols_t_cs}, used by the
+    fidelity-replay path. *)
+
+val sweep_rows_pre : t -> Rotseq.t -> rot_lo:int -> rot_hi:int -> col_lo:int -> col_hi:int -> unit
+(** Apply the packed subsequence to columns [\[col_lo, col_hi)], each
+    rotation mixing rows [m]/[n] from column [max col_lo bound] on —
+    the fused form of {!rot_rows_t_cs}.
+    @raise Invalid_argument on bad ranges or out-of-range rows. *)
+
 (** {1 Views}
 
     A view is a submatrix described by row and column index sets over a

@@ -167,6 +167,149 @@ CAMLprim value bose_rot_post_blk_byte(value *argv, int argn)
 }
 
 /* ------------------------------------------------------------------ */
+/* Fused multi-rotation sweep kernels (BLAS rotm-style).
+ *
+ * A packed rotation sequence is a float64 Bigarray holding 8 doubles
+ * per rotation: m, n, c, s, ere, eim, bound, pad.  The phase (ere,
+ * eim) is stored in *kernel* form — any dagger sign flip happened when
+ * the rotation was packed — so one pre body and one post body cover
+ * every caller.  [bound] is a per-rotation applicability limit: for
+ * the column sweeps a rotation applies to row r iff r < bound (the
+ * Clements ?nrows restriction); for the row sweep it is the first
+ * column the rotation touches (the Clements ?first restriction).
+ *
+ * The column sweeps iterate row-outer: one matrix row stays resident
+ * in L1 while the whole rotation subsequence [rot_lo, rot_hi) streams
+ * over it in order.  Per row, the element updates are exactly the
+ * per-rotation kernels above applied in sequence, so the result for a
+ * given row never depends on how callers partition the row range —
+ * the bit-identity contract the parallel elimination engines rely on.
+ * The row sweep iterates rotation-outer over a column slice; per
+ * column the update order is likewise the rotation order.
+ *
+ * Per-element arithmetic is kept textually identical to rot_pre /
+ * rot_post so the fused and per-rotation paths share one numerical
+ * story per translation unit.
+ */
+
+static void sweep_cols_pre(double *restrict re, double *restrict im,
+                           const double *restrict seq, intnat ncols,
+                           intnat row_lo, intnat row_hi,
+                           intnat rot_lo, intnat rot_hi)
+{
+  for (intnat r = row_lo; r < row_hi; r++) {
+    double *rrow = re + r * ncols, *qrow = im + r * ncols;
+    double rd = (double)r;
+    const double *p = seq + 8 * rot_lo;
+    for (intnat t = rot_lo; t < rot_hi; t++, p += 8) {
+      if (rd < p[6]) {
+        intnat m = (intnat)p[0], n = (intnat)p[1];
+        double c = p[2], s = p[3], ere = p[4], eim = p[5];
+        double mre = rrow[m], mim = qrow[m], nre = rrow[n], nim = qrow[n];
+        double wre = mre * ere - mim * eim;
+        double wim = mre * eim + mim * ere;
+        rrow[m] = wre * c - nre * s;
+        qrow[m] = wim * c - nim * s;
+        rrow[n] = wre * s + nre * c;
+        qrow[n] = wim * s + nim * c;
+      }
+    }
+  }
+}
+
+static void sweep_cols_post(double *restrict re, double *restrict im,
+                            const double *restrict seq, intnat ncols,
+                            intnat row_lo, intnat row_hi,
+                            intnat rot_lo, intnat rot_hi)
+{
+  for (intnat r = row_lo; r < row_hi; r++) {
+    double *rrow = re + r * ncols, *qrow = im + r * ncols;
+    double rd = (double)r;
+    const double *p = seq + 8 * rot_lo;
+    for (intnat t = rot_lo; t < rot_hi; t++, p += 8) {
+      if (rd < p[6]) {
+        intnat m = (intnat)p[0], n = (intnat)p[1];
+        double c = p[2], s = p[3], ere = p[4], eim = p[5];
+        double mre = rrow[m], mim = qrow[m], nre = rrow[n], nim = qrow[n];
+        double wre = mre * c + nre * s;
+        double wim = mim * c + nim * s;
+        rrow[m] = wre * ere - wim * eim;
+        qrow[m] = wre * eim + wim * ere;
+        rrow[n] = nre * c - mre * s;
+        qrow[n] = nim * c - mim * s;
+      }
+    }
+  }
+}
+
+static void sweep_rows_pre(double *restrict re, double *restrict im,
+                           const double *restrict seq, intnat ncols,
+                           intnat col_lo, intnat col_hi,
+                           intnat rot_lo, intnat rot_hi)
+{
+  const double *p = seq + 8 * rot_lo;
+  for (intnat t = rot_lo; t < rot_hi; t++, p += 8) {
+    intnat m = (intnat)p[0], n = (intnat)p[1];
+    double c = p[2], s = p[3], ere = p[4], eim = p[5];
+    intnat first = (intnat)p[6];
+    intnat j0 = col_lo > first ? col_lo : first;
+    double *rm = re + m * ncols + j0, *qm = im + m * ncols + j0;
+    double *rn = re + n * ncols + j0, *qn = im + n * ncols + j0;
+    for (intnat j = j0; j < col_hi; j++, rm++, qm++, rn++, qn++) {
+      double mre = *rm, mim = *qm, nre = *rn, nim = *qn;
+      double wre = mre * ere - mim * eim;
+      double wim = mre * eim + mim * ere;
+      *rm = wre * c - nre * s;
+      *qm = wim * c - nim * s;
+      *rn = wre * s + nre * c;
+      *qn = wim * s + nim * c;
+    }
+  }
+}
+
+#define SWEEP_STUBS(name)                                                    \
+  CAMLprim value bose_##name##_nat(value vre, value vim, value vseq,         \
+                                   intnat ncols, intnat lo, intnat hi,       \
+                                   intnat rot_lo, intnat rot_hi)             \
+  {                                                                          \
+    name((double *)Caml_ba_data_val(vre), (double *)Caml_ba_data_val(vim),   \
+         (const double *)Caml_ba_data_val(vseq), ncols, lo, hi, rot_lo,      \
+         rot_hi);                                                            \
+    return Val_unit;                                                         \
+  }                                                                          \
+  CAMLprim value bose_##name##_blk_nat(value vre, value vim, value vseq,     \
+                                       intnat ncols, intnat lo, intnat hi,   \
+                                       intnat rot_lo, intnat rot_hi)         \
+  {                                                                          \
+    double *re = (double *)Caml_ba_data_val(vre);                            \
+    double *im = (double *)Caml_ba_data_val(vim);                            \
+    const double *seq = (const double *)Caml_ba_data_val(vseq);              \
+    caml_release_runtime_system();                                           \
+    name(re, im, seq, ncols, lo, hi, rot_lo, rot_hi);                        \
+    caml_acquire_runtime_system();                                           \
+    return Val_unit;                                                         \
+  }                                                                          \
+  CAMLprim value bose_##name##_byte(value *argv, int argn)                   \
+  {                                                                          \
+    (void)argn;                                                              \
+    return bose_##name##_nat(argv[0], argv[1], argv[2], Long_val(argv[3]),   \
+                             Long_val(argv[4]), Long_val(argv[5]),           \
+                             Long_val(argv[6]), Long_val(argv[7]));          \
+  }                                                                          \
+  CAMLprim value bose_##name##_blk_byte(value *argv, int argn)               \
+  {                                                                          \
+    (void)argn;                                                              \
+    return bose_##name##_blk_nat(argv[0], argv[1], argv[2],                  \
+                                 Long_val(argv[3]), Long_val(argv[4]),       \
+                                 Long_val(argv[5]), Long_val(argv[6]),       \
+                                 Long_val(argv[7]));                         \
+  }
+
+SWEEP_STUBS(sweep_cols_pre)
+SWEEP_STUBS(sweep_cols_post)
+SWEEP_STUBS(sweep_rows_pre)
+
+/* ------------------------------------------------------------------ */
 /* Binary-artifact helpers over mmapped byte buffers (char Bigarrays).
  * The disk cache maps object files and decodes the float planes with
  * one memcpy per plane (memcpy handles the file's arbitrary alignment)

@@ -61,6 +61,15 @@ val chunked_iter : t -> chunks:int -> n:int -> (chunk:int -> lo:int -> hi:int ->
     per-chunk state (caches, workspaces, RNG streams) off [chunk] and
     get scheduling-independent results. *)
 
+val bulk_iter : t option -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** [bulk_iter pool ~n f] covers [0 .. n - 1] with [f ~lo ~hi] slices:
+    one slice per domain through {!chunked_iter} when [pool] is
+    [Some p] with [domains p > 1] (and [n > 1]), a single inline
+    [f ~lo:0 ~hi:n] call otherwise. The shared dispatch of the fused
+    elimination and replay engines: slice boundaries depend only on
+    the domain count and [n], so per-index-independent work is
+    bit-identical at every pool size. *)
+
 val shutdown : t -> unit
 (** Stop and join every worker. Idempotent; the pool rejects further
     {!run}/{!map}/{!chunked_iter} calls afterwards. *)

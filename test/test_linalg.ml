@@ -621,6 +621,190 @@ let test_blocking_dispatch_observable () =
   Alcotest.(check int) "wide row rotation releases the lock" (locks0 + 2)
     (Mat.lock_releases ())
 
+(* ------------------------------------------- fused sweep kernels *)
+
+(* Pure get/set references for the fused sweep stubs: apply the packed
+   rotations one at a time, honoring each rotation's bound (row limit
+   for the column sweeps, first column for the row sweep). Rotation-
+   outer here vs row-outer in C is immaterial — rows are independent —
+   so any disagreement is a real stub bug, not an ordering artifact. *)
+
+type sweep_rot = {
+  sm : int; sn : int; sc : float; ss : float; sere : float; seim : float; sbound : int;
+}
+
+let random_sweep_rots rng ~count ~dim ~max_bound =
+  Array.init count (fun _ ->
+      let m = Rng.int rng dim in
+      let n = Rng.int rng dim in
+      let n = if n = m then (m + 1) mod dim else n in
+      let theta = Rng.float rng 6.3 and phi = Rng.float rng 6.3 -. 3.15 in
+      { sm = m; sn = n; sc = cos theta; ss = sin theta; sere = cos phi;
+        seim = sin phi; sbound = Rng.int rng (max_bound + 1) })
+
+let pack_rots rots =
+  let seq = Mat.Rotseq.create ~capacity:4 () in
+  Array.iter
+    (fun r ->
+       Mat.Rotseq.push seq ~m:r.sm ~n:r.sn ~c:r.sc ~s:r.ss ~ere:r.sere ~eim:r.seim
+         ~bound:r.sbound)
+    rots;
+  seq
+
+let ref_sweep_cols step u rots ~rot_lo ~rot_hi ~row_lo ~row_hi =
+  for t = rot_lo to rot_hi - 1 do
+    let r = rots.(t) in
+    for i = row_lo to row_hi - 1 do
+      if i < r.sbound then begin
+        let a, b =
+          step (parts (Mat.get u i r.sm)) (parts (Mat.get u i r.sn)) r.sc r.ss r.sere
+            r.seim
+        in
+        Mat.set u i r.sm (cx a);
+        Mat.set u i r.sn (cx b)
+      end
+    done
+  done
+
+let ref_sweep_rows_pre u rots ~rot_lo ~rot_hi ~col_lo ~col_hi =
+  for t = rot_lo to rot_hi - 1 do
+    let r = rots.(t) in
+    for j = max col_lo r.sbound to col_hi - 1 do
+      let a, b =
+        pre_step (parts (Mat.get u r.sm j)) (parts (Mat.get u r.sn j)) r.sc r.ss r.sere
+          r.seim
+      in
+      Mat.set u r.sm j (cx a);
+      Mat.set u r.sn j (cx b)
+    done
+  done
+
+let test_sweep_kernels_match_reference () =
+  let rng = Rng.create 63 in
+  (* Ragged sizes from degenerate through the blocking threshold up to
+     the paper's N=500 tier, so both lock disciplines run against the
+     same reference. *)
+  let sizes = [ 2; 3; 7; 31; 64; 127; Mat.blocking_threshold; 129; 200; 500 ] in
+  let check label native reference u =
+    let got = Mat.copy u and want = Mat.copy u in
+    native got;
+    reference want;
+    Alcotest.(check bool) label true (Mat.equal ~tol:1e-12 got want)
+  in
+  List.iter
+    (fun dim ->
+       let u = random_mat rng dim dim in
+       let count = min dim 40 in
+       (* Column sweeps: bound is an exclusive row limit. *)
+       let rots = random_sweep_rots rng ~count ~dim ~max_bound:dim in
+       let seq = pack_rots rots in
+       let rot_mid = count / 2 and row_mid = dim / 2 in
+       List.iter
+         (fun (rot_lo, rot_hi, row_lo, row_hi) ->
+            let lbl =
+              Printf.sprintf "N=%d rots=[%d,%d) rows=[%d,%d)" dim rot_lo rot_hi row_lo
+                row_hi
+            in
+            check ("sweep_cols_pre " ^ lbl)
+              (fun w -> Mat.sweep_cols_pre w seq ~rot_lo ~rot_hi ~row_lo ~row_hi)
+              (fun w -> ref_sweep_cols pre_step w rots ~rot_lo ~rot_hi ~row_lo ~row_hi)
+              u;
+            check ("sweep_cols_post " ^ lbl)
+              (fun w -> Mat.sweep_cols_post w seq ~rot_lo ~rot_hi ~row_lo ~row_hi)
+              (fun w -> ref_sweep_cols post_step w rots ~rot_lo ~rot_hi ~row_lo ~row_hi)
+              u)
+         [ (0, count, 0, dim); (0, count, row_mid, dim); (rot_mid, count, 0, row_mid);
+           (0, 0, 0, dim); (0, count, 0, 0) ];
+       (* Row sweep: bound is the first column touched. *)
+       let rots = random_sweep_rots rng ~count ~dim ~max_bound:(dim - 1) in
+       let seq = pack_rots rots in
+       List.iter
+         (fun (rot_lo, rot_hi, col_lo, col_hi) ->
+            let lbl =
+              Printf.sprintf "N=%d rots=[%d,%d) cols=[%d,%d)" dim rot_lo rot_hi col_lo
+                col_hi
+            in
+            check ("sweep_rows_pre " ^ lbl)
+              (fun w -> Mat.sweep_rows_pre w seq ~rot_lo ~rot_hi ~col_lo ~col_hi)
+              (fun w -> ref_sweep_rows_pre w rots ~rot_lo ~rot_hi ~col_lo ~col_hi)
+              u)
+         [ (0, count, 0, dim); (0, count, row_mid, dim); (rot_mid, count, 0, row_mid) ])
+    sizes
+
+(* The determinism contract of the parallel engines: splitting a sweep's
+   row (or column) range at any point yields bitwise-identical planes,
+   because each row sees the same rotation subsequence in the same
+   order. Pinned at tol 0. *)
+let test_sweep_split_bit_identity () =
+  let rng = Rng.create 64 in
+  List.iter
+    (fun dim ->
+       let u = random_mat rng dim dim in
+       let count = min dim 24 in
+       let rots = random_sweep_rots rng ~count ~dim ~max_bound:dim in
+       let seq = pack_rots rots in
+       let whole = Mat.copy u in
+       Mat.sweep_cols_pre whole seq ~rot_lo:0 ~rot_hi:count ~row_lo:0 ~row_hi:dim;
+       List.iter
+         (fun cut ->
+            let split = Mat.copy u in
+            Mat.sweep_cols_pre split seq ~rot_lo:0 ~rot_hi:count ~row_lo:0 ~row_hi:cut;
+            Mat.sweep_cols_pre split seq ~rot_lo:0 ~rot_hi:count ~row_lo:cut ~row_hi:dim;
+            Alcotest.(check bool)
+              (Printf.sprintf "cols split at %d of %d bit-identical" cut dim)
+              true (Mat.equal ~tol:0. split whole))
+         [ 1; dim / 3; dim / 2; dim - 1 ];
+       let rots = random_sweep_rots rng ~count ~dim ~max_bound:(dim - 1) in
+       let seq = pack_rots rots in
+       let whole = Mat.copy u in
+       Mat.sweep_rows_pre whole seq ~rot_lo:0 ~rot_hi:count ~col_lo:0 ~col_hi:dim;
+       List.iter
+         (fun cut ->
+            let split = Mat.copy u in
+            Mat.sweep_rows_pre split seq ~rot_lo:0 ~rot_hi:count ~col_lo:0 ~col_hi:cut;
+            Mat.sweep_rows_pre split seq ~rot_lo:0 ~rot_hi:count ~col_lo:cut ~col_hi:dim;
+            Alcotest.(check bool)
+              (Printf.sprintf "rows split at %d of %d bit-identical" cut dim)
+              true (Mat.equal ~tol:0. split whole))
+         [ 1; dim / 3; dim - 1 ])
+    [ 5; 64; Mat.blocking_threshold + 22 ]
+
+(* A fused sweep must agree with the per-rotation _cs kernels applied in
+   the same order. Tolerance, not bitwise: the fused and per-call C
+   loops are separate compilation contexts, so FMA contraction may
+   differ — which is exactly why the engines select by size only and
+   never mix the two paths within one decomposition. *)
+let test_sweep_agrees_with_percall_kernels () =
+  let rng = Rng.create 65 in
+  let dim = 40 in
+  let count = 12 in
+  let u = random_mat rng dim dim in
+  let rots =
+    Array.map
+      (fun r -> { r with sbound = dim })
+      (random_sweep_rots rng ~count ~dim ~max_bound:0)
+  in
+  let seq = pack_rots rots in
+  let fused = Mat.copy u and percall = Mat.copy u in
+  Mat.sweep_cols_post fused seq ~rot_lo:0 ~rot_hi:count ~row_lo:0 ~row_hi:dim;
+  Array.iter
+    (fun r ->
+       Mat.rot_cols_t_cs percall ~m:r.sm ~n:r.sn ~c:r.sc ~s:r.ss ~ere:r.sere ~eim:r.seim)
+    rots;
+  Alcotest.(check bool) "sweep_cols_post = rot_cols_t_cs chain" true
+    (Mat.equal ~tol:1e-12 fused percall);
+  let rrots = random_sweep_rots rng ~count ~dim ~max_bound:(dim - 1) in
+  let rseq = pack_rots rrots in
+  let fused = Mat.copy u and percall = Mat.copy u in
+  Mat.sweep_rows_pre fused rseq ~rot_lo:0 ~rot_hi:count ~col_lo:0 ~col_hi:dim;
+  Array.iter
+    (fun r ->
+       Mat.rot_rows_t_cs ~first:r.sbound percall ~m:r.sm ~n:r.sn ~c:r.sc ~s:r.ss
+         ~ere:r.sere ~eim:r.seim)
+    rrots;
+  Alcotest.(check bool) "sweep_rows_pre = rot_rows_t_cs chain" true
+    (Mat.equal ~tol:1e-12 fused percall)
+
 (* Binary plane codec: encode → decode must be bit-exact through both
    the string reader and the (possibly misaligned) bigbytes reader,
    and the Bigarray FNV-1a stub must agree with the pure-OCaml hash. *)
@@ -806,6 +990,12 @@ let () =
             test_rot_kernels_match_reference;
           Alcotest.test_case "blocking dispatch observable" `Quick
             test_blocking_dispatch_observable;
+          Alcotest.test_case "sweep kernels vs pure-OCaml reference" `Quick
+            test_sweep_kernels_match_reference;
+          Alcotest.test_case "sweep split bit-identity" `Quick
+            test_sweep_split_bit_identity;
+          Alcotest.test_case "sweep vs per-rotation kernels" `Quick
+            test_sweep_agrees_with_percall_kernels;
           Alcotest.test_case "plane codec round-trip" `Quick test_plane_codec_roundtrip;
         ] );
       ( "linsolve",

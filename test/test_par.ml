@@ -9,7 +9,10 @@ module Obs = Bose_obs.Obs
 module Cx = Bose_linalg.Cx
 module Unitary = Bose_linalg.Unitary
 module Lattice = Bose_hardware.Lattice
+module Mat = Bose_linalg.Mat
 module Plan = Bose_decomp.Plan
+module Clements = Bose_decomp.Clements
+module Eliminate = Bose_decomp.Eliminate
 module Mapping = Bose_mapping.Mapping
 module Dropout = Bose_dropout.Dropout
 module Gaussian = Bose_gbs.Gaussian
@@ -239,6 +242,77 @@ let test_dropout_pool_determinism () =
   in
   Alcotest.(check bool) "policy at 3 domains = 1 domain" true (policy 3 = policy 1)
 
+(* ------------------------------------------------- fused elimination *)
+
+(* Above [Mat.blocking_threshold] the decompositions run on the fused
+   sweep engine. The pool only picks chunk boundaries; every row sees
+   the same rotation subsequence in the same order, so the output must
+   be bit-identical at every pool size — including no pool at all. *)
+let test_fused_decompose_pool_invariant () =
+  let n = Mat.blocking_threshold + 22 in
+  let u = Unitary.haar_random (Rng.create 77) n in
+  let base_plan = Plan.to_string (Eliminate.decompose_baseline u) in
+  let base_clements = Clements.decompose u in
+  List.iter
+    (fun domains ->
+       Pool.with_pool ~domains (fun pool ->
+           Alcotest.(check bool)
+             (Printf.sprintf "plan at %d domains = no pool" domains)
+             true
+             (Plan.to_string (Eliminate.decompose_baseline ~pool u) = base_plan);
+           Alcotest.(check bool)
+             (Printf.sprintf "clements at %d domains = no pool" domains)
+             true
+             (Clements.decompose ~pool u = base_clements)))
+    [ 1; 2; 4 ]
+
+(* The fused engine has no serial reference at the same N (engine choice
+   is by size), so correctness is pinned the mathematical way: the
+   decomposition must replay back to its input. *)
+let test_fused_decompose_reconstructs () =
+  let n = Mat.blocking_threshold + 5 in
+  let u = Unitary.haar_random (Rng.create 78) n in
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check bool) "fused plan replays to the input" true
+        (Mat.equal ~tol:1e-9 (Plan.reconstruct (Eliminate.decompose_baseline ~pool u)) u);
+      Alcotest.(check bool) "fused clements replays to the input" true
+        (Mat.equal ~tol:1e-9 (Clements.reconstruct (Clements.decompose ~pool u)) u))
+
+(* Full compile with --jobs: plan bytes, dropout policy and the replayed
+   approximate unitary must all be bit-identical at jobs ∈ {1, 2, 4} —
+   below the fused threshold (N = 64, legacy engines everywhere) and
+   above it (fused decompose + fused replay, pool-chunked). *)
+let test_compile_jobs_bit_identity () =
+  let check ~modes ~rows ~cols ~config =
+    let device = Lattice.create ~rows ~cols in
+    let u = Unitary.haar_random (Rng.create 31) modes in
+    let go pool =
+      Compiler.compile ~effort:Compiler.Fast ~tau:0.99 ?pool ~rng:(Rng.create 5) ~device
+        ~config u
+    in
+    let base = go None in
+    let base_plan = Plan.to_binary_string base.Compiler.plan in
+    let base_app = Compiler.approx_unitary base in
+    List.iter
+      (fun jobs ->
+         let c = Pool.with_pool ~domains:jobs (fun p -> go (Some p)) in
+         Alcotest.(check bool)
+           (Printf.sprintf "N=%d jobs %d plan bits" modes jobs)
+           true
+           (Plan.to_binary_string c.Compiler.plan = base_plan);
+         Alcotest.(check bool)
+           (Printf.sprintf "N=%d jobs %d policy" modes jobs)
+           true
+           (c.Compiler.policy = base.Compiler.policy);
+         Alcotest.(check bool)
+           (Printf.sprintf "N=%d jobs %d approx unitary bits" modes jobs)
+           true
+           (Mat.equal ~tol:0. (Compiler.approx_unitary c) base_app))
+      [ 1; 2; 4 ]
+  in
+  check ~modes:64 ~rows:8 ~cols:8 ~config:Config.Full_opt;
+  check ~modes:(Mat.blocking_threshold + 22) ~rows:13 ~cols:12 ~config:Config.Baseline
+
 (* ------------------------------------------------------------- lint *)
 
 let test_bh1001_shared_stream () =
@@ -293,6 +367,15 @@ let () =
             test_boson_sampling_determinism;
           Alcotest.test_case "dropout policy pool sizes" `Quick
             test_dropout_pool_determinism;
+        ] );
+      ( "fused",
+        [
+          Alcotest.test_case "fused decompose pool-invariant" `Quick
+            test_fused_decompose_pool_invariant;
+          Alcotest.test_case "fused decompose reconstructs" `Quick
+            test_fused_decompose_reconstructs;
+          Alcotest.test_case "compile --jobs bit-identity" `Quick
+            test_compile_jobs_bit_identity;
         ] );
       ( "lint",
         [ Alcotest.test_case "BH1001 shared rng stream" `Quick test_bh1001_shared_stream ] );
